@@ -1,0 +1,66 @@
+// E1 — Figure 1 / Theorem 2: the fail-stop protocol across system sizes,
+// resilience levels and crash schedules.
+//
+// Paper claims reproduced:
+//   * k-resilient for every k <= floor((n-1)/2): 100% termination and
+//     agreement under any crash pattern within budget;
+//   * phases-to-decision stay small and essentially independent of n
+//     (the Section 4 analysis bounds the comparable majority dynamics by a
+//     constant).
+#include <cstdint>
+#include <iostream>
+
+#include "adversary/crash_plan.hpp"
+#include "adversary/scenario.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace rcp;
+using adversary::CrashPlan;
+using adversary::ProtocolKind;
+using adversary::Scenario;
+
+constexpr std::uint32_t kRuns = 40;
+
+void sweep(const char* crash_label, bool with_crashes) {
+  Table table({"n", "k", "crashes", "decided", "agreed", "phases(mean)",
+               "phases(max)", "steps(mean)", "msgs(mean)"});
+  for (const std::uint32_t n : {4u, 7u, 10u, 16u, 25u}) {
+    const std::uint32_t k = core::max_resilience(core::FaultModel::fail_stop, n);
+    Scenario s;
+    s.protocol = ProtocolKind::fail_stop;
+    s.params = {n, k};
+    s.inputs = adversary::alternating_inputs(n);
+    if (with_crashes) {
+      s.crashes = CrashPlan::staggered(k);
+    }
+    const auto r = bench::run_series(s, kRuns);
+    table.row()
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(static_cast<std::uint64_t>(k))
+        .cell(with_crashes ? std::to_string(k) + " staggered" : "none")
+        .cell(std::to_string(r.decided) + "/" + std::to_string(r.runs))
+        .cell(std::to_string(r.agreed) + "/" + std::to_string(r.runs))
+        .cell(r.phases.mean(), 2)
+        .cell(r.phases.max(), 0)
+        .cell(r.steps.mean(), 0)
+        .cell(r.messages.mean(), 0);
+  }
+  std::cout << "Crash schedule: " << crash_label << "\n";
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E1: Figure 1 fail-stop consensus (Theorem 2), " << kRuns
+            << " seeds per row, alternating inputs\n\n";
+  sweep("none (all processes correct)", false);
+  sweep("k staggered deaths, one per phase boundary", true);
+  std::cout << "Expected shape (paper): every row decides and agrees "
+               "100%; mean phases stay O(1) as n grows.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E3 — Section 4.1: the fail-stop Markov analysis, equations (1)-(13).
+//
+// Regenerates, for a sweep of n:
+//   * the exact expected absorption time from the balanced state n/2
+//     (fundamental-matrix solve on the full (n+1)-state chain of eq. 1);
+//   * a Monte-Carlo estimate of the same chain (cross-validation);
+//   * the paper's collapsed 3-state bound, eq. 13, with l^2 = 1.5;
+//   * the headline check: "the expected number of phases is less than 7".
+// Also prints the collapsed matrix R (eq. 11) and the w_i profile.
+#include <cstdint>
+#include <iostream>
+
+#include "analysis/collapsed_chain.hpp"
+#include "analysis/failstop_chain.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace rcp;
+using analysis::CollapsedChain;
+using analysis::FailStopChain;
+
+constexpr int kMonteCarloRuns = 20000;
+
+}  // namespace
+
+int main() {
+  const double l = CollapsedChain::kPaperL;
+  std::cout << "E3: Section 4.1 Markov analysis (k = n/3 fail-stop, "
+               "majority variant), l^2 = 1.5\n\n";
+
+  Table table({"n", "E[phases] exact", "E[phases] MC", "bound eq.13",
+               "< 7 ?"});
+  Rng rng(2024);
+  for (const unsigned n : {6u, 12u, 30u, 60u, 120u, 300u, 600u}) {
+    const FailStopChain chain(n);
+    RunningStats mc;
+    for (int i = 0; i < kMonteCarloRuns; ++i) {
+      mc.add(static_cast<double>(
+          chain.chain().simulate_hitting_time(n / 2, rng)));
+    }
+    const double bound = CollapsedChain::expected_absorption_closed_form(n, l);
+    table.row()
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(chain.expected_phases_from_balanced(), 4)
+        .cell(mc.mean(), 4)
+        .cell(bound, 4)
+        .cell(bound < 7.0 ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::cout << "\nAsymptotic bound (2 Phi(l) + 1/2) / Phi(l) = "
+            << format_double(CollapsedChain::asymptotic_bound(l), 4)
+            << "  (paper: \"less than 7\")\n\n";
+
+  // The collapsed matrix R of eq. 11, for one representative n.
+  const unsigned n_show = 300;
+  const analysis::Matrix r = CollapsedChain::r_matrix(n_show, l);
+  std::cout << "Collapsed matrix R (eq. 11) at n = " << n_show << ":\n";
+  Table rt({"state", "-> C", "-> BD", "-> AE"});
+  const char* names[3] = {"C", "BD", "AE"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    rt.row().cell(names[i]).cell(r.at(i, 0), 6).cell(r.at(i, 1), 6).cell(
+        r.at(i, 2), 6);
+  }
+  rt.print(std::cout);
+  std::cout << "Expected absorption from C: closed form (eq. 13) = "
+            << format_double(
+                   CollapsedChain::expected_absorption_closed_form(n_show, l), 6)
+            << ", via N = (I-Q)^-1 = "
+            << format_double(
+                   CollapsedChain::expected_absorption_via_fundamental(n_show,
+                                                                        l),
+                   6)
+            << "\n\n";
+
+  // The per-state flip probability w_i (eq. 1), absorption times, and the
+  // paper's "the consensus value is still likely to be equal to the
+  // majority of the initial input values" as P[decide 1 | start state].
+  const unsigned n_profile = 30;
+  const FailStopChain profile(n_profile);
+  std::cout << "w_i profile (eq. 1) at n = " << n_profile
+            << " (absorbing: i < 10 or i > 20):\n";
+  Table wt({"i", "w_i", "E[phases from i]", "P[decide 1 from i]"});
+  for (unsigned i = 0; i <= n_profile; i += 3) {
+    wt.row()
+        .cell(static_cast<std::uint64_t>(i))
+        .cell(profile.w(i), 5)
+        .cell(profile.expected_phases_from(i), 4)
+        .cell(profile.probability_decide_one_from(i), 4);
+  }
+  wt.print(std::cout);
+  std::cout << "\nExpected shape (paper): exact and MC columns agree; every "
+               "bound column is below 7; exact values sit well below the "
+               "bound (the collapse only slows the chain); the last column "
+               "shows the initial majority is very likely to win (and the "
+               "tie-to-0 rule biases the exact centre slightly below "
+               "1/2).\n";
+  return 0;
+}

@@ -1,0 +1,159 @@
+// E7 — Theorems 1 and 3: tightness of the resilience bounds, as witness
+// executions. Each row runs a protocol either beyond or at its bound under
+// an adversarial (but legal) schedule and reports which of the paper's
+// three properties — consistency, convergence — survived.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "adversary/byzantine.hpp"
+#include "adversary/delivery.hpp"
+#include "adversary/scenario.hpp"
+#include "baselines/naive_quorum.hpp"
+#include "common/table.hpp"
+#include "core/majority.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace rcp;
+using adversary::PartitionDelivery;
+using adversary::ProtocolKind;
+using adversary::Scenario;
+
+constexpr std::uint32_t kRuns = 20;
+
+struct Outcome {
+  std::uint32_t decided_all = 0;
+  std::uint32_t agreed = 0;
+};
+
+void report(Table& table, const char* protocol, const char* regime,
+            const char* schedule, const Outcome& o) {
+  const bool consistency = o.agreed == kRuns;
+  const bool convergence = o.decided_all == kRuns;
+  table.row()
+      .cell(protocol)
+      .cell(regime)
+      .cell(schedule)
+      .cell(std::to_string(o.agreed) + "/" + std::to_string(kRuns))
+      .cell(std::to_string(o.decided_all) + "/" + std::to_string(kRuns))
+      .cell(consistency ? (convergence ? "both hold" : "CONVERGENCE lost")
+                        : "CONSISTENCY lost");
+}
+
+Outcome partitioned_scenario(ProtocolKind protocol, std::uint32_t n,
+                             std::uint32_t k, bool unchecked,
+                             std::uint64_t heal_at_step = UINT64_MAX) {
+  Outcome o;
+  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+    Scenario s;
+    s.protocol = protocol;
+    s.params = {n, k};
+    s.unchecked = unchecked;
+    s.inputs = std::vector<Value>(n, Value::zero);
+    for (ProcessId p = n / 2; p < n; ++p) {
+      s.inputs[p] = Value::one;
+    }
+    s.seed = seed;
+    s.max_steps = 400'000;
+    auto simulation = adversary::build(
+        s, PartitionDelivery::split_at(n, n / 2, heal_at_step));
+    const auto result = simulation->run();
+    if (result.status == sim::RunStatus::all_decided) {
+      ++o.decided_all;
+    }
+    if (simulation->agreement_holds()) {
+      ++o.agreed;
+    }
+  }
+  return o;
+}
+
+Outcome naive_partitioned(std::uint32_t n, std::uint32_t k) {
+  Outcome o;
+  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    for (ProcessId p = 0; p < n; ++p) {
+      procs.push_back(baselines::NaiveQuorumVote::make(
+          {n, k}, p < n / 2 ? Value::zero : Value::one));
+    }
+    sim::Simulation s(
+        sim::SimConfig{.n = n, .seed = seed, .max_steps = 100'000},
+        std::move(procs), PartitionDelivery::split_at(n, n / 2));
+    const auto result = s.run();
+    if (result.status == sim::RunStatus::all_decided) {
+      ++o.decided_all;
+    }
+    if (s.agreement_holds()) {
+      ++o.agreed;
+    }
+  }
+  return o;
+}
+
+Outcome equivocator_vs_majority(std::uint32_t n, std::uint32_t k) {
+  Outcome o;
+  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    for (ProcessId p = 0; p < n; ++p) {
+      if (p == 1) {
+        procs.push_back(std::make_unique<adversary::SplitVoiceByzantine>(
+            core::ConsensusParams{n, k}, static_cast<ProcessId>(n / 2)));
+      } else {
+        // All correct processes but the last start with 0; the equivocator
+        // feeds the last one enough 1s to sometimes split the system.
+        procs.push_back(core::MajorityConsensus::make_unchecked(
+            {n, k}, p + 1 < n ? Value::zero : Value::one));
+      }
+    }
+    sim::Simulation s(
+        sim::SimConfig{.n = n, .seed = seed, .max_steps = 1'000'000},
+        std::move(procs));
+    s.mark_faulty(1);
+    const auto result = s.run();
+    if (result.status == sim::RunStatus::all_decided) {
+      ++o.decided_all;
+    }
+    if (s.agreement_holds()) {
+      ++o.agreed;
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E7: tightness of the resilience bounds (Theorems 1 and 3), "
+            << kRuns << " seeds per row\n\n";
+  Table table({"protocol", "regime", "schedule", "agreed", "all decided",
+               "verdict"});
+
+  // Theorem 1 family: fail-stop, half/half partition (a legal asynchronous
+  // schedule: cross-half messages are merely slow).
+  report(table, "Fig 1", "k = n/2 (beyond)", "partition n=8",
+         partitioned_scenario(ProtocolKind::fail_stop, 8, 4, true));
+  report(table, "Fig 1", "k = (n-1)/2 (at bound)", "partition, heals @5k",
+         partitioned_scenario(ProtocolKind::fail_stop, 8, 3, false, 5'000));
+  report(table, "naive quorum vote", "k = n/2 (beyond)", "partition n=8",
+         naive_partitioned(8, 4));
+
+  // Theorem 3 family: malicious.
+  report(table, "Fig 2", "k > (n-1)/3 (beyond)", "partition n=9 (5|4)",
+         partitioned_scenario(ProtocolKind::malicious, 9, 3, true));
+  report(table, "majority variant (S4.1)", "k = (n-1)/3, 1 equivocator",
+         "uniform", equivocator_vs_majority(4, 1));
+
+  table.print(std::cout);
+  std::cout
+      << "\nReading (paper): beyond the bounds no protocol can keep all "
+         "three properties. Figure 1 and Figure 2 sacrifice convergence "
+         "(their quorum thresholds become unreachable); the naive ablation "
+         "without witness machinery and the echo-less majority variant "
+         "under equivocation sacrifice consistency instead — which is "
+         "exactly why Figures 1 and 2 carry the witness and echo machinery. "
+         "At the bound (control rows), consistency always holds.\n";
+  return 0;
+}

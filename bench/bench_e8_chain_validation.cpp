@@ -1,0 +1,141 @@
+// E8 — validation of the Section 4.1 model against the actual protocol.
+//
+// The analysis models one phase of the majority variant (k = n/3, no
+// actual failures) as: every process samples n-k of the n phase messages,
+// flips to 1 with probability w_i (eq. 1), giving next state ~
+// Binomial(n, w_i). Here we run the *real* asynchronous protocol and
+// measure:
+//   (a) the empirical one-phase transition  E[state after phase 0]  from
+//       each starting state i, against the model's n * w_i;
+//   (b) end-to-end phases-to-decision from the balanced start, against the
+//       chain's expected absorption time.
+// Deviations quantify what the paper's independence approximation (shared
+// samples across processes are treated as independent) costs.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "analysis/failstop_chain.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/majority.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace rcp;
+
+constexpr unsigned kN = 12;       // divisible by 6; chain k = n/3 = 4
+constexpr unsigned kK = kN / 3;   // beyond floor((n-1)/3): use make_unchecked
+constexpr std::uint32_t kRuns = 200;
+
+/// Runs the protocol from `ones` initial 1s until every process finishes
+/// phase 0, and returns the number of processes whose phase-1 value is 1.
+unsigned one_phase_transition(unsigned ones, std::uint64_t seed) {
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  std::vector<core::MajorityConsensus*> raw;
+  for (ProcessId p = 0; p < kN; ++p) {
+    auto m = core::MajorityConsensus::make_unchecked(
+        {kN, kK}, p < ones ? Value::one : Value::zero);
+    raw.push_back(m.get());
+    procs.push_back(std::move(m));
+  }
+  sim::Simulation s(
+      sim::SimConfig{.n = kN, .seed = seed, .max_steps = 1'000'000},
+      std::move(procs));
+  std::vector<std::optional<Value>> snap(kN);
+  s.start();
+  auto all_snapped = [&] {
+    for (const auto& v : snap) {
+      if (!v.has_value()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (!all_snapped() && s.step()) {
+    for (ProcessId p = 0; p < kN; ++p) {
+      if (!snap[p].has_value() && raw[p]->phase() >= 1) {
+        snap[p] = raw[p]->value();
+      }
+    }
+  }
+  unsigned next_ones = 0;
+  for (ProcessId p = 0; p < kN; ++p) {
+    if (snap[p] == Value::one) {
+      ++next_ones;
+    }
+  }
+  return next_ones;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E8: Section 4.1 model vs the real asynchronous protocol, "
+               "n = " << kN << ", k = n/3 = " << kK << ", " << kRuns
+            << " runs per state\n\n";
+  const analysis::FailStopChain chain(kN);
+
+  std::cout << "(a) one-phase transition law:\n";
+  Table table({"start ones i", "w_i", "model E[next] = n*w_i",
+               "measured E[next]", "measured sd"});
+  for (unsigned i = 0; i <= kN; i += 2) {
+    RunningStats measured;
+    for (std::uint32_t r = 0; r < kRuns; ++r) {
+      measured.add(static_cast<double>(
+          one_phase_transition(i, 1000 + 7919ULL * r + i)));
+    }
+    table.row()
+        .cell(static_cast<std::uint64_t>(i))
+        .cell(chain.w(i), 4)
+        .cell(static_cast<double>(kN) * chain.w(i), 3)
+        .cell(measured.mean(), 3)
+        .cell(measured.stddev(), 3);
+  }
+  table.print(std::cout);
+
+  // End-to-end decisions need the *legal* k = floor((n-1)/3): at k = n/3
+  // exactly, the decision threshold > (n+k)/2 exceeds the quorum n-k and
+  // the protocol can never decide (which is why the paper's chain treats
+  // "decision inevitable" states as absorbed instead).
+  const std::uint32_t k_legal = (kN - 1) / 3;
+  std::cout << "\n(b) end-to-end phases to decision from the balanced "
+               "start (protocol at legal k = "
+            << k_legal << ") vs chain absorption (k = n/3 model):\n";
+  RunningStats end_to_end;
+  std::uint32_t decided = 0;
+  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    for (ProcessId p = 0; p < kN; ++p) {
+      procs.push_back(core::MajorityConsensus::make(
+          {kN, k_legal}, p < kN / 2 ? Value::one : Value::zero));
+    }
+    sim::Simulation s(
+        sim::SimConfig{.n = kN, .seed = seed, .max_steps = 2'000'000},
+        std::move(procs));
+    const auto result = s.run();
+    if (result.status == sim::RunStatus::all_decided) {
+      ++decided;
+      end_to_end.add(static_cast<double>(s.metrics().max_phase));
+    }
+  }
+  Table summary({"quantity", "value"});
+  summary.row().cell("chain E[phases to absorption]").cell(
+      chain.expected_phases_from_balanced(), 3);
+  summary.row().cell("protocol phases to all-decided (mean)").cell(
+      end_to_end.mean(), 3);
+  summary.row().cell("protocol phases to all-decided (max)").cell(
+      end_to_end.max(), 0);
+  summary.row().cell("runs decided").cell(
+      std::to_string(decided) + "/" + std::to_string(kRuns));
+  summary.print(std::cout);
+  std::cout
+      << "\nExpected shape (paper): column (a) model vs measured means track "
+         "each other across states (the binomial/hypergeometric law is a "
+         "good fit); (b) the protocol needs a few more phases than chain "
+         "absorption, since absorption marks \"decision inevitable\", after "
+         "which the protocol still takes ~2 phases to actually decide.\n";
+  return 0;
+}

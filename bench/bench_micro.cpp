@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark): the primitives every experiment
+// rests on — RNG, codecs, echo acceptance, protocol steps, chain solves.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/distributions.hpp"
+#include "analysis/failstop_chain.hpp"
+#include "analysis/markov.hpp"
+#include "analysis/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/echo_engine.hpp"
+#include "core/failstop.hpp"
+#include "core/malicious.hpp"
+#include "core/messages.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace rcp;
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngBelow(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(7));
+  }
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_EncodeDecodeFailStopMsg(benchmark::State& state) {
+  const core::FailStopMsg msg{.phase = 12, .value = Value::one,
+                              .cardinality = 9};
+  for (auto _ : state) {
+    const Bytes buf = msg.encode();
+    benchmark::DoNotOptimize(core::FailStopMsg::decode(buf));
+  }
+}
+BENCHMARK(BM_EncodeDecodeFailStopMsg);
+
+void BM_EncodeDecodeEchoMsg(benchmark::State& state) {
+  const core::EchoProtocolMsg msg{.is_echo = true, .from = 3,
+                                  .value = Value::zero, .phase = 40};
+  for (auto _ : state) {
+    const Bytes buf = msg.encode();
+    benchmark::DoNotOptimize(core::EchoProtocolMsg::decode(buf));
+  }
+}
+BENCHMARK(BM_EncodeDecodeEchoMsg);
+
+void BM_EchoEngineAcceptPath(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::ConsensusParams params{n, (n - 1) / 3};
+  for (auto _ : state) {
+    core::EchoEngine engine(params);
+    for (ProcessId echoer = 0; echoer < n; ++echoer) {
+      benchmark::DoNotOptimize(engine.handle(
+          echoer,
+          core::EchoProtocolMsg{.is_echo = true, .from = 0,
+                                .value = Value::one, .phase = 0},
+          0));
+    }
+  }
+}
+BENCHMARK(BM_EchoEngineAcceptPath)->Arg(7)->Arg(31)->Arg(100);
+
+void BM_SimulationStepFailStop(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t k = (n - 1) / 2;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    for (ProcessId p = 0; p < n; ++p) {
+      procs.push_back(core::FailStopConsensus::make(
+          {n, k}, p % 2 == 0 ? Value::zero : Value::one));
+    }
+    sim::Simulation s(sim::SimConfig{.n = n, .seed = 5}, std::move(procs));
+    s.start();
+    state.ResumeTiming();
+    for (int i = 0; i < 100 && s.step(); ++i) {
+    }
+  }
+}
+BENCHMARK(BM_SimulationStepFailStop)->Arg(7)->Arg(25);
+
+void BM_FullConsensusRunMalicious(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t k = (n - 1) / 3;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    for (ProcessId p = 0; p < n; ++p) {
+      procs.push_back(core::MaliciousConsensus::make(
+          {n, k}, p % 2 == 0 ? Value::zero : Value::one));
+    }
+    sim::Simulation s(sim::SimConfig{.n = n, .seed = seed++},
+                      std::move(procs));
+    benchmark::DoNotOptimize(s.run());
+  }
+}
+BENCHMARK(BM_FullConsensusRunMalicious)->Arg(4)->Arg(7)->Arg(10);
+
+void BM_HypergeometricTail(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::hypergeometric_tail_greater(300, 150, 200, 100));
+  }
+}
+BENCHMARK(BM_HypergeometricTail);
+
+void BM_FailStopChainBuildAndSolve(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    analysis::FailStopChain chain(n);
+    benchmark::DoNotOptimize(chain.expected_phases_from_balanced());
+  }
+}
+BENCHMARK(BM_FailStopChainBuildAndSolve)->Arg(30)->Arg(120);
+
+void BM_MatrixInverse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  analysis::Matrix m(n, n, 0.0);
+  Rng rng(9);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m.at(i, j) = rng.uniform01() + (i == j ? static_cast<double>(n) : 0.0);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::inverse(m));
+  }
+}
+BENCHMARK(BM_MatrixInverse)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

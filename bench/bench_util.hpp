@@ -1,0 +1,57 @@
+// Shared measurement helpers for the experiment harnesses (bench_e*).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "adversary/scenario.hpp"
+#include "common/stats.hpp"
+#include "sim/simulation.hpp"
+
+namespace rcp::bench {
+
+struct SeriesResult {
+  RunningStats phases;      ///< max phase among correct at completion
+  RunningStats steps;       ///< atomic steps to completion
+  RunningStats messages;    ///< messages sent
+  std::uint32_t runs = 0;
+  std::uint32_t decided = 0;    ///< runs where every correct process decided
+  std::uint32_t agreed = 0;     ///< runs where agreement held
+  std::uint32_t decided_one = 0;  ///< runs whose common decision was 1
+};
+
+/// Runs `scenario` for seeds base_seed .. base_seed+runs-1 and aggregates.
+/// `delivery_factory` may be null (uniform delivery).
+template <typename DeliveryFactory>
+SeriesResult run_series(adversary::Scenario scenario, std::uint32_t runs,
+                        std::uint64_t base_seed,
+                        DeliveryFactory&& delivery_factory) {
+  SeriesResult out;
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    scenario.seed = base_seed + r;
+    auto simulation = adversary::build(scenario, delivery_factory());
+    const sim::RunResult result = simulation->run();
+    ++out.runs;
+    if (result.status == sim::RunStatus::all_decided) {
+      ++out.decided;
+      out.phases.add(static_cast<double>(simulation->metrics().max_phase));
+      out.steps.add(static_cast<double>(result.steps));
+      out.messages.add(static_cast<double>(simulation->metrics().messages_sent));
+    }
+    if (simulation->agreement_holds()) {
+      ++out.agreed;
+    }
+    if (simulation->agreed_value() == Value::one) {
+      ++out.decided_one;
+    }
+  }
+  return out;
+}
+
+inline SeriesResult run_series(adversary::Scenario scenario, std::uint32_t runs,
+                               std::uint64_t base_seed = 1) {
+  return run_series(std::move(scenario), runs, base_seed,
+                    [] { return std::unique_ptr<sim::DeliveryPolicy>(); });
+}
+
+}  // namespace rcp::bench

@@ -1,0 +1,194 @@
+// X1 (extension ablation) — what does reliable broadcast buy Ben-Or?
+//
+// The paper's echo machinery grew into Bracha's reliable broadcast; this
+// bench quantifies the first step of that lineage. A report equivocator
+// (one faulty process, within k = floor((n-1)/5)) tells each half of the
+// system a different value every round:
+//   * plain Ben-Or processes each count whatever they were privately told
+//     (per-receiver equivocation is possible by construction);
+//   * RB-hardened Ben-Or forces the adversary through broadcast: per round
+//     it has ONE value at every correct process (or none) — its split
+//     initials never reach the echo quorum. The bench measures what that
+//     consistency costs (messages) and what it does not cost (rounds).
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "adversary/benor_attack.hpp"
+#include "baselines/benor.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "adversary/byzantine.hpp"
+#include "extensions/bracha87.hpp"
+#include "extensions/rb_benor.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace rcp;
+
+constexpr std::uint32_t kRuns = 25;
+
+struct Measured {
+  RunningStats rounds;
+  RunningStats messages;
+  std::uint32_t decided = 0;
+  std::uint32_t agreed = 0;
+};
+
+template <typename MakeProcess>
+Measured run_series(std::uint32_t n, MakeProcess&& make_process) {
+  Measured m;
+  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    for (ProcessId p = 0; p < n; ++p) {
+      procs.push_back(make_process(p));
+    }
+    sim::Simulation s(
+        sim::SimConfig{.n = n, .seed = seed, .max_steps = 6'000'000},
+        std::move(procs));
+    s.mark_faulty(0);
+    const auto result = s.run();
+    if (result.status == sim::RunStatus::all_decided) {
+      ++m.decided;
+      m.rounds.add(static_cast<double>(s.metrics().max_phase));
+      m.messages.add(static_cast<double>(s.metrics().messages_sent));
+    }
+    if (s.agreement_holds()) {
+      ++m.agreed;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "X1: reliable-broadcast hardening of Ben-Or under a report "
+               "equivocator (process 0), balanced inputs, " << kRuns
+            << " seeds\n\n";
+  Table table({"n", "k", "variant", "decided", "agreed", "rounds(mean)",
+               "rounds(max)", "msgs(mean)"});
+  for (const std::uint32_t n : {6u, 11u, 16u}) {
+    const std::uint32_t k = (n - 1) / 5;
+    const core::ConsensusParams params{n, k};
+    const auto input = [](ProcessId p) {
+      return p % 2 == 0 ? Value::zero : Value::one;
+    };
+
+    const Measured plain = run_series(n, [&](ProcessId p) {
+      if (p == 0) {
+        return std::unique_ptr<sim::Process>(
+            std::make_unique<adversary::BenOrEquivocator>(params));
+      }
+      return std::unique_ptr<sim::Process>(baselines::BenOrConsensus::make(
+          params, baselines::BenOrVariant::byzantine, input(p)));
+    });
+    const Measured hardened = run_series(n, [&](ProcessId p) {
+      if (p == 0) {
+        return std::unique_ptr<sim::Process>(
+            std::make_unique<adversary::BenOrEquivocator>(params));
+      }
+      return std::unique_ptr<sim::Process>(ext::RbBenOr::make(params, input(p)));
+    });
+
+    for (const auto& [label, m] :
+         {std::pair<const char*, const Measured*>{"plain Ben-Or", &plain},
+          std::pair<const char*, const Measured*>{"RB-hardened", &hardened}}) {
+      table.row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(static_cast<std::uint64_t>(k))
+          .cell(label)
+          .cell(std::to_string(m->decided) + "/" + std::to_string(kRuns))
+          .cell(std::to_string(m->agreed) + "/" + std::to_string(kRuns))
+          .cell(m->rounds.mean(), 2)
+          .cell(m->rounds.max(), 0)
+          .cell(m->messages.mean(), 0);
+    }
+  }
+  table.print(std::cout);
+
+  // The resilience ladder: each protocol at its own maximal k, with that
+  // many silent Byzantine processes.
+  std::cout << "\nResilience ladder (silent faults at each protocol's own "
+               "maximal k, " << kRuns << " seeds):\n";
+  Table ladder({"n", "protocol", "k_max", "decided", "agreed",
+                "rounds(mean)"});
+  for (const std::uint32_t n : {11u, 16u}) {
+    struct Row {
+      const char* label;
+      std::uint32_t k;
+      std::function<std::unique_ptr<sim::Process>(ProcessId, std::uint32_t)>
+          make;
+    };
+    const std::uint32_t k5 = (n - 1) / 5;
+    const std::uint32_t k3 = (n - 1) / 3;
+    const Row rows[] = {
+        {"plain Ben-Or", k5,
+         [&](ProcessId p, std::uint32_t k) {
+           return std::unique_ptr<sim::Process>(baselines::BenOrConsensus::make(
+               {n, k}, baselines::BenOrVariant::byzantine,
+               p % 2 == 0 ? Value::zero : Value::one));
+         }},
+        {"RB-hardened Ben-Or", k5,
+         [&](ProcessId p, std::uint32_t k) {
+           return std::unique_ptr<sim::Process>(ext::RbBenOr::make(
+               {n, k}, p % 2 == 0 ? Value::zero : Value::one));
+         }},
+        {"Bracha-87 (validated)", k3,
+         [&](ProcessId p, std::uint32_t k) {
+           return std::unique_ptr<sim::Process>(ext::Bracha87::make(
+               {n, k}, p % 2 == 0 ? Value::zero : Value::one));
+         }},
+    };
+    for (const Row& row : rows) {
+      Measured m;
+      for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+        std::vector<std::unique_ptr<sim::Process>> procs;
+        for (ProcessId p = 0; p < n; ++p) {
+          if (p < row.k) {
+            procs.push_back(std::make_unique<adversary::SilentByzantine>());
+          } else {
+            procs.push_back(row.make(p, row.k));
+          }
+        }
+        sim::Simulation s(
+            sim::SimConfig{.n = n, .seed = seed, .max_steps = 8'000'000},
+            std::move(procs));
+        for (ProcessId p = 0; p < row.k; ++p) {
+          s.mark_faulty(p);
+        }
+        const auto result = s.run();
+        if (result.status == sim::RunStatus::all_decided) {
+          ++m.decided;
+          m.rounds.add(static_cast<double>(s.metrics().max_phase));
+        }
+        if (s.agreement_holds()) {
+          ++m.agreed;
+        }
+      }
+      ladder.row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(row.label)
+          .cell(static_cast<std::uint64_t>(row.k))
+          .cell(std::to_string(m.decided) + "/" + std::to_string(kRuns))
+          .cell(std::to_string(m.agreed) + "/" + std::to_string(kRuns))
+          .cell(m.rounds.mean(), 2);
+    }
+  }
+  ladder.print(std::cout);
+
+  std::cout << "\nReading: one equivocator is within both variants' fault "
+               "budget, so agreement holds everywhere and the round counts "
+               "are comparable — Ben-Or's thresholds already absorb this "
+               "much equivocation. What RB buys is not speed but a "
+               "stronger artifact: a per-round transcript in which every "
+               "correct process observed the SAME value per origin (the "
+               "adversary's split initials simply fail the echo quorum), "
+               "at roughly an n-times message cost. That consistency is the "
+               "building block the 1987 follow-on protocols (and the "
+               "HoneyBadger lineage) are built from.\n";
+  return 0;
+}

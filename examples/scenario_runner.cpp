@@ -1,0 +1,213 @@
+// Scenario runner: drive any protocol/adversary combination from the
+// command line, optionally recording the execution schedule for exact
+// replay.
+//
+//   $ ./scenario_runner --protocol fig2 --n 10 --k 3 --ones 5
+//         --adversary equivocator --seed 7 --record run.sched
+//   $ ./scenario_runner --protocol fig2 --n 10 --k 3 --ones 5
+//         --adversary equivocator --replay run.sched
+//   (both invocations on one line)
+//
+// Options:
+//   --protocol fig1|fig2|majority   (default fig2)
+//   --n N --k K                     (default n=7, k = max for the protocol)
+//   --ones M                        initial 1-inputs (default n/2)
+//   --adversary none|silent|equivocator|balancer|babbler  (default none)
+//   --crashes C                     staggered fail-stop crashes (default 0)
+//   --seed S                        (default 1)
+//   --max-steps X                   (default 2'000'000)
+//   --record FILE | --replay FILE   capture / re-drive the schedule
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "adversary/crash_plan.hpp"
+#include "adversary/scenario.hpp"
+#include "sim/replay.hpp"
+
+namespace {
+
+using namespace rcp;
+
+struct Options {
+  adversary::ProtocolKind protocol = adversary::ProtocolKind::malicious;
+  std::uint32_t n = 7;
+  std::optional<std::uint32_t> k;
+  std::optional<std::uint32_t> ones;
+  std::optional<adversary::ByzantineKind> byzantine;
+  std::uint32_t crashes = 0;
+  std::uint64_t seed = 1;
+  std::uint64_t max_steps = 2'000'000;
+  std::string record_path;
+  std::string replay_path;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--protocol fig1|fig2|majority] [--n N] [--k K] [--ones M]\n"
+               "       [--adversary none|silent|equivocator|balancer|babbler]\n"
+               "       [--crashes C] [--seed S] [--max-steps X]\n"
+               "       [--record FILE | --replay FILE]\n";
+  return 2;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (flag == "--protocol") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      if (std::strcmp(v, "fig1") == 0) {
+        opt.protocol = adversary::ProtocolKind::fail_stop;
+      } else if (std::strcmp(v, "fig2") == 0) {
+        opt.protocol = adversary::ProtocolKind::malicious;
+      } else if (std::strcmp(v, "majority") == 0) {
+        opt.protocol = adversary::ProtocolKind::majority;
+      } else {
+        return std::nullopt;
+      }
+    } else if (flag == "--n") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.n = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (flag == "--k") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.k = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (flag == "--ones") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.ones = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (flag == "--adversary") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      if (std::strcmp(v, "none") == 0) {
+        opt.byzantine.reset();
+      } else if (std::strcmp(v, "silent") == 0) {
+        opt.byzantine = adversary::ByzantineKind::silent;
+      } else if (std::strcmp(v, "equivocator") == 0) {
+        opt.byzantine = adversary::ByzantineKind::equivocator;
+      } else if (std::strcmp(v, "balancer") == 0) {
+        opt.byzantine = adversary::ByzantineKind::balancer;
+      } else if (std::strcmp(v, "babbler") == 0) {
+        opt.byzantine = adversary::ByzantineKind::babbler;
+      } else {
+        return std::nullopt;
+      }
+    } else if (flag == "--crashes") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.crashes = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.seed = std::stoull(v);
+    } else if (flag == "--max-steps") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.max_steps = std::stoull(v);
+    } else if (flag == "--record") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.record_path = v;
+    } else if (flag == "--replay") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.replay_path = v;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed.has_value()) {
+    return usage(argv[0]);
+  }
+  const Options& opt = *parsed;
+
+  const core::FaultModel model =
+      opt.protocol == adversary::ProtocolKind::fail_stop
+          ? core::FaultModel::fail_stop
+          : core::FaultModel::malicious;
+  const std::uint32_t k =
+      opt.k.value_or(core::max_resilience(model, opt.n));
+
+  adversary::Scenario s;
+  s.protocol = opt.protocol;
+  s.params = {opt.n, k};
+  s.inputs = adversary::inputs_with_ones(opt.n, opt.ones.value_or(opt.n / 2));
+  s.seed = opt.seed;
+  s.max_steps = opt.max_steps;
+  if (opt.byzantine.has_value()) {
+    s.byzantine_kind = *opt.byzantine;
+    for (std::uint32_t b = 0; b < k; ++b) {
+      s.byzantine_ids.push_back(static_cast<ProcessId>(b * opt.n / k));
+    }
+  }
+  if (opt.crashes > 0) {
+    s.crashes = adversary::CrashPlan::staggered(opt.crashes);
+  }
+
+  std::unique_ptr<sim::Simulation> simulation;
+  std::shared_ptr<sim::Schedule> recorded;
+  if (!opt.replay_path.empty()) {
+    std::ifstream in(opt.replay_path);
+    if (!in) {
+      std::cerr << "cannot read schedule: " << opt.replay_path << "\n";
+      return 2;
+    }
+    auto replay = sim::make_replay_policies(sim::Schedule::load(in));
+    simulation = adversary::build(s, std::move(replay.delivery),
+                                  std::move(replay.scheduler));
+  } else if (!opt.record_path.empty()) {
+    auto rec = sim::make_recording_policies();
+    recorded = rec.schedule;
+    simulation = adversary::build(s, std::move(rec.delivery),
+                                  std::move(rec.scheduler));
+  } else {
+    simulation = adversary::build(s);
+  }
+
+  const sim::RunResult result = simulation->run();
+  std::cout << "protocol : " << to_string(opt.protocol) << "  n=" << opt.n
+            << " k=" << k << " seed=" << opt.seed << "\n"
+            << "status   : "
+            << (result.status == sim::RunStatus::all_decided
+                    ? "all correct processes decided"
+                    : result.status == sim::RunStatus::quiescent
+                          ? "quiescent (deadlock)"
+                          : "step limit reached")
+            << "\nsteps    : " << result.steps
+            << "\nmessages : " << simulation->metrics().messages_sent
+            << "\nphases   : " << simulation->metrics().max_phase << "\n";
+  for (ProcessId p = 0; p < opt.n; ++p) {
+    std::cout << "  p" << p << (simulation->is_faulty(p) ? " (faulty) " : "          ");
+    if (const auto d = simulation->decision_of(p)) {
+      std::cout << "decided " << *d;
+    } else {
+      std::cout << "undecided";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "agreement: "
+            << (simulation->agreement_holds() ? "holds" : "VIOLATED") << "\n";
+
+  if (recorded != nullptr) {
+    std::ofstream out(opt.record_path);
+    recorded->save(out);
+    std::cout << "schedule : " << recorded->size() << " steps -> "
+              << opt.record_path << "\n";
+  }
+  return simulation->agreement_holds() ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+#include "adversary/benor_attack.hpp"
+
+#include "common/error.hpp"
+
+namespace rcp::adversary {
+
+using baselines::BenOrConsensus;
+using WireMsg = BenOrConsensus::WireMsg;
+
+void BenOrEquivocator::on_start(sim::Context& ctx) {
+  attack_round(ctx, 0);
+}
+
+void BenOrEquivocator::on_message(sim::Context& ctx,
+                                  const sim::Envelope& env) {
+  WireMsg msg;
+  try {
+    msg = BenOrConsensus::decode_wire(env.payload);
+  } catch (const DecodeError&) {
+    return;
+  }
+  while (frontier_ < msg.round) {
+    ++frontier_;
+    attack_round(ctx, frontier_);
+  }
+}
+
+void BenOrEquivocator::attack_round(sim::Context& ctx, Phase round) {
+  for (ProcessId q = 0; q < params_.n; ++q) {
+    const std::uint8_t val = q < params_.n / 2 ? 0 : 1;
+    ctx.send(q, BenOrConsensus::encode_wire(
+                    WireMsg{.stage = 0, .round = round, .val = val}));
+    // Matching split proposals: each half hears its own value proposed.
+    ctx.send(q, BenOrConsensus::encode_wire(
+                    WireMsg{.stage = 1, .round = round, .val = val}));
+  }
+}
+
+}  // namespace rcp::adversary

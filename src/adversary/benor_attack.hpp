@@ -1,0 +1,36 @@
+// A Byzantine strategy targeting Ben-Or's wire protocol: the report
+// equivocator. Plain point-to-point Ben-Or lets a malicious process send
+// value 0 reports to one half of the system and value 1 to the other —
+// exactly the power reliable broadcast removes (see extensions/rb_benor).
+#pragma once
+
+#include "baselines/benor.hpp"
+#include "common/types.hpp"
+#include "core/params.hpp"
+#include "sim/process.hpp"
+
+namespace rcp::adversary {
+
+/// Tracks Ben-Or rounds from observed traffic; for every round it sends
+/// report 0 to ids < n/2 and report 1 to the rest, and proposes the value
+/// each half is leaning towards (amplifying the split). One such process
+/// is within plain Ben-Or's k <= floor((n-1)/5) budget, so safety must
+/// hold — the attack only drags out convergence; the companion bench
+/// measures by how much, for the plain and RB-hardened variants.
+class BenOrEquivocator final : public sim::Process {
+ public:
+  explicit BenOrEquivocator(core::ConsensusParams params) noexcept
+      : params_(params) {}
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override;
+  [[nodiscard]] Phase phase() const noexcept override { return frontier_; }
+
+ private:
+  void attack_round(sim::Context& ctx, Phase round);
+
+  core::ConsensusParams params_;
+  Phase frontier_ = 0;
+};
+
+}  // namespace rcp::adversary

@@ -1,0 +1,155 @@
+#include "adversary/byzantine.hpp"
+
+#include "common/error.hpp"
+
+namespace rcp::adversary {
+
+using core::EchoProtocolMsg;
+using core::MajorityMsg;
+
+void ByzantineBase::on_start(sim::Context& ctx) {
+  started_ = true;
+  attack_phase(ctx, 0);
+}
+
+void ByzantineBase::on_message(sim::Context& ctx, const sim::Envelope& env) {
+  EchoProtocolMsg msg;
+  try {
+    msg = EchoProtocolMsg::decode(env.payload);
+  } catch (const DecodeError&) {
+    return;
+  }
+  if (msg.phase > frontier_) {
+    advance_to(ctx, msg.phase);
+  }
+  observe(ctx, env.sender, msg);
+}
+
+void ByzantineBase::advance_to(sim::Context& ctx, Phase target) {
+  while (frontier_ < target) {
+    ++frontier_;
+    attack_phase(ctx, frontier_);
+  }
+}
+
+void ByzantineBase::observe(sim::Context& /*ctx*/, ProcessId /*sender*/,
+                            const EchoProtocolMsg& /*msg*/) {}
+
+// ---- Equivocator -----------------------------------------------------
+
+void EquivocatorByzantine::attack_phase(sim::Context& ctx, Phase t) {
+  const std::uint32_t n = params().n;
+  for (ProcessId q = 0; q < n; ++q) {
+    const Value v = q < n / 2 ? Value::zero : Value::one;
+    ctx.send(q, EchoProtocolMsg{
+                    .is_echo = false, .from = ctx.self(), .value = v, .phase = t}
+                    .encode());
+  }
+}
+
+void EquivocatorByzantine::observe(sim::Context& ctx, ProcessId /*sender*/,
+                                   const EchoProtocolMsg& msg) {
+  if (msg.is_echo) {
+    return;
+  }
+  // Two-faced echoing of other processes' initials: confirm the true value
+  // to one half of the system and the opposite value to the other half.
+  const std::uint32_t n = params().n;
+  for (ProcessId q = 0; q < n; ++q) {
+    const Value v = q < n / 2 ? msg.value : other(msg.value);
+    ctx.send(q, EchoProtocolMsg{
+                    .is_echo = true, .from = msg.from, .value = v, .phase = msg.phase}
+                    .encode());
+  }
+}
+
+// ---- Balancer ---------------------------------------------------------
+
+void BalancerByzantine::attack_phase(sim::Context& ctx, Phase t) {
+  // Vote the minority value of what was observed in the previous phase
+  // (ties -> 1, to oppose the protocol's tie-to-0 rule).
+  const Value v = observed_[Value::one] < observed_[Value::zero]
+                      ? Value::one
+                      : Value::zero;
+  const Value vote = observed_.total() == 0 ? Value::one : v;
+  observed_.reset();
+  observed_phase_ = t;
+  ctx.broadcast(EchoProtocolMsg{
+      .is_echo = false, .from = ctx.self(), .value = vote, .phase = t}
+                    .encode());
+}
+
+void BalancerByzantine::observe(sim::Context& ctx, ProcessId /*sender*/,
+                                const EchoProtocolMsg& msg) {
+  if (!msg.is_echo && msg.phase == observed_phase_) {
+    observed_[msg.value] += 1;
+  }
+  if (!msg.is_echo) {
+    // Honest echo so correct processes keep accepting everyone's state.
+    ctx.broadcast(EchoProtocolMsg{.is_echo = true,
+                                  .from = msg.from,
+                                  .value = msg.value,
+                                  .phase = msg.phase}
+                      .encode());
+  }
+}
+
+// ---- Babbler ----------------------------------------------------------
+
+void BabblerByzantine::attack_phase(sim::Context& ctx, Phase t) {
+  Rng& rng = ctx.rng();
+  const std::uint32_t n = params().n;
+  // A random initial for this phase.
+  ctx.broadcast(EchoProtocolMsg{.is_echo = false,
+                                .from = ctx.self(),
+                                .value = rng.bernoulli(0.5) ? Value::one
+                                                            : Value::zero,
+                                .phase = t}
+                    .encode());
+  // A few forged echoes about random origins and random values.
+  const std::uint64_t forgeries = rng.below(3) + 1;
+  for (std::uint64_t i = 0; i < forgeries; ++i) {
+    ctx.send(static_cast<ProcessId>(rng.below(n)),
+             EchoProtocolMsg{.is_echo = true,
+                             .from = static_cast<ProcessId>(rng.below(n)),
+                             .value = rng.bernoulli(0.5) ? Value::one
+                                                         : Value::zero,
+                             .phase = t}
+                 .encode());
+  }
+  // Malformed bytes: random length, random content.
+  Bytes junk(rng.below(24) + 1);
+  for (auto& b : junk) {
+    b = static_cast<std::byte>(rng.below(256));
+  }
+  ctx.send(static_cast<ProcessId>(rng.below(n)), std::move(junk));
+}
+
+// ---- SplitVoice (majority variant attack) ------------------------------
+
+void SplitVoiceByzantine::on_start(sim::Context& ctx) {
+  vote(ctx, 0);
+}
+
+void SplitVoiceByzantine::on_message(sim::Context& ctx,
+                                     const sim::Envelope& env) {
+  MajorityMsg msg;
+  try {
+    msg = MajorityMsg::decode(env.payload);
+  } catch (const DecodeError&) {
+    return;
+  }
+  while (frontier_ < msg.phase) {
+    ++frontier_;
+    vote(ctx, frontier_);
+  }
+}
+
+void SplitVoiceByzantine::vote(sim::Context& ctx, Phase t) {
+  for (ProcessId q = 0; q < params_.n; ++q) {
+    const Value v = q < split_ ? Value::zero : Value::one;
+    ctx.send(q, MajorityMsg{.phase = t, .value = v}.encode());
+  }
+}
+
+}  // namespace rcp::adversary

@@ -1,0 +1,135 @@
+// Byzantine process implementations for attacking the malicious-case
+// protocol (Figure 2) and the Section 4.1 majority variant.
+//
+// A malicious process "can send false and contradictory messages (even
+// according to some malicious design), can fail to send messages, and can
+// change its internal state to any other state". These classes implement
+// the designs the paper reasons about:
+//
+//  - SilentByzantine      : sends nothing (subsumes fail-stop behaviour).
+//  - EquivocatorByzantine : sends initial value 0 to one half of the system
+//                           and 1 to the other, and echoes other processes'
+//                           states two-facedly the same way.
+//  - BalancerByzantine    : Section 4's worst case — "they will try to
+//                           balance the number of 1 and 0 messages in the
+//                           system" to stall convergence.
+//  - BabblerByzantine     : floods random valid, duplicated and malformed
+//                           messages (robustness fuzzing in-protocol).
+//  - SplitVoiceByzantine  : the Theorem 3 equivocation against the
+//                           echo-less majority variant, used by the
+//                           lower-bound experiment E7.
+//
+// All strategies track the protocol's phase frontier from the traffic they
+// observe and mount their attack once per phase.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hpp"
+#include "core/messages.hpp"
+#include "core/params.hpp"
+#include "sim/process.hpp"
+
+namespace rcp::adversary {
+
+/// Shared machinery: observes Figure 2 traffic, advances a phase frontier,
+/// and invokes attack_phase() exactly once per phase in increasing order.
+class ByzantineBase : public sim::Process {
+ public:
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override;
+  [[nodiscard]] Phase phase() const noexcept override { return frontier_; }
+
+ protected:
+  explicit ByzantineBase(core::ConsensusParams params) noexcept
+      : params_(params) {}
+
+  /// Mounts the per-phase attack (called for phases 0, 1, 2, ... in order).
+  virtual void attack_phase(sim::Context& ctx, Phase t) = 0;
+
+  /// Observes every decoded Figure 2 message (after frontier update).
+  virtual void observe(sim::Context& ctx, ProcessId sender,
+                       const core::EchoProtocolMsg& msg);
+
+  [[nodiscard]] const core::ConsensusParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  void advance_to(sim::Context& ctx, Phase target);
+
+  core::ConsensusParams params_;
+  Phase frontier_ = 0;
+  bool started_ = false;
+};
+
+/// Never sends anything.
+class SilentByzantine final : public sim::Process {
+ public:
+  void on_start(sim::Context&) override {}
+  void on_message(sim::Context&, const sim::Envelope&) override {}
+};
+
+/// Sends contradictory initials and echoes: value 0 to ids < n/2, value 1
+/// to the rest.
+class EquivocatorByzantine final : public ByzantineBase {
+ public:
+  explicit EquivocatorByzantine(core::ConsensusParams params) noexcept
+      : ByzantineBase(params) {}
+
+ protected:
+  void attack_phase(sim::Context& ctx, Phase t) override;
+  void observe(sim::Context& ctx, ProcessId sender,
+               const core::EchoProtocolMsg& msg) override;
+};
+
+/// Votes so as to balance the system: each phase it sends the value that
+/// was in the minority among the initial messages it observed in the
+/// previous phase. Echoes honestly so its votes keep being accepted.
+class BalancerByzantine final : public ByzantineBase {
+ public:
+  explicit BalancerByzantine(core::ConsensusParams params) noexcept
+      : ByzantineBase(params) {}
+
+ protected:
+  void attack_phase(sim::Context& ctx, Phase t) override;
+  void observe(sim::Context& ctx, ProcessId sender,
+               const core::EchoProtocolMsg& msg) override;
+
+ private:
+  ValueCounts observed_;       ///< initial values seen in the current frontier phase
+  Phase observed_phase_ = 0;
+};
+
+/// Sprays random initials, random echoes attributed to random origins,
+/// duplicates, and malformed byte strings.
+class BabblerByzantine final : public ByzantineBase {
+ public:
+  explicit BabblerByzantine(core::ConsensusParams params) noexcept
+      : ByzantineBase(params) {}
+
+ protected:
+  void attack_phase(sim::Context& ctx, Phase t) override;
+};
+
+/// Equivocation against the echo-less majority variant: majority-message
+/// value 0 to ids < split, value 1 to the rest, every phase it observes.
+class SplitVoiceByzantine final : public sim::Process {
+ public:
+  SplitVoiceByzantine(core::ConsensusParams params, ProcessId split) noexcept
+      : params_(params), split_(split) {}
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override;
+  [[nodiscard]] Phase phase() const noexcept override { return frontier_; }
+
+ private:
+  void vote(sim::Context& ctx, Phase t);
+
+  core::ConsensusParams params_;
+  ProcessId split_;
+  Phase frontier_ = 0;
+};
+
+}  // namespace rcp::adversary

@@ -1,0 +1,66 @@
+#include "adversary/crash_plan.hpp"
+
+#include "common/error.hpp"
+
+namespace rcp::adversary {
+
+void CrashPlan::add_step_crash(ProcessId victim, std::uint64_t step) {
+  events_.push_back(
+      CrashEvent{.victim = victim, .by_phase = false, .at_step = step});
+}
+
+void CrashPlan::add_phase_crash(ProcessId victim, Phase phase) {
+  events_.push_back(
+      CrashEvent{.victim = victim, .by_phase = true, .at_phase = phase});
+}
+
+void CrashPlan::apply(sim::Simulation& sim) const {
+  for (const CrashEvent& e : events_) {
+    if (e.by_phase) {
+      sim.schedule_crash_at_phase(e.victim, e.at_phase);
+    } else {
+      sim.schedule_crash_at_step(e.victim, e.at_step);
+    }
+  }
+}
+
+CrashPlan CrashPlan::random(std::uint32_t n, std::uint32_t count,
+                            std::uint64_t max_step, Rng& rng) {
+  RCP_EXPECT(count <= n, "cannot crash more processes than exist");
+  CrashPlan plan;
+  for (const std::uint32_t victim : rng.sample_without_replacement(n, count)) {
+    plan.add_step_crash(victim, rng.below(max_step + 1));
+  }
+  return plan;
+}
+
+CrashPlan CrashPlan::random_phase_boundaries(std::uint32_t n,
+                                             std::uint32_t count,
+                                             Phase max_phase, Rng& rng) {
+  RCP_EXPECT(count <= n, "cannot crash more processes than exist");
+  CrashPlan plan;
+  for (const std::uint32_t victim : rng.sample_without_replacement(n, count)) {
+    plan.add_phase_crash(victim, rng.below(max_phase + 1));
+  }
+  return plan;
+}
+
+CrashPlan CrashPlan::initially_dead(std::uint32_t n, std::uint32_t count,
+                                    Rng& rng) {
+  RCP_EXPECT(count <= n, "cannot crash more processes than exist");
+  CrashPlan plan;
+  for (const std::uint32_t victim : rng.sample_without_replacement(n, count)) {
+    plan.add_step_crash(victim, 0);
+  }
+  return plan;
+}
+
+CrashPlan CrashPlan::staggered(std::uint32_t count) {
+  CrashPlan plan;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    plan.add_phase_crash(i, i + 1);
+  }
+  return plan;
+}
+
+}  // namespace rcp::adversary

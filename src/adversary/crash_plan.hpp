@@ -1,0 +1,73 @@
+// Crash plans for fail-stop experiments: which processes die, and when.
+//
+// The fail-stop model lets processes die silently at any point. A CrashPlan
+// is a declarative schedule applied to a Simulation before it runs; the
+// generators cover the interesting families: random victims at random
+// times, everyone-at-a-phase-boundary (the moment Figure 1's proof treats
+// most carefully), and initially-dead processes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/simulation.hpp"
+
+namespace rcp::adversary {
+
+struct CrashEvent {
+  ProcessId victim = 0;
+  /// Interpreted per `by_phase`.
+  bool by_phase = false;
+  std::uint64_t at_step = 0;  ///< used when !by_phase
+  Phase at_phase = 0;         ///< used when by_phase
+};
+
+class CrashPlan {
+ public:
+  CrashPlan() = default;
+  explicit CrashPlan(std::vector<CrashEvent> events)
+      : events_(std::move(events)) {}
+
+  [[nodiscard]] const std::vector<CrashEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  void add_step_crash(ProcessId victim, std::uint64_t step);
+  void add_phase_crash(ProcessId victim, Phase phase);
+
+  /// Registers every event with the simulation.
+  void apply(sim::Simulation& sim) const;
+
+  // ---- Generators ----------------------------------------------------
+
+  /// `count` distinct victims chosen uniformly from [0, n), each crashing
+  /// at a uniform step in [0, max_step].
+  [[nodiscard]] static CrashPlan random(std::uint32_t n, std::uint32_t count,
+                                        std::uint64_t max_step, Rng& rng);
+
+  /// `count` distinct victims, each dying exactly when it reaches its
+  /// (randomly drawn) phase in [0, max_phase] — the adversarially
+  /// interesting points, since a process then dies right after sending its
+  /// phase broadcast to an arbitrary subset of steps of the system.
+  [[nodiscard]] static CrashPlan random_phase_boundaries(std::uint32_t n,
+                                                         std::uint32_t count,
+                                                         Phase max_phase,
+                                                         Rng& rng);
+
+  /// `count` distinct victims dead before taking a single step.
+  [[nodiscard]] static CrashPlan initially_dead(std::uint32_t n,
+                                                std::uint32_t count, Rng& rng);
+
+  /// Victims 0..count-1 crash at phases 1..count respectively — a
+  /// staggered "one death per phase" schedule that maximally stretches the
+  /// protocol's view churn.
+  [[nodiscard]] static CrashPlan staggered(std::uint32_t count);
+
+ private:
+  std::vector<CrashEvent> events_;
+};
+
+}  // namespace rcp::adversary

@@ -1,0 +1,105 @@
+#include "adversary/delivery.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rcp::adversary {
+
+PartitionDelivery::PartitionDelivery(std::vector<std::uint32_t> group_of,
+                                     std::uint64_t heal_at_step)
+    : group_of_(std::move(group_of)), heal_at_step_(heal_at_step) {
+  RCP_EXPECT(!group_of_.empty(), "partition needs a group map");
+}
+
+std::optional<std::size_t> PartitionDelivery::pick(
+    ProcessId receiver, const sim::Mailbox& mailbox, std::uint64_t now_step,
+    Rng& rng) {
+  if (mailbox.empty()) {
+    return std::nullopt;
+  }
+  if (now_step >= heal_at_step_) {
+    return static_cast<std::size_t>(rng.below(mailbox.size()));
+  }
+  RCP_EXPECT(receiver < group_of_.size(), "receiver outside group map");
+  const std::uint32_t group = group_of_[receiver];
+  std::vector<std::size_t> intra;
+  intra.reserve(mailbox.size());
+  for (std::size_t i = 0; i < mailbox.size(); ++i) {
+    const ProcessId s = mailbox.contents()[i].sender;
+    RCP_EXPECT(s < group_of_.size(), "sender outside group map");
+    if (group_of_[s] == group) {
+      intra.push_back(i);
+    }
+  }
+  if (intra.empty()) {
+    return std::nullopt;  // only withheld cross-group traffic is buffered
+  }
+  return intra[static_cast<std::size_t>(rng.below(intra.size()))];
+}
+
+std::unique_ptr<PartitionDelivery> PartitionDelivery::split_at(
+    std::uint32_t n, std::uint32_t boundary, std::uint64_t heal_at_step) {
+  RCP_EXPECT(boundary <= n, "split boundary outside [0, n]");
+  std::vector<std::uint32_t> groups(n, 1);
+  for (std::uint32_t p = 0; p < boundary; ++p) {
+    groups[p] = 0;
+  }
+  return std::make_unique<PartitionDelivery>(std::move(groups), heal_at_step);
+}
+
+StarveSendersDelivery::StarveSendersDelivery(std::uint32_t n,
+                                             std::vector<ProcessId> slow_senders,
+                                             double slow_probability)
+    : is_slow_(n, false), slow_probability_(slow_probability) {
+  RCP_EXPECT(slow_probability >= 0.0 && slow_probability < 1.0,
+             "slow probability must lie in [0, 1)");
+  for (const ProcessId p : slow_senders) {
+    RCP_EXPECT(p < n, "slow sender outside [0, n)");
+    is_slow_[p] = true;
+  }
+}
+
+std::optional<std::size_t> StarveSendersDelivery::pick(
+    ProcessId /*receiver*/, const sim::Mailbox& mailbox,
+    std::uint64_t /*now_step*/, Rng& rng) {
+  if (mailbox.empty()) {
+    return std::nullopt;
+  }
+  if (slow_probability_ > 0.0 && rng.bernoulli(slow_probability_)) {
+    return static_cast<std::size_t>(rng.below(mailbox.size()));
+  }
+  std::vector<std::size_t> fast;
+  fast.reserve(mailbox.size());
+  for (std::size_t i = 0; i < mailbox.size(); ++i) {
+    if (!is_slow_[mailbox.contents()[i].sender]) {
+      fast.push_back(i);
+    }
+  }
+  if (!fast.empty()) {
+    return fast[static_cast<std::size_t>(rng.below(fast.size()))];
+  }
+  // Only slow-sender messages remain; deliver one so the run stays live.
+  return static_cast<std::size_t>(rng.below(mailbox.size()));
+}
+
+std::optional<std::size_t> NewestHalfDelivery::pick(
+    ProcessId /*receiver*/, const sim::Mailbox& mailbox,
+    std::uint64_t /*now_step*/, Rng& rng) {
+  if (mailbox.empty()) {
+    return std::nullopt;
+  }
+  // Rank buffered messages by send sequence; draw uniformly from the newest
+  // half (rounded up), so early messages languish as long as possible.
+  std::vector<std::size_t> order(mailbox.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return mailbox.contents()[a].seq > mailbox.contents()[b].seq;
+  });
+  const std::size_t half = (order.size() + 1) / 2;
+  return order[static_cast<std::size_t>(rng.below(half))];
+}
+
+}  // namespace rcp::adversary

@@ -1,0 +1,79 @@
+// Adversarial delivery policies: legal schedules the paper's asynchrony
+// permits, chosen to hurt the protocols as much as possible.
+//
+// Asynchrony allows the message system to delay any message arbitrarily
+// long. These policies exploit that freedom: partitioning the system into
+// groups that only hear themselves (the schedule used by the Theorem 1 / 3
+// impossibility arguments), or starving a chosen set of senders.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/delivery.hpp"
+
+namespace rcp::adversary {
+
+/// Messages crossing group boundaries are withheld until `heal_at_step`
+/// (never, by default). Within a group, delivery is uniform. When only
+/// cross-group messages are buffered, receive() returns phi — the paper's
+/// "arbitrarily long transmission delay".
+class PartitionDelivery final : public sim::DeliveryPolicy {
+ public:
+  /// group_of[p] is process p's group id. heal_at_step == UINT64_MAX keeps
+  /// the partition forever.
+  PartitionDelivery(std::vector<std::uint32_t> group_of,
+                    std::uint64_t heal_at_step = UINT64_MAX);
+
+  [[nodiscard]] std::optional<std::size_t> pick(ProcessId receiver,
+                                                const sim::Mailbox& mailbox,
+                                                std::uint64_t now_step,
+                                                Rng& rng) override;
+
+  /// Splits [0, n) into two halves: ids < boundary are group 0.
+  [[nodiscard]] static std::unique_ptr<PartitionDelivery> split_at(
+      std::uint32_t n, std::uint32_t boundary,
+      std::uint64_t heal_at_step = UINT64_MAX);
+
+ private:
+  std::vector<std::uint32_t> group_of_;
+  std::uint64_t heal_at_step_;
+};
+
+/// Messages from `slow_senders` are deprioritised: with probability
+/// 1 - slow_probability a non-slow message is delivered if any is buffered.
+/// slow_probability = 0 (the default) starves them completely while other
+/// traffic exists; note that protocols which keep their own mailbox
+/// non-empty (the paper's self-requeue device) can then livelock whenever
+/// the quorum n-k forces them to hear a starved sender — set a positive
+/// slow_probability to make the policy epsilon-fair in the paper's sense.
+class StarveSendersDelivery final : public sim::DeliveryPolicy {
+ public:
+  StarveSendersDelivery(std::uint32_t n, std::vector<ProcessId> slow_senders,
+                        double slow_probability = 0.0);
+
+  [[nodiscard]] std::optional<std::size_t> pick(ProcessId receiver,
+                                                const sim::Mailbox& mailbox,
+                                                std::uint64_t now_step,
+                                                Rng& rng) override;
+
+ private:
+  std::vector<bool> is_slow_;
+  double slow_probability_;
+};
+
+/// Delivers the buffered message whose value field would most hurt
+/// convergence is out of scope for a delivery policy (payloads are opaque
+/// bytes); OldestLastDelivery instead maximises phase skew by always
+/// delivering the *newest* message from the *most advanced* sender mix:
+/// concretely, uniform over the newest half of the buffer.
+class NewestHalfDelivery final : public sim::DeliveryPolicy {
+ public:
+  [[nodiscard]] std::optional<std::size_t> pick(ProcessId receiver,
+                                                const sim::Mailbox& mailbox,
+                                                std::uint64_t now_step,
+                                                Rng& rng) override;
+};
+
+}  // namespace rcp::adversary

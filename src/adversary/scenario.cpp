@@ -1,0 +1,136 @@
+#include "adversary/scenario.hpp"
+
+#include <algorithm>
+
+#include "adversary/byzantine.hpp"
+#include "common/error.hpp"
+#include "core/failstop.hpp"
+#include "core/majority.hpp"
+#include "core/malicious.hpp"
+
+namespace rcp::adversary {
+
+const char* to_string(ProtocolKind kind) noexcept {
+  switch (kind) {
+    case ProtocolKind::fail_stop:
+      return "fail-stop (Fig 1)";
+    case ProtocolKind::malicious:
+      return "malicious (Fig 2)";
+    case ProtocolKind::majority:
+      return "majority variant (S4.1)";
+  }
+  return "?";
+}
+
+const char* to_string(ByzantineKind kind) noexcept {
+  switch (kind) {
+    case ByzantineKind::silent:
+      return "silent";
+    case ByzantineKind::equivocator:
+      return "equivocator";
+    case ByzantineKind::balancer:
+      return "balancer";
+    case ByzantineKind::babbler:
+      return "babbler";
+  }
+  return "?";
+}
+
+std::unique_ptr<sim::Process> make_byzantine(ByzantineKind kind,
+                                             core::ConsensusParams params) {
+  switch (kind) {
+    case ByzantineKind::silent:
+      return std::make_unique<SilentByzantine>();
+    case ByzantineKind::equivocator:
+      return std::make_unique<EquivocatorByzantine>(params);
+    case ByzantineKind::balancer:
+      return std::make_unique<BalancerByzantine>(params);
+    case ByzantineKind::babbler:
+      return std::make_unique<BabblerByzantine>(params);
+  }
+  RCP_INVARIANT(false, "unknown byzantine kind");
+}
+
+namespace {
+
+std::unique_ptr<sim::Process> make_protocol(const Scenario& s, Value input) {
+  switch (s.protocol) {
+    case ProtocolKind::fail_stop:
+      return s.unchecked
+                 ? core::FailStopConsensus::make_unchecked(s.params, input)
+                 : core::FailStopConsensus::make(s.params, input);
+    case ProtocolKind::malicious:
+      return s.unchecked
+                 ? core::MaliciousConsensus::make_unchecked(s.params, input)
+                 : core::MaliciousConsensus::make(s.params, input);
+    case ProtocolKind::majority:
+      return s.unchecked
+                 ? core::MajorityConsensus::make_unchecked(s.params, input)
+                 : core::MajorityConsensus::make(s.params, input);
+  }
+  RCP_INVARIANT(false, "unknown protocol kind");
+}
+
+}  // namespace
+
+std::unique_ptr<sim::Simulation> build(
+    const Scenario& scenario, std::unique_ptr<sim::DeliveryPolicy> delivery,
+    std::unique_ptr<sim::SchedulerPolicy> scheduler) {
+  const std::uint32_t n = scenario.params.n;
+  RCP_EXPECT(scenario.inputs.size() == n, "need one input per process");
+  for (const ProcessId b : scenario.byzantine_ids) {
+    RCP_EXPECT(b < n, "byzantine id outside [0, n)");
+  }
+
+  std::vector<bool> is_byz(n, false);
+  for (const ProcessId b : scenario.byzantine_ids) {
+    is_byz[b] = true;
+  }
+
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  procs.reserve(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    if (is_byz[p]) {
+      procs.push_back(make_byzantine(scenario.byzantine_kind, scenario.params));
+    } else {
+      procs.push_back(make_protocol(scenario, scenario.inputs[p]));
+    }
+  }
+
+  auto simulation = std::make_unique<sim::Simulation>(
+      sim::SimConfig{
+          .n = n, .seed = scenario.seed, .max_steps = scenario.max_steps},
+      std::move(procs), std::move(delivery), std::move(scheduler));
+  for (ProcessId p = 0; p < n; ++p) {
+    if (is_byz[p]) {
+      simulation->mark_faulty(p);
+    }
+  }
+  scenario.crashes.apply(*simulation);
+  return simulation;
+}
+
+std::vector<Value> inputs_with_ones(std::uint32_t n, std::uint32_t ones) {
+  RCP_EXPECT(ones <= n, "more ones than processes");
+  std::vector<Value> inputs(n, Value::zero);
+  std::fill_n(inputs.begin(), ones, Value::one);
+  return inputs;
+}
+
+std::vector<Value> alternating_inputs(std::uint32_t n) {
+  std::vector<Value> inputs(n, Value::zero);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    inputs[p] = p % 2 == 0 ? Value::zero : Value::one;
+  }
+  return inputs;
+}
+
+std::vector<Value> random_inputs(std::uint32_t n, Rng& rng) {
+  std::vector<Value> inputs(n, Value::zero);
+  for (auto& v : inputs) {
+    v = rng.bernoulli(0.5) ? Value::one : Value::zero;
+  }
+  return inputs;
+}
+
+}  // namespace rcp::adversary

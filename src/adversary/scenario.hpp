@@ -1,0 +1,76 @@
+// Scenario builder: assembles complete simulations (protocol + inputs +
+// faults + policies) so tests, benchmarks and examples share one vocabulary
+// for describing experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "adversary/crash_plan.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/params.hpp"
+#include "sim/simulation.hpp"
+
+namespace rcp::adversary {
+
+enum class ProtocolKind : std::uint8_t {
+  fail_stop,  ///< Figure 1
+  malicious,  ///< Figure 2
+  majority,   ///< Section 4.1 variant
+};
+
+[[nodiscard]] const char* to_string(ProtocolKind kind) noexcept;
+
+enum class ByzantineKind : std::uint8_t {
+  silent,
+  equivocator,
+  balancer,
+  babbler,
+};
+
+[[nodiscard]] const char* to_string(ByzantineKind kind) noexcept;
+
+/// Constructs one Byzantine process of the given strategy.
+[[nodiscard]] std::unique_ptr<sim::Process> make_byzantine(
+    ByzantineKind kind, core::ConsensusParams params);
+
+struct Scenario {
+  ProtocolKind protocol = ProtocolKind::malicious;
+  core::ConsensusParams params{};
+  /// Initial value per process id; entries for Byzantine slots are ignored.
+  /// Must have size params.n.
+  std::vector<Value> inputs;
+  /// Which slots run a Byzantine strategy instead of the protocol.
+  std::vector<ProcessId> byzantine_ids;
+  ByzantineKind byzantine_kind = ByzantineKind::silent;
+  /// Crash schedule (fail-stop faults); victims stay protocol processes.
+  CrashPlan crashes;
+  std::uint64_t seed = 1;
+  std::uint64_t max_steps = 2'000'000;
+  /// Skip the resilience-bound validation (lower-bound experiments only).
+  bool unchecked = false;
+};
+
+/// Builds the simulation: protocol processes in every slot except the
+/// Byzantine ones, Byzantine slots marked faulty, crash plan applied.
+/// Delivery/scheduler default to the paper's probabilistic system.
+[[nodiscard]] std::unique_ptr<sim::Simulation> build(
+    const Scenario& scenario,
+    std::unique_ptr<sim::DeliveryPolicy> delivery = nullptr,
+    std::unique_ptr<sim::SchedulerPolicy> scheduler = nullptr);
+
+// ---- Input patterns ----------------------------------------------------
+
+/// n inputs, the first `ones` of which are one (rest zero).
+[[nodiscard]] std::vector<Value> inputs_with_ones(std::uint32_t n,
+                                                  std::uint32_t ones);
+
+/// Alternating 0,1,0,1,...
+[[nodiscard]] std::vector<Value> alternating_inputs(std::uint32_t n);
+
+/// Uniform random inputs.
+[[nodiscard]] std::vector<Value> random_inputs(std::uint32_t n, Rng& rng);
+
+}  // namespace rcp::adversary

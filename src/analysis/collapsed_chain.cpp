@@ -1,0 +1,57 @@
+#include "analysis/collapsed_chain.hpp"
+
+#include <cmath>
+
+#include "analysis/markov.hpp"
+#include "analysis/special.hpp"
+#include "common/error.hpp"
+
+namespace rcp::analysis {
+
+namespace {
+/// Phi((sqrt(n) + 3 l)/sqrt(8)) — the B -> C transition bound of eq. 9.
+double phi_g(unsigned n, double l) {
+  return normal_upper_tail((std::sqrt(static_cast<double>(n)) + 3.0 * l) /
+                           std::sqrt(8.0));
+}
+}  // namespace
+
+Matrix CollapsedChain::r_matrix(unsigned n, double l) {
+  RCP_EXPECT(l > 0.0, "l must be positive");
+  const double phi_l = normal_upper_tail(l);
+  const double g = phi_g(n, l);
+  RCP_EXPECT(1.0 - 2.0 * phi_l >= 0.0, "l too small: C row not stochastic");
+  RCP_EXPECT(0.5 - g >= 0.0, "n too small: BD row not stochastic");
+  Matrix r(3, 3, 0.0);
+  // State order: 0 = C, 1 = BD, 2 = AE (eq. 11).
+  r.at(0, 0) = 1.0 - 2.0 * phi_l;
+  r.at(0, 1) = 2.0 * phi_l;
+  r.at(0, 2) = 0.0;
+  r.at(1, 0) = g;
+  r.at(1, 1) = 0.5 - g;
+  r.at(1, 2) = 0.5;
+  r.at(2, 0) = 0.0;
+  r.at(2, 1) = 0.0;
+  r.at(2, 2) = 1.0;
+  return r;
+}
+
+double CollapsedChain::expected_absorption_closed_form(unsigned n, double l) {
+  const double phi_l = normal_upper_tail(l);
+  return (2.0 * phi_l + 0.5 + phi_g(n, l)) / phi_l;
+}
+
+double CollapsedChain::expected_absorption_via_fundamental(unsigned n,
+                                                           double l) {
+  const MarkovChain chain(r_matrix(n, l), {false, false, true});
+  const Matrix fundamental = chain.fundamental_matrix();
+  // Expected absorption from C = sum of C's row of N ([Isaa76]).
+  return fundamental.at(0, 0) + fundamental.at(0, 1);
+}
+
+double CollapsedChain::asymptotic_bound(double l) {
+  const double phi_l = normal_upper_tail(l);
+  return (2.0 * phi_l + 0.5) / phi_l;
+}
+
+}  // namespace rcp::analysis

@@ -1,0 +1,38 @@
+// The paper's collapsed 3-state chain R (Section 4.1, eq. 11) and its
+// expected absorption time (eq. 13).
+//
+// The full (n+1)-state chain is collapsed into C (within l*sqrt(n)/2 of the
+// balanced state), BD (the remaining transient band on either side) and AE
+// (the merged absorbing regions), with every identification chosen to
+// *increase* the expected absorption time — so eq. 13 is a rigorous upper
+// bound on the true chain's expected phases. With l^2 = 1.5 the paper
+// concludes the expected number of phases is less than 7.
+#pragma once
+
+#include "analysis/matrix.hpp"
+
+namespace rcp::analysis {
+
+struct CollapsedChain {
+  /// The paper's choice l^2 = 1.5 (below eq. 7).
+  static constexpr double kPaperL = 1.224744871391589;  // sqrt(1.5)
+
+  /// The 3x3 matrix R of eq. 11, states ordered C, BD, AE.
+  [[nodiscard]] static Matrix r_matrix(unsigned n, double l);
+
+  /// Expected absorption time from C by the closed form of eq. 13:
+  /// (2 Phi(l) + 1/2 + Phi((sqrt(n) + 3 l)/sqrt(8))) / Phi(l).
+  [[nodiscard]] static double expected_absorption_closed_form(unsigned n,
+                                                              double l);
+
+  /// The same quantity computed through the fundamental matrix
+  /// N = (I - Q)^{-1} (row sum of C's row) — cross-checks eq. 13.
+  [[nodiscard]] static double expected_absorption_via_fundamental(unsigned n,
+                                                                  double l);
+
+  /// The paper's headline number: the bound for l^2 = 1.5 in the large-n
+  /// limit, (2 Phi(l) + 1/2) / Phi(l)  (< 7).
+  [[nodiscard]] static double asymptotic_bound(double l);
+};
+
+}  // namespace rcp::analysis

@@ -1,0 +1,82 @@
+#include "analysis/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/special.hpp"
+
+namespace rcp::analysis {
+
+double binomial_pmf(unsigned n, double p, unsigned j) noexcept {
+  if (j > n) {
+    return 0.0;
+  }
+  if (p <= 0.0) {
+    return j == 0 ? 1.0 : 0.0;
+  }
+  if (p >= 1.0) {
+    return j == n ? 1.0 : 0.0;
+  }
+  const double log_pmf = log_binomial(n, j) +
+                         static_cast<double>(j) * std::log(p) +
+                         static_cast<double>(n - j) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double binomial_tail_geq(unsigned n, double p, unsigned j) noexcept {
+  double sum = 0.0;
+  for (unsigned i = j; i <= n; ++i) {
+    sum += binomial_pmf(n, p, i);
+  }
+  return std::min(sum, 1.0);
+}
+
+double hypergeometric_pmf(unsigned population, unsigned special,
+                          unsigned sample, unsigned x) noexcept {
+  if (special > population || sample > population) {
+    return 0.0;
+  }
+  // Support: max(0, sample - (population - special)) <= x <= min(special, sample).
+  const unsigned lo =
+      sample > population - special ? sample - (population - special) : 0;
+  const unsigned hi = std::min(special, sample);
+  if (x < lo || x > hi) {
+    return 0.0;
+  }
+  const double log_pmf = log_binomial(special, x) +
+                         log_binomial(population - special, sample - x) -
+                         log_binomial(population, sample);
+  return std::exp(log_pmf);
+}
+
+double hypergeometric_tail_greater(unsigned population, unsigned special,
+                                   unsigned sample, unsigned x) noexcept {
+  const unsigned hi = std::min(special, sample);
+  double sum = 0.0;
+  for (unsigned i = x + 1; i <= hi; ++i) {
+    sum += hypergeometric_pmf(population, special, sample, i);
+  }
+  return std::min(sum, 1.0);
+}
+
+double hypergeometric_mean(unsigned population, unsigned special,
+                           unsigned sample) noexcept {
+  if (population == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sample) * static_cast<double>(special) /
+         static_cast<double>(population);
+}
+
+double hypergeometric_variance(unsigned population, unsigned special,
+                               unsigned sample) noexcept {
+  if (population <= 1) {
+    return 0.0;
+  }
+  const double N = population;
+  const double b = special;
+  const double r = sample;
+  return r * b * (N - b) * (N - r) / (N * N * (N - 1.0));
+}
+
+}  // namespace rcp::analysis

@@ -1,0 +1,42 @@
+// Exact discrete distributions for the Markov-chain analysis: binomial and
+// hypergeometric pmfs/tails computed in log space.
+//
+// Section 4.1 models one phase as every process drawing a uniform sample of
+// n-k of the n per-phase messages (hypergeometric composition of views) and
+// the population of next-phase values as n independent coin flips with the
+// per-process flip probability w_i (binomial).
+#pragma once
+
+#include <cstdint>
+
+namespace rcp::analysis {
+
+/// P[Binomial(n, p) = j]; exact in log space, 0 outside [0, n].
+[[nodiscard]] double binomial_pmf(unsigned n, double p, unsigned j) noexcept;
+
+/// P[Binomial(n, p) >= j].
+[[nodiscard]] double binomial_tail_geq(unsigned n, double p,
+                                       unsigned j) noexcept;
+
+/// P[X = x] for X ~ Hypergeometric(population, special, sample): x special
+/// items in a uniform sample of `sample` items from `population` items of
+/// which `special` are special.
+[[nodiscard]] double hypergeometric_pmf(unsigned population, unsigned special,
+                                        unsigned sample, unsigned x) noexcept;
+
+/// P[X > x] for the same X (strict inequality, as in the paper's w_i).
+[[nodiscard]] double hypergeometric_tail_greater(unsigned population,
+                                                 unsigned special,
+                                                 unsigned sample,
+                                                 unsigned x) noexcept;
+
+/// Mean of the hypergeometric: sample * special / population (paper eq. 4).
+[[nodiscard]] double hypergeometric_mean(unsigned population, unsigned special,
+                                         unsigned sample) noexcept;
+
+/// Variance of the hypergeometric (paper eq. 5).
+[[nodiscard]] double hypergeometric_variance(unsigned population,
+                                             unsigned special,
+                                             unsigned sample) noexcept;
+
+}  // namespace rcp::analysis

@@ -1,0 +1,57 @@
+#include "analysis/failstop_chain.hpp"
+
+#include "analysis/distributions.hpp"
+#include "common/error.hpp"
+
+namespace rcp::analysis {
+
+FailStopChain::FailStopChain(unsigned n) : n_(n) {
+  RCP_EXPECT(n >= 6 && n % 6 == 0,
+             "FailStopChain needs n divisible by 6 (n/3, 2n/3, n/2 integral)");
+  const unsigned sample = 2 * n / 3;  // n - k with k = n/3
+  w_.resize(n + 1);
+  for (unsigned i = 0; i <= n; ++i) {
+    w_[i] = hypergeometric_tail_greater(n, i, sample, n / 3);
+  }
+
+  Matrix p(n + 1, n + 1, 0.0);
+  std::vector<bool> absorbing(n + 1, false);
+  for (unsigned i = 0; i <= n; ++i) {
+    for (unsigned j = 0; j <= n; ++j) {
+      p.at(i, j) = binomial_pmf(n, w_[i], j);
+    }
+    absorbing[i] = is_absorbing_state(i);
+  }
+  chain_ = std::make_unique<MarkovChain>(std::move(p), std::move(absorbing));
+  hitting_times_ = chain_->expected_hitting_times();
+  std::vector<bool> high(n + 1, false);
+  for (unsigned i = 2 * n / 3 + 1; i <= n; ++i) {
+    high[i] = true;
+  }
+  decide_one_probs_ = chain_->absorption_probabilities(high);
+}
+
+double FailStopChain::w(unsigned i) const {
+  RCP_EXPECT(i <= n_, "state out of range");
+  return w_[i];
+}
+
+bool FailStopChain::is_absorbing_state(unsigned i) const noexcept {
+  return i < n_ / 3 || i > 2 * n_ / 3;
+}
+
+double FailStopChain::expected_phases_from(unsigned ones) const {
+  RCP_EXPECT(ones <= n_, "state out of range");
+  return hitting_times_[ones];
+}
+
+double FailStopChain::expected_phases_from_balanced() const {
+  return hitting_times_[n_ / 2];
+}
+
+double FailStopChain::probability_decide_one_from(unsigned ones) const {
+  RCP_EXPECT(ones <= n_, "state out of range");
+  return decide_one_probs_[ones];
+}
+
+}  // namespace rcp::analysis

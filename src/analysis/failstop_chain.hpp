@@ -1,0 +1,58 @@
+// The Section 4.1 Markov chain: the majority-variant protocol with
+// k = n/3 fail-stop processes (none of which actually fail — the paper's
+// worst case for convergence).
+//
+// State i = number of processes holding value 1. One phase: every process
+// receives a uniform sample of n-k = 2n/3 of the n per-phase messages and
+// adopts the sample majority, so its probability of ending with value 1 is
+//
+//     w_i = P[ X > n/3 ],   X ~ Hypergeometric(n, i, 2n/3)      (paper eq. 1)
+//
+// and the next state is Binomial(n, w_i). Absorbing regions (decision
+// inevitable): [0, n/3 - 1] and [2n/3 + 1, n].
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/markov.hpp"
+
+namespace rcp::analysis {
+
+class FailStopChain {
+ public:
+  /// Requires n divisible by 6 (so n/3, 2n/3 and the balanced state n/2
+  /// are all integral) and n >= 6.
+  explicit FailStopChain(unsigned n);
+
+  [[nodiscard]] unsigned n() const noexcept { return n_; }
+
+  /// The per-process flip probability w_i (paper eq. 1).
+  [[nodiscard]] double w(unsigned i) const;
+
+  [[nodiscard]] bool is_absorbing_state(unsigned i) const noexcept;
+
+  [[nodiscard]] const MarkovChain& chain() const noexcept { return *chain_; }
+
+  /// Exact expected number of phases to absorption from state `ones`.
+  [[nodiscard]] double expected_phases_from(unsigned ones) const;
+
+  /// From the balanced state n/2 — the quantity the paper bounds by 7.
+  [[nodiscard]] double expected_phases_from_balanced() const;
+
+  /// Probability that the run is absorbed in the high region [2n/3+1, n]
+  /// (i.e. decides 1) starting from `ones` value-1 processes — the paper's
+  /// "the consensus value is still likely to be equal to the majority of
+  /// the initial input values".
+  [[nodiscard]] double probability_decide_one_from(unsigned ones) const;
+
+ private:
+  unsigned n_;
+  std::vector<double> w_;
+  std::unique_ptr<MarkovChain> chain_;
+  std::vector<double> hitting_times_;
+  std::vector<double> decide_one_probs_;
+};
+
+}  // namespace rcp::analysis

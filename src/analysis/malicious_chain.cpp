@@ -1,0 +1,72 @@
+#include "analysis/malicious_chain.hpp"
+
+#include <cmath>
+
+#include "analysis/distributions.hpp"
+#include "analysis/special.hpp"
+#include "common/error.hpp"
+
+namespace rcp::analysis {
+
+MaliciousChain::MaliciousChain(unsigned n, unsigned k) : n_(n), k_(k) {
+  RCP_EXPECT(n >= 4, "chain needs n >= 4");
+  RCP_EXPECT((n - k) % 2 == 0, "n - k must be even (integral balanced state)");
+  RCP_EXPECT(3 * k < n, "k must respect the malicious resilience bound");
+  RCP_EXPECT(n >= 3 * k + 2, "absorbing regions must be non-empty");
+
+  const unsigned m = n - k;
+  w_.resize(m + 1);
+  Matrix p(m + 1, m + 1, 0.0);
+  std::vector<bool> absorbing(m + 1, false);
+  for (unsigned s = 0; s <= m; ++s) {
+    w_[s] = hypergeometric_tail_greater(n, visible_ones(s), m, m / 2);
+    for (unsigned j = 0; j <= m; ++j) {
+      p.at(s, j) = binomial_pmf(m, w_[s], j);
+    }
+    absorbing[s] = is_absorbing_state(s);
+  }
+  chain_ = std::make_unique<MarkovChain>(std::move(p), std::move(absorbing));
+  hitting_times_ = chain_->expected_hitting_times();
+}
+
+unsigned MaliciousChain::visible_ones(unsigned s) const {
+  RCP_EXPECT(s <= n_ - k_, "state out of range");
+  const unsigned m = n_ - k_;
+  if (2 * s < m) {
+    return s + k_;  // all malicious vote 1, pushing back toward balance
+  }
+  if (2 * s > m) {
+    return s;  // all malicious vote 0
+  }
+  return s + k_ / 2;  // balanced: split the malicious votes
+}
+
+double MaliciousChain::w(unsigned s) const {
+  RCP_EXPECT(s <= n_ - k_, "state out of range");
+  return w_[s];
+}
+
+bool MaliciousChain::is_absorbing_state(unsigned s) const noexcept {
+  // Paper: absorbing states are [0, (n-3k)/2 - 1] and [(n+k)/2 + 1, n-k].
+  // Using exact integer comparisons: s < (n-3k)/2  <=>  2s < n - 3k.
+  return 2 * s < n_ - 3 * k_ || 2 * s > n_ + k_;
+}
+
+double MaliciousChain::expected_phases_from(unsigned s) const {
+  RCP_EXPECT(s <= n_ - k_, "state out of range");
+  return hitting_times_[s];
+}
+
+double MaliciousChain::expected_phases_from_balanced() const {
+  return hitting_times_[(n_ - k_) / 2];
+}
+
+double MaliciousChain::paper_bound(double l) {
+  return 1.0 / (2.0 * normal_upper_tail(l));
+}
+
+double MaliciousChain::effective_l() const {
+  return 2.0 * static_cast<double>(k_) / std::sqrt(static_cast<double>(n_));
+}
+
+}  // namespace rcp::analysis

@@ -1,0 +1,73 @@
+// The Section 4.2 Markov chain: the malicious-case protocol under the
+// balancing attack, restricted (as in the paper) to k <= n/5 with
+// k = l * sqrt(n) / 2.
+//
+// State s = number of *correct* processes with value 1 (0 <= s <= n-k).
+// Each phase, every process's state is accepted by everyone (the k
+// malicious processes participate fully — their worst move is to vote, not
+// to stay silent), and the malicious votes are chosen to balance: all k
+// vote 1 when s is below the balanced point (n-k)/2, all k vote 0 when s is
+// above, and they split evenly at balance. A correct process accepts a
+// uniform sample of n-k of the n per-phase states and adopts the sample
+// majority, so
+//
+//     w(s) = P[ X > (n-k)/2 ],  X ~ Hypergeometric(n, ones(s), n-k),
+//     next state ~ Binomial(n-k, w(s)).
+//
+// This makes the paper's shift construction (its eq. 1 of Section 4.2)
+// mechanistic: within k of the balanced state the malicious votes pin the
+// visible population at n/2 (the chain behaves like the balanced fail-stop
+// row), and beyond k they saturate, shifting the effective state by k.
+//
+// Absorbing regions (paper): [0, (n-3k)/2 - 1] and [(n+k)/2 + 1, n-k].
+// The paper's headline: the probability of leaving the balanced state for
+// an absorbing state is ~ 2 Phi(l), so the expected number of phases is
+// bounded by 1 / (2 Phi(l)) — constant for k = o(sqrt(n)).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/markov.hpp"
+
+namespace rcp::analysis {
+
+class MaliciousChain {
+ public:
+  /// Requires n - k even (integral balanced state), k < n/3, n - 3k >= 2.
+  MaliciousChain(unsigned n, unsigned k);
+
+  [[nodiscard]] unsigned n() const noexcept { return n_; }
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] unsigned correct() const noexcept { return n_ - k_; }
+
+  /// Number of value-1 messages visible per phase in state s (correct ones
+  /// plus the malicious balancing votes).
+  [[nodiscard]] unsigned visible_ones(unsigned s) const;
+
+  /// Per-correct-process flip probability in state s.
+  [[nodiscard]] double w(unsigned s) const;
+
+  [[nodiscard]] bool is_absorbing_state(unsigned s) const noexcept;
+
+  [[nodiscard]] const MarkovChain& chain() const noexcept { return *chain_; }
+
+  [[nodiscard]] double expected_phases_from(unsigned s) const;
+  [[nodiscard]] double expected_phases_from_balanced() const;
+
+  /// The paper's bound 1 / (2 Phi(l)) for k = l sqrt(n) / 2.
+  [[nodiscard]] static double paper_bound(double l);
+
+  /// The l for which k = l sqrt(n) / 2.
+  [[nodiscard]] double effective_l() const;
+
+ private:
+  unsigned n_;
+  unsigned k_;
+  std::vector<double> w_;
+  std::unique_ptr<MarkovChain> chain_;
+  std::vector<double> hitting_times_;
+};
+
+}  // namespace rcp::analysis

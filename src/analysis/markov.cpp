@@ -1,0 +1,146 @@
+#include "analysis/markov.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rcp::analysis {
+
+MarkovChain::MarkovChain(Matrix transition, std::vector<bool> absorbing)
+    : transition_(std::move(transition)), absorbing_(std::move(absorbing)) {
+  const std::size_t n = transition_.rows();
+  RCP_EXPECT(transition_.cols() == n, "transition matrix must be square");
+  RCP_EXPECT(absorbing_.size() == n, "absorbing mask size mismatch");
+  for (std::size_t r = 0; r < n; ++r) {
+    const double sum = transition_.row_sum(r);
+    RCP_EXPECT(std::fabs(sum - 1.0) < 1e-9,
+               "transition matrix row does not sum to 1");
+  }
+  bool any_absorbing = false;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (absorbing_[s]) {
+      any_absorbing = true;
+    } else {
+      transient_states_.push_back(s);
+    }
+  }
+  RCP_EXPECT(any_absorbing, "chain needs at least one absorbing state");
+}
+
+bool MarkovChain::is_absorbing(std::size_t state) const {
+  RCP_EXPECT(state < absorbing_.size(), "state out of range");
+  return absorbing_[state];
+}
+
+Matrix MarkovChain::q_matrix() const {
+  const std::size_t t = transient_states_.size();
+  RCP_EXPECT(t > 0, "no transient states");
+  Matrix q(t, t, 0.0);
+  for (std::size_t i = 0; i < t; ++i) {
+    for (std::size_t j = 0; j < t; ++j) {
+      q.at(i, j) = transition_.at(transient_states_[i], transient_states_[j]);
+    }
+  }
+  return q;
+}
+
+std::vector<double> MarkovChain::expected_hitting_times() const {
+  std::vector<double> times(transition_.rows(), 0.0);
+  if (transient_states_.empty()) {
+    return times;
+  }
+  // (I - Q) E = 1  over transient states.
+  const Matrix q = q_matrix();
+  const std::size_t t = q.rows();
+  Matrix a(t, t, 0.0);
+  for (std::size_t i = 0; i < t; ++i) {
+    for (std::size_t j = 0; j < t; ++j) {
+      a.at(i, j) = (i == j ? 1.0 : 0.0) - q.at(i, j);
+    }
+  }
+  const std::vector<double> e = solve(std::move(a), std::vector<double>(t, 1.0));
+  for (std::size_t i = 0; i < t; ++i) {
+    RCP_INVARIANT(e[i] >= 0.0 && std::isfinite(e[i]),
+                  "non-finite expected hitting time");
+    times[transient_states_[i]] = e[i];
+  }
+  return times;
+}
+
+std::vector<double> MarkovChain::absorption_probabilities(
+    const std::vector<bool>& target) const {
+  const std::size_t n = transition_.rows();
+  RCP_EXPECT(target.size() == n, "target mask size mismatch");
+  for (std::size_t s = 0; s < n; ++s) {
+    RCP_EXPECT(!target[s] || absorbing_[s],
+               "target must be a subset of the absorbing set");
+  }
+  std::vector<double> probs(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (target[s]) {
+      probs[s] = 1.0;
+    }
+  }
+  if (transient_states_.empty()) {
+    return probs;
+  }
+  // (I - Q) h = r, where r_i is the one-step probability of jumping from
+  // transient state i directly into the target set.
+  const Matrix q = q_matrix();
+  const std::size_t t = q.rows();
+  Matrix a(t, t, 0.0);
+  std::vector<double> r(t, 0.0);
+  for (std::size_t i = 0; i < t; ++i) {
+    for (std::size_t j = 0; j < t; ++j) {
+      a.at(i, j) = (i == j ? 1.0 : 0.0) - q.at(i, j);
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      if (target[s]) {
+        r[i] += transition_.at(transient_states_[i], s);
+      }
+    }
+  }
+  const std::vector<double> h = solve(std::move(a), std::move(r));
+  for (std::size_t i = 0; i < t; ++i) {
+    RCP_INVARIANT(h[i] > -1e-9 && h[i] < 1.0 + 1e-9,
+                  "absorption probability outside [0, 1]");
+    probs[transient_states_[i]] = std::min(1.0, std::max(0.0, h[i]));
+  }
+  return probs;
+}
+
+Matrix MarkovChain::fundamental_matrix() const {
+  const Matrix q = q_matrix();
+  const std::size_t t = q.rows();
+  Matrix a(t, t, 0.0);
+  for (std::size_t i = 0; i < t; ++i) {
+    for (std::size_t j = 0; j < t; ++j) {
+      a.at(i, j) = (i == j ? 1.0 : 0.0) - q.at(i, j);
+    }
+  }
+  return inverse(a);
+}
+
+std::uint64_t MarkovChain::simulate_hitting_time(std::size_t start, Rng& rng,
+                                                 std::uint64_t step_cap) const {
+  RCP_EXPECT(start < transition_.rows(), "state out of range");
+  std::size_t state = start;
+  std::uint64_t steps = 0;
+  while (!absorbing_[state] && steps < step_cap) {
+    const double u = rng.uniform01();
+    double acc = 0.0;
+    std::size_t next = transition_.cols() - 1;
+    for (std::size_t j = 0; j < transition_.cols(); ++j) {
+      acc += transition_.at(state, j);
+      if (u < acc) {
+        next = j;
+        break;
+      }
+    }
+    state = next;
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace rcp::analysis

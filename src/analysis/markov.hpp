@@ -1,0 +1,76 @@
+// Absorbing Markov chains: exact hitting times via the fundamental-matrix
+// linear system, plus Monte-Carlo simulation for cross-validation.
+//
+// The paper computes expected absorption times as row sums of
+// N = (I - Q)^{-1} ([Isaa76]); expected_hitting_times() solves the
+// equivalent linear system (I - Q) E = 1 directly, which is both faster
+// and better conditioned than forming the inverse.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace rcp::analysis {
+
+class MarkovChain {
+ public:
+  /// `transition` must be square and row-stochastic; `absorbing[s]` marks
+  /// the target set whose hitting time we study (states need not be
+  /// literally absorbing under `transition`; the paper treats "decision
+  /// inevitable" regions as absorbed).
+  MarkovChain(Matrix transition, std::vector<bool> absorbing);
+
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return transition_.rows();
+  }
+  [[nodiscard]] const Matrix& transition() const noexcept {
+    return transition_;
+  }
+  [[nodiscard]] bool is_absorbing(std::size_t state) const;
+  [[nodiscard]] std::size_t transient_count() const noexcept {
+    return transient_states_.size();
+  }
+
+  /// Expected number of steps to first reach the absorbing set, for every
+  /// state (0 for absorbing states). Throws if some transient state cannot
+  /// reach the absorbing set.
+  [[nodiscard]] std::vector<double> expected_hitting_times() const;
+
+  /// Probability of being absorbed inside `target` (a subset of the
+  /// absorbing set, as a mask over all states), for every starting state.
+  /// Absorbing states report 1 if they are in `target`, else 0. Used for
+  /// the paper's remark that the consensus value is "likely to be equal to
+  /// the majority of the initial input values".
+  [[nodiscard]] std::vector<double> absorption_probabilities(
+      const std::vector<bool>& target) const;
+
+  /// The fundamental matrix N = (I - Q)^{-1} over the transient states
+  /// (paper Section 4.1). Entry (i, j) is the expected number of visits to
+  /// transient state j starting from transient state i.
+  [[nodiscard]] Matrix fundamental_matrix() const;
+
+  /// Transient-state indices in increasing state order (row/col order of
+  /// fundamental_matrix()).
+  [[nodiscard]] const std::vector<std::size_t>& transient_states()
+      const noexcept {
+    return transient_states_;
+  }
+
+  /// One random walk from `start` until absorption; returns the number of
+  /// steps taken. `step_cap` guards against non-absorbing chains.
+  [[nodiscard]] std::uint64_t simulate_hitting_time(
+      std::size_t start, Rng& rng, std::uint64_t step_cap = 1'000'000) const;
+
+ private:
+  [[nodiscard]] Matrix q_matrix() const;
+
+  Matrix transition_;
+  std::vector<bool> absorbing_;
+  std::vector<std::size_t> transient_states_;
+};
+
+}  // namespace rcp::analysis

@@ -1,0 +1,145 @@
+#include "analysis/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rcp::analysis {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  RCP_EXPECT(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+Matrix Matrix::identity(std::size_t size) {
+  Matrix m(size, size, 0.0);
+  for (std::size_t i = 0; i < size; ++i) {
+    m.at(i, i) = 1.0;
+  }
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  RCP_EXPECT(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  RCP_EXPECT(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  RCP_EXPECT(cols_ == rhs.rows_, "matrix shape mismatch in multiply");
+  Matrix out(rows_, rhs.cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(i, k);
+      if (a == 0.0) {
+        continue;
+      }
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out.at(i, j) += a * rhs.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out.at(j, i) = at(i, j);
+    }
+  }
+  return out;
+}
+
+double Matrix::row_sum(std::size_t r) const {
+  RCP_EXPECT(r < rows_, "row index out of range");
+  double sum = 0.0;
+  for (std::size_t j = 0; j < cols_; ++j) {
+    sum += at(r, j);
+  }
+  return sum;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  RCP_EXPECT(rows_ == other.rows_ && cols_ == other.cols_,
+             "matrix shape mismatch in max_abs_diff");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+std::vector<double> solve(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  RCP_EXPECT(a.cols() == n, "solve needs a square matrix");
+  RCP_EXPECT(b.size() == n, "rhs size mismatch");
+
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    perm[i] = i;
+  }
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::fabs(a.at(perm[col], col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double candidate = std::fabs(a.at(perm[r], col));
+      if (candidate > best) {
+        best = candidate;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      throw Error("singular matrix in solve()");
+    }
+    std::swap(perm[col], perm[pivot]);
+
+    const double diag = a.at(perm[col], col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(perm[r], col) / diag;
+      if (factor == 0.0) {
+        continue;
+      }
+      a.at(perm[r], col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        a.at(perm[r], c) -= factor * a.at(perm[col], c);
+      }
+      b[perm[r]] -= factor * b[perm[col]];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[perm[i]];
+    for (std::size_t c = i + 1; c < n; ++c) {
+      acc -= a.at(perm[i], c) * x[c];
+    }
+    x[i] = acc / a.at(perm[i], i);
+  }
+  return x;
+}
+
+Matrix inverse(const Matrix& a) {
+  const std::size_t n = a.rows();
+  RCP_EXPECT(a.cols() == n, "inverse needs a square matrix");
+  Matrix out(n, n, 0.0);
+  for (std::size_t col = 0; col < n; ++col) {
+    std::vector<double> e(n, 0.0);
+    e[col] = 1.0;
+    const std::vector<double> x = solve(a, std::move(e));
+    for (std::size_t r = 0; r < n; ++r) {
+      out.at(r, col) = x[r];
+    }
+  }
+  return out;
+}
+
+}  // namespace rcp::analysis

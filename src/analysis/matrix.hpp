@@ -1,0 +1,45 @@
+// Dense row-major matrices and a pivoting linear solver, sized for the
+// Markov-chain computations (hundreds of states).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rcp::analysis {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] static Matrix identity(std::size_t size);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] Matrix multiply(const Matrix& rhs) const;
+  [[nodiscard]] Matrix transpose() const;
+
+  /// Sum of one row's entries.
+  [[nodiscard]] double row_sum(std::size_t r) const;
+
+  /// Max |a_ij - b_ij|; matrices must have equal shape.
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting. Throws
+/// Error if A is singular (pivot below 1e-12 after scaling).
+[[nodiscard]] std::vector<double> solve(Matrix a, std::vector<double> b);
+
+/// Inverse via repeated solves. Throws Error if singular.
+[[nodiscard]] Matrix inverse(const Matrix& a);
+
+}  // namespace rcp::analysis

@@ -1,0 +1,27 @@
+#include "analysis/special.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace rcp::analysis {
+
+double log_binomial(unsigned n, unsigned k) noexcept {
+  if (k > n) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  // lgamma is exact enough here: n stays in the thousands and the pmfs are
+  // normalised sums of a few hundred terms.
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double normal_upper_tail(double x) noexcept {
+  return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+double normal_cdf(double x) noexcept {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+}  // namespace rcp::analysis

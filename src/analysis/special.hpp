@@ -1,0 +1,16 @@
+// Special functions used by the Section 4 performance analysis.
+#pragma once
+
+namespace rcp::analysis {
+
+/// log of the binomial coefficient C(n, k); -inf for k outside [0, n].
+[[nodiscard]] double log_binomial(unsigned n, unsigned k) noexcept;
+
+/// The paper's Phi: the *upper* tail of the standard normal,
+/// Phi(x) = (1/sqrt(2 pi)) * integral_x^inf exp(-t^2/2) dt.
+[[nodiscard]] double normal_upper_tail(double x) noexcept;
+
+/// Standard normal CDF, P[Z <= x].
+[[nodiscard]] double normal_cdf(double x) noexcept;
+
+}  // namespace rcp::analysis

@@ -1,0 +1,61 @@
+#include "baselines/naive_quorum.hpp"
+
+#include "common/error.hpp"
+#include "core/messages.hpp"
+
+namespace rcp::baselines {
+
+using core::MajorityMsg;
+
+std::unique_ptr<NaiveQuorumVote> NaiveQuorumVote::make(
+    core::ConsensusParams params, Value initial_value) {
+  RCP_EXPECT(params.n >= 1 && params.k < params.n,
+             "need at least one participating process");
+  return std::unique_ptr<NaiveQuorumVote>(
+      new NaiveQuorumVote(params, initial_value));
+}
+
+NaiveQuorumVote::NaiveQuorumVote(core::ConsensusParams params,
+                                 Value initial_value) noexcept
+    : params_(params), value_(initial_value) {}
+
+void NaiveQuorumVote::on_start(sim::Context& ctx) {
+  begin_phase(ctx);
+}
+
+void NaiveQuorumVote::begin_phase(sim::Context& ctx) {
+  message_count_.reset();
+  ctx.broadcast(MajorityMsg{.phase = phaseno_, .value = value_}.encode());
+}
+
+void NaiveQuorumVote::on_message(sim::Context& ctx, const sim::Envelope& env) {
+  MajorityMsg msg;
+  try {
+    msg = MajorityMsg::decode(env.payload);
+  } catch (const DecodeError&) {
+    return;
+  }
+  if (msg.phase > phaseno_) {
+    ctx.send(ctx.self(), env.payload);  // requeue
+    return;
+  }
+  if (msg.phase < phaseno_) {
+    return;
+  }
+  message_count_[msg.value] += 1;
+  if (message_count_.total() < params_.wait_quorum()) {
+    return;
+  }
+  // Eager rule: a unanimous quorum decides immediately.
+  for (const Value i : kBothValues) {
+    if (message_count_[i] == params_.wait_quorum() && !decision_.has_value()) {
+      decision_ = i;
+      ctx.decide(i);
+    }
+  }
+  value_ = message_count_.majority();
+  phaseno_ += 1;
+  begin_phase(ctx);
+}
+
+}  // namespace rcp::baselines

@@ -1,0 +1,53 @@
+// A deliberately naive quorum-vote protocol — the ablation of Figure 1.
+//
+// Each phase: broadcast your value, wait for n-k messages, decide if the
+// quorum was unanimous, else adopt the majority and repeat. No witness
+// cardinalities, no witness-count decision rule.
+//
+// This is NOT a correct consensus protocol; it exists to demonstrate *why*
+// Figure 1 needs its witness machinery. Beyond the resilience bound
+// (k >= ceil(n/2)) a partition schedule makes two halves decide opposite
+// values (the Theorem 1 scenario); and even within the bound, eager
+// unanimous-quorum decisions can race ahead of processes whose views differ
+// (see the lower-bound experiment E7 and bench_e7_lowerbound).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/types.hpp"
+#include "core/params.hpp"
+#include "sim/process.hpp"
+
+namespace rcp::baselines {
+
+class NaiveQuorumVote final : public sim::Process {
+ public:
+  /// No resilience validation on purpose: the class exists to be run in
+  /// regimes where no correct protocol exists.
+  [[nodiscard]] static std::unique_ptr<NaiveQuorumVote> make(
+      core::ConsensusParams params, Value initial_value);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override;
+  [[nodiscard]] Phase phase() const noexcept override { return phaseno_; }
+
+  [[nodiscard]] Value value() const noexcept { return value_; }
+  [[nodiscard]] std::optional<Value> decision() const noexcept {
+    return decision_;
+  }
+
+ private:
+  NaiveQuorumVote(core::ConsensusParams params, Value initial_value) noexcept;
+
+  void begin_phase(sim::Context& ctx);
+
+  core::ConsensusParams params_;
+  Value value_;
+  Phase phaseno_ = 0;
+  ValueCounts message_count_;
+  std::optional<Value> decision_;
+};
+
+}  // namespace rcp::baselines

@@ -1,0 +1,101 @@
+// Byte-level encoding helpers for protocol wire formats.
+//
+// The simulated message system (sim/) carries opaque byte payloads, exactly
+// as a real network would; each protocol defines typed messages and encodes
+// them through these little-endian writers/readers. Decoders throw
+// DecodeError on malformed input so that fuzz/corruption tests can assert
+// graceful failure instead of undefined behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rcp {
+
+using Bytes = std::vector<std::byte>;
+
+/// Appends fixed-width little-endian integers to a byte buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::size_t reserve_hint = 16) { out_.reserve(reserve_hint); }
+
+  ByteWriter& u8(std::uint8_t v) {
+    out_.push_back(static_cast<std::byte>(v));
+    return *this;
+  }
+
+  ByteWriter& u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    }
+    return *this;
+  }
+
+  ByteWriter& u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    }
+    return *this;
+  }
+
+  [[nodiscard]] Bytes take() && { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Consumes fixed-width little-endian integers from a byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+  /// Throws DecodeError unless the entire payload was consumed.
+  void expect_done() const {
+    if (pos_ != data_.size()) {
+      throw DecodeError("trailing bytes after message payload");
+    }
+  }
+
+ private:
+  void need(std::size_t bytes) const {
+    if (data_.size() - pos_ < bytes) {
+      throw DecodeError("message payload truncated");
+    }
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rcp

@@ -1,0 +1,102 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rcp {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::add(std::uint64_t value, std::uint64_t weight) {
+  buckets_[value] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::count_of(std::uint64_t value) const noexcept {
+  const auto it = buckets_.find(value);
+  return it == buckets_.end() ? 0 : it->second;
+}
+
+double Histogram::mean() const noexcept {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const auto& [value, count] : buckets_) {
+    sum += static_cast<double>(value) * static_cast<double>(count);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  RCP_EXPECT(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");
+  RCP_EXPECT(total_ > 0, "quantile of an empty histogram");
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t running = 0;
+  for (const auto& [value, count] : buckets_) {
+    running += count;
+    if (running >= target) {
+      return value;
+    }
+  }
+  return buckets_.rbegin()->first;
+}
+
+std::uint64_t Histogram::max_value() const noexcept {
+  return buckets_.empty() ? 0 : buckets_.rbegin()->first;
+}
+
+double quantile(std::span<const double> samples, double q) {
+  RCP_EXPECT(!samples.empty(), "quantile of an empty sample set");
+  RCP_EXPECT(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace rcp

@@ -1,0 +1,63 @@
+// Streaming statistics and integer histograms used by the experiment
+// harnesses to summarise phases-to-decision, message counts, and Markov
+// chain Monte-Carlo runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace rcp {
+
+/// Welford's online mean/variance accumulator with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sparse histogram over non-negative integer outcomes (e.g. phase counts).
+class Histogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t count_of(std::uint64_t value) const noexcept;
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& buckets()
+      const noexcept {
+    return buckets_;
+  }
+
+  [[nodiscard]] double mean() const noexcept;
+  /// Smallest value v such that at least q of the mass is <= v. q in [0,1].
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+  [[nodiscard]] std::uint64_t max_value() const noexcept;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Quantile of a sample set; sorts a copy. q in [0,1].
+[[nodiscard]] double quantile(std::span<const double> samples, double q);
+
+}  // namespace rcp

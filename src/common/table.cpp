@@ -1,0 +1,103 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rcp {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  RCP_EXPECT(!headers_.empty(), "a table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& text) {
+  RCP_EXPECT(!rows_.empty(), "call row() before cell()");
+  RCP_EXPECT(rows_.back().size() < headers_.size(),
+             "row has more cells than headers");
+  rows_.back().push_back(text);
+  return *this;
+}
+
+Table& Table::cell(const char* text) {
+  return cell(std::string(text));
+}
+
+Table& Table::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+Table& Table::cell(std::uint64_t value) {
+  return cell(std::to_string(value));
+}
+
+Table& Table::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+Table& Table::cell(int value) {
+  return cell(std::to_string(value));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[c])) << text;
+      if (c + 1 < headers_.size()) {
+        os << "  ";
+      }
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) {
+        os << ',';
+      }
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+}  // namespace rcp

@@ -1,0 +1,42 @@
+// Plain-text table rendering for the benchmark harnesses, which print the
+// paper's analytic series as aligned rows (and optionally CSV).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rcp {
+
+/// Builds a column-aligned text table. Cells are strings; numeric helpers
+/// format with a fixed precision so rows line up.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(const std::string& text);
+  Table& cell(const char* text);
+  Table& cell(double value, int precision = 4);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule and two-space column gaps.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting needed for our content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the decimal point.
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+
+}  // namespace rcp

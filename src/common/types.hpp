@@ -1,0 +1,69 @@
+// Fundamental vocabulary types shared by every rcp library.
+//
+// The paper (Bracha & Toueg, PODC 1983) studies *binary* consensus among n
+// fully connected asynchronous processes, so the vocabulary is small: a
+// process identifier, a phase number, and a binary value.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+
+namespace rcp {
+
+/// Identifies one of the n processes; ids are dense in [0, n).
+using ProcessId = std::uint32_t;
+
+/// Protocol phase counter ("phaseno" in the paper's Figures 1 and 2).
+using Phase = std::uint64_t;
+
+/// A binary consensus value.
+enum class Value : std::uint8_t { zero = 0, one = 1 };
+
+/// Returns the opposite binary value.
+[[nodiscard]] constexpr Value other(Value v) noexcept {
+  return v == Value::zero ? Value::one : Value::zero;
+}
+
+/// Value as an array index / integer in {0, 1}.
+[[nodiscard]] constexpr std::size_t value_index(Value v) noexcept {
+  return static_cast<std::size_t>(v);
+}
+
+/// Integer {0,1} -> Value. Any nonzero input maps to one.
+[[nodiscard]] constexpr Value value_from_int(int i) noexcept {
+  return i == 0 ? Value::zero : Value::one;
+}
+
+/// Both binary values, for range-for loops over the value domain.
+inline constexpr std::array<Value, 2> kBothValues{Value::zero, Value::one};
+
+inline std::ostream& operator<<(std::ostream& os, Value v) {
+  return os << (v == Value::zero ? '0' : '1');
+}
+
+/// A pair of per-value counters, indexed by Value. Mirrors the paper's
+/// `message_count: array[0..1]` and `witness_count: array[0..1]` variables.
+struct ValueCounts {
+  std::array<std::uint32_t, 2> count{0, 0};
+
+  [[nodiscard]] std::uint32_t& operator[](Value v) noexcept {
+    return count[value_index(v)];
+  }
+  [[nodiscard]] std::uint32_t operator[](Value v) const noexcept {
+    return count[value_index(v)];
+  }
+  [[nodiscard]] std::uint32_t total() const noexcept {
+    return count[0] + count[1];
+  }
+  void reset() noexcept { count = {0, 0}; }
+
+  /// The value with the larger count; ties go to zero, matching the paper's
+  /// `if message_count(1) > message_count(0) then value := 1 else value := 0`.
+  [[nodiscard]] Value majority() const noexcept {
+    return count[1] > count[0] ? Value::one : Value::zero;
+  }
+};
+
+}  // namespace rcp

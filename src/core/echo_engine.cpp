@@ -1,0 +1,89 @@
+#include "core/echo_engine.hpp"
+
+#include <algorithm>
+
+namespace rcp::core {
+
+EchoEngine::Outcome EchoEngine::handle(ProcessId sender,
+                                       const EchoProtocolMsg& msg,
+                                       Phase current_phase) {
+  Outcome out;
+  if (!msg.is_echo) {
+    // Initial message: the model's authenticated identities let us reject
+    // forgeries outright. Without this check one malicious process could
+    // equivocate *on behalf of a correct one*, voiding the paper's
+    // consistency claim.
+    if (msg.from != sender) {
+      return out;
+    }
+    if (!seen_initial_.emplace(msg.from, msg.phase).second) {
+      return out;  // duplicate initial; only the first is echoed
+    }
+    out.echo_to_broadcast = EchoProtocolMsg{
+        .is_echo = true, .from = msg.from, .value = msg.value, .phase = msg.phase};
+    return out;
+  }
+
+  // Stale echoes are dropped without touching the dedup set: recording
+  // them would let a Byzantine process grow our memory without bound by
+  // replaying old-phase traffic.
+  if (msg.phase < current_phase) {
+    return out;
+  }
+  // At most one echo per (echoer, origin, phase) is processed, regardless
+  // of value — so a correct receiver never counts two echoes from the same
+  // echoer about the same origin and phase.
+  if (!seen_echo_.emplace(sender, msg.from, msg.phase).second) {
+    return out;
+  }
+  if (msg.phase > current_phase) {
+    deferred_.push_back(
+        DeferredEcho{.origin = msg.from, .value = msg.value, .phase = msg.phase});
+    return out;
+  }
+  out.accepted = tally(msg.from, msg.value);
+  return out;
+}
+
+std::optional<EchoEngine::Accept> EchoEngine::tally(ProcessId origin,
+                                                    Value value) {
+  const auto key = std::make_pair(origin, static_cast<std::uint8_t>(value));
+  const std::uint32_t count = ++counts_[key];
+  if (count == params_.echo_acceptance_threshold()) {
+    return Accept{.origin = origin, .value = value};
+  }
+  return std::nullopt;
+}
+
+std::vector<EchoEngine::Accept> EchoEngine::advance(Phase new_phase) {
+  counts_.clear();
+  // Reclaim dedup entries for phases that are now in the past: their
+  // echoes would be dropped as stale before the dedup check anyway.
+  std::erase_if(seen_echo_, [new_phase](const auto& key) {
+    return std::get<2>(key) < new_phase;
+  });
+  std::vector<Accept> accepts;
+  std::vector<DeferredEcho> keep;
+  keep.reserve(deferred_.size());
+  for (const DeferredEcho& d : deferred_) {
+    if (d.phase == new_phase) {
+      if (auto a = tally(d.origin, d.value)) {
+        accepts.push_back(*a);
+      }
+    } else if (d.phase > new_phase) {
+      keep.push_back(d);
+    }
+    // d.phase < new_phase: stale by now; dropped.
+  }
+  deferred_ = std::move(keep);
+  return accepts;
+}
+
+std::uint32_t EchoEngine::echo_count(ProcessId origin,
+                                     Value value) const noexcept {
+  const auto it =
+      counts_.find(std::make_pair(origin, static_cast<std::uint8_t>(value)));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace rcp::core

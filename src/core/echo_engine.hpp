@@ -1,0 +1,99 @@
+// The initial/echo acceptance machinery of Figure 2 — the ancestor of
+// Bracha's consistent broadcast.
+//
+// A process's phase-t state is *accepted* at a receiver only after more
+// than (n+k)/2 distinct processes echoed it. The paper proves that two
+// correct processes can then never accept different values from the same
+// origin in the same phase, because two such quorums would force a correct
+// process to echo both values, which correct processes never do.
+//
+// The engine encapsulates all bookkeeping a correct process performs:
+//  - authenticated-origin check on initial messages (the model makes sender
+//    identity verifiable; an initial message claiming a different origin is
+//    a forgery and is dropped),
+//  - at-most-one-echo deduplication per (echoer, origin, phase),
+//  - per-phase echo counting with single-shot acceptance at the threshold,
+//  - deferral of echoes for future phases (the pseudocode's self-requeue
+//    device, implemented as an internal buffer so the original echoer's
+//    identity survives the wait — a literal self-send would overwrite it).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/messages.hpp"
+#include "core/params.hpp"
+
+namespace rcp::core {
+
+class EchoEngine {
+ public:
+  explicit EchoEngine(ConsensusParams params) noexcept : params_(params) {}
+
+  /// An acceptance event: `origin`'s phase-state was accepted with `value`.
+  struct Accept {
+    ProcessId origin = 0;
+    Value value = Value::zero;
+  };
+
+  /// Result of feeding one wire message into the engine.
+  struct Outcome {
+    /// Set if the input was a fresh initial message: the echo every correct
+    /// process must broadcast in response.
+    std::optional<EchoProtocolMsg> echo_to_broadcast;
+    /// Set if this message made some (origin, value) cross the acceptance
+    /// threshold in the current phase.
+    std::optional<Accept> accepted;
+  };
+
+  /// Feeds a decoded message received from authenticated `sender` while the
+  /// caller is in `current_phase`.
+  [[nodiscard]] Outcome handle(ProcessId sender, const EchoProtocolMsg& msg,
+                               Phase current_phase);
+
+  /// Advances to a new phase: clears the per-phase echo tallies and replays
+  /// deferred echoes addressed to `new_phase`. Returns the acceptance
+  /// events the replay produced, in original arrival order.
+  [[nodiscard]] std::vector<Accept> advance(Phase new_phase);
+
+  /// Echo tally for (origin, value) in the current phase (test observer).
+  [[nodiscard]] std::uint32_t echo_count(ProcessId origin,
+                                         Value value) const noexcept;
+
+  /// Number of echoes parked for phases beyond the current one.
+  [[nodiscard]] std::size_t deferred_count() const noexcept {
+    return deferred_.size();
+  }
+
+  /// Size of the echo dedup set (memory-bound observability: advance()
+  /// reclaims entries for past phases).
+  [[nodiscard]] std::size_t echo_dedup_size() const noexcept {
+    return seen_echo_.size();
+  }
+
+ private:
+  struct DeferredEcho {
+    ProcessId origin = 0;
+    Value value = Value::zero;
+    Phase phase = 0;
+  };
+
+  /// Counts one current-phase echo; returns an Accept if the threshold was
+  /// crossed by exactly this echo.
+  [[nodiscard]] std::optional<Accept> tally(ProcessId origin, Value value);
+
+  ConsensusParams params_;
+  /// (origin, phase) pairs whose initial message was already echoed.
+  std::set<std::pair<ProcessId, Phase>> seen_initial_;
+  /// (echoer, origin, phase) triples already processed.
+  std::set<std::tuple<ProcessId, ProcessId, Phase>> seen_echo_;
+  /// Current-phase tallies: (origin, value) -> echo count.
+  std::map<std::pair<ProcessId, std::uint8_t>, std::uint32_t> counts_;
+  std::vector<DeferredEcho> deferred_;
+};
+
+}  // namespace rcp::core

@@ -1,0 +1,104 @@
+#include "core/failstop.hpp"
+
+#include "common/error.hpp"
+#include "core/messages.hpp"
+
+namespace rcp::core {
+
+std::unique_ptr<FailStopConsensus> FailStopConsensus::make(
+    ConsensusParams params, Value initial_value) {
+  params.validate(FaultModel::fail_stop);
+  return make_unchecked(params, initial_value);
+}
+
+std::unique_ptr<FailStopConsensus> FailStopConsensus::make_unchecked(
+    ConsensusParams params, Value initial_value) {
+  RCP_EXPECT(params.n >= 1 && params.k < params.n,
+             "need at least one correct process");
+  return std::unique_ptr<FailStopConsensus>(
+      new FailStopConsensus(params, initial_value));
+}
+
+FailStopConsensus::FailStopConsensus(ConsensusParams params,
+                                     Value initial_value) noexcept
+    : params_(params), value_(initial_value) {}
+
+void FailStopConsensus::on_start(sim::Context& ctx) {
+  begin_phase(ctx);
+}
+
+void FailStopConsensus::begin_phase(sim::Context& ctx) {
+  message_count_.reset();
+  witness_count_.reset();
+  ctx.broadcast(
+      FailStopMsg{.phase = phaseno_, .value = value_, .cardinality = cardinality_}
+          .encode());
+}
+
+void FailStopConsensus::on_message(sim::Context& ctx,
+                                   const sim::Envelope& env) {
+  if (halted_) {
+    return;  // the paper's processes exit the protocol after deciding
+  }
+  FailStopMsg msg;
+  try {
+    msg = FailStopMsg::decode(env.payload);
+  } catch (const DecodeError&) {
+    return;  // not a message of this protocol; drop
+  }
+  if (msg.phase > phaseno_) {
+    // Future-phase message: requeue via self-send, as in Figure 1.
+    ctx.send(ctx.self(), env.payload);
+    return;
+  }
+  if (msg.phase < phaseno_) {
+    return;  // stale; no case in the pseudocode matches, so it is dropped
+  }
+  message_count_[msg.value] += 1;
+  if (params_.is_witness_cardinality(msg.cardinality)) {
+    witness_count_[msg.value] += 1;
+  }
+  if (message_count_.total() == params_.wait_quorum()) {
+    end_phase(ctx);
+  }
+}
+
+void FailStopConsensus::end_phase(sim::Context& ctx) {
+  // The paper proves (consistency claim, Theorem 2) that no process can
+  // hold witnesses for both values in the same phase; check it.
+  RCP_INVARIANT(witness_count_[Value::zero] == 0 ||
+                    witness_count_[Value::one] == 0,
+                "witnesses for both values in one phase");
+
+  if (witness_count_[Value::zero] > 0) {
+    value_ = Value::zero;
+  } else if (witness_count_[Value::one] > 0) {
+    value_ = Value::one;
+  } else {
+    value_ = message_count_.majority();
+  }
+  cardinality_ = message_count_[value_];
+  phaseno_ += 1;
+
+  // Loop-condition check from the top of Figure 1's outer while.
+  for (const Value i : kBothValues) {
+    if (params_.witnesses_decide(witness_count_[i])) {
+      decision_ = i;
+      ctx.decide(i);
+      // Final sends: enough information for everyone else to decide too.
+      const std::uint32_t quorum = params_.wait_quorum();
+      ctx.broadcast(
+          FailStopMsg{.phase = phaseno_, .value = value_, .cardinality = quorum}
+              .encode());
+      ctx.broadcast(FailStopMsg{.phase = phaseno_ + 1,
+                                .value = value_,
+                                .cardinality = quorum}
+                        .encode());
+      halted_ = true;
+      return;
+    }
+  }
+  begin_phase(ctx);
+}
+
+}  // namespace rcp::core

@@ -1,0 +1,73 @@
+// Figure 1: the k-resilient consensus protocol for the fail-stop case,
+// k <= floor((n-1)/2) (Theorem 2).
+//
+// Each phase a process broadcasts (phaseno, value, cardinality) and waits
+// for n-k phase-t messages. A message whose cardinality exceeds n/2 is a
+// *witness* for its value. At the end of a phase the process adopts the
+// witnessed value if any (the paper proves at most one value can be
+// witnessed), otherwise the majority value, and sets its cardinality to the
+// size of that value's message set. It decides i upon seeing more than k
+// witnesses for i, then broadcasts two final batches — (t, i, n-k) and
+// (t+1, i, n-k) — and exits the protocol.
+//
+// Faithfulness notes:
+//  - Messages from future phases are re-sent to self (the pseudocode's
+//    `send(p, msg)` requeue device); messages from past phases are dropped.
+//  - Counting overshoot is impossible: the phase ends at exactly n-k
+//    phase-t messages, later ones arrive into a higher phase and drop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/types.hpp"
+#include "core/params.hpp"
+#include "sim/process.hpp"
+
+namespace rcp::core {
+
+class FailStopConsensus final : public sim::Process {
+ public:
+  /// Validating factory: throws unless k <= floor((n-1)/2).
+  [[nodiscard]] static std::unique_ptr<FailStopConsensus> make(
+      ConsensusParams params, Value initial_value);
+
+  /// For lower-bound experiments only: skips the resilience-bound check.
+  [[nodiscard]] static std::unique_ptr<FailStopConsensus> make_unchecked(
+      ConsensusParams params, Value initial_value);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override;
+  [[nodiscard]] Phase phase() const noexcept override { return phaseno_; }
+
+  // White-box observers for tests and experiment harnesses.
+  [[nodiscard]] Value value() const noexcept { return value_; }
+  [[nodiscard]] std::uint32_t cardinality() const noexcept {
+    return cardinality_;
+  }
+  [[nodiscard]] std::optional<Value> decision() const noexcept {
+    return decision_;
+  }
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+  [[nodiscard]] const ValueCounts& witness_counts() const noexcept {
+    return witness_count_;
+  }
+
+ private:
+  FailStopConsensus(ConsensusParams params, Value initial_value) noexcept;
+
+  void begin_phase(sim::Context& ctx);
+  void end_phase(sim::Context& ctx);
+
+  ConsensusParams params_;
+  Value value_;
+  std::uint32_t cardinality_ = 1;
+  Phase phaseno_ = 0;
+  ValueCounts message_count_;
+  ValueCounts witness_count_;
+  std::optional<Value> decision_;
+  bool halted_ = false;
+};
+
+}  // namespace rcp::core

@@ -1,0 +1,133 @@
+#include "core/initially_dead.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace rcp::core {
+
+namespace {
+constexpr std::uint8_t kInputTag = 30;
+constexpr std::uint8_t kHeardTag = 31;
+}  // namespace
+
+std::vector<std::vector<bool>> transitive_closure(
+    std::vector<std::vector<bool>> adj) {
+  const std::size_t n = adj.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    RCP_EXPECT(adj[i].size() == n, "adjacency matrix must be square");
+    adj[i][i] = true;  // reflexive closure
+  }
+  for (std::size_t via = 0; via < n; ++via) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!adj[i][via]) {
+        continue;
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        if (adj[via][j]) {
+          adj[i][j] = true;
+        }
+      }
+    }
+  }
+  return adj;
+}
+
+bool closure_strongly_connected(
+    const std::vector<std::vector<bool>>& closure) {
+  for (const auto& row : closure) {
+    for (const bool reachable : row) {
+      if (!reachable) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+InitiallyDeadConsensus::InitiallyDeadConsensus(std::uint32_t n, ProcessId self,
+                                               Value input)
+    : n_(n), self_(self), input_(input) {
+  RCP_EXPECT(n >= 1 && self < n, "invalid process id");
+}
+
+Value InitiallyDeadConsensus::bivalent_function(
+    const std::vector<Value>& inputs) {
+  std::size_t ones = 0;
+  for (const Value v : inputs) {
+    if (v == Value::one) {
+      ++ones;
+    }
+  }
+  return 2 * ones >= inputs.size() ? Value::one : Value::zero;
+}
+
+Bytes InitiallyDeadConsensus::broadcast_for_round(std::uint32_t round) {
+  if (round == 0) {
+    ByteWriter w(2);
+    w.u8(kInputTag).u8(static_cast<std::uint8_t>(input_));
+    return std::move(w).take();
+  }
+  RCP_EXPECT(round == 1, "protocol has exactly two rounds");
+  ByteWriter w(5 + heard_.size() * 5);
+  w.u8(kHeardTag).u32(static_cast<std::uint32_t>(heard_.size()));
+  for (const auto& [id, value] : heard_) {
+    w.u32(id).u8(static_cast<std::uint8_t>(value));
+  }
+  return std::move(w).take();
+}
+
+void InitiallyDeadConsensus::receive_round(
+    std::uint32_t round,
+    const std::vector<std::pair<ProcessId, Bytes>>& messages) {
+  if (round == 0) {
+    for (const auto& [sender, payload] : messages) {
+      ByteReader r(payload);
+      if (r.u8() != kInputTag) {
+        throw DecodeError("expected round-0 input message");
+      }
+      const Value v = value_from_int(r.u8());
+      r.expect_done();
+      heard_.emplace_back(sender, v);
+    }
+    return;
+  }
+  RCP_EXPECT(round == 1, "protocol has exactly two rounds");
+
+  // Build G: edge q -> p whenever p reported hearing q in round 0.
+  std::vector<std::vector<bool>> adj(n_, std::vector<bool>(n_, false));
+  std::vector<std::optional<Value>> inputs(n_);
+  for (const auto& [reporter, payload] : messages) {
+    ByteReader r(payload);
+    if (r.u8() != kHeardTag) {
+      throw DecodeError("expected round-1 heard message");
+    }
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const ProcessId q = r.u32();
+      const Value v = value_from_int(r.u8());
+      RCP_EXPECT(q < n_, "heard report names unknown process");
+      adj[q][reporter] = true;
+      inputs[q] = v;
+    }
+    r.expect_done();
+  }
+
+  const auto closure = transitive_closure(std::move(adj));
+  if (!closure_strongly_connected(closure)) {
+    decision_ = Value::zero;
+    return;
+  }
+  // Spanning strong connectivity implies we heard (transitively) from
+  // everyone, so every input is known.
+  std::vector<Value> all_inputs(n_);
+  for (ProcessId q = 0; q < n_; ++q) {
+    RCP_INVARIANT(inputs[q].has_value(),
+                  "spanning closure but missing an input");
+    all_inputs[q] = *inputs[q];
+  }
+  decision_ = bivalent_function(all_inputs);
+}
+
+}  // namespace rcp::core

@@ -1,0 +1,68 @@
+// The Section 5 weak-bivalence protocol for initially-dead processes.
+//
+// The paper notes (footnote of Section 5) that with its weaker
+// interpretation of bivalence there is a consensus protocol tolerating
+// *any* number of initially-dead processes: construct the transitive
+// closure G+ of the "heard-from" graph as in [Fisc83]; if G+ turns out
+// strongly connected and contains all the processes, everyone will know it
+// and decides an agreed bivalent function of all the inputs; otherwise
+// everyone decides 0.
+//
+// We realise the construction in the lock-step round substrate
+// (sim/lockstep.hpp) in two rounds:
+//   round 0: broadcast own (id, input);
+//   round 1: broadcast the set of (id, input) pairs heard in round 0.
+// After round 1 every live process assembles the directed graph G with an
+// edge q -> p whenever p reported hearing q, computes G+, and decides:
+//   - majority of all n inputs (ties -> 1) if G+ is strongly connected and
+//     spans all n processes — only possible when nobody is dead;
+//   - 0 otherwise.
+// The decision function of the all-correct case is bivalent; any death
+// forces 0 — exactly the paper's weak bivalence.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/lockstep.hpp"
+
+namespace rcp::core {
+
+/// Reflexive-transitive closure of a directed adjacency matrix
+/// (Floyd-Warshall). adj[i][j] == true means an edge i -> j.
+[[nodiscard]] std::vector<std::vector<bool>> transitive_closure(
+    std::vector<std::vector<bool>> adj);
+
+/// True if the closure is strongly connected over all vertices.
+[[nodiscard]] bool closure_strongly_connected(
+    const std::vector<std::vector<bool>>& closure);
+
+class InitiallyDeadConsensus final : public sim::LockstepProcess {
+ public:
+  InitiallyDeadConsensus(std::uint32_t n, ProcessId self, Value input);
+
+  [[nodiscard]] Bytes broadcast_for_round(std::uint32_t round) override;
+  void receive_round(
+      std::uint32_t round,
+      const std::vector<std::pair<ProcessId, Bytes>>& messages) override;
+  [[nodiscard]] std::optional<Value> decision() const override {
+    return decision_;
+  }
+
+  /// The agreed bivalent function g of the all-correct case: majority of
+  /// the inputs, ties to 1 (so g is onto {0,1} for every n >= 1).
+  [[nodiscard]] static Value bivalent_function(const std::vector<Value>& inputs);
+
+ private:
+  std::uint32_t n_;
+  ProcessId self_;
+  Value input_;
+  /// (id, input) pairs heard in round 0, self included.
+  std::vector<std::pair<ProcessId, Value>> heard_;
+  std::optional<Value> decision_;
+};
+
+}  // namespace rcp::core

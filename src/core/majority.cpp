@@ -1,0 +1,69 @@
+#include "core/majority.hpp"
+
+#include "common/error.hpp"
+#include "core/messages.hpp"
+
+namespace rcp::core {
+
+std::unique_ptr<MajorityConsensus> MajorityConsensus::make(
+    ConsensusParams params, Value initial_value) {
+  // Section 4.1 describes the variant as floor((n-1)/3)-resilient, i.e. the
+  // same bound as the malicious protocol it is derived from.
+  params.validate(FaultModel::malicious);
+  return make_unchecked(params, initial_value);
+}
+
+std::unique_ptr<MajorityConsensus> MajorityConsensus::make_unchecked(
+    ConsensusParams params, Value initial_value) {
+  RCP_EXPECT(params.n >= 1 && params.k < params.n,
+             "need at least one correct process");
+  return std::unique_ptr<MajorityConsensus>(
+      new MajorityConsensus(params, initial_value));
+}
+
+MajorityConsensus::MajorityConsensus(ConsensusParams params,
+                                     Value initial_value) noexcept
+    : params_(params), value_(initial_value) {}
+
+void MajorityConsensus::on_start(sim::Context& ctx) {
+  begin_phase(ctx);
+}
+
+void MajorityConsensus::begin_phase(sim::Context& ctx) {
+  message_count_.reset();
+  ctx.broadcast(MajorityMsg{.phase = phaseno_, .value = value_}.encode());
+}
+
+void MajorityConsensus::on_message(sim::Context& ctx,
+                                   const sim::Envelope& env) {
+  MajorityMsg msg;
+  try {
+    msg = MajorityMsg::decode(env.payload);
+  } catch (const DecodeError&) {
+    return;
+  }
+  if (msg.phase > phaseno_) {
+    ctx.send(ctx.self(), env.payload);  // requeue for a future phase
+    return;
+  }
+  if (msg.phase < phaseno_) {
+    return;  // stale
+  }
+  message_count_[msg.value] += 1;
+  if (message_count_.total() < params_.wait_quorum()) {
+    return;
+  }
+  // End of phase.
+  value_ = message_count_.majority();
+  for (const Value i : kBothValues) {
+    if (params_.accepted_count_decides(message_count_[i]) &&
+        !decision_.has_value()) {
+      decision_ = i;
+      ctx.decide(i);
+    }
+  }
+  phaseno_ += 1;
+  begin_phase(ctx);
+}
+
+}  // namespace rcp::core

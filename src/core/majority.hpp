@@ -1,0 +1,53 @@
+// The Section 4.1 majority variant, analysed by the paper's Markov chain.
+//
+// "In each phase processes send each other their value, and wait for n-k
+// messages. Processes change their values to the majority of the received
+// message values, and decide a value when receiving more than (n+k)/2
+// messages with that value." It is floor((n-1)/3)-resilient in the
+// fail-stop case (no echoes are needed because fail-stop processes cannot
+// lie). Processes keep participating after deciding — the Markov analysis
+// models all n processes broadcasting in every phase.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/types.hpp"
+#include "core/params.hpp"
+#include "sim/process.hpp"
+
+namespace rcp::core {
+
+class MajorityConsensus final : public sim::Process {
+ public:
+  /// Validating factory: throws unless k <= floor((n-1)/3).
+  [[nodiscard]] static std::unique_ptr<MajorityConsensus> make(
+      ConsensusParams params, Value initial_value);
+
+  /// For lower-bound experiments only: skips the resilience-bound check.
+  [[nodiscard]] static std::unique_ptr<MajorityConsensus> make_unchecked(
+      ConsensusParams params, Value initial_value);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override;
+  [[nodiscard]] Phase phase() const noexcept override { return phaseno_; }
+
+  [[nodiscard]] Value value() const noexcept { return value_; }
+  [[nodiscard]] std::optional<Value> decision() const noexcept {
+    return decision_;
+  }
+
+ private:
+  MajorityConsensus(ConsensusParams params, Value initial_value) noexcept;
+
+  void begin_phase(sim::Context& ctx);
+
+  ConsensusParams params_;
+  Value value_;
+  Phase phaseno_ = 0;
+  ValueCounts message_count_;
+  std::optional<Value> decision_;
+};
+
+}  // namespace rcp::core

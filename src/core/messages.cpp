@@ -1,0 +1,99 @@
+#include "core/messages.hpp"
+
+namespace rcp::core {
+
+namespace {
+[[nodiscard]] Value decode_value(std::uint8_t raw) {
+  if (raw > 1) {
+    throw DecodeError("value field out of range");
+  }
+  return value_from_int(raw);
+}
+}  // namespace
+
+MsgTag peek_tag(const Bytes& payload) {
+  if (payload.empty()) {
+    throw DecodeError("empty payload");
+  }
+  const auto raw = static_cast<std::uint8_t>(payload.front());
+  switch (raw) {
+    case static_cast<std::uint8_t>(MsgTag::fail_stop):
+    case static_cast<std::uint8_t>(MsgTag::initial):
+    case static_cast<std::uint8_t>(MsgTag::echo):
+    case static_cast<std::uint8_t>(MsgTag::majority):
+      return static_cast<MsgTag>(raw);
+    default:
+      throw DecodeError("unknown message tag");
+  }
+}
+
+Bytes FailStopMsg::encode() const {
+  ByteWriter w(14);
+  w.u8(static_cast<std::uint8_t>(MsgTag::fail_stop))
+      .u64(phase)
+      .u8(static_cast<std::uint8_t>(value))
+      .u32(cardinality);
+  return std::move(w).take();
+}
+
+FailStopMsg FailStopMsg::decode(const Bytes& payload) {
+  ByteReader r(payload);
+  if (r.u8() != static_cast<std::uint8_t>(MsgTag::fail_stop)) {
+    throw DecodeError("not a fail-stop message");
+  }
+  FailStopMsg msg;
+  msg.phase = r.u64();
+  msg.value = decode_value(r.u8());
+  msg.cardinality = r.u32();
+  r.expect_done();
+  return msg;
+}
+
+Bytes EchoProtocolMsg::encode() const {
+  ByteWriter w(14);
+  w.u8(static_cast<std::uint8_t>(is_echo ? MsgTag::echo : MsgTag::initial))
+      .u32(from)
+      .u8(static_cast<std::uint8_t>(value))
+      .u64(phase);
+  return std::move(w).take();
+}
+
+EchoProtocolMsg EchoProtocolMsg::decode(const Bytes& payload) {
+  ByteReader r(payload);
+  const std::uint8_t tag = r.u8();
+  EchoProtocolMsg msg;
+  if (tag == static_cast<std::uint8_t>(MsgTag::initial)) {
+    msg.is_echo = false;
+  } else if (tag == static_cast<std::uint8_t>(MsgTag::echo)) {
+    msg.is_echo = true;
+  } else {
+    throw DecodeError("not an initial/echo message");
+  }
+  msg.from = r.u32();
+  msg.value = decode_value(r.u8());
+  msg.phase = r.u64();
+  r.expect_done();
+  return msg;
+}
+
+Bytes MajorityMsg::encode() const {
+  ByteWriter w(10);
+  w.u8(static_cast<std::uint8_t>(MsgTag::majority))
+      .u64(phase)
+      .u8(static_cast<std::uint8_t>(value));
+  return std::move(w).take();
+}
+
+MajorityMsg MajorityMsg::decode(const Bytes& payload) {
+  ByteReader r(payload);
+  if (r.u8() != static_cast<std::uint8_t>(MsgTag::majority)) {
+    throw DecodeError("not a majority-variant message");
+  }
+  MajorityMsg msg;
+  msg.phase = r.u64();
+  msg.value = decode_value(r.u8());
+  r.expect_done();
+  return msg;
+}
+
+}  // namespace rcp::core

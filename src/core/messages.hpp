@@ -1,0 +1,60 @@
+// Typed wire messages for the paper's protocols.
+//
+// Each message has a one-byte tag followed by fixed-width fields. Decoders
+// throw DecodeError on any malformed input (wrong tag, out-of-range value,
+// truncated or oversized payload); protocol handlers catch DecodeError and
+// drop the message, so Byzantine garbage can never crash a correct process.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace rcp::core {
+
+enum class MsgTag : std::uint8_t {
+  fail_stop = 1,       ///< Fig 1: (phaseno, value, cardinality)
+  initial = 2,         ///< Fig 2: (initial, from, value, phaseno)
+  echo = 3,            ///< Fig 2: (echo, from, value, phaseno)
+  majority = 4,        ///< Section 4.1 variant: (phaseno, value)
+};
+
+/// Reads the tag byte without consuming the payload. Throws DecodeError on
+/// an empty payload or unknown tag.
+[[nodiscard]] MsgTag peek_tag(const Bytes& payload);
+
+/// Fig 1 message: a process's (phase, value, cardinality) state.
+struct FailStopMsg {
+  Phase phase = 0;
+  Value value = Value::zero;
+  std::uint32_t cardinality = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static FailStopMsg decode(const Bytes& payload);
+};
+
+/// Fig 2 message: both `initial` and `echo` share one layout.
+/// For an initial message, `from` is the originator (and must equal the
+/// envelope sender — the model's authenticated identities); for an echo,
+/// `from` is the process whose state is being echoed.
+struct EchoProtocolMsg {
+  bool is_echo = false;
+  ProcessId from = 0;
+  Value value = Value::zero;
+  Phase phase = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static EchoProtocolMsg decode(const Bytes& payload);
+};
+
+/// Section 4.1 majority-variant message: (phase, value).
+struct MajorityMsg {
+  Phase phase = 0;
+  Value value = Value::zero;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static MajorityMsg decode(const Bytes& payload);
+};
+
+}  // namespace rcp::core

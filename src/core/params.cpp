@@ -1,0 +1,23 @@
+#include "core/params.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace rcp::core {
+
+const char* to_string(FaultModel model) noexcept {
+  return model == FaultModel::fail_stop ? "fail-stop" : "malicious";
+}
+
+void ConsensusParams::validate(FaultModel model) const {
+  RCP_EXPECT(n >= 1, "consensus needs at least one process");
+  const std::uint32_t bound = max_resilience(model, n);
+  RCP_EXPECT(k <= bound,
+             "k = " + std::to_string(k) + " exceeds the " +
+                 std::string(to_string(model)) + " resilience bound floor((n-1)/" +
+                 (model == FaultModel::fail_stop ? "2" : "3") + ") = " +
+                 std::to_string(bound) + " for n = " + std::to_string(n));
+}
+
+}  // namespace rcp::core

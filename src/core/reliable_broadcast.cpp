@@ -1,0 +1,114 @@
+#include "core/reliable_broadcast.hpp"
+
+#include "common/error.hpp"
+
+namespace rcp::core {
+
+namespace {
+constexpr std::uint8_t kRbTagBase = 20;  // 20 initial, 21 echo, 22 ready
+}  // namespace
+
+Bytes RbMsg::encode() const {
+  ByteWriter w(2);
+  w.u8(static_cast<std::uint8_t>(kRbTagBase + static_cast<std::uint8_t>(kind)))
+      .u8(static_cast<std::uint8_t>(value));
+  return std::move(w).take();
+}
+
+RbMsg RbMsg::decode(const Bytes& payload) {
+  ByteReader r(payload);
+  const std::uint8_t tag = r.u8();
+  if (tag < kRbTagBase || tag > kRbTagBase + 2) {
+    throw DecodeError("not a reliable-broadcast message");
+  }
+  const std::uint8_t raw_value = r.u8();
+  r.expect_done();
+  if (raw_value > 1) {
+    throw DecodeError("value field out of range");
+  }
+  return RbMsg{.kind = static_cast<RbMsg::Kind>(tag - kRbTagBase),
+               .value = value_from_int(raw_value)};
+}
+
+std::unique_ptr<ReliableBroadcast> ReliableBroadcast::make(
+    ConsensusParams params, ProcessId self, ProcessId designated_sender,
+    Value value) {
+  params.validate(FaultModel::malicious);
+  RCP_EXPECT(self < params.n && designated_sender < params.n,
+             "process ids must lie in [0, n)");
+  return std::unique_ptr<ReliableBroadcast>(
+      new ReliableBroadcast(params, self, designated_sender, value));
+}
+
+ReliableBroadcast::ReliableBroadcast(ConsensusParams params, ProcessId self,
+                                     ProcessId designated_sender,
+                                     Value value) noexcept
+    : params_(params), self_(self), sender_(designated_sender), value_(value) {}
+
+void ReliableBroadcast::on_start(sim::Context& ctx) {
+  if (self_ == sender_) {
+    ctx.broadcast(RbMsg{.kind = RbMsg::Kind::initial, .value = value_}.encode());
+  }
+}
+
+void ReliableBroadcast::maybe_send_ready(sim::Context& ctx, Value v) {
+  if (ready_sent_.has_value()) {
+    return;  // at most one READY per correct process
+  }
+  ready_sent_ = v;
+  ctx.broadcast(RbMsg{.kind = RbMsg::Kind::ready, .value = v}.encode());
+}
+
+void ReliableBroadcast::on_message(sim::Context& ctx,
+                                   const sim::Envelope& env) {
+  RbMsg msg;
+  try {
+    msg = RbMsg::decode(env.payload);
+  } catch (const DecodeError&) {
+    return;
+  }
+  switch (msg.kind) {
+    case RbMsg::Kind::initial: {
+      // Only the designated sender's initial is honoured (authenticated
+      // identity), and only the first one is echoed.
+      if (env.sender != sender_ || echoed_) {
+        return;
+      }
+      echoed_ = true;
+      ctx.broadcast(
+          RbMsg{.kind = RbMsg::Kind::echo, .value = msg.value}.encode());
+      return;
+    }
+    case RbMsg::Kind::echo: {
+      auto& from = echo_from_[value_index(msg.value)];
+      // First echo per (sender, value); a sender echoing both values only
+      // splits its own weight.
+      if (!from.insert(env.sender).second) {
+        return;
+      }
+      if (from.size() >= params_.echo_acceptance_threshold()) {
+        maybe_send_ready(ctx, msg.value);
+      }
+      return;
+    }
+    case RbMsg::Kind::ready: {
+      auto& from = ready_from_[value_index(msg.value)];
+      if (!from.insert(env.sender).second) {
+        return;
+      }
+      // Amplification: k+1 READYs guarantee one correct READY.
+      if (from.size() >= params_.k + 1) {
+        maybe_send_ready(ctx, msg.value);
+      }
+      // Delivery: 2k+1 READYs guarantee k+1 correct READYs, so every
+      // correct process will eventually amplify and deliver.
+      if (from.size() >= 2 * params_.k + 1 && !delivered_.has_value()) {
+        delivered_ = msg.value;
+        ctx.decide(msg.value);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace rcp::core

@@ -1,0 +1,74 @@
+// Reliable (consistent) broadcast — the direct descendant of Figure 2's
+// initial/echo machinery (Bracha 1987), included as an extension module.
+//
+// One designated sender broadcasts a value; every correct process:
+//   - echoes the sender's initial value (once),
+//   - sends READY(v) after more than (n+k)/2 echoes for v,
+//   - amplifies: sends READY(v) after k+1 READY(v) from distinct processes,
+//   - delivers v after 2k+1 READY(v).
+// For k <= floor((n-1)/3):
+//   consistency: no two correct processes deliver different values, even if
+//     the sender is malicious;
+//   totality: if any correct process delivers, all correct processes do;
+//   validity: if the sender is correct, everyone delivers its value.
+// Delivery is recorded through Context::decide for uniform observability.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "core/params.hpp"
+#include "sim/process.hpp"
+
+namespace rcp::core {
+
+/// Wire message for the reliable-broadcast module.
+struct RbMsg {
+  enum class Kind : std::uint8_t { initial = 0, echo = 1, ready = 2 };
+  Kind kind = Kind::initial;
+  Value value = Value::zero;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static RbMsg decode(const Bytes& payload);
+};
+
+class ReliableBroadcast final : public sim::Process {
+ public:
+  /// A correct participant. If `self == designated_sender`, `value` is the
+  /// payload to broadcast; otherwise `value` is ignored.
+  [[nodiscard]] static std::unique_ptr<ReliableBroadcast> make(
+      ConsensusParams params, ProcessId self, ProcessId designated_sender,
+      Value value = Value::zero);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override;
+
+  [[nodiscard]] std::optional<Value> delivered() const noexcept {
+    return delivered_;
+  }
+  [[nodiscard]] bool sent_ready() const noexcept {
+    return ready_sent_.has_value();
+  }
+
+ private:
+  ReliableBroadcast(ConsensusParams params, ProcessId self,
+                    ProcessId designated_sender, Value value) noexcept;
+
+  void maybe_send_ready(sim::Context& ctx, Value v);
+
+  ConsensusParams params_;
+  ProcessId self_;
+  ProcessId sender_;
+  Value value_;
+  bool echoed_ = false;
+  std::optional<Value> ready_sent_;
+  std::optional<Value> delivered_;
+  std::set<ProcessId> echo_from_[2];
+  std::set<ProcessId> ready_from_[2];
+};
+
+}  // namespace rcp::core

@@ -1,0 +1,123 @@
+// Bracha's 1987 asynchronous Byzantine agreement — the paper's direct
+// descendant — tolerating k <= floor((n-1)/3) malicious processes.
+//
+// Two mechanisms lift the 1983 Figure 2 design to optimal resilience:
+//   1. every message travels by reliable broadcast (RbEngine), so per
+//      (origin, round, step) all correct processes observe the same value;
+//   2. every delivered message is *validated* before it is counted: a
+//      value is accepted only once the receiver can itself justify it from
+//      the previous step's validated messages. A Byzantine process can
+//      still lie, but only by claiming a value some correct process could
+//      legitimately have computed.
+//
+// Round r has three steps (tags 3r, 3r+1, 3r+2):
+//   step 1: broadcast v. On n-k validated messages: v := majority.
+//   step 2: broadcast v. On n-k validated: if some w holds a strict
+//           majority of the *whole system* (count > n/2), broadcast the
+//           decision proposal (w, D) in step 3, else broadcast v plain.
+//   step 3: on n-k validated: let D(w) = validated proposals for w;
+//           decide w if D(w) > 2k; adopt w if D(w) > k; else flip the
+//           private coin. Continue into round r+1 (deciders keep going).
+//
+// Validation rules (all evaluated against the receiver's own validated
+// sets, deferred until satisfied — validity is monotone, so a message
+// that will ever be justifiable eventually is):
+//   (r,1,v): r = 0 always; r >= 1 once the previous step 3 has n-k
+//            validated messages and either D(v) > k (adopt/decide case) or
+//            an (n-k)-subset with every D(w) <= k exists (coin case).
+//   (r,2,v): v is the tie-to-0 majority of some (n-k)-subset of the
+//            validated (r,1) messages.
+//   (r,3,v) plain: same majority rule against validated (r,2);
+//   (r,3,(w,D)): count of w among validated (r,2) exceeds n/2 — the
+//            safety-critical rule: since (r,2) values are RB-consistent,
+//            two different values can never both be validated as decision
+//            proposals anywhere in the system.
+//
+// Safety sketch: a decision on w means > 2k validated (w,D), so > k
+// correct proposers; every other correct process's n-k step-3 quorum
+// misses at most k senders, hence sees D(w) > k and adopts w; no (w',D)
+// can validate anywhere; the next round starts unanimous and stays so.
+// Termination with probability 1 via the private coins.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/types.hpp"
+#include "core/params.hpp"
+#include "extensions/rb_engine.hpp"
+#include "sim/process.hpp"
+
+namespace rcp::ext {
+
+class Bracha87 final : public sim::Process {
+ public:
+  /// Validating factory: throws unless k <= floor((n-1)/3).
+  [[nodiscard]] static std::unique_ptr<Bracha87> make(
+      core::ConsensusParams params, Value initial_value);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override;
+  [[nodiscard]] Phase phase() const noexcept override { return round_; }
+
+  [[nodiscard]] Value value() const noexcept { return value_; }
+  [[nodiscard]] std::optional<Value> decision() const noexcept {
+    return decision_;
+  }
+  [[nodiscard]] std::uint64_t coin_flips() const noexcept {
+    return coin_flips_;
+  }
+  /// Messages delivered by reliable broadcast but not (yet) justifiable.
+  [[nodiscard]] std::size_t pending_validation() const;
+
+ private:
+  Bracha87(core::ConsensusParams params, Value initial_value) noexcept;
+
+  // Step-3 payload encoding: 0/1 plain, 2+w for the proposal (w, D).
+  static constexpr Payload kProposal0 = 2;
+  static constexpr Payload kProposal1 = 3;
+
+  [[nodiscard]] std::uint64_t tag(Phase r, int step) const noexcept {
+    return 3 * r + static_cast<std::uint64_t>(step - 1);
+  }
+
+  struct TagState {
+    std::map<ProcessId, Payload> pending;    ///< delivered, not yet valid
+    std::map<ProcessId, Payload> validated;  ///< delivered and justified
+  };
+
+  struct Counts {
+    std::uint32_t plain[2] = {0, 0};     ///< payloads 0 and 1
+    std::uint32_t proposal[2] = {0, 0};  ///< payloads 2+w (step 3 only)
+    std::uint32_t total = 0;
+  };
+
+  [[nodiscard]] Counts counts(std::uint64_t t) const;
+
+  /// Whether `payload` on `t` is currently justifiable.
+  [[nodiscard]] bool is_valid(std::uint64_t t, Payload payload) const;
+
+  /// True if v is the tie-to-0 majority of some (n-k)-subset of a message
+  /// multiset with the given per-value counts.
+  [[nodiscard]] bool majority_reachable(const Counts& c, Payload v) const;
+
+  void broadcast_step(sim::Context& ctx, int step, Payload payload);
+  /// Moves pending messages whose justification now holds; returns true if
+  /// anything moved.
+  bool revalidate();
+  /// Completes steps/rounds while quorums are met.
+  void try_advance(sim::Context& ctx);
+
+  core::ConsensusParams params_;
+  Value value_;
+  Phase round_ = 0;
+  int step_ = 1;
+  std::optional<Value> decision_;
+  std::uint64_t coin_flips_ = 0;
+  RbEngine engine_;
+  std::map<std::uint64_t, TagState> tags_;
+};
+
+}  // namespace rcp::ext

@@ -1,0 +1,78 @@
+// RB-hardened randomized Byzantine consensus: Ben-Or's round structure with
+// every point-to-point broadcast replaced by a reliable-broadcast instance.
+//
+// This is the first step on the road from this paper's echo machinery to
+// Bracha's 1987 asynchronous Byzantine agreement: reliable broadcast
+// removes the adversary's equivocation power entirely — per (origin,
+// round, stage) every correct process observes the *same* value. The full
+// 1987 protocol additionally validates that received values are
+// justifiable, which buys n > 3k resilience; without validation the
+// protocol keeps Ben-Or's k <= floor((n-1)/5) bound (documented in
+// DESIGN.md as future work).
+//
+// Round r:
+//   report : RB(tag = 2r,   v). Await n-k deliveries (distinct origins);
+//            if some value w has more than (n+k)/2 deliveries, the round's
+//            proposal is w, else bottom.
+//   propose: RB(tag = 2r+1, proposal). Await n-k deliveries;
+//            decide w on >= 2k+1 proposals for w, adopt w on >= k+1,
+//            else flip the private coin.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/types.hpp"
+#include "core/params.hpp"
+#include "extensions/rb_engine.hpp"
+#include "sim/process.hpp"
+
+namespace rcp::ext {
+
+class RbBenOr final : public sim::Process {
+ public:
+  /// Validating factory: throws unless k <= floor((n-1)/5).
+  [[nodiscard]] static std::unique_ptr<RbBenOr> make(
+      core::ConsensusParams params, Value initial_value);
+
+  void on_start(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override;
+  [[nodiscard]] Phase phase() const noexcept override { return round_; }
+
+  [[nodiscard]] Value value() const noexcept { return value_; }
+  [[nodiscard]] std::optional<Value> decision() const noexcept {
+    return decision_;
+  }
+  [[nodiscard]] std::uint64_t coin_flips() const noexcept {
+    return coin_flips_;
+  }
+  [[nodiscard]] const RbEngine& engine() const noexcept { return engine_; }
+
+ private:
+  RbBenOr(core::ConsensusParams params, Value initial_value) noexcept;
+
+  [[nodiscard]] std::uint64_t report_tag() const noexcept { return 2 * round_; }
+  [[nodiscard]] std::uint64_t propose_tag() const noexcept {
+    return 2 * round_ + 1;
+  }
+
+  void broadcast_rbx(sim::Context& ctx, const RbxMsg& msg);
+  /// Re-evaluates stage completion after any delivery; may cascade through
+  /// several stages and rounds.
+  void try_advance(sim::Context& ctx);
+
+  core::ConsensusParams params_;
+  Value value_;
+  Phase round_ = 0;
+  bool proposing_ = false;  ///< report stage done, waiting on proposals
+  std::optional<Value> decision_;
+  std::uint64_t coin_flips_ = 0;
+  RbEngine engine_;
+  /// All deliveries, keyed by instance tag -> origin -> payload. RB
+  /// guarantees one payload per (origin, tag) across all correct processes.
+  std::map<std::uint64_t, std::map<ProcessId, Payload>> delivered_;
+};
+
+}  // namespace rcp::ext

@@ -1,0 +1,108 @@
+#include "extensions/rb_engine.hpp"
+
+#include "common/error.hpp"
+
+namespace rcp::ext {
+
+namespace {
+constexpr std::uint8_t kRbxTagBase = 40;  // 40 initial, 41 echo, 42 ready
+}  // namespace
+
+Bytes RbxMsg::encode() const {
+  ByteWriter w(14);
+  w.u8(static_cast<std::uint8_t>(kRbxTagBase + static_cast<std::uint8_t>(kind)))
+      .u32(origin)
+      .u64(tag)
+      .u8(value);
+  return std::move(w).take();
+}
+
+RbxMsg RbxMsg::decode(const Bytes& payload) {
+  ByteReader r(payload);
+  const std::uint8_t tag_byte = r.u8();
+  if (tag_byte < kRbxTagBase || tag_byte > kRbxTagBase + 2) {
+    throw DecodeError("not a multiplexed reliable-broadcast message");
+  }
+  RbxMsg msg;
+  msg.kind = static_cast<RbxMsg::Kind>(tag_byte - kRbxTagBase);
+  msg.origin = r.u32();
+  msg.tag = r.u64();
+  msg.value = r.u8();
+  r.expect_done();
+  if (msg.value > kMaxPayload) {
+    throw DecodeError("payload field out of range");
+  }
+  return msg;
+}
+
+RbxMsg RbEngine::start(ProcessId self, std::uint64_t tag, Payload value) {
+  return RbxMsg{
+      .kind = RbxMsg::Kind::initial, .origin = self, .tag = tag, .value = value};
+}
+
+void RbEngine::maybe_ready(Instance& inst, ProcessId origin, std::uint64_t tag,
+                           Payload value, Outcome& out) {
+  if (inst.ready_sent.has_value()) {
+    return;
+  }
+  inst.ready_sent = value;
+  out.to_broadcast.push_back(RbxMsg{
+      .kind = RbxMsg::Kind::ready, .origin = origin, .tag = tag, .value = value});
+}
+
+RbEngine::Outcome RbEngine::handle(ProcessId sender, const RbxMsg& msg) {
+  Outcome out;
+  Instance& inst = instances_[Key{msg.origin, msg.tag}];
+  switch (msg.kind) {
+    case RbxMsg::Kind::initial: {
+      // Authenticated identity: only the origin itself may open its
+      // instance, and only its first initial is echoed.
+      if (sender != msg.origin || inst.echoed) {
+        return out;
+      }
+      inst.echoed = true;
+      out.to_broadcast.push_back(RbxMsg{.kind = RbxMsg::Kind::echo,
+                                        .origin = msg.origin,
+                                        .tag = msg.tag,
+                                        .value = msg.value});
+      return out;
+    }
+    case RbxMsg::Kind::echo: {
+      auto& from = inst.echo_from[msg.value];
+      if (!from.insert(sender).second) {
+        return out;
+      }
+      if (from.size() >= params_.echo_acceptance_threshold()) {
+        maybe_ready(inst, msg.origin, msg.tag, msg.value, out);
+      }
+      return out;
+    }
+    case RbxMsg::Kind::ready: {
+      auto& from = inst.ready_from[msg.value];
+      if (!from.insert(sender).second) {
+        return out;
+      }
+      if (from.size() >= params_.k + 1) {
+        maybe_ready(inst, msg.origin, msg.tag, msg.value, out);
+      }
+      if (from.size() >= 2 * params_.k + 1 && !inst.delivered.has_value()) {
+        inst.delivered = msg.value;
+        out.delivered = Delivery{
+            .origin = msg.origin, .tag = msg.tag, .value = msg.value};
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+std::optional<Payload> RbEngine::delivered(ProcessId origin,
+                                           std::uint64_t tag) const {
+  const auto it = instances_.find(Key{origin, tag});
+  if (it == instances_.end()) {
+    return std::nullopt;
+  }
+  return it->second.delivered;
+}
+
+}  // namespace rcp::ext

@@ -1,0 +1,108 @@
+// Multiplexed reliable broadcast: many concurrent Bracha-broadcast
+// instances over one message stream.
+//
+// The single-shot core/reliable_broadcast.hpp demonstrates the primitive;
+// real protocols (like the 1987 Bracha consensus built on top of it in
+// extensions/bracha87.hpp) need one instance per (origin, tag) — e.g. per
+// sender per round per sub-round. The engine owns all per-instance state:
+// echo/ready tallies with per-sender deduplication, the sent-echo/-ready
+// flags, and delivery. For k <= floor((n-1)/3) each instance guarantees:
+//   consistency — no two correct processes deliver different values for
+//     the same (origin, tag);
+//   totality    — if any correct process delivers, every correct process
+//     eventually delivers;
+//   validity    — a correct origin's broadcast is delivered by everyone.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "core/params.hpp"
+
+namespace rcp::ext {
+
+/// Broadcast payload: a small alphabet wide enough for binary consensus
+/// values, Ben-Or's "?" proposals (bottom), and Bracha-87's decision
+/// proposals (2 + w). Semantics belong to the protocol; the engine only
+/// ranges over the alphabet.
+using Payload = std::uint8_t;
+inline constexpr Payload kPayloadZero = 0;
+inline constexpr Payload kPayloadOne = 1;
+inline constexpr Payload kPayloadBottom = 2;
+inline constexpr Payload kMaxPayload = 3;
+
+[[nodiscard]] constexpr Payload to_payload(Value v) noexcept {
+  return static_cast<Payload>(v);
+}
+
+/// Wire message of the multiplexed broadcast.
+struct RbxMsg {
+  enum class Kind : std::uint8_t { initial = 0, echo = 1, ready = 2 };
+  Kind kind = Kind::initial;
+  ProcessId origin = 0;  ///< whose broadcast this instance carries
+  std::uint64_t tag = 0; ///< caller-defined instance id (round, sub-round...)
+  Payload value = kPayloadZero;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static RbxMsg decode(const Bytes& payload);
+};
+
+class RbEngine {
+ public:
+  explicit RbEngine(core::ConsensusParams params) noexcept : params_(params) {}
+
+  struct Delivery {
+    ProcessId origin = 0;
+    std::uint64_t tag = 0;
+    Payload value = kPayloadZero;
+  };
+
+  struct Outcome {
+    /// Messages this process must now broadcast (echo/ready transitions).
+    std::vector<RbxMsg> to_broadcast;
+    /// Set when this input completed a delivery.
+    std::optional<Delivery> delivered;
+  };
+
+  /// Starts our own broadcast instance: returns the initial message to
+  /// broadcast (the caller sends it; the engine treats our own initial like
+  /// any other once it loops back).
+  [[nodiscard]] RbxMsg start(ProcessId self, std::uint64_t tag, Payload value);
+
+  /// Feeds one decoded message received from authenticated `sender`.
+  [[nodiscard]] Outcome handle(ProcessId sender, const RbxMsg& msg);
+
+  /// The delivered value of instance (origin, tag), if any.
+  [[nodiscard]] std::optional<Payload> delivered(ProcessId origin,
+                                                 std::uint64_t tag) const;
+
+  /// Count of instances with any state (observability / leak checks).
+  [[nodiscard]] std::size_t instance_count() const noexcept {
+    return instances_.size();
+  }
+
+ private:
+  struct Instance {
+    std::set<ProcessId> echo_from[kMaxPayload + 1];
+    std::set<ProcessId> ready_from[kMaxPayload + 1];
+    bool echoed = false;
+    std::optional<Payload> ready_sent;
+    std::optional<Payload> delivered;
+  };
+
+  using Key = std::pair<ProcessId, std::uint64_t>;
+
+  /// Appends the READY transition for `value` if not yet sent.
+  void maybe_ready(Instance& inst, ProcessId origin, std::uint64_t tag,
+                   Payload value, Outcome& out);
+
+  core::ConsensusParams params_;
+  std::map<Key, Instance> instances_;
+};
+
+}  // namespace rcp::ext

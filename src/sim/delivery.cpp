@@ -1,0 +1,75 @@
+#include "sim/delivery.hpp"
+
+#include "common/error.hpp"
+
+namespace rcp::sim {
+
+UniformDelivery::UniformDelivery(double phi_probability)
+    : phi_probability_(phi_probability) {
+  RCP_EXPECT(phi_probability >= 0.0 && phi_probability < 1.0,
+             "phi probability must lie in [0, 1)");
+}
+
+std::optional<std::size_t> UniformDelivery::pick(ProcessId /*receiver*/,
+                                                 const Mailbox& mailbox,
+                                                 std::uint64_t /*now_step*/,
+                                                 Rng& rng) {
+  if (mailbox.empty()) {
+    return std::nullopt;
+  }
+  if (phi_probability_ > 0.0 && rng.bernoulli(phi_probability_)) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(rng.below(mailbox.size()));
+}
+
+std::optional<std::size_t> FifoDelivery::pick(ProcessId /*receiver*/,
+                                              const Mailbox& mailbox,
+                                              std::uint64_t /*now_step*/,
+                                              Rng& /*rng*/) {
+  if (mailbox.empty()) {
+    return std::nullopt;
+  }
+  // Arrival order is the container order for order-preserving policies.
+  std::size_t oldest = 0;
+  std::uint64_t oldest_seq = mailbox.contents()[0].seq;
+  for (std::size_t i = 1; i < mailbox.size(); ++i) {
+    if (mailbox.contents()[i].seq < oldest_seq) {
+      oldest_seq = mailbox.contents()[i].seq;
+      oldest = i;
+    }
+  }
+  return oldest;
+}
+
+std::optional<std::size_t> LifoDelivery::pick(ProcessId /*receiver*/,
+                                              const Mailbox& mailbox,
+                                              std::uint64_t /*now_step*/,
+                                              Rng& /*rng*/) {
+  if (mailbox.empty()) {
+    return std::nullopt;
+  }
+  std::size_t newest = 0;
+  std::uint64_t newest_seq = mailbox.contents()[0].seq;
+  for (std::size_t i = 1; i < mailbox.size(); ++i) {
+    if (mailbox.contents()[i].seq > newest_seq) {
+      newest_seq = mailbox.contents()[i].seq;
+      newest = i;
+    }
+  }
+  return newest;
+}
+
+std::unique_ptr<DeliveryPolicy> make_uniform_delivery(double phi_probability) {
+  return std::make_unique<UniformDelivery>(phi_probability);
+}
+
+std::unique_ptr<DeliveryPolicy> make_fifo_delivery() {
+  return std::make_unique<FifoDelivery>();
+}
+
+std::unique_ptr<DeliveryPolicy> make_lifo_delivery() {
+  return std::make_unique<LifoDelivery>();
+}
+
+}  // namespace rcp::sim

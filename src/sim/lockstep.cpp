@@ -1,0 +1,78 @@
+#include "sim/lockstep.hpp"
+
+#include "common/error.hpp"
+
+namespace rcp::sim {
+
+LockstepSimulation::LockstepSimulation(
+    std::vector<std::unique_ptr<LockstepProcess>> processes,
+    std::vector<bool> dead)
+    : processes_(std::move(processes)), dead_(std::move(dead)) {
+  RCP_EXPECT(!processes_.empty(), "lockstep needs at least one process");
+  RCP_EXPECT(dead_.size() == processes_.size(), "dead mask size mismatch");
+  for (const auto& p : processes_) {
+    RCP_EXPECT(p != nullptr, "null process");
+  }
+}
+
+void LockstepSimulation::run_round() {
+  std::vector<std::pair<ProcessId, Bytes>> messages;
+  messages.reserve(processes_.size());
+  for (ProcessId p = 0; p < processes_.size(); ++p) {
+    if (!dead_[p]) {
+      messages.emplace_back(p, processes_[p]->broadcast_for_round(round_));
+    }
+  }
+  for (ProcessId p = 0; p < processes_.size(); ++p) {
+    if (!dead_[p]) {
+      processes_[p]->receive_round(round_, messages);
+    }
+  }
+  ++round_;
+}
+
+std::uint32_t LockstepSimulation::run_until_decided(std::uint32_t max_rounds) {
+  while (!all_live_decided() && round_ < max_rounds) {
+    run_round();
+  }
+  return round_;
+}
+
+bool LockstepSimulation::dead(ProcessId p) const {
+  RCP_EXPECT(p < processes_.size(), "unknown process");
+  return dead_[p];
+}
+
+std::optional<Value> LockstepSimulation::decision_of(ProcessId p) const {
+  RCP_EXPECT(p < processes_.size(), "unknown process");
+  return processes_[p]->decision();
+}
+
+bool LockstepSimulation::all_live_decided() const {
+  for (ProcessId p = 0; p < processes_.size(); ++p) {
+    if (!dead_[p] && !processes_[p]->decision().has_value()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LockstepSimulation::agreement_holds() const {
+  std::optional<Value> seen;
+  for (ProcessId p = 0; p < processes_.size(); ++p) {
+    if (dead_[p]) {
+      continue;
+    }
+    const auto d = processes_[p]->decision();
+    if (!d.has_value()) {
+      continue;
+    }
+    if (seen.has_value() && *seen != *d) {
+      return false;
+    }
+    seen = d;
+  }
+  return true;
+}
+
+}  // namespace rcp::sim

@@ -1,0 +1,76 @@
+// A synchronous (lock-step) round substrate.
+//
+// Section 5 of the paper claims that, under its weak interpretation of
+// bivalence, consensus can tolerate *any* number of initially-dead
+// processes, via the G+ (transitive closure) construction of [Fisc83]'s
+// footnote. The paper gives no full asynchronous construction; we realise
+// the claim in the standard synchronous-round model, where an
+// initially-dead process is simply one whose messages never appear in any
+// round. DESIGN.md records this substitution.
+//
+// Each round, every live process emits one broadcast payload; at the round
+// boundary every live process receives the full set of (sender, payload)
+// pairs for that round. This is deterministic apart from which processes
+// are dead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace rcp::sim {
+
+/// A participant in a lock-step execution.
+class LockstepProcess {
+ public:
+  virtual ~LockstepProcess() = default;
+
+  /// The payload this process broadcasts in `round` (0-based).
+  [[nodiscard]] virtual Bytes broadcast_for_round(std::uint32_t round) = 0;
+
+  /// Delivery of all round-`round` messages from live processes, ordered by
+  /// sender id.
+  virtual void receive_round(
+      std::uint32_t round,
+      const std::vector<std::pair<ProcessId, Bytes>>& messages) = 0;
+
+  /// One-shot decision, if reached.
+  [[nodiscard]] virtual std::optional<Value> decision() const = 0;
+};
+
+class LockstepSimulation {
+ public:
+  /// dead[p] marks process p as initially dead (it never broadcasts and
+  /// never receives).
+  LockstepSimulation(std::vector<std::unique_ptr<LockstepProcess>> processes,
+                     std::vector<bool> dead);
+
+  /// Runs one full round (broadcast + synchronized delivery).
+  void run_round();
+
+  /// Runs rounds until every live process has decided or `max_rounds`
+  /// elapsed. Returns the number of rounds executed.
+  std::uint32_t run_until_decided(std::uint32_t max_rounds);
+
+  [[nodiscard]] std::uint32_t n() const noexcept {
+    return static_cast<std::uint32_t>(processes_.size());
+  }
+  [[nodiscard]] bool dead(ProcessId p) const;
+  [[nodiscard]] std::optional<Value> decision_of(ProcessId p) const;
+  [[nodiscard]] bool all_live_decided() const;
+  /// True if no two live processes decided different values.
+  [[nodiscard]] bool agreement_holds() const;
+  [[nodiscard]] std::uint32_t rounds_run() const noexcept { return round_; }
+
+ private:
+  std::vector<std::unique_ptr<LockstepProcess>> processes_;
+  std::vector<bool> dead_;
+  std::uint32_t round_ = 0;
+};
+
+}  // namespace rcp::sim

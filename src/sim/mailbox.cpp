@@ -1,0 +1,24 @@
+#include "sim/mailbox.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace rcp::sim {
+
+Envelope Mailbox::take(std::size_t index) {
+  RCP_EXPECT(index < messages_.size(), "mailbox take out of range");
+  std::swap(messages_[index], messages_.back());
+  Envelope env = std::move(messages_.back());
+  messages_.pop_back();
+  return env;
+}
+
+Envelope Mailbox::take_front_preserving(std::size_t index) {
+  RCP_EXPECT(index < messages_.size(), "mailbox take out of range");
+  Envelope env = std::move(messages_[index]);
+  messages_.erase(messages_.begin() + static_cast<std::ptrdiff_t>(index));
+  return env;
+}
+
+}  // namespace rcp::sim

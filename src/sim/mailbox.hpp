@@ -1,0 +1,44 @@
+// Per-process message buffer.
+//
+// The paper's message system "maintains for each process a message buffer of
+// messages sent to it but not yet received"; receive() removes *some*
+// message nondeterministically. The Mailbox supports O(1) removal at an
+// arbitrary index so delivery policies can realise any nondeterministic
+// choice.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace rcp::sim {
+
+class Mailbox {
+ public:
+  void push(Envelope env) { messages_.push_back(std::move(env)); }
+
+  [[nodiscard]] bool empty() const noexcept { return messages_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return messages_.size(); }
+
+  /// All buffered messages, in arrival order (stable between mutations).
+  [[nodiscard]] const std::vector<Envelope>& contents() const noexcept {
+    return messages_;
+  }
+
+  /// Removes and returns the message at `index`. Order of the remaining
+  /// messages is *not* preserved (swap-remove); delivery policies that care
+  /// about arrival order must use take_front_preserving().
+  [[nodiscard]] Envelope take(std::size_t index);
+
+  /// Removes and returns the message at `index`, preserving the relative
+  /// order of the rest (O(size) shift). Used by FIFO-style policies.
+  [[nodiscard]] Envelope take_front_preserving(std::size_t index);
+
+  void clear() noexcept { messages_.clear(); }
+
+ private:
+  std::vector<Envelope> messages_;
+};
+
+}  // namespace rcp::sim

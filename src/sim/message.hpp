@@ -1,0 +1,27 @@
+// Message envelopes carried by the simulated asynchronous message system.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace rcp::sim {
+
+/// One in-flight message. The simulator stamps the true `sender`, which
+/// gives the authenticated-identity guarantee the paper's malicious model
+/// requires ("the message system must provide a way for correct processes to
+/// verify the identity of the sender of each message"): Byzantine processes
+/// may lie inside `payload` but cannot forge `sender`.
+struct Envelope {
+  ProcessId sender = 0;
+  ProcessId receiver = 0;
+  Bytes payload;
+  /// Global step at which the message was sent (for traces/adversaries).
+  std::uint64_t sent_at_step = 0;
+  /// Monotone sequence number unique across the whole simulation; makes
+  /// delivery order independent of container iteration details.
+  std::uint64_t seq = 0;
+};
+
+}  // namespace rcp::sim

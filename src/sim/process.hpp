@@ -1,0 +1,75 @@
+// The process abstraction: the paper's atomic-step state machine.
+//
+// "In an atomic step of the system, a process can try to receive a message,
+// perform an arbitrary long local computation, and then send a finite set of
+// messages." A Process is therefore a callback object: the simulator hands
+// it one received message (or phi) per step, and all sends it performs
+// through the Context become visible only when the step completes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/message.hpp"
+
+namespace rcp::sim {
+
+/// The interface a process uses to act on the system during one atomic
+/// step. Provided by the simulator; valid only for the duration of the
+/// callback it was passed to.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  [[nodiscard]] virtual ProcessId self() const noexcept = 0;
+  [[nodiscard]] virtual std::uint32_t n() const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t step() const noexcept = 0;
+
+  /// Queues a message for `to`; placed in its buffer when the step ends.
+  /// Sending to self is allowed (the paper's protocols use self-sends to
+  /// requeue messages from future phases).
+  virtual void send(ProcessId to, Bytes payload) = 0;
+
+  /// Queues the same payload for every process 1..n, including self; the
+  /// paper's "for all q, 1 <= q <= n, send(q, ...)".
+  virtual void broadcast(const Bytes& payload) = 0;
+
+  /// Records this process's one-shot decision. Calling twice with different
+  /// values throws InvariantError (the paper: "Once d_p is assigned a value
+  /// v, it can not be changed"); calling twice with the same value is a
+  /// harmless no-op.
+  virtual void decide(Value v) = 0;
+
+  /// This process's private random stream (used by randomized baselines
+  /// such as Ben-Or; the Bracha-Toueg protocols are deterministic and never
+  /// call this).
+  [[nodiscard]] virtual Rng& rng() noexcept = 0;
+};
+
+/// A protocol participant. Implementations must be deterministic functions
+/// of (local state, received message, Context::rng()) so that simulations
+/// replay exactly from a seed.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Called once before any message delivery; typically performs the
+  /// phase-0 broadcast.
+  virtual void on_start(Context& ctx) = 0;
+
+  /// Called when receive() returns a message.
+  virtual void on_message(Context& ctx, const Envelope& env) = 0;
+
+  /// Called when receive() returns the null value phi. Most protocols
+  /// simply retry, i.e. do nothing.
+  virtual void on_null(Context& ctx) { static_cast<void>(ctx); }
+
+  /// Current phase number, for metrics and phase-triggered fault
+  /// injection. Protocols without a phase structure may return 0.
+  [[nodiscard]] virtual Phase phase() const noexcept { return 0; }
+};
+
+}  // namespace rcp::sim

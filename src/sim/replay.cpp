@@ -1,0 +1,154 @@
+#include "sim/replay.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace rcp::sim {
+
+void Schedule::set_last_choice(std::optional<std::uint64_t> seq) {
+  RCP_EXPECT(!steps_.empty(), "no step to attach a delivery choice to");
+  steps_.back().seq = seq;
+}
+
+void Schedule::save(std::ostream& os) const {
+  for (const ScheduleStep& s : steps_) {
+    os << s.actor << ' ';
+    if (s.seq.has_value()) {
+      os << *s.seq;
+    } else {
+      os << "phi";
+    }
+    os << '\n';
+  }
+}
+
+Schedule Schedule::load(std::istream& is) {
+  Schedule schedule;
+  ProcessId actor = 0;
+  std::string token;
+  while (is >> actor >> token) {
+    schedule.append_actor(actor);
+    if (token != "phi") {
+      schedule.set_last_choice(std::stoull(token));
+    }
+  }
+  return schedule;
+}
+
+const ScheduleStep& ReplayCursor::current() const {
+  RCP_EXPECT(!exhausted(), "replay schedule exhausted");
+  return schedule_.steps()[next_];
+}
+
+// ---- Recording -------------------------------------------------------------
+
+RecordingScheduler::RecordingScheduler(std::unique_ptr<SchedulerPolicy> inner,
+                                       std::shared_ptr<Schedule> out)
+    : inner_(std::move(inner)), out_(std::move(out)) {
+  RCP_EXPECT(inner_ != nullptr && out_ != nullptr,
+             "recording scheduler needs an inner policy and a sink");
+}
+
+ProcessId RecordingScheduler::pick(std::span<const ProcessId> eligible,
+                                   Rng& rng) {
+  const ProcessId actor = inner_->pick(eligible, rng);
+  out_->append_actor(actor);
+  return actor;
+}
+
+RecordingDelivery::RecordingDelivery(std::unique_ptr<DeliveryPolicy> inner,
+                                     std::shared_ptr<Schedule> out)
+    : inner_(std::move(inner)), out_(std::move(out)) {
+  RCP_EXPECT(inner_ != nullptr && out_ != nullptr,
+             "recording delivery needs an inner policy and a sink");
+}
+
+std::optional<std::size_t> RecordingDelivery::pick(ProcessId receiver,
+                                                   const Mailbox& mailbox,
+                                                   std::uint64_t now_step,
+                                                   Rng& rng) {
+  const auto choice = inner_->pick(receiver, mailbox, now_step, rng);
+  if (choice.has_value()) {
+    out_->set_last_choice(mailbox.contents()[*choice].seq);
+  } else {
+    out_->set_last_choice(std::nullopt);
+  }
+  return choice;
+}
+
+bool RecordingDelivery::order_preserving() const noexcept {
+  return inner_->order_preserving();
+}
+
+// ---- Replaying --------------------------------------------------------------
+
+ReplayScheduler::ReplayScheduler(std::shared_ptr<ReplayCursor> cursor)
+    : cursor_(std::move(cursor)) {
+  RCP_EXPECT(cursor_ != nullptr, "replay scheduler needs a cursor");
+}
+
+ProcessId ReplayScheduler::pick(std::span<const ProcessId> eligible,
+                                Rng& /*rng*/) {
+  const ScheduleStep& step = cursor_->current();
+  const bool is_eligible =
+      std::find(eligible.begin(), eligible.end(), step.actor) != eligible.end();
+  RCP_INVARIANT(is_eligible,
+                "replay diverged: recorded actor is no longer eligible");
+  return step.actor;
+}
+
+ReplayDelivery::ReplayDelivery(std::shared_ptr<ReplayCursor> cursor)
+    : cursor_(std::move(cursor)) {
+  RCP_EXPECT(cursor_ != nullptr, "replay delivery needs a cursor");
+}
+
+std::optional<std::size_t> ReplayDelivery::pick(ProcessId /*receiver*/,
+                                                const Mailbox& mailbox,
+                                                std::uint64_t /*now_step*/,
+                                                Rng& /*rng*/) {
+  const ScheduleStep step = cursor_->current();
+  cursor_->advance();  // one schedule entry per atomic step
+  if (!step.seq.has_value()) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < mailbox.size(); ++i) {
+    if (mailbox.contents()[i].seq == *step.seq) {
+      return i;
+    }
+  }
+  RCP_INVARIANT(false, "replay diverged: recorded message not in mailbox");
+}
+
+RecordingPolicies make_recording_policies(
+    std::unique_ptr<DeliveryPolicy> delivery,
+    std::unique_ptr<SchedulerPolicy> scheduler) {
+  auto schedule = std::make_shared<Schedule>();
+  if (!delivery) {
+    delivery = make_uniform_delivery();
+  }
+  if (!scheduler) {
+    scheduler = make_random_scheduler();
+  }
+  return RecordingPolicies{
+      .scheduler = std::make_unique<RecordingScheduler>(std::move(scheduler),
+                                                        schedule),
+      .delivery =
+          std::make_unique<RecordingDelivery>(std::move(delivery), schedule),
+      .schedule = schedule,
+  };
+}
+
+ReplayPolicies make_replay_policies(Schedule schedule) {
+  auto cursor = std::make_shared<ReplayCursor>(std::move(schedule));
+  return ReplayPolicies{
+      .scheduler = std::make_unique<ReplayScheduler>(cursor),
+      .delivery = std::make_unique<ReplayDelivery>(cursor),
+      .cursor = cursor,
+  };
+}
+
+}  // namespace rcp::sim

@@ -1,0 +1,154 @@
+// Schedule capture and deterministic replay.
+//
+// A consensus bug usually lives in one adversarial interleaving; once a
+// randomized search finds it, you want to replay *exactly* that execution
+// under a debugger or after a code change. A Schedule records, for every
+// atomic step, which process acted and which buffered message (by global
+// sequence number) its receive() returned; Recording{Scheduler,Delivery}
+// capture it from a live run, Replay{Scheduler,Delivery} re-drive a fresh
+// simulation through the identical interleaving.
+//
+// Replay is exact as long as the protocol code is deterministic given the
+// delivered messages (all rcp protocols are; Ben-Or additionally needs the
+// same per-process RNG seed, which SimConfig::seed pins).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/delivery.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rcp::sim {
+
+/// One atomic step: which process acted, and which message (by envelope
+/// seq) it received — nullopt for a phi step.
+struct ScheduleStep {
+  ProcessId actor = 0;
+  std::optional<std::uint64_t> seq;
+};
+
+class Schedule {
+ public:
+  void append_actor(ProcessId actor) { steps_.push_back({actor, {}}); }
+  void set_last_choice(std::optional<std::uint64_t> seq);
+
+  [[nodiscard]] const std::vector<ScheduleStep>& steps() const noexcept {
+    return steps_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return steps_.size(); }
+
+  /// Text form: one "actor seq" (or "actor phi") pair per line.
+  void save(std::ostream& os) const;
+  [[nodiscard]] static Schedule load(std::istream& is);
+
+ private:
+  std::vector<ScheduleStep> steps_;
+};
+
+/// Shared replay cursor (scheduler consumes the actor, delivery the seq).
+class ReplayCursor {
+ public:
+  explicit ReplayCursor(Schedule schedule) : schedule_(std::move(schedule)) {}
+
+  [[nodiscard]] const Schedule& schedule() const noexcept { return schedule_; }
+  [[nodiscard]] bool exhausted() const noexcept {
+    return next_ >= schedule_.steps().size();
+  }
+  [[nodiscard]] const ScheduleStep& current() const;
+  void advance() { ++next_; }
+
+ private:
+  Schedule schedule_;
+  std::size_t next_ = 0;
+};
+
+// ---- Recording -----------------------------------------------------------
+
+/// Wraps a scheduler, appending each chosen actor to the schedule.
+class RecordingScheduler final : public SchedulerPolicy {
+ public:
+  RecordingScheduler(std::unique_ptr<SchedulerPolicy> inner,
+                     std::shared_ptr<Schedule> out);
+
+  [[nodiscard]] ProcessId pick(std::span<const ProcessId> eligible,
+                               Rng& rng) override;
+
+ private:
+  std::unique_ptr<SchedulerPolicy> inner_;
+  std::shared_ptr<Schedule> out_;
+};
+
+/// Wraps a delivery policy, recording the seq of each delivered message.
+class RecordingDelivery final : public DeliveryPolicy {
+ public:
+  RecordingDelivery(std::unique_ptr<DeliveryPolicy> inner,
+                    std::shared_ptr<Schedule> out);
+
+  [[nodiscard]] std::optional<std::size_t> pick(ProcessId receiver,
+                                                const Mailbox& mailbox,
+                                                std::uint64_t now_step,
+                                                Rng& rng) override;
+  [[nodiscard]] bool order_preserving() const noexcept override;
+
+ private:
+  std::unique_ptr<DeliveryPolicy> inner_;
+  std::shared_ptr<Schedule> out_;
+};
+
+// ---- Replaying ------------------------------------------------------------
+
+/// Forces the recorded actor each step. Throws InvariantError if the
+/// recorded actor is not currently eligible (i.e. the run diverged).
+class ReplayScheduler final : public SchedulerPolicy {
+ public:
+  explicit ReplayScheduler(std::shared_ptr<ReplayCursor> cursor);
+
+  [[nodiscard]] ProcessId pick(std::span<const ProcessId> eligible,
+                               Rng& rng) override;
+
+ private:
+  std::shared_ptr<ReplayCursor> cursor_;
+};
+
+/// Forces the recorded message (by seq) each step. Throws InvariantError if
+/// the recorded seq is not in the mailbox (the run diverged).
+class ReplayDelivery final : public DeliveryPolicy {
+ public:
+  explicit ReplayDelivery(std::shared_ptr<ReplayCursor> cursor);
+
+  [[nodiscard]] std::optional<std::size_t> pick(ProcessId receiver,
+                                                const Mailbox& mailbox,
+                                                std::uint64_t now_step,
+                                                Rng& rng) override;
+
+ private:
+  std::shared_ptr<ReplayCursor> cursor_;
+};
+
+/// Convenience: (recording scheduler, recording delivery, schedule handle).
+struct RecordingPolicies {
+  std::unique_ptr<SchedulerPolicy> scheduler;
+  std::unique_ptr<DeliveryPolicy> delivery;
+  std::shared_ptr<Schedule> schedule;
+};
+
+/// Wraps the given (or default uniform/random) policies for capture.
+[[nodiscard]] RecordingPolicies make_recording_policies(
+    std::unique_ptr<DeliveryPolicy> delivery = nullptr,
+    std::unique_ptr<SchedulerPolicy> scheduler = nullptr);
+
+/// Builds the pair of replay policies driving a fresh simulation through
+/// `schedule`.
+struct ReplayPolicies {
+  std::unique_ptr<SchedulerPolicy> scheduler;
+  std::unique_ptr<DeliveryPolicy> delivery;
+  std::shared_ptr<ReplayCursor> cursor;
+};
+
+[[nodiscard]] ReplayPolicies make_replay_policies(Schedule schedule);
+
+}  // namespace rcp::sim

@@ -1,0 +1,37 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rcp::sim {
+
+ProcessId RandomScheduler::pick(std::span<const ProcessId> eligible,
+                                Rng& rng) {
+  RCP_EXPECT(!eligible.empty(), "scheduler invoked with no eligible process");
+  return eligible[static_cast<std::size_t>(rng.below(eligible.size()))];
+}
+
+ProcessId RoundRobinScheduler::pick(std::span<const ProcessId> eligible,
+                                    Rng& /*rng*/) {
+  RCP_EXPECT(!eligible.empty(), "scheduler invoked with no eligible process");
+  if (!started_) {
+    started_ = true;
+    last_ = eligible.front();
+    return last_;
+  }
+  // Smallest eligible id strictly greater than last_, wrapping around.
+  const auto it = std::upper_bound(eligible.begin(), eligible.end(), last_);
+  last_ = (it == eligible.end()) ? eligible.front() : *it;
+  return last_;
+}
+
+std::unique_ptr<SchedulerPolicy> make_random_scheduler() {
+  return std::make_unique<RandomScheduler>();
+}
+
+std::unique_ptr<SchedulerPolicy> make_round_robin_scheduler() {
+  return std::make_unique<RoundRobinScheduler>();
+}
+
+}  // namespace rcp::sim

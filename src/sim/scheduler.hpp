@@ -1,0 +1,50 @@
+// Scheduler policies: which process performs the next atomic step.
+//
+// The paper's executions are arbitrary interleavings of atomic steps; the
+// convergence assumption only constrains *message* nondeterminism, so any
+// fair scheduler suffices for the probability-1 termination results.
+// RandomScheduler draws uniformly (fair); RoundRobinScheduler is the
+// deterministic fair baseline; adversarial schedulers live in src/adversary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace rcp::sim {
+
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  /// Picks the next process to step from `eligible` (non-empty, sorted by
+  /// id). Returns one of its elements.
+  [[nodiscard]] virtual ProcessId pick(std::span<const ProcessId> eligible,
+                                       Rng& rng) = 0;
+};
+
+/// Uniform random choice among eligible processes.
+class RandomScheduler final : public SchedulerPolicy {
+ public:
+  [[nodiscard]] ProcessId pick(std::span<const ProcessId> eligible,
+                               Rng& rng) override;
+};
+
+/// Cycles through process ids, skipping ineligible ones.
+class RoundRobinScheduler final : public SchedulerPolicy {
+ public:
+  [[nodiscard]] ProcessId pick(std::span<const ProcessId> eligible,
+                               Rng& rng) override;
+
+ private:
+  ProcessId last_ = 0;
+  bool started_ = false;
+};
+
+[[nodiscard]] std::unique_ptr<SchedulerPolicy> make_random_scheduler();
+[[nodiscard]] std::unique_ptr<SchedulerPolicy> make_round_robin_scheduler();
+
+}  // namespace rcp::sim

@@ -1,0 +1,72 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace rcp::sim {
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::start:
+      return "start";
+    case EventKind::deliver:
+      return "deliver";
+    case EventKind::phi:
+      return "phi";
+    case EventKind::send:
+      return "send";
+    case EventKind::decide:
+      return "decide";
+    case EventKind::crash:
+      return "crash";
+  }
+  return "?";
+}
+
+RecordingTrace::RecordingTrace(std::size_t capacity) : capacity_(capacity) {
+  events_.reserve(std::min<std::size_t>(capacity, 4096));
+}
+
+void RecordingTrace::record(const Event& event) {
+  if (events_.size() < capacity_) {
+    events_.push_back(event);
+    return;
+  }
+  // Ring overwrite: keep the most recent `capacity_` events.
+  events_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::size_t RecordingTrace::count(EventKind kind) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const Event& e) { return e.kind == kind; }));
+}
+
+void RecordingTrace::dump(std::ostream& os) const {
+  for (const Event& e : events_) {
+    os << '[' << e.step << "] p" << e.process << ' ' << to_string(e.kind);
+    switch (e.kind) {
+      case EventKind::deliver:
+        os << " from p" << e.peer << " (" << e.payload_size << "B)";
+        break;
+      case EventKind::send:
+        os << " to p" << e.peer << " (" << e.payload_size << "B)";
+        break;
+      case EventKind::decide:
+        if (e.decision) {
+          os << " value " << *e.decision;
+        }
+        break;
+      default:
+        break;
+    }
+    os << '\n';
+  }
+  if (dropped_ > 0) {
+    os << "(" << dropped_ << " earlier events dropped)\n";
+  }
+}
+
+}  // namespace rcp::sim

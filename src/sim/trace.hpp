@@ -1,0 +1,68 @@
+// Execution tracing: an optional event sink the simulator reports to.
+//
+// Used by tests to assert fine-grained protocol behaviour and by examples
+// to narrate runs. The default sink discards everything at zero cost.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rcp::sim {
+
+enum class EventKind : std::uint8_t {
+  start,      ///< process performed its on_start step
+  deliver,    ///< a message was removed from a buffer and handled
+  phi,        ///< receive() returned the null value
+  send,       ///< a message entered a buffer
+  decide,     ///< a process recorded its decision
+  crash,      ///< a process was killed (fail-stop)
+};
+
+struct Event {
+  EventKind kind{};
+  std::uint64_t step = 0;
+  ProcessId process = 0;        ///< acting / receiving process
+  ProcessId peer = 0;           ///< sender (deliver) or receiver (send)
+  std::uint64_t payload_size = 0;
+  std::optional<Value> decision;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const Event& event) = 0;
+};
+
+/// Stores every event in memory (bounded by `capacity`; older events are
+/// dropped once full, keeping the most recent window).
+class RecordingTrace final : public TraceSink {
+ public:
+  explicit RecordingTrace(std::size_t capacity = 1 << 20);
+
+  void record(const Event& event) override;
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Number of recorded events of one kind.
+  [[nodiscard]] std::size_t count(EventKind kind) const noexcept;
+
+  /// Human-readable dump, one event per line.
+  void dump(std::ostream& os) const;
+
+ private:
+  std::vector<Event> events_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;   ///< ring-buffer write cursor once full
+  std::uint64_t dropped_ = 0;
+};
+
+[[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+}  // namespace rcp::sim

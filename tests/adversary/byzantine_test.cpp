@@ -1,0 +1,189 @@
+// Byzantine strategy behaviour, observed through traces and through the
+// protocols they attack.
+#include "adversary/byzantine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/scenario.hpp"
+#include "core/messages.hpp"
+#include "sim/simulation.hpp"
+#include "support/probe_process.hpp"
+#include "support/run_helpers.hpp"
+
+namespace rcp {
+namespace {
+
+using adversary::ByzantineKind;
+using adversary::Scenario;
+using core::EchoProtocolMsg;
+
+TEST(Byzantine, FactoryCoversAllKinds) {
+  for (const auto kind :
+       {ByzantineKind::silent, ByzantineKind::equivocator,
+        ByzantineKind::balancer, ByzantineKind::babbler}) {
+    EXPECT_NE(adversary::make_byzantine(kind, {7, 2}), nullptr);
+  }
+}
+
+TEST(Byzantine, KindNames) {
+  EXPECT_STREQ(to_string(ByzantineKind::silent), "silent");
+  EXPECT_STREQ(to_string(ByzantineKind::equivocator), "equivocator");
+  EXPECT_STREQ(to_string(ByzantineKind::balancer), "balancer");
+  EXPECT_STREQ(to_string(ByzantineKind::babbler), "babbler");
+}
+
+TEST(Byzantine, SilentSendsNothing) {
+  test::ProbeFleet fleet(1);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  procs.push_back(std::make_unique<adversary::SilentByzantine>());
+  procs.push_back(std::move(fleet.processes[0]));
+  sim::Simulation s(sim::SimConfig{.n = 2, .seed = 1}, std::move(procs));
+  s.start();
+  EXPECT_EQ(s.metrics().messages_sent, 0u);
+}
+
+// Captures everything the Byzantine process under test sends to us.
+struct ByzantineHarness {
+  std::unique_ptr<sim::Simulation> simulation;
+  test::ProbeProcess* observer = nullptr;
+
+  /// Slot 0 is the Byzantine process; slot 1 observes; slot 1's start_fn
+  /// sends `stimulus` to the Byzantine process.
+  ByzantineHarness(std::unique_ptr<sim::Process> byz, Bytes stimulus) {
+    auto probe = std::make_unique<test::ProbeProcess>();
+    observer = probe.get();
+    probe->start_fn = [payload = std::move(stimulus)](sim::Context& ctx) {
+      ctx.send(0, payload);
+    };
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    procs.push_back(std::move(byz));
+    procs.push_back(std::move(probe));
+    simulation = std::make_unique<sim::Simulation>(
+        sim::SimConfig{.n = 2, .seed = 9, .max_steps = 10'000},
+        std::move(procs));
+    simulation->mark_faulty(0);
+  }
+};
+
+TEST(Byzantine, EquivocatorSendsDifferentValuesToHalves) {
+  // n = 2: id 0 (the equivocator itself) is in the low half, id 1 high.
+  ByzantineHarness h(
+      std::make_unique<adversary::EquivocatorByzantine>(
+          core::ConsensusParams{2, 0}),
+      EchoProtocolMsg{.is_echo = false, .from = 1, .value = Value::zero,
+                      .phase = 0}
+          .encode());
+  h.simulation->start();
+  while (h.simulation->step()) {
+  }
+  // The observer (id 1, high half) got the equivocator's phase-0 initial
+  // with value one, plus a two-faced echo of our own initial flipped to one.
+  bool saw_initial_one = false;
+  bool saw_flipped_echo = false;
+  for (const auto& env : h.observer->received) {
+    const auto msg = EchoProtocolMsg::decode(env.payload);
+    if (!msg.is_echo && msg.from == 0 && msg.value == Value::one) {
+      saw_initial_one = true;
+    }
+    if (msg.is_echo && msg.from == 1 && msg.value == Value::one) {
+      saw_flipped_echo = true;
+    }
+  }
+  EXPECT_TRUE(saw_initial_one);
+  EXPECT_TRUE(saw_flipped_echo);
+}
+
+TEST(Byzantine, BalancerVotesAgainstObservedMajority) {
+  ByzantineHarness h(
+      std::make_unique<adversary::BalancerByzantine>(
+          core::ConsensusParams{2, 0}),
+      EchoProtocolMsg{.is_echo = false, .from = 1, .value = Value::one,
+                      .phase = 0}
+          .encode());
+  h.simulation->start();
+  while (h.simulation->step()) {
+  }
+  // Phase 0 vote is 1 (nothing observed yet). After observing our 1 in
+  // phase 0, a phase-1 stimulus would draw a 0 vote; simulate by feeding a
+  // phase-1 initial and stepping again. We check at least the phase-0 vote
+  // and the honest echo of our initial arrived.
+  bool saw_vote = false;
+  bool saw_honest_echo = false;
+  for (const auto& env : h.observer->received) {
+    const auto msg = EchoProtocolMsg::decode(env.payload);
+    if (!msg.is_echo && msg.from == 0 && msg.phase == 0) {
+      saw_vote = true;
+    }
+    if (msg.is_echo && msg.from == 1 && msg.value == Value::one) {
+      saw_honest_echo = true;
+    }
+  }
+  EXPECT_TRUE(saw_vote);
+  EXPECT_TRUE(saw_honest_echo);
+}
+
+TEST(Byzantine, BabblerEmitsDecodableAndGarbageTraffic) {
+  ByzantineHarness h(
+      std::make_unique<adversary::BabblerByzantine>(
+          core::ConsensusParams{2, 0}),
+      EchoProtocolMsg{.is_echo = false, .from = 1, .value = Value::zero,
+                      .phase = 0}
+          .encode());
+  h.simulation->start();
+  while (h.simulation->step()) {
+  }
+  EXPECT_FALSE(h.observer->received.empty());
+  std::size_t decodable = 0;
+  std::size_t garbage = 0;
+  for (const auto& env : h.observer->received) {
+    try {
+      (void)EchoProtocolMsg::decode(env.payload);
+      ++decodable;
+    } catch (const DecodeError&) {
+      ++garbage;
+    }
+  }
+  EXPECT_GT(decodable, 0u);
+  static_cast<void>(garbage);  // garbage is probabilistic; presence optional
+}
+
+TEST(Byzantine, SplitVoiceSendsZeroLowOneHigh) {
+  test::ProbeFleet fleet(2);
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  procs.push_back(std::move(fleet.processes[0]));  // id 0: observer low
+  procs.push_back(std::make_unique<adversary::SplitVoiceByzantine>(
+      core::ConsensusParams{3, 1}, /*split=*/1));
+  procs.push_back(std::move(fleet.processes[1]));  // id 2: observer high
+  sim::Simulation s(sim::SimConfig{.n = 3, .seed = 2}, std::move(procs));
+  s.mark_faulty(1);
+  s.start();
+  while (s.step()) {
+  }
+  ASSERT_FALSE(fleet.probes[0]->received.empty());
+  ASSERT_FALSE(fleet.probes[1]->received.empty());
+  EXPECT_EQ(core::MajorityMsg::decode(fleet.probes[0]->received[0].payload).value,
+            Value::zero);
+  EXPECT_EQ(core::MajorityMsg::decode(fleet.probes[1]->received[0].payload).value,
+            Value::one);
+}
+
+TEST(Byzantine, ForgedInitialsAreImpotent) {
+  // A babbler forges echoes and garbage; the malicious protocol's engine
+  // must never accept a forged origin's value without a real quorum. We
+  // assert system-level consistency under a lone babbler at k = 1, n = 4.
+  Scenario s;
+  s.protocol = adversary::ProtocolKind::malicious;
+  s.params = {4, 1};
+  s.inputs = adversary::alternating_inputs(4);
+  s.byzantine_ids = {3};
+  s.byzantine_kind = ByzantineKind::babbler;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    s.seed = seed;
+    const auto out = test::run_scenario(s);
+    EXPECT_EQ(out.status, sim::RunStatus::all_decided) << "seed " << seed;
+    EXPECT_TRUE(out.agreement) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rcp

@@ -1,0 +1,87 @@
+#include "adversary/crash_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "support/probe_process.hpp"
+
+namespace rcp::adversary {
+namespace {
+
+TEST(CrashPlan, ManualConstruction) {
+  CrashPlan plan;
+  plan.add_step_crash(1, 10);
+  plan.add_phase_crash(2, 3);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_FALSE(plan.events()[0].by_phase);
+  EXPECT_EQ(plan.events()[0].victim, 1u);
+  EXPECT_EQ(plan.events()[0].at_step, 10u);
+  EXPECT_TRUE(plan.events()[1].by_phase);
+  EXPECT_EQ(plan.events()[1].at_phase, 3u);
+}
+
+TEST(CrashPlan, RandomVictimsDistinctAndInRange) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const CrashPlan plan = CrashPlan::random(10, 4, 100, rng);
+    EXPECT_EQ(plan.size(), 4u);
+    std::set<ProcessId> victims;
+    for (const auto& e : plan.events()) {
+      EXPECT_LT(e.victim, 10u);
+      EXPECT_LE(e.at_step, 100u);
+      victims.insert(e.victim);
+    }
+    EXPECT_EQ(victims.size(), 4u);
+  }
+}
+
+TEST(CrashPlan, RandomPhaseBoundariesWithinRange) {
+  Rng rng(2);
+  const CrashPlan plan = CrashPlan::random_phase_boundaries(8, 3, 5, rng);
+  EXPECT_EQ(plan.size(), 3u);
+  for (const auto& e : plan.events()) {
+    EXPECT_TRUE(e.by_phase);
+    EXPECT_LE(e.at_phase, 5u);
+  }
+}
+
+TEST(CrashPlan, InitiallyDeadAllAtStepZero) {
+  Rng rng(3);
+  const CrashPlan plan = CrashPlan::initially_dead(6, 2, rng);
+  for (const auto& e : plan.events()) {
+    EXPECT_FALSE(e.by_phase);
+    EXPECT_EQ(e.at_step, 0u);
+  }
+}
+
+TEST(CrashPlan, StaggeredOneDeathPerPhase) {
+  const CrashPlan plan = CrashPlan::staggered(3);
+  ASSERT_EQ(plan.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(plan.events()[i].victim, i);
+    EXPECT_EQ(plan.events()[i].at_phase, i + 1);
+  }
+}
+
+TEST(CrashPlan, TooManyVictimsThrows) {
+  Rng rng(4);
+  EXPECT_THROW((void)CrashPlan::random(3, 4, 10, rng), PreconditionError);
+  EXPECT_THROW((void)CrashPlan::initially_dead(3, 4, rng), PreconditionError);
+}
+
+TEST(CrashPlan, ApplyRegistersWithSimulation) {
+  CrashPlan plan;
+  plan.add_step_crash(0, 0);
+  test::ProbeFleet fleet(2);
+  sim::Simulation s(sim::SimConfig{.n = 2, .seed = 1},
+                    std::move(fleet.processes));
+  plan.apply(s);
+  s.start();
+  EXPECT_FALSE(s.alive(0));
+  EXPECT_TRUE(s.alive(1));
+}
+
+}  // namespace
+}  // namespace rcp::adversary

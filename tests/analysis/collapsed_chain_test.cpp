@@ -1,0 +1,97 @@
+// The paper's collapsed chain R (eq. 11) and its absorption bound (eq. 13).
+#include "analysis/collapsed_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/failstop_chain.hpp"
+#include "analysis/special.hpp"
+#include "common/error.hpp"
+
+namespace rcp::analysis {
+namespace {
+
+constexpr double kL = CollapsedChain::kPaperL;
+
+TEST(CollapsedChain, KPaperLIsSqrt15) {
+  EXPECT_NEAR(kL * kL, 1.5, 1e-12);
+}
+
+TEST(CollapsedChain, RIsRowStochastic) {
+  for (const unsigned n : {12u, 36u, 144u, 900u}) {
+    const Matrix r = CollapsedChain::r_matrix(n, kL);
+    for (std::size_t row = 0; row < 3; ++row) {
+      EXPECT_NEAR(r.row_sum(row), 1.0, 1e-12) << "n=" << n << " row=" << row;
+      for (std::size_t col = 0; col < 3; ++col) {
+        EXPECT_GE(r.at(row, col), 0.0);
+      }
+    }
+  }
+}
+
+TEST(CollapsedChain, RMatchesEquation11) {
+  const unsigned n = 144;
+  const Matrix r = CollapsedChain::r_matrix(n, kL);
+  const double phi_l = normal_upper_tail(kL);
+  const double g =
+      normal_upper_tail((std::sqrt(144.0) + 3.0 * kL) / std::sqrt(8.0));
+  EXPECT_NEAR(r.at(0, 0), 1.0 - 2.0 * phi_l, 1e-12);
+  EXPECT_NEAR(r.at(0, 1), 2.0 * phi_l, 1e-12);
+  EXPECT_DOUBLE_EQ(r.at(0, 2), 0.0);
+  EXPECT_NEAR(r.at(1, 0), g, 1e-12);
+  EXPECT_NEAR(r.at(1, 1), 0.5 - g, 1e-12);
+  EXPECT_NEAR(r.at(1, 2), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(r.at(2, 2), 1.0);
+}
+
+TEST(CollapsedChain, ClosedFormEqualsFundamentalMatrix) {
+  // Eq. 13 is derived from N = (I-Q)^{-1}; both computations must agree to
+  // numerical precision.
+  for (const unsigned n : {12u, 36u, 144u, 900u}) {
+    EXPECT_NEAR(CollapsedChain::expected_absorption_closed_form(n, kL),
+                CollapsedChain::expected_absorption_via_fundamental(n, kL),
+                1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(CollapsedChain, PaperHeadlineBoundBelowSeven) {
+  // "After substituting the value of l we get that the expected number of
+  // phases is less than 7."
+  EXPECT_LT(CollapsedChain::asymptotic_bound(kL), 7.0);
+  for (const unsigned n : {36u, 144u, 900u, 90000u}) {
+    EXPECT_LT(CollapsedChain::expected_absorption_closed_form(n, kL), 7.0)
+        << "n=" << n;
+  }
+}
+
+TEST(CollapsedChain, BoundConvergesToAsymptoticForLargeN) {
+  const double asym = CollapsedChain::asymptotic_bound(kL);
+  EXPECT_NEAR(CollapsedChain::expected_absorption_closed_form(9'000'000, kL),
+              asym, 1e-9);
+  // Finite n bounds exceed the asymptotic value (the Phi(g) term).
+  EXPECT_GE(CollapsedChain::expected_absorption_closed_form(36, kL), asym);
+}
+
+TEST(CollapsedChain, BoundDominatesExactChain) {
+  // The collapse was constructed to only increase expected absorption time,
+  // so eq. 13 must upper-bound the exact chain's balanced-state time.
+  for (const unsigned n : {12u, 36u, 60u, 120u}) {
+    const FailStopChain exact(n);
+    EXPECT_GE(CollapsedChain::expected_absorption_closed_form(n, kL),
+              exact.expected_phases_from_balanced())
+        << "n=" << n;
+  }
+}
+
+TEST(CollapsedChain, ValidatesInputs) {
+  EXPECT_THROW((void)CollapsedChain::r_matrix(36, -1.0), PreconditionError);
+  EXPECT_THROW((void)CollapsedChain::r_matrix(36, 0.0), PreconditionError);
+  // Any positive l keeps Phi(l) < 1/2, so the rows stay stochastic even for
+  // tiny l.
+  EXPECT_NO_THROW((void)CollapsedChain::r_matrix(36, 1e-9));
+}
+
+}  // namespace
+}  // namespace rcp::analysis

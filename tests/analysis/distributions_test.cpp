@@ -1,0 +1,136 @@
+#include "analysis/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rcp::analysis {
+namespace {
+
+TEST(Binomial, PmfSumsToOne) {
+  for (const double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    for (const unsigned n : {1u, 5u, 20u, 100u}) {
+      double sum = 0.0;
+      for (unsigned j = 0; j <= n; ++j) {
+        sum += binomial_pmf(n, p, j);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(Binomial, DegenerateEdges) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 1.0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 1.0, 9), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0.5, 11), 0.0);
+}
+
+TEST(Binomial, KnownValues) {
+  // Binomial(4, 0.5): pmf = 1/16, 4/16, 6/16, 4/16, 1/16.
+  EXPECT_NEAR(binomial_pmf(4, 0.5, 0), 1.0 / 16, 1e-12);
+  EXPECT_NEAR(binomial_pmf(4, 0.5, 2), 6.0 / 16, 1e-12);
+  EXPECT_NEAR(binomial_pmf(4, 0.5, 4), 1.0 / 16, 1e-12);
+  // Binomial(3, 0.2) at 1: 3 * 0.2 * 0.64 = 0.384.
+  EXPECT_NEAR(binomial_pmf(3, 0.2, 1), 0.384, 1e-12);
+}
+
+TEST(Binomial, MeanFromPmf) {
+  const unsigned n = 30;
+  const double p = 0.37;
+  double mean = 0.0;
+  for (unsigned j = 0; j <= n; ++j) {
+    mean += j * binomial_pmf(n, p, j);
+  }
+  EXPECT_NEAR(mean, n * p, 1e-9);
+}
+
+TEST(Binomial, TailGeqComplementsPmf) {
+  const unsigned n = 12;
+  const double p = 0.4;
+  for (unsigned j = 0; j <= n; ++j) {
+    double expected = 0.0;
+    for (unsigned i = j; i <= n; ++i) {
+      expected += binomial_pmf(n, p, i);
+    }
+    EXPECT_NEAR(binomial_tail_geq(n, p, j), expected, 1e-12);
+  }
+  EXPECT_NEAR(binomial_tail_geq(n, p, 0), 1.0, 1e-12);
+}
+
+TEST(Hypergeometric, PmfSumsToOne) {
+  const unsigned pop = 20;
+  for (unsigned special = 0; special <= pop; special += 4) {
+    for (unsigned sample = 1; sample <= pop; sample += 5) {
+      double sum = 0.0;
+      for (unsigned x = 0; x <= sample; ++x) {
+        sum += hypergeometric_pmf(pop, special, sample, x);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9)
+          << "special=" << special << " sample=" << sample;
+    }
+  }
+}
+
+TEST(Hypergeometric, KnownValue) {
+  // Population 10, 4 special, sample 3: P[X = 2] = C(4,2)C(6,1)/C(10,3)
+  // = 6*6/120 = 0.3.
+  EXPECT_NEAR(hypergeometric_pmf(10, 4, 3, 2), 0.3, 1e-12);
+}
+
+TEST(Hypergeometric, SupportBounds) {
+  // Sample 8 from population 10 with 4 special: at least 2 special items
+  // must be drawn (only 6 non-special exist).
+  EXPECT_DOUBLE_EQ(hypergeometric_pmf(10, 4, 8, 1), 0.0);
+  EXPECT_GT(hypergeometric_pmf(10, 4, 8, 2), 0.0);
+  EXPECT_DOUBLE_EQ(hypergeometric_pmf(10, 4, 8, 5), 0.0);
+}
+
+TEST(Hypergeometric, MeanAndVarianceFormulas) {
+  // Paper eq. 4 and 5.
+  const unsigned pop = 30, special = 12, sample = 10;
+  EXPECT_NEAR(hypergeometric_mean(pop, special, sample),
+              10.0 * 12.0 / 30.0, 1e-12);
+  const double expected_var =
+      10.0 * 12.0 * 18.0 * 20.0 / (30.0 * 30.0 * 29.0);
+  EXPECT_NEAR(hypergeometric_variance(pop, special, sample), expected_var,
+              1e-12);
+  // Cross-check against moments of the pmf.
+  double mean = 0.0, second = 0.0;
+  for (unsigned x = 0; x <= sample; ++x) {
+    const double p = hypergeometric_pmf(pop, special, sample, x);
+    mean += x * p;
+    second += static_cast<double>(x) * x * p;
+  }
+  EXPECT_NEAR(mean, hypergeometric_mean(pop, special, sample), 1e-9);
+  EXPECT_NEAR(second - mean * mean,
+              hypergeometric_variance(pop, special, sample), 1e-9);
+}
+
+TEST(Hypergeometric, TailGreaterStrict) {
+  const unsigned pop = 12, special = 5, sample = 6;
+  for (unsigned x = 0; x <= sample; ++x) {
+    double expected = 0.0;
+    for (unsigned i = x + 1; i <= sample; ++i) {
+      expected += hypergeometric_pmf(pop, special, sample, i);
+    }
+    EXPECT_NEAR(hypergeometric_tail_greater(pop, special, sample, x), expected,
+                1e-12);
+  }
+}
+
+TEST(Hypergeometric, ChebyshevBoundFromPaper) {
+  // The paper derives w_{n/2 - l*sqrt(n)/2 - 1} < 1/(2 l^2) via Chebyshev
+  // (eq. 6-7); verify the exact tail respects the bound at l^2 = 1.5.
+  for (const unsigned n : {36u, 144u, 576u}) {
+    const double l = std::sqrt(1.5);
+    const unsigned state =
+        static_cast<unsigned>(n / 2.0 - l * std::sqrt(n) / 2.0 - 1.0);
+    const double w = hypergeometric_tail_greater(n, state, 2 * n / 3, n / 3);
+    EXPECT_LT(w, 1.0 / (2.0 * 1.5)) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace rcp::analysis

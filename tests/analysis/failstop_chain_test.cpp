@@ -1,0 +1,145 @@
+// Section 4.1 chain: structure, the paper's w_i law, and the headline
+// "expected number of phases is less than 7".
+#include "analysis/failstop_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/collapsed_chain.hpp"
+#include "analysis/distributions.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace rcp::analysis {
+namespace {
+
+TEST(FailStopChain, RequiresDivisibleBySix) {
+  EXPECT_THROW(FailStopChain(5), PreconditionError);
+  EXPECT_THROW(FailStopChain(10), PreconditionError);
+  EXPECT_NO_THROW(FailStopChain(6));
+  EXPECT_NO_THROW(FailStopChain(12));
+}
+
+TEST(FailStopChain, AbsorbingRegionsMatchPaper) {
+  const FailStopChain c(12);  // n/3 = 4, 2n/3 = 8
+  for (unsigned i = 0; i <= 12; ++i) {
+    const bool expected = i <= 3 || i >= 9;
+    EXPECT_EQ(c.is_absorbing_state(i), expected) << "state " << i;
+    EXPECT_EQ(c.chain().is_absorbing(i), expected) << "state " << i;
+  }
+}
+
+TEST(FailStopChain, WExtremes) {
+  const FailStopChain c(12);
+  // With no 1s in the population, no sample can have a 1-majority.
+  EXPECT_DOUBLE_EQ(c.w(0), 0.0);
+  // All 1s: every sample is all 1s.
+  EXPECT_DOUBLE_EQ(c.w(12), 1.0);
+}
+
+TEST(FailStopChain, WMonotoneInState) {
+  const FailStopChain c(30);
+  for (unsigned i = 0; i < 30; ++i) {
+    EXPECT_LE(c.w(i), c.w(i + 1) + 1e-12) << "state " << i;
+  }
+}
+
+TEST(FailStopChain, WMatchesDirectHypergeometric) {
+  const FailStopChain c(18);  // sample 12, threshold > 6
+  for (unsigned i = 0; i <= 18; ++i) {
+    EXPECT_NEAR(c.w(i), hypergeometric_tail_greater(18, i, 12, 6), 1e-12);
+  }
+}
+
+TEST(FailStopChain, TieBreakBiasesToZero) {
+  // The majority rule sends exact ties to 0, so from the balanced state the
+  // flip probability is strictly below 1/2.
+  for (const unsigned n : {12u, 30u, 60u}) {
+    const FailStopChain c(n);
+    EXPECT_LT(c.w(n / 2), 0.5);
+    EXPECT_GT(c.w(n / 2), 0.0);
+  }
+}
+
+TEST(FailStopChain, ExpectedPhasesBelowPaperBound) {
+  // The paper's headline: expected phases < 7 (via the collapsed chain with
+  // l^2 = 1.5). The exact chain must respect the bound everywhere.
+  for (const unsigned n : {6u, 12u, 30u, 60u, 120u}) {
+    const FailStopChain c(n);
+    EXPECT_LT(c.expected_phases_from_balanced(), 7.0) << "n=" << n;
+    for (unsigned i = 0; i <= n; ++i) {
+      EXPECT_LT(c.expected_phases_from(i), 7.0) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(FailStopChain, SlowestStateSitsJustAboveBalance) {
+  // The tie-to-0 majority rule biases the walk downward, so the slowest
+  // transient state is not the balanced state itself but one slightly
+  // above it (the downward drift must first carry it across the centre).
+  const FailStopChain c(30);
+  unsigned argmax = 0;
+  double worst = 0.0;
+  for (unsigned i = 0; i <= 30; ++i) {
+    if (c.expected_phases_from(i) > worst) {
+      worst = c.expected_phases_from(i);
+      argmax = i;
+    }
+  }
+  EXPECT_GT(argmax, 30u / 2 - 1);
+  EXPECT_LE(argmax, 2 * 30u / 3);
+  EXPECT_GE(worst, c.expected_phases_from_balanced());
+}
+
+TEST(FailStopChain, AbsorbingStatesHaveZeroTime) {
+  const FailStopChain c(12);
+  EXPECT_DOUBLE_EQ(c.expected_phases_from(0), 0.0);
+  EXPECT_DOUBLE_EQ(c.expected_phases_from(12), 0.0);
+  EXPECT_GT(c.expected_phases_from(6), 0.0);
+}
+
+TEST(FailStopChain, MonteCarloAgreesWithExact) {
+  const FailStopChain c(12);
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(static_cast<double>(c.chain().simulate_hitting_time(6, rng)));
+  }
+  EXPECT_NEAR(stats.mean(), c.expected_phases_from_balanced(), 0.05);
+}
+
+TEST(FailStopChain, MajorityLikelyWins) {
+  // The paper: "the consensus value is still likely to be equal to the
+  // majority of the initial input values."
+  const FailStopChain c(30);
+  // From a clear 1-majority transient state, deciding 1 dominates.
+  EXPECT_GT(c.probability_decide_one_from(19), 0.9);
+  // Symmetric dominance for a 0-majority state.
+  EXPECT_LT(c.probability_decide_one_from(11), 0.1);
+  // Monotone in the starting count.
+  for (unsigned i = 0; i < 30; ++i) {
+    EXPECT_LE(c.probability_decide_one_from(i),
+              c.probability_decide_one_from(i + 1) + 1e-9)
+        << "state " << i;
+  }
+  // Absorbing endpoints are certain.
+  EXPECT_DOUBLE_EQ(c.probability_decide_one_from(0), 0.0);
+  EXPECT_DOUBLE_EQ(c.probability_decide_one_from(30), 1.0);
+}
+
+TEST(FailStopChain, TieBiasPullsBalancedStateBelowHalf) {
+  // The tie-to-0 rule makes even the balanced state favour a 0-decision.
+  for (const unsigned n : {12u, 30u, 60u}) {
+    const FailStopChain c(n);
+    EXPECT_LT(c.probability_decide_one_from(n / 2), 0.5) << "n=" << n;
+  }
+}
+
+TEST(FailStopChain, StateOutOfRangeThrows) {
+  const FailStopChain c(6);
+  EXPECT_THROW((void)c.w(7), PreconditionError);
+  EXPECT_THROW((void)c.expected_phases_from(7), PreconditionError);
+  EXPECT_THROW((void)c.probability_decide_one_from(7), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rcp::analysis

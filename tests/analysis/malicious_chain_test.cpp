@@ -1,0 +1,123 @@
+// Section 4.2 chain: the balancing attack against the malicious protocol,
+// k <= n/5, k = l sqrt(n) / 2.
+#include "analysis/malicious_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace rcp::analysis {
+namespace {
+
+TEST(MaliciousChain, Validation) {
+  EXPECT_NO_THROW(MaliciousChain(36, 4));
+  EXPECT_THROW(MaliciousChain(36, 3), PreconditionError);   // n-k odd
+  EXPECT_THROW(MaliciousChain(36, 12), PreconditionError);  // 3k = n
+  EXPECT_THROW(MaliciousChain(2, 0), PreconditionError);    // n too small
+}
+
+TEST(MaliciousChain, VisibleOnesBalancing) {
+  const MaliciousChain c(36, 4);  // m = 32, balanced state 16
+  // Below balance: all 4 malicious vote 1.
+  EXPECT_EQ(c.visible_ones(10), 14u);
+  // Above balance: they vote 0.
+  EXPECT_EQ(c.visible_ones(20), 20u);
+  // At balance: split, so the visible population is exactly n/2.
+  EXPECT_EQ(c.visible_ones(16), 18u);
+  EXPECT_EQ(c.visible_ones(16), 36u / 2);
+}
+
+TEST(MaliciousChain, AbsorbingRegionsMatchPaper) {
+  const MaliciousChain c(36, 4);  // (n-3k)/2 = 12, (n+k)/2 = 20, m = 32
+  for (unsigned s = 0; s <= 32; ++s) {
+    const bool expected = s < 12 || s > 20;
+    EXPECT_EQ(c.is_absorbing_state(s), expected) << "state " << s;
+  }
+}
+
+TEST(MaliciousChain, WExtremesAndMonotonicityOutsideBalanceBand) {
+  const MaliciousChain c(36, 4);
+  EXPECT_LT(c.w(0), 1e-6);
+  EXPECT_GT(c.w(32), 1.0 - 1e-6);
+  // w is monotone in the visible population.
+  for (unsigned s = 17; s < 32; ++s) {
+    EXPECT_LE(c.w(s), c.w(s + 1) + 1e-12);
+  }
+}
+
+TEST(MaliciousChain, BalancingFlattensTheCentre) {
+  // Within k of the balanced state the malicious votes pin the visible
+  // population near n/2, so w stays near the balanced value; outside the
+  // band it drifts fast. Compare drift |w - w_balanced| just inside vs
+  // well outside the band.
+  const MaliciousChain c(100, 10);  // m = 90, balanced 45, band ±10
+  const double w_bal = c.w(45);
+  const double inside = std::abs(c.w(50) - w_bal);
+  const double outside = std::abs(c.w(60) - w_bal);
+  EXPECT_LT(inside, outside);
+}
+
+TEST(MaliciousChain, ExpectedPhasesUnderPaperBound) {
+  // The paper bounds expected absorption by 1/(2 Phi(l)). The exact chain
+  // (with the protocol's tie-to-0 bias, which only helps absorption) must
+  // come in under it.
+  struct Case {
+    unsigned n, k;
+  } cases[] = {{36, 4}, {64, 4}, {100, 10}, {144, 6}, {196, 14}};
+  for (const auto& c : cases) {
+    const MaliciousChain chain(c.n, c.k);
+    const double bound = MaliciousChain::paper_bound(chain.effective_l());
+    EXPECT_LT(chain.expected_phases_from_balanced(), bound)
+        << "n=" << c.n << " k=" << c.k;
+  }
+}
+
+TEST(MaliciousChain, ConstantInNForFixedL) {
+  // k = l sqrt(n)/2 with l = 1: k = sqrt(n)/2. Expected phases should be
+  // (asymptotically) independent of n — the paper's headline for Section
+  // 4.2. Allow a small drift band.
+  const MaliciousChain small(64, 4);    // l = 1
+  const MaliciousChain medium(144, 6);  // l = 1
+  const MaliciousChain large(256, 8);   // l = 1
+  EXPECT_NEAR(small.effective_l(), 1.0, 1e-9);
+  EXPECT_NEAR(medium.effective_l(), 1.0, 1e-9);
+  EXPECT_NEAR(large.effective_l(), 1.0, 1e-9);
+  const double e1 = small.expected_phases_from_balanced();
+  const double e2 = medium.expected_phases_from_balanced();
+  const double e3 = large.expected_phases_from_balanced();
+  EXPECT_LT(std::max({e1, e2, e3}) / std::min({e1, e2, e3}), 1.5);
+}
+
+TEST(MaliciousChain, LargerLSlowerConvergence) {
+  // More malicious power (larger l) means slower absorption.
+  const MaliciousChain weak(100, 4);
+  const MaliciousChain strong(100, 10);
+  EXPECT_LT(weak.expected_phases_from_balanced(),
+            strong.expected_phases_from_balanced());
+}
+
+TEST(MaliciousChain, MonteCarloAgreesWithExact) {
+  const MaliciousChain c(64, 4);
+  Rng rng(29);
+  RunningStats stats;
+  const unsigned balanced = (64 - 4) / 2;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(
+        static_cast<double>(c.chain().simulate_hitting_time(balanced, rng)));
+  }
+  EXPECT_NEAR(stats.mean(), c.expected_phases_from_balanced(), 0.05);
+}
+
+TEST(MaliciousChain, Observers) {
+  const MaliciousChain c(36, 4);
+  EXPECT_EQ(c.n(), 36u);
+  EXPECT_EQ(c.k(), 4u);
+  EXPECT_EQ(c.correct(), 32u);
+  EXPECT_THROW((void)c.w(33), PreconditionError);
+  EXPECT_THROW((void)c.visible_ones(33), PreconditionError);
+  EXPECT_THROW((void)c.expected_phases_from(33), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rcp::analysis

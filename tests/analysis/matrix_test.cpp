@@ -1,0 +1,139 @@
+#include "analysis/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rcp::analysis {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 0.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.5);
+  m.at(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 7.0);
+  EXPECT_THROW((void)m.at(2, 0), PreconditionError);
+  EXPECT_THROW((void)m.at(0, 3), PreconditionError);
+  EXPECT_THROW(Matrix(0, 1), PreconditionError);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  Matrix a(3, 3, 0.0);
+  double v = 1.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      a.at(i, j) = v++;
+    }
+  }
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_NEAR(a.multiply(i3).max_abs_diff(a), 0.0, 1e-15);
+  EXPECT_NEAR(i3.multiply(a).max_abs_diff(a), 0.0, 1e-15);
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Matrix b(2, 2);
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 2);
+  EXPECT_THROW((void)a.multiply(b), PreconditionError);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix a(2, 3);
+  a.at(0, 2) = 5.0;
+  a.at(1, 0) = -1.0;
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), -1.0);
+}
+
+TEST(Matrix, RowSum) {
+  Matrix a(2, 3, 1.5);
+  EXPECT_DOUBLE_EQ(a.row_sum(0), 4.5);
+  EXPECT_THROW((void)a.row_sum(2), PreconditionError);
+}
+
+TEST(Solve, KnownSystem) {
+  // 2x + y = 5, x - y = 1  ->  x = 2, y = 1.
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = -1;
+  const auto x = solve(a, {5.0, 1.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Solve, NeedsPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  const auto x = solve(a, {3.0, 4.0});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, SingularThrows) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  EXPECT_THROW((void)solve(a, {1.0, 2.0}), Error);
+}
+
+TEST(Solve, SizeMismatchThrows) {
+  Matrix a(2, 2, 1.0);
+  EXPECT_THROW((void)solve(a, {1.0}), PreconditionError);
+  Matrix rect(2, 3, 1.0);
+  EXPECT_THROW((void)solve(rect, {1.0, 2.0}), PreconditionError);
+}
+
+TEST(Inverse, RoundTrip) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 4;
+  a.at(0, 1) = 7;
+  a.at(0, 2) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 6;
+  a.at(1, 2) = 1;
+  a.at(2, 0) = 2;
+  a.at(2, 1) = 5;
+  a.at(2, 2) = 3;
+  const Matrix inv = inverse(a);
+  EXPECT_NEAR(a.multiply(inv).max_abs_diff(Matrix::identity(3)), 0.0, 1e-10);
+  EXPECT_NEAR(inv.multiply(a).max_abs_diff(Matrix::identity(3)), 0.0, 1e-10);
+}
+
+TEST(Matrix, MaxAbsDiffShapeMismatch) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW((void)a.max_abs_diff(b), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rcp::analysis

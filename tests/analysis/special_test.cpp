@@ -1,0 +1,72 @@
+#include "analysis/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rcp::analysis {
+namespace {
+
+TEST(LogBinomial, SmallExactValues) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial(5, 1)), 5.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-11);
+  EXPECT_NEAR(std::exp(log_binomial(10, 5)), 252.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(20, 10)), 184756.0, 1e-6);
+}
+
+TEST(LogBinomial, Symmetry) {
+  for (unsigned n = 1; n <= 40; ++n) {
+    for (unsigned k = 0; k <= n; ++k) {
+      EXPECT_NEAR(log_binomial(n, k), log_binomial(n, n - k), 1e-9);
+    }
+  }
+}
+
+TEST(LogBinomial, OutOfRangeIsMinusInfinity) {
+  EXPECT_EQ(log_binomial(3, 4), -std::numeric_limits<double>::infinity());
+}
+
+TEST(LogBinomial, PascalIdentity) {
+  // C(n, k) = C(n-1, k-1) + C(n-1, k).
+  for (unsigned n = 2; n <= 30; ++n) {
+    for (unsigned k = 1; k < n; ++k) {
+      const double lhs = std::exp(log_binomial(n, k));
+      const double rhs =
+          std::exp(log_binomial(n - 1, k - 1)) + std::exp(log_binomial(n - 1, k));
+      EXPECT_NEAR(lhs, rhs, 1e-6 * lhs);
+    }
+  }
+}
+
+TEST(NormalUpperTail, KnownValues) {
+  EXPECT_NEAR(normal_upper_tail(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_upper_tail(1.0), 0.15865525393145707, 1e-12);
+  EXPECT_NEAR(normal_upper_tail(2.0), 0.022750131948179207, 1e-12);
+  // The paper's l = sqrt(1.5).
+  EXPECT_NEAR(normal_upper_tail(1.224744871391589), 0.110335, 1e-5);
+}
+
+TEST(NormalUpperTail, Symmetry) {
+  for (const double x : {0.1, 0.7, 1.3, 2.9}) {
+    EXPECT_NEAR(normal_upper_tail(x) + normal_upper_tail(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(NormalCdf, ComplementOfUpperTail) {
+  for (const double x : {-2.0, -0.5, 0.0, 0.5, 2.0}) {
+    EXPECT_NEAR(normal_cdf(x) + normal_upper_tail(x), 1.0, 1e-12);
+  }
+}
+
+TEST(NormalCdf, Monotone) {
+  double prev = 0.0;
+  for (double x = -4.0; x <= 4.0; x += 0.25) {
+    const double c = normal_cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+}  // namespace
+}  // namespace rcp::analysis

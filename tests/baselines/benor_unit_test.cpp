@@ -1,0 +1,183 @@
+// Message-level unit tests of the Ben-Or baseline through a fake context.
+#include <gtest/gtest.h>
+
+#include "baselines/benor.hpp"
+#include "support/fake_context.hpp"
+
+namespace rcp::baselines {
+namespace {
+
+using test::FakeContext;
+using WireMsg = BenOrConsensus::WireMsg;
+
+// n = 5, k = 2, crash variant: quorum 3, report majority > 2.5 (i.e. 3),
+// decide threshold k+1 = 3, adopt threshold 1.
+std::unique_ptr<BenOrConsensus> make(Value v) {
+  return BenOrConsensus::make({5, 2}, BenOrVariant::crash, v);
+}
+
+Bytes report(Phase r, std::uint8_t v) {
+  return BenOrConsensus::encode_wire(WireMsg{.stage = 0, .round = r, .val = v});
+}
+
+Bytes proposal(Phase r, std::uint8_t v) {
+  return BenOrConsensus::encode_wire(WireMsg{.stage = 1, .round = r, .val = v});
+}
+
+TEST(BenOrUnit, WireRoundTrip) {
+  const WireMsg msg{.stage = 1, .round = 9, .val = 2};
+  const WireMsg back = BenOrConsensus::decode_wire(
+      BenOrConsensus::encode_wire(msg));
+  EXPECT_EQ(back.stage, 1);
+  EXPECT_EQ(back.round, 9u);
+  EXPECT_EQ(back.val, 2);
+  EXPECT_THROW((void)BenOrConsensus::decode_wire(Bytes{std::byte{5}}),
+               DecodeError);
+  // Reports cannot carry bottom.
+  Bytes bad = report(0, 1);
+  bad.back() = std::byte{2};
+  EXPECT_THROW((void)BenOrConsensus::decode_wire(bad), DecodeError);
+}
+
+TEST(BenOrUnit, StartBroadcastsRoundZeroReport) {
+  FakeContext ctx(0, 5);
+  auto p = make(Value::one);
+  p->on_start(ctx);
+  ASSERT_EQ(ctx.sent.size(), 5u);
+  const auto m = BenOrConsensus::decode_wire(ctx.sent[0].payload);
+  EXPECT_EQ(m.stage, 0);
+  EXPECT_EQ(m.round, 0u);
+  EXPECT_EQ(m.val, 1);
+}
+
+TEST(BenOrUnit, UnanimousReportsProposeThatValue) {
+  FakeContext ctx(0, 5);
+  auto p = make(Value::one);
+  p->on_start(ctx);
+  (void)ctx.take_sent();
+  for (ProcessId s = 0; s < 3; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, report(0, 1)));
+  }
+  ASSERT_EQ(ctx.sent.size(), 5u);
+  const auto m = BenOrConsensus::decode_wire(ctx.sent[0].payload);
+  EXPECT_EQ(m.stage, 1);
+  EXPECT_EQ(m.val, 1);
+}
+
+TEST(BenOrUnit, SplitReportsProposeBottom) {
+  FakeContext ctx(0, 5);
+  auto p = make(Value::one);
+  p->on_start(ctx);
+  (void)ctx.take_sent();
+  p->on_message(ctx, FakeContext::envelope(0, 0, report(0, 1)));
+  p->on_message(ctx, FakeContext::envelope(1, 0, report(0, 1)));
+  p->on_message(ctx, FakeContext::envelope(2, 0, report(0, 0)));
+  // 2 of 3 is not > n/2 = 2.5: propose bottom.
+  ASSERT_EQ(ctx.sent.size(), 5u);
+  EXPECT_EQ(BenOrConsensus::decode_wire(ctx.sent[0].payload).val, 2);
+}
+
+TEST(BenOrUnit, DecideOnKPlusOneProposals) {
+  FakeContext ctx(0, 5);
+  auto p = make(Value::one);
+  p->on_start(ctx);
+  for (ProcessId s = 0; s < 3; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, report(0, 1)));
+  }
+  for (ProcessId s = 0; s < 3; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, proposal(0, 1)));
+  }
+  EXPECT_EQ(p->decision(), Value::one);
+  EXPECT_EQ(ctx.decision, Value::one);
+  EXPECT_EQ(p->phase(), 1u);  // continues into the next round
+}
+
+TEST(BenOrUnit, SingleProposalAdoptsWithoutDeciding) {
+  FakeContext ctx(0, 5);
+  auto p = make(Value::zero);
+  p->on_start(ctx);
+  for (ProcessId s = 0; s < 3; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, report(0, 0)));
+  }
+  p->on_message(ctx, FakeContext::envelope(0, 0, proposal(0, 1)));
+  p->on_message(ctx, FakeContext::envelope(1, 0, proposal(0, 2)));
+  p->on_message(ctx, FakeContext::envelope(2, 0, proposal(0, 2)));
+  EXPECT_FALSE(p->decision().has_value());
+  EXPECT_EQ(p->value(), Value::one);  // adopted the lone proposal
+  EXPECT_EQ(p->coin_flips(), 0u);
+}
+
+TEST(BenOrUnit, AllBottomFlipsCoin) {
+  FakeContext ctx(0, 5);
+  auto p = make(Value::zero);
+  p->on_start(ctx);
+  for (ProcessId s = 0; s < 3; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, report(0, 0)));
+  }
+  for (ProcessId s = 0; s < 3; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, proposal(0, 2)));
+  }
+  EXPECT_EQ(p->coin_flips(), 1u);
+  EXPECT_FALSE(p->decision().has_value());
+  EXPECT_EQ(p->phase(), 1u);
+}
+
+TEST(BenOrUnit, DuplicateSenderMessagesIgnored) {
+  FakeContext ctx(0, 5);
+  auto p = make(Value::one);
+  p->on_start(ctx);
+  (void)ctx.take_sent();
+  // Sender 1 repeating its report five times only counts once.
+  for (int i = 0; i < 5; ++i) {
+    p->on_message(ctx, FakeContext::envelope(1, 0, report(0, 1)));
+  }
+  EXPECT_TRUE(ctx.sent.empty());  // quorum of 3 distinct senders not reached
+}
+
+TEST(BenOrUnit, FutureRoundMessagesDeferredAndReplayed) {
+  FakeContext ctx(0, 5);
+  auto p = make(Value::one);
+  p->on_start(ctx);
+  // Round-1 reports arrive while we are still in round 0: parked.
+  for (ProcessId s = 0; s < 3; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, report(1, 1)));
+  }
+  EXPECT_EQ(p->phase(), 0u);
+  // Finish round 0 (unanimous 1 -> propose 1 -> decide).
+  for (ProcessId s = 0; s < 3; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, report(0, 1)));
+  }
+  for (ProcessId s = 0; s < 3; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, proposal(0, 1)));
+  }
+  // The parked round-1 reports replayed: report stage of round 1 already
+  // complete, so a round-1 proposal went out.
+  EXPECT_EQ(p->phase(), 1u);
+  bool proposed_round1 = false;
+  for (const auto& s : ctx.sent) {
+    const auto m = BenOrConsensus::decode_wire(s.payload);
+    if (m.stage == 1 && m.round == 1) {
+      proposed_round1 = true;
+    }
+  }
+  EXPECT_TRUE(proposed_round1);
+}
+
+TEST(BenOrUnit, StaleRoundMessagesDropped) {
+  FakeContext ctx(0, 5);
+  auto p = make(Value::one);
+  p->on_start(ctx);
+  for (ProcessId s = 0; s < 3; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, report(0, 1)));
+  }
+  for (ProcessId s = 0; s < 3; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, proposal(0, 1)));
+  }
+  ASSERT_EQ(p->phase(), 1u);
+  (void)ctx.take_sent();
+  p->on_message(ctx, FakeContext::envelope(4, 0, report(0, 0)));
+  EXPECT_TRUE(ctx.sent.empty());
+}
+
+}  // namespace
+}  // namespace rcp::baselines

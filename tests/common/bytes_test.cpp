@@ -1,0 +1,82 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace rcp {
+namespace {
+
+TEST(Bytes, RoundTripAllWidths) {
+  ByteWriter w;
+  w.u8(0xab).u32(0xdeadbeef).u64(0x0123456789abcdefULL);
+  const Bytes buf = std::move(w).take();
+  EXPECT_EQ(buf.size(), 13u);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  const Bytes buf = std::move(w).take();
+  EXPECT_EQ(static_cast<std::uint8_t>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<std::uint8_t>(buf[1]), 0x03);
+  EXPECT_EQ(static_cast<std::uint8_t>(buf[2]), 0x02);
+  EXPECT_EQ(static_cast<std::uint8_t>(buf[3]), 0x01);
+}
+
+TEST(Bytes, ExtremeValues) {
+  ByteWriter w;
+  w.u8(0).u8(255).u64(0).u64(std::numeric_limits<std::uint64_t>::max());
+  const Bytes buf = std::move(w).take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_EQ(r.u8(), 255u);
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Bytes, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u8(1).u8(2);
+  const Bytes buf = std::move(w).take();
+  ByteReader r(buf);
+  (void)r.u8();
+  EXPECT_THROW((void)r.u32(), DecodeError);
+}
+
+TEST(Bytes, EmptyReadThrows) {
+  const Bytes empty;
+  ByteReader r(empty);
+  EXPECT_THROW((void)r.u8(), DecodeError);
+}
+
+TEST(Bytes, TrailingBytesDetected) {
+  ByteWriter w;
+  w.u32(5);
+  const Bytes buf = std::move(w).take();
+  ByteReader r(buf);
+  (void)r.u8();
+  EXPECT_THROW(r.expect_done(), DecodeError);
+}
+
+TEST(Bytes, RemainingTracksConsumption) {
+  ByteWriter w;
+  w.u64(1).u32(2);
+  const Bytes buf = std::move(w).take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.remaining(), 12u);
+  (void)r.u64();
+  EXPECT_EQ(r.remaining(), 4u);
+  (void)r.u32();
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+}  // namespace
+}  // namespace rcp

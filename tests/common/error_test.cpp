@@ -1,0 +1,50 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rcp {
+namespace {
+
+TEST(Error, ExpectMacroThrowsWithContext) {
+  try {
+    RCP_EXPECT(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, ExpectPassesQuietly) {
+  EXPECT_NO_THROW(RCP_EXPECT(true, "fine"));
+}
+
+TEST(Error, InvariantMacroThrowsInvariantError) {
+  EXPECT_THROW(RCP_INVARIANT(false, "broken"), InvariantError);
+  EXPECT_NO_THROW(RCP_INVARIANT(true, "fine"));
+}
+
+TEST(Error, HierarchyIsCatchable) {
+  try {
+    RCP_INVARIANT(false, "x");
+  } catch (const Error& e) {
+    SUCCEED() << e.what();
+    return;
+  }
+  FAIL() << "InvariantError should derive from rcp::Error";
+}
+
+TEST(Error, DecodeErrorIsAnError) {
+  try {
+    throw DecodeError("bad bytes");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "bad bytes");
+  }
+}
+
+}  // namespace
+}  // namespace rcp

@@ -1,0 +1,205 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+namespace rcp {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(r.next());
+  }
+  EXPECT_GT(seen.size(), 95u);  // not stuck
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(r.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(r.below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(11);
+  std::array<int, 7> counts{};
+  for (int i = 0; i < 7000; ++i) {
+    counts[r.below(7)]++;
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 700);  // expected 1000 each; crude uniformity check
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng r(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng r(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(23);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += r.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndReproducible) {
+  Rng parent1(5);
+  Rng parent2(5);
+  Rng child1 = parent1.split();
+  Rng child2 = parent2.split();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child1.next(), child2.next());
+  }
+  // Child diverges from a fresh parent continuation.
+  Rng parent3(5);
+  (void)parent3.next();
+  Rng child3 = Rng(5).split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child3.next() == parent3.next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng r(29);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> shuffled = v;
+  r.shuffle(std::span<int>(shuffled));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleActuallyMoves) {
+  Rng r(31);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) {
+    v[i] = i;
+  }
+  std::vector<int> orig = v;
+  r.shuffle(std::span<int>(v));
+  EXPECT_NE(v, orig);
+}
+
+TEST(Rng, SampleWithoutReplacementBasics) {
+  Rng r(37);
+  const auto picked = r.sample_without_replacement(10, 4);
+  EXPECT_EQ(picked.size(), 4u);
+  std::set<std::uint32_t> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 4u);
+  for (const auto item : picked) {
+    EXPECT_LT(item, 10u);
+  }
+  // Selection sampling emits items in increasing order.
+  EXPECT_TRUE(std::is_sorted(picked.begin(), picked.end()));
+}
+
+TEST(Rng, SampleFullUniverse) {
+  Rng r(41);
+  const auto picked = r.sample_without_replacement(5, 5);
+  EXPECT_EQ(picked, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, SampleEmpty) {
+  Rng r(43);
+  EXPECT_TRUE(r.sample_without_replacement(5, 0).empty());
+  EXPECT_TRUE(r.sample_without_replacement(0, 0).empty());
+}
+
+TEST(Rng, SampleIsUniform) {
+  Rng r(47);
+  std::array<int, 5> hits{};
+  for (int trial = 0; trial < 5000; ++trial) {
+    for (const auto item : r.sample_without_replacement(5, 2)) {
+      hits[item]++;
+    }
+  }
+  // Each item appears in a 2-of-5 sample with probability 2/5 = 2000/5000.
+  for (const int h : hits) {
+    EXPECT_GT(h, 1800);
+    EXPECT_LT(h, 2200);
+  }
+}
+
+TEST(Rng, SplitMix64IsDeterministic) {
+  std::uint64_t s1 = 99;
+  std::uint64_t s2 = 99;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace rcp

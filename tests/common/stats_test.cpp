@@ -1,0 +1,127 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rcp {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Histogram, CountsAndMean) {
+  Histogram h;
+  h.add(1);
+  h.add(2, 3);
+  h.add(10);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count_of(2), 3u);
+  EXPECT_EQ(h.count_of(7), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), (1.0 + 6.0 + 10.0) / 5.0);
+  EXPECT_EQ(h.max_value(), 10u);
+}
+
+TEST(Histogram, Quantiles) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    h.add(v);
+  }
+  EXPECT_EQ(h.quantile(0.5), 50u);
+  EXPECT_EQ(h.quantile(0.99), 99u);
+  EXPECT_EQ(h.quantile(1.0), 100u);
+  EXPECT_EQ(h.quantile(0.0), 1u);  // ceil(0) -> first bucket
+}
+
+TEST(Histogram, QuantilePreconditions) {
+  Histogram h;
+  EXPECT_THROW((void)h.quantile(0.5), PreconditionError);
+  h.add(1);
+  EXPECT_THROW((void)h.quantile(-0.1), PreconditionError);
+  EXPECT_THROW((void)h.quantile(1.1), PreconditionError);
+}
+
+TEST(QuantileFn, Interpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(QuantileFn, UnsortedInput) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+}
+
+TEST(QuantileFn, Preconditions) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)quantile(empty, 0.5), PreconditionError);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)quantile(one, 2.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rcp

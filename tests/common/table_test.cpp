@@ -1,0 +1,65 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rcp {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row().cell("x").cell(std::uint64_t{5});
+  t.row().cell("longer-name").cell(3.25, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("3.25"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell(1).cell(2);
+  t.row().cell(std::int64_t{-3}).cell(4.5, 1);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n-3,4.5\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().cell("x");
+  t.row().cell("y");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("oops"), PreconditionError);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"a"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), PreconditionError);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table t({}), PreconditionError);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace rcp

@@ -1,0 +1,192 @@
+// Figure 1 (fail-stop consensus): unit behaviour plus property sweeps over
+// system sizes, seeds, input patterns and crash schedules. The paper's
+// Theorem 2 properties under test: consistency (agreement), convergence
+// (termination), deadlock-freedom, and bivalence/validity (unanimous input
+// decides that input).
+#include "core/failstop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "adversary/crash_plan.hpp"
+#include "adversary/scenario.hpp"
+#include "common/error.hpp"
+#include "support/run_helpers.hpp"
+
+namespace rcp {
+namespace {
+
+using adversary::ProtocolKind;
+using adversary::Scenario;
+using test::run_scenario;
+
+TEST(FailStop, FactoryValidatesResilience) {
+  EXPECT_NO_THROW(core::FailStopConsensus::make({7, 3}, Value::zero));
+  EXPECT_THROW(core::FailStopConsensus::make({7, 4}, Value::zero),
+               PreconditionError);
+  EXPECT_NO_THROW(core::FailStopConsensus::make_unchecked({7, 4}, Value::zero));
+  EXPECT_THROW(core::FailStopConsensus::make_unchecked({3, 3}, Value::zero),
+               PreconditionError)
+      << "even unchecked needs one correct process";
+}
+
+TEST(FailStop, InitialStateMatchesFigure1) {
+  auto p = core::FailStopConsensus::make({7, 3}, Value::one);
+  EXPECT_EQ(p->value(), Value::one);
+  EXPECT_EQ(p->cardinality(), 1u);
+  EXPECT_EQ(p->phase(), 0u);
+  EXPECT_FALSE(p->decision().has_value());
+  EXPECT_FALSE(p->halted());
+}
+
+TEST(FailStop, UnanimousInputsDecideThatValue) {
+  for (const Value v : kBothValues) {
+    Scenario s;
+    s.protocol = ProtocolKind::fail_stop;
+    s.params = {7, 3};
+    s.inputs = std::vector<Value>(7, v);
+    s.seed = 11;
+    const auto out = run_scenario(s);
+    EXPECT_EQ(out.status, sim::RunStatus::all_decided);
+    EXPECT_TRUE(out.agreement);
+    EXPECT_EQ(out.value, v) << "bivalence/validity: unanimous " << v;
+  }
+}
+
+TEST(FailStop, StrongMajorityInputDecidesThatValue) {
+  // Paper: "If more than (n+k)/2 processes start with the same input value,
+  // every correct process decides that value in just three phases."
+  Scenario s;
+  s.protocol = ProtocolKind::fail_stop;
+  s.params = {9, 2};  // (n+k)/2 = 5.5, so 6 ones force a 1-decision
+  s.inputs = adversary::inputs_with_ones(9, 6);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    s.seed = seed;
+    const auto out = run_scenario(s);
+    EXPECT_EQ(out.status, sim::RunStatus::all_decided);
+    EXPECT_EQ(out.value, Value::one) << "seed " << seed;
+    EXPECT_LE(out.max_phase, 4u) << "seed " << seed;
+  }
+}
+
+TEST(FailStop, ZeroResilienceStillWorks) {
+  Scenario s;
+  s.protocol = ProtocolKind::fail_stop;
+  s.params = {4, 0};
+  s.inputs = adversary::alternating_inputs(4);
+  s.seed = 5;
+  const auto out = run_scenario(s);
+  EXPECT_EQ(out.status, sim::RunStatus::all_decided);
+  EXPECT_TRUE(out.agreement);
+}
+
+TEST(FailStop, SingleProcessDecidesImmediately) {
+  Scenario s;
+  s.protocol = ProtocolKind::fail_stop;
+  s.params = {1, 0};
+  s.inputs = {Value::one};
+  s.seed = 1;
+  const auto out = run_scenario(s);
+  EXPECT_EQ(out.status, sim::RunStatus::all_decided);
+  EXPECT_EQ(out.value, Value::one);
+}
+
+TEST(FailStop, SurvivesStaggeredPhaseCrashes) {
+  Scenario s;
+  s.protocol = ProtocolKind::fail_stop;
+  s.params = {9, 4};
+  s.inputs = adversary::alternating_inputs(9);
+  s.crashes = adversary::CrashPlan::staggered(4);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    s.seed = seed;
+    const auto out = run_scenario(s);
+    EXPECT_EQ(out.status, sim::RunStatus::all_decided) << "seed " << seed;
+    EXPECT_TRUE(out.agreement) << "seed " << seed;
+  }
+}
+
+TEST(FailStop, SurvivesInitiallyDeadFaults) {
+  Rng rng(99);
+  Scenario s;
+  s.protocol = ProtocolKind::fail_stop;
+  s.params = {7, 3};
+  s.inputs = adversary::alternating_inputs(7);
+  s.crashes = adversary::CrashPlan::initially_dead(7, 3, rng);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    s.seed = seed;
+    const auto out = run_scenario(s);
+    EXPECT_EQ(out.status, sim::RunStatus::all_decided) << "seed " << seed;
+    EXPECT_TRUE(out.agreement) << "seed " << seed;
+  }
+}
+
+// ---- Property sweep -----------------------------------------------------
+
+struct SweepParam {
+  std::uint32_t n;
+  std::uint32_t k;
+  std::uint32_t crash_count;
+  std::uint64_t seed;
+};
+
+class FailStopSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(FailStopSweep, AgreementTerminationValidity) {
+  const SweepParam p = GetParam();
+  Rng rng(p.seed * 7919 + p.n);
+  for (const std::uint32_t ones : {0u, p.n / 2, p.n}) {
+    Scenario s;
+    s.protocol = ProtocolKind::fail_stop;
+    s.params = {p.n, p.k};
+    s.inputs = adversary::inputs_with_ones(p.n, ones);
+    s.seed = p.seed;
+    if (p.crash_count > 0) {
+      s.crashes = adversary::CrashPlan::random_phase_boundaries(
+          p.n, p.crash_count, /*max_phase=*/4, rng);
+    }
+    const auto out = run_scenario(s);
+    EXPECT_EQ(out.status, sim::RunStatus::all_decided)
+        << "n=" << p.n << " k=" << p.k << " ones=" << ones
+        << " crashes=" << p.crash_count << " seed=" << p.seed;
+    EXPECT_TRUE(out.agreement);
+    ASSERT_TRUE(out.value.has_value());
+    if (ones == 0) {
+      EXPECT_EQ(out.value, Value::zero);
+    }
+    if (ones == p.n) {
+      EXPECT_EQ(out.value, Value::one);
+    }
+  }
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> params;
+  const std::pair<std::uint32_t, std::uint32_t> sizes[] = {
+      {3, 1}, {4, 1}, {5, 2}, {7, 3}, {8, 3}, {9, 4}, {12, 5}};
+  for (const auto& [n, k] : sizes) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      params.push_back({n, k, 0, seed});
+      params.push_back({n, k, k, seed});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, FailStopSweep,
+                         ::testing::ValuesIn(sweep_params()),
+                         [](const auto& info) {
+                           const SweepParam& p = info.param;
+                           std::string name = "n";
+                           name += std::to_string(p.n);
+                           name += 'k';
+                           name += std::to_string(p.k);
+                           name += 'c';
+                           name += std::to_string(p.crash_count);
+                           name += 's';
+                           name += std::to_string(p.seed);
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace rcp

@@ -1,0 +1,165 @@
+// Message-level unit tests of Figure 1, driven through a fake context —
+// each test checks one line of the pseudocode.
+#include <gtest/gtest.h>
+
+#include "core/failstop.hpp"
+#include "core/messages.hpp"
+#include "support/fake_context.hpp"
+
+namespace rcp::core {
+namespace {
+
+using test::FakeContext;
+
+// n = 4, k = 1: wait quorum 3, witness cardinality > 2, decide > 1 witness.
+constexpr ConsensusParams kParams{4, 1};
+
+Bytes msg(Phase t, Value v, std::uint32_t cardinality) {
+  return FailStopMsg{.phase = t, .value = v, .cardinality = cardinality}
+      .encode();
+}
+
+TEST(FailStopUnit, StartBroadcastsInitialState) {
+  FakeContext ctx(0, 4);
+  auto p = FailStopConsensus::make(kParams, Value::one);
+  p->on_start(ctx);
+  ASSERT_EQ(ctx.sent.size(), 4u);  // to all q, 1 <= q <= n, self included
+  for (ProcessId q = 0; q < 4; ++q) {
+    EXPECT_EQ(ctx.sent[q].to, q);
+    const auto m = FailStopMsg::decode(ctx.sent[q].payload);
+    EXPECT_EQ(m.phase, 0u);
+    EXPECT_EQ(m.value, Value::one);
+    EXPECT_EQ(m.cardinality, 1u);
+  }
+}
+
+TEST(FailStopUnit, PhaseEndsAtExactlyQuorum) {
+  FakeContext ctx(0, 4);
+  auto p = FailStopConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  (void)ctx.take_sent();
+  p->on_message(ctx, FakeContext::envelope(1, 0, msg(0, Value::zero, 1)));
+  p->on_message(ctx, FakeContext::envelope(2, 0, msg(0, Value::zero, 1)));
+  EXPECT_EQ(p->phase(), 0u);
+  EXPECT_TRUE(ctx.sent.empty());
+  p->on_message(ctx, FakeContext::envelope(3, 0, msg(0, Value::zero, 1)));
+  EXPECT_EQ(p->phase(), 1u);
+  // New phase broadcast with updated cardinality = |message set| = 3.
+  ASSERT_EQ(ctx.sent.size(), 4u);
+  const auto m = FailStopMsg::decode(ctx.sent[0].payload);
+  EXPECT_EQ(m.phase, 1u);
+  EXPECT_EQ(m.cardinality, 3u);
+}
+
+TEST(FailStopUnit, MajorityRuleWithoutWitnesses) {
+  FakeContext ctx(0, 4);
+  auto p = FailStopConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  p->on_message(ctx, FakeContext::envelope(1, 0, msg(0, Value::one, 1)));
+  p->on_message(ctx, FakeContext::envelope(2, 0, msg(0, Value::one, 2)));
+  p->on_message(ctx, FakeContext::envelope(3, 0, msg(0, Value::zero, 1)));
+  EXPECT_EQ(p->value(), Value::one);     // 2 ones vs 1 zero
+  EXPECT_EQ(p->cardinality(), 2u);       // |{messages with value 1}|
+  EXPECT_FALSE(p->decision().has_value());
+}
+
+TEST(FailStopUnit, TieGoesToZero) {
+  // message_count(1) > message_count(0) is required for 1; ties pick 0.
+  FakeContext ctx(0, 5);
+  auto p = FailStopConsensus::make({5, 1}, Value::one);  // quorum 4
+  p->on_start(ctx);
+  p->on_message(ctx, FakeContext::envelope(1, 0, msg(0, Value::one, 1)));
+  p->on_message(ctx, FakeContext::envelope(2, 0, msg(0, Value::one, 1)));
+  p->on_message(ctx, FakeContext::envelope(3, 0, msg(0, Value::zero, 1)));
+  p->on_message(ctx, FakeContext::envelope(4, 0, msg(0, Value::zero, 1)));
+  EXPECT_EQ(p->value(), Value::zero);
+}
+
+TEST(FailStopUnit, WitnessOverridesMajority) {
+  // One witness for 0 (cardinality 3 > n/2 = 2) beats a 2:1 majority of 1s.
+  FakeContext ctx(0, 4);
+  auto p = FailStopConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  p->on_message(ctx, FakeContext::envelope(1, 0, msg(0, Value::one, 1)));
+  p->on_message(ctx, FakeContext::envelope(2, 0, msg(0, Value::one, 1)));
+  p->on_message(ctx, FakeContext::envelope(3, 0, msg(0, Value::zero, 3)));
+  EXPECT_EQ(p->value(), Value::zero);
+  EXPECT_EQ(p->cardinality(), 1u);  // |{messages with value 0}|
+}
+
+TEST(FailStopUnit, DecisionOnMoreThanKWitnesses) {
+  FakeContext ctx(0, 4);
+  auto p = FailStopConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  (void)ctx.take_sent();
+  // Two witnesses for 1 (> k = 1) among the quorum.
+  p->on_message(ctx, FakeContext::envelope(1, 0, msg(0, Value::one, 3)));
+  p->on_message(ctx, FakeContext::envelope(2, 0, msg(0, Value::one, 3)));
+  p->on_message(ctx, FakeContext::envelope(3, 0, msg(0, Value::zero, 1)));
+  EXPECT_EQ(p->decision(), Value::one);
+  EXPECT_EQ(ctx.decision, Value::one);
+  EXPECT_TRUE(p->halted());
+  // Final sends: (phaseno, v, n-k) and (phaseno+1, v, n-k) to everyone.
+  ASSERT_EQ(ctx.sent.size(), 8u);
+  const auto first = FailStopMsg::decode(ctx.sent[0].payload);
+  const auto second = FailStopMsg::decode(ctx.sent[4].payload);
+  EXPECT_EQ(first.phase, 1u);
+  EXPECT_EQ(second.phase, 2u);
+  EXPECT_EQ(first.value, Value::one);
+  EXPECT_EQ(first.cardinality, 3u);  // n - k
+  EXPECT_EQ(second.cardinality, 3u);
+}
+
+TEST(FailStopUnit, HaltedProcessIgnoresEverything) {
+  FakeContext ctx(0, 4);
+  auto p = FailStopConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  p->on_message(ctx, FakeContext::envelope(1, 0, msg(0, Value::one, 3)));
+  p->on_message(ctx, FakeContext::envelope(2, 0, msg(0, Value::one, 3)));
+  p->on_message(ctx, FakeContext::envelope(3, 0, msg(0, Value::zero, 1)));
+  ASSERT_TRUE(p->halted());
+  (void)ctx.take_sent();
+  p->on_message(ctx, FakeContext::envelope(1, 0, msg(1, Value::one, 3)));
+  EXPECT_TRUE(ctx.sent.empty());
+}
+
+TEST(FailStopUnit, FutureMessageRequeuedToSelf) {
+  FakeContext ctx(0, 4);
+  auto p = FailStopConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  (void)ctx.take_sent();
+  const Bytes future = msg(5, Value::one, 1);
+  p->on_message(ctx, FakeContext::envelope(1, 0, future));
+  ASSERT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(ctx.sent[0].to, 0u);  // self
+  EXPECT_EQ(ctx.sent[0].payload, future);
+}
+
+TEST(FailStopUnit, StaleMessageDropped) {
+  FakeContext ctx(0, 4);
+  auto p = FailStopConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  // Complete phase 0.
+  for (ProcessId s = 1; s <= 3; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, msg(0, Value::zero, 1)));
+  }
+  ASSERT_EQ(p->phase(), 1u);
+  (void)ctx.take_sent();
+  // A late phase-0 message: no case matches; nothing happens.
+  p->on_message(ctx, FakeContext::envelope(1, 0, msg(0, Value::one, 1)));
+  EXPECT_TRUE(ctx.sent.empty());
+  EXPECT_EQ(p->phase(), 1u);
+}
+
+TEST(FailStopUnit, GarbagePayloadIgnored) {
+  FakeContext ctx(0, 4);
+  auto p = FailStopConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  (void)ctx.take_sent();
+  p->on_message(ctx, FakeContext::envelope(1, 0, Bytes{std::byte{0xee}}));
+  EXPECT_TRUE(ctx.sent.empty());
+  EXPECT_EQ(p->phase(), 0u);
+}
+
+}  // namespace
+}  // namespace rcp::core

@@ -1,0 +1,145 @@
+// Section 5: the weak-bivalence protocol for initially-dead processes.
+#include "core/initially_dead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace rcp::core {
+namespace {
+
+std::vector<std::vector<bool>> grid(std::initializer_list<std::string> rows) {
+  std::vector<std::vector<bool>> adj;
+  for (const auto& row : rows) {
+    std::vector<bool> r;
+    for (const char c : row) {
+      r.push_back(c == '1');
+    }
+    adj.push_back(std::move(r));
+  }
+  return adj;
+}
+
+TEST(TransitiveClosure, ReflexiveByConstruction) {
+  const auto closure = transitive_closure(grid({"00", "00"}));
+  EXPECT_TRUE(closure[0][0]);
+  EXPECT_TRUE(closure[1][1]);
+  EXPECT_FALSE(closure[0][1]);
+}
+
+TEST(TransitiveClosure, ChainsCompose) {
+  // 0 -> 1 -> 2 implies 0 -> 2.
+  const auto closure = transitive_closure(grid({"010", "001", "000"}));
+  EXPECT_TRUE(closure[0][2]);
+  EXPECT_FALSE(closure[2][0]);
+}
+
+TEST(TransitiveClosure, CycleIsStronglyConnected) {
+  const auto closure = transitive_closure(grid({"010", "001", "100"}));
+  EXPECT_TRUE(closure_strongly_connected(closure));
+}
+
+TEST(TransitiveClosure, DisconnectedVertexBreaksStrongConnectivity) {
+  const auto closure = transitive_closure(grid({"010", "100", "000"}));
+  EXPECT_FALSE(closure_strongly_connected(closure));
+}
+
+TEST(TransitiveClosure, RejectsNonSquare) {
+  EXPECT_THROW((void)transitive_closure(grid({"01", "0"})), PreconditionError);
+}
+
+TEST(BivalentFunction, MajorityTiesToOne) {
+  using IDC = InitiallyDeadConsensus;
+  EXPECT_EQ(IDC::bivalent_function({Value::zero}), Value::zero);
+  EXPECT_EQ(IDC::bivalent_function({Value::one}), Value::one);
+  EXPECT_EQ(IDC::bivalent_function({Value::zero, Value::one}), Value::one);
+  EXPECT_EQ(IDC::bivalent_function(
+                {Value::zero, Value::zero, Value::one}),
+            Value::zero);
+}
+
+sim::LockstepSimulation make_run(const std::vector<Value>& inputs,
+                                 const std::vector<bool>& dead) {
+  const auto n = static_cast<std::uint32_t>(inputs.size());
+  std::vector<std::unique_ptr<sim::LockstepProcess>> procs;
+  for (ProcessId p = 0; p < n; ++p) {
+    procs.push_back(std::make_unique<InitiallyDeadConsensus>(n, p, inputs[p]));
+  }
+  return sim::LockstepSimulation(std::move(procs), dead);
+}
+
+TEST(InitiallyDead, AllAliveDecidesBivalentFunction) {
+  // 3 ones of 5: bivalent function (majority, ties -> 1) gives 1.
+  auto sim = make_run({Value::one, Value::one, Value::one, Value::zero,
+                       Value::zero},
+                      std::vector<bool>(5, false));
+  const auto rounds = sim.run_until_decided(10);
+  EXPECT_EQ(rounds, 2u);
+  EXPECT_TRUE(sim.agreement_holds());
+  for (ProcessId p = 0; p < 5; ++p) {
+    EXPECT_EQ(sim.decision_of(p), Value::one);
+  }
+}
+
+TEST(InitiallyDead, AllAliveCanDecideZeroToo) {
+  // Weak bivalence demands both outcomes be reachable in all-correct runs.
+  auto sim = make_run({Value::zero, Value::zero, Value::zero, Value::one,
+                       Value::one},
+                      std::vector<bool>(5, false));
+  (void)sim.run_until_decided(10);
+  for (ProcessId p = 0; p < 5; ++p) {
+    EXPECT_EQ(sim.decision_of(p), Value::zero);
+  }
+}
+
+TEST(InitiallyDead, OneDeadForcesZero) {
+  // Even with every living input 1, a single initially-dead process fixes
+  // the decision at 0 — the paper's weak-bivalence trade.
+  std::vector<bool> dead(5, false);
+  dead[2] = true;
+  auto sim = make_run(std::vector<Value>(5, Value::one), dead);
+  (void)sim.run_until_decided(10);
+  EXPECT_TRUE(sim.agreement_holds());
+  for (ProcessId p = 0; p < 5; ++p) {
+    if (!dead[p]) {
+      EXPECT_EQ(sim.decision_of(p), Value::zero);
+    }
+  }
+}
+
+TEST(InitiallyDead, ToleratesAllButOneDead) {
+  std::vector<bool> dead(6, true);
+  dead[3] = false;
+  auto sim = make_run(std::vector<Value>(6, Value::one), dead);
+  const auto rounds = sim.run_until_decided(10);
+  EXPECT_EQ(rounds, 2u);
+  EXPECT_EQ(sim.decision_of(3), Value::zero);
+}
+
+TEST(InitiallyDead, EveryDeathCountDecidesZeroConsistently) {
+  for (std::uint32_t deaths = 1; deaths <= 6; ++deaths) {
+    std::vector<bool> dead(7, false);
+    for (std::uint32_t d = 0; d < deaths; ++d) {
+      dead[d] = true;
+    }
+    auto sim = make_run(std::vector<Value>(7, Value::one), dead);
+    (void)sim.run_until_decided(10);
+    EXPECT_TRUE(sim.agreement_holds()) << deaths << " dead";
+    EXPECT_TRUE(sim.all_live_decided()) << deaths << " dead";
+    for (ProcessId p = 0; p < 7; ++p) {
+      if (!dead[p]) {
+        EXPECT_EQ(sim.decision_of(p), Value::zero) << deaths << " dead";
+      }
+    }
+  }
+}
+
+TEST(InitiallyDead, ConstructionValidation) {
+  EXPECT_THROW(InitiallyDeadConsensus(3, 3, Value::zero), PreconditionError);
+  EXPECT_THROW(InitiallyDeadConsensus(0, 0, Value::zero), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rcp::core

@@ -1,0 +1,114 @@
+// Section 4.1 majority variant: property sweeps in the fail-stop model.
+#include "core/majority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/crash_plan.hpp"
+#include "adversary/scenario.hpp"
+#include "common/error.hpp"
+#include "support/run_helpers.hpp"
+
+namespace rcp {
+namespace {
+
+using adversary::ProtocolKind;
+using adversary::Scenario;
+using test::run_scenario;
+
+TEST(Majority, FactoryValidatesResilience) {
+  // The variant inherits the malicious bound floor((n-1)/3) (Section 4.1).
+  EXPECT_NO_THROW(core::MajorityConsensus::make({10, 3}, Value::zero));
+  EXPECT_THROW(core::MajorityConsensus::make({10, 4}, Value::zero),
+               PreconditionError);
+  EXPECT_NO_THROW(core::MajorityConsensus::make_unchecked({10, 4}, Value::zero));
+}
+
+TEST(Majority, UnanimousDecidesImmediately) {
+  for (const Value v : kBothValues) {
+    Scenario s;
+    s.protocol = ProtocolKind::majority;
+    s.params = {10, 3};
+    s.inputs = std::vector<Value>(10, v);
+    s.seed = 2;
+    const auto out = run_scenario(s);
+    EXPECT_EQ(out.status, sim::RunStatus::all_decided);
+    EXPECT_EQ(out.value, v);
+    EXPECT_LE(out.max_phase, 2u);
+  }
+}
+
+TEST(Majority, StrongMajorityDecidesThatValue) {
+  Scenario s;
+  s.protocol = ProtocolKind::majority;
+  s.params = {10, 3};
+  // (n+k)/2 = 6.5: 7 ones guarantee every (n-k)-view carries > 6 ones?
+  // Not every view, but each process adopts the majority of its 7-message
+  // sample; with 7/10 ones the 1-side wins every sample of 7 (at least
+  // 7-3=4 ones > 3 zeros), so phase 1 is unanimous.
+  s.inputs = adversary::inputs_with_ones(10, 7);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    s.seed = seed;
+    const auto out = run_scenario(s);
+    EXPECT_EQ(out.status, sim::RunStatus::all_decided) << "seed " << seed;
+    EXPECT_EQ(out.value, Value::one) << "seed " << seed;
+  }
+}
+
+struct MajorityParam {
+  std::uint32_t n;
+  std::uint32_t k;
+  std::uint32_t crash_count;
+  std::uint64_t seed;
+};
+
+class MajoritySweep : public ::testing::TestWithParam<MajorityParam> {};
+
+TEST_P(MajoritySweep, AgreementAndTermination) {
+  const MajorityParam p = GetParam();
+  Rng rng(p.seed * 31 + p.n);
+  Scenario s;
+  s.protocol = ProtocolKind::majority;
+  s.params = {p.n, p.k};
+  s.inputs = adversary::alternating_inputs(p.n);
+  if (p.crash_count > 0) {
+    s.crashes =
+        adversary::CrashPlan::random(p.n, p.crash_count, /*max_step=*/200, rng);
+  }
+  s.seed = p.seed;
+  const auto out = run_scenario(s);
+  EXPECT_EQ(out.status, sim::RunStatus::all_decided)
+      << "n=" << p.n << " k=" << p.k << " crashes=" << p.crash_count
+      << " seed=" << p.seed;
+  EXPECT_TRUE(out.agreement);
+}
+
+std::vector<MajorityParam> majority_params() {
+  std::vector<MajorityParam> params;
+  const std::pair<std::uint32_t, std::uint32_t> sizes[] = {
+      {4, 1}, {7, 2}, {10, 3}, {16, 5}};
+  for (const auto& [n, k] : sizes) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      params.push_back({n, k, 0, seed});
+      params.push_back({n, k, k, seed});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MajoritySweep,
+                         ::testing::ValuesIn(majority_params()),
+                         [](const auto& info) {
+                           const MajorityParam& p = info.param;
+                           std::string name = "n";
+                           name += std::to_string(p.n);
+                           name += 'k';
+                           name += std::to_string(p.k);
+                           name += 'c';
+                           name += std::to_string(p.crash_count);
+                           name += 's';
+                           name += std::to_string(p.seed);
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace rcp

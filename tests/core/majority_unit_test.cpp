@@ -1,0 +1,129 @@
+// Message-level unit tests of the Section 4.1 majority variant.
+#include <gtest/gtest.h>
+
+#include "core/majority.hpp"
+#include "core/messages.hpp"
+#include "support/fake_context.hpp"
+
+namespace rcp::core {
+namespace {
+
+using test::FakeContext;
+
+// n = 7, k = 2: quorum 5, decide count > 4.5 i.e. 5 of 5.
+constexpr ConsensusParams kParams{7, 2};
+
+Bytes msg(Phase t, Value v) {
+  return MajorityMsg{.phase = t, .value = v}.encode();
+}
+
+TEST(MajorityUnit, StartBroadcastsValue) {
+  FakeContext ctx(0, 7);
+  auto p = MajorityConsensus::make(kParams, Value::one);
+  p->on_start(ctx);
+  ASSERT_EQ(ctx.sent.size(), 7u);
+  const auto m = MajorityMsg::decode(ctx.sent[0].payload);
+  EXPECT_EQ(m.phase, 0u);
+  EXPECT_EQ(m.value, Value::one);
+}
+
+TEST(MajorityUnit, AdoptsQuorumMajority) {
+  FakeContext ctx(0, 7);
+  auto p = MajorityConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  for (ProcessId s = 1; s <= 3; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, msg(0, Value::one)));
+  }
+  for (ProcessId s = 4; s <= 5; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, msg(0, Value::zero)));
+  }
+  EXPECT_EQ(p->phase(), 1u);
+  EXPECT_EQ(p->value(), Value::one);  // 3 vs 2
+  EXPECT_FALSE(p->decision().has_value());
+}
+
+TEST(MajorityUnit, DecidesOnSupermajority) {
+  FakeContext ctx(0, 7);
+  auto p = MajorityConsensus::make(kParams, Value::one);
+  p->on_start(ctx);
+  for (ProcessId s = 1; s <= 5; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, msg(0, Value::one)));
+  }
+  EXPECT_EQ(p->decision(), Value::one);
+  EXPECT_EQ(ctx.decision, Value::one);
+  // Keeps participating: phase 1 broadcast went out after deciding.
+  EXPECT_EQ(p->phase(), 1u);
+  bool phase1_broadcast = false;
+  for (const auto& s : ctx.sent) {
+    if (MajorityMsg::decode(s.payload).phase == 1) {
+      phase1_broadcast = true;
+    }
+  }
+  EXPECT_TRUE(phase1_broadcast);
+}
+
+TEST(MajorityUnit, TieGoesToZero) {
+  FakeContext ctx(0, 8);
+  auto p = MajorityConsensus::make({8, 2}, Value::one);  // quorum 6
+  p->on_start(ctx);
+  for (ProcessId s = 1; s <= 3; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, msg(0, Value::one)));
+  }
+  for (ProcessId s = 4; s <= 6; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, msg(0, Value::zero)));
+  }
+  EXPECT_EQ(p->value(), Value::zero);
+}
+
+TEST(MajorityUnit, FutureRequeuedStaleDropped) {
+  FakeContext ctx(0, 7);
+  auto p = MajorityConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  (void)ctx.take_sent();
+  const Bytes future = msg(3, Value::one);
+  p->on_message(ctx, FakeContext::envelope(1, 0, future));
+  ASSERT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(ctx.sent[0].to, 0u);
+  EXPECT_EQ(ctx.sent[0].payload, future);
+  // Complete phase 0, then feed a stale phase-0 message.
+  (void)ctx.take_sent();
+  for (ProcessId s = 1; s <= 5; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, msg(0, Value::zero)));
+  }
+  ASSERT_EQ(p->phase(), 1u);
+  (void)ctx.take_sent();
+  p->on_message(ctx, FakeContext::envelope(6, 0, msg(0, Value::one)));
+  EXPECT_TRUE(ctx.sent.empty());
+}
+
+TEST(MajorityUnit, GarbageIgnored) {
+  FakeContext ctx(0, 7);
+  auto p = MajorityConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  (void)ctx.take_sent();
+  p->on_message(ctx, FakeContext::envelope(1, 0, Bytes{std::byte{0x42}}));
+  EXPECT_TRUE(ctx.sent.empty());
+  EXPECT_EQ(p->phase(), 0u);
+}
+
+TEST(MajorityUnit, DecisionIsSticky) {
+  // After deciding 1, later phases cannot re-decide 0 (one-shot).
+  FakeContext ctx(0, 7);
+  auto p = MajorityConsensus::make(kParams, Value::one);
+  p->on_start(ctx);
+  for (ProcessId s = 1; s <= 5; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, msg(0, Value::one)));
+  }
+  ASSERT_EQ(p->decision(), Value::one);
+  // Feed a unanimous-0 phase 1 (can't happen with <= k faults, but the
+  // one-shot decision must hold regardless).
+  for (ProcessId s = 1; s <= 5; ++s) {
+    p->on_message(ctx, FakeContext::envelope(s, 0, msg(1, Value::zero)));
+  }
+  EXPECT_EQ(p->decision(), Value::one);
+  EXPECT_EQ(p->value(), Value::zero);  // working value follows the majority
+  EXPECT_EQ(ctx.decide_calls, 1);
+}
+
+}  // namespace
+}  // namespace rcp::core

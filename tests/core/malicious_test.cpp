@@ -1,0 +1,183 @@
+// Figure 2 (malicious consensus): unit behaviour and property sweeps under
+// every implemented Byzantine strategy. Theorem 4 properties under test:
+// consistency, convergence, deadlock-freedom, and validity on unanimous
+// correct inputs.
+#include "core/malicious.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/scenario.hpp"
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "support/run_helpers.hpp"
+
+namespace rcp {
+namespace {
+
+using adversary::ByzantineKind;
+using adversary::ProtocolKind;
+using adversary::Scenario;
+using test::run_scenario;
+
+TEST(Malicious, FactoryValidatesResilience) {
+  EXPECT_NO_THROW(core::MaliciousConsensus::make({7, 2}, Value::zero));
+  EXPECT_THROW(core::MaliciousConsensus::make({7, 3}, Value::zero),
+               PreconditionError);
+  EXPECT_NO_THROW(core::MaliciousConsensus::make_unchecked({7, 3}, Value::zero));
+}
+
+TEST(Malicious, AllCorrectUnanimousDecidesFast) {
+  // Paper: "If all the processes start with the same input value, within
+  // two phases all the correct processes decide that value."
+  for (const Value v : kBothValues) {
+    Scenario s;
+    s.protocol = ProtocolKind::malicious;
+    s.params = {7, 2};
+    s.inputs = std::vector<Value>(7, v);
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      s.seed = seed;
+      const auto out = run_scenario(s);
+      EXPECT_EQ(out.status, sim::RunStatus::all_decided);
+      EXPECT_EQ(out.value, v);
+      EXPECT_LE(out.max_phase, 3u) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Malicious, SilentByzantineUnanimousCorrectKeepsValidity) {
+  // With only silent faults, every accepted message comes from a correct
+  // process, so unanimous correct inputs must win.
+  Scenario s;
+  s.protocol = ProtocolKind::malicious;
+  s.params = {7, 2};
+  s.inputs = std::vector<Value>(7, Value::one);
+  s.byzantine_ids = {0, 6};
+  s.byzantine_kind = ByzantineKind::silent;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    s.seed = seed;
+    const auto out = run_scenario(s);
+    EXPECT_EQ(out.status, sim::RunStatus::all_decided) << "seed " << seed;
+    EXPECT_EQ(out.value, Value::one) << "seed " << seed;
+  }
+}
+
+TEST(Malicious, ZeroFaultToleranceConfiguration) {
+  Scenario s;
+  s.protocol = ProtocolKind::malicious;
+  s.params = {4, 0};
+  s.inputs = adversary::alternating_inputs(4);
+  s.seed = 3;
+  const auto out = run_scenario(s);
+  EXPECT_EQ(out.status, sim::RunStatus::all_decided);
+  EXPECT_TRUE(out.agreement);
+}
+
+TEST(Malicious, GarbagePayloadsAreHarmless) {
+  Scenario s;
+  s.protocol = ProtocolKind::malicious;
+  s.params = {7, 2};
+  s.inputs = adversary::alternating_inputs(7);
+  s.byzantine_ids = {2, 5};
+  s.byzantine_kind = ByzantineKind::babbler;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    s.seed = seed;
+    const auto out = run_scenario(s);
+    EXPECT_EQ(out.status, sim::RunStatus::all_decided) << "seed " << seed;
+    EXPECT_TRUE(out.agreement) << "seed " << seed;
+  }
+}
+
+// ---- Property sweep over sizes and Byzantine strategies -----------------
+
+struct MaliciousParam {
+  std::uint32_t n;
+  std::uint32_t k;
+  ByzantineKind kind;
+  std::uint64_t seed;
+};
+
+class MaliciousSweep : public ::testing::TestWithParam<MaliciousParam> {};
+
+TEST_P(MaliciousSweep, AgreementAndTermination) {
+  const MaliciousParam p = GetParam();
+  Scenario s;
+  s.protocol = ProtocolKind::malicious;
+  s.params = {p.n, p.k};
+  s.inputs = adversary::alternating_inputs(p.n);
+  s.byzantine_kind = p.kind;
+  s.max_steps = 8'000'000;
+  // Spread the Byzantine slots across the id space.
+  for (std::uint32_t b = 0; b < p.k; ++b) {
+    s.byzantine_ids.push_back(static_cast<ProcessId>(b * p.n / p.k));
+  }
+  s.seed = p.seed;
+  const auto out = run_scenario(s);
+  EXPECT_EQ(out.status, sim::RunStatus::all_decided)
+      << "n=" << p.n << " k=" << p.k << " kind=" << to_string(p.kind)
+      << " seed=" << p.seed;
+  EXPECT_TRUE(out.agreement);
+  EXPECT_TRUE(out.value.has_value());
+}
+
+std::vector<MaliciousParam> malicious_params() {
+  std::vector<MaliciousParam> params;
+  const std::pair<std::uint32_t, std::uint32_t> sizes[] = {
+      {4, 1}, {7, 2}, {10, 3}, {13, 4}};
+  const ByzantineKind kinds[] = {ByzantineKind::silent,
+                                 ByzantineKind::equivocator,
+                                 ByzantineKind::balancer,
+                                 ByzantineKind::babbler};
+  for (const auto& [n, k] : sizes) {
+    for (const auto kind : kinds) {
+      // The balancing attack at maximal k makes convergence astronomically
+      // slow (a decision needs unanimity among the n-k accepted messages,
+      // which costs on the order of C(n, k) phases). The paper itself
+      // calls the maximal-k Figure 2 protocol "very inefficient" and
+      // restricts its Section 4.2 analysis to k <= n/5 — we test the
+      // balancer in that regime and the other strategies at full k.
+      const std::uint32_t k_used =
+          kind == ByzantineKind::balancer ? std::max(1u, n / 5) : k;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        params.push_back({n, k_used, kind, seed});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MaliciousSweep,
+                         ::testing::ValuesIn(malicious_params()),
+                         [](const auto& info) {
+                           const MaliciousParam& p = info.param;
+                           std::string name = "n";
+                           name += std::to_string(p.n);
+                           name += 'k';
+                           name += std::to_string(p.k);
+                           name += '_';
+                           name += to_string(p.kind);
+                           name += "_s";
+                           name += std::to_string(p.seed);
+                           return name;
+                         });
+
+// Crash faults are a special case of malicious faults: the protocol must
+// also withstand plain fail-stop behaviour.
+TEST(Malicious, ToleratesCrashFaults) {
+  Scenario s;
+  s.protocol = ProtocolKind::malicious;
+  s.params = {10, 3};
+  s.inputs = adversary::alternating_inputs(10);
+  s.crashes.add_phase_crash(0, 1);
+  s.crashes.add_phase_crash(1, 2);
+  s.crashes.add_step_crash(2, 100);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    s.seed = seed;
+    const auto out = run_scenario(s);
+    EXPECT_EQ(out.status, sim::RunStatus::all_decided) << "seed " << seed;
+    EXPECT_TRUE(out.agreement) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rcp

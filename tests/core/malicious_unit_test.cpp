@@ -1,0 +1,157 @@
+// Message-level unit tests of Figure 2 through a fake context.
+#include <gtest/gtest.h>
+
+#include "core/malicious.hpp"
+#include "core/messages.hpp"
+#include "support/fake_context.hpp"
+
+namespace rcp::core {
+namespace {
+
+using test::FakeContext;
+
+// n = 4, k = 1: echo threshold floor(5/2)+1 = 3, quorum 3, decide count > 2.5
+// i.e. >= 3 of the 3 accepted.
+constexpr ConsensusParams kParams{4, 1};
+
+Bytes initial(ProcessId from, Value v, Phase t) {
+  return EchoProtocolMsg{.is_echo = false, .from = from, .value = v, .phase = t}
+      .encode();
+}
+
+Bytes echo(ProcessId origin, Value v, Phase t) {
+  return EchoProtocolMsg{.is_echo = true, .from = origin, .value = v, .phase = t}
+      .encode();
+}
+
+/// Feeds enough echoes to make (origin, v, t) accepted at the process.
+void accept(MaliciousConsensus& p, FakeContext& ctx, ProcessId origin, Value v,
+            Phase t) {
+  for (ProcessId echoer = 0; echoer < 3; ++echoer) {
+    p.on_message(ctx, FakeContext::envelope(echoer, 0, echo(origin, v, t)));
+  }
+}
+
+TEST(MaliciousUnit, StartBroadcastsInitial) {
+  FakeContext ctx(0, 4);
+  auto p = MaliciousConsensus::make(kParams, Value::one);
+  p->on_start(ctx);
+  ASSERT_EQ(ctx.sent.size(), 4u);
+  const auto m = EchoProtocolMsg::decode(ctx.sent[0].payload);
+  EXPECT_FALSE(m.is_echo);
+  EXPECT_EQ(m.from, 0u);
+  EXPECT_EQ(m.value, Value::one);
+  EXPECT_EQ(m.phase, 0u);
+}
+
+TEST(MaliciousUnit, EchoesEveryFreshInitial) {
+  FakeContext ctx(0, 4);
+  auto p = MaliciousConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  (void)ctx.take_sent();
+  p->on_message(ctx, FakeContext::envelope(2, 0, initial(2, Value::one, 0)));
+  ASSERT_EQ(ctx.sent.size(), 4u);  // echo broadcast
+  const auto m = EchoProtocolMsg::decode(ctx.sent[0].payload);
+  EXPECT_TRUE(m.is_echo);
+  EXPECT_EQ(m.from, 2u);
+  EXPECT_EQ(m.value, Value::one);
+  // Duplicate initial: no second echo.
+  (void)ctx.take_sent();
+  p->on_message(ctx, FakeContext::envelope(2, 0, initial(2, Value::one, 0)));
+  EXPECT_TRUE(ctx.sent.empty());
+}
+
+TEST(MaliciousUnit, ForgedInitialNotEchoed) {
+  FakeContext ctx(0, 4);
+  auto p = MaliciousConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  (void)ctx.take_sent();
+  // Sender 3 impersonating process 2.
+  p->on_message(ctx, FakeContext::envelope(3, 0, initial(2, Value::one, 0)));
+  EXPECT_TRUE(ctx.sent.empty());
+}
+
+TEST(MaliciousUnit, PhaseCompletesAfterQuorumOfAcceptances) {
+  FakeContext ctx(0, 4);
+  auto p = MaliciousConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  accept(*p, ctx, 1, Value::one, 0);
+  accept(*p, ctx, 2, Value::one, 0);
+  EXPECT_EQ(p->phase(), 0u);
+  (void)ctx.take_sent();
+  accept(*p, ctx, 3, Value::one, 0);
+  // 3 = n - k acceptances: phase ends, value adopts the majority (1), and
+  // with all 3 accepted carrying 1 (> (n+k)/2 = 2.5) the process decides.
+  EXPECT_EQ(p->phase(), 1u);
+  EXPECT_EQ(p->value(), Value::one);
+  EXPECT_EQ(p->decision(), Value::one);
+  EXPECT_EQ(ctx.decision, Value::one);
+  // And it keeps participating: a fresh initial for phase 1 went out.
+  bool saw_initial = false;
+  for (const auto& s : ctx.sent) {
+    const auto m = EchoProtocolMsg::decode(s.payload);
+    if (!m.is_echo && m.phase == 1) {
+      saw_initial = true;
+      EXPECT_EQ(m.value, Value::one);
+    }
+  }
+  EXPECT_TRUE(saw_initial);
+}
+
+TEST(MaliciousUnit, MixedAcceptancesAdoptMajorityWithoutDeciding) {
+  FakeContext ctx(0, 4);
+  auto p = MaliciousConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  accept(*p, ctx, 1, Value::one, 0);
+  accept(*p, ctx, 2, Value::one, 0);
+  accept(*p, ctx, 3, Value::zero, 0);
+  EXPECT_EQ(p->phase(), 1u);
+  EXPECT_EQ(p->value(), Value::one);  // 2 vs 1
+  EXPECT_FALSE(p->decision().has_value());
+}
+
+TEST(MaliciousUnit, DeferredEchoesReplayOnPhaseChange) {
+  FakeContext ctx(0, 4);
+  auto p = MaliciousConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  // Echoes for phase 1 arrive early: deferred, not counted.
+  for (ProcessId echoer = 0; echoer < 3; ++echoer) {
+    p->on_message(ctx, FakeContext::envelope(echoer, 0, echo(1, Value::one, 1)));
+    p->on_message(ctx, FakeContext::envelope(echoer, 0, echo(2, Value::one, 1)));
+    p->on_message(ctx, FakeContext::envelope(echoer, 0, echo(3, Value::one, 1)));
+  }
+  EXPECT_EQ(p->phase(), 0u);
+  EXPECT_EQ(p->accepted_counts().total(), 0u);
+  // Now complete phase 0; the replay immediately completes phase 1 too.
+  accept(*p, ctx, 1, Value::zero, 0);
+  accept(*p, ctx, 2, Value::zero, 0);
+  accept(*p, ctx, 3, Value::zero, 0);
+  EXPECT_EQ(p->phase(), 2u);
+  EXPECT_EQ(p->value(), Value::one);  // phase-1 accepts were all 1
+}
+
+TEST(MaliciousUnit, EchoFromEachEchoerCountedOnce) {
+  FakeContext ctx(0, 4);
+  auto p = MaliciousConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  // The same echoer repeating never completes the quorum of 3.
+  for (int i = 0; i < 10; ++i) {
+    p->on_message(ctx, FakeContext::envelope(1, 0, echo(2, Value::one, 0)));
+  }
+  EXPECT_EQ(p->accepted_counts().total(), 0u);
+  EXPECT_EQ(p->engine().echo_count(2, Value::one), 1u);
+}
+
+TEST(MaliciousUnit, GarbageIgnored) {
+  FakeContext ctx(0, 4);
+  auto p = MaliciousConsensus::make(kParams, Value::zero);
+  p->on_start(ctx);
+  (void)ctx.take_sent();
+  p->on_message(ctx, FakeContext::envelope(1, 0, Bytes{std::byte{0x00}}));
+  p->on_message(ctx, FakeContext::envelope(1, 0, Bytes{}));
+  EXPECT_TRUE(ctx.sent.empty());
+  EXPECT_EQ(p->phase(), 0u);
+}
+
+}  // namespace
+}  // namespace rcp::core

@@ -1,0 +1,108 @@
+#include "core/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace rcp::core {
+namespace {
+
+TEST(Messages, FailStopRoundTrip) {
+  const FailStopMsg msg{.phase = 42, .value = Value::one, .cardinality = 17};
+  const FailStopMsg back = FailStopMsg::decode(msg.encode());
+  EXPECT_EQ(back.phase, 42u);
+  EXPECT_EQ(back.value, Value::one);
+  EXPECT_EQ(back.cardinality, 17u);
+}
+
+TEST(Messages, EchoProtocolRoundTripBothKinds) {
+  for (const bool is_echo : {false, true}) {
+    const EchoProtocolMsg msg{
+        .is_echo = is_echo, .from = 9, .value = Value::zero, .phase = 1000};
+    const EchoProtocolMsg back = EchoProtocolMsg::decode(msg.encode());
+    EXPECT_EQ(back.is_echo, is_echo);
+    EXPECT_EQ(back.from, 9u);
+    EXPECT_EQ(back.value, Value::zero);
+    EXPECT_EQ(back.phase, 1000u);
+  }
+}
+
+TEST(Messages, MajorityRoundTrip) {
+  const MajorityMsg msg{.phase = 3, .value = Value::one};
+  const MajorityMsg back = MajorityMsg::decode(msg.encode());
+  EXPECT_EQ(back.phase, 3u);
+  EXPECT_EQ(back.value, Value::one);
+}
+
+TEST(Messages, PeekTagIdentifiesTypes) {
+  EXPECT_EQ(peek_tag(FailStopMsg{}.encode()), MsgTag::fail_stop);
+  EXPECT_EQ(peek_tag(EchoProtocolMsg{.is_echo = false}.encode()),
+            MsgTag::initial);
+  EXPECT_EQ(peek_tag(EchoProtocolMsg{.is_echo = true}.encode()), MsgTag::echo);
+  EXPECT_EQ(peek_tag(MajorityMsg{}.encode()), MsgTag::majority);
+}
+
+TEST(Messages, PeekTagRejectsGarbage) {
+  EXPECT_THROW((void)peek_tag(Bytes{}), DecodeError);
+  EXPECT_THROW((void)peek_tag(Bytes{std::byte{0x7f}}), DecodeError);
+}
+
+TEST(Messages, CrossTypeDecodeRejected) {
+  const Bytes fail_stop = FailStopMsg{}.encode();
+  EXPECT_THROW((void)EchoProtocolMsg::decode(fail_stop), DecodeError);
+  EXPECT_THROW((void)MajorityMsg::decode(fail_stop), DecodeError);
+  const Bytes echo = EchoProtocolMsg{.is_echo = true}.encode();
+  EXPECT_THROW((void)FailStopMsg::decode(echo), DecodeError);
+}
+
+TEST(Messages, TruncationRejected) {
+  Bytes buf = FailStopMsg{.phase = 1, .value = Value::one, .cardinality = 2}
+                  .encode();
+  buf.pop_back();
+  EXPECT_THROW((void)FailStopMsg::decode(buf), DecodeError);
+}
+
+TEST(Messages, TrailingBytesRejected) {
+  Bytes buf = MajorityMsg{.phase = 1, .value = Value::one}.encode();
+  buf.push_back(std::byte{0});
+  EXPECT_THROW((void)MajorityMsg::decode(buf), DecodeError);
+}
+
+TEST(Messages, OutOfRangeValueRejected) {
+  Bytes buf = MajorityMsg{.phase = 1, .value = Value::one}.encode();
+  buf.back() = std::byte{2};  // value field is the final byte
+  EXPECT_THROW((void)MajorityMsg::decode(buf), DecodeError);
+}
+
+TEST(Messages, DecodersNeverCrashOnRandomBytes) {
+  Rng rng(123);
+  for (int trial = 0; trial < 5000; ++trial) {
+    Bytes junk(rng.below(20));
+    for (auto& b : junk) {
+      b = static_cast<std::byte>(rng.below(256));
+    }
+    // Every decoder must either succeed or throw DecodeError — nothing else.
+    try {
+      (void)FailStopMsg::decode(junk);
+    } catch (const DecodeError&) {
+    }
+    try {
+      (void)EchoProtocolMsg::decode(junk);
+    } catch (const DecodeError&) {
+    }
+    try {
+      (void)MajorityMsg::decode(junk);
+    } catch (const DecodeError&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Messages, PhaseExtremes) {
+  const Phase huge = ~0ULL;
+  const FailStopMsg msg{.phase = huge, .value = Value::zero, .cardinality = 0};
+  EXPECT_EQ(FailStopMsg::decode(msg.encode()).phase, huge);
+}
+
+}  // namespace
+}  // namespace rcp::core

@@ -1,0 +1,97 @@
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rcp::core {
+namespace {
+
+TEST(Params, MaxResilienceFormulas) {
+  // floor((n-1)/2) for fail-stop, floor((n-1)/3) for malicious.
+  EXPECT_EQ(max_resilience(FaultModel::fail_stop, 1), 0u);
+  EXPECT_EQ(max_resilience(FaultModel::fail_stop, 2), 0u);
+  EXPECT_EQ(max_resilience(FaultModel::fail_stop, 3), 1u);
+  EXPECT_EQ(max_resilience(FaultModel::fail_stop, 7), 3u);
+  EXPECT_EQ(max_resilience(FaultModel::fail_stop, 8), 3u);
+  EXPECT_EQ(max_resilience(FaultModel::fail_stop, 9), 4u);
+
+  EXPECT_EQ(max_resilience(FaultModel::malicious, 3), 0u);
+  EXPECT_EQ(max_resilience(FaultModel::malicious, 4), 1u);
+  EXPECT_EQ(max_resilience(FaultModel::malicious, 6), 1u);
+  EXPECT_EQ(max_resilience(FaultModel::malicious, 7), 2u);
+  EXPECT_EQ(max_resilience(FaultModel::malicious, 10), 3u);
+}
+
+TEST(Params, ValidateAcceptsBound) {
+  for (std::uint32_t n = 1; n <= 30; ++n) {
+    for (const auto model : {FaultModel::fail_stop, FaultModel::malicious}) {
+      const std::uint32_t bound = max_resilience(model, n);
+      EXPECT_NO_THROW((ConsensusParams{n, bound}.validate(model)));
+      EXPECT_THROW((ConsensusParams{n, bound + 1}.validate(model)),
+                   PreconditionError);
+    }
+  }
+}
+
+TEST(Params, ValidateRejectsEmptySystem) {
+  EXPECT_THROW((ConsensusParams{0, 0}.validate(FaultModel::fail_stop)),
+               PreconditionError);
+}
+
+TEST(Params, WaitQuorum) {
+  EXPECT_EQ((ConsensusParams{7, 3}.wait_quorum()), 4u);
+  EXPECT_EQ((ConsensusParams{10, 3}.wait_quorum()), 7u);
+}
+
+TEST(Params, WitnessCardinalityIsStrictMajority) {
+  const ConsensusParams p{7, 3};
+  // > n/2 = 3.5 means >= 4.
+  EXPECT_FALSE(p.is_witness_cardinality(3));
+  EXPECT_TRUE(p.is_witness_cardinality(4));
+  const ConsensusParams even{8, 3};
+  // > 4 means >= 5.
+  EXPECT_FALSE(even.is_witness_cardinality(4));
+  EXPECT_TRUE(even.is_witness_cardinality(5));
+}
+
+TEST(Params, WitnessesDecideAboveK) {
+  const ConsensusParams p{9, 4};
+  EXPECT_FALSE(p.witnesses_decide(4));
+  EXPECT_TRUE(p.witnesses_decide(5));
+}
+
+TEST(Params, EchoAcceptanceThresholdIsSmallestStrictMajorityOfNPlusK) {
+  // n + k odd: > (n+k)/2 real means >= (n+k+1)/2.
+  const ConsensusParams odd{7, 2};  // n+k = 9 -> threshold 5
+  EXPECT_EQ(odd.echo_acceptance_threshold(), 5u);
+  // n + k even: > (n+k)/2 means >= (n+k)/2 + 1.
+  const ConsensusParams even{8, 2};  // n+k = 10 -> threshold 6
+  EXPECT_EQ(even.echo_acceptance_threshold(), 6u);
+}
+
+TEST(Params, EchoThresholdMatchesStrictComparison) {
+  for (std::uint32_t n = 4; n <= 40; ++n) {
+    for (std::uint32_t k = 0; k <= (n - 1) / 3; ++k) {
+      const ConsensusParams p{n, k};
+      const std::uint32_t t = p.echo_acceptance_threshold();
+      // t is the smallest count with 2*count > n+k.
+      EXPECT_GT(2 * t, n + k);
+      EXPECT_LE(2 * (t - 1), n + k);
+    }
+  }
+}
+
+TEST(Params, AcceptedCountDecides) {
+  const ConsensusParams p{7, 2};  // decide when 2*count > 9, i.e. count >= 5
+  EXPECT_FALSE(p.accepted_count_decides(4));
+  EXPECT_TRUE(p.accepted_count_decides(5));
+}
+
+TEST(Params, FaultModelNames) {
+  EXPECT_STREQ(to_string(FaultModel::fail_stop), "fail-stop");
+  EXPECT_STREQ(to_string(FaultModel::malicious), "malicious");
+}
+
+}  // namespace
+}  // namespace rcp::core

@@ -1,0 +1,205 @@
+// Bracha 1987 agreement at full k <= floor((n-1)/3): property sweeps and
+// targeted attacks on the validation machinery.
+#include "extensions/bracha87.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "adversary/byzantine.hpp"
+#include "common/error.hpp"
+#include "sim/simulation.hpp"
+
+namespace rcp {
+namespace {
+
+using ext::Bracha87;
+using ext::RbxMsg;
+
+/// Byzantine strategy against Bracha-87: broadcasts *unjustifiable*
+/// decision proposals ((w, D) payloads = 2 + w) for the value opposite to
+/// whatever it observes, plus plain votes for it, in every round it sees.
+/// Validation must quarantine the proposals forever.
+class FalseProposer final : public sim::Process {
+ public:
+  void on_start(sim::Context& ctx) override {
+    // Round 0 step 1: a legitimate-looking vote for 1.
+    ctx.broadcast(RbxMsg{.kind = RbxMsg::Kind::initial,
+                         .origin = ctx.self(),
+                         .tag = 0,
+                         .value = ext::kPayloadOne}
+                      .encode());
+  }
+
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override {
+    RbxMsg msg;
+    try {
+      msg = RbxMsg::decode(env.payload);
+    } catch (const DecodeError&) {
+      return;
+    }
+    if (msg.kind != RbxMsg::Kind::initial || msg.origin == ctx.self()) {
+      return;
+    }
+    const std::uint64_t round = msg.tag / 3;
+    while (frontier_ <= round) {
+      // Unjustified decision proposal for 1 in this round's step 3...
+      ctx.broadcast(RbxMsg{.kind = RbxMsg::Kind::initial,
+                           .origin = ctx.self(),
+                           .tag = 3 * frontier_ + 2,
+                           .value = ext::kPayloadOne + 2}
+                        .encode());
+      // ...plus votes for 1 in steps 1 and 2.
+      for (const std::uint64_t t : {3 * frontier_, 3 * frontier_ + 1}) {
+        ctx.broadcast(RbxMsg{.kind = RbxMsg::Kind::initial,
+                             .origin = ctx.self(),
+                             .tag = t,
+                             .value = ext::kPayloadOne}
+                          .encode());
+      }
+      ++frontier_;
+    }
+  }
+
+ private:
+  std::uint64_t frontier_ = 0;
+};
+
+struct B87Run {
+  std::unique_ptr<sim::Simulation> simulation;
+  std::vector<Bracha87*> correct;
+};
+
+template <typename MakeByz>
+B87Run make_run(std::uint32_t n, std::uint32_t k, std::uint32_t byz_count,
+                std::uint64_t seed, MakeByz&& make_byz) {
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  std::vector<Bracha87*> correct;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (p < byz_count) {
+      procs.push_back(make_byz());
+    } else {
+      auto b = Bracha87::make({n, k}, p % 2 == 0 ? Value::zero : Value::one);
+      correct.push_back(b.get());
+      procs.push_back(std::move(b));
+    }
+  }
+  auto s = std::make_unique<sim::Simulation>(
+      sim::SimConfig{.n = n, .seed = seed, .max_steps = 8'000'000},
+      std::move(procs));
+  for (ProcessId p = 0; p < byz_count; ++p) {
+    s->mark_faulty(p);
+  }
+  return B87Run{std::move(s), std::move(correct)};
+}
+
+TEST(Bracha87, FactoryValidatesFullMaliciousBound) {
+  EXPECT_NO_THROW(Bracha87::make({7, 2}, Value::one));
+  EXPECT_NO_THROW(Bracha87::make({4, 1}, Value::one));
+  EXPECT_THROW(Bracha87::make({7, 3}, Value::one), PreconditionError);
+}
+
+TEST(Bracha87, FaultFreeSweep) {
+  for (const std::uint32_t n : {4u, 7u, 10u}) {
+    const std::uint32_t k = (n - 1) / 3;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      auto run = make_run(n, k, 0, seed, [] {
+        return std::unique_ptr<sim::Process>();  // unused
+      });
+      const auto result = run.simulation->run();
+      EXPECT_EQ(result.status, sim::RunStatus::all_decided)
+          << "n=" << n << " seed=" << seed;
+      EXPECT_TRUE(run.simulation->agreement_holds());
+    }
+  }
+}
+
+TEST(Bracha87, UnanimousDecidesThatValueInOneRound) {
+  for (const Value v : kBothValues) {
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    for (ProcessId p = 0; p < 7; ++p) {
+      procs.push_back(Bracha87::make({7, 2}, v));
+    }
+    sim::Simulation s(sim::SimConfig{.n = 7, .seed = 5, .max_steps = 2'000'000},
+                      std::move(procs));
+    const auto result = s.run();
+    EXPECT_EQ(result.status, sim::RunStatus::all_decided);
+    EXPECT_EQ(s.agreed_value(), v);
+    EXPECT_LE(s.metrics().max_phase, 1u);
+  }
+}
+
+TEST(Bracha87, SilentFaultsAtFullResilience) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto run = make_run(7, 2, 2, seed, [] {
+      return std::make_unique<adversary::SilentByzantine>();
+    });
+    const auto result = run.simulation->run();
+    EXPECT_EQ(result.status, sim::RunStatus::all_decided) << "seed " << seed;
+    EXPECT_TRUE(run.simulation->agreement_holds()) << "seed " << seed;
+  }
+}
+
+TEST(Bracha87, FalseProposalsAreQuarantinedForever) {
+  // All correct processes hold 0; the false proposer pushes unjustifiable
+  // (1, D) proposals. Validity requires > n/2 step-2 votes for 1, which
+  // can never exist, so every correct process must decide 0 and the bogus
+  // proposals must still be sitting in pending_validation.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    std::vector<Bracha87*> correct;
+    procs.push_back(std::make_unique<FalseProposer>());
+    for (ProcessId p = 1; p < 7; ++p) {
+      auto b = Bracha87::make({7, 2}, Value::zero);
+      correct.push_back(b.get());
+      procs.push_back(std::move(b));
+    }
+    sim::Simulation s(
+        sim::SimConfig{.n = 7, .seed = seed, .max_steps = 8'000'000},
+        std::move(procs));
+    s.mark_faulty(0);
+    const auto result = s.run();
+    ASSERT_EQ(result.status, sim::RunStatus::all_decided) << "seed " << seed;
+    for (auto* b : correct) {
+      EXPECT_EQ(b->decision(), Value::zero) << "seed " << seed;
+      EXPECT_GT(b->pending_validation(), 0u)
+          << "the unjustifiable proposal should never validate";
+    }
+  }
+}
+
+TEST(Bracha87, ForgerFleetAtFullResilience) {
+  // The generic RB forger (forged initials + bogus readies) from the
+  // RB-Ben-Or suite, now at the optimal k = floor((n-1)/3) that plain
+  // Ben-Or cannot reach.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto run = make_run(10, 3, 3, seed, [] {
+      return std::make_unique<adversary::SilentByzantine>();
+    });
+    const auto result = run.simulation->run();
+    EXPECT_EQ(result.status, sim::RunStatus::all_decided) << "seed " << seed;
+    EXPECT_TRUE(run.simulation->agreement_holds()) << "seed " << seed;
+  }
+}
+
+TEST(Bracha87, MixedInputsAgreeAcrossSeeds) {
+  bool saw_zero = false;
+  bool saw_one = false;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    auto run = make_run(7, 2, 0, seed, [] {
+      return std::unique_ptr<sim::Process>();
+    });
+    const auto result = run.simulation->run();
+    ASSERT_EQ(result.status, sim::RunStatus::all_decided);
+    ASSERT_TRUE(run.simulation->agreement_holds());
+    const auto v = run.simulation->agreed_value();
+    ASSERT_TRUE(v.has_value());
+    saw_zero |= *v == Value::zero;
+    saw_one |= *v == Value::one;
+  }
+  EXPECT_TRUE(saw_zero || saw_one);
+}
+
+}  // namespace
+}  // namespace rcp

@@ -1,0 +1,158 @@
+// RB-hardened Ben-Or: property sweeps, including against an equivocating
+// adversary that plain point-to-point Ben-Or has no defence mechanism for.
+#include "extensions/rb_benor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "adversary/byzantine.hpp"
+#include "common/error.hpp"
+#include "sim/simulation.hpp"
+
+namespace rcp {
+namespace {
+
+using ext::RbBenOr;
+
+/// A Byzantine process that opens each round's report instance with value 0
+/// towards everyone but also floods forged ready messages trying to push a
+/// bogus delivery; reliable broadcast must shrug all of it off.
+class RbxForger final : public sim::Process {
+ public:
+  explicit RbxForger(std::uint32_t n) : n_(n) {}
+
+  void on_start(sim::Context& ctx) override {
+    // Legitimate-looking initial for round 0.
+    ctx.broadcast(ext::RbxMsg{.kind = ext::RbxMsg::Kind::initial,
+                              .origin = ctx.self(),
+                              .tag = 0,
+                              .value = ext::kPayloadZero}
+                      .encode());
+  }
+
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override {
+    ext::RbxMsg msg;
+    try {
+      msg = ext::RbxMsg::decode(env.payload);
+    } catch (const DecodeError&) {
+      return;
+    }
+    if (forged_ > 200) {
+      return;  // bounded flood
+    }
+    ++forged_;
+    // Forge an initial on behalf of the sender with the flipped value and
+    // spray contradictory readies.
+    ctx.broadcast(ext::RbxMsg{.kind = ext::RbxMsg::Kind::initial,
+                              .origin = env.sender,
+                              .tag = msg.tag,
+                              .value = static_cast<ext::Payload>(
+                                  msg.value <= 1 ? 1 - msg.value : 0)}
+                      .encode());
+    ctx.broadcast(ext::RbxMsg{.kind = ext::RbxMsg::Kind::ready,
+                              .origin = msg.origin,
+                              .tag = msg.tag,
+                              .value = ext::kPayloadBottom}
+                      .encode());
+  }
+
+ private:
+  std::uint32_t n_;
+  int forged_ = 0;
+};
+
+std::unique_ptr<sim::Simulation> make_rb_benor(
+    std::uint32_t n, std::uint32_t k, std::uint32_t byzantine,
+    std::uint64_t seed, bool forger) {
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (p < byzantine) {
+      if (forger) {
+        procs.push_back(std::make_unique<RbxForger>(n));
+      } else {
+        procs.push_back(std::make_unique<adversary::SilentByzantine>());
+      }
+    } else {
+      procs.push_back(RbBenOr::make(
+          {n, k}, p % 2 == 0 ? Value::zero : Value::one));
+    }
+  }
+  auto s = std::make_unique<sim::Simulation>(
+      sim::SimConfig{.n = n, .seed = seed, .max_steps = 6'000'000},
+      std::move(procs));
+  for (ProcessId p = 0; p < byzantine; ++p) {
+    s->mark_faulty(p);
+  }
+  return s;
+}
+
+TEST(RbBenOr, FactoryValidatesBound) {
+  EXPECT_NO_THROW(RbBenOr::make({11, 2}, Value::one));
+  EXPECT_THROW(RbBenOr::make({11, 3}, Value::one), PreconditionError);
+}
+
+TEST(RbBenOr, FaultFreeSweep) {
+  for (const std::uint32_t n : {6u, 11u}) {
+    const std::uint32_t k = (n - 1) / 5;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      auto s = make_rb_benor(n, k, 0, seed, false);
+      const auto result = s->run();
+      EXPECT_EQ(result.status, sim::RunStatus::all_decided)
+          << "n=" << n << " seed=" << seed;
+      EXPECT_TRUE(s->agreement_holds());
+    }
+  }
+}
+
+TEST(RbBenOr, UnanimousDecidesThatValueFast) {
+  for (const Value v : kBothValues) {
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    for (ProcessId p = 0; p < 6; ++p) {
+      procs.push_back(RbBenOr::make({6, 1}, v));
+    }
+    sim::Simulation s(sim::SimConfig{.n = 6, .seed = 3}, std::move(procs));
+    const auto result = s.run();
+    EXPECT_EQ(result.status, sim::RunStatus::all_decided);
+    EXPECT_EQ(s.agreed_value(), v);
+    EXPECT_LE(s.metrics().max_phase, 2u);
+  }
+}
+
+TEST(RbBenOr, SilentByzantineSweep) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto s = make_rb_benor(11, 2, 2, seed, false);
+    const auto result = s->run();
+    EXPECT_EQ(result.status, sim::RunStatus::all_decided) << "seed " << seed;
+    EXPECT_TRUE(s->agreement_holds());
+  }
+}
+
+TEST(RbBenOr, ForgerCannotBreakSafety) {
+  // The forger fabricates initials on behalf of correct processes and
+  // floods bogus readies; the engine's origin authentication and quorum
+  // thresholds must hold safety AND liveness.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto s = make_rb_benor(11, 2, 2, seed, true);
+    const auto result = s->run();
+    EXPECT_EQ(result.status, sim::RunStatus::all_decided) << "seed " << seed;
+    EXPECT_TRUE(s->agreement_holds()) << "seed " << seed;
+  }
+}
+
+TEST(RbBenOr, EquivocationNeutralizedByRb) {
+  // An equivocating origin (different initials to different processes is
+  // impossible through broadcast, but forged initial + split echoes are
+  // not): the key property is that no two correct processes ever act on
+  // different values from the same origin in the same round. We assert
+  // the observable consequence: agreement across many seeds.
+  for (std::uint64_t seed = 20; seed <= 40; ++seed) {
+    auto s = make_rb_benor(11, 2, 2, seed, true);
+    (void)s->run();
+    EXPECT_TRUE(s->agreement_holds()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rcp

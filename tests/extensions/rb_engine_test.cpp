@@ -1,0 +1,145 @@
+#include "extensions/rb_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rcp::ext {
+namespace {
+
+// n = 7, k = 2: echo threshold 5, ready amplify 3, deliver 5.
+constexpr core::ConsensusParams kParams{7, 2};
+
+RbxMsg initial(ProcessId origin, std::uint64_t tag, Payload v) {
+  return RbxMsg{.kind = RbxMsg::Kind::initial, .origin = origin, .tag = tag,
+                .value = v};
+}
+
+RbxMsg echo(ProcessId origin, std::uint64_t tag, Payload v) {
+  return RbxMsg{.kind = RbxMsg::Kind::echo, .origin = origin, .tag = tag,
+                .value = v};
+}
+
+RbxMsg ready(ProcessId origin, std::uint64_t tag, Payload v) {
+  return RbxMsg{.kind = RbxMsg::Kind::ready, .origin = origin, .tag = tag,
+                .value = v};
+}
+
+TEST(RbxMsg, RoundTrip) {
+  const RbxMsg msg = ready(3, 77, kPayloadBottom);
+  const RbxMsg back = RbxMsg::decode(msg.encode());
+  EXPECT_EQ(back.kind, RbxMsg::Kind::ready);
+  EXPECT_EQ(back.origin, 3u);
+  EXPECT_EQ(back.tag, 77u);
+  EXPECT_EQ(back.value, kPayloadBottom);
+}
+
+TEST(RbxMsg, RejectsBadPayload) {
+  Bytes buf = initial(0, 0, 0).encode();
+  buf.back() = std::byte{kMaxPayload + 1};
+  EXPECT_THROW((void)RbxMsg::decode(buf), DecodeError);
+  EXPECT_THROW((void)RbxMsg::decode(Bytes{std::byte{9}}), DecodeError);
+}
+
+TEST(RbEngine, InitialFromOriginProducesEcho) {
+  RbEngine e(kParams);
+  const auto out = e.handle(4, initial(4, 9, kPayloadOne));
+  ASSERT_EQ(out.to_broadcast.size(), 1u);
+  EXPECT_EQ(out.to_broadcast[0].kind, RbxMsg::Kind::echo);
+  EXPECT_EQ(out.to_broadcast[0].origin, 4u);
+  EXPECT_EQ(out.to_broadcast[0].tag, 9u);
+  EXPECT_EQ(out.to_broadcast[0].value, kPayloadOne);
+}
+
+TEST(RbEngine, ForgedInitialIgnored) {
+  RbEngine e(kParams);
+  const auto out = e.handle(5, initial(4, 9, kPayloadOne));
+  EXPECT_TRUE(out.to_broadcast.empty());
+}
+
+TEST(RbEngine, SecondInitialIgnoredEvenWithNewValue) {
+  RbEngine e(kParams);
+  (void)e.handle(4, initial(4, 9, kPayloadOne));
+  const auto out = e.handle(4, initial(4, 9, kPayloadZero));
+  EXPECT_TRUE(out.to_broadcast.empty());
+}
+
+TEST(RbEngine, EchoQuorumTriggersSingleReady) {
+  RbEngine e(kParams);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_TRUE(e.handle(p, echo(6, 1, kPayloadOne)).to_broadcast.empty());
+  }
+  const auto out = e.handle(4, echo(6, 1, kPayloadOne));
+  ASSERT_EQ(out.to_broadcast.size(), 1u);
+  EXPECT_EQ(out.to_broadcast[0].kind, RbxMsg::Kind::ready);
+  // Further echoes do not repeat the READY.
+  EXPECT_TRUE(e.handle(5, echo(6, 1, kPayloadOne)).to_broadcast.empty());
+}
+
+TEST(RbEngine, EchoDedupPerSender) {
+  RbEngine e(kParams);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(e.handle(0, echo(6, 1, kPayloadOne)).to_broadcast.empty());
+  }
+  EXPECT_FALSE(e.delivered(6, 1).has_value());
+}
+
+TEST(RbEngine, ReadyAmplificationAtKPlusOne) {
+  RbEngine e(kParams);
+  (void)e.handle(0, ready(6, 2, kPayloadZero));
+  (void)e.handle(1, ready(6, 2, kPayloadZero));
+  const auto out = e.handle(2, ready(6, 2, kPayloadZero));
+  ASSERT_EQ(out.to_broadcast.size(), 1u);
+  EXPECT_EQ(out.to_broadcast[0].kind, RbxMsg::Kind::ready);
+}
+
+TEST(RbEngine, DeliveryAtTwoKPlusOne) {
+  RbEngine e(kParams);
+  std::optional<RbEngine::Delivery> delivered;
+  for (ProcessId p = 0; p < 5; ++p) {
+    auto out = e.handle(p, ready(6, 3, kPayloadOne));
+    if (out.delivered.has_value()) {
+      delivered = out.delivered;
+    }
+  }
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(delivered->origin, 6u);
+  EXPECT_EQ(delivered->tag, 3u);
+  EXPECT_EQ(delivered->value, kPayloadOne);
+  EXPECT_EQ(e.delivered(6, 3), kPayloadOne);
+  // Delivery is one-shot.
+  EXPECT_FALSE(e.handle(5, ready(6, 3, kPayloadOne)).delivered.has_value());
+}
+
+TEST(RbEngine, InstancesAreIndependent) {
+  RbEngine e(kParams);
+  for (ProcessId p = 0; p < 5; ++p) {
+    (void)e.handle(p, ready(6, 3, kPayloadOne));
+  }
+  EXPECT_TRUE(e.delivered(6, 3).has_value());
+  EXPECT_FALSE(e.delivered(6, 4).has_value());
+  EXPECT_FALSE(e.delivered(5, 3).has_value());
+  EXPECT_EQ(e.instance_count(), 1u);
+}
+
+TEST(RbEngine, SplitEchoesBlockReady) {
+  // 7 echoers split 4/3 cannot reach the threshold 5 for either value.
+  RbEngine e(kParams);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_TRUE(e.handle(p, echo(6, 0, kPayloadZero)).to_broadcast.empty());
+  }
+  for (ProcessId p = 4; p < 7; ++p) {
+    EXPECT_TRUE(e.handle(p, echo(6, 0, kPayloadOne)).to_broadcast.empty());
+  }
+}
+
+TEST(RbEngine, BottomPayloadFlowsThrough) {
+  RbEngine e(kParams);
+  for (ProcessId p = 0; p < 5; ++p) {
+    (void)e.handle(p, ready(2, 5, kPayloadBottom));
+  }
+  EXPECT_EQ(e.delivered(2, 5), kPayloadBottom);
+}
+
+}  // namespace
+}  // namespace rcp::ext

@@ -1,0 +1,95 @@
+// Convergence property (the paper's probability-1 termination): the
+// distribution of phases-to-decision has a light tail. The proofs show
+// P[not decided within t phases] decays geometrically (each window of
+// phases has a fixed success probability theta); we check the empirical
+// quantiles stay within small multiples of the median.
+#include <gtest/gtest.h>
+
+#include "adversary/scenario.hpp"
+#include "common/stats.hpp"
+#include "support/run_helpers.hpp"
+
+namespace rcp {
+namespace {
+
+using adversary::ProtocolKind;
+using adversary::Scenario;
+
+Histogram phase_histogram(ProtocolKind protocol, std::uint32_t n,
+                          std::uint32_t k, std::uint32_t runs) {
+  Histogram h;
+  for (std::uint64_t seed = 1; seed <= runs; ++seed) {
+    Scenario s;
+    s.protocol = protocol;
+    s.params = {n, k};
+    s.inputs = adversary::alternating_inputs(n);
+    s.seed = seed;
+    const auto out = test::run_scenario(s);
+    EXPECT_EQ(out.status, sim::RunStatus::all_decided) << "seed " << seed;
+    h.add(out.max_phase);
+  }
+  return h;
+}
+
+TEST(Convergence, FailStopPhaseTailIsLight) {
+  const Histogram h = phase_histogram(ProtocolKind::fail_stop, 9, 4, 300);
+  const auto median = h.quantile(0.5);
+  const auto p99 = h.quantile(0.99);
+  EXPECT_LE(p99, 3 * median + 3)
+      << "median=" << median << " p99=" << p99;
+  EXPECT_LE(h.max_value(), 6 * median + 6);
+}
+
+TEST(Convergence, MaliciousPhaseTailIsLight) {
+  const Histogram h = phase_histogram(ProtocolKind::malicious, 7, 2, 300);
+  const auto median = h.quantile(0.5);
+  EXPECT_LE(h.quantile(0.99), 3 * median + 3);
+}
+
+TEST(Convergence, MajorityVariantPhaseTailIsLight) {
+  const Histogram h = phase_histogram(ProtocolKind::majority, 10, 3, 300);
+  const auto median = h.quantile(0.5);
+  EXPECT_LE(h.quantile(0.95), 3 * median + 3);
+  // Geometric-style decay: the second half of the tail is thinner than the
+  // first. Compare mass above 2*median vs mass above median.
+  std::uint64_t above_m = 0;
+  std::uint64_t above_2m = 0;
+  for (const auto& [phase, count] : h.buckets()) {
+    if (phase > median) {
+      above_m += count;
+    }
+    if (phase > 2 * median) {
+      above_2m += count;
+    }
+  }
+  EXPECT_LT(above_2m * 2, above_m + 1)
+      << "tail not decaying: >" << median << ": " << above_m << ", >"
+      << 2 * median << ": " << above_2m;
+}
+
+TEST(Convergence, StepCountsScalePolynomially) {
+  // Steps to completion should grow roughly with n^2 (everyone talks to
+  // everyone each phase), definitely not exponentially. Compare n and 2n.
+  RunningStats small;
+  RunningStats large;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Scenario s;
+    s.protocol = ProtocolKind::fail_stop;
+    s.params = {8, 3};
+    s.inputs = adversary::alternating_inputs(8);
+    s.seed = seed;
+    small.add(static_cast<double>(test::run_scenario(s).steps));
+    Scenario s2;
+    s2.protocol = ProtocolKind::fail_stop;
+    s2.params = {16, 7};
+    s2.inputs = adversary::alternating_inputs(16);
+    s2.seed = seed;
+    large.add(static_cast<double>(test::run_scenario(s2).steps));
+  }
+  EXPECT_LT(large.mean(), 16.0 * small.mean())
+      << "steps blew up superpolynomially: " << small.mean() << " -> "
+      << large.mean();
+}
+
+}  // namespace
+}  // namespace rcp

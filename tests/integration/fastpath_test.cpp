@@ -1,0 +1,149 @@
+// Fast-path claims of Sections 2.3 and 3.3 (experiment E5):
+//  - fail-stop: unanimous inputs decide "within two steps" [phases]; more
+//    than (n+k)/2 common inputs decide that value "in just three phases";
+//  - malicious: unanimous decides "within two phases"; > (n+k)/2 common
+//    correct inputs decide that value "in just two phases";
+//  - k < n/5: once a correct process decides, all others decide within one
+//    more phase.
+#include <gtest/gtest.h>
+
+#include "adversary/scenario.hpp"
+#include "core/malicious.hpp"
+#include "sim/simulation.hpp"
+#include "support/run_helpers.hpp"
+
+namespace rcp {
+namespace {
+
+using adversary::ProtocolKind;
+using adversary::Scenario;
+using test::run_scenario;
+
+TEST(FastPath, FailStopUnanimousPhaseBudget) {
+  for (const Value v : kBothValues) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      Scenario s;
+      s.protocol = ProtocolKind::fail_stop;
+      s.params = {9, 4};
+      s.inputs = std::vector<Value>(9, v);
+      s.seed = seed;
+      const auto out = run_scenario(s);
+      ASSERT_EQ(out.status, sim::RunStatus::all_decided);
+      EXPECT_EQ(out.value, v);
+      // Unanimity -> witnesses in phase 1 -> decision at the phase-2
+      // boundary; the deciding processes emit (t, t+1) catch-up messages so
+      // the trailing phase counter stays <= 4.
+      EXPECT_LE(out.max_phase, 4u) << "seed " << seed;
+    }
+  }
+}
+
+TEST(FastPath, FailStopStrongMajorityThreePhases) {
+  // > (n+k)/2 = 5.5 common inputs with n = 9, k = 2.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Scenario s;
+    s.protocol = ProtocolKind::fail_stop;
+    s.params = {9, 2};
+    s.inputs = adversary::inputs_with_ones(9, 6);
+    s.seed = seed;
+    const auto out = run_scenario(s);
+    ASSERT_EQ(out.status, sim::RunStatus::all_decided);
+    EXPECT_EQ(out.value, Value::one);
+    EXPECT_LE(out.max_phase, 4u) << "seed " << seed;
+  }
+}
+
+TEST(FastPath, MaliciousUnanimousTwoPhases) {
+  for (const Value v : kBothValues) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      Scenario s;
+      s.protocol = ProtocolKind::malicious;
+      s.params = {10, 3};
+      s.inputs = std::vector<Value>(10, v);
+      s.seed = seed;
+      const auto out = run_scenario(s);
+      ASSERT_EQ(out.status, sim::RunStatus::all_decided);
+      EXPECT_EQ(out.value, v);
+      EXPECT_LE(out.max_phase, 3u) << "seed " << seed;
+    }
+  }
+}
+
+TEST(FastPath, MaliciousStrongMajorityDecidesThatValue) {
+  // "If more than (n+k)/2 correct processes start with the same input
+  // value, every process decides that value in just two phases."
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Scenario s;
+    s.protocol = ProtocolKind::malicious;
+    s.params = {10, 2};
+    s.inputs = adversary::inputs_with_ones(10, 8);  // 8 > (10+2)/2 = 6
+    s.seed = seed;
+    const auto out = run_scenario(s);
+    ASSERT_EQ(out.status, sim::RunStatus::all_decided);
+    EXPECT_EQ(out.value, Value::one);
+    EXPECT_LE(out.max_phase, 3u) << "seed " << seed;
+  }
+}
+
+TEST(FastPath, SmallKOnePhaseSpreadAfterFirstDecision) {
+  // "if k < n/5, once a correct process decides, all the other processes
+  // also decide within one phase." Run to the first decision, record the
+  // decider's phase, then run to completion and compare phases.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Scenario s;
+    s.protocol = ProtocolKind::malicious;
+    s.params = {11, 2};  // k = 2 < 11/5
+    s.inputs = adversary::inputs_with_ones(11, 6);
+    s.seed = seed;
+    auto simulation = adversary::build(s);
+    simulation->start();
+    std::optional<Phase> first_decision_phase;
+    while (!simulation->all_correct_decided()) {
+      if (!simulation->step()) {
+        break;
+      }
+      if (!first_decision_phase.has_value()) {
+        for (ProcessId p = 0; p < 11; ++p) {
+          if (simulation->decision_of(p).has_value()) {
+            first_decision_phase = simulation->phase_of(p);
+            break;
+          }
+        }
+      }
+    }
+    ASSERT_TRUE(simulation->all_correct_decided()) << "seed " << seed;
+    ASSERT_TRUE(first_decision_phase.has_value());
+    for (ProcessId p = 0; p < 11; ++p) {
+      // Everyone decided; nobody needed more than one phase beyond the
+      // first decider (compare decision phases via the per-process phase
+      // counters captured at completion — a process stops advancing its
+      // phase promptly once it decides in this protocol's fast regime).
+      EXPECT_LE(simulation->phase_of(p), *first_decision_phase + 2)
+          << "p" << p << " seed " << seed;
+    }
+  }
+}
+
+TEST(FastPath, BivalenceBothOutcomesReachableAcrossSeeds) {
+  // With a perfectly balanced start the protocol must be able to reach
+  // both decisions (bivalence); check both appear across seeds.
+  bool saw_zero = false;
+  bool saw_one = false;
+  for (std::uint64_t seed = 1; seed <= 40 && !(saw_zero && saw_one); ++seed) {
+    Scenario s;
+    s.protocol = ProtocolKind::malicious;
+    s.params = {8, 2};
+    s.inputs = adversary::alternating_inputs(8);
+    s.seed = seed;
+    const auto out = run_scenario(s);
+    ASSERT_EQ(out.status, sim::RunStatus::all_decided);
+    ASSERT_TRUE(out.value.has_value());
+    saw_zero |= *out.value == Value::zero;
+    saw_one |= *out.value == Value::one;
+  }
+  EXPECT_TRUE(saw_zero);
+  EXPECT_TRUE(saw_one);
+}
+
+}  // namespace
+}  // namespace rcp

@@ -1,0 +1,233 @@
+// Tightness of the resilience bounds (Theorems 1 and 3): witness executions
+// showing what goes wrong beyond floor((n-1)/2) / floor((n-1)/3).
+//
+// An impossibility theorem cannot be "tested" directly; what we exhibit is
+// that protocols instantiated beyond the bound lose one of the three
+// defining properties under a legal schedule:
+//   - Figure 1 at k = n/2 under a partition (legal under asynchrony —
+//     every cross-half message is merely "slow"): its witness thresholds
+//     (cardinality > n/2) become unreachable inside a half, so nobody ever
+//     decides: *convergence* fails (the protocol trades liveness for
+//     safety).
+//   - The naive quorum-vote ablation (no witness machinery) at the same
+//     k = n/2 under the same partition: both halves decide their own
+//     unanimous input: *consistency* fails — which is exactly why Figure 1
+//     carries the witness machinery.
+//   - the naive ablation and the echo-less majority variant against one
+//     equivocator: quorums complete with contradictory Byzantine votes and
+//     the system splits: consistency fails; echoes (Figure 2) are the fix.
+//   - Figure 2 at k > floor((n-1)/3) under a partition: acceptance quorums
+//     unreachable: convergence fails, consistency holds vacuously.
+#include <gtest/gtest.h>
+
+#include "adversary/byzantine.hpp"
+#include "adversary/delivery.hpp"
+#include "adversary/scenario.hpp"
+#include "baselines/naive_quorum.hpp"
+#include "core/majority.hpp"
+#include "sim/simulation.hpp"
+#include "support/run_helpers.hpp"
+
+namespace rcp {
+namespace {
+
+using adversary::PartitionDelivery;
+using adversary::ProtocolKind;
+using adversary::Scenario;
+
+TEST(LowerBound, Figure1BeyondBoundLosesConvergenceNotConsistency) {
+  // n = 8, k = 4 = ceil(n/2) > floor((n-1)/2) = 3. Each half of 4 is a
+  // full n-k quorum, but a witness needs cardinality > n/2 = 4, which a
+  // 4-process half can never produce: safety holds, liveness dies.
+  const std::uint32_t n = 8;
+  Scenario s;
+  s.protocol = ProtocolKind::fail_stop;
+  s.params = {n, n / 2};
+  s.unchecked = true;
+  s.inputs = std::vector<Value>(n, Value::zero);
+  for (ProcessId p = n / 2; p < n; ++p) {
+    s.inputs[p] = Value::one;
+  }
+  s.max_steps = 100'000;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    s.seed = seed;
+    auto simulation =
+        adversary::build(s, PartitionDelivery::split_at(n, n / 2));
+    const auto result = simulation->run();
+    EXPECT_NE(result.status, sim::RunStatus::all_decided) << "seed " << seed;
+    for (ProcessId p = 0; p < n; ++p) {
+      EXPECT_FALSE(simulation->decision_of(p).has_value())
+          << "p" << p << " seed " << seed;
+    }
+    EXPECT_TRUE(simulation->agreement_holds());
+  }
+}
+
+TEST(LowerBound, NaiveQuorumVoteSplitsUnderPartition) {
+  // The ablation without witness machinery: both halves reach unanimous
+  // quorums of their own and decide opposite values — the Theorem 1
+  // disagreement scenario, realized.
+  const std::uint32_t n = 8;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    for (ProcessId p = 0; p < n; ++p) {
+      procs.push_back(baselines::NaiveQuorumVote::make(
+          {n, n / 2}, p < n / 2 ? Value::zero : Value::one));
+    }
+    sim::Simulation simulation(
+        sim::SimConfig{.n = n, .seed = seed, .max_steps = 100'000},
+        std::move(procs), PartitionDelivery::split_at(n, n / 2));
+    (void)simulation.run();
+    for (ProcessId p = 0; p < n; ++p) {
+      ASSERT_TRUE(simulation.decision_of(p).has_value())
+          << "p" << p << " seed " << seed;
+    }
+    EXPECT_FALSE(simulation.agreement_holds()) << "seed " << seed;
+    EXPECT_EQ(simulation.decision_of(0), Value::zero);
+    EXPECT_EQ(simulation.decision_of(n - 1), Value::one);
+  }
+}
+
+TEST(LowerBound, Figure1AtBoundSafeUnderSamePartition) {
+  // Control experiment: at k = floor((n-1)/2) = 3 the same partition
+  // cannot even form quorums inside one half (each half has 4 < n - k = 5
+  // processes), so consistency trivially survives and the run stalls until
+  // the network heals.
+  const std::uint32_t n = 8;
+  Scenario s;
+  s.protocol = ProtocolKind::fail_stop;
+  s.params = {n, 3};
+  s.inputs = std::vector<Value>(n, Value::zero);
+  for (ProcessId p = n / 2; p < n; ++p) {
+    s.inputs[p] = Value::one;
+  }
+  s.max_steps = 100'000;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    s.seed = seed;
+    auto simulation =
+        adversary::build(s, PartitionDelivery::split_at(n, n / 2));
+    const auto result = simulation->run();
+    EXPECT_NE(result.status, sim::RunStatus::all_decided) << "seed " << seed;
+    EXPECT_TRUE(simulation->agreement_holds()) << "seed " << seed;
+  }
+}
+
+TEST(LowerBound, Figure1AtBoundDecidesOncePartitionHeals) {
+  // Asynchrony means "slow", not "lost": heal the partition and the run
+  // must complete with agreement.
+  const std::uint32_t n = 8;
+  Scenario s;
+  s.protocol = ProtocolKind::fail_stop;
+  s.params = {n, 3};
+  s.inputs = adversary::alternating_inputs(n);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    s.seed = seed;
+    auto simulation = adversary::build(
+        s, PartitionDelivery::split_at(n, n / 2, /*heal_at_step=*/5'000));
+    const auto result = simulation->run();
+    EXPECT_EQ(result.status, sim::RunStatus::all_decided) << "seed " << seed;
+    EXPECT_TRUE(simulation->agreement_holds()) << "seed " << seed;
+  }
+}
+
+TEST(LowerBound, NaiveQuorumSplitByOneEquivocator) {
+  // Theorem 3 scenario, realized against the eager ablation: n = 3, one
+  // equivocator (> floor((n-1)/3) = 0 faults). Process 0 (input 0) can only
+  // ever decide 0 (the equivocator always feeds it 0); process 2 can decide
+  // 1 whenever its 2-quorum happens to be {own 1, equivocator 1}. Across
+  // seeds, disagreement must occur.
+  int splits = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    procs.push_back(
+        baselines::NaiveQuorumVote::make({3, 1}, Value::zero));
+    procs.push_back(std::make_unique<adversary::SplitVoiceByzantine>(
+        core::ConsensusParams{3, 1}, /*split=*/1));
+    procs.push_back(baselines::NaiveQuorumVote::make({3, 1}, Value::one));
+    sim::Simulation s(
+        sim::SimConfig{.n = 3, .seed = seed, .max_steps = 200'000},
+        std::move(procs));
+    s.mark_faulty(1);
+    (void)s.run();
+    ASSERT_TRUE(s.decision_of(0).has_value()) << "seed " << seed;
+    EXPECT_EQ(s.decision_of(0), Value::zero) << "seed " << seed;
+    if (s.decision_of(2).has_value() && !s.agreement_holds()) {
+      ++splits;
+    }
+  }
+  EXPECT_GT(splits, 0) << "one equivocator should split the naive protocol";
+}
+
+TEST(LowerBound, MajorityVariantUnsafeUnderEquivocation) {
+  // The Section 4.1 variant drops Figure 2's echo machinery, and the paper
+  // analyses it only for fail-stop faults. This test documents why: an
+  // equivocator contributes *different* values to different processes'
+  // quorums in the same phase, which the echo consistency claim ("no two
+  // correct processes accept different values from the same process")
+  // exists to prevent. At n = 4, k = 1 some schedules split the system.
+  int violations = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    procs.push_back(core::MajorityConsensus::make({4, 1}, Value::zero));
+    procs.push_back(std::make_unique<adversary::SplitVoiceByzantine>(
+        core::ConsensusParams{4, 1}, /*split=*/2));
+    procs.push_back(core::MajorityConsensus::make({4, 1}, Value::zero));
+    procs.push_back(core::MajorityConsensus::make({4, 1}, Value::one));
+    sim::Simulation s(
+        sim::SimConfig{.n = 4, .seed = seed, .max_steps = 1'000'000},
+        std::move(procs));
+    s.mark_faulty(1);
+    (void)s.run();
+    if (!s.agreement_holds()) {
+      ++violations;
+    }
+  }
+  EXPECT_GT(violations, 0)
+      << "equivocation should break the echo-less variant on some schedule";
+}
+
+TEST(LowerBound, Figure2SafeUnderEquivocationAtLegalK) {
+  // Control: the full Figure 2 protocol (with echoes) under an equivocator
+  // at the same n = 4, k = 1 never violates agreement — the echo quorums
+  // are exactly what the previous test shows to be necessary.
+  Scenario s;
+  s.protocol = ProtocolKind::malicious;
+  s.params = {4, 1};
+  s.inputs = {Value::zero, Value::zero, Value::zero, Value::one};
+  s.byzantine_ids = {1};
+  s.byzantine_kind = adversary::ByzantineKind::equivocator;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    s.seed = seed;
+    const auto out = test::run_scenario(s);
+    EXPECT_EQ(out.status, sim::RunStatus::all_decided) << "seed " << seed;
+    EXPECT_TRUE(out.agreement) << "seed " << seed;
+  }
+}
+
+TEST(LowerBound, MaliciousProtocolBeyondBoundLosesConvergence) {
+  // Figure 2 at n = 9, k = 3 > floor((n-1)/3) = 2, partitioned into
+  // 5 + 4: the echo-acceptance threshold floor((9+3)/2)+1 = 7 exceeds
+  // either side, so nothing is ever accepted and nobody decides —
+  // convergence fails while consistency holds vacuously.
+  const std::uint32_t n = 9;
+  Scenario s;
+  s.protocol = ProtocolKind::malicious;
+  s.params = {n, 3};
+  s.unchecked = true;
+  s.inputs = adversary::alternating_inputs(n);
+  s.max_steps = 100'000;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    s.seed = seed;
+    auto simulation = adversary::build(s, PartitionDelivery::split_at(n, 5));
+    const auto result = simulation->run();
+    EXPECT_NE(result.status, sim::RunStatus::all_decided) << "seed " << seed;
+    for (ProcessId p = 0; p < n; ++p) {
+      EXPECT_FALSE(simulation->decision_of(p).has_value())
+          << "p" << p << " seed " << seed;
+    }
+    EXPECT_TRUE(simulation->agreement_holds());
+  }
+}
+
+}  // namespace
+}  // namespace rcp

@@ -1,0 +1,96 @@
+// Randomized configuration sweep: a catch-all property test that draws
+// whole scenarios at random — protocol, system size, resilience, inputs,
+// Byzantine strategy and placement, crash schedule, delivery policy — and
+// asserts the two properties that must never fail inside the bounds:
+// agreement always, termination under fair delivery.
+#include <gtest/gtest.h>
+
+#include "adversary/delivery.hpp"
+#include "adversary/scenario.hpp"
+#include "common/rng.hpp"
+#include "support/run_helpers.hpp"
+
+namespace rcp {
+namespace {
+
+using adversary::ByzantineKind;
+using adversary::ProtocolKind;
+using adversary::Scenario;
+
+std::unique_ptr<sim::DeliveryPolicy> random_fair_delivery(Rng& rng,
+                                                          std::uint32_t n) {
+  switch (rng.below(4)) {
+    case 0:
+      return sim::make_uniform_delivery();
+    case 1:
+      return sim::make_uniform_delivery(0.1 + 0.3 * rng.uniform01());
+    case 2:
+      return sim::make_fifo_delivery();
+    default: {
+      std::vector<ProcessId> slow;
+      for (const auto p : rng.sample_without_replacement(n, 1 + rng.below(2))) {
+        slow.push_back(p);
+      }
+      // epsilon-fair starvation: a strict starve (slow_probability = 0)
+      // can livelock requeue-based protocols when n - k forces them to
+      // hear a starved sender.
+      return std::make_unique<adversary::StarveSendersDelivery>(n, slow, 0.05);
+    }
+  }
+}
+
+TEST(RandomizedSweep, SafetyAndLivenessAcrossRandomScenarios) {
+  Rng rng(0xB0C4'1983);
+  for (int trial = 0; trial < 60; ++trial) {
+    Scenario s;
+    const std::uint32_t pick = static_cast<std::uint32_t>(rng.below(3));
+    s.protocol = pick == 0   ? ProtocolKind::fail_stop
+                 : pick == 1 ? ProtocolKind::malicious
+                             : ProtocolKind::majority;
+    const std::uint32_t n = 4 + static_cast<std::uint32_t>(rng.below(9));
+    const core::FaultModel model = s.protocol == ProtocolKind::fail_stop
+                                       ? core::FaultModel::fail_stop
+                                       : core::FaultModel::malicious;
+    const std::uint32_t k_max = core::max_resilience(model, n);
+    const std::uint32_t k = static_cast<std::uint32_t>(rng.below(k_max + 1));
+    s.params = {n, k};
+    s.inputs = adversary::random_inputs(n, rng);
+    s.seed = rng.next();
+    s.max_steps = 8'000'000;
+
+    std::string description = std::string(to_string(s.protocol)) +
+                              " n=" + std::to_string(n) +
+                              " k=" + std::to_string(k);
+    if (k > 0) {
+      if (s.protocol == ProtocolKind::malicious && rng.bernoulli(0.5)) {
+        // Byzantine faults (balancer only in the paper's k <= n/5 regime).
+        const ByzantineKind kinds[] = {ByzantineKind::silent,
+                                       ByzantineKind::equivocator,
+                                       ByzantineKind::babbler};
+        s.byzantine_kind = kinds[rng.below(3)];
+        const std::uint32_t byz = 1 + static_cast<std::uint32_t>(rng.below(k));
+        for (const auto b : rng.sample_without_replacement(n, byz)) {
+          s.byzantine_ids.push_back(b);
+        }
+        description += std::string(" byz=") + to_string(s.byzantine_kind);
+      } else if (rng.bernoulli(0.7)) {
+        const std::uint32_t crashes =
+            1 + static_cast<std::uint32_t>(rng.below(k));
+        s.crashes = rng.bernoulli(0.5)
+                        ? adversary::CrashPlan::random(n, crashes, 2'000, rng)
+                        : adversary::CrashPlan::random_phase_boundaries(
+                              n, crashes, 5, rng);
+        description += " crashes=" + std::to_string(crashes);
+      }
+    }
+
+    const auto out =
+        test::run_scenario(s, random_fair_delivery(rng, n));
+    EXPECT_EQ(out.status, sim::RunStatus::all_decided)
+        << "trial " << trial << ": " << description;
+    EXPECT_TRUE(out.agreement) << "trial " << trial << ": " << description;
+  }
+}
+
+}  // namespace
+}  // namespace rcp

@@ -1,0 +1,110 @@
+#include "sim/lockstep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rcp::sim {
+namespace {
+
+/// Broadcasts its id each round; decides 1 after hearing `need` senders.
+class CountingProcess final : public LockstepProcess {
+ public:
+  explicit CountingProcess(std::size_t need) : need_(need) {}
+
+  Bytes broadcast_for_round(std::uint32_t round) override {
+    ++broadcasts_;
+    return Bytes{static_cast<std::byte>(round)};
+  }
+
+  void receive_round(
+      std::uint32_t /*round*/,
+      const std::vector<std::pair<ProcessId, Bytes>>& messages) override {
+    last_senders_.clear();
+    for (const auto& [sender, payload] : messages) {
+      static_cast<void>(payload);
+      last_senders_.push_back(sender);
+    }
+    if (messages.size() >= need_ && !decision_.has_value()) {
+      decision_ = Value::one;
+    }
+  }
+
+  [[nodiscard]] std::optional<Value> decision() const override {
+    return decision_;
+  }
+
+  std::size_t broadcasts_ = 0;
+  std::vector<ProcessId> last_senders_;
+
+ private:
+  std::size_t need_;
+  std::optional<Value> decision_;
+};
+
+TEST(Lockstep, AllAliveSeeEveryone) {
+  std::vector<std::unique_ptr<LockstepProcess>> procs;
+  std::vector<CountingProcess*> raw;
+  for (int i = 0; i < 4; ++i) {
+    auto p = std::make_unique<CountingProcess>(4);
+    raw.push_back(p.get());
+    procs.push_back(std::move(p));
+  }
+  LockstepSimulation sim(std::move(procs), std::vector<bool>(4, false));
+  sim.run_round();
+  for (auto* p : raw) {
+    EXPECT_EQ(p->last_senders_, (std::vector<ProcessId>{0, 1, 2, 3}));
+  }
+  EXPECT_TRUE(sim.all_live_decided());
+  EXPECT_TRUE(sim.agreement_holds());
+}
+
+TEST(Lockstep, DeadNeverBroadcastNorReceive) {
+  std::vector<std::unique_ptr<LockstepProcess>> procs;
+  std::vector<CountingProcess*> raw;
+  for (int i = 0; i < 3; ++i) {
+    auto p = std::make_unique<CountingProcess>(99);
+    raw.push_back(p.get());
+    procs.push_back(std::move(p));
+  }
+  LockstepSimulation sim(std::move(procs), {false, true, false});
+  sim.run_round();
+  EXPECT_EQ(raw[0]->last_senders_, (std::vector<ProcessId>{0, 2}));
+  EXPECT_EQ(raw[1]->broadcasts_, 0u);
+  EXPECT_TRUE(raw[1]->last_senders_.empty());
+  EXPECT_TRUE(sim.dead(1));
+  EXPECT_FALSE(sim.dead(0));
+}
+
+TEST(Lockstep, RunUntilDecidedStopsEarly) {
+  std::vector<std::unique_ptr<LockstepProcess>> procs;
+  for (int i = 0; i < 2; ++i) {
+    procs.push_back(std::make_unique<CountingProcess>(2));
+  }
+  LockstepSimulation sim(std::move(procs), std::vector<bool>(2, false));
+  const auto rounds = sim.run_until_decided(100);
+  EXPECT_EQ(rounds, 1u);
+  EXPECT_EQ(sim.rounds_run(), 1u);
+  EXPECT_EQ(sim.decision_of(0), Value::one);
+}
+
+TEST(Lockstep, RunUntilDecidedRespectsCap) {
+  std::vector<std::unique_ptr<LockstepProcess>> procs;
+  procs.push_back(std::make_unique<CountingProcess>(5));  // never satisfied
+  LockstepSimulation sim(std::move(procs), std::vector<bool>(1, false));
+  const auto rounds = sim.run_until_decided(7);
+  EXPECT_EQ(rounds, 7u);
+  EXPECT_FALSE(sim.all_live_decided());
+}
+
+TEST(Lockstep, ConstructionValidation) {
+  std::vector<std::unique_ptr<LockstepProcess>> none;
+  EXPECT_THROW(LockstepSimulation(std::move(none), {}), PreconditionError);
+  std::vector<std::unique_ptr<LockstepProcess>> one;
+  one.push_back(std::make_unique<CountingProcess>(1));
+  EXPECT_THROW(LockstepSimulation(std::move(one), std::vector<bool>(2, false)),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace rcp::sim

@@ -1,0 +1,175 @@
+#include "sim/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "adversary/scenario.hpp"
+#include "common/error.hpp"
+#include "sim/simulation.hpp"
+#include "support/probe_process.hpp"
+
+namespace rcp {
+namespace {
+
+using adversary::ProtocolKind;
+using adversary::Scenario;
+
+struct Fingerprint {
+  std::vector<std::optional<Value>> decisions;
+  std::uint64_t steps = 0;
+  std::uint64_t messages = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint fingerprint(sim::Simulation& s, std::uint64_t steps) {
+  Fingerprint f;
+  f.steps = steps;
+  f.messages = s.metrics().messages_sent;
+  for (ProcessId p = 0; p < s.n(); ++p) {
+    f.decisions.push_back(s.decision_of(p));
+  }
+  return f;
+}
+
+Scenario base_scenario(std::uint64_t seed) {
+  Scenario s;
+  s.protocol = ProtocolKind::malicious;
+  s.params = {7, 2};
+  s.inputs = adversary::alternating_inputs(7);
+  s.byzantine_ids = {2, 5};
+  s.byzantine_kind = adversary::ByzantineKind::equivocator;
+  s.seed = seed;
+  return s;
+}
+
+TEST(Replay, RecordedRunReplaysExactly) {
+  // Record a full adversarial consensus run...
+  auto rec = sim::make_recording_policies();
+  auto original = adversary::build(base_scenario(13), std::move(rec.delivery),
+                                   std::move(rec.scheduler));
+  const auto result1 = original->run();
+  ASSERT_EQ(result1.status, sim::RunStatus::all_decided);
+  const Fingerprint f1 = fingerprint(*original, result1.steps);
+  ASSERT_EQ(rec.schedule->size(), result1.steps);
+
+  // ...then replay it with a different master seed: the schedule, not the
+  // RNG, must drive the execution.
+  auto replay = sim::make_replay_policies(*rec.schedule);
+  Scenario s2 = base_scenario(13);
+  s2.seed = 999;  // different delivery/scheduler randomness (unused)
+  auto replayed = adversary::build(s2, std::move(replay.delivery),
+                                   std::move(replay.scheduler));
+  const auto result2 = replayed->run();
+  EXPECT_EQ(result2.status, sim::RunStatus::all_decided);
+  EXPECT_EQ(fingerprint(*replayed, result2.steps), f1);
+}
+
+TEST(Replay, ReplayOfBenignRunMatchesStepByStep) {
+  Scenario s;
+  s.protocol = ProtocolKind::fail_stop;
+  s.params = {5, 2};
+  s.inputs = adversary::alternating_inputs(5);
+  s.seed = 3;
+
+  auto rec = sim::make_recording_policies();
+  auto original =
+      adversary::build(s, std::move(rec.delivery), std::move(rec.scheduler));
+  (void)original->run();
+
+  auto replay = sim::make_replay_policies(*rec.schedule);
+  auto replayed =
+      adversary::build(s, std::move(replay.delivery), std::move(replay.scheduler));
+  std::uint64_t steps = 0;
+  while (!replay.cursor->exhausted() && replayed->step()) {
+    ++steps;
+  }
+  EXPECT_EQ(steps, rec.schedule->size());
+  EXPECT_TRUE(replayed->all_correct_decided());
+  EXPECT_TRUE(replayed->agreement_holds());
+}
+
+TEST(Replay, ScheduleSaveLoadRoundTrip) {
+  sim::Schedule schedule;
+  schedule.append_actor(3);
+  schedule.set_last_choice(42);
+  schedule.append_actor(1);
+  schedule.set_last_choice(std::nullopt);
+  schedule.append_actor(0);
+  schedule.set_last_choice(7);
+
+  std::stringstream buf;
+  schedule.save(buf);
+  const sim::Schedule loaded = sim::Schedule::load(buf);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.steps()[0].actor, 3u);
+  EXPECT_EQ(loaded.steps()[0].seq, 42u);
+  EXPECT_EQ(loaded.steps()[1].actor, 1u);
+  EXPECT_EQ(loaded.steps()[1].seq, std::nullopt);
+  EXPECT_EQ(loaded.steps()[2].seq, 7u);
+}
+
+TEST(Replay, SavedScheduleReplaysAfterReload) {
+  auto rec = sim::make_recording_policies();
+  auto original = adversary::build(base_scenario(21), std::move(rec.delivery),
+                                   std::move(rec.scheduler));
+  const auto result1 = original->run();
+  const Fingerprint f1 = fingerprint(*original, result1.steps);
+
+  std::stringstream buf;
+  rec.schedule->save(buf);
+  auto replay = sim::make_replay_policies(sim::Schedule::load(buf));
+  auto replayed = adversary::build(base_scenario(21), std::move(replay.delivery),
+                                   std::move(replay.scheduler));
+  const auto result2 = replayed->run();
+  EXPECT_EQ(fingerprint(*replayed, result2.steps), f1);
+}
+
+TEST(Replay, DivergenceDetected) {
+  // Replaying a schedule against a *different* system must trip the
+  // divergence invariants rather than silently producing garbage.
+  auto rec = sim::make_recording_policies();
+  auto original = adversary::build(base_scenario(5), std::move(rec.delivery),
+                                   std::move(rec.scheduler));
+  (void)original->run();
+
+  Scenario other = base_scenario(5);
+  other.inputs = std::vector<Value>(7, Value::one);  // different messages
+  auto replay = sim::make_replay_policies(*rec.schedule);
+  auto replayed = adversary::build(other, std::move(replay.delivery),
+                                   std::move(replay.scheduler));
+  // Either a recorded message is missing from a mailbox (InvariantError) or
+  // the shorter divergent run exhausts the schedule (PreconditionError);
+  // both derive from rcp::Error.
+  EXPECT_THROW(
+      {
+        while (replayed->step()) {
+        }
+      },
+      Error);
+}
+
+TEST(Replay, CursorExhaustionThrows) {
+  sim::Schedule schedule;  // empty
+  auto replay = sim::make_replay_policies(schedule);
+  test::ProbeFleet fleet(2);
+  fleet.probes[0]->start_fn = [](sim::Context& ctx) {
+    ctx.send(1, test::tiny_payload());
+  };
+  sim::Simulation s(sim::SimConfig{.n = 2, .seed = 1},
+                    std::move(fleet.processes), std::move(replay.delivery),
+                    std::move(replay.scheduler));
+  s.start();
+  EXPECT_THROW((void)s.step(), PreconditionError);
+}
+
+TEST(Replay, RecordingPreservesInnerPolicyBehaviour) {
+  // Recording around FIFO must still deliver in FIFO order.
+  auto rec = sim::make_recording_policies(sim::make_fifo_delivery(),
+                                          sim::make_round_robin_scheduler());
+  EXPECT_TRUE(rec.delivery->order_preserving());
+}
+
+}  // namespace
+}  // namespace rcp

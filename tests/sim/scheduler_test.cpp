@@ -1,0 +1,75 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rcp::sim {
+namespace {
+
+TEST(RandomScheduler, PicksOnlyEligible) {
+  RandomScheduler s;
+  Rng rng(1);
+  const std::vector<ProcessId> eligible{2, 5, 9};
+  for (int i = 0; i < 100; ++i) {
+    const ProcessId p = s.pick(eligible, rng);
+    EXPECT_TRUE(p == 2 || p == 5 || p == 9);
+  }
+}
+
+TEST(RandomScheduler, CoversAllEligible) {
+  RandomScheduler s;
+  Rng rng(2);
+  const std::vector<ProcessId> eligible{0, 1, 2, 3};
+  std::set<ProcessId> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(s.pick(eligible, rng));
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RandomScheduler, EmptyEligibleThrows) {
+  RandomScheduler s;
+  Rng rng(3);
+  EXPECT_THROW((void)s.pick({}, rng), PreconditionError);
+}
+
+TEST(RoundRobinScheduler, CyclesInOrder) {
+  RoundRobinScheduler s;
+  Rng rng(4);
+  const std::vector<ProcessId> eligible{1, 3, 5};
+  EXPECT_EQ(s.pick(eligible, rng), 1u);
+  EXPECT_EQ(s.pick(eligible, rng), 3u);
+  EXPECT_EQ(s.pick(eligible, rng), 5u);
+  EXPECT_EQ(s.pick(eligible, rng), 1u);
+}
+
+TEST(RoundRobinScheduler, SkipsNewlyIneligible) {
+  RoundRobinScheduler s;
+  Rng rng(5);
+  EXPECT_EQ(s.pick(std::vector<ProcessId>{0, 1, 2}, rng), 0u);
+  // 1 dropped out; next eligible after 0 is 2.
+  EXPECT_EQ(s.pick(std::vector<ProcessId>{0, 2}, rng), 2u);
+  EXPECT_EQ(s.pick(std::vector<ProcessId>{0, 2}, rng), 0u);
+}
+
+TEST(RoundRobinScheduler, WrapsWhenPastEnd) {
+  RoundRobinScheduler s;
+  Rng rng(6);
+  EXPECT_EQ(s.pick(std::vector<ProcessId>{5}, rng), 5u);
+  // Everything eligible is below the last pick: wrap to front.
+  EXPECT_EQ(s.pick(std::vector<ProcessId>{1, 2}, rng), 1u);
+}
+
+TEST(SchedulerFactories, Work) {
+  Rng rng(7);
+  const std::vector<ProcessId> eligible{4};
+  EXPECT_EQ(make_random_scheduler()->pick(eligible, rng), 4u);
+  EXPECT_EQ(make_round_robin_scheduler()->pick(eligible, rng), 4u);
+}
+
+}  // namespace
+}  // namespace rcp::sim

@@ -1,0 +1,351 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "support/probe_process.hpp"
+
+namespace rcp {
+namespace {
+
+using test::ProbeFleet;
+using test::tiny_payload;
+
+sim::SimConfig cfg(std::uint32_t n, std::uint64_t seed = 1,
+                   std::uint64_t max_steps = 10'000) {
+  return sim::SimConfig{.n = n, .seed = seed, .max_steps = max_steps};
+}
+
+TEST(Simulation, RejectsBadConstruction) {
+  ProbeFleet fleet(2);
+  EXPECT_THROW(sim::Simulation(cfg(3), std::move(fleet.processes)),
+               PreconditionError);
+  std::vector<std::unique_ptr<sim::Process>> empty;
+  EXPECT_THROW(sim::Simulation(cfg(0), std::move(empty)), PreconditionError);
+}
+
+TEST(Simulation, StartDeliversSendsToMailboxes) {
+  ProbeFleet fleet(2);
+  fleet.probes[0]->start_fn = [](sim::Context& ctx) {
+    ctx.send(1, test::tiny_payload());
+  };
+  sim::Simulation s(cfg(2), std::move(fleet.processes));
+  s.start();
+  EXPECT_EQ(s.mailbox_size(1), 1u);
+  EXPECT_EQ(s.mailbox_size(0), 0u);
+  EXPECT_EQ(s.metrics().messages_sent, 1u);
+}
+
+TEST(Simulation, BroadcastIncludesSelf) {
+  ProbeFleet fleet(3);
+  fleet.probes[0]->start_fn = [](sim::Context& ctx) {
+    ctx.broadcast(test::tiny_payload());
+  };
+  sim::Simulation s(cfg(3), std::move(fleet.processes));
+  s.start();
+  EXPECT_EQ(s.mailbox_size(0), 1u);
+  EXPECT_EQ(s.mailbox_size(1), 1u);
+  EXPECT_EQ(s.mailbox_size(2), 1u);
+}
+
+TEST(Simulation, StepDeliversExactlyOneMessage) {
+  ProbeFleet fleet(2);
+  auto* receiver = fleet.probes[1];
+  fleet.probes[0]->start_fn = [](sim::Context& ctx) {
+    ctx.send(1, test::tiny_payload(1));
+    ctx.send(1, test::tiny_payload(2));
+  };
+  sim::Simulation s(cfg(2), std::move(fleet.processes));
+  s.start();
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(receiver->received.size(), 1u);
+  EXPECT_EQ(s.mailbox_size(1), 1u);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(receiver->received.size(), 2u);
+  EXPECT_FALSE(s.step()) << "no messages left, system quiescent";
+}
+
+TEST(Simulation, EnvelopeCarriesAuthenticSender) {
+  ProbeFleet fleet(2);
+  auto* receiver = fleet.probes[1];
+  fleet.probes[0]->start_fn = [](sim::Context& ctx) {
+    ctx.send(1, test::tiny_payload());
+  };
+  sim::Simulation s(cfg(2), std::move(fleet.processes));
+  s.start();
+  ASSERT_TRUE(s.step());
+  ASSERT_EQ(receiver->received.size(), 1u);
+  EXPECT_EQ(receiver->received[0].sender, 0u);
+  EXPECT_EQ(receiver->received[0].receiver, 1u);
+}
+
+TEST(Simulation, DecideIsOneShotSameValueOk) {
+  ProbeFleet fleet(2);
+  fleet.probes[0]->start_fn = [](sim::Context& ctx) {
+    ctx.decide(Value::one);
+    ctx.decide(Value::one);  // same value: harmless
+  };
+  sim::Simulation s(cfg(2), std::move(fleet.processes));
+  EXPECT_NO_THROW(s.start());
+  EXPECT_EQ(s.decision_of(0), Value::one);
+}
+
+TEST(Simulation, DecideConflictThrows) {
+  ProbeFleet fleet(1);
+  fleet.probes[0]->start_fn = [](sim::Context& ctx) {
+    ctx.decide(Value::one);
+    ctx.decide(Value::zero);
+  };
+  sim::Simulation s(cfg(1), std::move(fleet.processes));
+  EXPECT_THROW(s.start(), InvariantError);
+}
+
+TEST(Simulation, CrashedProcessTakesNoSteps) {
+  ProbeFleet fleet(2);
+  auto* victim = fleet.probes[1];
+  fleet.probes[0]->start_fn = [](sim::Context& ctx) {
+    ctx.send(1, test::tiny_payload());
+  };
+  sim::Simulation s(cfg(2), std::move(fleet.processes));
+  s.start();
+  s.crash(1);
+  EXPECT_FALSE(s.alive(1));
+  EXPECT_TRUE(s.is_faulty(1));
+  EXPECT_FALSE(s.step()) << "only the dead process has messages";
+  EXPECT_TRUE(victim->received.empty());
+}
+
+TEST(Simulation, InitiallyDeadSkipsStart) {
+  ProbeFleet fleet(2);
+  bool started = false;
+  fleet.probes[0]->start_fn = [&](sim::Context&) { started = true; };
+  sim::Simulation s(cfg(2), std::move(fleet.processes));
+  s.schedule_crash_at_step(0, 0);
+  s.start();
+  EXPECT_FALSE(started);
+  EXPECT_FALSE(s.alive(0));
+}
+
+TEST(Simulation, StepCrashTriggersAtThreshold) {
+  ProbeFleet fleet(2);
+  // Processes ping-pong forever.
+  for (auto* p : fleet.probes) {
+    p->start_fn = [](sim::Context& ctx) {
+      ctx.send(1 - ctx.self(), test::tiny_payload());
+    };
+    p->message_fn = [](sim::Context& ctx, const sim::Envelope&) {
+      ctx.send(1 - ctx.self(), test::tiny_payload());
+    };
+  }
+  sim::Simulation s(cfg(2), std::move(fleet.processes));
+  s.schedule_crash_at_step(0, 5);
+  s.start();
+  for (int i = 0; i < 20 && s.step(); ++i) {
+  }
+  EXPECT_FALSE(s.alive(0));
+  EXPECT_TRUE(s.alive(1));
+}
+
+TEST(Simulation, PhaseCrashTriggersWhenPhaseReached) {
+  ProbeFleet fleet(2);
+  auto* p0 = fleet.probes[0];
+  p0->start_fn = [](sim::Context& ctx) {
+    ctx.send(0, test::tiny_payload());
+  };
+  p0->message_fn = [p0](sim::Context& ctx, const sim::Envelope&) {
+    p0->reported_phase += 1;
+    ctx.send(0, test::tiny_payload());
+  };
+  sim::Simulation s(cfg(2), std::move(fleet.processes));
+  s.schedule_crash_at_phase(0, 3);
+  s.start();
+  while (s.step()) {
+  }
+  EXPECT_FALSE(s.alive(0));
+  EXPECT_EQ(p0->reported_phase, 3u);
+}
+
+TEST(Simulation, RunReportsQuiescence) {
+  ProbeFleet fleet(2);
+  sim::Simulation s(cfg(2), std::move(fleet.processes));
+  const auto result = s.run();
+  EXPECT_EQ(result.status, sim::RunStatus::quiescent);
+  EXPECT_EQ(result.steps, 0u);
+}
+
+TEST(Simulation, RunReportsStepLimit) {
+  ProbeFleet fleet(1);
+  fleet.probes[0]->start_fn = [](sim::Context& ctx) {
+    ctx.send(0, test::tiny_payload());
+  };
+  fleet.probes[0]->message_fn = [](sim::Context& ctx, const sim::Envelope&) {
+    ctx.send(0, test::tiny_payload());
+  };
+  sim::Simulation s(cfg(1, 1, 25), std::move(fleet.processes));
+  const auto result = s.run();
+  EXPECT_EQ(result.status, sim::RunStatus::step_limit);
+  EXPECT_EQ(result.steps, 25u);
+}
+
+TEST(Simulation, RunStopsWhenAllCorrectDecided) {
+  ProbeFleet fleet(2);
+  for (auto* p : fleet.probes) {
+    p->start_fn = [](sim::Context& ctx) { ctx.decide(Value::zero); };
+  }
+  sim::Simulation s(cfg(2), std::move(fleet.processes));
+  const auto result = s.run();
+  EXPECT_EQ(result.status, sim::RunStatus::all_decided);
+  EXPECT_TRUE(s.all_correct_decided());
+}
+
+TEST(Simulation, FaultyProcessesDoNotBlockTermination) {
+  ProbeFleet fleet(2);
+  fleet.probes[0]->start_fn = [](sim::Context& ctx) {
+    ctx.decide(Value::one);
+  };
+  // Process 1 never decides but is marked faulty.
+  sim::Simulation s(cfg(2), std::move(fleet.processes));
+  s.mark_faulty(1);
+  const auto result = s.run();
+  EXPECT_EQ(result.status, sim::RunStatus::all_decided);
+}
+
+TEST(Simulation, AgreementObservers) {
+  ProbeFleet fleet(3);
+  fleet.probes[0]->start_fn = [](sim::Context& ctx) {
+    ctx.decide(Value::one);
+  };
+  fleet.probes[1]->start_fn = [](sim::Context& ctx) {
+    ctx.decide(Value::zero);
+  };
+  sim::Simulation s(cfg(3), std::move(fleet.processes));
+  s.start();
+  EXPECT_FALSE(s.agreement_holds());
+  EXPECT_FALSE(s.agreed_value().has_value());
+}
+
+TEST(Simulation, AgreedValueWithPartialDecisions) {
+  ProbeFleet fleet(3);
+  fleet.probes[0]->start_fn = [](sim::Context& ctx) {
+    ctx.decide(Value::one);
+  };
+  sim::Simulation s(cfg(3), std::move(fleet.processes));
+  s.start();
+  EXPECT_TRUE(s.agreement_holds());
+  EXPECT_EQ(s.agreed_value(), Value::one);
+  EXPECT_FALSE(s.all_correct_decided());
+}
+
+TEST(Simulation, FaultyDecisionsIgnoredByAgreement) {
+  ProbeFleet fleet(2);
+  fleet.probes[0]->start_fn = [](sim::Context& ctx) {
+    ctx.decide(Value::one);
+  };
+  fleet.probes[1]->start_fn = [](sim::Context& ctx) {
+    ctx.decide(Value::zero);
+  };
+  sim::Simulation s(cfg(2), std::move(fleet.processes));
+  s.mark_faulty(1);
+  s.start();
+  EXPECT_TRUE(s.agreement_holds());
+  EXPECT_EQ(s.agreed_value(), Value::one);
+}
+
+TEST(Simulation, CorrectIdsExcludeFaultyAndCrashed) {
+  ProbeFleet fleet(4);
+  sim::Simulation s(cfg(4), std::move(fleet.processes));
+  s.mark_faulty(1);
+  s.crash(2);
+  EXPECT_EQ(s.correct_ids(), (std::vector<ProcessId>{0, 3}));
+}
+
+TEST(Simulation, MetricsCountTraffic) {
+  ProbeFleet fleet(2);
+  fleet.probes[0]->start_fn = [](sim::Context& ctx) {
+    ctx.broadcast(test::tiny_payload());
+  };
+  sim::Simulation s(cfg(2), std::move(fleet.processes));
+  s.start();
+  while (s.step()) {
+  }
+  EXPECT_EQ(s.metrics().messages_sent, 2u);
+  EXPECT_EQ(s.metrics().messages_delivered, 2u);
+  EXPECT_EQ(s.metrics().steps, 2u);
+}
+
+TEST(Simulation, TraceRecordsLifecycle) {
+  ProbeFleet fleet(2);
+  fleet.probes[0]->start_fn = [](sim::Context& ctx) {
+    ctx.send(1, test::tiny_payload());
+    ctx.decide(Value::one);
+  };
+  sim::RecordingTrace trace;
+  sim::Simulation s(cfg(2), std::move(fleet.processes));
+  s.set_trace(&trace);
+  s.crash(1);
+  s.start();
+  while (s.step()) {
+  }
+  EXPECT_EQ(trace.count(sim::EventKind::crash), 1u);
+  EXPECT_EQ(trace.count(sim::EventKind::send), 1u);
+  EXPECT_EQ(trace.count(sim::EventKind::decide), 1u);
+  EXPECT_EQ(trace.count(sim::EventKind::start), 1u);  // p1 crashed before start
+}
+
+TEST(Simulation, SameSeedSameExecution) {
+  // Compares the full (acting process, peer) event sequence, which pins the
+  // exact schedule, not just aggregate counters.
+  auto run_once = [](std::uint64_t seed) {
+    ProbeFleet fleet(3);
+    for (auto* p : fleet.probes) {
+      p->start_fn = [](sim::Context& ctx) { ctx.broadcast(test::tiny_payload()); };
+      p->message_fn = [](sim::Context& ctx, const sim::Envelope& env) {
+        if (ctx.step() < 50 && env.sender != ctx.self()) {
+          ctx.send(env.sender, test::tiny_payload());
+        }
+      };
+    }
+    sim::RecordingTrace trace;
+    sim::Simulation s(cfg(3, seed, 1000), std::move(fleet.processes));
+    s.set_trace(&trace);
+    (void)s.run();
+    std::vector<std::pair<ProcessId, ProcessId>> schedule;
+    for (const auto& e : trace.events()) {
+      schedule.emplace_back(e.process, e.peer);
+    }
+    return schedule;
+  };
+  EXPECT_EQ(run_once(77), run_once(77));
+  EXPECT_NE(run_once(77), run_once(78));
+}
+
+TEST(Simulation, ProcessRngStreamsDifferByProcess) {
+  ProbeFleet fleet(2);
+  std::uint64_t draws[2] = {0, 0};
+  for (int i = 0; i < 2; ++i) {
+    fleet.probes[i]->start_fn = [&draws, i](sim::Context& ctx) {
+      draws[i] = ctx.rng().next();
+    };
+  }
+  sim::Simulation s(cfg(2), std::move(fleet.processes));
+  s.start();
+  EXPECT_NE(draws[0], draws[1]);
+}
+
+TEST(Simulation, PhiProbabilityProducesNullSteps) {
+  ProbeFleet fleet(1);
+  fleet.probes[0]->start_fn = [](sim::Context& ctx) {
+    ctx.send(0, test::tiny_payload());
+  };
+  auto* probe = fleet.probes[0];
+  sim::Simulation s(cfg(1, 3, 1000), std::move(fleet.processes),
+                    sim::make_uniform_delivery(0.9));
+  s.start();
+  for (int i = 0; i < 100 && s.step(); ++i) {
+  }
+  EXPECT_GT(probe->null_count, 0);
+  EXPECT_GT(s.metrics().phi_steps, 0u);
+}
+
+}  // namespace
+}  // namespace rcp

@@ -1,0 +1,75 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rcp::sim {
+namespace {
+
+Event ev(EventKind kind, std::uint64_t step) {
+  return Event{.kind = kind, .step = step, .process = 0, .peer = 1,
+               .payload_size = 4, .decision = std::nullopt};
+}
+
+TEST(RecordingTrace, RecordsInOrder) {
+  RecordingTrace trace;
+  trace.record(ev(EventKind::start, 0));
+  trace.record(ev(EventKind::send, 1));
+  trace.record(ev(EventKind::deliver, 2));
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events()[0].kind, EventKind::start);
+  EXPECT_EQ(trace.events()[2].kind, EventKind::deliver);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(RecordingTrace, CountsByKind) {
+  RecordingTrace trace;
+  trace.record(ev(EventKind::send, 0));
+  trace.record(ev(EventKind::send, 1));
+  trace.record(ev(EventKind::phi, 2));
+  EXPECT_EQ(trace.count(EventKind::send), 2u);
+  EXPECT_EQ(trace.count(EventKind::phi), 1u);
+  EXPECT_EQ(trace.count(EventKind::crash), 0u);
+}
+
+TEST(RecordingTrace, RingOverwriteKeepsRecent) {
+  RecordingTrace trace(3);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    trace.record(ev(EventKind::send, i));
+  }
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  // Steps 2, 3, 4 survive in some rotation.
+  std::uint64_t sum = 0;
+  for (const auto& e : trace.events()) {
+    sum += e.step;
+  }
+  EXPECT_EQ(sum, 2u + 3u + 4u);
+}
+
+TEST(RecordingTrace, DumpIsHumanReadable) {
+  RecordingTrace trace;
+  Event d = ev(EventKind::decide, 7);
+  d.decision = Value::one;
+  trace.record(ev(EventKind::deliver, 3));
+  trace.record(d);
+  std::ostringstream os;
+  trace.dump(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("deliver"), std::string::npos);
+  EXPECT_NE(out.find("decide"), std::string::npos);
+  EXPECT_NE(out.find("value 1"), std::string::npos);
+}
+
+TEST(EventKindNames, AllDistinct) {
+  EXPECT_STREQ(to_string(EventKind::start), "start");
+  EXPECT_STREQ(to_string(EventKind::deliver), "deliver");
+  EXPECT_STREQ(to_string(EventKind::phi), "phi");
+  EXPECT_STREQ(to_string(EventKind::send), "send");
+  EXPECT_STREQ(to_string(EventKind::decide), "decide");
+  EXPECT_STREQ(to_string(EventKind::crash), "crash");
+}
+
+}  // namespace
+}  // namespace rcp::sim

@@ -1,0 +1,63 @@
+// End-to-end smoke tests: each protocol reaches agreement on a small system
+// under the paper's probabilistic message system. Deeper property suites
+// live in the per-module test files.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/failstop.hpp"
+#include "core/majority.hpp"
+#include "core/malicious.hpp"
+#include "sim/simulation.hpp"
+
+namespace rcp {
+namespace {
+
+template <typename Protocol>
+sim::Simulation make_sim(std::uint32_t n, std::uint32_t k, std::uint64_t seed) {
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  procs.reserve(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    const Value input = p % 2 == 0 ? Value::zero : Value::one;
+    procs.push_back(Protocol::make(core::ConsensusParams{n, k}, input));
+  }
+  return sim::Simulation(sim::SimConfig{.n = n, .seed = seed},
+                         std::move(procs));
+}
+
+TEST(Smoke, FailStopProtocolDecides) {
+  auto s = make_sim<core::FailStopConsensus>(7, 3, /*seed=*/1);
+  const auto result = s.run();
+  EXPECT_EQ(result.status, sim::RunStatus::all_decided);
+  EXPECT_TRUE(s.agreement_holds());
+  ASSERT_TRUE(s.agreed_value().has_value());
+}
+
+TEST(Smoke, MaliciousProtocolDecides) {
+  auto s = make_sim<core::MaliciousConsensus>(7, 2, /*seed=*/2);
+  const auto result = s.run();
+  EXPECT_EQ(result.status, sim::RunStatus::all_decided);
+  EXPECT_TRUE(s.agreement_holds());
+  ASSERT_TRUE(s.agreed_value().has_value());
+}
+
+TEST(Smoke, MajorityVariantDecides) {
+  auto s = make_sim<core::MajorityConsensus>(10, 3, /*seed=*/3);
+  const auto result = s.run();
+  EXPECT_EQ(result.status, sim::RunStatus::all_decided);
+  EXPECT_TRUE(s.agreement_holds());
+}
+
+TEST(Smoke, FailStopWithCrashes) {
+  auto s = make_sim<core::FailStopConsensus>(9, 4, /*seed=*/4);
+  s.schedule_crash_at_step(0, 50);
+  s.schedule_crash_at_step(1, 120);
+  s.schedule_crash_at_phase(2, 2);
+  const auto result = s.run();
+  EXPECT_EQ(result.status, sim::RunStatus::all_decided);
+  EXPECT_TRUE(s.agreement_holds());
+}
+
+}  // namespace
+}  // namespace rcp

@@ -1,0 +1,64 @@
+// A scriptable process for white-box simulator tests.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/process.hpp"
+
+namespace rcp::test {
+
+class ProbeProcess final : public sim::Process {
+ public:
+  std::function<void(sim::Context&)> start_fn;
+  std::function<void(sim::Context&, const sim::Envelope&)> message_fn;
+  std::function<void(sim::Context&)> null_fn;
+  Phase reported_phase = 0;
+  std::vector<sim::Envelope> received;
+  int null_count = 0;
+
+  void on_start(sim::Context& ctx) override {
+    if (start_fn) {
+      start_fn(ctx);
+    }
+  }
+
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override {
+    received.push_back(env);
+    if (message_fn) {
+      message_fn(ctx, env);
+    }
+  }
+
+  void on_null(sim::Context& ctx) override {
+    ++null_count;
+    if (null_fn) {
+      null_fn(ctx);
+    }
+  }
+
+  [[nodiscard]] Phase phase() const noexcept override {
+    return reported_phase;
+  }
+};
+
+/// Builds a vector of n fresh probes and returns raw observation pointers.
+struct ProbeFleet {
+  std::vector<std::unique_ptr<sim::Process>> processes;
+  std::vector<ProbeProcess*> probes;
+
+  explicit ProbeFleet(std::uint32_t n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto p = std::make_unique<ProbeProcess>();
+      probes.push_back(p.get());
+      processes.push_back(std::move(p));
+    }
+  }
+};
+
+/// A tiny payload helper for tests that don't care about content.
+[[nodiscard]] inline Bytes tiny_payload(std::uint8_t tag = 0xff) {
+  return Bytes{static_cast<std::byte>(tag)};
+}
+
+}  // namespace rcp::test

@@ -1,0 +1,35 @@
+// Shared helpers for protocol property tests: build a scenario, run it,
+// return a compact outcome.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "adversary/scenario.hpp"
+#include "sim/simulation.hpp"
+
+namespace rcp::test {
+
+struct RunOutcome {
+  sim::RunStatus status{};
+  bool agreement = false;
+  std::optional<Value> value;
+  Phase max_phase = 0;
+  std::uint64_t steps = 0;
+};
+
+inline RunOutcome run_scenario(
+    const adversary::Scenario& scenario,
+    std::unique_ptr<sim::DeliveryPolicy> delivery = nullptr,
+    std::unique_ptr<sim::SchedulerPolicy> scheduler = nullptr) {
+  auto simulation =
+      adversary::build(scenario, std::move(delivery), std::move(scheduler));
+  const sim::RunResult result = simulation->run();
+  return RunOutcome{.status = result.status,
+                    .agreement = simulation->agreement_holds(),
+                    .value = simulation->agreed_value(),
+                    .max_phase = simulation->metrics().max_phase,
+                    .steps = result.steps};
+}
+
+}  // namespace rcp::test
