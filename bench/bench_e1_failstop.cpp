@@ -24,6 +24,8 @@ using adversary::Scenario;
 
 constexpr std::uint32_t kRuns = 40;
 
+bench::ThroughputMeter meter;
+
 void sweep(const char* crash_label, bool with_crashes) {
   Table table({"n", "k", "crashes", "decided", "agreed", "phases(mean)",
                "phases(max)", "steps(mean)", "msgs(mean)"});
@@ -37,6 +39,7 @@ void sweep(const char* crash_label, bool with_crashes) {
       s.crashes = CrashPlan::staggered(k);
     }
     const auto r = bench::run_series(s, kRuns);
+    meter.note(r);
     table.row()
         .cell(static_cast<std::uint64_t>(n))
         .cell(static_cast<std::uint64_t>(k))
@@ -62,5 +65,6 @@ int main() {
   sweep("k staggered deaths, one per phase boundary", true);
   std::cout << "Expected shape (paper): every row decides and agrees "
                "100%; mean phases stay O(1) as n grows.\n";
+  meter.print(std::cout);
   return 0;
 }

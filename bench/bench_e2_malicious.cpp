@@ -24,6 +24,8 @@ using adversary::Scenario;
 
 constexpr std::uint32_t kRuns = 25;
 
+bench::ThroughputMeter meter;
+
 }  // namespace
 
 int main() {
@@ -49,6 +51,7 @@ int main() {
         s.byzantine_ids.push_back(static_cast<ProcessId>(b * n / k));
       }
       const auto r = bench::run_series(s, kRuns);
+      meter.note(r);
       table.row()
           .cell(static_cast<std::uint64_t>(n))
           .cell(static_cast<std::uint64_t>(k))
@@ -66,5 +69,6 @@ int main() {
                "the balancer rows (k <= n/5, Section 4.2 regime) converge "
                "in a handful of phases; equivocation wastes the adversary's "
                "votes entirely (its echoes never reach the (n+k)/2 quorum).\n";
+  meter.print(std::cout);
   return 0;
 }

@@ -12,9 +12,11 @@
 
 #include "analysis/collapsed_chain.hpp"
 #include "analysis/failstop_chain.hpp"
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "runtime/parallel_series.hpp"
 
 namespace {
 
@@ -22,7 +24,10 @@ using namespace rcp;
 using analysis::CollapsedChain;
 using analysis::FailStopChain;
 
-constexpr int kMonteCarloRuns = 20000;
+constexpr std::uint32_t kMonteCarloRuns = 20000;
+constexpr std::uint64_t kMcBaseSeed = 2024;
+
+bench::ThroughputMeter meter;
 
 }  // namespace
 
@@ -33,14 +38,21 @@ int main() {
 
   Table table({"n", "E[phases] exact", "E[phases] MC", "bound eq.13",
                "< 7 ?"});
-  Rng rng(2024);
   for (const unsigned n : {6u, 12u, 30u, 60u, 120u, 300u, 600u}) {
     const FailStopChain chain(n);
-    RunningStats mc;
-    for (int i = 0; i < kMonteCarloRuns; ++i) {
-      mc.add(static_cast<double>(
-          chain.chain().simulate_hitting_time(n / 2, rng)));
-    }
+    // One MC series per n, sharded across the TrialPool; each trial walks
+    // the chain with its own trial_seed-derived generator, so the estimate
+    // is independent of thread count.
+    const bench::Stopwatch sw;
+    const RunningStats mc = runtime::run_trials<RunningStats>(
+        kMonteCarloRuns, kMcBaseSeed + n,
+        [&chain, n](RunningStats& acc, std::uint64_t, std::uint64_t seed) {
+          Rng rng(seed);
+          acc.add(static_cast<double>(
+              chain.chain().simulate_hitting_time(n / 2, rng)));
+        },
+        bench::series_config());
+    meter.note(kMonteCarloRuns, sw.seconds());
     const double bound = CollapsedChain::expected_absorption_closed_form(n, l);
     table.row()
         .cell(static_cast<std::uint64_t>(n))
@@ -97,5 +109,6 @@ int main() {
                "shows the initial majority is very likely to win (and the "
                "tie-to-0 rule biases the exact centre slightly below "
                "1/2).\n";
+  meter.print(std::cout);
   return 0;
 }

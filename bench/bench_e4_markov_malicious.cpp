@@ -11,16 +11,21 @@
 #include <iostream>
 
 #include "analysis/malicious_chain.hpp"
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "runtime/parallel_series.hpp"
 
 namespace {
 
 using namespace rcp;
 using analysis::MaliciousChain;
 
-constexpr int kMonteCarloRuns = 20000;
+constexpr std::uint32_t kMonteCarloRuns = 20000;
+constexpr std::uint64_t kMcBaseSeed = 77;
+
+bench::ThroughputMeter meter;
 
 struct Case {
   unsigned n;
@@ -32,7 +37,6 @@ struct Case {
 int main() {
   std::cout << "E4: Section 4.2 Markov analysis (balancing attack on the "
                "malicious protocol), k = l*sqrt(n)/2\n\n";
-  Rng rng(77);
 
   // k = l sqrt(n)/2 exactly, with n - k even (integral balanced state).
   const Case l1[] = {{64, 4}, {144, 6}, {256, 8}, {400, 10}, {576, 12}};
@@ -46,12 +50,18 @@ int main() {
     for (int i = 0; i < 5; ++i) {
       const Case c = cases[i];
       const MaliciousChain chain(c.n, c.k);
-      RunningStats mc;
       const unsigned balanced = (c.n - c.k) / 2;
-      for (int run = 0; run < kMonteCarloRuns; ++run) {
-        mc.add(static_cast<double>(
-            chain.chain().simulate_hitting_time(balanced, rng)));
-      }
+      const bench::Stopwatch sw;
+      const RunningStats mc = runtime::run_trials<RunningStats>(
+          kMonteCarloRuns, kMcBaseSeed + c.n * 64 + c.k,
+          [&chain, balanced](RunningStats& acc, std::uint64_t,
+                             std::uint64_t seed) {
+            Rng rng(seed);
+            acc.add(static_cast<double>(
+                chain.chain().simulate_hitting_time(balanced, rng)));
+          },
+          bench::series_config());
+      meter.note(kMonteCarloRuns, sw.seconds());
       table.row()
           .cell(static_cast<std::uint64_t>(c.n))
           .cell(static_cast<std::uint64_t>(c.k))
@@ -69,5 +79,6 @@ int main() {
                "is flat in n (constant expected time for k = o(sqrt n)) and "
                "below the 1/(2*Phi(l)) bound; the l = 2 block is slower "
                "than l = 1 (stronger adversary).\n";
+  meter.print(std::cout);
   return 0;
 }

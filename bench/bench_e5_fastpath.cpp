@@ -20,6 +20,8 @@ using adversary::Scenario;
 
 constexpr std::uint32_t kRuns = 50;
 
+bench::ThroughputMeter meter;
+
 void sweep(ProtocolKind protocol, std::uint32_t n, std::uint32_t k) {
   Table table({"inputs (ones/n)", "decided", "agreed", "decided 1",
                "phases(mean)", "phases(max)"});
@@ -30,6 +32,7 @@ void sweep(ProtocolKind protocol, std::uint32_t n, std::uint32_t k) {
     s.params = {n, k};
     s.inputs = adversary::inputs_with_ones(n, ones);
     const auto r = bench::run_series(s, kRuns);
+    meter.note(r);
     table.row()
         .cell(std::to_string(ones) + "/" + std::to_string(n))
         .cell(std::to_string(r.decided) + "/" + std::to_string(r.runs))
@@ -56,5 +59,6 @@ int main() {
                "their input within ~2-3 phases; strong-majority rows decide "
                "1 every run in <= 3 phases; balanced rows agree every run "
                "but split between 0 and 1 across seeds.\n";
+  meter.print(std::cout);
   return 0;
 }

@@ -16,10 +16,12 @@
 #include <vector>
 
 #include "baselines/benor.hpp"
+#include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/failstop.hpp"
 #include "core/params.hpp"
+#include "runtime/parallel_series.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -30,58 +32,74 @@ using baselines::BenOrVariant;
 
 constexpr std::uint32_t kRuns = 30;
 
+bench::ThroughputMeter meter;
+
 struct Measured {
   RunningStats phases;
   RunningStats coin_flips;
   std::uint32_t decided = 0;
+
+  void merge(const Measured& other) {
+    phases.merge(other.phases);
+    coin_flips.merge(other.coin_flips);
+    decided += other.decided;
+  }
 };
 
-Measured run_benor(std::uint32_t n, std::uint32_t k) {
-  Measured m;
-  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
-    std::vector<std::unique_ptr<sim::Process>> procs;
-    std::vector<BenOrConsensus*> raw;
-    for (ProcessId p = 0; p < n; ++p) {
-      auto b = BenOrConsensus::make({n, k}, BenOrVariant::crash,
-                                    p % 2 == 0 ? Value::zero : Value::one);
-      raw.push_back(b.get());
-      procs.push_back(std::move(b));
-    }
-    sim::Simulation s(
-        sim::SimConfig{.n = n, .seed = seed, .max_steps = 4'000'000},
-        std::move(procs));
-    const auto result = s.run();
-    if (result.status == sim::RunStatus::all_decided) {
-      ++m.decided;
-      m.phases.add(static_cast<double>(s.metrics().max_phase));
-      std::uint64_t flips = 0;
-      for (auto* b : raw) {
-        flips += b->coin_flips();
-      }
-      m.coin_flips.add(static_cast<double>(flips));
-    }
-  }
+template <typename TrialFn>
+Measured measure_series(std::uint64_t base_seed, TrialFn&& fn) {
+  const bench::Stopwatch sw;
+  Measured m = runtime::run_trials<Measured>(kRuns, base_seed,
+                                             std::forward<TrialFn>(fn),
+                                             bench::series_config());
+  meter.note(kRuns, sw.seconds());
   return m;
 }
 
+Measured run_benor(std::uint32_t n, std::uint32_t k) {
+  return measure_series(
+      1'000 + n, [n, k](Measured& m, std::uint64_t, std::uint64_t seed) {
+        std::vector<std::unique_ptr<sim::Process>> procs;
+        std::vector<BenOrConsensus*> raw;
+        for (ProcessId p = 0; p < n; ++p) {
+          auto b = BenOrConsensus::make({n, k}, BenOrVariant::crash,
+                                        p % 2 == 0 ? Value::zero : Value::one);
+          raw.push_back(b.get());
+          procs.push_back(std::move(b));
+        }
+        sim::Simulation s(
+            sim::SimConfig{.n = n, .seed = seed, .max_steps = 4'000'000},
+            std::move(procs));
+        const auto result = s.run();
+        if (result.status == sim::RunStatus::all_decided) {
+          ++m.decided;
+          m.phases.add(static_cast<double>(s.metrics().max_phase));
+          std::uint64_t flips = 0;
+          for (auto* b : raw) {
+            flips += b->coin_flips();
+          }
+          m.coin_flips.add(static_cast<double>(flips));
+        }
+      });
+}
+
 Measured run_figure1(std::uint32_t n, std::uint32_t k) {
-  Measured m;
-  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
-    std::vector<std::unique_ptr<sim::Process>> procs;
-    for (ProcessId p = 0; p < n; ++p) {
-      procs.push_back(core::FailStopConsensus::make(
-          {n, k}, p % 2 == 0 ? Value::zero : Value::one));
-    }
-    sim::Simulation s(
-        sim::SimConfig{.n = n, .seed = seed, .max_steps = 4'000'000},
-        std::move(procs));
-    const auto result = s.run();
-    if (result.status == sim::RunStatus::all_decided) {
-      ++m.decided;
-      m.phases.add(static_cast<double>(s.metrics().max_phase));
-    }
-  }
-  return m;
+  return measure_series(
+      2'000 + n, [n, k](Measured& m, std::uint64_t, std::uint64_t seed) {
+        std::vector<std::unique_ptr<sim::Process>> procs;
+        for (ProcessId p = 0; p < n; ++p) {
+          procs.push_back(core::FailStopConsensus::make(
+              {n, k}, p % 2 == 0 ? Value::zero : Value::one));
+        }
+        sim::Simulation s(
+            sim::SimConfig{.n = n, .seed = seed, .max_steps = 4'000'000},
+            std::move(procs));
+        const auto result = s.run();
+        if (result.status == sim::RunStatus::all_decided) {
+          ++m.decided;
+          m.phases.add(static_cast<double>(s.metrics().max_phase));
+        }
+      });
 }
 
 }  // namespace
@@ -123,5 +141,6 @@ int main() {
                "steeply from the balanced start (exponential expected time "
                "in the worst case); the resilience table shows the n/3 vs "
                "n/5 gap.\n";
+  meter.print(std::cout);
   return 0;
 }

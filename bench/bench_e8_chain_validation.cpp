@@ -17,9 +17,11 @@
 #include <vector>
 
 #include "analysis/failstop_chain.hpp"
+#include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/majority.hpp"
+#include "runtime/parallel_series.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -29,6 +31,8 @@ using namespace rcp;
 constexpr unsigned kN = 12;       // divisible by 6; chain k = n/3 = 4
 constexpr unsigned kK = kN / 3;   // beyond floor((n-1)/3): use make_unchecked
 constexpr std::uint32_t kRuns = 200;
+
+bench::ThroughputMeter meter;
 
 /// Runs the protocol from `ones` initial 1s until every process finishes
 /// phase 0, and returns the number of processes whose phase-1 value is 1.
@@ -82,11 +86,14 @@ int main() {
   Table table({"start ones i", "w_i", "model E[next] = n*w_i",
                "measured E[next]", "measured sd"});
   for (unsigned i = 0; i <= kN; i += 2) {
-    RunningStats measured;
-    for (std::uint32_t r = 0; r < kRuns; ++r) {
-      measured.add(static_cast<double>(
-          one_phase_transition(i, 1000 + 7919ULL * r + i)));
-    }
+    const bench::Stopwatch sw;
+    const RunningStats measured = runtime::run_trials<RunningStats>(
+        kRuns, 1'000 + i,
+        [i](RunningStats& acc, std::uint64_t, std::uint64_t seed) {
+          acc.add(static_cast<double>(one_phase_transition(i, seed)));
+        },
+        bench::series_config());
+    meter.note(kRuns, sw.seconds());
     table.row()
         .cell(static_cast<std::uint64_t>(i))
         .cell(chain.w(i), 4)
@@ -104,23 +111,37 @@ int main() {
   std::cout << "\n(b) end-to-end phases to decision from the balanced "
                "start (protocol at legal k = "
             << k_legal << ") vs chain absorption (k = n/3 model):\n";
-  RunningStats end_to_end;
-  std::uint32_t decided = 0;
-  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
-    std::vector<std::unique_ptr<sim::Process>> procs;
-    for (ProcessId p = 0; p < kN; ++p) {
-      procs.push_back(core::MajorityConsensus::make(
-          {kN, k_legal}, p < kN / 2 ? Value::one : Value::zero));
+  struct EndToEnd {
+    RunningStats phases;
+    std::uint32_t decided = 0;
+
+    void merge(const EndToEnd& other) {
+      phases.merge(other.phases);
+      decided += other.decided;
     }
-    sim::Simulation s(
-        sim::SimConfig{.n = kN, .seed = seed, .max_steps = 2'000'000},
-        std::move(procs));
-    const auto result = s.run();
-    if (result.status == sim::RunStatus::all_decided) {
-      ++decided;
-      end_to_end.add(static_cast<double>(s.metrics().max_phase));
-    }
-  }
+  };
+  const bench::Stopwatch sw;
+  const EndToEnd e2e = runtime::run_trials<EndToEnd>(
+      kRuns, 5'000,
+      [k_legal](EndToEnd& acc, std::uint64_t, std::uint64_t seed) {
+        std::vector<std::unique_ptr<sim::Process>> procs;
+        for (ProcessId p = 0; p < kN; ++p) {
+          procs.push_back(core::MajorityConsensus::make(
+              {kN, k_legal}, p < kN / 2 ? Value::one : Value::zero));
+        }
+        sim::Simulation s(
+            sim::SimConfig{.n = kN, .seed = seed, .max_steps = 2'000'000},
+            std::move(procs));
+        const auto result = s.run();
+        if (result.status == sim::RunStatus::all_decided) {
+          ++acc.decided;
+          acc.phases.add(static_cast<double>(s.metrics().max_phase));
+        }
+      },
+      bench::series_config());
+  meter.note(kRuns, sw.seconds());
+  const RunningStats& end_to_end = e2e.phases;
+  const std::uint32_t decided = e2e.decided;
   Table summary({"quantity", "value"});
   summary.row().cell("chain E[phases to absorption]").cell(
       chain.expected_phases_from_balanced(), 3);
@@ -137,5 +158,6 @@ int main() {
          "good fit); (b) the protocol needs a few more phases than chain "
          "absorption, since absorption marks \"decision inevitable\", after "
          "which the protocol still takes ~2 phases to actually decide.\n";
+  meter.print(std::cout);
   return 0;
 }

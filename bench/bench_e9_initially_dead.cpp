@@ -13,13 +13,17 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "core/initially_dead.hpp"
+#include "runtime/trial_pool.hpp"
 #include "sim/lockstep.hpp"
 
 namespace {
 
 using namespace rcp;
+
+bench::ThroughputMeter meter;
 
 struct RunResultRow {
   bool all_decided = false;
@@ -61,19 +65,36 @@ int main() {
                "n = " << n << "\n\n";
   Table table({"ones/n", "initially dead", "rounds", "all decided", "agreed",
                "decision"});
-  for (const std::uint32_t ones : {0u, 3u, 5u, 9u}) {
-    for (const std::uint32_t dead : {0u, 1u, 3u, 8u}) {
-      const auto row = run_once(n, ones > n - dead ? n - dead : ones, dead);
-      table.row()
-          .cell(std::to_string(ones) + "/" + std::to_string(n))
-          .cell(static_cast<std::uint64_t>(dead))
-          .cell(static_cast<std::uint64_t>(row.rounds))
-          .cell(row.all_decided ? "yes" : "no")
-          .cell(row.agreed ? "yes" : "no")
-          .cell(row.value.has_value()
-                    ? (*row.value == Value::one ? "1" : "0")
-                    : "-");
-    }
+  const std::uint32_t ones_grid[] = {0, 3, 5, 9};
+  const std::uint32_t dead_grid[] = {0, 1, 3, 8};
+  constexpr std::uint64_t kCells = 16;  // 4x4 grid, one run per cell
+  // Every cell is an independent deterministic run, so we shard the grid
+  // across the trial pool and fill a pre-sized result vector by index; the
+  // table below reads it back in grid order, independent of schedule.
+  std::vector<RunResultRow> rows(kCells);
+  const bench::Stopwatch sw;
+  {
+    runtime::TrialPool pool(bench::series_config().threads);
+    pool.for_each(kCells, [&](std::uint64_t cell, std::uint32_t) {
+      const std::uint32_t ones = ones_grid[cell / 4];
+      const std::uint32_t dead = dead_grid[cell % 4];
+      rows[cell] = run_once(n, ones > n - dead ? n - dead : ones, dead);
+    });
+  }
+  meter.note(kCells, sw.seconds());
+  for (std::uint64_t cell = 0; cell < kCells; ++cell) {
+    const std::uint32_t ones = ones_grid[cell / 4];
+    const std::uint32_t dead = dead_grid[cell % 4];
+    const RunResultRow& row = rows[cell];
+    table.row()
+        .cell(std::to_string(ones) + "/" + std::to_string(n))
+        .cell(static_cast<std::uint64_t>(dead))
+        .cell(static_cast<std::uint64_t>(row.rounds))
+        .cell(row.all_decided ? "yes" : "no")
+        .cell(row.agreed ? "yes" : "no")
+        .cell(row.value.has_value()
+                  ? (*row.value == Value::one ? "1" : "0")
+                  : "-");
   }
   table.print(std::cout);
   std::cout
@@ -82,5 +103,6 @@ int main() {
          "inputs (majority, ties to 1 — so both values appear); every row "
          "with >= 1 dead decides 0, for ANY number of deaths up to n-1 — "
          "the weak-bivalence trade of Section 5.\n";
+  meter.print(std::cout);
   return 0;
 }

@@ -5,15 +5,20 @@
 #include <memory>
 #include <vector>
 
+#include "adversary/scenario.hpp"
 #include "analysis/distributions.hpp"
 #include "analysis/failstop_chain.hpp"
 #include "analysis/markov.hpp"
 #include "analysis/matrix.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "core/echo_engine.hpp"
 #include "core/failstop.hpp"
 #include "core/malicious.hpp"
 #include "core/messages.hpp"
+#include "runtime/parallel_series.hpp"
+#include "runtime/scenario_series.hpp"
+#include "runtime/seeding.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -124,6 +129,51 @@ void BM_FailStopChainBuildAndSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FailStopChainBuildAndSolve)->Arg(30)->Arg(120);
+
+void BM_TrialSeed(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::trial_seed(42, i++));
+  }
+}
+BENCHMARK(BM_TrialSeed);
+
+void BM_RunningStatsMerge(benchmark::State& state) {
+  const auto samples = static_cast<std::uint64_t>(state.range(0));
+  RunningStats a;
+  RunningStats b;
+  Rng rng(11);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    a.add(rng.uniform01());
+    b.add(rng.uniform01());
+  }
+  for (auto _ : state) {
+    RunningStats merged = a;
+    merged.merge(b);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_RunningStatsMerge)->Arg(32)->Arg(4096);
+
+// Whole-series throughput through the parallel runtime: the fail-stop
+// scenario series at 1 thread vs default_threads(), same base seed. The
+// aggregates are identical by construction; only wall time differs.
+void BM_ScenarioSeries(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  adversary::Scenario s;
+  s.protocol = adversary::ProtocolKind::fail_stop;
+  s.params = {7, 3};
+  s.inputs = adversary::alternating_inputs(7);
+  runtime::SeriesConfig config;
+  config.threads = threads;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        runtime::run_scenario_series(s, 16, 1, {}, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_ScenarioSeries)->Arg(1)->Arg(0)  // 0 -> default_threads()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MatrixInverse(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,57 +1,95 @@
 // Shared measurement helpers for the experiment harnesses (bench_e*).
+//
+// As of the parallel runtime (src/runtime/, docs/RUNTIME.md) every series
+// here is sharded across a TrialPool: trial r of a series draws seed
+// trial_seed(base_seed, r), and aggregates are bit-identical for any
+// thread count. RCP_THREADS overrides the hardware_concurrency default.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <ostream>
+#include <utility>
 
 #include "adversary/scenario.hpp"
-#include "common/stats.hpp"
-#include "sim/simulation.hpp"
+#include "common/table.hpp"
+#include "runtime/parallel_series.hpp"
+#include "runtime/scenario_series.hpp"
 
 namespace rcp::bench {
 
-struct SeriesResult {
-  RunningStats phases;      ///< max phase among correct at completion
-  RunningStats steps;       ///< atomic steps to completion
-  RunningStats messages;    ///< messages sent
-  std::uint32_t runs = 0;
-  std::uint32_t decided = 0;    ///< runs where every correct process decided
-  std::uint32_t agreed = 0;     ///< runs where agreement held
-  std::uint32_t decided_one = 0;  ///< runs whose common decision was 1
-};
+using runtime::SeriesResult;
 
-/// Runs `scenario` for seeds base_seed .. base_seed+runs-1 and aggregates.
-/// `delivery_factory` may be null (uniform delivery).
+/// Series configuration shared by the harnesses: default thread count
+/// (RCP_THREADS env or hardware_concurrency) and default shard size.
+[[nodiscard]] inline runtime::SeriesConfig series_config() noexcept {
+  return runtime::SeriesConfig{};
+}
+
+/// Runs `scenario` for trials 0..runs-1 (seed trial_seed(base_seed, r))
+/// and aggregates; see runtime::SeriesResult for conditioning semantics.
+/// `delivery_factory` may be null (uniform delivery) and is invoked
+/// concurrently from worker threads.
 template <typename DeliveryFactory>
 SeriesResult run_series(adversary::Scenario scenario, std::uint32_t runs,
                         std::uint64_t base_seed,
                         DeliveryFactory&& delivery_factory) {
-  SeriesResult out;
-  for (std::uint32_t r = 0; r < runs; ++r) {
-    scenario.seed = base_seed + r;
-    auto simulation = adversary::build(scenario, delivery_factory());
-    const sim::RunResult result = simulation->run();
-    ++out.runs;
-    if (result.status == sim::RunStatus::all_decided) {
-      ++out.decided;
-      out.phases.add(static_cast<double>(simulation->metrics().max_phase));
-      out.steps.add(static_cast<double>(result.steps));
-      out.messages.add(static_cast<double>(simulation->metrics().messages_sent));
-    }
-    if (simulation->agreement_holds()) {
-      ++out.agreed;
-    }
-    if (simulation->agreed_value() == Value::one) {
-      ++out.decided_one;
-    }
-  }
-  return out;
+  return runtime::run_scenario_series(
+      scenario, runs, base_seed,
+      runtime::DeliveryFactory(std::forward<DeliveryFactory>(delivery_factory)),
+      series_config());
 }
 
 inline SeriesResult run_series(adversary::Scenario scenario, std::uint32_t runs,
                                std::uint64_t base_seed = 1) {
-  return run_series(std::move(scenario), runs, base_seed,
-                    [] { return std::unique_ptr<sim::DeliveryPolicy>(); });
+  return runtime::run_scenario_series(scenario, runs, base_seed, {},
+                                      series_config());
 }
+
+/// Wall-clock helper for harness loops that drive runtime::run_trials
+/// directly (no SeriesResult to read the timing from).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates trial counts and wall-clock across the series of one
+/// harness and prints the `[runtime]` throughput footer the BENCH_*.json
+/// trajectories track for speedup comparisons.
+class ThroughputMeter {
+ public:
+  void note(const SeriesResult& result) {
+    note(result.runs, result.wall_seconds);
+  }
+  void note(std::uint64_t trials, double seconds) {
+    trials_ += trials;
+    seconds_ += seconds;
+    ++series_;
+  }
+
+  void print(std::ostream& os) const {
+    os << "[runtime] threads=" << runtime::default_threads()
+       << " series=" << series_ << " trials=" << trials_
+       << " wall=" << format_double(seconds_, 3) << "s trials/sec="
+       << format_double(
+              seconds_ > 0.0 ? static_cast<double>(trials_) / seconds_ : 0.0,
+              1)
+       << "\n";
+  }
+
+ private:
+  std::uint64_t trials_ = 0;
+  std::uint64_t series_ = 0;
+  double seconds_ = 0.0;
+};
 
 }  // namespace rcp::bench

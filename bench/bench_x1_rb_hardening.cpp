@@ -18,11 +18,13 @@
 
 #include "adversary/benor_attack.hpp"
 #include "baselines/benor.hpp"
+#include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "adversary/byzantine.hpp"
 #include "extensions/bracha87.hpp"
 #include "extensions/rb_benor.hpp"
+#include "runtime/parallel_series.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -31,35 +33,50 @@ using namespace rcp;
 
 constexpr std::uint32_t kRuns = 25;
 
+bench::ThroughputMeter meter;
+
 struct Measured {
   RunningStats rounds;
   RunningStats messages;
   std::uint32_t decided = 0;
   std::uint32_t agreed = 0;
+
+  void merge(const Measured& other) {
+    rounds.merge(other.rounds);
+    messages.merge(other.messages);
+    decided += other.decided;
+    agreed += other.agreed;
+  }
 };
 
+// The process factory must be safe to call concurrently: it only reads
+// captured parameters and constructs fresh processes per trial.
 template <typename MakeProcess>
 Measured run_series(std::uint32_t n, MakeProcess&& make_process) {
-  Measured m;
-  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
-    std::vector<std::unique_ptr<sim::Process>> procs;
-    for (ProcessId p = 0; p < n; ++p) {
-      procs.push_back(make_process(p));
-    }
-    sim::Simulation s(
-        sim::SimConfig{.n = n, .seed = seed, .max_steps = 6'000'000},
-        std::move(procs));
-    s.mark_faulty(0);
-    const auto result = s.run();
-    if (result.status == sim::RunStatus::all_decided) {
-      ++m.decided;
-      m.rounds.add(static_cast<double>(s.metrics().max_phase));
-      m.messages.add(static_cast<double>(s.metrics().messages_sent));
-    }
-    if (s.agreement_holds()) {
-      ++m.agreed;
-    }
-  }
+  const bench::Stopwatch sw;
+  Measured m = runtime::run_trials<Measured>(
+      kRuns, 1,
+      [n, &make_process](Measured& acc, std::uint64_t, std::uint64_t seed) {
+        std::vector<std::unique_ptr<sim::Process>> procs;
+        for (ProcessId p = 0; p < n; ++p) {
+          procs.push_back(make_process(p));
+        }
+        sim::Simulation s(
+            sim::SimConfig{.n = n, .seed = seed, .max_steps = 6'000'000},
+            std::move(procs));
+        s.mark_faulty(0);
+        const auto result = s.run();
+        if (result.status == sim::RunStatus::all_decided) {
+          ++acc.decided;
+          acc.rounds.add(static_cast<double>(s.metrics().max_phase));
+          acc.messages.add(static_cast<double>(s.metrics().messages_sent));
+        }
+        if (s.agreement_holds()) {
+          ++acc.agreed;
+        }
+      },
+      bench::series_config());
+  meter.note(kRuns, sw.seconds());
   return m;
 }
 
@@ -144,31 +161,36 @@ int main() {
          }},
     };
     for (const Row& row : rows) {
-      Measured m;
-      for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
-        std::vector<std::unique_ptr<sim::Process>> procs;
-        for (ProcessId p = 0; p < n; ++p) {
-          if (p < row.k) {
-            procs.push_back(std::make_unique<adversary::SilentByzantine>());
-          } else {
-            procs.push_back(row.make(p, row.k));
-          }
-        }
-        sim::Simulation s(
-            sim::SimConfig{.n = n, .seed = seed, .max_steps = 8'000'000},
-            std::move(procs));
-        for (ProcessId p = 0; p < row.k; ++p) {
-          s.mark_faulty(p);
-        }
-        const auto result = s.run();
-        if (result.status == sim::RunStatus::all_decided) {
-          ++m.decided;
-          m.rounds.add(static_cast<double>(s.metrics().max_phase));
-        }
-        if (s.agreement_holds()) {
-          ++m.agreed;
-        }
-      }
+      const bench::Stopwatch sw;
+      const Measured m = runtime::run_trials<Measured>(
+          kRuns, 1,
+          [n, &row](Measured& acc, std::uint64_t, std::uint64_t seed) {
+            std::vector<std::unique_ptr<sim::Process>> procs;
+            for (ProcessId p = 0; p < n; ++p) {
+              if (p < row.k) {
+                procs.push_back(
+                    std::make_unique<adversary::SilentByzantine>());
+              } else {
+                procs.push_back(row.make(p, row.k));
+              }
+            }
+            sim::Simulation s(
+                sim::SimConfig{.n = n, .seed = seed, .max_steps = 8'000'000},
+                std::move(procs));
+            for (ProcessId p = 0; p < row.k; ++p) {
+              s.mark_faulty(p);
+            }
+            const auto result = s.run();
+            if (result.status == sim::RunStatus::all_decided) {
+              ++acc.decided;
+              acc.rounds.add(static_cast<double>(s.metrics().max_phase));
+            }
+            if (s.agreement_holds()) {
+              ++acc.agreed;
+            }
+          },
+          bench::series_config());
+      meter.note(kRuns, sw.seconds());
       ladder.row()
           .cell(static_cast<std::uint64_t>(n))
           .cell(row.label)
@@ -190,5 +212,6 @@ int main() {
                "at roughly an n-times message cost. That consistency is the "
                "building block the 1987 follow-on protocols (and the "
                "HoneyBadger lineage) are built from.\n";
+  meter.print(std::cout);
   return 0;
 }

@@ -26,6 +26,8 @@ using adversary::Scenario;
 constexpr std::uint32_t kRuns = 25;
 constexpr std::uint32_t kN = 9;
 
+bench::ThroughputMeter meter;
+
 using Factory = std::unique_ptr<sim::DeliveryPolicy> (*)();
 
 std::unique_ptr<sim::DeliveryPolicy> uniform() {
@@ -69,6 +71,7 @@ int main() {
     s.inputs = adversary::alternating_inputs(kN);
     s.max_steps = fair[idx] ? 2'000'000 : 250'000;
     const auto r = bench::run_series(s, kRuns, 1, factory);
+    meter.note(r);
     table.row()
         .cell(label)
         .cell(fair[idx] ? "fair" : "UNFAIR")
@@ -86,5 +89,6 @@ int main() {
                "tests) — yet agreement never breaks. The paper's "
                "probabilistic assumption buys convergence only; "
                "consistency never depends on it.\n";
+  meter.print(std::cout);
   return 0;
 }

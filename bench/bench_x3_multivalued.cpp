@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "adversary/byzantine.hpp"
+#include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "extensions/multivalued.hpp"
+#include "runtime/parallel_series.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -18,6 +20,8 @@ namespace {
 using namespace rcp;
 
 constexpr std::uint32_t kRuns = 15;
+
+bench::ThroughputMeter meter;
 
 Bytes bytes_of(const std::string& s) {
   Bytes b;
@@ -32,54 +36,65 @@ struct Measured {
   RunningStats steps;
   std::uint32_t decided = 0;
   std::uint32_t agreed = 0;
+
+  void merge(const Measured& other) {
+    slots.merge(other.slots);
+    steps.merge(other.steps);
+    decided += other.decided;
+    agreed += other.agreed;
+  }
 };
 
 Measured run_series(std::uint32_t n, std::uint32_t k, std::uint32_t byz) {
-  Measured m;
-  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
-    std::vector<std::unique_ptr<sim::Process>> procs;
-    std::vector<ext::MultiValuedConsensus*> raw;
-    for (ProcessId p = 0; p < n; ++p) {
-      if (p < byz) {
-        procs.push_back(std::make_unique<adversary::SilentByzantine>());
-        continue;
-      }
-      auto mv = ext::MultiValuedConsensus::make(
-          {n, k}, bytes_of("cfg-" + std::to_string(p)));
-      raw.push_back(mv.get());
-      procs.push_back(std::move(mv));
-    }
-    sim::Simulation s(
-        sim::SimConfig{.n = n, .seed = seed, .max_steps = 12'000'000},
-        std::move(procs));
-    for (ProcessId p = 0; p < byz; ++p) {
-      s.mark_faulty(p);
-    }
-    const auto result = s.run();
-    bool same = true;
-    std::optional<Bytes> first;
-    std::uint64_t max_slot = 0;
-    for (auto* mv : raw) {
-      if (!mv->decided_proposal().has_value()) {
-        same = false;
-        break;
-      }
-      if (first.has_value() && *first != *mv->decided_proposal()) {
-        same = false;
-      }
-      first = mv->decided_proposal();
-      max_slot = std::max<std::uint64_t>(max_slot, mv->phase());
-    }
-    if (result.status == sim::RunStatus::all_decided) {
-      ++m.decided;
-      m.slots.add(static_cast<double>(max_slot));
-      m.steps.add(static_cast<double>(result.steps));
-    }
-    if (same) {
-      ++m.agreed;
-    }
-  }
-  return m;
+  const bench::Stopwatch sw;
+  Measured result_m = runtime::run_trials<Measured>(
+      kRuns, 1,
+      [n, k, byz](Measured& m, std::uint64_t, std::uint64_t seed) {
+        std::vector<std::unique_ptr<sim::Process>> procs;
+        std::vector<ext::MultiValuedConsensus*> raw;
+        for (ProcessId p = 0; p < n; ++p) {
+          if (p < byz) {
+            procs.push_back(std::make_unique<adversary::SilentByzantine>());
+            continue;
+          }
+          auto mv = ext::MultiValuedConsensus::make(
+              {n, k}, bytes_of("cfg-" + std::to_string(p)));
+          raw.push_back(mv.get());
+          procs.push_back(std::move(mv));
+        }
+        sim::Simulation s(
+            sim::SimConfig{.n = n, .seed = seed, .max_steps = 12'000'000},
+            std::move(procs));
+        for (ProcessId p = 0; p < byz; ++p) {
+          s.mark_faulty(p);
+        }
+        const auto result = s.run();
+        bool same = true;
+        std::optional<Bytes> first;
+        std::uint64_t max_slot = 0;
+        for (auto* mv : raw) {
+          if (!mv->decided_proposal().has_value()) {
+            same = false;
+            break;
+          }
+          if (first.has_value() && *first != *mv->decided_proposal()) {
+            same = false;
+          }
+          first = mv->decided_proposal();
+          max_slot = std::max<std::uint64_t>(max_slot, mv->phase());
+        }
+        if (result.status == sim::RunStatus::all_decided) {
+          ++m.decided;
+          m.slots.add(static_cast<double>(max_slot));
+          m.steps.add(static_cast<double>(result.steps));
+        }
+        if (same) {
+          ++m.agreed;
+        }
+      },
+      bench::series_config());
+  meter.note(kRuns, sw.seconds());
+  return result_m;
 }
 
 }  // namespace
@@ -109,5 +124,6 @@ int main() {
                "rows place the silent proposers in the earliest slots, so "
                "the sweep pays roughly `byz` extra binary instances before "
                "a correct origin's slot wins.\n";
+  meter.print(std::cout);
   return 0;
 }

@@ -23,6 +23,8 @@ using adversary::Scenario;
 
 constexpr std::uint32_t kRuns = 15;
 
+bench::ThroughputMeter meter;
+
 double messages_per_phase(ProtocolKind protocol, std::uint32_t n) {
   const std::uint32_t k =
       protocol == ProtocolKind::fail_stop
@@ -33,6 +35,7 @@ double messages_per_phase(ProtocolKind protocol, std::uint32_t n) {
   s.params = {n, k};
   s.inputs = adversary::alternating_inputs(n);
   const auto r = bench::run_series(s, kRuns);
+  meter.note(r);
   if (r.phases.mean() <= 0.0) {
     return 0.0;
   }
@@ -69,5 +72,6 @@ int main() {
   std::cout << "Expected shape: the fail-stop and majority tables show an "
                "implied exponent near 2 (quadratic broadcasts); Figure 2 "
                "shows near 3 (every initial echoed by everyone).\n";
+  meter.print(std::cout);
   return 0;
 }

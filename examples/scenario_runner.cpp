@@ -17,6 +17,12 @@
 //   --seed S                        (default 1)
 //   --max-steps X                   (default 2'000'000)
 //   --record FILE | --replay FILE   capture / re-drive the schedule
+//   --runs R                        Monte-Carlo series of R trials
+//                                   (default 1: single run shown in full)
+//   --threads N                     worker threads for --runs > 1
+//                                   (default: hardware concurrency)
+//   --progress                      live completed/total + ETA (needs
+//                                   --runs > 1)
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -25,6 +31,10 @@
 
 #include "adversary/crash_plan.hpp"
 #include "adversary/scenario.hpp"
+#include "common/table.hpp"
+#include "runtime/progress.hpp"
+#include "runtime/scenario_series.hpp"
+#include "runtime/thread_control.hpp"
 #include "sim/replay.hpp"
 
 namespace {
@@ -42,6 +52,9 @@ struct Options {
   std::uint64_t max_steps = 2'000'000;
   std::string record_path;
   std::string replay_path;
+  std::uint32_t runs = 1;
+  std::uint32_t threads = 0;  // 0: runtime::default_threads()
+  bool progress = false;
 };
 
 int usage(const char* argv0) {
@@ -49,7 +62,8 @@ int usage(const char* argv0) {
             << " [--protocol fig1|fig2|majority] [--n N] [--k K] [--ones M]\n"
                "       [--adversary none|silent|equivocator|balancer|babbler]\n"
                "       [--crashes C] [--seed S] [--max-steps X]\n"
-               "       [--record FILE | --replay FILE]\n";
+               "       [--record FILE | --replay FILE]\n"
+               "       [--runs R] [--threads N] [--progress]\n";
   return 2;
 }
 
@@ -120,11 +134,63 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
       opt.replay_path = v;
+    } else if (flag == "--runs") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.runs = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.threads = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (flag == "--progress") {
+      opt.progress = true;
     } else {
       return std::nullopt;
     }
   }
   return opt;
+}
+
+/// The --runs > 1 path: a Monte-Carlo series sharded across the trial
+/// pool, seeds derived per trial from --seed, aggregates printed at the
+/// end. Recording/replay is single-execution by nature and is rejected.
+int run_series_mode(const Options& opt, const adversary::Scenario& s,
+                    std::uint32_t k) {
+  runtime::SeriesConfig config;
+  config.threads = opt.threads;
+  const std::uint32_t threads =
+      config.threads == 0 ? runtime::default_threads() : config.threads;
+
+  runtime::ThreadControl control;
+  std::optional<runtime::ProgressReporter> reporter;
+  if (opt.progress) {
+    reporter.emplace(control, std::cerr);
+  }
+  const runtime::SeriesResult r =
+      runtime::run_scenario_series(s, opt.runs, opt.seed, {}, config,
+                                   &control);
+  reporter.reset();  // joins the reporter and finishes the status line
+
+  std::cout << "protocol : " << to_string(opt.protocol) << "  n=" << opt.n
+            << " k=" << k << " base-seed=" << opt.seed
+            << " runs=" << opt.runs << " threads=" << threads << "\n";
+  Table table({"quantity", "value"});
+  table.row().cell("all decided").cell(
+      std::to_string(r.decided) + "/" + std::to_string(r.runs));
+  table.row().cell("agreement held").cell(
+      std::to_string(r.agreed) + "/" + std::to_string(r.runs));
+  table.row().cell("decided 1").cell(
+      std::to_string(r.decided_one) + "/" + std::to_string(r.runs));
+  table.row().cell("phases (mean/max)").cell(
+      format_double(r.phases.mean(), 2) + " / " +
+      format_double(r.phases.max(), 0));
+  table.row().cell("steps (mean)").cell(format_double(r.steps.mean(), 0));
+  table.row().cell("messages (mean)").cell(
+      format_double(r.messages.mean(), 0));
+  table.row().cell("wall seconds").cell(format_double(r.wall_seconds, 3));
+  table.row().cell("trials/sec").cell(format_double(r.trials_per_sec(), 1));
+  table.print(std::cout);
+  return r.agreed == r.runs ? 0 : 1;
 }
 
 }  // namespace
@@ -157,6 +223,19 @@ int main(int argc, char** argv) {
   }
   if (opt.crashes > 0) {
     s.crashes = adversary::CrashPlan::staggered(opt.crashes);
+  }
+
+  if (opt.runs > 1) {
+    if (!opt.record_path.empty() || !opt.replay_path.empty()) {
+      std::cerr << "--record/--replay capture one execution; they cannot be "
+                   "combined with --runs > 1\n";
+      return 2;
+    }
+    return run_series_mode(opt, s, k);
+  }
+  if (opt.progress) {
+    std::cerr << "--progress requires --runs > 1\n";
+    return 2;
   }
 
   std::unique_ptr<sim::Simulation> simulation;

@@ -1,0 +1,19 @@
+#include "runtime/parallel_series.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace rcp::runtime {
+
+std::uint32_t default_threads() noexcept {
+  if (const char* env = std::getenv("RCP_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<std::uint32_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace rcp::runtime

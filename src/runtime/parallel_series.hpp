@@ -1,0 +1,114 @@
+// ParallelSeries: the deterministic parallel trial driver.
+//
+// A series of `trials` independent experiments is partitioned into fixed
+// shards of `shard_size` consecutive trial indices. Each shard owns a
+// private Accumulator; workers claim whole shards from a TrialPool and
+// fill them; at the end the shard accumulators are merged *in shard-index
+// order*. Because the shard layout and the merge order depend only on
+// (trials, shard_size) — never on the thread count or the schedule — the
+// aggregate is bit-identical for 1, 2, or N threads. Trial r always draws
+// seed trial_seed(base_seed, r) (see runtime/seeding.hpp), so individual
+// trials are reproducible in isolation too.
+//
+// The Accumulator concept: default-constructible, plus
+//   void add-style mutation inside the trial functor, and
+//   void merge(const Accumulator&)   (e.g. RunningStats::merge).
+// The trial functor fn(acc, trial_index, seed) is invoked concurrently on
+// distinct accumulators and must not touch shared mutable state.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "runtime/seeding.hpp"
+#include "runtime/thread_control.hpp"
+#include "runtime/trial_pool.hpp"
+
+namespace rcp::runtime {
+
+/// Worker count used when a SeriesConfig leaves `threads` at 0: the
+/// RCP_THREADS environment variable if set and positive, otherwise
+/// std::thread::hardware_concurrency() (minimum 1).
+[[nodiscard]] std::uint32_t default_threads() noexcept;
+
+struct SeriesConfig {
+  /// Worker threads; 0 selects default_threads(), 1 runs inline on the
+  /// calling thread (no pool). The aggregate is identical either way.
+  std::uint32_t threads = 0;
+  /// Trials per deterministic merge shard. Part of the aggregation
+  /// contract: results are bit-identical across thread counts only for
+  /// equal shard sizes.
+  std::uint32_t shard_size = 32;
+};
+
+template <typename Accumulator>
+class ParallelSeries {
+ public:
+  explicit ParallelSeries(SeriesConfig config = {}) : config_(config) {}
+
+  /// Runs fn(shard_accumulator, trial_index, seed) for every trial in
+  /// [0, trials) and returns the in-order merge of all shards. `control`
+  /// (optional) receives begin/progress and is polled for cancellation at
+  /// trial boundaries; a cancelled run returns the aggregate of the
+  /// trials that completed.
+  template <typename TrialFn>
+  Accumulator run(std::uint64_t trials, std::uint64_t base_seed, TrialFn&& fn,
+                  ThreadControl* control = nullptr) const {
+    const std::uint32_t shard_size = std::max<std::uint32_t>(1, config_.shard_size);
+    const std::uint64_t shards = (trials + shard_size - 1) / shard_size;
+    std::vector<Accumulator> parts(static_cast<std::size_t>(shards));
+    if (control != nullptr) {
+      control->begin(trials);
+    }
+    const auto run_shard = [&](std::uint64_t shard_index, std::uint32_t) {
+      Accumulator& acc = parts[static_cast<std::size_t>(shard_index)];
+      const std::uint64_t lo = shard_index * shard_size;
+      const std::uint64_t hi = std::min(trials, lo + shard_size);
+      for (std::uint64_t t = lo; t < hi; ++t) {
+        if (control != nullptr && control->cancelled()) {
+          return;
+        }
+        fn(acc, t, trial_seed(base_seed, t));
+        if (control != nullptr) {
+          control->note_completed();
+        }
+      }
+    };
+    std::uint32_t threads =
+        config_.threads == 0 ? default_threads() : config_.threads;
+    threads = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(threads, std::max<std::uint64_t>(1, shards)));
+    if (threads <= 1) {
+      for (std::uint64_t s = 0; s < shards; ++s) {
+        if (control != nullptr && control->cancelled()) {
+          break;
+        }
+        run_shard(s, 0);
+      }
+    } else {
+      TrialPool pool(threads);
+      pool.for_each(shards, run_shard, control);
+    }
+    Accumulator out{};
+    for (Accumulator& part : parts) {
+      out.merge(part);
+    }
+    return out;
+  }
+
+ private:
+  SeriesConfig config_;
+};
+
+/// One-shot convenience wrapper over ParallelSeries.
+template <typename Accumulator, typename TrialFn>
+Accumulator run_trials(std::uint64_t trials, std::uint64_t base_seed,
+                       TrialFn&& fn, SeriesConfig config = {},
+                       ThreadControl* control = nullptr) {
+  return ParallelSeries<Accumulator>(config).run(
+      trials, base_seed, std::forward<TrialFn>(fn), control);
+}
+
+}  // namespace rcp::runtime

@@ -1,0 +1,67 @@
+#include "runtime/progress.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace rcp::runtime {
+
+ProgressReporter::ProgressReporter(const ThreadControl& control,
+                                   std::ostream& out,
+                                   std::chrono::milliseconds interval)
+    : control_(control),
+      out_(out),
+      interval_(interval),
+      start_(std::chrono::steady_clock::now()),
+      thread_([this](const std::stop_token& stop) { loop(stop); }) {}
+
+ProgressReporter::~ProgressReporter() {
+  thread_.request_stop();
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  print_line();
+  if (printed_) {
+    out_ << "\n";
+    out_.flush();
+  }
+}
+
+void ProgressReporter::loop(const std::stop_token& stop) {
+  std::unique_lock lock(mutex_);
+  while (!stop.stop_requested()) {
+    // Throttle: one wake-up per interval, released early only on stop.
+    cv_.wait_for(lock, stop, interval_, [] { return false; });
+    if (stop.stop_requested()) {
+      return;
+    }
+    print_line();
+  }
+}
+
+void ProgressReporter::print_line() {
+  const std::uint64_t total = control_.total();
+  if (total == 0) {
+    return;
+  }
+  const std::uint64_t done = control_.completed();
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+  const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+  const double eta =
+      rate > 0.0 && done < total
+          ? static_cast<double>(total - done) / rate
+          : 0.0;
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "\rprogress: %llu/%llu (%5.1f%%)  %.0f trials/sec  eta %.1fs   ",
+                static_cast<unsigned long long>(done),
+                static_cast<unsigned long long>(total),
+                100.0 * control_.fraction_complete(), rate, eta);
+  out_ << line;
+  out_.flush();
+  printed_ = true;
+}
+
+}  // namespace rcp::runtime

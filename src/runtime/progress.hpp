@@ -1,0 +1,48 @@
+// Throttled progress reporting for long series, driven by a ThreadControl.
+//
+// A dedicated reporter thread wakes on a fixed interval (default 250 ms),
+// reads the ThreadControl counters, and rewrites one status line
+// (completed/total, percent, rate, ETA). Workers never block on the
+// reporter — they only perform relaxed atomic increments — so progress
+// output costs nothing on the trial hot loop regardless of trial rate.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <iosfwd>
+#include <mutex>
+#include <thread>
+
+#include "runtime/thread_control.hpp"
+
+namespace rcp::runtime {
+
+class ProgressReporter {
+ public:
+  /// Starts reporting on `out` until destruction. `control` must outlive
+  /// the reporter and should already be (or soon be) armed via begin().
+  explicit ProgressReporter(
+      const ThreadControl& control, std::ostream& out,
+      std::chrono::milliseconds interval = std::chrono::milliseconds(250));
+
+  /// Stops the reporter thread and finishes the status line.
+  ~ProgressReporter();
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+ private:
+  void loop(const std::stop_token& stop);
+  void print_line();
+
+  const ThreadControl& control_;
+  std::ostream& out_;
+  std::chrono::milliseconds interval_;
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mutex_;
+  std::condition_variable_any cv_;
+  bool printed_ = false;
+  std::jthread thread_;
+};
+
+}  // namespace rcp::runtime

@@ -1,0 +1,65 @@
+#include "runtime/scenario_series.hpp"
+
+#include <chrono>
+#include <optional>
+
+#include "sim/simulation.hpp"
+
+namespace rcp::runtime {
+
+void SeriesResult::merge(const SeriesResult& other) {
+  phases.merge(other.phases);
+  steps.merge(other.steps);
+  messages.merge(other.messages);
+  runs += other.runs;
+  decided += other.decided;
+  agreed += other.agreed;
+  decided_one += other.decided_one;
+  wall_seconds += other.wall_seconds;
+}
+
+double SeriesResult::trials_per_sec() const noexcept {
+  return wall_seconds > 0.0 ? static_cast<double>(runs) / wall_seconds : 0.0;
+}
+
+SeriesResult run_scenario_series(const adversary::Scenario& scenario,
+                                 std::uint32_t runs, std::uint64_t base_seed,
+                                 const DeliveryFactory& delivery_factory,
+                                 const SeriesConfig& config,
+                                 ThreadControl* control) {
+  const auto start = std::chrono::steady_clock::now();
+  SeriesResult out = run_trials<SeriesResult>(
+      runs, base_seed,
+      [&](SeriesResult& acc, std::uint64_t, std::uint64_t seed) {
+        adversary::Scenario trial = scenario;
+        trial.seed = seed;
+        auto simulation = adversary::build(
+            trial, delivery_factory ? delivery_factory() : nullptr);
+        const sim::RunResult result = simulation->run();
+        ++acc.runs;
+        if (result.status == sim::RunStatus::all_decided) {
+          ++acc.decided;
+          acc.phases.add(static_cast<double>(simulation->metrics().max_phase));
+          acc.steps.add(static_cast<double>(result.steps));
+          acc.messages.add(
+              static_cast<double>(simulation->metrics().messages_sent));
+        }
+        if (simulation->agreement_holds()) {
+          ++acc.agreed;
+        }
+        // agreed_value() is engaged only when agreement holds and at least
+        // one correct process decided; both are required before a trial
+        // may count towards decided_one.
+        const std::optional<Value> agreed = simulation->agreed_value();
+        if (agreed.has_value() && *agreed == Value::one) {
+          ++acc.decided_one;
+        }
+      },
+      config, control);
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+}  // namespace rcp::runtime

@@ -1,0 +1,55 @@
+// Scenario-level series driver: the bridge between the adversary::Scenario
+// vocabulary and the parallel trial runtime. This is what the experiment
+// harnesses (bench/bench_util.hpp) and the scenario_runner example sit on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "adversary/scenario.hpp"
+#include "common/stats.hpp"
+#include "runtime/parallel_series.hpp"
+#include "runtime/thread_control.hpp"
+
+namespace rcp::runtime {
+
+/// Aggregates over one series of independent simulation trials.
+///
+/// Conditioning: `phases`, `steps` and `messages` accumulate only over
+/// trials that reached RunStatus::all_decided (every correct process
+/// decided); timed-out or quiescent trials contribute to `runs` alone.
+/// `decided_one` counts trials where agreement held, at least one correct
+/// process decided, and the common decision was one — it is never
+/// incremented on an undecided or disagreeing trial.
+struct SeriesResult {
+  RunningStats phases;    ///< max phase among correct at completion
+  RunningStats steps;     ///< atomic steps to completion
+  RunningStats messages;  ///< messages sent
+  std::uint32_t runs = 0;
+  std::uint32_t decided = 0;  ///< trials where every correct process decided
+  std::uint32_t agreed = 0;   ///< trials where agreement held
+  std::uint32_t decided_one = 0;  ///< trials whose common decision was one
+  /// Wall-clock seconds of the series that produced this result. Timing,
+  /// not statistics: excluded from the determinism contract; merge() adds.
+  double wall_seconds = 0.0;
+
+  void merge(const SeriesResult& other);
+  [[nodiscard]] double trials_per_sec() const noexcept;
+};
+
+/// Fresh delivery policy per trial; an empty function selects the paper's
+/// uniform delivery. Invoked concurrently from worker threads, so it must
+/// not mutate shared state (returning a newly built policy is fine).
+using DeliveryFactory = std::function<std::unique_ptr<sim::DeliveryPolicy>()>;
+
+/// Runs `runs` independent trials of `scenario`, sharded across threads by
+/// ParallelSeries. Trial r overrides scenario.seed with
+/// trial_seed(base_seed, r); the aggregate is bit-identical for every
+/// thread count (statistical fields; wall_seconds necessarily varies).
+[[nodiscard]] SeriesResult run_scenario_series(
+    const adversary::Scenario& scenario, std::uint32_t runs,
+    std::uint64_t base_seed, const DeliveryFactory& delivery_factory = {},
+    const SeriesConfig& config = {}, ThreadControl* control = nullptr);
+
+}  // namespace rcp::runtime

@@ -1,0 +1,21 @@
+#include "runtime/thread_control.hpp"
+
+namespace rcp::runtime {
+
+void ThreadControl::begin(std::uint64_t total) noexcept {
+  total_.store(total, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  cancel_.store(false, std::memory_order_relaxed);
+}
+
+double ThreadControl::fraction_complete() const noexcept {
+  const std::uint64_t total = total_.load(std::memory_order_relaxed);
+  if (total == 0) {
+    return 0.0;
+  }
+  const std::uint64_t done = completed_.load(std::memory_order_relaxed);
+  return done >= total ? 1.0
+                       : static_cast<double>(done) / static_cast<double>(total);
+}
+
+}  // namespace rcp::runtime

@@ -1,0 +1,52 @@
+// Shared control handle for a parallel trial run: cooperative
+// cancellation, progress accounting, and trial-count bookkeeping.
+//
+// One ThreadControl may be observed from any number of threads. Workers
+// report with note_completed() (a relaxed fetch_add, so the hot loop never
+// serialises on progress accounting); observers poll completed()/total()
+// and drive progress UIs (see runtime/progress.hpp). Cancellation is
+// cooperative: request_cancel() raises a flag that the runtime checks
+// between trials, so a cancelled run stops at the next trial boundary and
+// its aggregates reflect exactly the trials that completed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace rcp::runtime {
+
+class ThreadControl {
+ public:
+  /// Arms the handle for a new run of `total` trials: resets the completed
+  /// counter and clears any previous cancellation.
+  void begin(std::uint64_t total) noexcept;
+
+  /// Asks the run to stop at the next trial boundary.
+  void request_cancel() noexcept {
+    cancel_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by workers after finishing trials; safe from any thread.
+  void note_completed(std::uint64_t n = 1) noexcept {
+    completed_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t completed() const noexcept {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  /// Fraction of trials completed, in [0, 1]; 0 when no run is armed.
+  [[nodiscard]] double fraction_complete() const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<bool> cancel_{false};
+};
+
+}  // namespace rcp::runtime

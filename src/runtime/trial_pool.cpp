@@ -1,0 +1,85 @@
+#include "runtime/trial_pool.hpp"
+
+#include "common/error.hpp"
+#include "runtime/parallel_series.hpp"
+
+namespace rcp::runtime {
+
+TrialPool::TrialPool(std::uint32_t threads) {
+  const std::uint32_t count = threads == 0 ? default_threads() : threads;
+  workers_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    workers_.emplace_back(
+        [this, i](const std::stop_token& stop) { worker(stop, i); });
+  }
+}
+
+TrialPool::~TrialPool() {
+  for (std::jthread& w : workers_) {
+    w.request_stop();
+  }
+  work_cv_.notify_all();
+  // jthread destructors join.
+}
+
+void TrialPool::for_each(std::uint64_t jobs, const Job& fn,
+                         ThreadControl* control) {
+  std::unique_lock lock(mutex_);
+  RCP_EXPECT(active_ == 0, "TrialPool::for_each is not reentrant");
+  job_ = &fn;
+  job_count_ = jobs;
+  control_ = control;
+  next_.store(0, std::memory_order_relaxed);
+  abort_.store(false, std::memory_order_relaxed);
+  error_ = nullptr;
+  active_ = thread_count();
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  job_ = nullptr;
+  if (error_ != nullptr) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void TrialPool::worker(const std::stop_token& stop, std::uint32_t index) {
+  std::uint64_t seen = 0;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    const bool woke = work_cv_.wait(
+        lock, stop, [this, seen] { return generation_ != seen; });
+    if (!woke) {
+      return;  // stop requested with no new batch
+    }
+    seen = generation_;
+    const Job* job = job_;
+    const std::uint64_t count = job_count_;
+    ThreadControl* control = control_;
+    lock.unlock();
+    while (!abort_.load(std::memory_order_relaxed) &&
+           (control == nullptr || !control->cancelled())) {
+      const std::uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        break;
+      }
+      try {
+        (*job)(i, index);
+      } catch (...) {
+        abort_.store(true, std::memory_order_relaxed);
+        lock.lock();
+        if (error_ == nullptr) {
+          error_ = std::current_exception();
+        }
+        lock.unlock();
+      }
+    }
+    lock.lock();
+    if (--active_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace rcp::runtime

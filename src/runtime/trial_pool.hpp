@@ -1,0 +1,70 @@
+// Fixed pool of std::jthread workers executing batches of independent
+// jobs.
+//
+// The pool is work-stealing-friendly in the sense that jobs are claimed
+// dynamically from a shared atomic cursor: a worker that finishes a cheap
+// job immediately claims the next unclaimed one, so uneven job costs (a
+// slow-converging simulation next to a fast one) balance automatically
+// without any static partitioning.
+//
+// One batch runs at a time (for_each blocks the caller); the worker
+// threads persist across batches, so a driver that runs many series — the
+// bench harnesses sweep dozens — pays thread start-up once. Exceptions
+// thrown by a job cancel the rest of the batch and are rethrown from
+// for_each on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_control.hpp"
+
+namespace rcp::runtime {
+
+class TrialPool {
+ public:
+  /// fn(job_index, worker_index); worker_index < thread_count().
+  using Job = std::function<void(std::uint64_t, std::uint32_t)>;
+
+  /// `threads` == 0 selects default_threads() (see parallel_series.hpp).
+  explicit TrialPool(std::uint32_t threads = 0);
+  ~TrialPool();
+
+  TrialPool(const TrialPool&) = delete;
+  TrialPool& operator=(const TrialPool&) = delete;
+
+  [[nodiscard]] std::uint32_t thread_count() const noexcept {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+
+  /// Runs fn for every job index in [0, jobs), dynamically load-balanced
+  /// across the pool. Blocks until every claimed job finished. If
+  /// `control` is non-null, its cancellation flag is honoured between
+  /// jobs (already-started jobs run to completion). Not reentrant.
+  void for_each(std::uint64_t jobs, const Job& fn,
+                ThreadControl* control = nullptr);
+
+ private:
+  void worker(const std::stop_token& stop, std::uint32_t index);
+
+  std::mutex mutex_;
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any done_cv_;
+  // Batch state, guarded by mutex_ (next_ is claimed lock-free).
+  std::uint64_t generation_ = 0;
+  const Job* job_ = nullptr;
+  std::uint64_t job_count_ = 0;
+  ThreadControl* control_ = nullptr;
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<bool> abort_{false};
+  std::uint32_t active_ = 0;
+  std::exception_ptr error_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace rcp::runtime

@@ -72,6 +72,80 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 1.5);
 }
 
+TEST(RunningStats, MergeBothEmpty) {
+  RunningStats a;
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeOneSidedIsExactCopy) {
+  RunningStats src;
+  for (const double x : {1.0, 4.0, 9.0, 16.0}) {
+    src.add(x);
+  }
+  RunningStats dst;
+  dst.merge(src);
+  // Merging into an empty accumulator must be bit-exact, not merely close:
+  // the parallel runtime relies on it for single-shard series.
+  EXPECT_EQ(dst.count(), src.count());
+  EXPECT_EQ(dst.mean(), src.mean());
+  EXPECT_EQ(dst.variance(), src.variance());
+  EXPECT_EQ(dst.min(), src.min());
+  EXPECT_EQ(dst.max(), src.max());
+}
+
+TEST(RunningStats, MergeAssociativity) {
+  // (a + b) + c and a + (b + c) agree to numerical precision (Chan et al.
+  // pairwise update), with disjoint value ranges per block.
+  RunningStats a;
+  RunningStats b;
+  RunningStats c;
+  RunningStats all;
+  for (int i = 0; i < 30; ++i) {
+    const double xa = 1.0 + 0.1 * i;
+    const double xb = 100.0 - 0.3 * i;
+    const double xc = -50.0 + 2.0 * i;
+    a.add(xa);
+    b.add(xb);
+    c.add(xc);
+    all.add(xa);
+    all.add(xb);
+    all.add(xc);
+  }
+  RunningStats left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  RunningStats bc = b;     // a + (b + c)
+  bc.merge(c);
+  RunningStats right = a;
+  right.merge(bc);
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_NEAR(left.mean(), right.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), right.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), right.min());
+  EXPECT_DOUBLE_EQ(left.max(), right.max());
+  // Both orders agree with straight sequential accumulation.
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, MergePropagatesMinMaxAcrossBlocks) {
+  RunningStats lo;
+  lo.add(-5.0);
+  lo.add(-2.0);
+  RunningStats hi;
+  hi.add(7.0);
+  hi.add(3.0);
+  lo.merge(hi);
+  EXPECT_DOUBLE_EQ(lo.min(), -5.0);
+  EXPECT_DOUBLE_EQ(lo.max(), 7.0);
+  EXPECT_EQ(lo.count(), 4u);
+}
+
 TEST(Histogram, CountsAndMean) {
   Histogram h;
   h.add(1);

@@ -1,0 +1,148 @@
+// The acceptance contract of the parallel runtime: for a fixed
+// (scenario, runs, base_seed), ParallelSeries/run_scenario_series at T
+// threads produces bit-identical aggregates to the serial path, for every
+// protocol family the harnesses measure (fail-stop, malicious, Ben-Or).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "adversary/crash_plan.hpp"
+#include "adversary/scenario.hpp"
+#include "baselines/benor.hpp"
+#include "common/stats.hpp"
+#include "runtime/parallel_series.hpp"
+#include "runtime/scenario_series.hpp"
+#include "sim/simulation.hpp"
+
+namespace rcp::runtime {
+namespace {
+
+// Bitwise comparison of the statistical fields (wall_seconds is timing,
+// not statistics, and is explicitly outside the determinism contract).
+void expect_identical(const SeriesResult& a, const SeriesResult& b,
+                      const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.decided, b.decided);
+  EXPECT_EQ(a.agreed, b.agreed);
+  EXPECT_EQ(a.decided_one, b.decided_one);
+  for (const auto& [sa, sb] : {std::pair{&a.phases, &b.phases},
+                               std::pair{&a.steps, &b.steps},
+                               std::pair{&a.messages, &b.messages}}) {
+    EXPECT_EQ(sa->count(), sb->count());
+    EXPECT_EQ(sa->mean(), sb->mean());
+    EXPECT_EQ(sa->variance(), sb->variance());
+    EXPECT_EQ(sa->min(), sb->min());
+    EXPECT_EQ(sa->max(), sb->max());
+  }
+}
+
+SeriesResult run_at(const adversary::Scenario& scenario, std::uint32_t runs,
+                    std::uint64_t base_seed, std::uint32_t threads) {
+  return run_scenario_series(scenario, runs, base_seed, {},
+                             SeriesConfig{.threads = threads});
+}
+
+TEST(RuntimeDeterminism, FailStopSeries) {
+  adversary::Scenario s;
+  s.protocol = adversary::ProtocolKind::fail_stop;
+  s.params = {7, 3};
+  s.inputs = adversary::alternating_inputs(7);
+  s.crashes = adversary::CrashPlan::staggered(2);
+  const SeriesResult serial = run_at(s, 48, 21, 1);
+  EXPECT_EQ(serial.runs, 48u);
+  EXPECT_GT(serial.decided, 0u);
+  expect_identical(serial, run_at(s, 48, 21, 2), "2 threads");
+  expect_identical(serial, run_at(s, 48, 21, 8), "8 threads");
+}
+
+TEST(RuntimeDeterminism, MaliciousSeries) {
+  adversary::Scenario s;
+  s.protocol = adversary::ProtocolKind::malicious;
+  s.params = {7, 2};
+  s.inputs = adversary::alternating_inputs(7);
+  s.byzantine_kind = adversary::ByzantineKind::equivocator;
+  s.byzantine_ids = {0, 3};
+  s.max_steps = 4'000'000;
+  const SeriesResult serial = run_at(s, 32, 5, 1);
+  EXPECT_EQ(serial.runs, 32u);
+  EXPECT_GT(serial.decided, 0u);
+  expect_identical(serial, run_at(s, 32, 5, 2), "2 threads");
+  expect_identical(serial, run_at(s, 32, 5, 8), "8 threads");
+}
+
+// Ben-Or is not an adversary::Scenario protocol; it exercises the generic
+// ParallelSeries path the way bench_e6 does.
+struct BenOrTally {
+  RunningStats rounds;
+  std::uint32_t decided = 0;
+  std::uint32_t runs = 0;
+
+  void merge(const BenOrTally& other) {
+    rounds.merge(other.rounds);
+    decided += other.decided;
+    runs += other.runs;
+  }
+};
+
+BenOrTally run_benor(std::uint32_t threads) {
+  constexpr std::uint32_t kN = 6;
+  constexpr std::uint32_t kK = 2;
+  return run_trials<BenOrTally>(
+      24, 9,
+      [](BenOrTally& acc, std::uint64_t, std::uint64_t seed) {
+        std::vector<std::unique_ptr<sim::Process>> procs;
+        for (ProcessId p = 0; p < kN; ++p) {
+          procs.push_back(baselines::BenOrConsensus::make(
+              {kN, kK}, baselines::BenOrVariant::crash,
+              p % 2 == 0 ? Value::zero : Value::one));
+        }
+        sim::Simulation s(
+            sim::SimConfig{.n = kN, .seed = seed, .max_steps = 4'000'000},
+            std::move(procs));
+        const sim::RunResult result = s.run();
+        ++acc.runs;
+        if (result.status == sim::RunStatus::all_decided) {
+          ++acc.decided;
+          acc.rounds.add(static_cast<double>(s.metrics().max_phase));
+        }
+      },
+      SeriesConfig{.threads = threads});
+}
+
+TEST(RuntimeDeterminism, BenOrSeries) {
+  const BenOrTally serial = run_benor(1);
+  EXPECT_EQ(serial.runs, 24u);
+  EXPECT_GT(serial.decided, 0u);
+  for (const std::uint32_t threads : {2u, 8u}) {
+    const BenOrTally parallel = run_benor(threads);
+    SCOPED_TRACE(threads);
+    EXPECT_EQ(parallel.runs, serial.runs);
+    EXPECT_EQ(parallel.decided, serial.decided);
+    EXPECT_EQ(parallel.rounds.count(), serial.rounds.count());
+    EXPECT_EQ(parallel.rounds.mean(), serial.rounds.mean());
+    EXPECT_EQ(parallel.rounds.variance(), serial.rounds.variance());
+    EXPECT_EQ(parallel.rounds.min(), serial.rounds.min());
+    EXPECT_EQ(parallel.rounds.max(), serial.rounds.max());
+  }
+}
+
+// Delivery-policy factories are invoked per trial on worker threads; the
+// aggregate must still be schedule-independent.
+TEST(RuntimeDeterminism, DeliveryFactorySeries) {
+  adversary::Scenario s;
+  s.protocol = adversary::ProtocolKind::malicious;
+  s.params = {7, 2};
+  s.inputs = adversary::alternating_inputs(7);
+  const DeliveryFactory factory = [] { return sim::make_fifo_delivery(); };
+  const SeriesResult serial =
+      run_scenario_series(s, 24, 3, factory, SeriesConfig{.threads = 1});
+  const SeriesResult parallel =
+      run_scenario_series(s, 24, 3, factory, SeriesConfig{.threads = 4});
+  expect_identical(serial, parallel, "fifo factory, 4 threads");
+}
+
+}  // namespace
+}  // namespace rcp::runtime

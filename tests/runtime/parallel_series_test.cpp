@@ -1,0 +1,122 @@
+#include "runtime/parallel_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "runtime/seeding.hpp"
+
+namespace rcp::runtime {
+namespace {
+
+struct Tally {
+  double sum = 0.0;            // order-sensitive: catches merge-order drift
+  std::uint64_t xor_seeds = 0; // order-insensitive: catches coverage gaps
+  std::uint64_t count = 0;
+
+  void merge(const Tally& other) {
+    sum += other.sum;
+    xor_seeds ^= other.xor_seeds;
+    count += other.count;
+  }
+};
+
+Tally run(std::uint32_t threads, std::uint64_t trials,
+          std::uint64_t base_seed, ThreadControl* control = nullptr) {
+  return run_trials<Tally>(
+      trials, base_seed,
+      [](Tally& acc, std::uint64_t trial, std::uint64_t seed) {
+        acc.sum += static_cast<double>(seed % 1'000'003) /
+                   static_cast<double>(trial + 1);
+        acc.xor_seeds ^= seed;
+        ++acc.count;
+      },
+      SeriesConfig{.threads = threads}, control);
+}
+
+TEST(ParallelSeries, CoversEveryTrialWithDerivedSeed) {
+  const Tally t = run(4, 1'000, 99);
+  EXPECT_EQ(t.count, 1'000u);
+  std::uint64_t expect_xor = 0;
+  for (std::uint64_t r = 0; r < 1'000; ++r) {
+    expect_xor ^= trial_seed(99, r);
+  }
+  EXPECT_EQ(t.xor_seeds, expect_xor);
+}
+
+TEST(ParallelSeries, BitIdenticalAcrossThreadCounts) {
+  const Tally serial = run(1, 1'234, 7);
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    const Tally parallel = run(threads, 1'234, 7);
+    EXPECT_EQ(parallel.count, serial.count) << threads << " threads";
+    EXPECT_EQ(parallel.xor_seeds, serial.xor_seeds) << threads << " threads";
+    // Bitwise double equality — the merge order is part of the contract.
+    EXPECT_EQ(parallel.sum, serial.sum) << threads << " threads";
+  }
+}
+
+TEST(ParallelSeries, ZeroTrials) {
+  const Tally t = run(4, 0, 1);
+  EXPECT_EQ(t.count, 0u);
+  EXPECT_EQ(t.sum, 0.0);
+}
+
+TEST(ParallelSeries, SingleShardRunsInline) {
+  // Fewer trials than one shard: identical result at any thread count.
+  const Tally a = run(1, 5, 3);
+  const Tally b = run(8, 5, 3);
+  EXPECT_EQ(a.count, 5u);
+  EXPECT_EQ(a.sum, b.sum);
+}
+
+TEST(ParallelSeries, SerialCancellationIsExact) {
+  ThreadControl control;
+  const Tally t = run_trials<Tally>(
+      10'000, 1,
+      [&control](Tally& acc, std::uint64_t trial, std::uint64_t) {
+        ++acc.count;
+        if (trial == 10) {
+          control.request_cancel();
+        }
+      },
+      SeriesConfig{.threads = 1}, &control);
+  // Trial 10 completes (cancel is checked at trial boundaries), then stop.
+  EXPECT_EQ(t.count, 11u);
+  EXPECT_EQ(control.completed(), 11u);
+}
+
+TEST(ParallelSeries, ParallelCancellationStopsEarly) {
+  ThreadControl control;
+  const Tally t = run_trials<Tally>(
+      100'000, 1,
+      [&control](Tally& acc, std::uint64_t trial, std::uint64_t) {
+        ++acc.count;
+        if (trial == 50) {
+          control.request_cancel();
+        }
+      },
+      SeriesConfig{.threads = 4}, &control);
+  EXPECT_GT(t.count, 0u);
+  EXPECT_LT(t.count, 100'000u);
+  EXPECT_EQ(control.completed(), t.count);
+}
+
+TEST(ParallelSeries, ControlAccountsEveryTrial) {
+  ThreadControl control;
+  const Tally t = run(4, 777, 5, &control);
+  EXPECT_EQ(t.count, 777u);
+  EXPECT_EQ(control.total(), 777u);
+  EXPECT_EQ(control.completed(), 777u);
+  EXPECT_DOUBLE_EQ(control.fraction_complete(), 1.0);
+}
+
+TEST(ParallelSeries, ThreadsClampToShardCount) {
+  // 100 trials / shard 32 = 4 shards but 16 threads requested; must not
+  // hang or double-run shards.
+  const Tally t = run(16, 100, 11);
+  EXPECT_EQ(t.count, 100u);
+}
+
+}  // namespace
+}  // namespace rcp::runtime

@@ -1,0 +1,54 @@
+#include "runtime/seeding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rcp::runtime {
+namespace {
+
+TEST(TrialSeed, Deterministic) {
+  EXPECT_EQ(trial_seed(1, 0), trial_seed(1, 0));
+  EXPECT_EQ(trial_seed(42, 999), trial_seed(42, 999));
+}
+
+TEST(TrialSeed, DistinctAcrossTrials) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t t = 0; t < 10'000; ++t) {
+    seen.insert(trial_seed(1, t));
+  }
+  EXPECT_EQ(seen.size(), 10'000u);
+}
+
+// The harnesses root adjacent series at base seeds 1, 2, 3, ...; their
+// trial-seed windows must not overlap the way `base_seed + r` would.
+TEST(TrialSeed, AdjacentSeriesDoNotCollide) {
+  std::set<std::uint64_t> seen;
+  constexpr std::uint64_t kBases = 8;
+  constexpr std::uint64_t kTrials = 2'000;
+  for (std::uint64_t base = 1; base <= kBases; ++base) {
+    for (std::uint64_t t = 0; t < kTrials; ++t) {
+      seen.insert(trial_seed(base, t));
+    }
+  }
+  EXPECT_EQ(seen.size(), kBases * kTrials);
+}
+
+TEST(TrialSeed, NotTheAdditiveScheme) {
+  for (std::uint64_t t = 0; t < 64; ++t) {
+    EXPECT_NE(trial_seed(1, t), 1 + t);
+  }
+  // Seed (base, t+1) differs from (base+1, t): the additive scheme would
+  // make consecutive series re-run each other's trials shifted by one.
+  for (std::uint64_t t = 0; t < 64; ++t) {
+    EXPECT_NE(trial_seed(1, t + 1), trial_seed(2, t));
+  }
+}
+
+TEST(TrialSeed, ZeroBaseIsUsable) {
+  EXPECT_NE(trial_seed(0, 0), 0u);
+  EXPECT_NE(trial_seed(0, 0), trial_seed(0, 1));
+}
+
+}  // namespace
+}  // namespace rcp::runtime

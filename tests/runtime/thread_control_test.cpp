@@ -1,0 +1,71 @@
+#include "runtime/thread_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rcp::runtime {
+namespace {
+
+TEST(ThreadControl, StartsIdle) {
+  ThreadControl control;
+  EXPECT_EQ(control.total(), 0u);
+  EXPECT_EQ(control.completed(), 0u);
+  EXPECT_FALSE(control.cancelled());
+  EXPECT_DOUBLE_EQ(control.fraction_complete(), 0.0);
+}
+
+TEST(ThreadControl, TracksProgress) {
+  ThreadControl control;
+  control.begin(10);
+  EXPECT_EQ(control.total(), 10u);
+  control.note_completed();
+  control.note_completed(4);
+  EXPECT_EQ(control.completed(), 5u);
+  EXPECT_DOUBLE_EQ(control.fraction_complete(), 0.5);
+  control.note_completed(5);
+  EXPECT_DOUBLE_EQ(control.fraction_complete(), 1.0);
+}
+
+TEST(ThreadControl, BeginResetsPreviousRun) {
+  ThreadControl control;
+  control.begin(4);
+  control.note_completed(4);
+  control.request_cancel();
+  control.begin(8);
+  EXPECT_EQ(control.total(), 8u);
+  EXPECT_EQ(control.completed(), 0u);
+  EXPECT_FALSE(control.cancelled());
+}
+
+TEST(ThreadControl, CancelIsStickyWithinRun) {
+  ThreadControl control;
+  control.begin(4);
+  EXPECT_FALSE(control.cancelled());
+  control.request_cancel();
+  EXPECT_TRUE(control.cancelled());
+  EXPECT_TRUE(control.cancelled());
+}
+
+TEST(ThreadControl, ConcurrentCompletionsAllCounted) {
+  ThreadControl control;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  control.begin(kThreads * kPerThread);
+  std::vector<std::jthread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&control] {
+      for (int i = 0; i < kPerThread; ++i) {
+        control.note_completed();
+      }
+    });
+  }
+  workers.clear();  // join
+  EXPECT_EQ(control.completed(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace rcp::runtime

@@ -1,0 +1,116 @@
+#include "runtime/trial_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace rcp::runtime {
+namespace {
+
+TEST(TrialPool, RunsEveryJobExactlyOnce) {
+  TrialPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  constexpr std::uint64_t kJobs = 1'000;
+  std::vector<std::atomic<int>> hits(kJobs);
+  pool.for_each(kJobs, [&](std::uint64_t job, std::uint32_t) {
+    hits[job].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::uint64_t j = 0; j < kJobs; ++j) {
+    EXPECT_EQ(hits[j].load(), 1) << "job " << j;
+  }
+}
+
+TEST(TrialPool, WorkerIndicesStayInRange) {
+  TrialPool pool(3);
+  std::atomic<bool> in_range{true};
+  pool.for_each(200, [&](std::uint64_t, std::uint32_t worker) {
+    if (worker >= 3) {
+      in_range.store(false);
+    }
+  });
+  EXPECT_TRUE(in_range.load());
+}
+
+TEST(TrialPool, ReusableAcrossBatches) {
+  TrialPool pool(2);
+  std::atomic<std::uint64_t> count{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.for_each(100, [&](std::uint64_t, std::uint32_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(count.load(), 500u);
+}
+
+TEST(TrialPool, EmptyBatchCompletes) {
+  TrialPool pool(2);
+  bool ran = false;
+  pool.for_each(0, [&](std::uint64_t, std::uint32_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(TrialPool, HonoursPreCancelledControl) {
+  TrialPool pool(4);
+  ThreadControl control;
+  control.begin(1'000);
+  control.request_cancel();
+  std::atomic<std::uint64_t> count{0};
+  pool.for_each(
+      1'000,
+      [&](std::uint64_t, std::uint32_t) {
+        count.fetch_add(1, std::memory_order_relaxed);
+      },
+      &control);
+  EXPECT_EQ(count.load(), 0u);
+}
+
+TEST(TrialPool, CancellationStopsRemainingJobs) {
+  TrialPool pool(2);
+  ThreadControl control;
+  control.begin(100'000);
+  std::atomic<std::uint64_t> count{0};
+  pool.for_each(
+      100'000,
+      [&](std::uint64_t, std::uint32_t) {
+        if (count.fetch_add(1, std::memory_order_relaxed) == 10) {
+          control.request_cancel();
+        }
+      },
+      &control);
+  EXPECT_LT(count.load(), 100'000u);
+}
+
+TEST(TrialPool, JobExceptionPropagatesAndPoolSurvives) {
+  TrialPool pool(3);
+  EXPECT_THROW(pool.for_each(50,
+                             [](std::uint64_t job, std::uint32_t) {
+                               if (job == 7) {
+                                 throw std::runtime_error("trial failed");
+                               }
+                             }),
+               std::runtime_error);
+  // The pool must still accept work after a failed batch.
+  std::atomic<std::uint64_t> count{0};
+  pool.for_each(20, [&](std::uint64_t, std::uint32_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 20u);
+}
+
+TEST(TrialPool, MoreThreadsThanJobs) {
+  TrialPool pool(8);
+  std::set<std::uint64_t> seen;
+  std::mutex mutex;
+  pool.for_each(3, [&](std::uint64_t job, std::uint32_t) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(job);
+  });
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace rcp::runtime
