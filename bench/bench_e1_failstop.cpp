@@ -22,7 +22,7 @@ using adversary::CrashPlan;
 using adversary::ProtocolKind;
 using adversary::Scenario;
 
-constexpr std::uint32_t kRuns = 40;
+const std::uint32_t kRuns = bench::env_runs(40);
 
 bench::ThroughputMeter meter;
 
@@ -58,13 +58,12 @@ void sweep(const char* crash_label, bool with_crashes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "E1: Figure 1 fail-stop consensus (Theorem 2), " << kRuns
             << " seeds per row, alternating inputs\n\n";
   sweep("none (all processes correct)", false);
   sweep("k staggered deaths, one per phase boundary", true);
   std::cout << "Expected shape (paper): every row decides and agrees "
                "100%; mean phases stay O(1) as n grows.\n";
-  meter.print(std::cout);
-  return 0;
+  return bench::finish(meter, "e1_failstop", argc, argv);
 }

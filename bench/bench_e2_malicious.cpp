@@ -22,13 +22,13 @@ using adversary::ByzantineKind;
 using adversary::ProtocolKind;
 using adversary::Scenario;
 
-constexpr std::uint32_t kRuns = 25;
+const std::uint32_t kRuns = bench::env_runs(25);
 
 bench::ThroughputMeter meter;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "E2: Figure 2 malicious consensus (Theorem 4), " << kRuns
             << " seeds per row, alternating inputs\n\n";
   Table table({"n", "k", "adversary", "decided", "agreed", "phases(mean)",
@@ -69,6 +69,5 @@ int main() {
                "the balancer rows (k <= n/5, Section 4.2 regime) converge "
                "in a handful of phases; equivocation wastes the adversary's "
                "votes entirely (its echoes never reach the (n+k)/2 quorum).\n";
-  meter.print(std::cout);
-  return 0;
+  return bench::finish(meter, "e2_malicious", argc, argv);
 }

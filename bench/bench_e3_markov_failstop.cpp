@@ -24,14 +24,14 @@ using namespace rcp;
 using analysis::CollapsedChain;
 using analysis::FailStopChain;
 
-constexpr std::uint32_t kMonteCarloRuns = 20000;
+const std::uint32_t kMonteCarloRuns = bench::env_runs(20000);
 constexpr std::uint64_t kMcBaseSeed = 2024;
 
 bench::ThroughputMeter meter;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const double l = CollapsedChain::kPaperL;
   std::cout << "E3: Section 4.1 Markov analysis (k = n/3 fail-stop, "
                "majority variant), l^2 = 1.5\n\n";
@@ -109,6 +109,5 @@ int main() {
                "shows the initial majority is very likely to win (and the "
                "tie-to-0 rule biases the exact centre slightly below "
                "1/2).\n";
-  meter.print(std::cout);
-  return 0;
+  return bench::finish(meter, "e3_markov_failstop", argc, argv);
 }

@@ -22,7 +22,7 @@ namespace {
 using namespace rcp;
 using analysis::MaliciousChain;
 
-constexpr std::uint32_t kMonteCarloRuns = 20000;
+const std::uint32_t kMonteCarloRuns = bench::env_runs(20000);
 constexpr std::uint64_t kMcBaseSeed = 77;
 
 bench::ThroughputMeter meter;
@@ -34,7 +34,7 @@ struct Case {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "E4: Section 4.2 Markov analysis (balancing attack on the "
                "malicious protocol), k = l*sqrt(n)/2\n\n";
 
@@ -79,6 +79,5 @@ int main() {
                "is flat in n (constant expected time for k = o(sqrt n)) and "
                "below the 1/(2*Phi(l)) bound; the l = 2 block is slower "
                "than l = 1 (stronger adversary).\n";
-  meter.print(std::cout);
-  return 0;
+  return bench::finish(meter, "e4_markov_malicious", argc, argv);
 }

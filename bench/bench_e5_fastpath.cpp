@@ -18,7 +18,7 @@ using namespace rcp;
 using adversary::ProtocolKind;
 using adversary::Scenario;
 
-constexpr std::uint32_t kRuns = 50;
+const std::uint32_t kRuns = bench::env_runs(50);
 
 bench::ThroughputMeter meter;
 
@@ -49,7 +49,7 @@ void sweep(ProtocolKind protocol, std::uint32_t n, std::uint32_t k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "E5: fast-path phase counts (Sections 2.3 / 3.3 closing "
                "notes), " << kRuns << " seeds per row\n\n";
   sweep(ProtocolKind::fail_stop, 9, 2);
@@ -59,6 +59,5 @@ int main() {
                "their input within ~2-3 phases; strong-majority rows decide "
                "1 every run in <= 3 phases; balanced rows agree every run "
                "but split between 0 and 1 across seeds.\n";
-  meter.print(std::cout);
-  return 0;
+  return bench::finish(meter, "e5_fastpath", argc, argv);
 }

@@ -30,7 +30,7 @@ using namespace rcp;
 using baselines::BenOrConsensus;
 using baselines::BenOrVariant;
 
-constexpr std::uint32_t kRuns = 30;
+const std::uint32_t kRuns = bench::env_runs(30);
 
 bench::ThroughputMeter meter;
 
@@ -104,7 +104,7 @@ Measured run_figure1(std::uint32_t n, std::uint32_t k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "E6: Figure 1 vs Ben-Or [BenO83], balanced inputs, crash "
                "model at k = floor((n-1)/2), " << kRuns << " seeds\n\n";
   Table table({"n", "k", "Fig1 phases(mean)", "Fig1 phases(max)",
@@ -141,6 +141,5 @@ int main() {
                "steeply from the balanced start (exponential expected time "
                "in the worst case); the resilience table shows the n/3 vs "
                "n/5 gap.\n";
-  meter.print(std::cout);
-  return 0;
+  return bench::finish(meter, "e6_benor", argc, argv);
 }

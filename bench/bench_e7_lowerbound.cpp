@@ -24,7 +24,7 @@ using adversary::PartitionDelivery;
 using adversary::ProtocolKind;
 using adversary::Scenario;
 
-constexpr std::uint32_t kRuns = 20;
+const std::uint32_t kRuns = bench::env_runs(20);
 constexpr std::uint64_t kBaseSeed = 1;
 
 bench::ThroughputMeter meter;
@@ -140,7 +140,7 @@ Outcome equivocator_vs_majority(std::uint32_t n, std::uint32_t k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "E7: tightness of the resilience bounds (Theorems 1 and 3), "
             << kRuns << " seeds per row\n\n";
   Table table({"protocol", "regime", "schedule", "agreed", "all decided",
@@ -170,6 +170,5 @@ int main() {
          "under equivocation sacrifice consistency instead — which is "
          "exactly why Figures 1 and 2 carry the witness and echo machinery. "
          "At the bound (control rows), consistency always holds.\n";
-  meter.print(std::cout);
-  return 0;
+  return bench::finish(meter, "e7_lowerbound", argc, argv);
 }

@@ -30,7 +30,7 @@ using namespace rcp;
 
 constexpr unsigned kN = 12;       // divisible by 6; chain k = n/3 = 4
 constexpr unsigned kK = kN / 3;   // beyond floor((n-1)/3): use make_unchecked
-constexpr std::uint32_t kRuns = 200;
+const std::uint32_t kRuns = bench::env_runs(200);
 
 bench::ThroughputMeter meter;
 
@@ -76,7 +76,7 @@ unsigned one_phase_transition(unsigned ones, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "E8: Section 4.1 model vs the real asynchronous protocol, "
                "n = " << kN << ", k = n/3 = " << kK << ", " << kRuns
             << " runs per state\n\n";
@@ -158,6 +158,5 @@ int main() {
          "good fit); (b) the protocol needs a few more phases than chain "
          "absorption, since absorption marks \"decision inevitable\", after "
          "which the protocol still takes ~2 phases to actually decide.\n";
-  meter.print(std::cout);
-  return 0;
+  return bench::finish(meter, "e8_chain_validation", argc, argv);
 }

@@ -59,7 +59,7 @@ RunResultRow run_once(std::uint32_t n, std::uint32_t ones,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::uint32_t n = 9;
   std::cout << "E9: Section 5 initially-dead protocol (G+ construction), "
                "n = " << n << "\n\n";
@@ -103,6 +103,5 @@ int main() {
          "inputs (majority, ties to 1 — so both values appear); every row "
          "with >= 1 dead decides 0, for ANY number of deaths up to n-1 — "
          "the weak-bivalence trade of Section 5.\n";
-  meter.print(std::cout);
-  return 0;
+  return bench::finish(meter, "e9_initially_dead", argc, argv);
 }

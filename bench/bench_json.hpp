@@ -1,0 +1,135 @@
+// Minimal JSON emitter for the BENCH_*.json artifacts the harnesses write
+// behind `--json <path>` (see docs/PERF.md). Hand-rolled on purpose: the
+// reports are flat objects/arrays of numbers and short ASCII labels, and
+// the repo takes no third-party dependencies for them.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcp::bench {
+
+/// Streams syntactically valid JSON with automatic comma placement. Scopes
+/// are explicit: begin_object()/end_object(), begin_array()/end_array();
+/// inside an object every value must be preceded by key(). Strings are
+/// escaped for quotes, backslashes and control characters; non-finite
+/// doubles are emitted as null (JSON has no NaN/Inf).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object() {
+    separate();
+    os_ << '{';
+    depth_.push_back(false);
+  }
+  void end_object() {
+    depth_.pop_back();
+    os_ << '}';
+  }
+  void begin_array() {
+    separate();
+    os_ << '[';
+    depth_.push_back(false);
+  }
+  void end_array() {
+    depth_.pop_back();
+    os_ << ']';
+  }
+
+  void key(std::string_view k) {
+    separate();
+    quote(k);
+    os_ << ':';
+    pending_value_ = true;
+  }
+
+  void value(std::string_view s) {
+    separate();
+    quote(s);
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) {
+    separate();
+    os_ << (b ? "true" : "false");
+  }
+  void value(std::uint64_t v) {
+    separate();
+    os_ << v;
+  }
+  void value(std::uint32_t v) { value(static_cast<std::uint64_t>(v)); }
+  void value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+      os_ << "null";
+      return;
+    }
+    const auto flags = os_.flags();
+    const auto precision = os_.precision();
+    os_.precision(std::numeric_limits<double>::max_digits10);
+    os_ << v;
+    os_.precision(precision);
+    os_.flags(flags);
+  }
+
+  template <typename T>
+  void field(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  // Emits the comma before the second and later elements of the enclosing
+  // scope. A value directly after key() never takes one.
+  void separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!depth_.empty()) {
+      if (depth_.back()) {
+        os_ << ',';
+      }
+      depth_.back() = true;
+    }
+  }
+
+  void quote(std::string_view s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          os_ << "\\\"";
+          break;
+        case '\\':
+          os_ << "\\\\";
+          break;
+        case '\n':
+          os_ << "\\n";
+          break;
+        case '\t':
+          os_ << "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            const char* hex = "0123456789abcdef";
+            os_ << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<bool> depth_;  // per open scope: has it emitted an element yet
+  bool pending_value_ = false;
+};
+
+}  // namespace rcp::bench

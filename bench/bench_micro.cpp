@@ -1,5 +1,6 @@
 // Micro-benchmarks (google-benchmark): the primitives every experiment
-// rests on — RNG, codecs, echo acceptance, protocol steps, chain solves.
+// rests on — RNG, codecs, echo acceptance, protocol steps, chain solves,
+// and the simulator hot path (broadcast fan-out, raw step dispatch).
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -16,6 +17,8 @@
 #include "core/failstop.hpp"
 #include "core/malicious.hpp"
 #include "core/messages.hpp"
+#include "core/reliable_broadcast.hpp"
+#include "extensions/rb_engine.hpp"
 #include "runtime/parallel_series.hpp"
 #include "runtime/scenario_series.hpp"
 #include "runtime/seeding.hpp"
@@ -60,6 +63,112 @@ void BM_EncodeDecodeEchoMsg(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EncodeDecodeEchoMsg);
+
+void BM_EncodeDecodeMajorityMsg(benchmark::State& state) {
+  const core::MajorityMsg msg{.phase = 17, .value = Value::one};
+  for (auto _ : state) {
+    const Bytes buf = msg.encode();
+    benchmark::DoNotOptimize(core::MajorityMsg::decode(buf));
+  }
+}
+BENCHMARK(BM_EncodeDecodeMajorityMsg);
+
+void BM_EncodeDecodeRbMsg(benchmark::State& state) {
+  const core::RbMsg msg{.kind = core::RbMsg::Kind::ready, .value = Value::one};
+  for (auto _ : state) {
+    const Bytes buf = msg.encode();
+    benchmark::DoNotOptimize(core::RbMsg::decode(buf));
+  }
+}
+BENCHMARK(BM_EncodeDecodeRbMsg);
+
+void BM_EncodeDecodeRbxMsg(benchmark::State& state) {
+  const ext::RbxMsg msg{.kind = ext::RbxMsg::Kind::echo, .origin = 5,
+                        .tag = 92, .value = 1};
+  for (auto _ : state) {
+    const Bytes buf = msg.encode();
+    benchmark::DoNotOptimize(ext::RbxMsg::decode(buf));
+  }
+}
+BENCHMARK(BM_EncodeDecodeRbxMsg);
+
+/// Rebroadcasts every received payload to all n processes: each atomic step
+/// is one delivery plus one n-message fan-out, which isolates the
+/// broadcast/mailbox path of the simulator.
+class FanoutProcess final : public sim::Process {
+ public:
+  void on_start(sim::Context& ctx) override {
+    ctx.broadcast(core::EchoProtocolMsg{.is_echo = false,
+                                        .from = ctx.self(),
+                                        .value = Value::one,
+                                        .phase = 0}
+                      .encode());
+  }
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override {
+    ctx.broadcast(env.payload);
+  }
+};
+
+void BM_BroadcastFanout(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  // Warm past the vector-growth phase (mailbox capacities settle above the
+  // sizes the measured window reaches) so the timed region is the
+  // steady-state fan-out path, not one-time container growth.
+  constexpr int kWarmupSteps = 1500;
+  constexpr int kSteps = 256;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    for (ProcessId p = 0; p < n; ++p) {
+      procs.push_back(std::make_unique<FanoutProcess>());
+    }
+    sim::Simulation s(sim::SimConfig{.n = n, .seed = 3}, std::move(procs));
+    s.start();
+    for (int i = 0; i < kWarmupSteps && s.step(); ++i) {
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < kSteps && s.step(); ++i) {
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSteps * n);
+}
+BENCHMARK(BM_BroadcastFanout)->Arg(7)->Arg(31)->Arg(101);
+
+/// Requeues one self-addressed message per delivery, keeping every mailbox
+/// at a steady one-message depth: measures raw step dispatch (eligible-set
+/// maintenance, scheduler pick, mailbox take, context setup) with no
+/// protocol work and no fan-out.
+class SelfRefillProcess final : public sim::Process {
+ public:
+  void on_start(sim::Context& ctx) override {
+    ctx.send(ctx.self(), core::MajorityMsg{.phase = 0, .value = Value::zero}
+                             .encode());
+  }
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override {
+    ctx.send(ctx.self(), env.payload);
+  }
+};
+
+void BM_StepDispatch(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  constexpr int kSteps = 256;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    for (ProcessId p = 0; p < n; ++p) {
+      procs.push_back(std::make_unique<SelfRefillProcess>());
+    }
+    sim::Simulation s(sim::SimConfig{.n = n, .seed = 4}, std::move(procs));
+    s.start();
+    state.ResumeTiming();
+    for (int i = 0; i < kSteps && s.step(); ++i) {
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSteps);
+}
+BENCHMARK(BM_StepDispatch)->Arg(7)->Arg(31)->Arg(101);
 
 void BM_EchoEngineAcceptPath(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));

@@ -8,11 +8,18 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <ostream>
+#include <string>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "adversary/scenario.hpp"
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "runtime/parallel_series.hpp"
 #include "runtime/scenario_series.hpp"
@@ -20,6 +27,23 @@
 namespace rcp::bench {
 
 using runtime::SeriesResult;
+
+/// Trial count for one series: `fallback`, unless the RCP_BENCH_RUNS
+/// environment variable is a positive integer. The perf-smoke ctest label
+/// sets it to 2 so every harness finishes in well under a second; the
+/// numbers in the tables are then meaningless, but the code paths (and the
+/// --json plumbing) still run end to end.
+[[nodiscard]] inline std::uint32_t env_runs(std::uint32_t fallback) noexcept {
+  if (const char* env = std::getenv("RCP_BENCH_RUNS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 &&
+        v <= 1'000'000'000ul) {
+      return static_cast<std::uint32_t>(v);
+    }
+  }
+  return fallback;
+}
 
 /// Series configuration shared by the harnesses: default thread count
 /// (RCP_THREADS env or hardware_concurrency) and default shard size.
@@ -62,23 +86,50 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// One series as remembered for the JSON report: always the trial count and
+/// wall-clock; consensus statistics only when the series came through a
+/// SeriesResult (the Markov/raw-run_trials harnesses time custom
+/// accumulators, so only throughput is meaningful there).
+struct SeriesRecord {
+  std::uint64_t trials = 0;
+  double wall_seconds = 0.0;
+  bool has_stats = false;
+  std::uint32_t decided = 0;
+  std::uint32_t agreed = 0;
+  std::uint32_t decided_one = 0;
+  RunningStats phases;
+  RunningStats steps;
+  RunningStats messages;
+};
+
 /// Accumulates trial counts and wall-clock across the series of one
-/// harness and prints the `[runtime]` throughput footer the BENCH_*.json
-/// trajectories track for speedup comparisons.
+/// harness, prints the `[runtime]` throughput footer, and keeps a
+/// per-series record for the --json report (see finish()).
 class ThroughputMeter {
  public:
   void note(const SeriesResult& result) {
-    note(result.runs, result.wall_seconds);
+    SeriesRecord rec;
+    rec.trials = result.runs;
+    rec.wall_seconds = result.wall_seconds;
+    rec.has_stats = true;
+    rec.decided = result.decided;
+    rec.agreed = result.agreed;
+    rec.decided_one = result.decided_one;
+    rec.phases = result.phases;
+    rec.steps = result.steps;
+    rec.messages = result.messages;
+    note(rec);
   }
   void note(std::uint64_t trials, double seconds) {
-    trials_ += trials;
-    seconds_ += seconds;
-    ++series_;
+    SeriesRecord rec;
+    rec.trials = trials;
+    rec.wall_seconds = seconds;
+    note(rec);
   }
 
   void print(std::ostream& os) const {
     os << "[runtime] threads=" << runtime::default_threads()
-       << " series=" << series_ << " trials=" << trials_
+       << " series=" << records_.size() << " trials=" << trials_
        << " wall=" << format_double(seconds_, 3) << "s trials/sec="
        << format_double(
               seconds_ > 0.0 ? static_cast<double>(trials_) / seconds_ : 0.0,
@@ -86,10 +137,100 @@ class ThroughputMeter {
        << "\n";
   }
 
+  [[nodiscard]] const std::vector<SeriesRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t trials() const noexcept { return trials_; }
+  [[nodiscard]] double seconds() const noexcept { return seconds_; }
+
  private:
+  void note(SeriesRecord rec) {
+    trials_ += rec.trials;
+    seconds_ += rec.wall_seconds;
+    records_.push_back(std::move(rec));
+  }
+
   std::uint64_t trials_ = 0;
-  std::uint64_t series_ = 0;
   double seconds_ = 0.0;
+  std::vector<SeriesRecord> records_;
 };
+
+/// Serialises one harness run as the rcp-bench-v1 JSON document tracked in
+/// BENCH_BASELINE.json: per-series trial counts, decide/agree tallies and
+/// phase/step/message statistics, plus whole-run throughput totals.
+inline void write_report(std::ostream& os, std::string_view harness,
+                         const ThroughputMeter& meter) {
+  const auto stats = [](JsonWriter& w, std::string_view key,
+                        const RunningStats& s) {
+    w.key(key);
+    w.begin_object();
+    w.field("count", s.count());
+    w.field("mean", s.mean());
+    w.field("stddev", s.stddev());
+    w.field("min", s.min());
+    w.field("max", s.max());
+    w.end_object();
+  };
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "rcp-bench-v1");
+  w.field("harness", harness);
+  w.field("threads", runtime::default_threads());
+  w.key("series");
+  w.begin_array();
+  for (const SeriesRecord& rec : meter.records()) {
+    w.begin_object();
+    w.field("trials", rec.trials);
+    w.field("wall_seconds", rec.wall_seconds);
+    w.field("trials_per_sec", rec.wall_seconds > 0.0
+                                  ? static_cast<double>(rec.trials) /
+                                        rec.wall_seconds
+                                  : 0.0);
+    if (rec.has_stats) {
+      w.field("decided", rec.decided);
+      w.field("agreed", rec.agreed);
+      w.field("decided_one", rec.decided_one);
+      stats(w, "phases", rec.phases);
+      stats(w, "steps", rec.steps);
+      stats(w, "messages", rec.messages);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("totals");
+  w.begin_object();
+  w.field("series", static_cast<std::uint64_t>(meter.records().size()));
+  w.field("trials", meter.trials());
+  w.field("wall_seconds", meter.seconds());
+  w.field("trials_per_sec",
+          meter.seconds() > 0.0
+              ? static_cast<double>(meter.trials()) / meter.seconds()
+              : 0.0);
+  w.end_object();
+  w.end_object();
+  os << "\n";
+}
+
+/// Shared epilogue for every harness main: prints the `[runtime]` footer
+/// and, when the command line carries `--json <path>`, writes the
+/// machine-readable report there. Returns main's exit status (non-zero if
+/// the report file cannot be written).
+inline int finish(const ThroughputMeter& meter, std::string_view harness,
+                  int argc, char** argv) {
+  meter.print(std::cout);
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      const char* path = argv[i + 1];
+      std::ofstream out(path);
+      if (!out) {
+        std::cerr << "error: cannot open " << path << " for writing\n";
+        return 1;
+      }
+      write_report(out, harness, meter);
+      std::cout << "[json] wrote " << path << "\n";
+    }
+  }
+  return 0;
+}
 
 }  // namespace rcp::bench

@@ -31,7 +31,7 @@ namespace {
 
 using namespace rcp;
 
-constexpr std::uint32_t kRuns = 25;
+const std::uint32_t kRuns = bench::env_runs(25);
 
 bench::ThroughputMeter meter;
 
@@ -82,7 +82,7 @@ Measured run_series(std::uint32_t n, MakeProcess&& make_process) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "X1: reliable-broadcast hardening of Ben-Or under a report "
                "equivocator (process 0), balanced inputs, " << kRuns
             << " seeds\n\n";
@@ -212,6 +212,5 @@ int main() {
                "at roughly an n-times message cost. That consistency is the "
                "building block the 1987 follow-on protocols (and the "
                "HoneyBadger lineage) are built from.\n";
-  meter.print(std::cout);
-  return 0;
+  return bench::finish(meter, "x1_rb_hardening", argc, argv);
 }

@@ -23,7 +23,7 @@ using namespace rcp;
 using adversary::ProtocolKind;
 using adversary::Scenario;
 
-constexpr std::uint32_t kRuns = 25;
+const std::uint32_t kRuns = bench::env_runs(25);
 constexpr std::uint32_t kN = 9;
 
 bench::ThroughputMeter meter;
@@ -52,7 +52,7 @@ std::unique_ptr<sim::DeliveryPolicy> newest_half() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "X2: delivery-policy ablation, Figure 2 at n = " << kN
             << ", k = 2, alternating inputs, " << kRuns << " seeds\n\n";
   Table table({"delivery", "fairness", "decided", "agreed", "phases(mean)",
@@ -89,6 +89,5 @@ int main() {
                "tests) — yet agreement never breaks. The paper's "
                "probabilistic assumption buys convergence only; "
                "consistency never depends on it.\n";
-  meter.print(std::cout);
-  return 0;
+  return bench::finish(meter, "x2_delivery_fairness", argc, argv);
 }

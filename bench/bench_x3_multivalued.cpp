@@ -19,7 +19,7 @@ namespace {
 
 using namespace rcp;
 
-constexpr std::uint32_t kRuns = 15;
+const std::uint32_t kRuns = bench::env_runs(15);
 
 bench::ThroughputMeter meter;
 
@@ -99,7 +99,7 @@ Measured run_series(std::uint32_t n, std::uint32_t k, std::uint32_t byz) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "X3: multivalued consensus (reliable proposals + Figure 2 "
                "slot sweep), " << kRuns << " seeds per row\n\n";
   Table table({"n", "k", "byz (silent, low slots)", "decided", "agreed",
@@ -124,6 +124,5 @@ int main() {
                "rows place the silent proposers in the earliest slots, so "
                "the sweep pays roughly `byz` extra binary instances before "
                "a correct origin's slot wins.\n";
-  meter.print(std::cout);
-  return 0;
+  return bench::finish(meter, "x3_multivalued", argc, argv);
 }

@@ -21,7 +21,7 @@ using namespace rcp;
 using adversary::ProtocolKind;
 using adversary::Scenario;
 
-constexpr std::uint32_t kRuns = 15;
+const std::uint32_t kRuns = bench::env_runs(15);
 
 bench::ThroughputMeter meter;
 
@@ -44,7 +44,7 @@ double messages_per_phase(ProtocolKind protocol, std::uint32_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "X4: messages per phase vs n (" << kRuns
             << " seeds, alternating inputs, k at each protocol's bound)\n\n";
   const std::uint32_t sizes[] = {4, 8, 16, 32};
@@ -72,6 +72,5 @@ int main() {
   std::cout << "Expected shape: the fail-stop and majority tables show an "
                "implied exponent near 2 (quadratic broadcasts); Figure 2 "
                "shows near 3 (every initial echoed by everyone).\n";
-  meter.print(std::cout);
-  return 0;
+  return bench::finish(meter, "x4_complexity", argc, argv);
 }

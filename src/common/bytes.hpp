@@ -10,13 +10,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "common/error.hpp"
+#include "common/payload.hpp"
 
 namespace rcp {
 
-using Bytes = std::vector<std::byte>;
+/// Wire payloads are small-buffer-optimized (see common/payload.hpp): every
+/// protocol message fits Payload's inline capacity, so encoding and carrying
+/// a message never allocates.
+using Bytes = Payload;
 
 /// Appends fixed-width little-endian integers to a byte buffer.
 class ByteWriter {
@@ -52,6 +55,8 @@ class ByteWriter {
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::byte> data) noexcept : data_(data) {}
+  explicit ByteReader(const Payload& payload) noexcept
+      : data_(payload.span()) {}
 
   [[nodiscard]] std::uint8_t u8() {
     need(1);

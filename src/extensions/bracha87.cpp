@@ -16,10 +16,10 @@ Bracha87::Bracha87(core::ConsensusParams params, Value initial_value) noexcept
     : params_(params), value_(initial_value), engine_(params) {}
 
 void Bracha87::on_start(sim::Context& ctx) {
-  broadcast_step(ctx, 1, to_payload(value_));
+  broadcast_step(ctx, 1, to_rb_value(value_));
 }
 
-void Bracha87::broadcast_step(sim::Context& ctx, int step, Payload payload) {
+void Bracha87::broadcast_step(sim::Context& ctx, int step, RbValue payload) {
   ctx.broadcast(engine_.start(ctx.self(), tag(round_, step), payload).encode());
 }
 
@@ -40,7 +40,7 @@ Bracha87::Counts Bracha87::counts(std::uint64_t t) const {
   return c;
 }
 
-bool Bracha87::majority_reachable(const Counts& c, Payload v) const {
+bool Bracha87::majority_reachable(const Counts& c, RbValue v) const {
   // Is v the tie-to-0 majority of some (n-k)-subset of the counted plain
   // messages? For v = 1 the subset needs a strict majority of 1s; for
   // v = 0 it needs at least half 0s (ties go to 0).
@@ -54,7 +54,7 @@ bool Bracha87::majority_reachable(const Counts& c, Payload v) const {
   return c.plain[0] >= (quorum + 1) / 2;
 }
 
-bool Bracha87::is_valid(std::uint64_t t, Payload payload) const {
+bool Bracha87::is_valid(std::uint64_t t, RbValue payload) const {
   const Phase r = t / 3;
   const int step = static_cast<int>(t % 3) + 1;
   switch (step) {
@@ -93,7 +93,7 @@ bool Bracha87::is_valid(std::uint64_t t, Payload payload) const {
       }
       // Decision proposal (w, D): w must hold a strict majority of the
       // whole system among the RB-consistent step-2 values.
-      const Payload w = payload - kProposal0;
+      const RbValue w = payload - kProposal0;
       return 2ULL * prev.plain[w] > params_.n;
     }
     default:
@@ -132,11 +132,11 @@ void Bracha87::try_advance(sim::Context& ctx) {
       // v := majority of the validated step-1 values (ties to 0).
       value_ = c.plain[1] > c.plain[0] ? Value::one : Value::zero;
       step_ = 2;
-      broadcast_step(ctx, 2, to_payload(value_));
+      broadcast_step(ctx, 2, to_rb_value(value_));
     } else if (step_ == 2) {
       value_ = c.plain[1] > c.plain[0] ? Value::one : Value::zero;
-      Payload out = to_payload(value_);
-      for (const Payload w : {kPayloadZero, kPayloadOne}) {
+      RbValue out = to_rb_value(value_);
+      for (const RbValue w : {kRbValueZero, kRbValueOne}) {
         if (2ULL * c.plain[w] > params_.n) {
           value_ = value_from_int(w);
           out = kProposal0 + w;
@@ -145,8 +145,8 @@ void Bracha87::try_advance(sim::Context& ctx) {
       step_ = 3;
       broadcast_step(ctx, 3, out);
     } else {
-      const Payload leader =
-          c.proposal[1] > c.proposal[0] ? kPayloadOne : kPayloadZero;
+      const RbValue leader =
+          c.proposal[1] > c.proposal[0] ? kRbValueOne : kRbValueZero;
       const std::uint32_t votes = c.proposal[leader];
       if (votes > 2 * params_.k) {
         value_ = value_from_int(leader);
@@ -162,7 +162,7 @@ void Bracha87::try_advance(sim::Context& ctx) {
       }
       round_ += 1;
       step_ = 1;
-      broadcast_step(ctx, 1, to_payload(value_));
+      broadcast_step(ctx, 1, to_rb_value(value_));
     }
     // Entering a new (round, step) may immediately unlock deferred
     // validations whose justification step just filled in.

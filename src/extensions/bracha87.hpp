@@ -76,16 +76,16 @@ class Bracha87 final : public sim::Process {
   Bracha87(core::ConsensusParams params, Value initial_value) noexcept;
 
   // Step-3 payload encoding: 0/1 plain, 2+w for the proposal (w, D).
-  static constexpr Payload kProposal0 = 2;
-  static constexpr Payload kProposal1 = 3;
+  static constexpr RbValue kProposal0 = 2;
+  static constexpr RbValue kProposal1 = 3;
 
   [[nodiscard]] std::uint64_t tag(Phase r, int step) const noexcept {
     return 3 * r + static_cast<std::uint64_t>(step - 1);
   }
 
   struct TagState {
-    std::map<ProcessId, Payload> pending;    ///< delivered, not yet valid
-    std::map<ProcessId, Payload> validated;  ///< delivered and justified
+    std::map<ProcessId, RbValue> pending;    ///< delivered, not yet valid
+    std::map<ProcessId, RbValue> validated;  ///< delivered and justified
   };
 
   struct Counts {
@@ -97,13 +97,13 @@ class Bracha87 final : public sim::Process {
   [[nodiscard]] Counts counts(std::uint64_t t) const;
 
   /// Whether `payload` on `t` is currently justifiable.
-  [[nodiscard]] bool is_valid(std::uint64_t t, Payload payload) const;
+  [[nodiscard]] bool is_valid(std::uint64_t t, RbValue payload) const;
 
   /// True if v is the tie-to-0 majority of some (n-k)-subset of a message
   /// multiset with the given per-value counts.
-  [[nodiscard]] bool majority_reachable(const Counts& c, Payload v) const;
+  [[nodiscard]] bool majority_reachable(const Counts& c, RbValue v) const;
 
-  void broadcast_step(sim::Context& ctx, int step, Payload payload);
+  void broadcast_step(sim::Context& ctx, int step, RbValue payload);
   /// Moves pending messages whose justification now holds; returns true if
   /// anything moved.
   bool revalidate();

@@ -26,7 +26,7 @@ void RbBenOr::broadcast_rbx(sim::Context& ctx, const RbxMsg& msg) {
 
 void RbBenOr::on_start(sim::Context& ctx) {
   broadcast_rbx(ctx, engine_.start(ctx.self(), report_tag(),
-                                   to_payload(value_)));
+                                   to_rb_value(value_)));
 }
 
 void RbBenOr::on_message(sim::Context& ctx, const sim::Envelope& env) {
@@ -59,12 +59,12 @@ void RbBenOr::try_advance(sim::Context& ctx) {
       // Report stage complete: propose the supermajority value, if any.
       std::uint32_t counts[2] = {0, 0};
       for (const auto& [origin, payload] : it->second) {
-        if (payload <= kPayloadOne) {
+        if (payload <= kRbValueOne) {
           ++counts[payload];
         }
       }
-      Payload proposal = kPayloadBottom;
-      for (const Payload w : {kPayloadZero, kPayloadOne}) {
+      RbValue proposal = kRbValueBottom;
+      for (const RbValue w : {kRbValueZero, kRbValueOne}) {
         if (2ULL * counts[w] > static_cast<std::uint64_t>(params_.n) +
                                    params_.k) {
           proposal = w;
@@ -77,12 +77,12 @@ void RbBenOr::try_advance(sim::Context& ctx) {
     // Proposal stage complete: decide / adopt / flip.
     std::uint32_t proposals[2] = {0, 0};
     for (const auto& [origin, payload] : it->second) {
-      if (payload <= kPayloadOne) {
+      if (payload <= kRbValueOne) {
         ++proposals[payload];
       }
     }
-    const Payload leader =
-        proposals[1] > proposals[0] ? kPayloadOne : kPayloadZero;
+    const RbValue leader =
+        proposals[1] > proposals[0] ? kRbValueOne : kRbValueZero;
     const std::uint32_t leader_count = proposals[leader];
     if (leader_count >= 2 * params_.k + 1) {
       value_ = value_from_int(leader);
@@ -99,7 +99,7 @@ void RbBenOr::try_advance(sim::Context& ctx) {
     round_ += 1;
     proposing_ = false;
     broadcast_rbx(ctx, engine_.start(ctx.self(), report_tag(),
-                                     to_payload(value_)));
+                                     to_rb_value(value_)));
   }
 }
 

@@ -72,7 +72,7 @@ class RbBenOr final : public sim::Process {
   RbEngine engine_;
   /// All deliveries, keyed by instance tag -> origin -> payload. RB
   /// guarantees one payload per (origin, tag) across all correct processes.
-  std::map<std::uint64_t, std::map<ProcessId, Payload>> delivered_;
+  std::map<std::uint64_t, std::map<ProcessId, RbValue>> delivered_;
 };
 
 }  // namespace rcp::ext

@@ -29,19 +29,19 @@ RbxMsg RbxMsg::decode(const Bytes& payload) {
   msg.tag = r.u64();
   msg.value = r.u8();
   r.expect_done();
-  if (msg.value > kMaxPayload) {
+  if (msg.value > kMaxRbValue) {
     throw DecodeError("payload field out of range");
   }
   return msg;
 }
 
-RbxMsg RbEngine::start(ProcessId self, std::uint64_t tag, Payload value) {
+RbxMsg RbEngine::start(ProcessId self, std::uint64_t tag, RbValue value) {
   return RbxMsg{
       .kind = RbxMsg::Kind::initial, .origin = self, .tag = tag, .value = value};
 }
 
 void RbEngine::maybe_ready(Instance& inst, ProcessId origin, std::uint64_t tag,
-                           Payload value, Outcome& out) {
+                           RbValue value, Outcome& out) {
   if (inst.ready_sent.has_value()) {
     return;
   }
@@ -96,7 +96,7 @@ RbEngine::Outcome RbEngine::handle(ProcessId sender, const RbxMsg& msg) {
   return out;
 }
 
-std::optional<Payload> RbEngine::delivered(ProcessId origin,
+std::optional<RbValue> RbEngine::delivered(ProcessId origin,
                                            std::uint64_t tag) const {
   const auto it = instances_.find(Key{origin, tag});
   if (it == instances_.end()) {

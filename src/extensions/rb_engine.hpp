@@ -30,14 +30,14 @@ namespace rcp::ext {
 /// values, Ben-Or's "?" proposals (bottom), and Bracha-87's decision
 /// proposals (2 + w). Semantics belong to the protocol; the engine only
 /// ranges over the alphabet.
-using Payload = std::uint8_t;
-inline constexpr Payload kPayloadZero = 0;
-inline constexpr Payload kPayloadOne = 1;
-inline constexpr Payload kPayloadBottom = 2;
-inline constexpr Payload kMaxPayload = 3;
+using RbValue = std::uint8_t;
+inline constexpr RbValue kRbValueZero = 0;
+inline constexpr RbValue kRbValueOne = 1;
+inline constexpr RbValue kRbValueBottom = 2;
+inline constexpr RbValue kMaxRbValue = 3;
 
-[[nodiscard]] constexpr Payload to_payload(Value v) noexcept {
-  return static_cast<Payload>(v);
+[[nodiscard]] constexpr RbValue to_rb_value(Value v) noexcept {
+  return static_cast<RbValue>(v);
 }
 
 /// Wire message of the multiplexed broadcast.
@@ -46,7 +46,7 @@ struct RbxMsg {
   Kind kind = Kind::initial;
   ProcessId origin = 0;  ///< whose broadcast this instance carries
   std::uint64_t tag = 0; ///< caller-defined instance id (round, sub-round...)
-  Payload value = kPayloadZero;
+  RbValue value = kRbValueZero;
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static RbxMsg decode(const Bytes& payload);
@@ -59,7 +59,7 @@ class RbEngine {
   struct Delivery {
     ProcessId origin = 0;
     std::uint64_t tag = 0;
-    Payload value = kPayloadZero;
+    RbValue value = kRbValueZero;
   };
 
   struct Outcome {
@@ -72,13 +72,13 @@ class RbEngine {
   /// Starts our own broadcast instance: returns the initial message to
   /// broadcast (the caller sends it; the engine treats our own initial like
   /// any other once it loops back).
-  [[nodiscard]] RbxMsg start(ProcessId self, std::uint64_t tag, Payload value);
+  [[nodiscard]] RbxMsg start(ProcessId self, std::uint64_t tag, RbValue value);
 
   /// Feeds one decoded message received from authenticated `sender`.
   [[nodiscard]] Outcome handle(ProcessId sender, const RbxMsg& msg);
 
   /// The delivered value of instance (origin, tag), if any.
-  [[nodiscard]] std::optional<Payload> delivered(ProcessId origin,
+  [[nodiscard]] std::optional<RbValue> delivered(ProcessId origin,
                                                  std::uint64_t tag) const;
 
   /// Count of instances with any state (observability / leak checks).
@@ -88,18 +88,18 @@ class RbEngine {
 
  private:
   struct Instance {
-    std::set<ProcessId> echo_from[kMaxPayload + 1];
-    std::set<ProcessId> ready_from[kMaxPayload + 1];
+    std::set<ProcessId> echo_from[kMaxRbValue + 1];
+    std::set<ProcessId> ready_from[kMaxRbValue + 1];
     bool echoed = false;
-    std::optional<Payload> ready_sent;
-    std::optional<Payload> delivered;
+    std::optional<RbValue> ready_sent;
+    std::optional<RbValue> delivered;
   };
 
   using Key = std::pair<ProcessId, std::uint64_t>;
 
   /// Appends the READY transition for `value` if not yet sent.
   void maybe_ready(Instance& inst, ProcessId origin, std::uint64_t tag,
-                   Payload value, Outcome& out);
+                   RbValue value, Outcome& out);
 
   core::ConsensusParams params_;
   std::map<Key, Instance> instances_;

@@ -1,23 +1,51 @@
 #include "sim/mailbox.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
 
 namespace rcp::sim {
 
+Envelope& Mailbox::emplace() {
+  if (head_ > 0 && messages_.size() == messages_.capacity()) {
+    // Recycle the consumed prefix instead of growing: slide the live
+    // region to the front. Steady-state mailboxes stop allocating here.
+    std::move(messages_.begin() + static_cast<std::ptrdiff_t>(head_),
+              messages_.end(), messages_.begin());
+    messages_.resize(messages_.size() - head_);
+    head_ = 0;
+  }
+  return messages_.emplace_back();
+}
+
 Envelope Mailbox::take(std::size_t index) {
-  RCP_EXPECT(index < messages_.size(), "mailbox take out of range");
-  std::swap(messages_[index], messages_.back());
-  Envelope env = std::move(messages_.back());
+  RCP_EXPECT(index < size(), "mailbox take out of range");
+  const std::size_t at = head_ + index;
+  Envelope env = std::move(messages_[at]);
+  if (at + 1 != messages_.size()) {
+    messages_[at] = std::move(messages_.back());
+  }
   messages_.pop_back();
+  if (head_ == messages_.size()) {
+    clear();
+  }
   return env;
 }
 
 Envelope Mailbox::take_front_preserving(std::size_t index) {
-  RCP_EXPECT(index < messages_.size(), "mailbox take out of range");
-  Envelope env = std::move(messages_[index]);
-  messages_.erase(messages_.begin() + static_cast<std::ptrdiff_t>(index));
+  RCP_EXPECT(index < size(), "mailbox take out of range");
+  const std::size_t at = head_ + index;
+  Envelope env = std::move(messages_[at]);
+  // Shift the (short) prefix right by one and advance the head, rather
+  // than shifting the whole suffix left as erase() would.
+  std::move_backward(messages_.begin() + static_cast<std::ptrdiff_t>(head_),
+                     messages_.begin() + static_cast<std::ptrdiff_t>(at),
+                     messages_.begin() + static_cast<std::ptrdiff_t>(at + 1));
+  ++head_;
+  if (head_ == messages_.size()) {
+    clear();
+  }
   return env;
 }
 

@@ -5,9 +5,19 @@
 // message nondeterministically. The Mailbox supports O(1) removal at an
 // arbitrary index so delivery policies can realise any nondeterministic
 // choice.
+//
+// Storage is a recycling ring over one vector: a head offset marks consumed
+// slots, so order-preserving removal shifts the (usually empty) prefix
+// before the chosen index instead of the whole suffix, and the FIFO common
+// case — taking the front — is a pointer bump. Pushing at capacity compacts
+// the live region back to the front, recycling the consumed slots instead
+// of growing, so a mailbox reaches a steady state where push/take never
+// allocate.
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "sim/message.hpp"
@@ -16,14 +26,23 @@ namespace rcp::sim {
 
 class Mailbox {
  public:
-  void push(Envelope env) { messages_.push_back(std::move(env)); }
+  void push(Envelope env) { emplace() = std::move(env); }
 
-  [[nodiscard]] bool empty() const noexcept { return messages_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return messages_.size(); }
+  /// Appends a default Envelope and returns it for in-place filling —
+  /// lets the broadcast fan-out write each copy straight into the buffer
+  /// slot instead of moving a stack temporary in.
+  [[nodiscard]] Envelope& emplace();
+
+  [[nodiscard]] bool empty() const noexcept {
+    return head_ == messages_.size();
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return messages_.size() - head_;
+  }
 
   /// All buffered messages, in arrival order (stable between mutations).
-  [[nodiscard]] const std::vector<Envelope>& contents() const noexcept {
-    return messages_;
+  [[nodiscard]] std::span<const Envelope> contents() const noexcept {
+    return {messages_.data() + head_, messages_.size() - head_};
   }
 
   /// Removes and returns the message at `index`. Order of the remaining
@@ -32,13 +51,18 @@ class Mailbox {
   [[nodiscard]] Envelope take(std::size_t index);
 
   /// Removes and returns the message at `index`, preserving the relative
-  /// order of the rest (O(size) shift). Used by FIFO-style policies.
+  /// order of the rest. O(index) — O(1) for the front, which is what
+  /// FIFO-style policies take.
   [[nodiscard]] Envelope take_front_preserving(std::size_t index);
 
-  void clear() noexcept { messages_.clear(); }
+  void clear() noexcept {
+    messages_.clear();
+    head_ = 0;
+  }
 
  private:
   std::vector<Envelope> messages_;
+  std::size_t head_ = 0;  ///< consumed slots before the live region
 };
 
 }  // namespace rcp::sim

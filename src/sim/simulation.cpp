@@ -28,9 +28,7 @@ class Simulation::StepContext final : public Context {
   }
 
   void broadcast(const Bytes& payload) override {
-    for (ProcessId q = 0; q < sim_.cfg_.n; ++q) {
-      sim_.deliver_send(self_, q, payload);
-    }
+    sim_.broadcast_send(self_, payload);
   }
 
   void decide(Value v) override {
@@ -41,6 +39,9 @@ class Simulation::StepContext final : public Context {
       return;
     }
     slot = v;
+    if (!sim_.faulty_[self_]) {
+      --sim_.undecided_correct_;
+    }
     if (sim_.trace_ != nullptr) {
       sim_.trace_->record(Event{.kind = EventKind::decide,
                                 .step = sim_.metrics_.steps,
@@ -83,11 +84,53 @@ Simulation::Simulation(SimConfig cfg,
   for (ProcessId p = 0; p < cfg_.n; ++p) {
     process_rngs_.push_back(system_rng_.split());
   }
+  eligible_.reserve(cfg_.n);
+  undecided_correct_ = cfg_.n;
 }
 
 void Simulation::mark_faulty(ProcessId p) {
   RCP_EXPECT(p < cfg_.n, "unknown process");
+  note_no_longer_counts(p);
   faulty_[p] = true;
+}
+
+/// Bookkeeping for the O(1) termination check: `p` is about to stop
+/// counting towards the undecided-correct total (marked faulty/crashed).
+void Simulation::note_no_longer_counts(ProcessId p) {
+  if (!faulty_[p] && !decisions_[p].has_value()) {
+    --undecided_correct_;
+  }
+}
+
+void Simulation::eligible_insert(ProcessId p) {
+  eligible_.insert(std::lower_bound(eligible_.begin(), eligible_.end(), p), p);
+}
+
+void Simulation::eligible_erase(ProcessId p) {
+  const auto it = std::lower_bound(eligible_.begin(), eligible_.end(), p);
+  if (it != eligible_.end() && *it == p) {
+    eligible_.erase(it);
+  }
+}
+
+/// Debug cross-check: the incrementally-maintained eligible set and
+/// undecided-correct counter must equal what a full rescan would produce.
+void Simulation::check_incremental_state() const {
+#ifndef NDEBUG
+  std::vector<ProcessId> scan;
+  std::uint32_t undecided = 0;
+  for (ProcessId p = 0; p < cfg_.n; ++p) {
+    if (alive_[p] && !mailboxes_[p].empty()) {
+      scan.push_back(p);
+    }
+    if (!faulty_[p] && !decisions_[p].has_value()) {
+      ++undecided;
+    }
+  }
+  RCP_INVARIANT(scan == eligible_, "incremental eligible set diverged");
+  RCP_INVARIANT(undecided == undecided_correct_,
+                "undecided-correct counter diverged");
+#endif
 }
 
 void Simulation::crash(ProcessId p) {
@@ -99,8 +142,10 @@ void Simulation::do_crash(ProcessId p) {
   if (!alive_[p]) {
     return;
   }
+  note_no_longer_counts(p);
   alive_[p] = false;
   faulty_[p] = true;
+  eligible_erase(p);
   if (trace_ != nullptr) {
     trace_->record(Event{.kind = EventKind::crash,
                          .step = metrics_.steps,
@@ -148,11 +193,53 @@ void Simulation::deliver_send(ProcessId from, ProcessId to, Bytes payload) {
                          .payload_size = payload.size(),
                          .decision = std::nullopt});
   }
-  mailboxes_[to].push(Envelope{.sender = from,
-                               .receiver = to,
-                               .payload = std::move(payload),
-                               .sent_at_step = metrics_.steps,
-                               .seq = next_seq_++});
+  Mailbox& box = mailboxes_[to];
+  const bool was_empty = box.empty();
+  Envelope& slot = box.emplace();
+  slot.sender = from;
+  slot.receiver = to;
+  slot.payload = std::move(payload);
+  slot.sent_at_step = metrics_.steps;
+  slot.seq = next_seq_++;
+  if (was_empty && alive_[to]) {
+    eligible_insert(to);
+  }
+}
+
+/// One encoded payload fanned out to all n mailboxes by cheap Payload copy
+/// (inline memcpy, or a refcount bump for heap spills). Equivalent to n
+/// deliver_send() calls — same per-destination trace events, counters and
+/// sequence numbers — but with the loop-invariant state hoisted out of the
+/// per-destination work.
+void Simulation::broadcast_send(ProcessId from, const Bytes& payload) {
+  const std::uint64_t now = metrics_.steps;
+  const std::size_t len = payload.size();
+  std::uint64_t seq = next_seq_;
+  TraceSink* const trace = trace_;
+  const std::uint32_t n = cfg_.n;
+  for (ProcessId to = 0; to < n; ++to) {
+    if (trace != nullptr) {
+      trace->record(Event{.kind = EventKind::send,
+                          .step = now,
+                          .process = from,
+                          .peer = to,
+                          .payload_size = len,
+                          .decision = std::nullopt});
+    }
+    Mailbox& box = mailboxes_[to];
+    const bool was_empty = box.empty();
+    Envelope& slot = box.emplace();
+    slot.sender = from;
+    slot.receiver = to;
+    slot.payload = payload;
+    slot.sent_at_step = now;
+    slot.seq = seq++;
+    if (was_empty && alive_[to]) {
+      eligible_insert(to);
+    }
+  }
+  next_seq_ = seq;
+  metrics_.messages_sent += n;
 }
 
 void Simulation::start() {
@@ -177,27 +264,16 @@ void Simulation::start() {
   }
 }
 
-std::vector<ProcessId> Simulation::eligible() const {
-  std::vector<ProcessId> out;
-  out.reserve(cfg_.n);
-  for (ProcessId p = 0; p < cfg_.n; ++p) {
-    if (alive_[p] && !mailboxes_[p].empty()) {
-      out.push_back(p);
-    }
-  }
-  return out;
-}
-
 bool Simulation::step() {
   if (!started_) {
     start();
   }
   apply_due_step_crashes();
-  const std::vector<ProcessId> ready = eligible();
-  if (ready.empty()) {
+  check_incremental_state();
+  if (eligible_.empty()) {
     return false;
   }
-  const ProcessId p = scheduler_->pick(ready, system_rng_);
+  const ProcessId p = scheduler_->pick(eligible_, system_rng_);
   RCP_INVARIANT(p < cfg_.n && alive_[p], "scheduler picked invalid process");
   ++metrics_.steps;
 
@@ -220,6 +296,9 @@ bool Simulation::step() {
     const Envelope env = delivery_->order_preserving()
                              ? box.take_front_preserving(*choice)
                              : box.take(*choice);
+    if (box.empty()) {
+      eligible_erase(p);  // before on_message: a self-send must re-insert
+    }
     ++metrics_.messages_delivered;
     if (trace_ != nullptr) {
       trace_->record(Event{.kind = EventKind::deliver,
@@ -282,6 +361,7 @@ std::size_t Simulation::mailbox_size(ProcessId p) const {
 
 std::vector<ProcessId> Simulation::correct_ids() const {
   std::vector<ProcessId> out;
+  out.reserve(cfg_.n);
   for (ProcessId p = 0; p < cfg_.n; ++p) {
     if (!faulty_[p]) {
       out.push_back(p);
@@ -291,12 +371,17 @@ std::vector<ProcessId> Simulation::correct_ids() const {
 }
 
 bool Simulation::all_correct_decided() const {
+#ifndef NDEBUG
+  std::uint32_t undecided = 0;
   for (ProcessId p = 0; p < cfg_.n; ++p) {
     if (!faulty_[p] && !decisions_[p].has_value()) {
-      return false;
+      ++undecided;
     }
   }
-  return true;
+  RCP_INVARIANT(undecided == undecided_correct_,
+                "undecided-correct counter diverged");
+#endif
+  return undecided_correct_ == 0;
 }
 
 bool Simulation::agreement_holds() const {

@@ -132,7 +132,11 @@ class Simulation {
   void maybe_apply_phase_crash(ProcessId p);
   void do_crash(ProcessId p);
   void deliver_send(ProcessId from, ProcessId to, Bytes payload);
-  [[nodiscard]] std::vector<ProcessId> eligible() const;
+  void broadcast_send(ProcessId from, const Bytes& payload);
+  void eligible_insert(ProcessId p);
+  void eligible_erase(ProcessId p);
+  void note_no_longer_counts(ProcessId p);
+  void check_incremental_state() const;
 
   SimConfig cfg_;
   std::vector<std::unique_ptr<Process>> processes_;
@@ -150,6 +154,14 @@ class Simulation {
   TraceSink* trace_ = nullptr;
   std::multimap<std::uint64_t, ProcessId> step_crashes_;
   std::map<ProcessId, Phase> phase_crashes_;
+  /// Processes that are alive with a non-empty mailbox, kept sorted by id.
+  /// Maintained incrementally on push/take/crash so step() never rescans
+  /// the n mailboxes; the ascending order (and hence the scheduler's RNG
+  /// draw sequence) is byte-identical to the old per-step scan.
+  std::vector<ProcessId> eligible_;
+  /// |{p : !faulty_[p] && !decisions_[p]}|, maintained by decide()/
+  /// mark_faulty()/do_crash() so run()'s termination check is O(1).
+  std::uint32_t undecided_correct_ = 0;
 };
 
 }  // namespace rcp::sim

@@ -1,0 +1,221 @@
+// Payload (SBO + copy-on-write byte buffer): inline/heap boundary, copy and
+// move semantics, aliasing rules, and the decode-error contract carried over
+// from the vector-based representation.
+#include "common/payload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace rcp {
+namespace {
+
+Payload filled(std::size_t count) {
+  Payload p;
+  for (std::size_t i = 0; i < count; ++i) {
+    p.push_back(static_cast<std::byte>(i & 0xff));
+  }
+  return p;
+}
+
+bool matches_fill(const Payload& p, std::size_t count) {
+  if (p.size() != count) {
+    return false;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (p[i] != static_cast<std::byte>(i & 0xff)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Payload, DefaultIsEmptyInline) {
+  const Payload p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_FALSE(p.on_heap());
+  EXPECT_EQ(p.capacity(), Payload::kInlineCapacity);
+}
+
+TEST(Payload, StaysInlineAtExactCapacity) {
+  const Payload p = filled(Payload::kInlineCapacity);
+  EXPECT_FALSE(p.on_heap());
+  EXPECT_TRUE(matches_fill(p, Payload::kInlineCapacity));
+}
+
+TEST(Payload, SpillsToHeapAtCapacityPlusOne) {
+  const Payload p = filled(Payload::kInlineCapacity + 1);
+  EXPECT_TRUE(p.on_heap());
+  EXPECT_TRUE(matches_fill(p, Payload::kInlineCapacity + 1));
+}
+
+TEST(Payload, InlineCapacityCoversEveryProtocolMessage) {
+  // The largest wire message is the multivalued slot wrapper (9 bytes)
+  // around a 14-byte binary-protocol message; 24 covers it with headroom.
+  EXPECT_GE(Payload::kInlineCapacity, 24u);
+}
+
+TEST(Payload, CountConstructorZeroFills) {
+  const Payload p(70'000);
+  EXPECT_EQ(p.size(), 70'000u);
+  EXPECT_TRUE(p.on_heap());
+  EXPECT_EQ(p[0], std::byte{0});
+  EXPECT_EQ(p[69'999], std::byte{0});
+}
+
+TEST(Payload, InitializerListConstruction) {
+  const Payload p{std::byte{1}, std::byte{2}, std::byte{3}};
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[1], std::byte{2});
+}
+
+TEST(Payload, EqualityComparesContents) {
+  EXPECT_EQ(filled(10), filled(10));
+  EXPECT_EQ(filled(40), filled(40));
+  EXPECT_NE(filled(10), filled(11));
+  Payload a = filled(10);
+  Payload b = filled(10);
+  b.back() = std::byte{0xee};
+  EXPECT_NE(a, b);
+}
+
+TEST(Payload, InlineCopyIsIndependent) {
+  Payload a = filled(8);
+  Payload b = a;
+  b[0] = std::byte{0xff};
+  EXPECT_EQ(a[0], std::byte{0});
+  EXPECT_EQ(b[0], std::byte{0xff});
+}
+
+TEST(Payload, HeapCopySharesUntilWritten) {
+  Payload a = filled(100);
+  Payload b = a;
+  EXPECT_TRUE(a.shared());
+  EXPECT_TRUE(b.shared());
+  // Const access does not detach.
+  EXPECT_EQ(std::as_const(b)[5], std::as_const(a)[5]);
+  EXPECT_TRUE(a.shared());
+  // A write detaches exactly the written copy.
+  b[0] = std::byte{0xff};
+  EXPECT_FALSE(b.shared());
+  EXPECT_FALSE(a.shared());
+  EXPECT_EQ(a[0], std::byte{0});
+  EXPECT_EQ(b[0], std::byte{0xff});
+  EXPECT_TRUE(matches_fill(a, 100));
+}
+
+TEST(Payload, ShrinkOfSharedCopyDoesNotCorruptPeer) {
+  Payload a = filled(100);
+  Payload b = a;
+  b.pop_back();
+  b.resize(30);
+  EXPECT_TRUE(matches_fill(a, 100));
+  // Regrowing after a shared shrink must not scribble over the peer.
+  b.resize(100, std::byte{0xaa});
+  EXPECT_TRUE(matches_fill(a, 100));
+  EXPECT_EQ(b[50], std::byte{0xaa});
+}
+
+TEST(Payload, MoveStealsStorageAndEmptiesSource) {
+  Payload a = filled(100);
+  const std::uint64_t allocs = Payload::heap_allocation_count();
+  Payload b = std::move(a);
+  Payload c;
+  c = std::move(b);
+  EXPECT_EQ(Payload::heap_allocation_count(), allocs);  // moves never allocate
+  EXPECT_TRUE(matches_fill(c, 100));
+  EXPECT_FALSE(c.shared());
+}
+
+TEST(Payload, CopyAssignReleasesOldStorage) {
+  Payload a = filled(100);
+  Payload b = filled(200);
+  b = a;
+  EXPECT_TRUE(matches_fill(b, 100));
+  Payload& alias = a;
+  a = alias;  // self-assignment is a no-op
+  EXPECT_TRUE(matches_fill(a, 100));
+}
+
+TEST(Payload, InlineCopyDoesNotAllocate) {
+  const Payload a = filled(Payload::kInlineCapacity);
+  const std::uint64_t allocs = Payload::heap_allocation_count();
+  const Payload b = a;
+  const Payload c = b;
+  EXPECT_EQ(Payload::heap_allocation_count(), allocs);
+  EXPECT_EQ(c, a);
+}
+
+TEST(Payload, HeapCopyIsRefcountNotAllocation) {
+  const Payload a = filled(1000);
+  const std::uint64_t allocs = Payload::heap_allocation_count();
+  const Payload b = a;
+  const Payload c = a;
+  EXPECT_EQ(Payload::heap_allocation_count(), allocs);
+  EXPECT_EQ(c, b);
+}
+
+TEST(Payload, AssignAndInsertAppend) {
+  const Payload src = filled(40);
+  Payload dst;
+  dst.assign(src.begin() + 10, src.end());
+  EXPECT_EQ(dst.size(), 30u);
+  EXPECT_EQ(dst[0], std::byte{10});
+  Payload out = filled(4);
+  out.insert(out.end(), src.begin(), src.begin() + 2);
+  EXPECT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[4], std::byte{0});
+  EXPECT_EQ(out[5], std::byte{1});
+}
+
+TEST(Payload, PopBackAcrossHeapBoundaryKeepsContents) {
+  Payload p = filled(Payload::kInlineCapacity + 2);
+  p.pop_back();
+  p.pop_back();
+  p.pop_back();
+  EXPECT_TRUE(matches_fill(p, Payload::kInlineCapacity - 1));
+}
+
+TEST(Payload, ReserveKeepsContents) {
+  Payload p = filled(10);
+  p.reserve(500);
+  EXPECT_GE(p.capacity(), 500u);
+  EXPECT_TRUE(matches_fill(p, 10));
+}
+
+// ---- DecodeError semantics through ByteReader -----------------------------
+
+TEST(PayloadDecode, TruncatedPayloadThrows) {
+  ByteWriter w1;
+  const Bytes buf = std::move(w1.u8(7)).take();  // 1 byte, reader wants 4
+  ByteReader r(buf);
+  EXPECT_THROW((void)r.u32(), DecodeError);
+}
+
+TEST(PayloadDecode, TrailingBytesThrow) {
+  ByteWriter w2;
+  const Bytes buf = std::move(w2.u32(5).u8(1)).take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.u32(), 5u);
+  EXPECT_THROW(r.expect_done(), DecodeError);
+}
+
+TEST(PayloadDecode, RoundTripThroughWriterAndReader) {
+  ByteWriter w3;
+  const Bytes buf = std::move(w3.u8(0xab).u32(0xdeadbeef).u64(1ull << 60)).take();
+  EXPECT_EQ(buf.size(), 13u);
+  EXPECT_FALSE(buf.on_heap());
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xabu);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 1ull << 60);
+  r.expect_done();
+}
+
+}  // namespace
+}  // namespace rcp

@@ -28,7 +28,7 @@ class FalseProposer final : public sim::Process {
     ctx.broadcast(RbxMsg{.kind = RbxMsg::Kind::initial,
                          .origin = ctx.self(),
                          .tag = 0,
-                         .value = ext::kPayloadOne}
+                         .value = ext::kRbValueOne}
                       .encode());
   }
 
@@ -48,14 +48,14 @@ class FalseProposer final : public sim::Process {
       ctx.broadcast(RbxMsg{.kind = RbxMsg::Kind::initial,
                            .origin = ctx.self(),
                            .tag = 3 * frontier_ + 2,
-                           .value = ext::kPayloadOne + 2}
+                           .value = ext::kRbValueOne + 2}
                         .encode());
       // ...plus votes for 1 in steps 1 and 2.
       for (const std::uint64_t t : {3 * frontier_, 3 * frontier_ + 1}) {
         ctx.broadcast(RbxMsg{.kind = RbxMsg::Kind::initial,
                              .origin = ctx.self(),
                              .tag = t,
-                             .value = ext::kPayloadOne}
+                             .value = ext::kRbValueOne}
                           .encode());
       }
       ++frontier_;

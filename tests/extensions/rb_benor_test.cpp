@@ -28,7 +28,7 @@ class RbxForger final : public sim::Process {
     ctx.broadcast(ext::RbxMsg{.kind = ext::RbxMsg::Kind::initial,
                               .origin = ctx.self(),
                               .tag = 0,
-                              .value = ext::kPayloadZero}
+                              .value = ext::kRbValueZero}
                       .encode());
   }
 
@@ -48,13 +48,13 @@ class RbxForger final : public sim::Process {
     ctx.broadcast(ext::RbxMsg{.kind = ext::RbxMsg::Kind::initial,
                               .origin = env.sender,
                               .tag = msg.tag,
-                              .value = static_cast<ext::Payload>(
+                              .value = static_cast<ext::RbValue>(
                                   msg.value <= 1 ? 1 - msg.value : 0)}
                       .encode());
     ctx.broadcast(ext::RbxMsg{.kind = ext::RbxMsg::Kind::ready,
                               .origin = msg.origin,
                               .tag = msg.tag,
-                              .value = ext::kPayloadBottom}
+                              .value = ext::kRbValueBottom}
                       .encode());
   }
 

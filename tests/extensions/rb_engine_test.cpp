@@ -10,85 +10,85 @@ namespace {
 // n = 7, k = 2: echo threshold 5, ready amplify 3, deliver 5.
 constexpr core::ConsensusParams kParams{7, 2};
 
-RbxMsg initial(ProcessId origin, std::uint64_t tag, Payload v) {
+RbxMsg initial(ProcessId origin, std::uint64_t tag, RbValue v) {
   return RbxMsg{.kind = RbxMsg::Kind::initial, .origin = origin, .tag = tag,
                 .value = v};
 }
 
-RbxMsg echo(ProcessId origin, std::uint64_t tag, Payload v) {
+RbxMsg echo(ProcessId origin, std::uint64_t tag, RbValue v) {
   return RbxMsg{.kind = RbxMsg::Kind::echo, .origin = origin, .tag = tag,
                 .value = v};
 }
 
-RbxMsg ready(ProcessId origin, std::uint64_t tag, Payload v) {
+RbxMsg ready(ProcessId origin, std::uint64_t tag, RbValue v) {
   return RbxMsg{.kind = RbxMsg::Kind::ready, .origin = origin, .tag = tag,
                 .value = v};
 }
 
 TEST(RbxMsg, RoundTrip) {
-  const RbxMsg msg = ready(3, 77, kPayloadBottom);
+  const RbxMsg msg = ready(3, 77, kRbValueBottom);
   const RbxMsg back = RbxMsg::decode(msg.encode());
   EXPECT_EQ(back.kind, RbxMsg::Kind::ready);
   EXPECT_EQ(back.origin, 3u);
   EXPECT_EQ(back.tag, 77u);
-  EXPECT_EQ(back.value, kPayloadBottom);
+  EXPECT_EQ(back.value, kRbValueBottom);
 }
 
-TEST(RbxMsg, RejectsBadPayload) {
+TEST(RbxMsg, RejectsBadValue) {
   Bytes buf = initial(0, 0, 0).encode();
-  buf.back() = std::byte{kMaxPayload + 1};
+  buf.back() = std::byte{kMaxRbValue + 1};
   EXPECT_THROW((void)RbxMsg::decode(buf), DecodeError);
   EXPECT_THROW((void)RbxMsg::decode(Bytes{std::byte{9}}), DecodeError);
 }
 
 TEST(RbEngine, InitialFromOriginProducesEcho) {
   RbEngine e(kParams);
-  const auto out = e.handle(4, initial(4, 9, kPayloadOne));
+  const auto out = e.handle(4, initial(4, 9, kRbValueOne));
   ASSERT_EQ(out.to_broadcast.size(), 1u);
   EXPECT_EQ(out.to_broadcast[0].kind, RbxMsg::Kind::echo);
   EXPECT_EQ(out.to_broadcast[0].origin, 4u);
   EXPECT_EQ(out.to_broadcast[0].tag, 9u);
-  EXPECT_EQ(out.to_broadcast[0].value, kPayloadOne);
+  EXPECT_EQ(out.to_broadcast[0].value, kRbValueOne);
 }
 
 TEST(RbEngine, ForgedInitialIgnored) {
   RbEngine e(kParams);
-  const auto out = e.handle(5, initial(4, 9, kPayloadOne));
+  const auto out = e.handle(5, initial(4, 9, kRbValueOne));
   EXPECT_TRUE(out.to_broadcast.empty());
 }
 
 TEST(RbEngine, SecondInitialIgnoredEvenWithNewValue) {
   RbEngine e(kParams);
-  (void)e.handle(4, initial(4, 9, kPayloadOne));
-  const auto out = e.handle(4, initial(4, 9, kPayloadZero));
+  (void)e.handle(4, initial(4, 9, kRbValueOne));
+  const auto out = e.handle(4, initial(4, 9, kRbValueZero));
   EXPECT_TRUE(out.to_broadcast.empty());
 }
 
 TEST(RbEngine, EchoQuorumTriggersSingleReady) {
   RbEngine e(kParams);
   for (ProcessId p = 0; p < 4; ++p) {
-    EXPECT_TRUE(e.handle(p, echo(6, 1, kPayloadOne)).to_broadcast.empty());
+    EXPECT_TRUE(e.handle(p, echo(6, 1, kRbValueOne)).to_broadcast.empty());
   }
-  const auto out = e.handle(4, echo(6, 1, kPayloadOne));
+  const auto out = e.handle(4, echo(6, 1, kRbValueOne));
   ASSERT_EQ(out.to_broadcast.size(), 1u);
   EXPECT_EQ(out.to_broadcast[0].kind, RbxMsg::Kind::ready);
   // Further echoes do not repeat the READY.
-  EXPECT_TRUE(e.handle(5, echo(6, 1, kPayloadOne)).to_broadcast.empty());
+  EXPECT_TRUE(e.handle(5, echo(6, 1, kRbValueOne)).to_broadcast.empty());
 }
 
 TEST(RbEngine, EchoDedupPerSender) {
   RbEngine e(kParams);
   for (int i = 0; i < 10; ++i) {
-    EXPECT_TRUE(e.handle(0, echo(6, 1, kPayloadOne)).to_broadcast.empty());
+    EXPECT_TRUE(e.handle(0, echo(6, 1, kRbValueOne)).to_broadcast.empty());
   }
   EXPECT_FALSE(e.delivered(6, 1).has_value());
 }
 
 TEST(RbEngine, ReadyAmplificationAtKPlusOne) {
   RbEngine e(kParams);
-  (void)e.handle(0, ready(6, 2, kPayloadZero));
-  (void)e.handle(1, ready(6, 2, kPayloadZero));
-  const auto out = e.handle(2, ready(6, 2, kPayloadZero));
+  (void)e.handle(0, ready(6, 2, kRbValueZero));
+  (void)e.handle(1, ready(6, 2, kRbValueZero));
+  const auto out = e.handle(2, ready(6, 2, kRbValueZero));
   ASSERT_EQ(out.to_broadcast.size(), 1u);
   EXPECT_EQ(out.to_broadcast[0].kind, RbxMsg::Kind::ready);
 }
@@ -97,7 +97,7 @@ TEST(RbEngine, DeliveryAtTwoKPlusOne) {
   RbEngine e(kParams);
   std::optional<RbEngine::Delivery> delivered;
   for (ProcessId p = 0; p < 5; ++p) {
-    auto out = e.handle(p, ready(6, 3, kPayloadOne));
+    auto out = e.handle(p, ready(6, 3, kRbValueOne));
     if (out.delivered.has_value()) {
       delivered = out.delivered;
     }
@@ -105,16 +105,16 @@ TEST(RbEngine, DeliveryAtTwoKPlusOne) {
   ASSERT_TRUE(delivered.has_value());
   EXPECT_EQ(delivered->origin, 6u);
   EXPECT_EQ(delivered->tag, 3u);
-  EXPECT_EQ(delivered->value, kPayloadOne);
-  EXPECT_EQ(e.delivered(6, 3), kPayloadOne);
+  EXPECT_EQ(delivered->value, kRbValueOne);
+  EXPECT_EQ(e.delivered(6, 3), kRbValueOne);
   // Delivery is one-shot.
-  EXPECT_FALSE(e.handle(5, ready(6, 3, kPayloadOne)).delivered.has_value());
+  EXPECT_FALSE(e.handle(5, ready(6, 3, kRbValueOne)).delivered.has_value());
 }
 
 TEST(RbEngine, InstancesAreIndependent) {
   RbEngine e(kParams);
   for (ProcessId p = 0; p < 5; ++p) {
-    (void)e.handle(p, ready(6, 3, kPayloadOne));
+    (void)e.handle(p, ready(6, 3, kRbValueOne));
   }
   EXPECT_TRUE(e.delivered(6, 3).has_value());
   EXPECT_FALSE(e.delivered(6, 4).has_value());
@@ -126,19 +126,19 @@ TEST(RbEngine, SplitEchoesBlockReady) {
   // 7 echoers split 4/3 cannot reach the threshold 5 for either value.
   RbEngine e(kParams);
   for (ProcessId p = 0; p < 4; ++p) {
-    EXPECT_TRUE(e.handle(p, echo(6, 0, kPayloadZero)).to_broadcast.empty());
+    EXPECT_TRUE(e.handle(p, echo(6, 0, kRbValueZero)).to_broadcast.empty());
   }
   for (ProcessId p = 4; p < 7; ++p) {
-    EXPECT_TRUE(e.handle(p, echo(6, 0, kPayloadOne)).to_broadcast.empty());
+    EXPECT_TRUE(e.handle(p, echo(6, 0, kRbValueOne)).to_broadcast.empty());
   }
 }
 
-TEST(RbEngine, BottomPayloadFlowsThrough) {
+TEST(RbEngine, BottomValueFlowsThrough) {
   RbEngine e(kParams);
   for (ProcessId p = 0; p < 5; ++p) {
-    (void)e.handle(p, ready(2, 5, kPayloadBottom));
+    (void)e.handle(p, ready(2, 5, kRbValueBottom));
   }
-  EXPECT_EQ(e.delivered(2, 5), kPayloadBottom);
+  EXPECT_EQ(e.delivered(2, 5), kRbValueBottom);
 }
 
 }  // namespace

@@ -1,0 +1,159 @@
+// Pinned-seed trace-digest regression: proves the optimized simulator
+// (SBO payloads, shared broadcast fan-out, incremental eligible set, O(1)
+// termination counter) reproduces pre-change executions byte for byte.
+//
+// The golden digests below were recorded on the vector-payload, full-rescan
+// simulator immediately before the optimization landed: an FNV-1a hash over
+// every trace event (kind, step, actor, peer, payload size, decision) plus a
+// final-state hash (decisions, liveness, mailbox depths, metrics). Any
+// change to the `ready` ordering, the RNG draw sequence, message contents
+// or delivery choices shifts at least one event and changes the digest.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "adversary/scenario.hpp"
+#include "sim/replay.hpp"
+#include "sim/simulation.hpp"
+#include "sim/trace.hpp"
+
+namespace rcp {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+struct Digest {
+  std::uint64_t h = kFnvOffset;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= kFnvPrime;
+    }
+  }
+};
+
+class DigestTrace final : public sim::TraceSink {
+ public:
+  void record(const sim::Event& e) override {
+    d.mix(static_cast<std::uint64_t>(e.kind));
+    d.mix(e.step);
+    d.mix(e.process);
+    d.mix(e.peer);
+    d.mix(e.payload_size);
+    d.mix(e.decision.has_value() ? static_cast<std::uint64_t>(*e.decision)
+                                 : 2);
+  }
+  Digest d;
+};
+
+std::uint64_t state_digest(const sim::Simulation& s) {
+  Digest d;
+  for (ProcessId p = 0; p < s.n(); ++p) {
+    const auto dec = s.decision_of(p);
+    d.mix(dec.has_value() ? static_cast<std::uint64_t>(*dec) : 2);
+    d.mix(s.alive(p) ? 1 : 0);
+    d.mix(s.is_faulty(p) ? 1 : 0);
+    d.mix(s.mailbox_size(p));
+  }
+  d.mix(s.metrics().steps);
+  d.mix(s.metrics().messages_sent);
+  d.mix(s.metrics().messages_delivered);
+  d.mix(s.metrics().phi_steps);
+  d.mix(s.metrics().max_phase);
+  return d.h;
+}
+
+adversary::Scenario failstop_scenario() {
+  adversary::Scenario s;
+  s.protocol = adversary::ProtocolKind::fail_stop;
+  s.params = {5, 1};
+  s.inputs = adversary::alternating_inputs(5);
+  s.crashes = adversary::CrashPlan::staggered(1);
+  s.seed = 42;
+  s.max_steps = 200000;
+  return s;
+}
+
+adversary::Scenario malicious_scenario() {
+  adversary::Scenario s;
+  s.protocol = adversary::ProtocolKind::malicious;
+  s.params = {7, 2};
+  s.inputs = adversary::alternating_inputs(7);
+  s.byzantine_ids = {6};
+  s.byzantine_kind = adversary::ByzantineKind::equivocator;
+  s.seed = 2026;
+  s.max_steps = 500000;
+  return s;
+}
+
+adversary::Scenario majority_scenario() {
+  adversary::Scenario s;
+  s.protocol = adversary::ProtocolKind::majority;
+  s.params = {9, 2};
+  s.inputs = adversary::inputs_with_ones(9, 5);
+  s.seed = 7;
+  s.max_steps = 500000;
+  return s;
+}
+
+struct Golden {
+  std::uint64_t steps;
+  std::uint64_t trace;
+  std::uint64_t state;
+};
+
+// Recorded on the pre-optimization simulator (see header comment).
+constexpr Golden kFailstopN5{97, 0x4612feeefc6f7626ULL, 0x0307b24b26968b01ULL};
+constexpr Golden kMaliciousN7{1348, 0x4526402af5e52c45ULL,
+                              0x3820edbb99e8b69fULL};
+constexpr Golden kMajorityN9{459, 0xc5757074bc474400ULL,
+                             0x46bb46eeabd45b2aULL};
+
+void expect_golden(const adversary::Scenario& scenario, const Golden& g) {
+  auto sim = adversary::build(scenario);
+  DigestTrace trace;
+  sim->set_trace(&trace);
+  const auto r = sim->run();
+  EXPECT_EQ(r.status, sim::RunStatus::all_decided);
+  EXPECT_EQ(r.steps, g.steps);
+  EXPECT_EQ(trace.d.h, g.trace);
+  EXPECT_EQ(state_digest(*sim), g.state);
+}
+
+TEST(TraceDigest, FailStopN5MatchesPreChangeRun) {
+  expect_golden(failstop_scenario(), kFailstopN5);
+}
+
+TEST(TraceDigest, MaliciousN7MatchesPreChangeRun) {
+  expect_golden(malicious_scenario(), kMaliciousN7);
+}
+
+TEST(TraceDigest, MajorityN9MatchesPreChangeRun) {
+  expect_golden(majority_scenario(), kMajorityN9);
+}
+
+// A schedule captured on the pre-change simulator (every actor choice and
+// delivered seq of the failstop_n5 run) must replay on the optimized
+// simulator without divergence and land on the identical digests.
+TEST(TraceDigest, PreChangeRecordedScheduleReplaysByteIdentically) {
+  std::ifstream in(std::string(RCP_TEST_DATA_DIR) +
+                   "/pre_change_failstop_n5.schedule");
+  ASSERT_TRUE(in.good()) << "missing checked-in schedule";
+  auto replay = sim::make_replay_policies(sim::Schedule::load(in));
+  auto sim = adversary::build(failstop_scenario(), std::move(replay.delivery),
+                              std::move(replay.scheduler));
+  DigestTrace trace;
+  sim->set_trace(&trace);
+  const auto r = sim->run();
+  EXPECT_EQ(r.status, sim::RunStatus::all_decided);
+  EXPECT_EQ(r.steps, kFailstopN5.steps);
+  EXPECT_EQ(trace.d.h, kFailstopN5.trace);
+  EXPECT_EQ(state_digest(*sim), kFailstopN5.state);
+}
+
+}  // namespace
+}  // namespace rcp
