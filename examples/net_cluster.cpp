@@ -1,0 +1,511 @@
+// Loopback cluster driver: run a Bracha–Toueg protocol over real TCP.
+//
+// Every node is a full net::Node — framed sockets, identity handshake,
+// reliable delivery, reconnect — hosting the same sim::Process the
+// simulator runs. The default mode runs all n nodes as threads in this
+// process on ephemeral loopback ports; --fork runs each node as its own
+// OS process on base_port + id (the closest thing to a deployment the
+// loopback allows).
+//
+//   $ ./net_cluster --protocol fig1 --n 5 --crash 4@1
+//   $ ./net_cluster --protocol fig2 --n 7 --adversary silent --byz 1
+//         --disconnect 0:1@5 --drop 0.02 --json run.json
+//   $ ./net_cluster --protocol fig2 --n 7 --fork --base-port 19400
+//   (each invocation on one line)
+//
+// Options:
+//   --protocol fig1|fig2|benor|bracha87   (default fig2)
+//   --n N --k K             (default n=7, k = protocol's maximum)
+//   --ones M                initial 1-inputs (default n/2)
+//   --adversary none|silent|equivocator|balancer|babbler  (default none)
+//   --byz B                 byzantine node count (default k if adversary set)
+//   --crash ID@PHASE        fail-stop ID when its phase reaches PHASE
+//   --disconnect A:B@D      node A force-closes its link to B after A has
+//                           delivered D messages (reconnect heals it)
+//   --drop P                drop-injection probability per transmission
+//   --delay MIN:MAX         uniform per-frame delay in milliseconds
+//   --seed S                (default 1)
+//   --timeout-ms T          give up after T ms (default 30000)
+//   --json PATH             write the rcp-net-v1 report
+//   --fork --base-port P    one OS process per node on ports P..P+n-1
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adversary/byzantine.hpp"
+#include "adversary/scenario.hpp"
+#include "baselines/benor.hpp"
+#include "common/table.hpp"
+#include "core/failstop.hpp"
+#include "core/malicious.hpp"
+#include "core/params.hpp"
+#include "extensions/bracha87.hpp"
+#include "net/cluster.hpp"
+#include "net/report.hpp"
+
+namespace {
+
+using namespace rcp;
+
+struct Options {
+  std::string protocol = "fig2";
+  std::uint32_t n = 7;
+  std::optional<std::uint32_t> k;
+  std::optional<std::uint32_t> ones;
+  std::string adversary = "none";
+  std::optional<std::uint32_t> byz_count;
+  std::vector<std::pair<ProcessId, Phase>> crashes;
+  std::vector<std::pair<ProcessId, net::DisconnectEvent>> disconnects;
+  double drop = 0.0;
+  std::uint32_t delay_min = 0;
+  std::uint32_t delay_max = 0;
+  std::uint64_t seed = 1;
+  std::uint32_t timeout_ms = 30000;
+  std::string json_path;
+  bool fork_mode = false;
+  std::uint16_t base_port = 0;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--protocol fig1|fig2|benor|bracha87] [--n N] [--k K] [--ones M]\n"
+         "       [--adversary none|silent|equivocator|balancer|babbler]"
+         " [--byz B]\n"
+         "       [--crash ID@PHASE]... [--disconnect A:B@D]...\n"
+         "       [--drop P] [--delay MIN:MAX] [--seed S] [--timeout-ms T]\n"
+         "       [--json PATH] [--fork --base-port P]\n";
+  return 2;
+}
+
+/// Parses "A@B" into two integers; false on malformed input.
+bool parse_at(const std::string& s, std::uint64_t& a, std::uint64_t& b) {
+  const auto at = s.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= s.size()) {
+    return false;
+  }
+  try {
+    a = std::stoull(s.substr(0, at));
+    b = std::stoull(s.substr(at + 1));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    try {
+      if (flag == "--protocol") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        opt.protocol = v;
+        if (opt.protocol != "fig1" && opt.protocol != "fig2" &&
+            opt.protocol != "benor" && opt.protocol != "bracha87") {
+          return std::nullopt;
+        }
+      } else if (flag == "--n") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        opt.n = static_cast<std::uint32_t>(std::stoul(v));
+      } else if (flag == "--k") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        opt.k = static_cast<std::uint32_t>(std::stoul(v));
+      } else if (flag == "--ones") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        opt.ones = static_cast<std::uint32_t>(std::stoul(v));
+      } else if (flag == "--adversary") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        opt.adversary = v;
+        if (opt.adversary != "none" && opt.adversary != "silent" &&
+            opt.adversary != "equivocator" && opt.adversary != "balancer" &&
+            opt.adversary != "babbler") {
+          return std::nullopt;
+        }
+      } else if (flag == "--byz") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        opt.byz_count = static_cast<std::uint32_t>(std::stoul(v));
+      } else if (flag == "--crash") {
+        const char* v = next();
+        std::uint64_t id = 0;
+        std::uint64_t phase = 0;
+        if (v == nullptr || !parse_at(v, id, phase)) return std::nullopt;
+        opt.crashes.emplace_back(static_cast<ProcessId>(id), phase);
+      } else if (flag == "--disconnect") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        const std::string s = v;
+        const auto colon = s.find(':');
+        if (colon == std::string::npos) return std::nullopt;
+        std::uint64_t peer = 0;
+        std::uint64_t after = 0;
+        if (!parse_at(s.substr(colon + 1), peer, after)) return std::nullopt;
+        const auto node = static_cast<ProcessId>(
+            std::stoul(s.substr(0, colon)));
+        opt.disconnects.emplace_back(
+            node, net::DisconnectEvent{static_cast<ProcessId>(peer), after});
+      } else if (flag == "--drop") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        opt.drop = std::stod(v);
+      } else if (flag == "--delay") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        const std::string s = v;
+        const auto colon = s.find(':');
+        if (colon == std::string::npos) return std::nullopt;
+        opt.delay_min =
+            static_cast<std::uint32_t>(std::stoul(s.substr(0, colon)));
+        opt.delay_max =
+            static_cast<std::uint32_t>(std::stoul(s.substr(colon + 1)));
+      } else if (flag == "--seed") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        opt.seed = std::stoull(v);
+      } else if (flag == "--timeout-ms") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        opt.timeout_ms = static_cast<std::uint32_t>(std::stoul(v));
+      } else if (flag == "--json") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        opt.json_path = v;
+      } else if (flag == "--fork") {
+        opt.fork_mode = true;
+      } else if (flag == "--base-port") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        opt.base_port = static_cast<std::uint16_t>(std::stoul(v));
+      } else {
+        return std::nullopt;
+      }
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  if (opt.fork_mode && opt.base_port == 0) {
+    std::cerr << "--fork needs --base-port (forked nodes cannot exchange "
+                 "ephemeral ports)\n";
+    return std::nullopt;
+  }
+  return opt;
+}
+
+/// The resolved run plan shared by the thread and fork modes.
+struct Plan {
+  std::uint32_t k = 0;
+  std::vector<Value> inputs;
+  std::vector<ProcessId> byzantine_ids;
+};
+
+Plan resolve_plan(const Options& opt) {
+  Plan plan;
+  const core::FaultModel model =
+      (opt.protocol == "fig1" ||
+       (opt.protocol == "benor" && opt.adversary == "none"))
+          ? core::FaultModel::fail_stop
+          : core::FaultModel::malicious;
+  plan.k = opt.k.value_or(core::max_resilience(model, opt.n));
+  plan.inputs =
+      adversary::inputs_with_ones(opt.n, opt.ones.value_or(opt.n / 2));
+  if (opt.adversary != "none") {
+    const std::uint32_t count =
+        std::min(opt.byz_count.value_or(plan.k), opt.n);
+    for (std::uint32_t b = 0; b < count; ++b) {
+      plan.byzantine_ids.push_back(
+          static_cast<ProcessId>(count > 0 ? b * opt.n / count : b));
+    }
+  }
+  return plan;
+}
+
+std::unique_ptr<sim::Process> make_process(const Options& opt,
+                                           const Plan& plan, ProcessId id) {
+  const core::ConsensusParams params{opt.n, plan.k};
+  for (const ProcessId b : plan.byzantine_ids) {
+    if (b == id) {
+      if (opt.adversary == "silent") {
+        return std::make_unique<adversary::SilentByzantine>();
+      }
+      if (opt.adversary == "equivocator") {
+        return std::make_unique<adversary::EquivocatorByzantine>(params);
+      }
+      if (opt.adversary == "balancer") {
+        return std::make_unique<adversary::BalancerByzantine>(params);
+      }
+      return std::make_unique<adversary::BabblerByzantine>(params);
+    }
+  }
+  const Value init = plan.inputs[id];
+  if (opt.protocol == "fig1") {
+    return core::FailStopConsensus::make(params, init);
+  }
+  if (opt.protocol == "benor") {
+    const auto variant = opt.adversary == "none"
+                             ? baselines::BenOrVariant::crash
+                             : baselines::BenOrVariant::byzantine;
+    return baselines::BenOrConsensus::make(params, variant, init);
+  }
+  if (opt.protocol == "bracha87") {
+    return ext::Bracha87::make(params, init);
+  }
+  return core::MaliciousConsensus::make(params, init);
+}
+
+net::ClusterConfig cluster_config(const Options& opt, const Plan& plan) {
+  net::ClusterConfig cfg;
+  cfg.n = opt.n;
+  cfg.seed = opt.seed;
+  cfg.base_port = opt.fork_mode ? opt.base_port : std::uint16_t{0};
+  cfg.link_faults.drop_probability = opt.drop;
+  cfg.link_faults.delay_min_ms = opt.delay_min;
+  cfg.link_faults.delay_max_ms = opt.delay_max;
+  cfg.disconnects = opt.disconnects;
+  cfg.crashes = opt.crashes;
+  cfg.arbitrary_faulty = plan.byzantine_ids;
+  cfg.timeout_ms = opt.timeout_ms;
+  return cfg;
+}
+
+int report_thread_mode(const Options& opt, const Plan& plan,
+                       const net::ClusterConfig& cfg,
+                       const net::ClusterResult& result) {
+  std::cout << "protocol : " << opt.protocol << "  n=" << opt.n
+            << " k=" << plan.k << " seed=" << opt.seed
+            << " transport=tcp-loopback\n";
+  Table table({"node", "role", "decision", "phase", "delivered", "sent",
+               "reconnects", "retransmits"});
+  for (const net::NodeOutcome& node : result.nodes) {
+    std::uint64_t reconnects = 0;
+    std::uint64_t retransmits = 0;
+    for (const net::PeerCounters& pc : node.stats.peers) {
+      reconnects += pc.reconnects;
+      retransmits += pc.retransmits;
+    }
+    const char* role = node.correct ? "correct"
+                       : node.crashed ? "crashed"
+                                      : "byzantine";
+    table.row()
+        .cell(static_cast<std::uint64_t>(node.id))
+        .cell(role)
+        .cell(node.decision.has_value()
+                  ? std::to_string(value_index(*node.decision))
+                  : std::string("-"))
+        .cell(static_cast<std::uint64_t>(node.phase))
+        .cell(node.stats.msgs_delivered)
+        .cell(node.stats.msgs_sent)
+        .cell(reconnects)
+        .cell(retransmits);
+  }
+  table.print(std::cout);
+
+  std::uint64_t decided = 0;
+  for (const net::NodeOutcome& node : result.nodes) {
+    if (node.decision.has_value()) {
+      ++decided;
+    }
+  }
+  const double elapsed =
+      result.elapsed_seconds > 0.0 ? result.elapsed_seconds : 1e-9;
+  std::cout << "decided  : " << (result.all_correct_decided
+                                     ? "all correct nodes"
+                                     : result.timed_out ? "TIMEOUT"
+                                                        : "INCOMPLETE")
+            << "\nagreement: "
+            << (result.agreement ? "holds" : "VIOLATED");
+  if (result.value.has_value()) {
+    std::cout << " (value " << value_index(*result.value) << ")";
+  }
+  std::cout << "\nelapsed  : " << format_double(result.elapsed_seconds, 3)
+            << "s  msgs/s=" << format_double(
+                   static_cast<double>(result.total_delivered) / elapsed, 1)
+            << "  decisions/s=" << format_double(
+                   static_cast<double>(decided) / elapsed, 1)
+            << "\n";
+  for (const net::NodeOutcome& node : result.nodes) {
+    if (!node.error.empty()) {
+      std::cout << "node " << node.id << " ERROR: " << node.error << "\n";
+    }
+  }
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    if (!out) {
+      std::cerr << "error: cannot open " << opt.json_path
+                << " for writing\n";
+      return 1;
+    }
+    bench::JsonWriter j(out);
+    net::write_cluster_report(j, opt.protocol, cfg, result);
+    out << "\n";
+    std::cout << "[json] wrote " << opt.json_path << "\n";
+  }
+  return result.success() ? 0 : 1;
+}
+
+/// One forked node: run until decided (correct) or stopped, then report
+/// through the exit code — 10 + value for a decision, 0 for a faulty node
+/// that was terminated as planned, 1 for a correct node that never decided.
+int run_fork_child(const Options& opt, const Plan& plan, ProcessId id) {
+  net::NodeConfig nc;
+  nc.id = id;
+  nc.n = opt.n;
+  nc.listen_port = static_cast<std::uint16_t>(opt.base_port + id);
+  nc.seed = opt.seed;
+  nc.faults.link.drop_probability = opt.drop;
+  nc.faults.link.delay_min_ms = opt.delay_min;
+  nc.faults.link.delay_max_ms = opt.delay_max;
+  for (const auto& [node, event] : opt.disconnects) {
+    if (node == id) {
+      nc.faults.disconnects.push_back(event);
+    }
+  }
+  bool correct = true;
+  for (const auto& [node, phase] : opt.crashes) {
+    if (node == id) {
+      nc.crash_at_phase = phase;
+      correct = false;
+    }
+  }
+  for (const ProcessId b : plan.byzantine_ids) {
+    if (b == id) {
+      correct = false;
+    }
+  }
+  for (ProcessId p = 0; p < opt.n; ++p) {
+    nc.peers.push_back(net::PeerAddress{
+        "127.0.0.1", static_cast<std::uint16_t>(opt.base_port + p)});
+  }
+
+  net::Node node(nc, make_process(opt, plan, id));
+  std::thread runner([&node] { node.run(); });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opt.timeout_ms);
+  std::optional<Value> decision;
+  while (std::chrono::steady_clock::now() < deadline) {
+    decision = node.decision();
+    if (decision.has_value() || node.crashed()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (decision.has_value()) {
+    // Keep echoing long enough for slower peers to assemble their
+    // quorums; the parent reaps us on exit either way.
+    std::this_thread::sleep_for(std::chrono::milliseconds(750));
+  }
+  node.request_stop();
+  runner.join();
+  std::cout << "node " << id << ": "
+            << (decision.has_value()
+                    ? "decided " + std::to_string(value_index(*decision))
+                    : node.crashed() ? std::string("crashed")
+                                     : std::string("no decision"))
+            << "\n";
+  std::cout.flush();  // the caller exits with _exit(), which skips flushing
+  if (decision.has_value()) {
+    return 10 + static_cast<int>(value_index(*decision));
+  }
+  return correct ? 1 : 0;
+}
+
+int run_fork_mode(const Options& opt, const Plan& plan) {
+  std::vector<pid_t> pids(opt.n, -1);
+  std::vector<bool> correct(opt.n, true);
+  for (const auto& [node, phase] : opt.crashes) {
+    (void)phase;
+    if (node < opt.n) correct[node] = false;
+  }
+  for (const ProcessId b : plan.byzantine_ids) {
+    correct[b] = false;
+  }
+
+  for (ProcessId id = 0; id < opt.n; ++id) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::cerr << "fork failed\n";
+      return 1;
+    }
+    if (pid == 0) {
+      _exit(run_fork_child(opt, plan, id));
+    }
+    pids[id] = pid;
+  }
+
+  bool all_decided = true;
+  bool agreement = true;
+  std::optional<int> agreed_code;
+  for (ProcessId id = 0; id < opt.n; ++id) {
+    if (!correct[id]) {
+      continue;  // reaped below, after the correct nodes are done
+    }
+    int status = 0;
+    waitpid(pids[id], &status, 0);
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : 1;
+    if (code < 10) {
+      all_decided = false;
+    } else if (!agreed_code.has_value()) {
+      agreed_code = code;
+    } else if (*agreed_code != code) {
+      agreement = false;
+    }
+  }
+  for (ProcessId id = 0; id < opt.n; ++id) {
+    if (!correct[id]) {
+      kill(pids[id], SIGTERM);
+      int status = 0;
+      waitpid(pids[id], &status, 0);
+    }
+  }
+  std::cout << "decided  : "
+            << (all_decided ? "all correct nodes" : "INCOMPLETE")
+            << "\nagreement: " << (agreement ? "holds" : "VIOLATED");
+  if (agreement && agreed_code.has_value()) {
+    std::cout << " (value " << (*agreed_code - 10) << ")";
+  }
+  std::cout << "\n";
+  return all_decided && agreement ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed.has_value()) {
+    return usage(argv[0]);
+  }
+  const Options& opt = *parsed;
+  try {
+    const Plan plan = resolve_plan(opt);
+    if (opt.fork_mode) {
+      return run_fork_mode(opt, plan);
+    }
+    const net::ClusterConfig cfg = cluster_config(opt, plan);
+    net::Cluster cluster(cfg, [&](ProcessId id) {
+      return make_process(opt, plan, id);
+    });
+    const net::ClusterResult result = cluster.run();
+    return report_thread_mode(opt, plan, cfg, result);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

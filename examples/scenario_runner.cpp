@@ -23,6 +23,12 @@
 //                                   (default: hardware concurrency)
 //   --progress                      live completed/total + ETA (needs
 //                                   --runs > 1)
+//   --json FILE                     rcp-bench-v1 report (same schema as the
+//                                   bench_e* harnesses; see docs/PERF.md)
+//
+// The RCP_BENCH_RUNS environment variable overrides the trial count like
+// it does for the bench harnesses (the perf-smoke ctest label sets it
+// to 2), except when --record/--replay pin a single execution.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -31,6 +37,7 @@
 
 #include "adversary/crash_plan.hpp"
 #include "adversary/scenario.hpp"
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "runtime/progress.hpp"
 #include "runtime/scenario_series.hpp"
@@ -55,6 +62,7 @@ struct Options {
   std::uint32_t runs = 1;
   std::uint32_t threads = 0;  // 0: runtime::default_threads()
   bool progress = false;
+  std::string json_path;
 };
 
 int usage(const char* argv0) {
@@ -63,7 +71,7 @@ int usage(const char* argv0) {
                "       [--adversary none|silent|equivocator|balancer|babbler]\n"
                "       [--crashes C] [--seed S] [--max-steps X]\n"
                "       [--record FILE | --replay FILE]\n"
-               "       [--runs R] [--threads N] [--progress]\n";
+               "       [--runs R] [--threads N] [--progress] [--json FILE]\n";
   return 2;
 }
 
@@ -144,6 +152,10 @@ std::optional<Options> parse(int argc, char** argv) {
       opt.threads = static_cast<std::uint32_t>(std::stoul(v));
     } else if (flag == "--progress") {
       opt.progress = true;
+    } else if (flag == "--json") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.json_path = v;
     } else {
       return std::nullopt;
     }
@@ -155,7 +167,7 @@ std::optional<Options> parse(int argc, char** argv) {
 /// pool, seeds derived per trial from --seed, aggregates printed at the
 /// end. Recording/replay is single-execution by nature and is rejected.
 int run_series_mode(const Options& opt, const adversary::Scenario& s,
-                    std::uint32_t k) {
+                    std::uint32_t k, int argc, char** argv) {
   runtime::SeriesConfig config;
   config.threads = opt.threads;
   const std::uint32_t threads =
@@ -190,6 +202,13 @@ int run_series_mode(const Options& opt, const adversary::Scenario& s,
   table.row().cell("wall seconds").cell(format_double(r.wall_seconds, 3));
   table.row().cell("trials/sec").cell(format_double(r.trials_per_sec(), 1));
   table.print(std::cout);
+
+  bench::ThroughputMeter meter;
+  meter.note(r);
+  const int status = bench::finish(meter, "scenario_runner", argc, argv);
+  if (status != 0) {
+    return status;
+  }
   return r.agreed == r.runs ? 0 : 1;
 }
 
@@ -200,7 +219,12 @@ int main(int argc, char** argv) {
   if (!parsed.has_value()) {
     return usage(argv[0]);
   }
-  const Options& opt = *parsed;
+  Options opt = *parsed;
+  if (opt.record_path.empty() && opt.replay_path.empty()) {
+    // RCP_BENCH_RUNS overrides the trial count (perf-smoke sets it to 2);
+    // record/replay pin a single execution and are left alone.
+    opt.runs = bench::env_runs(opt.runs);
+  }
 
   const core::FaultModel model =
       opt.protocol == adversary::ProtocolKind::fail_stop
@@ -231,7 +255,7 @@ int main(int argc, char** argv) {
                    "combined with --runs > 1\n";
       return 2;
     }
-    return run_series_mode(opt, s, k);
+    return run_series_mode(opt, s, k, argc, argv);
   }
   if (opt.progress) {
     std::cerr << "--progress requires --runs > 1\n";
@@ -258,7 +282,9 @@ int main(int argc, char** argv) {
     simulation = adversary::build(s);
   }
 
+  const bench::Stopwatch watch;
   const sim::RunResult result = simulation->run();
+  const double run_seconds = watch.seconds();
   std::cout << "protocol : " << to_string(opt.protocol) << "  n=" << opt.n
             << " k=" << k << " seed=" << opt.seed << "\n"
             << "status   : "
@@ -287,6 +313,13 @@ int main(int argc, char** argv) {
     recorded->save(out);
     std::cout << "schedule : " << recorded->size() << " steps -> "
               << opt.record_path << "\n";
+  }
+
+  bench::ThroughputMeter meter;
+  meter.note(1, run_seconds);
+  const int status = bench::finish(meter, "scenario_runner", argc, argv);
+  if (status != 0) {
+    return status;
   }
   return simulation->agreement_holds() ? 0 : 1;
 }

@@ -1,0 +1,149 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace rcp::net {
+
+namespace {
+
+void put_u8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+[[nodiscard]] std::uint32_t read_u32(const std::byte* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+[[nodiscard]] std::uint64_t read_u64(const std::byte* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+/// hello body: type(1) magic(4) version(1) n(4) node_id(4)
+constexpr std::size_t kHelloBody = 1 + 4 + 1 + 4 + 4;
+/// ack body: type(1) seq(8)
+constexpr std::size_t kAckBody = 1 + 8;
+/// data body: type(1) seq(8) payload(>= 0)
+constexpr std::size_t kDataHeader = 1 + 8;
+
+}  // namespace
+
+void append_hello(std::vector<std::byte>& out, std::uint32_t node_id,
+                  std::uint32_t n) {
+  put_u32(out, static_cast<std::uint32_t>(kHelloBody));
+  put_u8(out, static_cast<std::uint8_t>(FrameType::hello));
+  put_u32(out, kHelloMagic);
+  put_u8(out, kWireVersion);
+  put_u32(out, n);
+  put_u32(out, node_id);
+}
+
+void append_data(std::vector<std::byte>& out, std::uint64_t seq,
+                 const Bytes& payload) {
+  RCP_EXPECT(payload.size() <= kMaxFrameBody - kDataHeader,
+             "payload exceeds frame body limit");
+  put_u32(out, static_cast<std::uint32_t>(kDataHeader + payload.size()));
+  put_u8(out, static_cast<std::uint8_t>(FrameType::data));
+  put_u64(out, seq);
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void append_ack(std::vector<std::byte>& out, std::uint64_t acked_seq) {
+  put_u32(out, static_cast<std::uint32_t>(kAckBody));
+  put_u8(out, static_cast<std::uint8_t>(FrameType::ack));
+  put_u64(out, acked_seq);
+}
+
+void FrameDecoder::feed(std::span<const std::byte> data) {
+  // Reclaim consumed prefix before growing; keeps the buffer near the size
+  // of one partial frame in steady state.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= 4096)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) {
+    return std::nullopt;
+  }
+  const std::uint32_t body_len = read_u32(buf_.data() + pos_);
+  if (body_len > kMaxFrameBody) {
+    throw DecodeError("frame body length exceeds limit");
+  }
+  if (body_len < 1) {
+    throw DecodeError("frame body missing type byte");
+  }
+  if (avail < 4 + static_cast<std::size_t>(body_len)) {
+    return std::nullopt;
+  }
+  const std::byte* body = buf_.data() + pos_ + 4;
+  Frame frame;
+  switch (static_cast<FrameType>(body[0])) {
+    case FrameType::hello: {
+      if (body_len != kHelloBody) {
+        throw DecodeError("hello frame has wrong length");
+      }
+      frame.type = FrameType::hello;
+      const std::uint32_t magic = read_u32(body + 1);
+      if (magic != kHelloMagic) {
+        throw DecodeError("hello frame magic mismatch");
+      }
+      const auto version = static_cast<std::uint8_t>(body[5]);
+      if (version != kWireVersion) {
+        throw DecodeError("hello frame version mismatch");
+      }
+      frame.n = read_u32(body + 6);
+      frame.node_id = read_u32(body + 10);
+      break;
+    }
+    case FrameType::data: {
+      if (body_len < kDataHeader) {
+        throw DecodeError("data frame truncated");
+      }
+      frame.type = FrameType::data;
+      frame.seq = read_u64(body + 1);
+      frame.payload =
+          Bytes(std::span<const std::byte>(body + kDataHeader,
+                                           body_len - kDataHeader));
+      break;
+    }
+    case FrameType::ack: {
+      if (body_len != kAckBody) {
+        throw DecodeError("ack frame has wrong length");
+      }
+      frame.type = FrameType::ack;
+      frame.seq = read_u64(body + 1);
+      break;
+    }
+    default:
+      throw DecodeError("unknown frame type");
+  }
+  pos_ += 4 + static_cast<std::size_t>(body_len);
+  return frame;
+}
+
+}  // namespace rcp::net

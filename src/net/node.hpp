@@ -1,0 +1,194 @@
+// net::Node — one protocol participant running over real sockets.
+//
+// A Node hosts exactly one sim::Process (Figure 1, Figure 2, Ben-Or,
+// Bracha-87, a Byzantine strategy, ...) unchanged: the process sees the
+// same sim::Context interface the simulator provides, but send/broadcast
+// go out as framed TCP messages and on_message fires when a frame arrives
+// from an authenticated peer. The mapping of the paper's model onto TCP:
+//
+//   * "fully connected" — a full mesh: node i dials every peer j < i and
+//     accepts from every peer j > i (one connection per pair, no dial
+//     races), with capped exponential backoff reconnect, so the mesh
+//     self-heals through process restarts and injected disconnects;
+//   * "the message system must provide a way ... to verify the identity
+//     of the sender" — an identity handshake opens every connection, and
+//     Envelope::sender is stamped from the handshake, never from payload
+//     bytes: a Byzantine peer can lie inside the payload but cannot forge
+//     its id, exactly the simulator's guarantee;
+//   * "reliable, but ... arbitrary long transmission delay" — per-link
+//     sequence numbers, cumulative acks and go-back-N retransmission make
+//     delivery reliable across reconnects and injected drops; delivery
+//     order across peers is whatever the sockets produce, which is the
+//     asynchrony the protocols are designed for;
+//   * atomic steps — the loop delivers one message at a time to the
+//     process; sends performed during the callback are queued and flushed
+//     after it returns, mirroring the simulator's step semantics.
+//
+// Self-sends (the paper's requeue device) loop through a local inbox that
+// delivers at most one pass per loop iteration, so a process requeuing a
+// future-phase message to itself waits for network progress instead of
+// spinning.
+//
+// Threading: run() occupies the calling thread until request_stop(), a
+// scheduled fail-stop crash, or a fatal error. decision()/phase()/
+// crashed() are safe from other threads while running; stats()/error()
+// are valid after run() returns (joining the node thread synchronizes).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/fault.hpp"
+#include "net/peer.hpp"
+#include "net/poller.hpp"
+#include "net/socket.hpp"
+#include "net/stats.hpp"
+#include "sim/process.hpp"
+
+namespace rcp::net {
+
+struct NodeLimits {
+  /// Per-peer outbound queue bound; at the bound the newest message is
+  /// dropped (to the sender the peer then behaves like a faulty process
+  /// that lost the message — the queued stream stays intact).
+  std::size_t max_queued_frames = 4096;
+  /// Crossing this pauses reads from that peer (backpressure).
+  std::size_t backpressure_high_water = 2048;
+  /// Go-back-N rewind after this long with no ack progress.
+  std::uint32_t retransmit_timeout_ms = 100;
+  /// Dial retry backoff: initial, doubling to the cap.
+  std::uint32_t reconnect_initial_ms = 5;
+  std::uint32_t reconnect_max_ms = 250;
+  /// A connection must complete its handshake within this long.
+  std::uint32_t handshake_timeout_ms = 2000;
+  /// Idle poll cap — the loop always wakes at least this often.
+  std::uint32_t poll_cap_ms = 50;
+};
+
+struct NodeConfig {
+  ProcessId id = 0;
+  std::uint32_t n = 0;
+  std::string listen_host = "127.0.0.1";
+  /// 0 binds an ephemeral port; listen() returns the real one.
+  std::uint16_t listen_port = 0;
+  /// Address of every node, indexed by id (entry [id] is ignored). May be
+  /// filled in after construction via set_peer().
+  std::vector<PeerAddress> peers;
+  std::uint64_t seed = 1;
+  FaultPlan faults;
+  NodeLimits limits;
+  /// Fail-stop injection: the node dies (closes everything, exits run())
+  /// as soon as its process's phase() reaches this value.
+  std::optional<Phase> crash_at_phase;
+};
+
+class Node {
+ public:
+  /// Takes ownership of the process. Throws on invalid config.
+  Node(NodeConfig cfg, std::unique_ptr<sim::Process> process);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Binds the listener now and returns the bound port (the config port,
+  /// or the ephemeral port when the config said 0). Idempotent; run()
+  /// calls it if the caller did not.
+  std::uint16_t listen();
+
+  /// Fills in a peer's address (the in-process cluster binds every
+  /// listener first, then distributes the ephemeral ports).
+  void set_peer(ProcessId p, PeerAddress addr);
+
+  /// Runs the event loop on the calling thread until request_stop(), a
+  /// scheduled crash, or a fatal error (recorded in error()).
+  void run();
+
+  /// Thread-safe: asks the loop to exit; run() returns soon after.
+  void request_stop();
+
+  // ---- Thread-safe observers (valid while running) -------------------
+
+  [[nodiscard]] ProcessId id() const noexcept { return cfg_.id; }
+  [[nodiscard]] std::optional<Value> decision() const noexcept;
+  [[nodiscard]] Phase phase() const noexcept {
+    return phase_published_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool crashed() const noexcept {
+    return crashed_.load(std::memory_order_acquire);
+  }
+
+  // ---- Post-run observers (valid after run() returns) ----------------
+
+  [[nodiscard]] const NodeStats& stats() const noexcept { return stats_; }
+  /// Non-empty if the loop died on an exception.
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] sim::Process& process() noexcept { return *process_; }
+
+ private:
+  class LoopContext;
+  friend class LoopContext;
+
+  void run_loop();
+  void build_interest_set(Clock::time_point now);
+  [[nodiscard]] int poll_timeout_ms(Clock::time_point now) const;
+  void start_due_dials(Clock::time_point now);
+  void apply_due_disconnects(Clock::time_point now);
+  void accept_new_connections(Clock::time_point now);
+  void service_pending(Clock::time_point now);
+  void service_links(Clock::time_point now);
+  void check_timers(Clock::time_point now);
+  void process_link_input(PeerLink& link);
+  [[nodiscard]] bool read_socket(PeerLink& link);
+  void attach_pending(std::size_t index, ProcessId peer);
+  void establish_link(PeerLink& link);
+  void reset_link(PeerLink& link, Clock::time_point now);
+  void flush_link(PeerLink& link, Clock::time_point now);
+  void deliver_data(PeerLink& link, Frame&& frame);
+  void deliver_local_once();
+  void send_from_process(ProcessId to, Bytes payload);
+  void record_decision(Value v);
+  void after_event();
+  void close_all();
+
+  /// A connection that said nothing yet: accepted, awaiting its hello.
+  struct PendingConn {
+    Fd fd;
+    FrameDecoder decoder;
+    Clock::time_point deadline;
+  };
+
+  NodeConfig cfg_;
+  std::unique_ptr<sim::Process> process_;
+  ListenSocket listener_;
+  bool listening_ = false;
+  std::vector<PeerLink> links_;  ///< indexed by peer id; [self] unused
+  std::vector<PendingConn> pending_;
+  Poller poller_;
+  Rng process_rng_;
+  FaultInjector faults_;
+  NodeStats stats_;
+  std::string error_;
+
+  /// Self-send inbox (the paper's requeue device).
+  std::vector<sim::Envelope> local_inbox_;
+  std::uint64_t local_seq_ = 0;
+
+  std::optional<Value> decision_;  ///< loop-thread view, for the invariant
+  bool crash_pending_ = false;
+
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> decision_published_{-1};
+  std::atomic<std::uint64_t> phase_published_{0};
+  std::atomic<bool> crashed_{false};
+};
+
+}  // namespace rcp::net

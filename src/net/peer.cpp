@@ -1,0 +1,66 @@
+#include "net/peer.hpp"
+
+#include <algorithm>
+
+namespace rcp::net {
+
+bool PeerLink::enqueue(Bytes payload, Clock::time_point eligible_at,
+                       std::size_t max_queued) {
+  if (queue_.size() >= max_queued) {
+    ++counters.overflow_drops;
+    return false;
+  }
+  Outbound out;
+  out.seq = assign_seq();
+  out.payload = std::move(payload);
+  out.eligible_at = eligible_at;
+  queue_.push_back(std::move(out));
+  ++counters.msgs_out;
+  counters.queue_depth = queue_.size();
+  counters.queue_peak = std::max(counters.queue_peak, queue_.size());
+  return true;
+}
+
+void PeerLink::on_ack(std::uint64_t acked) noexcept {
+  while (!queue_.empty() && queue_.front().seq <= acked) {
+    queue_.pop_front();
+    if (unsent_ > 0) {
+      --unsent_;
+    }
+  }
+  counters.queue_depth = queue_.size();
+}
+
+void PeerLink::rewind_unsent() noexcept {
+  counters.retransmits += unsent_;
+  unsent_ = 0;
+}
+
+Clock::time_point PeerLink::next_eligible_at() const noexcept {
+  if (unsent_ >= queue_.size()) {
+    return Clock::time_point::max();
+  }
+  return queue_[unsent_].eligible_at;
+}
+
+void PeerLink::clear_queue() noexcept {
+  queue_.clear();
+  unsent_ = 0;
+  counters.queue_depth = 0;
+}
+
+int PeerLink::classify_and_advance(std::uint64_t seq) noexcept {
+  if (seq < next_expected_) {
+    ++counters.dup_frames;
+    return -1;
+  }
+  if (seq > next_expected_) {
+    ++counters.gap_frames;
+    return 1;
+  }
+  ++next_expected_;
+  ++counters.msgs_in;
+  return 0;
+}
+
+}  // namespace rcp::net

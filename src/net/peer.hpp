@@ -1,0 +1,164 @@
+// Per-peer link state: one reliable, ordered, framed stream to one peer.
+//
+// The paper's message system is "reliable but arbitrarily delayed". A raw
+// TCP connection is reliable only while it lives — bytes in flight when a
+// connection dies (or frames skipped by drop injection) are gone. The link
+// therefore runs its own thin reliability layer on top of the framed
+// stream:
+//
+//   * every data frame carries a per-link sequence number, assigned at
+//     enqueue and retained until cumulatively acked by the receiver;
+//   * on (re)connect, transmission rewinds to the first unacked frame;
+//   * on retransmit timeout with no ack progress, likewise (go-back-N);
+//   * the receive side tracks next_expected and discards duplicates
+//     (possible after reconnect) and ahead-of-stream gaps (possible after
+//     an injected drop) — the sender's rewind fills the gap in order.
+//
+// The outbound queue is bounded (NodeLimits::max_queued_frames). When a
+// peer cannot drain the queue — crashed and past reconnect, or flooding us
+// into amplification — messages past the bound are dropped at enqueue: to
+// this sender the peer then behaves like a faulty process that lost them,
+// which is exactly what the protocols tolerate. The queued stream itself
+// is never cut (clearing it would wedge the receiver's in-order dedupe
+// forever), so delivery resumes seamlessly if the peer recovers. Before
+// the bound, crossing the high-water mark pauses reads from that peer
+// (backpressure on the only traffic source that can grow this queue).
+//
+// PeerLink owns no sockets and does no I/O; the Node event loop moves
+// bytes and drives the state transitions.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/stats.hpp"
+
+namespace rcp::net {
+
+using Clock = std::chrono::steady_clock;
+
+/// One queued-but-not-yet-acked outbound payload.
+struct Outbound {
+  std::uint64_t seq = 0;
+  Bytes payload;
+  /// Not transmitted before this instant (delay injection).
+  Clock::time_point eligible_at{};
+};
+
+class PeerLink {
+ public:
+  enum class State : std::uint8_t {
+    idle,        ///< no connection; dialers schedule a dial, acceptors wait
+    connecting,  ///< non-blocking connect in progress (dialer only)
+    hello_sent,  ///< dialer sent hello, awaiting the peer's reply
+    established, ///< handshake complete; data/ack frames flow
+  };
+
+  void init(ProcessId peer, PeerAddress addr, bool dialer) {
+    peer_ = peer;
+    addr_ = addr;
+    dialer_ = dialer;
+  }
+
+  [[nodiscard]] ProcessId peer() const noexcept { return peer_; }
+  [[nodiscard]] const PeerAddress& addr() const noexcept { return addr_; }
+  [[nodiscard]] bool dialer() const noexcept { return dialer_; }
+
+  // ---- Outbound reliable stream -------------------------------------
+
+  /// Queues a payload; returns false (and counts an overflow drop) if the
+  /// bound was reached — the message is then lost to this peer.
+  [[nodiscard]] bool enqueue(Bytes payload, Clock::time_point eligible_at,
+                             std::size_t max_queued);
+
+  /// Is there a frame ready to transmit at `now`?
+  [[nodiscard]] bool transmittable(Clock::time_point now) const noexcept {
+    return unsent_ < queue_.size() && queue_[unsent_].eligible_at <= now;
+  }
+
+  /// The next frame to transmit. Precondition: transmittable(now).
+  [[nodiscard]] const Outbound& next_unsent() const noexcept {
+    return queue_[unsent_];
+  }
+
+  /// Marks next_unsent() as transmitted (bytes written or drop-injected).
+  void advance_unsent() noexcept { ++unsent_; }
+
+  /// Processes a cumulative ack: releases frames with seq <= acked.
+  void on_ack(std::uint64_t acked) noexcept;
+
+  /// Rewinds transmission to the first unacked frame (reconnect or
+  /// retransmit timeout); counts skipped-over frames as retransmits.
+  void rewind_unsent() noexcept;
+
+  /// Earliest instant a queued-but-ineligible frame becomes transmittable
+  /// (delay injection), or time_point::max() if none.
+  [[nodiscard]] Clock::time_point next_eligible_at() const noexcept;
+
+  /// Frames transmitted but not yet acked.
+  [[nodiscard]] bool in_flight() const noexcept { return unsent_ > 0; }
+
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_.size();
+  }
+
+  /// Drops all queued frames (node shutdown). The stream positions are
+  /// kept so the seq space stays consistent.
+  void clear_queue() noexcept;
+
+  [[nodiscard]] std::uint64_t assign_seq() noexcept { return ++last_seq_; }
+
+  // ---- Inbound ordered stream ---------------------------------------
+
+  /// Classifies an arriving data seq: 0 = deliver (and advances the
+  /// stream), -1 = duplicate, +1 = gap (discard, sender will rewind).
+  [[nodiscard]] int classify_and_advance(std::uint64_t seq) noexcept;
+
+  /// Highest contiguously delivered seq (the cumulative ack we send).
+  [[nodiscard]] std::uint64_t delivered_seq() const noexcept {
+    return next_expected_ - 1;
+  }
+
+  // ---- Connection bookkeeping (owned by the Node loop) ---------------
+
+  State state = State::idle;
+  Fd fd;
+  FrameDecoder decoder;
+  /// Socket write buffer: encoded frames not yet accepted by the kernel.
+  std::vector<std::byte> write_buf;
+  std::size_t write_off = 0;
+  /// Dialer backoff: next dial attempt not before this instant.
+  Clock::time_point next_dial_at{};
+  std::uint32_t backoff_ms = 0;
+  /// Handshake must complete by this instant or the attempt is abandoned.
+  Clock::time_point handshake_deadline{};
+  /// Retransmit: rewind if no ack progress by this instant.
+  Clock::time_point retransmit_deadline{};
+  bool ack_pending = false;   ///< we owe the peer a cumulative ack
+  /// No-progress acks received while frames are in flight. The receiver
+  /// acks every arrival, so a no-progress ack means it is discarding
+  /// ahead-of-stream frames behind a loss — rewind without waiting for
+  /// the retransmit timeout (fast retransmit).
+  std::uint32_t stale_acks = 0;
+  bool read_paused = false;   ///< backpressure: stop reading this peer
+  bool ever_connected = false;
+  PeerCounters counters;
+
+ private:
+  ProcessId peer_ = 0;
+  PeerAddress addr_;
+  bool dialer_ = false;
+
+  std::deque<Outbound> queue_;
+  std::size_t unsent_ = 0;        ///< index of next frame to transmit
+  std::uint64_t last_seq_ = 0;    ///< last assigned outbound seq
+  std::uint64_t next_expected_ = 1;  ///< next inbound seq to deliver
+};
+
+}  // namespace rcp::net

@@ -1,0 +1,30 @@
+#include "net/poller.hpp"
+
+#include <cerrno>
+
+namespace rcp::net {
+
+int Poller::wait(int timeout_ms) {
+  const int rc = ::poll(fds_.data(), fds_.size(), timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) {
+      for (pollfd& p : fds_) {
+        p.revents = 0;
+      }
+      return 0;
+    }
+    return rc;
+  }
+  return rc;
+}
+
+short Poller::ready(int fd) const noexcept {
+  for (const pollfd& p : fds_) {
+    if (p.fd == fd) {
+      return p.revents;
+    }
+  }
+  return 0;
+}
+
+}  // namespace rcp::net

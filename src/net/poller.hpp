@@ -1,0 +1,43 @@
+// poll(2)-based readiness multiplexer for the Node event loop.
+//
+// One Node watches a handful of descriptors (listener, one socket per
+// peer, a wakeup pipe), so poll() is the right tool: the interest set is
+// rebuilt each iteration from the loop's current state, which keeps the
+// connection state machine authoritative and the poller stateless.
+#pragma once
+
+#include <poll.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace rcp::net {
+
+class Poller {
+ public:
+  static constexpr short kRead = POLLIN;
+  static constexpr short kWrite = POLLOUT;
+
+  /// Clears the interest set (start of a loop iteration).
+  void clear() noexcept { fds_.clear(); }
+
+  /// Adds a descriptor with the given interest mask.
+  void want(int fd, short events) {
+    fds_.push_back(pollfd{fd, events, 0});
+  }
+
+  /// Blocks up to timeout_ms (0 = return immediately, negative = forever).
+  /// Returns the number of ready descriptors; EINTR counts as zero ready.
+  int wait(int timeout_ms);
+
+  /// Ready events for `fd` from the last wait() (0 if absent/not ready).
+  /// POLLERR/POLLHUP are always reported by the kernel regardless of the
+  /// interest mask; callers treat them as readable so the subsequent
+  /// read() observes the error/EOF.
+  [[nodiscard]] short ready(int fd) const noexcept;
+
+ private:
+  std::vector<pollfd> fds_;
+};
+
+}  // namespace rcp::net

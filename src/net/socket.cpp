@@ -1,0 +1,113 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace rcp::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  RCP_EXPECT(flags >= 0, "fcntl(F_GETFL) failed");
+  RCP_EXPECT(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+             "fcntl(F_SETFL, O_NONBLOCK) failed");
+}
+
+void set_nodelay(int fd) {
+  // Consensus messages are tiny and latency-bound; Nagle batching would
+  // serialize the phase exchanges.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+[[nodiscard]] sockaddr_in parse_addr(const std::string& host,
+                                     std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  RCP_EXPECT(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+             "unparseable IPv4 address: " + host);
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ListenSocket listen_on(const std::string& host, std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  RCP_EXPECT(fd.valid(), "socket() failed");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = parse_addr(host, port);
+  RCP_EXPECT(::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0,
+             "bind() failed on " + host + ":" + std::to_string(port) + ": " +
+                 std::strerror(errno));
+  RCP_EXPECT(::listen(fd.get(), SOMAXCONN) == 0, "listen() failed");
+  set_nonblocking(fd.get());
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  RCP_EXPECT(::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                           &len) == 0,
+             "getsockname() failed");
+  ListenSocket out;
+  out.fd = std::move(fd);
+  out.port = ntohs(bound.sin_port);
+  return out;
+}
+
+Fd accept_on(const Fd& listener) {
+  const int fd = ::accept(listener.get(), nullptr, nullptr);
+  if (fd < 0) {
+    return Fd{};
+  }
+  Fd out(fd);
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  return out;
+}
+
+Fd dial_start(const PeerAddress& peer) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  RCP_EXPECT(fd.valid(), "socket() failed");
+  set_nonblocking(fd.get());
+  set_nodelay(fd.get());
+  sockaddr_in addr = parse_addr(peer.host, peer.port);
+  const int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc == 0 || errno == EINPROGRESS) {
+    return fd;
+  }
+  // Immediate refusal (no listener yet): surface an invalid fd so the
+  // caller schedules a backoff retry instead of throwing — peers racing
+  // through startup is the normal case, not an error.
+  return Fd{};
+}
+
+int dial_result(const Fd& fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    return errno != 0 ? errno : EBADF;
+  }
+  return err;
+}
+
+}  // namespace rcp::net

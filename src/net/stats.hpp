@@ -1,0 +1,40 @@
+// Per-peer and per-node transport counters.
+//
+// The counters answer the operational questions the simulator's Metrics
+// cannot: how many bytes crossed each link, how often links flapped, how
+// deep the send queues ran, and how much work the fault injector did.
+// examples/net_cluster exports them through the bench_json.hpp writer
+// (schema rcp-net-v1) next to the simulator's rcp-bench-v1 reports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rcp::net {
+
+struct PeerCounters {
+  std::uint64_t bytes_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t msgs_out = 0;       ///< data frames enqueued to this peer
+  std::uint64_t msgs_in = 0;        ///< data frames delivered from this peer
+  std::uint64_t reconnects = 0;     ///< successful re-establishments
+  std::uint64_t retransmits = 0;    ///< frames re-sent by go-back-N
+  std::uint64_t drops_injected = 0; ///< transmissions skipped by fault plan
+  std::uint64_t delays_injected = 0;///< frames given a non-zero hold
+  std::uint64_t dup_frames = 0;     ///< already-delivered seqs discarded
+  std::uint64_t gap_frames = 0;     ///< ahead-of-stream seqs discarded
+  std::uint64_t overflow_drops = 0; ///< messages dropped at the queue bound
+  std::size_t queue_depth = 0;      ///< current outbound queue length
+  std::size_t queue_peak = 0;       ///< high-water outbound queue length
+};
+
+struct NodeStats {
+  std::uint64_t events = 0;           ///< on_start + delivered messages
+  std::uint64_t msgs_sent = 0;        ///< protocol sends (incl. self-sends)
+  std::uint64_t msgs_delivered = 0;   ///< messages handed to the process
+  std::uint64_t read_pauses = 0;      ///< backpressure read-side pauses
+  std::vector<PeerCounters> peers;    ///< indexed by peer id; self unused
+};
+
+}  // namespace rcp::net
