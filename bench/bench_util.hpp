@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "adversary/scenario.hpp"
-#include "bench_json.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "runtime/parallel_series.hpp"
 #include "runtime/scenario_series.hpp"

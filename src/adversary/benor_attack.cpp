@@ -27,6 +27,7 @@ void BenOrEquivocator::on_message(sim::Context& ctx,
 
 void BenOrEquivocator::attack_round(sim::Context& ctx, Phase round) {
   for (ProcessId q = 0; q < params_.n; ++q) {
+    // rcp-lint: allow(threshold) id-space split for equivocation, not a quorum
     const std::uint8_t val = q < params_.n / 2 ? 0 : 1;
     ctx.send(q, BenOrConsensus::encode_wire(
                     WireMsg{.stage = 0, .round = round, .val = val}));

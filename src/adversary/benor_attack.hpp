@@ -5,9 +5,9 @@
 #pragma once
 
 #include "baselines/benor.hpp"
+#include "common/process.hpp"
 #include "common/types.hpp"
 #include "core/params.hpp"
-#include "sim/process.hpp"
 
 namespace rcp::adversary {
 

@@ -40,6 +40,7 @@ void ByzantineBase::observe(sim::Context& /*ctx*/, ProcessId /*sender*/,
 void EquivocatorByzantine::attack_phase(sim::Context& ctx, Phase t) {
   const std::uint32_t n = params().n;
   for (ProcessId q = 0; q < n; ++q) {
+    // rcp-lint: allow(threshold) id-space split for equivocation, not a quorum
     const Value v = q < n / 2 ? Value::zero : Value::one;
     ctx.send(q, EchoProtocolMsg{
                     .is_echo = false, .from = ctx.self(), .value = v, .phase = t}
@@ -56,6 +57,7 @@ void EquivocatorByzantine::observe(sim::Context& ctx, ProcessId /*sender*/,
   // to one half of the system and the opposite value to the other half.
   const std::uint32_t n = params().n;
   for (ProcessId q = 0; q < n; ++q) {
+    // rcp-lint: allow(threshold) id-space split for equivocation, not a quorum
     const Value v = q < n / 2 ? msg.value : other(msg.value);
     ctx.send(q, EchoProtocolMsg{
                     .is_echo = true, .from = msg.from, .value = v, .phase = msg.phase}

@@ -26,10 +26,10 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/process.hpp"
 #include "common/types.hpp"
 #include "core/messages.hpp"
 #include "core/params.hpp"
-#include "sim/process.hpp"
 
 namespace rcp::adversary {
 

@@ -73,10 +73,13 @@ BenOrConsensus::BenOrConsensus(core::ConsensusParams params,
     : params_(params), variant_(variant), value_(initial_value) {}
 
 bool BenOrConsensus::report_majority(std::uint32_t count) const noexcept {
+  // Crash variant: strict majority of the whole system (> n/2); Byzantine
+  // variant: > (n+k)/2. Both predicates live in ConsensusParams so the
+  // paper's threshold arithmetic has exactly one home.
   if (variant_ == BenOrVariant::crash) {
-    return 2ULL * count > params_.n;
+    return params_.is_witness_cardinality(count);
   }
-  return 2ULL * count > static_cast<std::uint64_t>(params_.n) + params_.k;
+  return params_.accepted_count_decides(count);
 }
 
 std::uint32_t BenOrConsensus::decide_threshold() const noexcept {

@@ -24,9 +24,9 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/process.hpp"
 #include "common/types.hpp"
 #include "core/params.hpp"
-#include "sim/process.hpp"
 
 namespace rcp::baselines {
 

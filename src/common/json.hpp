@@ -1,7 +1,9 @@
-// Minimal JSON emitter for the BENCH_*.json artifacts the harnesses write
-// behind `--json <path>` (see docs/PERF.md). Hand-rolled on purpose: the
-// reports are flat objects/arrays of numbers and short ASCII labels, and
-// the repo takes no third-party dependencies for them.
+// Minimal JSON emitter for the BENCH_*.json / rcp-net-v1 artifacts written
+// behind `--json <path>` (see docs/PERF.md, docs/NET.md). Hand-rolled on
+// purpose: the reports are flat objects/arrays of numbers and short ASCII
+// labels, and the repo takes no third-party dependencies for them. Lives in
+// common/ because both the bench harnesses and src/net's report writer use
+// it; nothing in src/ may depend on bench/ (see docs/LINT.md, rule `layer`).
 #pragma once
 
 #include <cmath>
@@ -133,3 +135,4 @@ class JsonWriter {
 };
 
 }  // namespace rcp::bench
+

@@ -241,7 +241,9 @@ class Payload {
   [[nodiscard]] static HeapBlock* alloc_block(std::size_t cap) {
     RCP_EXPECT(cap <= UINT32_MAX, "payload exceeds 4 GiB");
     heap_allocs_.fetch_add(1, std::memory_order_relaxed);
+    // rcp-lint: allow(hot-alloc) the single counted Payload spill site
     void* raw = ::operator new(sizeof(HeapBlock) + cap);
+    // rcp-lint: allow(hot-alloc) placement-construct into the counted block
     return new (raw) HeapBlock(static_cast<std::uint32_t>(cap));
   }
 

@@ -2,23 +2,32 @@
 //
 // "In an atomic step of the system, a process can try to receive a message,
 // perform an arbitrary long local computation, and then send a finite set of
-// messages." A Process is therefore a callback object: the simulator hands
-// it one received message (or phi) per step, and all sends it performs
+// messages." A Process is therefore a callback object: the message system
+// hands it one received message (or phi) per step, and all sends it performs
 // through the Context become visible only when the step completes.
+//
+// These interfaces are deliberately sans-io — no sockets, threads, clocks or
+// simulator internals — and live in common/ so the protocol cores (core/,
+// extensions/, baselines/) depend only on this layer. The asynchronous
+// simulator (sim/) and the TCP transport (net/) each provide a Context and
+// drive the same Process implementations.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.hpp"
+#include "common/envelope.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
-#include "sim/message.hpp"
 
-namespace rcp::sim {
+namespace rcp {
 
 /// The interface a process uses to act on the system during one atomic
-/// step. Provided by the simulator; valid only for the duration of the
+/// step. Provided by the message system; valid only for the duration of the
 /// callback it was passed to.
 class Context {
  public:
@@ -72,4 +81,33 @@ class Process {
   [[nodiscard]] virtual Phase phase() const noexcept { return 0; }
 };
 
+/// A participant in a lock-step (synchronous round) execution; the sans-io
+/// counterpart of Process for the Section 5 initially-dead model. The round
+/// substrate itself lives in sim/lockstep.hpp.
+class LockstepProcess {
+ public:
+  virtual ~LockstepProcess() = default;
+
+  /// The payload this process broadcasts in `round` (0-based).
+  [[nodiscard]] virtual Bytes broadcast_for_round(std::uint32_t round) = 0;
+
+  /// Delivery of all round-`round` messages from live processes, ordered by
+  /// sender id.
+  virtual void receive_round(
+      std::uint32_t round,
+      const std::vector<std::pair<ProcessId, Bytes>>& messages) = 0;
+
+  /// One-shot decision, if reached.
+  [[nodiscard]] virtual std::optional<Value> decision() const = 0;
+};
+
+}  // namespace rcp
+
+namespace rcp::sim {
+// Historical spelling: these interfaces began life inside the simulator and
+// the tree refers to them as sim::Process / sim::Context. The aliases keep
+// that spelling valid while the definitions live below the protocol cores.
+using rcp::Context;
+using rcp::LockstepProcess;
+using rcp::Process;
 }  // namespace rcp::sim

@@ -21,9 +21,9 @@
 #include <memory>
 #include <optional>
 
+#include "common/process.hpp"
 #include "common/types.hpp"
 #include "core/params.hpp"
-#include "sim/process.hpp"
 
 namespace rcp::core {
 

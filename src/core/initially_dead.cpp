@@ -60,6 +60,7 @@ Value InitiallyDeadConsensus::bivalent_function(
       ++ones;
     }
   }
+  // rcp-lint: allow(threshold) majority of the received multiset, not an (n,k) quorum
   return 2 * ones >= inputs.size() ? Value::one : Value::zero;
 }
 

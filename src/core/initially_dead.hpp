@@ -26,8 +26,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/process.hpp"
 #include "common/types.hpp"
-#include "sim/lockstep.hpp"
 
 namespace rcp::core {
 

@@ -13,9 +13,9 @@
 #include <memory>
 #include <optional>
 
+#include "common/process.hpp"
 #include "common/types.hpp"
 #include "core/params.hpp"
-#include "sim/process.hpp"
 
 namespace rcp::core {
 

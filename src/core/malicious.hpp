@@ -17,10 +17,10 @@
 #include <memory>
 #include <optional>
 
+#include "common/process.hpp"
 #include "common/types.hpp"
 #include "core/echo_engine.hpp"
 #include "core/params.hpp"
-#include "sim/process.hpp"
 
 namespace rcp::core {
 

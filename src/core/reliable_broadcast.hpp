@@ -20,9 +20,9 @@
 #include <set>
 
 #include "common/bytes.hpp"
+#include "common/process.hpp"
 #include "common/types.hpp"
 #include "core/params.hpp"
-#include "sim/process.hpp"
 
 namespace rcp::core {
 

@@ -45,10 +45,10 @@
 #include <memory>
 #include <optional>
 
+#include "common/process.hpp"
 #include "common/types.hpp"
 #include "core/params.hpp"
 #include "extensions/rb_engine.hpp"
-#include "sim/process.hpp"
 
 namespace rcp::ext {
 

@@ -43,10 +43,10 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/process.hpp"
 #include "common/types.hpp"
 #include "core/malicious.hpp"
 #include "core/params.hpp"
-#include "sim/process.hpp"
 
 namespace rcp::ext {
 

@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "common/process.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/fault.hpp"
@@ -49,7 +50,6 @@
 #include "net/poller.hpp"
 #include "net/socket.hpp"
 #include "net/stats.hpp"
-#include "sim/process.hpp"
 
 namespace rcp::net {
 

@@ -20,7 +20,7 @@
 #include <cstdint>
 #include <string_view>
 
-#include "bench_json.hpp"
+#include "common/json.hpp"
 #include "common/types.hpp"
 #include "net/cluster.hpp"
 #include "net/stats.hpp"

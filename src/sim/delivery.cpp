@@ -61,14 +61,17 @@ std::optional<std::size_t> LifoDelivery::pick(ProcessId /*receiver*/,
 }
 
 std::unique_ptr<DeliveryPolicy> make_uniform_delivery(double phi_probability) {
+  // rcp-lint: allow(hot-alloc) one-time policy construction
   return std::make_unique<UniformDelivery>(phi_probability);
 }
 
 std::unique_ptr<DeliveryPolicy> make_fifo_delivery() {
+  // rcp-lint: allow(hot-alloc) one-time policy construction
   return std::make_unique<FifoDelivery>();
 }
 
 std::unique_ptr<DeliveryPolicy> make_lifo_delivery() {
+  // rcp-lint: allow(hot-alloc) one-time policy construction
   return std::make_unique<LifoDelivery>();
 }
 

@@ -17,31 +17,16 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <utility>
 #include <vector>
 
-#include "common/bytes.hpp"
+#include "common/process.hpp"
 #include "common/types.hpp"
 
 namespace rcp::sim {
 
-/// A participant in a lock-step execution.
-class LockstepProcess {
- public:
-  virtual ~LockstepProcess() = default;
-
-  /// The payload this process broadcasts in `round` (0-based).
-  [[nodiscard]] virtual Bytes broadcast_for_round(std::uint32_t round) = 0;
-
-  /// Delivery of all round-`round` messages from live processes, ordered by
-  /// sender id.
-  virtual void receive_round(
-      std::uint32_t round,
-      const std::vector<std::pair<ProcessId, Bytes>>& messages) = 0;
-
-  /// One-shot decision, if reached.
-  [[nodiscard]] virtual std::optional<Value> decision() const = 0;
-};
+// The LockstepProcess participant interface lives in common/process.hpp
+// (sans-io, below the protocol cores); this header provides the round
+// substrate that drives it.
 
 class LockstepSimulation {
  public:

@@ -20,7 +20,7 @@
 #include <utility>
 #include <vector>
 
-#include "sim/message.hpp"
+#include "common/envelope.hpp"
 
 namespace rcp::sim {
 

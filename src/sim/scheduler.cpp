@@ -27,10 +27,12 @@ ProcessId RoundRobinScheduler::pick(std::span<const ProcessId> eligible,
 }
 
 std::unique_ptr<SchedulerPolicy> make_random_scheduler() {
+  // rcp-lint: allow(hot-alloc) one-time policy construction
   return std::make_unique<RandomScheduler>();
 }
 
 std::unique_ptr<SchedulerPolicy> make_round_robin_scheduler() {
+  // rcp-lint: allow(hot-alloc) one-time policy construction
   return std::make_unique<RoundRobinScheduler>();
 }
 

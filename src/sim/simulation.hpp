@@ -17,11 +17,11 @@
 #include <optional>
 #include <vector>
 
+#include "common/process.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/delivery.hpp"
 #include "sim/mailbox.hpp"
-#include "sim/process.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/trace.hpp"
 

@@ -175,8 +175,8 @@ std::vector<SweepParam> sweep_params() {
 
 INSTANTIATE_TEST_SUITE_P(Grid, FailStopSweep,
                          ::testing::ValuesIn(sweep_params()),
-                         [](const auto& info) {
-                           const SweepParam& p = info.param;
+                         [](const auto& pinfo) {
+                           const SweepParam& p = pinfo.param;
                            std::string name = "n";
                            name += std::to_string(p.n);
                            name += 'k';

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "sim/lockstep.hpp"
 
 namespace rcp::core {
 namespace {

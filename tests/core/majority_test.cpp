@@ -97,8 +97,8 @@ std::vector<MajorityParam> majority_params() {
 
 INSTANTIATE_TEST_SUITE_P(Grid, MajoritySweep,
                          ::testing::ValuesIn(majority_params()),
-                         [](const auto& info) {
-                           const MajorityParam& p = info.param;
+                         [](const auto& pinfo) {
+                           const MajorityParam& p = pinfo.param;
                            std::string name = "n";
                            name += std::to_string(p.n);
                            name += 'k';

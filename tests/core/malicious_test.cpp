@@ -148,8 +148,8 @@ std::vector<MaliciousParam> malicious_params() {
 
 INSTANTIATE_TEST_SUITE_P(Grid, MaliciousSweep,
                          ::testing::ValuesIn(malicious_params()),
-                         [](const auto& info) {
-                           const MaliciousParam& p = info.param;
+                         [](const auto& pinfo) {
+                           const MaliciousParam& p = pinfo.param;
                            std::string name = "n";
                            name += std::to_string(p.n);
                            name += 'k';

@@ -127,8 +127,8 @@ std::vector<SweepCase> sweep_cases() {
 
 INSTANTIATE_TEST_SUITE_P(Grid, DeliverySweep,
                          ::testing::ValuesIn(sweep_cases()),
-                         [](const auto& info) {
-                           const SweepCase& c = info.param;
+                         [](const auto& pinfo) {
+                           const SweepCase& c = pinfo.param;
                            std::string name;
                            switch (c.protocol) {
                              case ProtocolKind::fail_stop:

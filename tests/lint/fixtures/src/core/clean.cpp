@@ -1,0 +1,11 @@
+// Fixture: a file with no violations at all — including tricky lexical
+// shapes the scanner must not misread.
+#include "common/ok.hpp"
+
+/* block comment mentioning rand() and <thread> — not code */
+int clean(int n) {
+  const char* words = "rand() malloc(1) new int n / 2";  // in a string
+  const char* raw = R"(time(nullptr) and system_clock)";
+  const int separated = 1'000'000;  // digit separator, not a char literal
+  return n + separated + (words != nullptr) + (raw != nullptr);
+}

@@ -1,0 +1,17 @@
+// Fixture: non-deterministic constructs. Expected:
+//   line 7:  [determinism] random_device
+//   line 8:  [determinism] mt19937
+//   line 9:  [determinism] rand()
+//   line 10: [determinism] time()
+//   line 11: [determinism] system_clock
+int determinism_violation(std::random_device& rd) {
+  std::mt19937 engine(12345);
+  int x = rand();
+  long t = time(nullptr);
+  auto now = std::chrono::system_clock::now();
+  // Not flagged: "rand() inside a string literal" and rand in this comment.
+  const char* s = "rand() time() random_device";
+  int strand_count = my_strand(x);  // identifier boundary: no `rand` match
+  return static_cast<int>(t) + static_cast<int>(now.time_since_epoch().count())
+         + (s != nullptr) + strand_count;
+}

@@ -1,0 +1,11 @@
+// Fixture: a core-layer file reaching up the layer graph. Expected:
+//   line 5: [layer]  (core -> runtime edge)
+//   line 6: [layer]  (core -> protocols edge)
+//   line 7: [layer]  (unknown include target)
+#include "net/socket.hpp"
+#include "sim/hot_path.hpp"
+#include "vendored/mystery.hpp"
+
+#include "common/ok.hpp"
+
+int core_layer_violation() { return 0; }

@@ -1,0 +1,11 @@
+// Fixture: OS/threading headers in a core-layer file. Expected:
+//   line 5: [os-header] <thread>
+//   line 6: [os-header] <sys/socket.h>
+//   line 7: [os-header] <poll.h>
+#include <thread>
+#include <sys/socket.h>
+#include <poll.h>
+
+#include <vector>  // allowed: not an OS header
+
+int core_os_header_violation() { return 0; }

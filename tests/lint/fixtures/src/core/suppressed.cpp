@@ -1,0 +1,13 @@
+// Fixture: every violation carries a justified suppression marker; rcp-lint
+// must report zero errors and count the suppressions as honored. Exercises
+// all three marker shapes: same-line, standalone-above, and whole-file.
+// rcp-lint: allow-file(os-header) fixture demonstrates whole-file markers
+#include <thread>
+#include <mutex>
+
+bool suppressed(unsigned count, unsigned n, std::vector<int>& v) {
+  // rcp-lint: allow(threshold) fixture: standalone marker covers next line
+  const bool witness = count > n / 2;
+  int x = rand();  // rcp-lint: allow(determinism) fixture: same-line marker
+  return witness && (x >= 0) && !v.empty();
+}

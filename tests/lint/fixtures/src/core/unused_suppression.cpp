@@ -1,0 +1,9 @@
+// Fixture: suppression hygiene. Expected:
+//   line 6: [unused-suppression] (nothing on or below that line violates)
+//   line 8: [bad-suppression]    (marker with no reason)
+int unused_suppression() {
+  // rcp-lint: allow(determinism) nothing non-deterministic follows
+  int fine = 1;
+  // rcp-lint: allow(threshold)
+  return fine;
+}

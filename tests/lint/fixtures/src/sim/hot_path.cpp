@@ -1,0 +1,16 @@
+// Fixture: allocation in a file covered by the hot-path contract. Expected:
+//   line 8:  [hot-alloc] new
+//   line 9:  [hot-alloc] malloc
+//   line 10: [hot-alloc] .push_back()
+//   line 11: [hot-alloc] ->resize()
+//   line 12: [hot-alloc] make_unique
+void hot_path(std::vector<int>& v, std::vector<int>* p) {
+  int* leak = new int(7);
+  void* raw = malloc(8);
+  v.push_back(1);
+  p->resize(32);
+  auto owned = std::make_unique<int>(9);
+  // Not flagged: declaration position (no member access), free function.
+  push_back(v);
+  resize(*p);
+}

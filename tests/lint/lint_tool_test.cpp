@@ -1,0 +1,223 @@
+// End-to-end tests for tools/rcp-lint against the golden fixture tree in
+// tests/lint/fixtures/. Each fixture file violates exactly one rule class;
+// the tests assert the exact `file:line: error: ... [rule-id]` diagnostics,
+// the suppression semantics, and the process exit codes.
+//
+// The binary path and fixture root arrive via compile definitions
+// (RCP_LINT_BIN, RCP_LINT_FIXTURES) so the test works from any build dir.
+#include <gtest/gtest.h>
+
+// rcp-lint: allow(os-header) test harness inspects subprocess exit status
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+  std::vector<std::string> lines;
+};
+
+/// Runs rcp-lint with the fixture root/rules plus `extra_args`, capturing
+/// combined stdout+stderr and the exit status.
+LintRun run_lint(const std::string& extra_args) {
+  const std::string cmd = std::string(RCP_LINT_BIN) + " --root " +
+                          RCP_LINT_FIXTURES + " --rules " + RCP_LINT_FIXTURES +
+                          "/rules.toml " + extra_args + " 2>&1";
+  LintRun run;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    return run;
+  }
+  std::array<char, 4096> buf{};
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    run.output.append(buf.data(), got);
+  }
+  const int status = pclose(pipe);
+  run.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status)
+                                                     : -1;
+  std::istringstream in(run.output);
+  for (std::string line; std::getline(in, line);) {
+    run.lines.push_back(line);
+  }
+  return run;
+}
+
+/// True when some output line starts with `prefix` and ends with `[rule]`.
+bool has_diag(const LintRun& run, const std::string& prefix,
+              const std::string& rule) {
+  const std::string tag = "[" + rule + "]";
+  for (const std::string& line : run.lines) {
+    if (line.rfind(prefix, 0) == 0 && line.size() >= tag.size() &&
+        line.compare(line.size() - tag.size(), tag.size(), tag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int count_rule(const LintRun& run, const std::string& rule) {
+  const std::string tag = "[" + rule + "]";
+  int n = 0;
+  for (const std::string& line : run.lines) {
+    if (line.size() >= tag.size() &&
+        line.compare(line.size() - tag.size(), tag.size(), tag) == 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(LintTool, LayerViolationsReportExactLines) {
+  const LintRun run = run_lint("src/core/layer_violation.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_TRUE(has_diag(run, "src/core/layer_violation.cpp:5: error:", "layer"))
+      << run.output;
+  EXPECT_TRUE(has_diag(run, "src/core/layer_violation.cpp:6: error:", "layer"))
+      << run.output;
+  EXPECT_TRUE(has_diag(run, "src/core/layer_violation.cpp:7: error:", "layer"))
+      << run.output;
+  EXPECT_EQ(count_rule(run, "layer"), 3) << run.output;
+}
+
+TEST(LintTool, OsHeadersBannedOutsideNetRuntime) {
+  const LintRun run = run_lint("src/core/os_header_violation.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  for (int line : {5, 6, 7}) {
+    EXPECT_TRUE(has_diag(run,
+                         "src/core/os_header_violation.cpp:" +
+                             std::to_string(line) + ": error:",
+                         "os-header"))
+        << run.output;
+  }
+  EXPECT_EQ(count_rule(run, "os-header"), 3) << run.output;
+}
+
+TEST(LintTool, DeterminismBansTokensAndCalls) {
+  const LintRun run = run_lint("src/core/determinism_violation.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  for (int line : {7, 8, 9, 10, 11}) {
+    EXPECT_TRUE(has_diag(run,
+                         "src/core/determinism_violation.cpp:" +
+                             std::to_string(line) + ": error:",
+                         "determinism"))
+        << run.output;
+  }
+  // Strings, comments, and `my_strand` (identifier boundary) stay clean.
+  EXPECT_EQ(count_rule(run, "determinism"), 5) << run.output;
+}
+
+TEST(LintTool, HotPathAllocationContract) {
+  const LintRun run = run_lint("src/sim/hot_path.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  for (int line : {8, 9, 10, 11, 12}) {
+    EXPECT_TRUE(has_diag(run,
+                         "src/sim/hot_path.cpp:" + std::to_string(line) +
+                             ": error:",
+                         "hot-alloc"))
+        << run.output;
+  }
+  // Free functions named push_back/resize (no member access) are not hits.
+  EXPECT_EQ(count_rule(run, "hot-alloc"), 5) << run.output;
+}
+
+TEST(LintTool, ThresholdLiteralsFlagged) {
+  const LintRun run = run_lint("src/core/threshold_violation.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  for (int line : {6, 7, 8}) {
+    EXPECT_TRUE(has_diag(run,
+                         "src/core/threshold_violation.cpp:" +
+                             std::to_string(line) + ": error:",
+                         "threshold"))
+        << run.output;
+  }
+  // `(count + 2) / 2` on line 10 is not a quorum shape.
+  EXPECT_EQ(count_rule(run, "threshold"), 3) << run.output;
+}
+
+TEST(LintTool, SuppressionsSilenceDiagnosticsAndAreCounted) {
+  const LintRun run = run_lint("src/core/suppressed.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  // 3 markers; the whole-file os-header marker covers two includes, so 4
+  // diagnostics are suppressed in total.
+  EXPECT_NE(run.output.find("rcp-lint: 1 files, 0 error(s), 3 suppression(s) "
+                            "(4 diagnostic(s) suppressed)"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintTool, ListSuppressionsPrintsReasons) {
+  const LintRun run = run_lint("--list-suppressions src/core/suppressed.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("src/core/suppressed.cpp:9: note: "
+                            "allow(threshold) — fixture: standalone marker "
+                            "covers next line"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/core/suppressed.cpp:11: note: "
+                            "allow(determinism) — fixture: same-line marker"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintTool, UnusedAndMalformedSuppressionsAreErrors) {
+  const LintRun run = run_lint("src/core/unused_suppression.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_TRUE(has_diag(run, "src/core/unused_suppression.cpp:5: error:",
+                       "unused-suppression"))
+      << run.output;
+  EXPECT_TRUE(has_diag(run, "src/core/unused_suppression.cpp:7: error:",
+                       "bad-suppression"))
+      << run.output;
+}
+
+TEST(LintTool, CleanFileExitsZero) {
+  const LintRun run = run_lint("src/core/clean.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("rcp-lint: 1 files, 0 error(s), 0 suppression(s) "
+                            "(0 diagnostic(s) suppressed)"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintTool, WholeFixtureTreeSummary) {
+  const LintRun run = run_lint("");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(count_rule(run, "layer"), 3) << run.output;
+  EXPECT_EQ(count_rule(run, "os-header"), 3) << run.output;
+  EXPECT_EQ(count_rule(run, "determinism"), 5) << run.output;
+  EXPECT_EQ(count_rule(run, "hot-alloc"), 5) << run.output;
+  EXPECT_EQ(count_rule(run, "threshold"), 3) << run.output;
+  EXPECT_EQ(count_rule(run, "unused-suppression"), 1) << run.output;
+  EXPECT_EQ(count_rule(run, "bad-suppression"), 1) << run.output;
+  EXPECT_NE(run.output.find("rcp-lint: 8 files, 21 error(s), 4 suppression(s) "
+                            "(4 diagnostic(s) suppressed)"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintTool, MissingRulesFileIsUsageError) {
+  const std::string cmd = std::string(RCP_LINT_BIN) + " --root " +
+                          RCP_LINT_FIXTURES +
+                          " --rules /nonexistent/rules.toml 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::array<char, 4096> buf{};
+  std::string out;
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    out.append(buf.data(), got);
+  }
+  const int status = pclose(pipe);
+  ASSERT_TRUE(status >= 0 && WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2) << out;
+}
+
+}  // namespace

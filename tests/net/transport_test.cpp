@@ -7,10 +7,10 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/process.hpp"
 #include "net/cluster.hpp"
 #include "net/fault.hpp"
 #include "net/peer.hpp"
-#include "sim/process.hpp"
 
 namespace rcp::net {
 namespace {

@@ -7,8 +7,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/process.hpp"
 #include "common/rng.hpp"
-#include "sim/process.hpp"
 
 namespace rcp::test {
 

@@ -4,7 +4,7 @@
 #include <functional>
 #include <vector>
 
-#include "sim/process.hpp"
+#include "common/process.hpp"
 
 namespace rcp::test {
 

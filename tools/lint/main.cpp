@@ -1,0 +1,175 @@
+// rcp-lint entry point: walks the configured roots (or explicit paths),
+// scans every translation unit, applies the rule classes from
+// tools/lint_rules.toml and prints GCC-style diagnostics:
+//
+//   src/core/foo.cpp:12: error: ... [rule-id]
+//
+// Exit status: 0 clean, 1 violations found, 2 usage/config error. See
+// docs/LINT.md for the rule catalogue and suppression syntax.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "lint/scan.hpp"
+#include "lint/toml.hpp"
+
+namespace fs = std::filesystem;
+using rcp::lint::Config;
+using rcp::lint::Diag;
+using rcp::lint::ScannedFile;
+
+namespace {
+
+struct Options {
+  std::string root = ".";
+  std::string rules;
+  bool list_suppressions = false;
+  std::vector<std::string> paths;  ///< Explicit files/dirs; empty = config roots.
+};
+
+int usage() {
+  std::cerr << "usage: rcp-lint [--root DIR] [--rules FILE]"
+            << " [--list-suppressions] [paths...]\n"
+            << "  --root DIR            repository root (default: cwd)\n"
+            << "  --rules FILE          rule set (default: ROOT/tools/lint_rules.toml)\n"
+            << "  --list-suppressions   print every honored suppression\n"
+            << "  paths                 files or directories to lint instead of\n"
+            << "                        the configured roots (repo-relative or\n"
+            << "                        absolute; explicit files skip excludes)\n";
+  return 2;
+}
+
+/// Repo-relative, '/'-separated path for matching and diagnostics.
+std::string rel_path(const fs::path& p, const fs::path& root) {
+  return fs::relative(p, root).generic_string();
+}
+
+bool has_lint_extension(const fs::path& p, const Config& cfg) {
+  const std::string ext = p.extension().string();
+  return std::find(cfg.run.extensions.begin(), cfg.run.extensions.end(),
+                   ext) != cfg.run.extensions.end();
+}
+
+bool excluded(const std::string& rel, const Config& cfg) {
+  return std::any_of(cfg.run.exclude.begin(), cfg.run.exclude.end(),
+                     [&](const std::string& prefix) {
+                       return rel.compare(0, prefix.size(), prefix) == 0;
+                     });
+}
+
+void collect_dir(const fs::path& dir, const fs::path& root, const Config& cfg,
+                 std::vector<fs::path>& out) {
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file() || !has_lint_extension(entry.path(), cfg)) {
+      continue;
+    }
+    if (excluded(rel_path(entry.path(), root), cfg)) {
+      continue;
+    }
+    out.push_back(entry.path());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opt.root = argv[++i];
+    } else if (arg == "--rules" && i + 1 < argc) {
+      opt.rules = argv[++i];
+    } else if (arg == "--list-suppressions") {
+      opt.list_suppressions = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "rcp-lint: unknown option " << arg << "\n";
+      return usage();
+    } else {
+      opt.paths.push_back(arg);
+    }
+  }
+
+  try {
+    const fs::path root = fs::canonical(opt.root);
+    if (opt.rules.empty()) {
+      opt.rules = (root / "tools" / "lint_rules.toml").string();
+    }
+    const Config cfg = rcp::lint::load_config(
+        rcp::lint::parse_toml_file(opt.rules));
+
+    std::vector<fs::path> files;
+    if (opt.paths.empty()) {
+      for (const std::string& r : cfg.run.roots) {
+        const fs::path dir = root / r;
+        if (fs::is_directory(dir)) {
+          collect_dir(dir, root, cfg, files);
+        }
+      }
+    } else {
+      for (const std::string& p : opt.paths) {
+        const fs::path path = fs::path(p).is_absolute() ? fs::path(p)
+                                                        : root / p;
+        if (fs::is_directory(path)) {
+          collect_dir(path, root, cfg, files);
+        } else if (fs::is_regular_file(path)) {
+          files.push_back(path);  // explicit files bypass excludes
+        } else {
+          std::cerr << "rcp-lint: no such file: " << p << "\n";
+          return 2;
+        }
+      }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<Diag> errors;
+    std::size_t markers = 0;
+    std::size_t honored = 0;
+    std::vector<std::string> suppression_notes;
+    for (const fs::path& file : files) {
+      const ScannedFile scanned =
+          rcp::lint::scan_file(file.string(), rel_path(file, root));
+      const auto outcome = rcp::lint::apply_suppressions(
+          scanned, rcp::lint::check_file(scanned, cfg));
+      errors.insert(errors.end(), outcome.remaining.begin(),
+                    outcome.remaining.end());
+      errors.insert(errors.end(), outcome.meta.begin(), outcome.meta.end());
+      honored += outcome.honored;
+      for (const auto& s : scanned.suppressions) {
+        if (s.malformed) {
+          continue;
+        }
+        ++markers;
+        suppression_notes.push_back(scanned.path + ":" +
+                                    std::to_string(s.line) +
+                                    ": note: allow(" + s.rule + ") — " +
+                                    s.reason);
+      }
+    }
+
+    std::sort(errors.begin(), errors.end(), [](const Diag& a, const Diag& b) {
+      return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+    });
+    for (const Diag& d : errors) {
+      std::cout << d.file << ":" << d.line << ": error: " << d.msg << " ["
+                << d.rule << "]\n";
+    }
+    if (opt.list_suppressions) {
+      for (const std::string& note : suppression_notes) {
+        std::cout << note << "\n";
+      }
+    }
+    std::cout << "rcp-lint: " << files.size() << " files, " << errors.size()
+              << " error(s), " << markers << " suppression(s) ("
+              << honored << " diagnostic(s) suppressed)\n";
+    return errors.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "rcp-lint: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,334 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rcp::lint {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool matches_any_prefix(const std::string& path,
+                        const std::vector<std::string>& prefixes) {
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&](const std::string& p) { return starts_with(path, p); });
+}
+
+/// "sys/*" matches any header under sys/; otherwise exact match.
+bool header_matches(const std::string& target, const std::string& pattern) {
+  if (pattern.size() >= 2 && pattern.compare(pattern.size() - 2, 2, "/*") == 0) {
+    return starts_with(target, pattern.substr(0, pattern.size() - 1));
+  }
+  return target == pattern;
+}
+
+std::vector<std::string> get_array(const TomlTable& t, const std::string& key) {
+  const auto it = t.find(key);
+  if (it == t.end()) {
+    return {};
+  }
+  if (it->second.kind == TomlValue::Kind::string) {
+    return {it->second.str};
+  }
+  if (it->second.kind != TomlValue::Kind::array) {
+    throw std::runtime_error("rules: key `" + key + "` must be an array");
+  }
+  return it->second.array;
+}
+
+const TomlTable* get_table(const TomlDoc& doc, const std::string& name) {
+  const auto it = doc.find(name);
+  return it == doc.end() || it->second.empty() ? nullptr : &it->second.front();
+}
+
+/// Lines occupied by #include directives: token rules skip them so that
+/// `#include <new>` or `#include <ctime>` never trips a token ban (include
+/// hygiene belongs to the layer/os-header rules).
+std::vector<bool> include_lines(const ScannedFile& f) {
+  std::vector<bool> is_include(f.code.size() + 1, false);
+  for (const Include& inc : f.includes) {
+    if (inc.line < is_include.size()) {
+      is_include[inc.line] = true;
+    }
+  }
+  return is_include;
+}
+
+/// Index of the layer owning `path`, or npos.
+std::size_t layer_of(const std::string& path,
+                     const std::vector<LayerCfg>& layers) {
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (matches_any_prefix(path, layers[i].paths)) {
+      return i;
+    }
+  }
+  return std::string::npos;
+}
+
+void check_layering(const ScannedFile& f, const Config& cfg,
+                    std::vector<Diag>& out) {
+  const std::size_t self = layer_of(f.path, cfg.layers);
+  if (self == std::string::npos) {
+    return;  // tests/bench/examples: unconstrained edges
+  }
+  const LayerCfg& layer = cfg.layers[self];
+  for (const Include& inc : f.includes) {
+    if (inc.angled) {
+      continue;  // system headers are the os-header rule's business
+    }
+    // Quoted includes in layered code are rooted at src/.
+    const std::size_t target = layer_of("src/" + inc.target, cfg.layers);
+    if (target == std::string::npos) {
+      out.push_back(Diag{f.path, inc.line, "layer",
+                         "include \"" + inc.target +
+                             "\" does not resolve to a repo layer; layered "
+                             "code may only include layer headers"});
+      continue;
+    }
+    if (target == self) {
+      continue;
+    }
+    const std::string& dep = cfg.layers[target].name;
+    if (std::find(layer.deps.begin(), layer.deps.end(), dep) ==
+        layer.deps.end()) {
+      out.push_back(Diag{f.path, inc.line, "layer",
+                         "layer `" + layer.name + "` may not include \"" +
+                             inc.target + "\" from layer `" + dep + "`"});
+    }
+  }
+}
+
+void check_os_headers(const ScannedFile& f, const Config& cfg,
+                      std::vector<Diag>& out) {
+  if (matches_any_prefix(f.path, cfg.os_headers.allow_paths)) {
+    return;
+  }
+  for (const Include& inc : f.includes) {
+    for (const std::string& pattern : cfg.os_headers.banned) {
+      if (header_matches(inc.target, pattern)) {
+        out.push_back(Diag{f.path, inc.line, "os-header",
+                           "OS/concurrency header <" + inc.target +
+                               "> is banned outside the net/runtime layers "
+                               "(sans-io cores, see docs/LINT.md)"});
+        break;
+      }
+    }
+  }
+}
+
+void check_determinism(const ScannedFile& f, const Config& cfg,
+                       std::vector<Diag>& out) {
+  if (matches_any_prefix(f.path, cfg.determinism.allow_paths)) {
+    return;
+  }
+  const std::vector<bool> skip = include_lines(f);
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (skip[i + 1]) {
+      continue;
+    }
+    for (const std::string& token : cfg.determinism.tokens) {
+      if (line_has_token(f.code[i], token, /*as_call=*/false,
+                         /*member_only=*/false)) {
+        out.push_back(Diag{f.path, i + 1, "determinism",
+                           "non-deterministic construct `" + token +
+                               "`; all randomness must flow from the seeded "
+                               "rcp::Rng (common/rng.hpp)"});
+      }
+    }
+    for (const std::string& call : cfg.determinism.calls) {
+      if (line_has_token(f.code[i], call, /*as_call=*/true,
+                         /*member_only=*/false)) {
+        out.push_back(Diag{f.path, i + 1, "determinism",
+                           "call to `" + call +
+                               "()` breaks seed-determinism; derive values "
+                               "from the trial seed instead"});
+      }
+    }
+  }
+}
+
+void check_allocation(const ScannedFile& f, const Config& cfg,
+                      std::vector<Diag>& out) {
+  if (!matches_any_prefix(f.path, cfg.allocation.files)) {
+    return;
+  }
+  const std::vector<bool> skip = include_lines(f);
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (skip[i + 1]) {
+      continue;
+    }
+    const std::string& code = f.code[i];
+    if (cfg.allocation.ban_new &&
+        line_has_token(code, "new", /*as_call=*/false, /*member_only=*/false)) {
+      out.push_back(Diag{f.path, i + 1, "hot-alloc",
+                         "`new` in an allocation-contract file (the sim hot "
+                         "path must stay allocation-free, docs/PERF.md)"});
+    }
+    // alloc_calls are matched as bare tokens (not call position) so that
+    // template spellings like make_unique<T>(...) are caught too.
+    for (const std::string& call : cfg.allocation.alloc_calls) {
+      if (line_has_token(code, call, /*as_call=*/false, /*member_only=*/false)) {
+        out.push_back(Diag{f.path, i + 1, "hot-alloc",
+                           "allocator call `" + call +
+                               "()` in an allocation-contract file"});
+      }
+    }
+    for (const std::string& call : cfg.allocation.growth_calls) {
+      if (line_has_token(code, call, /*as_call=*/true, /*member_only=*/true)) {
+        out.push_back(Diag{f.path, i + 1, "hot-alloc",
+                           "growth-capable container call `." + call +
+                               "()` in an allocation-contract file"});
+      }
+    }
+  }
+}
+
+void check_threshold(const ScannedFile& f, const Config& cfg,
+                     std::vector<Diag>& out) {
+  if (!matches_any_prefix(f.path, cfg.threshold.paths) ||
+      matches_any_prefix(f.path, cfg.threshold.exempt)) {
+    return;
+  }
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    for (std::size_t p = 0; p < cfg.threshold.patterns.size(); ++p) {
+      if (std::regex_search(f.code[i], cfg.threshold.patterns[p])) {
+        out.push_back(
+            Diag{f.path, i + 1, "threshold",
+                 "inline quorum arithmetic matching /" +
+                     cfg.threshold.pattern_text[p] +
+                     "/; the paper's threshold predicates live in "
+                     "core/params.hpp (ConsensusParams accessors)"});
+        break;  // one threshold diagnostic per line is enough
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Config load_config(const TomlDoc& doc) {
+  Config cfg;
+  if (const TomlTable* run = get_table(doc, "run")) {
+    cfg.run.roots = get_array(*run, "roots");
+    cfg.run.exclude = get_array(*run, "exclude");
+    cfg.run.extensions = get_array(*run, "extensions");
+  }
+  if (cfg.run.extensions.empty()) {
+    cfg.run.extensions = {".hpp", ".cpp", ".h"};
+  }
+  const auto layer_it = doc.find("layer");
+  if (layer_it == doc.end()) {
+    throw std::runtime_error("rules: at least one [[layer]] is required");
+  }
+  for (const TomlTable& t : layer_it->second) {
+    LayerCfg layer;
+    const auto name = t.find("name");
+    if (name == t.end() || name->second.kind != TomlValue::Kind::string) {
+      throw std::runtime_error("rules: [[layer]] needs a string `name`");
+    }
+    layer.name = name->second.str;
+    layer.paths = get_array(t, "paths");
+    layer.deps = get_array(t, "deps");
+    cfg.layers.push_back(std::move(layer));
+  }
+  for (const LayerCfg& layer : cfg.layers) {
+    for (const std::string& dep : layer.deps) {
+      if (std::none_of(cfg.layers.begin(), cfg.layers.end(),
+                       [&](const LayerCfg& l) { return l.name == dep; })) {
+        throw std::runtime_error("rules: layer `" + layer.name +
+                                 "` depends on unknown layer `" + dep + "`");
+      }
+    }
+  }
+  if (const TomlTable* t = get_table(doc, "os_headers")) {
+    cfg.os_headers.banned = get_array(*t, "banned");
+    cfg.os_headers.allow_paths = get_array(*t, "allow_paths");
+  }
+  if (const TomlTable* t = get_table(doc, "determinism")) {
+    cfg.determinism.tokens = get_array(*t, "banned_tokens");
+    cfg.determinism.calls = get_array(*t, "banned_calls");
+    cfg.determinism.allow_paths = get_array(*t, "allow_paths");
+  }
+  if (const TomlTable* t = get_table(doc, "allocation")) {
+    cfg.allocation.files = get_array(*t, "files");
+    cfg.allocation.alloc_calls = get_array(*t, "alloc_calls");
+    cfg.allocation.growth_calls = get_array(*t, "growth_calls");
+    const auto ban = t->find("ban_new");
+    cfg.allocation.ban_new =
+        ban == t->end() || ban->second.kind != TomlValue::Kind::boolean ||
+        ban->second.boolean;
+  }
+  if (const TomlTable* t = get_table(doc, "threshold")) {
+    cfg.threshold.paths = get_array(*t, "paths");
+    cfg.threshold.exempt = get_array(*t, "exempt");
+    cfg.threshold.pattern_text = get_array(*t, "patterns");
+    for (const std::string& pattern : cfg.threshold.pattern_text) {
+      try {
+        cfg.threshold.patterns.emplace_back(pattern);
+      } catch (const std::regex_error&) {
+        throw std::runtime_error("rules: bad threshold regex: " + pattern);
+      }
+    }
+  }
+  return cfg;
+}
+
+std::vector<Diag> check_file(const ScannedFile& f, const Config& cfg) {
+  std::vector<Diag> out;
+  check_layering(f, cfg, out);
+  check_os_headers(f, cfg, out);
+  check_determinism(f, cfg, out);
+  check_allocation(f, cfg, out);
+  check_threshold(f, cfg, out);
+  return out;
+}
+
+SuppressionOutcome apply_suppressions(const ScannedFile& f,
+                                      const std::vector<Diag>& raw) {
+  SuppressionOutcome result;
+  std::vector<bool> used(f.suppressions.size(), false);
+  for (std::size_t i = 0; i < f.suppressions.size(); ++i) {
+    if (f.suppressions[i].malformed) {
+      result.meta.push_back(
+          Diag{f.path, f.suppressions[i].line, "bad-suppression",
+               "malformed marker; expected `// rcp-lint: allow(rule-id) "
+               "reason` with a non-empty reason"});
+      used[i] = true;  // don't double-report as unused
+    }
+  }
+  for (const Diag& d : raw) {
+    bool suppressed = false;
+    for (std::size_t i = 0; i < f.suppressions.size(); ++i) {
+      const Suppression& s = f.suppressions[i];
+      if (s.malformed || s.rule != d.rule) {
+        continue;
+      }
+      const bool covers = s.whole_file || s.line == d.line ||
+                          (s.standalone && s.line + 1 == d.line);
+      if (covers) {
+        used[i] = true;
+        suppressed = true;
+      }
+    }
+    if (suppressed) {
+      ++result.honored;
+    } else {
+      result.remaining.push_back(d);
+    }
+  }
+  for (std::size_t i = 0; i < f.suppressions.size(); ++i) {
+    if (!used[i]) {
+      result.meta.push_back(
+          Diag{f.path, f.suppressions[i].line, "unused-suppression",
+               "suppression for `" + f.suppressions[i].rule +
+                   "` matched no diagnostic; delete it"});
+    }
+  }
+  return result;
+}
+
+}  // namespace rcp::lint

@@ -1,0 +1,111 @@
+// rcp-lint rule engine: the machine-readable invariants from
+// tools/lint_rules.toml applied to scanned translation units.
+//
+// Four rule classes guard the properties the paper's correctness argument
+// leans on (docs/LINT.md maps each to the paper):
+//
+//   layer       — the include graph must follow
+//                 common -> core/analysis -> {sim, extensions, baselines,
+//                 adversary} -> runtime/net; protocol cores stay sans-io.
+//   os-header   — OS/network/threading headers are banned outside the
+//                 transport and runtime layers.
+//   determinism — std::random_device, rand(), time(), system_clock and
+//                 std::<random> engines are banned outside common/rng;
+//                 every run must be a pure function of its seed.
+//   hot-alloc   — allocation and growth-capable container calls are banned
+//                 in the files covered by the operator-new counting
+//                 contract (sim step path, Payload, Mailbox).
+//   threshold   — the paper's quorum predicates (> n/2, > (n+k)/2, 2k+1)
+//                 must go through core/params.hpp accessors, never inline
+//                 arithmetic.
+//
+// Plus two meta rules: unused-suppression (an `allow` that matched nothing)
+// and bad-suppression (a marker without rule id or reason).
+#pragma once
+
+#include <cstddef>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "lint/scan.hpp"
+#include "lint/toml.hpp"
+
+namespace rcp::lint {
+
+struct Diag {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string msg;
+};
+
+struct LayerCfg {
+  std::string name;
+  std::vector<std::string> paths;  ///< Repo-relative prefixes, e.g. "src/core/".
+  std::vector<std::string> deps;   ///< Layer names this layer may include.
+};
+
+struct OsHeaderCfg {
+  std::vector<std::string> banned;       ///< Exact names or "dir/*" prefixes.
+  std::vector<std::string> allow_paths;  ///< File/dir prefixes exempted.
+};
+
+struct DeterminismCfg {
+  std::vector<std::string> tokens;       ///< Banned bare identifiers.
+  std::vector<std::string> calls;        ///< Banned only when called: `x(`.
+  std::vector<std::string> allow_paths;
+};
+
+struct AllocationCfg {
+  std::vector<std::string> files;        ///< Covered file prefixes.
+  std::vector<std::string> alloc_calls;  ///< malloc & friends (call position).
+  std::vector<std::string> growth_calls; ///< Member calls that may grow.
+  bool ban_new = true;                   ///< Also ban the `new` keyword.
+};
+
+struct ThresholdCfg {
+  std::vector<std::string> paths;
+  std::vector<std::string> exempt;
+  std::vector<std::string> pattern_text;
+  std::vector<std::regex> patterns;
+};
+
+struct RunCfg {
+  std::vector<std::string> roots;       ///< Directories walked by default.
+  std::vector<std::string> exclude;     ///< Prefixes skipped while walking.
+  std::vector<std::string> extensions;  ///< e.g. ".hpp", ".cpp".
+};
+
+struct Config {
+  RunCfg run;
+  std::vector<LayerCfg> layers;
+  OsHeaderCfg os_headers;
+  DeterminismCfg determinism;
+  AllocationCfg allocation;
+  ThresholdCfg threshold;
+};
+
+/// Builds a Config from a parsed rules file; throws std::runtime_error on
+/// missing sections or unknown layer names in deps.
+[[nodiscard]] Config load_config(const TomlDoc& doc);
+
+/// Runs every rule class over one file. Returned diagnostics are raw —
+/// suppressions have not been applied yet.
+[[nodiscard]] std::vector<Diag> check_file(const ScannedFile& f,
+                                           const Config& cfg);
+
+struct SuppressionOutcome {
+  std::vector<Diag> remaining;  ///< Diagnostics that survived suppression.
+  std::vector<Diag> meta;       ///< unused-/bad-suppression diagnostics.
+  std::size_t honored = 0;      ///< Count of suppressions that matched.
+};
+
+/// Applies the file's lint `allow(...)` markers to `raw`: a marker
+/// covers its own line, the following line when it stands alone, or the
+/// whole file for allow-file. Unused and malformed markers become errors —
+/// the suppression inventory must stay exact.
+[[nodiscard]] SuppressionOutcome apply_suppressions(
+    const ScannedFile& f, const std::vector<Diag>& raw);
+
+}  // namespace rcp::lint

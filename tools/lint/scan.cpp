@@ -1,0 +1,286 @@
+#include "lint/scan.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rcp::lint {
+
+namespace {
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Splits a file into lines, normalizing \r\n.
+std::vector<std::string> read_lines(const std::string& abs_path) {
+  std::ifstream in(abs_path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read " + abs_path);
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Lexer state carried across lines.
+struct LexState {
+  enum class Mode { code, block_comment, string, raw_string } mode = Mode::code;
+  char quote = '"';          ///< Terminator for Mode::string ('"' or '\'').
+  std::string raw_delim;     ///< )delim" terminator for raw strings.
+};
+
+/// Blanks comments and literals out of one line, appending comment text to
+/// `comment_out`; returns the blanked code. Multi-line constructs carry
+/// over through `st`.
+std::string blank_line(const std::string& line, LexState& st,
+                       std::string& comment_out) {
+  std::string code;
+  code.reserve(line.size());
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  while (i < n) {
+    const char c = line[i];
+    switch (st.mode) {
+      case LexState::Mode::block_comment: {
+        if (c == '*' && i + 1 < n && line[i + 1] == '/') {
+          st.mode = LexState::Mode::code;
+          code.append("  ");
+          i += 2;
+        } else {
+          comment_out.push_back(c);
+          code.push_back(' ');
+          ++i;
+        }
+        break;
+      }
+      case LexState::Mode::string: {
+        if (c == '\\' && i + 1 < n) {
+          code.append("  ");
+          i += 2;
+        } else {
+          if (c == st.quote) {
+            st.mode = LexState::Mode::code;
+          }
+          code.push_back(' ');
+          ++i;
+        }
+        break;
+      }
+      case LexState::Mode::raw_string: {
+        const std::string end = ")" + st.raw_delim + "\"";
+        const std::size_t pos = line.find(end, i);
+        if (pos == std::string::npos) {
+          code.append(n - i, ' ');
+          i = n;
+        } else {
+          code.append(pos + end.size() - i, ' ');
+          i = pos + end.size();
+          st.mode = LexState::Mode::code;
+        }
+        break;
+      }
+      case LexState::Mode::code: {
+        if (c == '/' && i + 1 < n && line[i + 1] == '/') {
+          comment_out.append(line.substr(i + 2));
+          code.append(n - i, ' ');
+          i = n;
+        } else if (c == '/' && i + 1 < n && line[i + 1] == '*') {
+          st.mode = LexState::Mode::block_comment;
+          code.append("  ");
+          i += 2;
+        } else if (c == '"' || c == '\'') {
+          // Digit separator (1'000'000): a quote sandwiched between
+          // identifier characters is not a literal delimiter.
+          if (c == '\'' && i > 0 && is_ident(line[i - 1]) && i + 1 < n &&
+              is_ident(line[i + 1])) {
+            code.push_back(' ');
+            ++i;
+            break;
+          }
+          // Raw string: R"delim( ... — the R may carry encoding prefixes.
+          if (c == '"' && i > 0 && line[i - 1] == 'R' &&
+              (i < 2 || !is_ident(line[i - 2]))) {
+            const std::size_t open = line.find('(', i + 1);
+            if (open != std::string::npos) {
+              st.raw_delim = line.substr(i + 1, open - i - 1);
+              st.mode = LexState::Mode::raw_string;
+              code.append(open - i + 1, ' ');
+              i = open + 1;
+              break;
+            }
+          }
+          st.mode = LexState::Mode::string;
+          st.quote = c;
+          code.push_back(' ');
+          ++i;
+        } else {
+          code.push_back(c);
+          ++i;
+        }
+        break;
+      }
+    }
+  }
+  // An unterminated // comment never spans lines; plain strings only span
+  // via a trailing backslash, which the repo does not use — reset to be
+  // line-robust (block comments and raw strings do legitimately span).
+  if (st.mode == LexState::Mode::string) {
+    st.mode = LexState::Mode::code;
+  }
+  return code;
+}
+
+/// Parses a lint suppression marker out of one line's comment text, if any.
+void parse_suppression(const std::string& comment, std::size_t line_no,
+                       bool standalone, std::vector<Suppression>& out) {
+  const std::size_t at = comment.find("rcp-lint:");
+  if (at == std::string::npos) {
+    return;
+  }
+  Suppression s;
+  s.line = line_no;
+  s.standalone = standalone;
+  std::size_t i = at + std::string("rcp-lint:").size();
+  while (i < comment.size() && comment[i] == ' ') {
+    ++i;
+  }
+  std::string keyword;
+  while (i < comment.size() && (is_ident(comment[i]) || comment[i] == '-')) {
+    keyword.push_back(comment[i]);
+    ++i;
+  }
+  if (keyword == "allow-file") {
+    s.whole_file = true;
+  } else if (keyword != "allow") {
+    s.malformed = true;
+    out.push_back(std::move(s));
+    return;
+  }
+  if (i >= comment.size() || comment[i] != '(') {
+    s.malformed = true;
+    out.push_back(std::move(s));
+    return;
+  }
+  ++i;
+  while (i < comment.size() && comment[i] != ')') {
+    s.rule.push_back(comment[i]);
+    ++i;
+  }
+  if (i >= comment.size() || s.rule.empty()) {
+    s.malformed = true;
+    out.push_back(std::move(s));
+    return;
+  }
+  ++i;  // ')'
+  while (i < comment.size() && comment[i] == ' ') {
+    ++i;
+  }
+  s.reason = comment.substr(i);
+  while (!s.reason.empty() && s.reason.back() == ' ') {
+    s.reason.pop_back();
+  }
+  if (s.reason.empty()) {
+    s.malformed = true;  // a suppression must say why
+  }
+  out.push_back(std::move(s));
+}
+
+bool blank_code(const std::string& code) {
+  for (const char c : code) {
+    if (c != ' ' && c != '\t') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ScannedFile scan_file(const std::string& abs_path,
+                      const std::string& rel_path) {
+  ScannedFile f;
+  f.path = rel_path;
+  const std::vector<std::string> lines = read_lines(abs_path);
+  LexState st;
+  for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+    std::string comment;
+    std::string code = blank_line(lines[idx], st, comment);
+    const std::size_t line_no = idx + 1;
+    parse_suppression(comment, line_no, blank_code(code), f.suppressions);
+
+    // #include extraction (only meaningful on code lines).
+    std::size_t i = 0;
+    while (i < code.size() && (code[i] == ' ' || code[i] == '\t')) {
+      ++i;
+    }
+    if (i < code.size() && code[i] == '#') {
+      ++i;
+      while (i < code.size() && (code[i] == ' ' || code[i] == '\t')) {
+        ++i;
+      }
+      if (code.compare(i, 7, "include") == 0) {
+        // The blanked line has spaces where the "..." target was; recover
+        // the target from the raw line instead.
+        const std::string& raw = lines[idx];
+        const std::size_t lt = raw.find_first_of("<\"", i + 7);
+        if (lt != std::string::npos) {
+          const char close_ch = raw[lt] == '<' ? '>' : '"';
+          const std::size_t gt = raw.find(close_ch, lt + 1);
+          if (gt != std::string::npos) {
+            f.includes.push_back(Include{
+                line_no, raw.substr(lt + 1, gt - lt - 1), raw[lt] == '<'});
+          }
+        }
+      }
+    }
+    f.code.push_back(std::move(code));
+  }
+  return f;
+}
+
+bool line_has_token(const std::string& code, const std::string& token,
+                    bool as_call, bool member_only) {
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t at = code.find(token, from);
+    if (at == std::string::npos) {
+      return false;
+    }
+    from = at + 1;
+    // Identifier boundaries.
+    if (at > 0 && is_ident(code[at - 1])) {
+      continue;
+    }
+    const std::size_t end = at + token.size();
+    if (end < code.size() && is_ident(code[end])) {
+      continue;
+    }
+    // Member access prefix: `.token` / `->token`.
+    const bool member =
+        (at > 0 && code[at - 1] == '.') ||
+        (at > 1 && code[at - 2] == '-' && code[at - 1] == '>');
+    if (member != member_only) {
+      continue;
+    }
+    if (as_call) {
+      std::size_t j = end;
+      while (j < code.size() && code[j] == ' ') {
+        ++j;
+      }
+      if (j >= code.size() || code[j] != '(') {
+        continue;
+      }
+    }
+    return true;
+  }
+}
+
+}  // namespace rcp::lint

@@ -1,0 +1,65 @@
+// Translation-unit scanner for rcp-lint.
+//
+// rcp-lint needs exactly three views of a C++ source file, all line-exact so
+// diagnostics carry real line numbers:
+//
+//   * `code`      — the file with comments, string literals and character
+//                   literals blanked out (newlines preserved), so token and
+//                   regex rules never fire on prose or payload bytes;
+//   * `includes`  — every #include directive with its target and whether it
+//                   used angle brackets;
+//   * `suppressions` — every lint `allow(rule-id) reason` marker comment.
+//
+// This is a hand-rolled lexer, not a compiler frontend, on purpose: the
+// invariants being checked are lexical (banned headers, banned identifiers,
+// banned call spellings), a full parse buys nothing, and avoiding a
+// clang/LLVM dev dependency keeps the lint gate runnable everywhere the
+// tests run. The lexer does understand the hard lexical cases: escape
+// sequences, raw strings R"delim(...)delim", digit separators (1'000'000),
+// and line continuations inside // comments.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rcp::lint {
+
+struct Include {
+  std::size_t line = 0;     ///< 1-based line of the directive.
+  std::string target;       ///< Header path as written, without delimiters.
+  bool angled = false;      ///< <...> (true) vs "..." (false).
+};
+
+struct Suppression {
+  std::size_t line = 0;     ///< 1-based line the comment sits on.
+  std::string rule;         ///< Rule id inside allow(...).
+  std::string reason;       ///< Free text after the closing parenthesis.
+  bool standalone = false;  ///< Comment is alone on its line (covers the
+                            ///< next line as well as its own).
+  bool whole_file = false;  ///< allow-file(...): covers the whole file.
+  bool malformed = false;   ///< Marker present but unparsable / no reason.
+};
+
+struct ScannedFile {
+  std::string path;                    ///< Repo-relative, '/'-separated.
+  std::vector<std::string> code;       ///< Blanked code, one entry per line.
+  std::vector<Include> includes;
+  std::vector<Suppression> suppressions;
+};
+
+/// Scans the file at `abs_path`, reporting it under `rel_path` in
+/// diagnostics. Throws std::runtime_error if the file cannot be read.
+[[nodiscard]] ScannedFile scan_file(const std::string& abs_path,
+                                    const std::string& rel_path);
+
+/// True if `code` contains identifier `token` at an identifier boundary at
+/// some position; `as_call` additionally requires a following `(`, and
+/// `member_only` requires a preceding `.` or `->`. Member access (`.`/`->`)
+/// before the token is *excluded* unless member_only is set, so `x.time()`
+/// does not trip the `time` rule while `std::time(` and bare `time(` do.
+[[nodiscard]] bool line_has_token(const std::string& code,
+                                  const std::string& token, bool as_call,
+                                  bool member_only);
+
+}  // namespace rcp::lint

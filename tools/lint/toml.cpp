@@ -1,0 +1,170 @@
+#include "lint/toml.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rcp::lint {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, std::size_t line,
+                       const std::string& what) {
+  std::ostringstream os;
+  os << path << ":" << line << ": toml: " << what;
+  throw std::runtime_error(os.str());
+}
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) {
+    ++i;
+  }
+}
+
+/// True if the rest of `s` from `i` is blank or a comment.
+bool at_line_end(const std::string& s, std::size_t i) {
+  skip_ws(s, i);
+  return i >= s.size() || s[i] == '#';
+}
+
+std::string parse_string(const std::string& path, std::size_t line_no,
+                         const std::string& s, std::size_t& i) {
+  const char quote = s[i];
+  ++i;
+  std::string out;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == quote) {
+      ++i;
+      return out;
+    }
+    if (quote == '"' && c == '\\') {
+      if (i + 1 >= s.size()) {
+        fail(path, line_no, "dangling escape in string");
+      }
+      const char esc = s[i + 1];
+      switch (esc) {
+        case '\\': out.push_back('\\'); break;
+        case '"': out.push_back('"'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        default: fail(path, line_no, "unsupported escape in string");
+      }
+      i += 2;
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  fail(path, line_no, "unterminated string");
+}
+
+}  // namespace
+
+TomlDoc parse_toml_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open rules file: " + path);
+  }
+  TomlDoc doc;
+  TomlTable* current = &doc[""].emplace_back();
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t i = 0;
+    skip_ws(line, i);
+    if (i >= line.size() || line[i] == '#') {
+      continue;
+    }
+    if (line[i] == '[') {
+      const bool array_of_tables = i + 1 < line.size() && line[i + 1] == '[';
+      const std::size_t open = i + (array_of_tables ? 2 : 1);
+      const std::string closer = array_of_tables ? "]]" : "]";
+      const std::size_t close = line.find(closer, open);
+      if (close == std::string::npos ||
+          !at_line_end(line, close + closer.size())) {
+        fail(path, line_no, "malformed table header");
+      }
+      std::string name = line.substr(open, close - open);
+      if (name.empty()) {
+        fail(path, line_no, "empty table name");
+      }
+      auto& tables = doc[name];
+      if (array_of_tables || tables.empty()) {
+        tables.emplace_back();
+      }
+      current = &tables.back();
+      continue;
+    }
+    // key = value
+    const std::size_t key_start = i;
+    while (i < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[i])) != 0 ||
+            line[i] == '_' || line[i] == '-')) {
+      ++i;
+    }
+    const std::string key = line.substr(key_start, i - key_start);
+    skip_ws(line, i);
+    if (key.empty() || i >= line.size() || line[i] != '=') {
+      fail(path, line_no, "expected `key = value`");
+    }
+    ++i;
+    skip_ws(line, i);
+    if (i >= line.size()) {
+      fail(path, line_no, "missing value");
+    }
+    TomlValue value;
+    if (line[i] == '"' || line[i] == '\'') {
+      value.kind = TomlValue::Kind::string;
+      value.str = parse_string(path, line_no, line, i);
+    } else if (line[i] == '[') {
+      value.kind = TomlValue::Kind::array;
+      ++i;
+      bool done = false;
+      while (!done) {
+        skip_ws(line, i);
+        if (at_line_end(line, i)) {
+          // Multi-line array: keep consuming lines until the closing `]`.
+          if (!std::getline(in, line)) {
+            fail(path, line_no, "unterminated array");
+          }
+          ++line_no;
+          i = 0;
+          continue;
+        }
+        if (line[i] == ']') {
+          ++i;
+          done = true;
+        } else if (line[i] == ',') {
+          ++i;
+        } else if (line[i] == '"' || line[i] == '\'') {
+          value.array.push_back(parse_string(path, line_no, line, i));
+        } else {
+          fail(path, line_no, "arrays may contain only strings");
+        }
+      }
+    } else if (line.compare(i, 4, "true") == 0) {
+      value.kind = TomlValue::Kind::boolean;
+      value.boolean = true;
+      i += 4;
+    } else if (line.compare(i, 5, "false") == 0) {
+      value.kind = TomlValue::Kind::boolean;
+      value.boolean = false;
+      i += 5;
+    } else {
+      fail(path, line_no, "unsupported value type");
+    }
+    if (!at_line_end(line, i)) {
+      fail(path, line_no, "trailing characters after value");
+    }
+    if (current->count(key) != 0) {
+      fail(path, line_no, "duplicate key: " + key);
+    }
+    (*current)[key] = std::move(value);
+  }
+  return doc;
+}
+
+}  // namespace rcp::lint

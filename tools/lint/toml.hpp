@@ -1,0 +1,39 @@
+// Minimal TOML-subset reader for tools/lint_rules.toml.
+//
+// rcp-lint deliberately has zero dependencies beyond the C++ standard
+// library (no clang/LLVM, no TOML library), so it reads the small subset of
+// TOML the rule file actually uses: `[table]` headers, `[[table]]`
+// array-of-table headers, `key = value` pairs where a value is a basic
+// string ("..." with \\ \" \n \t escapes), a literal string ('...', no
+// escapes — used for regexes), a boolean, or a (possibly multi-line) array
+// of strings. Anything outside that subset is a hard error: the rule file
+// is part of the build contract and must not half-parse.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rcp::lint {
+
+/// One `key = value` value: a string, a bool, or an array of strings.
+struct TomlValue {
+  enum class Kind { string, boolean, array };
+  Kind kind = Kind::string;
+  std::string str;
+  bool boolean = false;
+  std::vector<std::string> array;
+};
+
+/// One table ([name] or one element of [[name]]).
+using TomlTable = std::map<std::string, TomlValue>;
+
+/// Parsed document: table name -> occurrences ([name] yields one, [[name]]
+/// one per header). Top-level keys live under the "" table.
+using TomlDoc = std::map<std::string, std::vector<TomlTable>>;
+
+/// Parses `path`; throws std::runtime_error with file:line context on any
+/// syntax the subset does not cover.
+[[nodiscard]] TomlDoc parse_toml_file(const std::string& path);
+
+}  // namespace rcp::lint
