@@ -183,8 +183,34 @@ void BM_EchoEngineAcceptPath(benchmark::State& state) {
           0));
     }
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
 }
-BENCHMARK(BM_EchoEngineAcceptPath)->Arg(7)->Arg(31)->Arg(100);
+BENCHMARK(BM_EchoEngineAcceptPath)->Arg(7)->Arg(31)->Arg(127)->Arg(301);
+
+// Steady state: one engine absorbs full n x n echo matrices phase after
+// phase (dedup bitsets recycled by advance(), counters flat). items/sec is
+// echoes/sec — the number tools/check_bench_regression.py gates on.
+void BM_EchoEngineSteadyState(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::ConsensusParams params{n, (n - 1) / 3};
+  core::EchoEngine engine(params);
+  Phase t = 0;
+  for (auto _ : state) {
+    for (ProcessId origin = 0; origin < n; ++origin) {
+      for (ProcessId echoer = 0; echoer < n; ++echoer) {
+        benchmark::DoNotOptimize(engine.handle(
+            echoer,
+            core::EchoProtocolMsg{.is_echo = true, .from = origin,
+                                  .value = Value::one, .phase = t},
+            t));
+      }
+    }
+    (void)engine.advance(++t);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n);
+}
+BENCHMARK(BM_EchoEngineSteadyState)->Arg(7)->Arg(31)->Arg(127)->Arg(301);
 
 void BM_SimulationStepFailStop(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));

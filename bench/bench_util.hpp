@@ -91,6 +91,10 @@ class Stopwatch {
 /// SeriesResult (the Markov/raw-run_trials harnesses time custom
 /// accumulators, so only throughput is meaningful there).
 struct SeriesRecord {
+  /// Optional stable identifier emitted into the JSON report; the CI bench
+  /// regression gate (tools/check_bench_regression.py) matches series by
+  /// label, so labelled entries must keep their names across runs.
+  std::string label;
   std::uint64_t trials = 0;
   double wall_seconds = 0.0;
   bool has_stats = false;
@@ -122,6 +126,14 @@ class ThroughputMeter {
   }
   void note(std::uint64_t trials, double seconds) {
     SeriesRecord rec;
+    rec.trials = trials;
+    rec.wall_seconds = seconds;
+    note(rec);
+  }
+  /// Labelled variant for series the CI regression gate tracks by name.
+  void note_labeled(std::string label, std::uint64_t trials, double seconds) {
+    SeriesRecord rec;
+    rec.label = std::move(label);
     rec.trials = trials;
     rec.wall_seconds = seconds;
     note(rec);
@@ -180,6 +192,9 @@ inline void write_report(std::ostream& os, std::string_view harness,
   w.begin_array();
   for (const SeriesRecord& rec : meter.records()) {
     w.begin_object();
+    if (!rec.label.empty()) {
+      w.field("label", rec.label);
+    }
     w.field("trials", rec.trials);
     w.field("wall_seconds", rec.wall_seconds);
     w.field("trials_per_sec", rec.wall_seconds > 0.0

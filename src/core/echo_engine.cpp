@@ -2,12 +2,31 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
+
 namespace rcp::core {
+
+EchoEngine::EchoEngine(ConsensusParams params)
+    : params_(params),
+      echo_window_(static_cast<std::size_t>(kPhaseWindow) * params.n,
+                   params.n) {
+  // rcp-lint: allow(hot-alloc) one-time table setup at construction
+  initial_next_.assign(params.n, 0);
+  // rcp-lint: allow(hot-alloc) one-time table setup at construction
+  counts_.assign(params.n, ValueCounts{});
+}
 
 EchoEngine::Outcome EchoEngine::handle(ProcessId sender,
                                        const EchoProtocolMsg& msg,
                                        Phase current_phase) {
   Outcome out;
+  // The wire format does not bound `from`; a fabricated origin >= n can
+  // never be accepted (correct processes never echo it, and the k possible
+  // Byzantine echoes are below any quorum), so drop it before it can touch
+  // an origin-indexed table.
+  if (msg.from >= params_.n) {
+    return out;
+  }
   if (!msg.is_echo) {
     // Initial message: the model's authenticated identities let us reject
     // forgeries outright. Without this check one malicious process could
@@ -16,7 +35,7 @@ EchoEngine::Outcome EchoEngine::handle(ProcessId sender,
     if (msg.from != sender) {
       return out;
     }
-    if (!seen_initial_.emplace(msg.from, msg.phase).second) {
+    if (!initial_is_fresh(msg.from, msg.phase)) {
       return out;  // duplicate initial; only the first is echoed
     }
     out.echo_to_broadcast = EchoProtocolMsg{
@@ -24,7 +43,7 @@ EchoEngine::Outcome EchoEngine::handle(ProcessId sender,
     return out;
   }
 
-  // Stale echoes are dropped without touching the dedup set: recording
+  // Stale echoes are dropped without touching the dedup table: recording
   // them would let a Byzantine process grow our memory without bound by
   // replaying old-phase traffic.
   if (msg.phase < current_phase) {
@@ -33,10 +52,11 @@ EchoEngine::Outcome EchoEngine::handle(ProcessId sender,
   // At most one echo per (echoer, origin, phase) is processed, regardless
   // of value — so a correct receiver never counts two echoes from the same
   // echoer about the same origin and phase.
-  if (!seen_echo_.emplace(sender, msg.from, msg.phase).second) {
+  if (!record_echo(sender, msg.from, msg.phase)) {
     return out;
   }
   if (msg.phase > current_phase) {
+    // rcp-lint: allow(hot-alloc) deferred ring growth until steady state
     deferred_.push_back(
         DeferredEcho{.origin = msg.from, .value = msg.value, .phase = msg.phase});
     return out;
@@ -45,45 +65,141 @@ EchoEngine::Outcome EchoEngine::handle(ProcessId sender,
   return out;
 }
 
+bool EchoEngine::initial_is_fresh(ProcessId origin, Phase phase) {
+  Phase& next = initial_next_[origin];
+  if (phase < next) {
+    return false;  // below the watermark: certainly seen
+  }
+  if (phase == next) {
+    // The common case — a correct origin's phases arrive contiguously.
+    // Absorb any sparse entries the new watermark now makes contiguous.
+    ++next;
+    for (bool absorbed = true; absorbed;) {
+      absorbed = false;
+      for (std::size_t i = 0; i < initial_sparse_.size(); ++i) {
+        if (initial_sparse_[i].first == origin &&
+            initial_sparse_[i].second == next) {
+          initial_sparse_[i] = initial_sparse_.back();
+          initial_sparse_.pop_back();
+          ++next;
+          absorbed = true;
+          break;
+        }
+      }
+    }
+    return true;
+  }
+  // Above the watermark: only a Byzantine origin skips phases. Exact set
+  // semantics via the sparse ledger.
+  for (const auto& entry : initial_sparse_) {
+    if (entry.first == origin && entry.second == phase) {
+      return false;
+    }
+  }
+  // rcp-lint: allow(hot-alloc) sparse ledger holds Byzantine-skipped phases
+  initial_sparse_.emplace_back(origin, phase);
+  return true;
+}
+
+bool EchoEngine::record_echo(ProcessId echoer, ProcessId origin, Phase phase) {
+  if (echoer >= params_.n) {
+    // Mirror image of the origin bound in handle(): n is the whole id
+    // space, so an out-of-range echoer cannot occur through any transport;
+    // dropping is outcome-identical and keeps the bit index in range.
+    return false;
+  }
+  if (phase >= window_base_ && phase - window_base_ < kPhaseWindow) {
+    return echo_window_.test_and_set(window_row(phase, origin), echoer);
+  }
+  for (const OverflowEntry& entry : echo_overflow_) {
+    if (entry.echoer == echoer && entry.origin == origin &&
+        entry.phase == phase) {
+      return false;
+    }
+  }
+  // rcp-lint: allow(hot-alloc) overflow ledger holds beyond-window phases
+  echo_overflow_.push_back(
+      OverflowEntry{.echoer = echoer, .origin = origin, .phase = phase});
+  return true;
+}
+
 std::optional<EchoEngine::Accept> EchoEngine::tally(ProcessId origin,
                                                     Value value) {
-  const auto key = std::make_pair(origin, static_cast<std::uint8_t>(value));
-  const std::uint32_t count = ++counts_[key];
+  const std::uint32_t count = ++counts_[origin][value];
   if (count == params_.echo_acceptance_threshold()) {
     return Accept{.origin = origin, .value = value};
   }
   return std::nullopt;
 }
 
-std::vector<EchoEngine::Accept> EchoEngine::advance(Phase new_phase) {
-  counts_.clear();
-  // Reclaim dedup entries for phases that are now in the past: their
-  // echoes would be dropped as stale before the dedup check anyway.
-  std::erase_if(seen_echo_, [new_phase](const auto& key) {
-    return std::get<2>(key) < new_phase;
-  });
-  std::vector<Accept> accepts;
-  std::vector<DeferredEcho> keep;
-  keep.reserve(deferred_.size());
-  for (const DeferredEcho& d : deferred_) {
+std::span<const EchoEngine::Accept> EchoEngine::advance(Phase new_phase) {
+  RCP_EXPECT(new_phase >= window_base_,
+             "EchoEngine phases advance monotonically");
+  std::fill(counts_.begin(), counts_.end(), ValueCounts{});
+
+  // Reclaim dedup rows for phases that are now in the past: their echoes
+  // would be dropped as stale before the dedup check anyway. Each phase's
+  // rows are contiguous (slot-major layout), one word-fill per phase.
+  const Phase last_reclaimed =
+      std::min(new_phase, window_base_ + kPhaseWindow);
+  for (Phase t = window_base_; t < last_reclaimed; ++t) {
+    echo_window_.clear_rows(window_row(t, 0), params_.n);
+  }
+  window_base_ = new_phase;
+
+  // Overflow entries whose phases slid into the window migrate to bitset
+  // rows; stale ones drop; the remainder compacts in place.
+  std::size_t kept_overflow = 0;
+  for (std::size_t i = 0; i < echo_overflow_.size(); ++i) {
+    const OverflowEntry entry = echo_overflow_[i];
+    if (entry.phase < new_phase) {
+      continue;  // stale
+    }
+    if (entry.phase - new_phase < kPhaseWindow) {
+      (void)echo_window_.test_and_set(window_row(entry.phase, entry.origin),
+                                      entry.echoer);
+      continue;
+    }
+    echo_overflow_[kept_overflow++] = entry;
+  }
+  // rcp-lint: allow(hot-alloc) shrinking resize, recycles in place
+  echo_overflow_.resize(kept_overflow);
+
+  // Replay deferred echoes for the new phase in arrival order; keep later
+  // phases by stable in-place compaction (the recycling-ring idiom — the
+  // ring's capacity is the steady state, no per-advance allocation).
+  replayed_.clear();
+  std::size_t kept_deferred = 0;
+  for (std::size_t i = 0; i < deferred_.size(); ++i) {
+    const DeferredEcho d = deferred_[i];
     if (d.phase == new_phase) {
       if (auto a = tally(d.origin, d.value)) {
-        accepts.push_back(*a);
+        // rcp-lint: allow(hot-alloc) replay buffer growth until steady state
+        replayed_.push_back(*a);
       }
     } else if (d.phase > new_phase) {
-      keep.push_back(d);
+      deferred_[kept_deferred++] = d;
     }
     // d.phase < new_phase: stale by now; dropped.
   }
-  deferred_ = std::move(keep);
-  return accepts;
+  // rcp-lint: allow(hot-alloc) shrinking resize, recycles in place
+  deferred_.resize(kept_deferred);
+  return replayed_;
 }
 
 std::uint32_t EchoEngine::echo_count(ProcessId origin,
                                      Value value) const noexcept {
-  const auto it =
-      counts_.find(std::make_pair(origin, static_cast<std::uint8_t>(value)));
-  return it == counts_.end() ? 0 : it->second;
+  return origin < params_.n ? counts_[origin][value] : 0;
+}
+
+std::size_t EchoEngine::memory_bytes() const noexcept {
+  return echo_window_.memory_bytes() +
+         initial_next_.capacity() * sizeof(Phase) +
+         initial_sparse_.capacity() * sizeof(initial_sparse_[0]) +
+         echo_overflow_.capacity() * sizeof(OverflowEntry) +
+         counts_.capacity() * sizeof(ValueCounts) +
+         deferred_.capacity() * sizeof(DeferredEcho) +
+         replayed_.capacity() * sizeof(Accept);
 }
 
 }  // namespace rcp::core

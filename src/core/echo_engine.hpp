@@ -16,23 +16,33 @@
 //  - deferral of echoes for future phases (the pseudocode's self-requeue
 //    device, implemented as an internal buffer so the original echoer's
 //    identity survives the wait — a literal self-send would overwrite it).
+//
+// The bookkeeping is flat and allocation-free in steady state (the repo's
+// hot-alloc contract, docs/PERF.md "Quorum accounting"): echo dedup lives
+// in a BitRows matrix indexed by (phase mod window, origin) with the echoer
+// as the bit, tallies are a dense per-origin ValueCounts array, and the
+// deferred buffer is a recycling ring compacted in place. The rare cases a
+// flat window cannot index exactly — echoes deferred beyond the window,
+// out-of-order initial phases — spill to small exact side ledgers, so the
+// observable semantics match the node-based containers they replaced
+// bit for bit (pinned by the trace-digest goldens).
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <set>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
 #include "core/messages.hpp"
 #include "core/params.hpp"
+#include "core/quorum.hpp"
 
 namespace rcp::core {
 
 class EchoEngine {
  public:
-  explicit EchoEngine(ConsensusParams params) noexcept : params_(params) {}
+  explicit EchoEngine(ConsensusParams params);
 
   /// An acceptance event: `origin`'s phase-state was accepted with `value`.
   struct Accept {
@@ -51,14 +61,21 @@ class EchoEngine {
   };
 
   /// Feeds a decoded message received from authenticated `sender` while the
-  /// caller is in `current_phase`.
+  /// caller is in `current_phase`. Messages naming an origin outside
+  /// [0, n) are dropped up front: correct processes only ever echo real
+  /// process ids, so a fabricated origin can never assemble an acceptance
+  /// quorum — rejecting it early is outcome-identical and keeps the flat
+  /// tables indexable by origin.
   [[nodiscard]] Outcome handle(ProcessId sender, const EchoProtocolMsg& msg,
                                Phase current_phase);
 
-  /// Advances to a new phase: clears the per-phase echo tallies and replays
-  /// deferred echoes addressed to `new_phase`. Returns the acceptance
-  /// events the replay produced, in original arrival order.
-  [[nodiscard]] std::vector<Accept> advance(Phase new_phase);
+  /// Advances to a new phase: clears the per-phase echo tallies, reclaims
+  /// dedup slots for phases now in the past, and replays deferred echoes
+  /// addressed to `new_phase`. Returns the acceptance events the replay
+  /// produced, in original arrival order; the view aliases an internal
+  /// buffer and is valid until the next advance() call. Phases must be
+  /// advanced monotonically.
+  [[nodiscard]] std::span<const Accept> advance(Phase new_phase);
 
   /// Echo tally for (origin, value) in the current phase (test observer).
   [[nodiscard]] std::uint32_t echo_count(ProcessId origin,
@@ -69,16 +86,33 @@ class EchoEngine {
     return deferred_.size();
   }
 
-  /// Size of the echo dedup set (memory-bound observability: advance()
-  /// reclaims entries for past phases).
+  /// Number of live echo dedup entries (memory-bound observability:
+  /// advance() reclaims entries for past phases).
   [[nodiscard]] std::size_t echo_dedup_size() const noexcept {
-    return seen_echo_.size();
+    return echo_window_.popcount_all() + echo_overflow_.size();
   }
 
+  /// Bytes retained across all internal tables (flat-memory observability;
+  /// counts capacity, so it reflects the steady-state high-water mark).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
  private:
+  /// Dedup slots cover phases [window_base_, window_base_ + kPhaseWindow);
+  /// beyond that, entries go to the exact overflow ledger. Power of two so
+  /// the slot index is a mask. In a run the window only ever needs two live
+  /// phases (current and next) — four slots leave slack for skewed peers.
+  static constexpr Phase kPhaseWindow = 4;
+
   struct DeferredEcho {
     ProcessId origin = 0;
     Value value = Value::zero;
+    Phase phase = 0;
+  };
+
+  /// An echo dedup entry for a phase outside the bitset window.
+  struct OverflowEntry {
+    ProcessId echoer = 0;
+    ProcessId origin = 0;
     Phase phase = 0;
   };
 
@@ -86,14 +120,46 @@ class EchoEngine {
   /// crossed by exactly this echo.
   [[nodiscard]] std::optional<Accept> tally(ProcessId origin, Value value);
 
+  /// Records (echoer, origin, phase) in the dedup tables; returns true when
+  /// the triple was not yet present.
+  [[nodiscard]] bool record_echo(ProcessId echoer, ProcessId origin,
+                                 Phase phase);
+
+  /// Exact `seen_initial_` set semantics over flat state: true (and
+  /// records) when (origin, phase) was not yet seen.
+  [[nodiscard]] bool initial_is_fresh(ProcessId origin, Phase phase);
+
+  /// Row of echo_window_ holding phase's echoer bitset for `origin`.
+  [[nodiscard]] std::size_t window_row(Phase phase,
+                                       ProcessId origin) const noexcept {
+    return static_cast<std::size_t>(phase & (kPhaseWindow - 1)) * params_.n +
+           origin;
+  }
+
   ConsensusParams params_;
-  /// (origin, phase) pairs whose initial message was already echoed.
-  std::set<std::pair<ProcessId, Phase>> seen_initial_;
-  /// (echoer, origin, phase) triples already processed.
-  std::set<std::tuple<ProcessId, ProcessId, Phase>> seen_echo_;
-  /// Current-phase tallies: (origin, value) -> echo count.
-  std::map<std::pair<ProcessId, std::uint8_t>, std::uint32_t> counts_;
+  Phase window_base_ = 0;
+
+  /// Initial-message ledger: per origin, phases [0, initial_next_[o]) are
+  /// all seen (the contiguous watermark a correct origin produces), and
+  /// initial_sparse_ holds the out-of-order exceptions exactly. Watermark
+  /// absorption keeps the sparse ledger empty against correct traffic.
+  std::vector<Phase> initial_next_;
+  std::vector<std::pair<ProcessId, Phase>> initial_sparse_;
+
+  /// Echo dedup: kPhaseWindow * n rows of n bits; row (slot, origin), bit
+  /// echoer. Plus the exact overflow ledger for beyond-window phases.
+  BitRows echo_window_;
+  std::vector<OverflowEntry> echo_overflow_;
+
+  /// Current-phase tallies, dense by origin.
+  std::vector<ValueCounts> counts_;
+
+  /// Recycling ring of future-phase echoes, compacted in place by
+  /// advance(); order is arrival order.
   std::vector<DeferredEcho> deferred_;
+
+  /// Reused advance() result buffer; the returned span aliases it.
+  std::vector<Accept> replayed_;
 };
 
 }  // namespace rcp::core

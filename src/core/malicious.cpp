@@ -16,11 +16,12 @@ std::unique_ptr<MaliciousConsensus> MaliciousConsensus::make_unchecked(
   RCP_EXPECT(params.n >= 1 && params.k < params.n,
              "need at least one correct process");
   return std::unique_ptr<MaliciousConsensus>(
+      // rcp-lint: allow(hot-alloc) factory constructs the process once
       new MaliciousConsensus(params, initial_value));
 }
 
 MaliciousConsensus::MaliciousConsensus(ConsensusParams params,
-                                       Value initial_value) noexcept
+                                       Value initial_value)
     : params_(params), value_(initial_value), engine_(params) {}
 
 void MaliciousConsensus::on_start(sim::Context& ctx) {
@@ -42,12 +43,13 @@ void MaliciousConsensus::on_message(sim::Context& ctx,
     ctx.broadcast(outcome.echo_to_broadcast->encode());
   }
   if (outcome.accepted.has_value()) {
-    consume_accepts(ctx, {*outcome.accepted});
+    consume_accepts(ctx, std::span<const EchoEngine::Accept>(
+                             &*outcome.accepted, 1));
   }
 }
 
 void MaliciousConsensus::consume_accepts(
-    sim::Context& ctx, std::vector<EchoEngine::Accept> accepts) {
+    sim::Context& ctx, std::span<const EchoEngine::Accept> accepts) {
   std::size_t idx = 0;
   for (;;) {
     // Count acceptance events until the phase quorum of n-k is reached;

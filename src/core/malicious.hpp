@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "common/process.hpp"
 #include "common/types.hpp"
@@ -49,10 +50,13 @@ class MaliciousConsensus final : public sim::Process {
   [[nodiscard]] const EchoEngine& engine() const noexcept { return engine_; }
 
  private:
-  MaliciousConsensus(ConsensusParams params, Value initial_value) noexcept;
+  MaliciousConsensus(ConsensusParams params, Value initial_value);
 
   /// Applies a batch of acceptance events, completing phases as they fill.
-  void consume_accepts(sim::Context& ctx, std::vector<EchoEngine::Accept> accepts);
+  /// The span may alias the engine's replay buffer; each advance() call
+  /// replaces it with the fresh buffer before anything is read again.
+  void consume_accepts(sim::Context& ctx,
+                       std::span<const EchoEngine::Accept> accepts);
 
   ConsensusParams params_;
   Value value_;

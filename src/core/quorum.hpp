@@ -1,0 +1,123 @@
+// Flat, bit-level quorum accounting primitives for the Byzantine hot path.
+//
+// The malicious-case protocols count *distinct* processes: distinct echoers
+// per (origin, phase) in Figure 2, distinct echo/ready senders per value in
+// reliable broadcast. Process ids are dense in [0, n), so each such set is
+// exactly an n-bit bitset — one cache line up to n = 512 — and membership,
+// insertion and cardinality are single-word operations instead of red-black
+// tree walks. These two containers are the whole vocabulary:
+//
+//  - ProcessSet: one n-capacity set of process ids with an incrementally
+//    maintained cardinality (replaces std::set<ProcessId> quorums).
+//  - BitRows: a rows x bits matrix in one flat allocation, row = one echoer
+//    set (replaces std::set<(echoer, origin, phase)> dedup sets; the row
+//    index encodes (phase-window slot, origin)).
+//
+// Both allocate exactly once, at construction; every subsequent operation
+// is allocation-free, which is what lets the hot-alloc lint rule and the
+// operator-new counting tests cover the whole echo path. Layout details:
+// docs/PERF.md ("Quorum accounting").
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rcp::core {
+
+/// A fixed-capacity set of process ids backed by bit words, with O(1)
+/// membership, insertion, and cardinality. Capacity is set once at
+/// construction; ids must lie in [0, capacity).
+class ProcessSet {
+ public:
+  ProcessSet() = default;
+  explicit ProcessSet(std::uint32_t capacity)
+      : words_((capacity + 63) / 64, 0) {}
+
+  /// Inserts `id`; returns true when it was not already present.
+  bool add(ProcessId id) noexcept {
+    std::uint64_t& w = words_[id >> 6];
+    const std::uint64_t bit = 1ULL << (id & 63);
+    if ((w & bit) != 0) {
+      return false;
+    }
+    w |= bit;
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(ProcessId id) const noexcept {
+    return (words_[id >> 6] & (1ULL << (id & 63))) != 0;
+  }
+
+  /// Number of ids present (maintained incrementally, no popcount scan).
+  [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+
+  void clear() noexcept {
+    std::fill(words_.begin(), words_.end(), 0);
+    size_ = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::uint32_t size_ = 0;
+};
+
+/// A rows x bits bit matrix in a single flat allocation. Row r is an
+/// independent bit set of `bits` capacity; rows are contiguous, so a span
+/// of consecutive rows clears with one word fill. Used as the echo dedup
+/// table: row = (phase-window slot, origin), bit = echoer id.
+class BitRows {
+ public:
+  BitRows() = default;
+  BitRows(std::size_t rows, std::size_t bits)
+      : words_per_row_((bits + 63) / 64), words_(rows * words_per_row_, 0) {}
+
+  /// Sets bit `bit` of row `row`; returns true when it was previously clear.
+  bool test_and_set(std::size_t row, std::size_t bit) noexcept {
+    std::uint64_t& w = words_[row * words_per_row_ + (bit >> 6)];
+    const std::uint64_t mask = 1ULL << (bit & 63);
+    if ((w & mask) != 0) {
+      return false;
+    }
+    w |= mask;
+    return true;
+  }
+
+  [[nodiscard]] bool test(std::size_t row, std::size_t bit) const noexcept {
+    return (words_[row * words_per_row_ + (bit >> 6)] &
+            (1ULL << (bit & 63))) != 0;
+  }
+
+  /// Clears `count` consecutive rows starting at `first_row` — one
+  /// contiguous word fill, the phase-window reclamation primitive.
+  void clear_rows(std::size_t first_row, std::size_t count) noexcept {
+    const auto begin = words_.begin() +
+                       static_cast<std::ptrdiff_t>(first_row * words_per_row_);
+    std::fill(begin, begin + static_cast<std::ptrdiff_t>(count * words_per_row_),
+              0);
+  }
+
+  /// Total set bits across the whole matrix (test observer, not hot path).
+  [[nodiscard]] std::size_t popcount_all() const noexcept {
+    std::size_t total = 0;
+    for (const std::uint64_t w : words_) {
+      total += static_cast<std::size_t>(std::popcount(w));
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return words_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rcp::core

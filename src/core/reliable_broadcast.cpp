@@ -37,13 +37,18 @@ std::unique_ptr<ReliableBroadcast> ReliableBroadcast::make(
   RCP_EXPECT(self < params.n && designated_sender < params.n,
              "process ids must lie in [0, n)");
   return std::unique_ptr<ReliableBroadcast>(
+      // rcp-lint: allow(hot-alloc) factory constructs the process once
       new ReliableBroadcast(params, self, designated_sender, value));
 }
 
 ReliableBroadcast::ReliableBroadcast(ConsensusParams params, ProcessId self,
-                                     ProcessId designated_sender,
-                                     Value value) noexcept
-    : params_(params), self_(self), sender_(designated_sender), value_(value) {}
+                                     ProcessId designated_sender, Value value)
+    : params_(params),
+      self_(self),
+      sender_(designated_sender),
+      value_(value),
+      echo_from_{ProcessSet(params.n), ProcessSet(params.n)},
+      ready_from_{ProcessSet(params.n), ProcessSet(params.n)} {}
 
 void ReliableBroadcast::on_start(sim::Context& ctx) {
   if (self_ == sender_) {
@@ -67,6 +72,9 @@ void ReliableBroadcast::on_message(sim::Context& ctx,
   } catch (const DecodeError&) {
     return;
   }
+  if (env.sender >= params_.n) {
+    return;  // no transport produces one; keeps the n-bit quorums indexable
+  }
   switch (msg.kind) {
     case RbMsg::Kind::initial: {
       // Only the designated sender's initial is honoured (authenticated
@@ -83,7 +91,7 @@ void ReliableBroadcast::on_message(sim::Context& ctx,
       auto& from = echo_from_[value_index(msg.value)];
       // First echo per (sender, value); a sender echoing both values only
       // splits its own weight.
-      if (!from.insert(env.sender).second) {
+      if (!from.add(env.sender)) {
         return;
       }
       if (from.size() >= params_.echo_acceptance_threshold()) {
@@ -93,7 +101,7 @@ void ReliableBroadcast::on_message(sim::Context& ctx,
     }
     case RbMsg::Kind::ready: {
       auto& from = ready_from_[value_index(msg.value)];
-      if (!from.insert(env.sender).second) {
+      if (!from.add(env.sender)) {
         return;
       }
       // Amplification: k+1 READYs guarantee one correct READY.

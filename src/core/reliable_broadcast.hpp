@@ -17,12 +17,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <set>
 
 #include "common/bytes.hpp"
 #include "common/process.hpp"
 #include "common/types.hpp"
 #include "core/params.hpp"
+#include "core/quorum.hpp"
 
 namespace rcp::core {
 
@@ -56,7 +56,7 @@ class ReliableBroadcast final : public sim::Process {
 
  private:
   ReliableBroadcast(ConsensusParams params, ProcessId self,
-                    ProcessId designated_sender, Value value) noexcept;
+                    ProcessId designated_sender, Value value);
 
   void maybe_send_ready(sim::Context& ctx, Value v);
 
@@ -67,8 +67,11 @@ class ReliableBroadcast final : public sim::Process {
   bool echoed_ = false;
   std::optional<Value> ready_sent_;
   std::optional<Value> delivered_;
-  std::set<ProcessId> echo_from_[2];
-  std::set<ProcessId> ready_from_[2];
+  // Per-value quorum tallies as flat n-bit sets: membership, insertion and
+  // cardinality are O(1), and message handling never allocates (hot-alloc
+  // contract, docs/PERF.md "Quorum accounting").
+  ProcessSet echo_from_[2];
+  ProcessSet ready_from_[2];
 };
 
 }  // namespace rcp::core

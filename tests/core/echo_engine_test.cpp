@@ -195,6 +195,91 @@ TEST(EchoEngine, DedupForCurrentAndFuturePhasesSurvivesAdvance) {
   EXPECT_EQ(e.echo_dedup_size(), 1u);
 }
 
+TEST(EchoEngine, DedupStateBoundedAcrossLongMultiPhaseRun) {
+  // Satellite of the flat-quorum rewrite: over a long run with full echo
+  // traffic every phase, advance() must keep reclaiming past-phase dedup
+  // state — the live entry count never exceeds one phase's worth of
+  // traffic, and the retained memory stops growing once warm.
+  constexpr ConsensusParams kP{7, 2};
+  EchoEngine e(kP);
+  const std::size_t per_phase =
+      static_cast<std::size_t>(kP.n) * kP.n;  // one echo per (echoer, origin)
+  std::size_t warm_memory = 0;
+  for (Phase t = 0; t < 1000; ++t) {
+    for (ProcessId origin = 0; origin < kP.n; ++origin) {
+      for (ProcessId echoer = 0; echoer < kP.n; ++echoer) {
+        (void)e.handle(echoer, echo(origin, Value::one, t), t);
+      }
+    }
+    EXPECT_LE(e.echo_dedup_size(), per_phase) << "phase " << t;
+    (void)e.advance(t + 1);
+    EXPECT_EQ(e.echo_dedup_size(), 0u) << "phase " << t;
+    if (t == 10) {
+      warm_memory = e.memory_bytes();
+    }
+    if (t > 10) {
+      EXPECT_EQ(e.memory_bytes(), warm_memory)
+          << "flat tables must not grow after warm-up (phase " << t << ")";
+    }
+  }
+}
+
+TEST(EchoEngine, DeferredEchoesReplayInOriginalArrivalOrder) {
+  // Two origins' quorums complete in a deliberately interleaved arrival
+  // order: origin 2's fifth echo arrives before origin 1's fifth, so the
+  // replay at advance() must accept origin 2 first — replay follows
+  // arrival order, not origin order.
+  constexpr ConsensusParams kP{7, 2};  // threshold 5
+  EchoEngine e(kP);
+  for (ProcessId echoer = 0; echoer < 4; ++echoer) {
+    (void)e.handle(echoer, echo(1, Value::one, 1), 0);  // origin 1: 4 echoes
+  }
+  for (ProcessId echoer = 0; echoer < 5; ++echoer) {
+    (void)e.handle(echoer, echo(2, Value::zero, 1), 0);  // origin 2: quorum
+  }
+  (void)e.handle(4, echo(1, Value::one, 1), 0);  // origin 1 completes last
+  EXPECT_EQ(e.deferred_count(), 10u);
+  const auto accepts = e.advance(1);
+  ASSERT_EQ(accepts.size(), 2u);
+  EXPECT_EQ(accepts[0].origin, 2u);
+  EXPECT_EQ(accepts[0].value, Value::zero);
+  EXPECT_EQ(accepts[1].origin, 1u);
+  EXPECT_EQ(accepts[1].value, Value::one);
+}
+
+TEST(EchoEngine, FarFutureDeferralsReplayInArrivalOrderAfterPhaseJump) {
+  // Same property across the phase-window boundary: phase 100 is far
+  // outside the dedup bitset window at recording time, so these entries
+  // ride the overflow ledger and migrate into the window as the engine
+  // advances — order and dedup must both survive the trip.
+  constexpr ConsensusParams kP{7, 2};
+  EchoEngine e(kP);
+  constexpr Phase kFar = 100;
+  for (ProcessId echoer = 0; echoer < 5; ++echoer) {
+    (void)e.handle(echoer, echo(6, Value::one, kFar), 0);
+    (void)e.handle(echoer, echo(6, Value::one, kFar), 0);  // duplicate
+  }
+  for (ProcessId echoer = 0; echoer < 5; ++echoer) {
+    (void)e.handle(echoer, echo(5, Value::zero, kFar), 0);
+  }
+  EXPECT_EQ(e.deferred_count(), 10u);
+  EXPECT_EQ(e.echo_dedup_size(), 10u);
+  // Walk through intermediate phases; deferred and dedup state must ride
+  // along untouched.
+  for (Phase t = 1; t < kFar; t += 7) {
+    EXPECT_TRUE(e.advance(t).empty());
+    EXPECT_EQ(e.deferred_count(), 10u);
+    EXPECT_EQ(e.echo_dedup_size(), 10u);
+  }
+  const auto accepts = e.advance(kFar);
+  ASSERT_EQ(accepts.size(), 2u);
+  EXPECT_EQ(accepts[0].origin, 6u);  // quorum completed first in arrival order
+  EXPECT_EQ(accepts[1].origin, 5u);
+  EXPECT_EQ(e.deferred_count(), 0u);
+  // The duplicates never counted: exactly the quorum, nothing more.
+  EXPECT_EQ(e.echo_count(6, Value::one), 5u);
+}
+
 TEST(EchoEngine, FuzzNeverAcceptsTwoValuesForOneOriginPhase) {
   // Property: across arbitrary (including adversarial) echo traffic, an
   // origin's state is accepted at most once per phase, and never for both

@@ -128,6 +128,27 @@ TEST(LintTool, HotPathAllocationContract) {
   EXPECT_EQ(count_rule(run, "hot-alloc"), 5) << run.output;
 }
 
+TEST(LintTool, EchoPathAllocationFixtureMirrorsRealCoverage) {
+  // Mirrors the real tree's [allocation] coverage of the Byzantine echo
+  // path (src/core/echo_engine.cpp and friends): one violation per
+  // growth-call class banned by the flat quorum accounting, plus one
+  // honoured suppression.
+  const LintRun run = run_lint("src/core/echo_hot_alloc.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  for (int line : {10, 11, 12}) {
+    EXPECT_TRUE(has_diag(run,
+                         "src/core/echo_hot_alloc.cpp:" +
+                             std::to_string(line) + ": error:",
+                         "hot-alloc"))
+        << run.output;
+  }
+  EXPECT_EQ(count_rule(run, "hot-alloc"), 3) << run.output;
+  EXPECT_NE(run.output.find("rcp-lint: 1 files, 3 error(s), 1 suppression(s) "
+                            "(1 diagnostic(s) suppressed)"),
+            std::string::npos)
+      << run.output;
+}
+
 TEST(LintTool, ThresholdLiteralsFlagged) {
   const LintRun run = run_lint("src/core/threshold_violation.cpp");
   EXPECT_EQ(run.exit_code, 1) << run.output;
@@ -193,12 +214,12 @@ TEST(LintTool, WholeFixtureTreeSummary) {
   EXPECT_EQ(count_rule(run, "layer"), 3) << run.output;
   EXPECT_EQ(count_rule(run, "os-header"), 3) << run.output;
   EXPECT_EQ(count_rule(run, "determinism"), 5) << run.output;
-  EXPECT_EQ(count_rule(run, "hot-alloc"), 5) << run.output;
+  EXPECT_EQ(count_rule(run, "hot-alloc"), 8) << run.output;
   EXPECT_EQ(count_rule(run, "threshold"), 3) << run.output;
   EXPECT_EQ(count_rule(run, "unused-suppression"), 1) << run.output;
   EXPECT_EQ(count_rule(run, "bad-suppression"), 1) << run.output;
-  EXPECT_NE(run.output.find("rcp-lint: 8 files, 21 error(s), 4 suppression(s) "
-                            "(4 diagnostic(s) suppressed)"),
+  EXPECT_NE(run.output.find("rcp-lint: 9 files, 24 error(s), 5 suppression(s) "
+                            "(5 diagnostic(s) suppressed)"),
             std::string::npos)
       << run.output;
 }

@@ -14,8 +14,11 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "adversary/scenario.hpp"
+#include "core/reliable_broadcast.hpp"
 #include "sim/replay.hpp"
 #include "sim/simulation.hpp"
 #include "sim/trace.hpp"
@@ -100,6 +103,49 @@ adversary::Scenario majority_scenario() {
   return s;
 }
 
+// E2-style stress: more Byzantine processes, different strategies, larger n
+// than the original malicious golden — these are the scenarios that push
+// echo traffic through every EchoEngine code path (dedup, deferral, replay).
+adversary::Scenario babbler_scenario() {
+  adversary::Scenario s;
+  s.protocol = adversary::ProtocolKind::malicious;
+  s.params = {10, 3};
+  s.inputs = adversary::alternating_inputs(10);
+  s.byzantine_ids = {0, 4, 8};
+  s.byzantine_kind = adversary::ByzantineKind::babbler;
+  s.seed = 777;
+  s.max_steps = 2000000;
+  return s;
+}
+
+adversary::Scenario balancer_scenario() {
+  adversary::Scenario s;
+  s.protocol = adversary::ProtocolKind::malicious;
+  s.params = {10, 2};
+  s.inputs = adversary::alternating_inputs(10);
+  s.byzantine_ids = {0, 5};
+  s.byzantine_kind = adversary::ByzantineKind::balancer;
+  s.seed = 31337;
+  s.max_steps = 4000000;
+  return s;
+}
+
+// X1-style: the reliable-broadcast extension under a two-faced sender that
+// tells half the processes zero and the other half one — the adversarial
+// case its echo/ready quorums exist to survive.
+class TwoFacedRbSender final : public sim::Process {
+ public:
+  void on_start(sim::Context& ctx) override {
+    for (ProcessId q = 0; q < ctx.n(); ++q) {
+      const Value v = q < ctx.n() / 2 ? Value::zero : Value::one;
+      ctx.send(q,
+               core::RbMsg{.kind = core::RbMsg::Kind::initial, .value = v}
+                   .encode());
+    }
+  }
+  void on_message(sim::Context&, const sim::Envelope&) override {}
+};
+
 struct Golden {
   std::uint64_t steps;
   std::uint64_t trace;
@@ -112,6 +158,16 @@ constexpr Golden kMaliciousN7{1348, 0x4526402af5e52c45ULL,
                               0x3820edbb99e8b69fULL};
 constexpr Golden kMajorityN9{459, 0xc5757074bc474400ULL,
                              0x46bb46eeabd45b2aULL};
+// Recorded on the node-based (std::set/std::map) echo bookkeeping
+// immediately before the flat quorum accounting landed.
+constexpr Golden kBabblerN10{5162, 0x583cbad49c8d4f6eULL,
+                             0x32a97f831908e2eaULL};
+constexpr Golden kBalancerN10{213411, 0x888049c9919c79bfULL,
+                              0x871a0bf61983dfeeULL};
+constexpr Golden kRbTwoFacedN7{49, 0x4438d68238290cdfULL,
+                               0x2ceec70555e9a8b0ULL};
+constexpr Golden kRbCorrectN10{193, 0xe39dc74831fce474ULL,
+                               0x7d4924d048affcb0ULL};
 
 void expect_golden(const adversary::Scenario& scenario, const Golden& g) {
   auto sim = adversary::build(scenario);
@@ -134,6 +190,58 @@ TEST(TraceDigest, MaliciousN7MatchesPreChangeRun) {
 
 TEST(TraceDigest, MajorityN9MatchesPreChangeRun) {
   expect_golden(majority_scenario(), kMajorityN9);
+}
+
+TEST(TraceDigest, BabblerN10MatchesPreFlatQuorumRun) {
+  expect_golden(babbler_scenario(), kBabblerN10);
+}
+
+TEST(TraceDigest, BalancerN10MatchesPreFlatQuorumRun) {
+  expect_golden(balancer_scenario(), kBalancerN10);
+}
+
+TEST(TraceDigest, ReliableBroadcastTwoFacedSenderMatchesPreFlatQuorumRun) {
+  constexpr std::uint32_t kN = 7;
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  for (ProcessId p = 0; p < kN; ++p) {
+    if (p == 0) {
+      procs.push_back(std::make_unique<TwoFacedRbSender>());
+    } else {
+      procs.push_back(core::ReliableBroadcast::make({kN, 2}, p, 0));
+    }
+  }
+  sim::Simulation sim(sim::SimConfig{.n = kN, .seed = 9001,
+                                     .max_steps = 500000},
+                      std::move(procs));
+  sim.mark_faulty(0);
+  DigestTrace trace;
+  sim.set_trace(&trace);
+  const auto r = sim.run();
+  // The split quorums cannot deliver; the run goes quiescent, and its full
+  // message trace (all the echo/ready traffic) must be byte-identical.
+  EXPECT_EQ(r.status, sim::RunStatus::quiescent);
+  EXPECT_EQ(r.steps, kRbTwoFacedN7.steps);
+  EXPECT_EQ(trace.d.h, kRbTwoFacedN7.trace);
+  EXPECT_EQ(state_digest(sim), kRbTwoFacedN7.state);
+}
+
+TEST(TraceDigest, ReliableBroadcastCorrectSenderMatchesPreFlatQuorumRun) {
+  constexpr std::uint32_t kN = 10;
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  for (ProcessId p = 0; p < kN; ++p) {
+    procs.push_back(
+        core::ReliableBroadcast::make({kN, 3}, p, /*sender=*/9, Value::one));
+  }
+  sim::Simulation sim(sim::SimConfig{.n = kN, .seed = 4242,
+                                     .max_steps = 500000},
+                      std::move(procs));
+  DigestTrace trace;
+  sim.set_trace(&trace);
+  const auto r = sim.run();
+  EXPECT_EQ(r.status, sim::RunStatus::all_decided);
+  EXPECT_EQ(r.steps, kRbCorrectN10.steps);
+  EXPECT_EQ(trace.d.h, kRbCorrectN10.trace);
+  EXPECT_EQ(state_digest(sim), kRbCorrectN10.state);
 }
 
 // A schedule captured on the pre-change simulator (every actor choice and

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""CI gate for the Byzantine echo-path throughput (docs/PERF.md).
+
+Compares fresh benchmark JSON against the ``echo_path`` section of
+BENCH_BASELINE.json and fails when any tracked series drops below
+``threshold`` (default 0.70, i.e. a >30% regression) of its baseline.
+
+Two input formats are understood:
+
+* ``--micro``: google-benchmark ``--benchmark_format=json`` output from
+  bench_micro; entries are matched by benchmark name (``BM_EchoEngine*``)
+  and compared on ``items_per_second`` (echoes/sec).
+* ``--x4``: rcp-bench-v1 ``--json`` output from bench_x4_complexity;
+  entries are matched by series ``label`` (``echo_path_n*``) and compared
+  on ``trials_per_sec`` (echoes/sec).
+
+A baseline entry with no counterpart in the fresh output is an error —
+renaming or dropping a benchmark must be an explicit baseline edit, never
+a silently passing gate. Exit status: 0 clean, 1 regression or mismatch.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_json(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def micro_results(path):
+    """Name -> items_per_second for the echo benchmarks in bench_micro."""
+    doc = load_json(path)
+    return {
+        b["name"]: float(b["items_per_second"])
+        for b in doc.get("benchmarks", [])
+        if b["name"].startswith("BM_EchoEngine") and "items_per_second" in b
+    }
+
+
+def x4_results(path):
+    """Label -> trials_per_sec for the labelled series in bench_x4."""
+    doc = load_json(path)
+    if doc.get("schema") != "rcp-bench-v1":
+        raise SystemExit(f"{path}: expected schema rcp-bench-v1")
+    return {
+        s["label"]: float(s["trials_per_sec"])
+        for s in doc.get("series", [])
+        if "label" in s
+    }
+
+
+def check(kind, baseline, current, threshold, failures):
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{kind}: {name}: missing from fresh output")
+            continue
+        now = current[name]
+        ratio = now / base if base > 0 else float("inf")
+        status = "ok" if ratio >= threshold else "REGRESSION"
+        print(
+            f"{kind}: {name}: baseline {base:.3e}/s, "
+            f"current {now:.3e}/s, ratio {ratio:.2f} [{status}]"
+        )
+        if ratio < threshold:
+            failures.append(
+                f"{kind}: {name}: {now:.3e}/s is {ratio:.2f}x baseline "
+                f"{base:.3e}/s (gate {threshold:.2f}x)"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_BASELINE.json",
+        help="baseline document holding the echo_path section",
+    )
+    parser.add_argument(
+        "--micro", help="bench_micro --benchmark_format=json output"
+    )
+    parser.add_argument("--x4", help="bench_x4_complexity --json output")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.70,
+        help="minimum current/baseline ratio (0.70 = fail on >30%% drop)",
+    )
+    args = parser.parse_args()
+    if not args.micro and not args.x4:
+        parser.error("nothing to check: pass --micro and/or --x4")
+
+    baseline = load_json(args.baseline).get("echo_path")
+    if baseline is None:
+        raise SystemExit(f"{args.baseline}: no echo_path section")
+
+    failures = []
+    if args.micro:
+        check(
+            "bench_micro",
+            baseline.get("bench_micro_items_per_second", {}),
+            micro_results(args.micro),
+            args.threshold,
+            failures,
+        )
+    if args.x4:
+        check(
+            "x4_complexity",
+            baseline.get("x4_complexity_trials_per_sec", {}),
+            x4_results(args.x4),
+            args.threshold,
+            failures,
+        )
+
+    if failures:
+        print(f"\n{len(failures)} echo-path gate failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\necho-path throughput within gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
