@@ -68,6 +68,20 @@ struct ConsensusParams {
       std::uint32_t count) const noexcept {
     return 2ULL * count > static_cast<std::uint64_t>(n) + k;
   }
+
+  /// Bracha reliable broadcast: forward our own READY once k+1 matching
+  /// readies were seen (at least one is from a correct process).
+  [[nodiscard]] constexpr std::uint32_t ready_amplification_threshold()
+      const noexcept {
+    return k + 1;
+  }
+
+  /// Bracha reliable broadcast: deliver once 2k+1 matching readies were
+  /// seen (at least k+1 correct readies survive any k crashes).
+  [[nodiscard]] constexpr std::uint32_t ready_delivery_threshold()
+      const noexcept {
+    return 2 * k + 1;
+  }
 };
 
 }  // namespace rcp::core

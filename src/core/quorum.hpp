@@ -102,6 +102,17 @@ class BitRows {
               0);
   }
 
+  /// Copies the first `rows` rows of `src` into this matrix. Both matrices
+  /// must share `bits` (so words-per-row match) and this matrix must have at
+  /// least `rows` rows: the capacity-growth primitive for tables that carry
+  /// their dedup state across a reallocation.
+  void copy_rows_from(const BitRows& src, std::size_t rows) noexcept {
+    std::copy(src.words_.begin(),
+              src.words_.begin() +
+                  static_cast<std::ptrdiff_t>(rows * words_per_row_),
+              words_.begin());
+  }
+
   /// Total set bits across the whole matrix (test observer, not hot path).
   [[nodiscard]] std::size_t popcount_all() const noexcept {
     std::size_t total = 0;

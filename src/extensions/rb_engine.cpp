@@ -1,23 +1,39 @@
 #include "extensions/rb_engine.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <utility>
+
 #include "common/error.hpp"
 
 namespace rcp::ext {
 
 namespace {
 constexpr std::uint8_t kRbxTagBase = 40;  // 40 initial, 41 echo, 42 ready
+constexpr std::uint32_t kMinCapacity = 64;
+constexpr std::size_t kBatchEntrySize = 1 + 4 + 8 + 8;
+
+/// SplitMix64 finalizer: full-avalanche mix for the (origin, tag) hash.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
 }  // namespace
 
 Bytes RbxMsg::encode() const {
-  ByteWriter w(14);
+  ByteWriter w(kWireSize);
   w.u8(static_cast<std::uint8_t>(kRbxTagBase + static_cast<std::uint8_t>(kind)))
       .u32(origin)
       .u64(tag)
-      .u8(value);
+      .u64(value);
   return std::move(w).take();
 }
 
-RbxMsg RbxMsg::decode(const Bytes& payload) {
+RbxMsg RbxMsg::decode(const Bytes& payload, RbValue max_value) {
   ByteReader r(payload);
   const std::uint8_t tag_byte = r.u8();
   if (tag_byte < kRbxTagBase || tag_byte > kRbxTagBase + 2) {
@@ -27,12 +43,212 @@ RbxMsg RbxMsg::decode(const Bytes& payload) {
   msg.kind = static_cast<RbxMsg::Kind>(tag_byte - kRbxTagBase);
   msg.origin = r.u32();
   msg.tag = r.u64();
-  msg.value = r.u8();
+  msg.value = r.u64();
   r.expect_done();
-  if (msg.value > kMaxRbValue) {
+  if (msg.value > max_value) {
     throw DecodeError("payload field out of range");
   }
   return msg;
+}
+
+bool RbxBatch::is_batch(const Bytes& payload) noexcept {
+  const auto s = payload.span();
+  return !s.empty() && static_cast<std::uint8_t>(s[0]) == kTagByte;
+}
+
+Bytes RbxBatch::encode(std::span<const RbxMsg> msgs) {
+  RCP_INVARIANT(!msgs.empty() && msgs.size() <= kMaxMessages,
+                "RbxBatch::encode: 1..kMaxMessages messages");
+  ByteWriter w(1 + 4 + msgs.size() * kBatchEntrySize);
+  w.u8(kTagByte).u32(static_cast<std::uint32_t>(msgs.size()));
+  for (const RbxMsg& m : msgs) {
+    w.u8(static_cast<std::uint8_t>(m.kind)).u32(m.origin).u64(m.tag).u64(
+        m.value);
+  }
+  return std::move(w).take();
+}
+
+void RbxBatch::decode_into(const Bytes& payload, std::vector<RbxMsg>& out,
+                           RbValue max_value) {
+  ByteReader r(payload);
+  if (r.u8() != kTagByte) {
+    throw DecodeError("not a reliable-broadcast batch");
+  }
+  const std::uint32_t count = r.u32();
+  if (count == 0 || count > kMaxMessages) {
+    throw DecodeError("batch count out of range");
+  }
+  if (r.remaining() != static_cast<std::size_t>(count) * kBatchEntrySize) {
+    throw DecodeError("batch size disagrees with count");
+  }
+  // Transactional: a throw on any entry leaves `out` as it came in, so a
+  // caller reusing one scratch vector never feeds phantom messages from a
+  // half-decoded Byzantine frame.
+  const std::size_t base = out.size();
+  try {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      RbxMsg msg;
+      const std::uint8_t kind = r.u8();
+      if (kind > static_cast<std::uint8_t>(RbxMsg::Kind::ready)) {
+        throw DecodeError("batch entry kind out of range");
+      }
+      msg.kind = static_cast<RbxMsg::Kind>(kind);
+      msg.origin = r.u32();
+      msg.tag = r.u64();
+      msg.value = r.u64();
+      if (msg.value > max_value) {
+        throw DecodeError("payload field out of range");
+      }
+      // rcp-lint: allow(hot-alloc) caller-owned scratch, amortized across batches
+      out.push_back(msg);
+    }
+    r.expect_done();
+  } catch (...) {
+    // rcp-lint: allow(hot-alloc) shrink-only rollback, never allocates
+    out.resize(base);
+    throw;
+  }
+}
+
+RbEngine::RbEngine(core::ConsensusParams params, std::uint32_t capacity_hint,
+                   RbValue max_value)
+    : params_(params), max_value_(max_value) {
+  const std::uint32_t cap =
+      std::bit_ceil(std::max(capacity_hint, kMinCapacity));
+  slots_ = std::vector<Instance>(cap);
+  bucket_heads_ = std::vector<std::uint32_t>(2ULL * cap, kNil);
+  bucket_mask_ = 2ULL * cap - 1;
+  echo_bits_ = core::BitRows(static_cast<std::size_t>(cap) * kValueSlots,
+                             params_.n);
+  ready_bits_ = core::BitRows(static_cast<std::size_t>(cap) * kValueSlots,
+                              params_.n);
+  echo_count_ =
+      std::vector<std::uint16_t>(static_cast<std::size_t>(cap) * kValueSlots, 0);
+  ready_count_ =
+      std::vector<std::uint16_t>(static_cast<std::size_t>(cap) * kValueSlots, 0);
+  retired_below_ = std::vector<std::uint64_t>(params_.n, 0);
+  // Thread the whole pool onto the free list, lowest slot first.
+  for (std::uint32_t i = cap; i-- > 0;) {
+    slots_[i].next = free_head_;
+    free_head_ = i;
+  }
+}
+
+std::uint64_t RbEngine::mix_key(ProcessId origin, std::uint64_t tag) noexcept {
+  return mix64(tag ^ (static_cast<std::uint64_t>(origin) * 0x9e3779b97f4a7c15ULL));
+}
+
+std::uint32_t RbEngine::find(ProcessId origin,
+                             std::uint64_t tag) const noexcept {
+  std::uint32_t slot = bucket_heads_[mix_key(origin, tag) & bucket_mask_];
+  while (slot != kNil) {
+    const Instance& inst = slots_[slot];
+    if (inst.origin == origin && inst.tag == tag) {
+      return slot;
+    }
+    slot = inst.next;
+  }
+  return kNil;
+}
+
+std::uint32_t RbEngine::obtain(ProcessId origin, std::uint64_t tag) {
+  const std::uint32_t found = find(origin, tag);
+  if (found != kNil) {
+    return found;
+  }
+  if (free_head_ == kNil) {
+    grow();
+  }
+  const std::uint32_t slot = free_head_;
+  Instance& inst = slots_[slot];
+  free_head_ = inst.next;
+  inst = Instance{};
+  inst.origin = origin;
+  inst.tag = tag;
+  inst.live = true;
+  const std::size_t row0 = static_cast<std::size_t>(slot) * kValueSlots;
+  echo_bits_.clear_rows(row0, kValueSlots);
+  ready_bits_.clear_rows(row0, kValueSlots);
+  std::fill_n(echo_count_.begin() + static_cast<std::ptrdiff_t>(row0),
+              kValueSlots, std::uint16_t{0});
+  std::fill_n(ready_count_.begin() + static_cast<std::ptrdiff_t>(row0),
+              kValueSlots, std::uint16_t{0});
+  const std::uint64_t bucket = mix_key(origin, tag) & bucket_mask_;
+  inst.next = bucket_heads_[bucket];
+  bucket_heads_[bucket] = slot;
+  ++live_count_;
+  return slot;
+}
+
+std::uint32_t RbEngine::lane_of(std::uint32_t slot, RbValue value) {
+  Instance& inst = slots_[slot];
+  for (std::uint32_t l = 0; l < inst.lanes_used; ++l) {
+    if (inst.lane_value[l] == value) {
+      return l;
+    }
+  }
+  if (inst.lanes_used == kValueSlots) {
+    return kNil;
+  }
+  const std::uint32_t l = inst.lanes_used++;
+  inst.lane_value[l] = value;
+  return l;
+}
+
+void RbEngine::release(std::uint32_t slot) noexcept {
+  Instance& inst = slots_[slot];
+  const std::uint64_t bucket = mix_key(inst.origin, inst.tag) & bucket_mask_;
+  std::uint32_t* link = &bucket_heads_[bucket];
+  while (*link != slot) {
+    link = &slots_[*link].next;
+  }
+  *link = inst.next;
+  inst.live = false;
+  inst.next = free_head_;
+  free_head_ = slot;
+  --live_count_;
+}
+
+void RbEngine::grow() {
+  const std::uint32_t old_cap = static_cast<std::uint32_t>(slots_.size());
+  const std::uint32_t new_cap = old_cap * 2;
+  ++stats_.grows;
+  std::vector<Instance> new_slots(new_cap);
+  std::move(slots_.begin(), slots_.end(), new_slots.begin());
+  slots_ = std::move(new_slots);
+  core::BitRows new_echo(static_cast<std::size_t>(new_cap) * kValueSlots,
+                         params_.n);
+  new_echo.copy_rows_from(echo_bits_,
+                          static_cast<std::size_t>(old_cap) * kValueSlots);
+  echo_bits_ = std::move(new_echo);
+  core::BitRows new_ready(static_cast<std::size_t>(new_cap) * kValueSlots,
+                          params_.n);
+  new_ready.copy_rows_from(ready_bits_,
+                           static_cast<std::size_t>(old_cap) * kValueSlots);
+  ready_bits_ = std::move(new_ready);
+  std::vector<std::uint16_t> new_echo_counts(
+      static_cast<std::size_t>(new_cap) * kValueSlots, 0);
+  std::copy(echo_count_.begin(), echo_count_.end(), new_echo_counts.begin());
+  echo_count_ = std::move(new_echo_counts);
+  std::vector<std::uint16_t> new_ready_counts(
+      static_cast<std::size_t>(new_cap) * kValueSlots, 0);
+  std::copy(ready_count_.begin(), ready_count_.end(), new_ready_counts.begin());
+  ready_count_ = std::move(new_ready_counts);
+  // Rebuild the bucket chains and the free list over the doubled pool.
+  bucket_heads_ = std::vector<std::uint32_t>(2ULL * new_cap, kNil);
+  bucket_mask_ = 2ULL * new_cap - 1;
+  free_head_ = kNil;
+  for (std::uint32_t i = new_cap; i-- > 0;) {
+    Instance& inst = slots_[i];
+    if (inst.live) {
+      const std::uint64_t bucket = mix_key(inst.origin, inst.tag) & bucket_mask_;
+      inst.next = bucket_heads_[bucket];
+      bucket_heads_[bucket] = i;
+    } else {
+      inst.next = free_head_;
+      free_head_ = i;
+    }
+  }
 }
 
 RbxMsg RbEngine::start(ProcessId self, std::uint64_t tag, RbValue value) {
@@ -40,19 +256,38 @@ RbxMsg RbEngine::start(ProcessId self, std::uint64_t tag, RbValue value) {
       .kind = RbxMsg::Kind::initial, .origin = self, .tag = tag, .value = value};
 }
 
-void RbEngine::maybe_ready(Instance& inst, ProcessId origin, std::uint64_t tag,
-                           RbValue value, Outcome& out) {
-  if (inst.ready_sent.has_value()) {
+void RbEngine::maybe_ready(std::uint32_t slot, RbValue value, Outcome& out) {
+  Instance& inst = slots_[slot];
+  if (inst.has_ready_sent) {
     return;
   }
-  inst.ready_sent = value;
-  out.to_broadcast.push_back(RbxMsg{
-      .kind = RbxMsg::Kind::ready, .origin = origin, .tag = tag, .value = value});
+  inst.has_ready_sent = true;
+  out.to_broadcast.push(RbxMsg{.kind = RbxMsg::Kind::ready,
+                               .origin = inst.origin,
+                               .tag = inst.tag,
+                               .value = value});
 }
 
 RbEngine::Outcome RbEngine::handle(ProcessId sender, const RbxMsg& msg) {
   Outcome out;
-  Instance& inst = instances_[Key{msg.origin, msg.tag}];
+  ++stats_.handled;
+  // The wire is Byzantine input: decode() bounds the value for protocol
+  // streams, but the engine re-checks under its own bound and rejects
+  // origins outside the process space before they can occupy a slot.
+  if (msg.origin >= params_.n) {
+    ++stats_.dropped_origin_range;
+    return out;
+  }
+  if (msg.value > max_value_) {
+    ++stats_.dropped_value_range;
+    return out;
+  }
+  if (msg.tag < retired_below_[msg.origin]) {
+    ++stats_.dropped_retired;
+    return out;
+  }
+  const std::uint32_t slot = obtain(msg.origin, msg.tag);
+  Instance& inst = slots_[slot];
   switch (msg.kind) {
     case RbxMsg::Kind::initial: {
       // Authenticated identity: only the origin itself may open its
@@ -61,32 +296,46 @@ RbEngine::Outcome RbEngine::handle(ProcessId sender, const RbxMsg& msg) {
         return out;
       }
       inst.echoed = true;
-      out.to_broadcast.push_back(RbxMsg{.kind = RbxMsg::Kind::echo,
-                                        .origin = msg.origin,
-                                        .tag = msg.tag,
-                                        .value = msg.value});
+      out.to_broadcast.push(RbxMsg{.kind = RbxMsg::Kind::echo,
+                                   .origin = msg.origin,
+                                   .tag = msg.tag,
+                                   .value = msg.value});
       return out;
     }
     case RbxMsg::Kind::echo: {
-      auto& from = inst.echo_from[msg.value];
-      if (!from.insert(sender).second) {
+      const std::uint32_t lane = lane_of(slot, msg.value);
+      if (lane == kNil) {
+        ++stats_.dropped_slot_overflow;
         return out;
       }
-      if (from.size() >= params_.echo_acceptance_threshold()) {
-        maybe_ready(inst, msg.origin, msg.tag, msg.value, out);
+      const std::size_t row =
+          static_cast<std::size_t>(slot) * kValueSlots + lane;
+      if (!echo_bits_.test_and_set(row, sender)) {
+        return out;
+      }
+      if (++echo_count_[row] >= params_.echo_acceptance_threshold()) {
+        maybe_ready(slot, msg.value, out);
       }
       return out;
     }
     case RbxMsg::Kind::ready: {
-      auto& from = inst.ready_from[msg.value];
-      if (!from.insert(sender).second) {
+      const std::uint32_t lane = lane_of(slot, msg.value);
+      if (lane == kNil) {
+        ++stats_.dropped_slot_overflow;
         return out;
       }
-      if (from.size() >= params_.k + 1) {
-        maybe_ready(inst, msg.origin, msg.tag, msg.value, out);
+      const std::size_t row =
+          static_cast<std::size_t>(slot) * kValueSlots + lane;
+      if (!ready_bits_.test_and_set(row, sender)) {
+        return out;
       }
-      if (from.size() >= 2 * params_.k + 1 && !inst.delivered.has_value()) {
-        inst.delivered = msg.value;
+      const std::uint16_t count = ++ready_count_[row];
+      if (count >= params_.ready_amplification_threshold()) {
+        maybe_ready(slot, msg.value, out);
+      }
+      if (count >= params_.ready_delivery_threshold() && !inst.has_delivered) {
+        inst.has_delivered = true;
+        inst.delivered_value = msg.value;
         out.delivered = Delivery{
             .origin = msg.origin, .tag = msg.tag, .value = msg.value};
       }
@@ -98,11 +347,22 @@ RbEngine::Outcome RbEngine::handle(ProcessId sender, const RbxMsg& msg) {
 
 std::optional<RbValue> RbEngine::delivered(ProcessId origin,
                                            std::uint64_t tag) const {
-  const auto it = instances_.find(Key{origin, tag});
-  if (it == instances_.end()) {
+  const std::uint32_t slot = find(origin, tag);
+  if (slot == kNil || !slots_[slot].has_delivered) {
     return std::nullopt;
   }
-  return it->second.delivered;
+  return slots_[slot].delivered_value;
+}
+
+void RbEngine::retire_through(ProcessId origin, std::uint64_t tag) {
+  if (origin >= params_.n) {
+    return;
+  }
+  const std::uint32_t slot = find(origin, tag);
+  if (slot != kNil) {
+    release(slot);
+  }
+  retired_below_[origin] = std::max(retired_below_[origin], tag + 1);
 }
 
 }  // namespace rcp::ext

@@ -4,37 +4,60 @@
 // The single-shot core/reliable_broadcast.hpp demonstrates the primitive;
 // real protocols (like the 1987 Bracha consensus built on top of it in
 // extensions/bracha87.hpp) need one instance per (origin, tag) — e.g. per
-// sender per round per sub-round. The engine owns all per-instance state:
-// echo/ready tallies with per-sender deduplication, the sent-echo/-ready
-// flags, and delivery. For k <= floor((n-1)/3) each instance guarantees:
+// sender per round per sub-round — and the replicated KV service
+// (src/service/) runs one instance per client write. The engine owns all
+// per-instance state: echo/ready tallies with per-sender deduplication,
+// the sent-echo/-ready flags, and delivery. For k <= floor((n-1)/3) each
+// instance guarantees:
 //   consistency — no two correct processes deliver different values for
 //     the same (origin, tag);
 //   totality    — if any correct process delivers, every correct process
 //     eventually delivers;
 //   validity    — a correct origin's broadcast is delivered by everyone.
+//
+// Storage is flat (docs/PERF.md "Quorum accounting"): instances live in a
+// preallocated slot pool indexed by an open hash on (origin, tag), echo and
+// ready dedup is a core::BitRows bit per (slot, value-lane, sender), and
+// tallies are plain counters. Steady-state handle()/retire_through() is
+// allocation-free — the pool only reallocates when the number of live
+// instances outgrows capacity, which the service bounds with its
+// origination window. This file is under the [allocation] lint rule and
+// the operator-new counting test in tests/extensions/.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <set>
+#include <span>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "core/params.hpp"
+#include "core/quorum.hpp"
 
 namespace rcp::ext {
 
-/// Broadcast payload: a small alphabet wide enough for binary consensus
-/// values, Ben-Or's "?" proposals (bottom), and Bracha-87's decision
-/// proposals (2 + w). Semantics belong to the protocol; the engine only
-/// ranges over the alphabet.
-using RbValue = std::uint8_t;
+/// Broadcast payload: a full 64-bit word. The consensus protocols use a
+/// small alphabet — binary values, Ben-Or's "?" proposal (bottom),
+/// Bracha-87's decision proposals (2 + w) — while the KV service packs a
+/// whole (key, value) write into the word. Semantics belong to the caller;
+/// the engine only tallies equality. Each instance tracks at most
+/// `RbEngine::kValueSlots` distinct values: enough for every protocol
+/// alphabet in the tree, and enough to deliver in the service (a correct
+/// origin sends one value; Byzantine equivocation beyond the slots only
+/// wastes the attacker's own instance).
+using RbValue = std::uint64_t;
 inline constexpr RbValue kRbValueZero = 0;
 inline constexpr RbValue kRbValueOne = 1;
 inline constexpr RbValue kRbValueBottom = 2;
+/// Upper bound of the *consensus* alphabet — the default decode bound.
+/// Callers moving arbitrary 64-bit payloads (the KV service) pass their own
+/// bound to decode()/the engine constructor.
 inline constexpr RbValue kMaxRbValue = 3;
+/// "Any 64-bit word is a legal payload" bound for data-carrying streams.
+inline constexpr RbValue kRbValueAny = ~static_cast<RbValue>(0);
 
 [[nodiscard]] constexpr RbValue to_rb_value(Value v) noexcept {
   return static_cast<RbValue>(v);
@@ -45,16 +68,68 @@ struct RbxMsg {
   enum class Kind : std::uint8_t { initial = 0, echo = 1, ready = 2 };
   Kind kind = Kind::initial;
   ProcessId origin = 0;  ///< whose broadcast this instance carries
-  std::uint64_t tag = 0; ///< caller-defined instance id (round, sub-round...)
+  std::uint64_t tag = 0; ///< caller-defined instance id (round, shard|seq...)
   RbValue value = kRbValueZero;
 
+  /// Encoded size: tag byte + origin + tag + value.
+  static constexpr std::size_t kWireSize = 1 + 4 + 8 + 8;
+
   [[nodiscard]] Bytes encode() const;
-  [[nodiscard]] static RbxMsg decode(const Bytes& payload);
+  /// Decodes and validates one message. Rejects (DecodeError) short or
+  /// over-long payloads, unknown kind bytes, and values above `max_value` —
+  /// the wire is Byzantine input and is never trusted.
+  [[nodiscard]] static RbxMsg decode(const Bytes& payload,
+                                     RbValue max_value = kMaxRbValue);
+};
+
+/// Cross-instance frame coalescing: many RbxMsgs of *different* instances
+/// packed into one payload, so one network frame carries the echo/ready
+/// traffic of a whole flush interval. Wire layout:
+///   [0x2B][count u32][count x (kind u8, origin u32, tag u64, value u64)]
+struct RbxBatch {
+  /// Distinct from the RbxMsg tag bytes (40..42) so both framings coexist
+  /// on one stream.
+  static constexpr std::uint8_t kTagByte = 43;
+  /// Hard cap on messages per batch; with 21-byte entries this keeps every
+  /// batch far below the transport's 1 MiB frame-body limit.
+  static constexpr std::size_t kMaxMessages = 4096;
+
+  /// True when `payload` starts with the batch tag byte (cheap dispatch
+  /// test; decode_into still fully validates).
+  [[nodiscard]] static bool is_batch(const Bytes& payload) noexcept;
+
+  /// Packs `msgs` (1..kMaxMessages of them) into one payload.
+  [[nodiscard]] static Bytes encode(std::span<const RbxMsg> msgs);
+
+  /// Appends the decoded messages to `out`. Throws DecodeError on a bad
+  /// tag byte, an empty/oversized count, a count that disagrees with the
+  /// payload size, or any entry RbxMsg::decode would reject.
+  static void decode_into(const Bytes& payload, std::vector<RbxMsg>& out,
+                          RbValue max_value = kMaxRbValue);
+};
+
+/// Drop counters: Byzantine and stale traffic the engine absorbed without
+/// state change. Observability only — never protocol input.
+struct RbEngineStats {
+  std::uint64_t handled = 0;               ///< messages fed to handle()
+  std::uint64_t dropped_origin_range = 0;  ///< origin >= n (no such process)
+  std::uint64_t dropped_value_range = 0;   ///< value above the engine bound
+  std::uint64_t dropped_retired = 0;       ///< tag at/below a retire cursor
+  std::uint64_t dropped_slot_overflow = 0; ///< > kValueSlots distinct values
+  std::uint64_t grows = 0;                 ///< instance-pool reallocations
 };
 
 class RbEngine {
  public:
-  explicit RbEngine(core::ConsensusParams params) noexcept : params_(params) {}
+  /// Distinct values tallied per instance; see the RbValue note above.
+  static constexpr std::uint32_t kValueSlots = 4;
+
+  /// `capacity_hint` presizes the instance pool (rounded up to a power of
+  /// two, minimum 64); the pool doubles when live instances outgrow it.
+  /// `max_value` bounds accepted payload values (kRbValueAny = no bound).
+  explicit RbEngine(core::ConsensusParams params,
+                    std::uint32_t capacity_hint = 0,
+                    RbValue max_value = kMaxRbValue);
 
   struct Delivery {
     ProcessId origin = 0;
@@ -62,9 +137,31 @@ class RbEngine {
     RbValue value = kRbValueZero;
   };
 
+  /// Fixed-capacity list of the messages one handle() call can emit (at
+  /// most an echo plus a ready) — keeps the hot path allocation-free while
+  /// preserving the vector-ish surface protocol code iterates over.
+  class MsgList {
+   public:
+    [[nodiscard]] const RbxMsg* begin() const noexcept { return msgs_.data(); }
+    [[nodiscard]] const RbxMsg* end() const noexcept {
+      return msgs_.data() + count_;
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+    [[nodiscard]] const RbxMsg& operator[](std::size_t i) const noexcept {
+      return msgs_[i];
+    }
+
+   private:
+    friend class RbEngine;
+    void push(const RbxMsg& m) noexcept { msgs_[count_++] = m; }
+    std::array<RbxMsg, 2> msgs_{};
+    std::uint8_t count_ = 0;
+  };
+
   struct Outcome {
     /// Messages this process must now broadcast (echo/ready transitions).
-    std::vector<RbxMsg> to_broadcast;
+    MsgList to_broadcast;
     /// Set when this input completed a delivery.
     std::optional<Delivery> delivered;
   };
@@ -74,35 +171,86 @@ class RbEngine {
   /// any other once it loops back).
   [[nodiscard]] RbxMsg start(ProcessId self, std::uint64_t tag, RbValue value);
 
-  /// Feeds one decoded message received from authenticated `sender`.
+  /// Feeds one decoded message received from authenticated `sender`
+  /// (sender < n is the transport's identity guarantee).
   [[nodiscard]] Outcome handle(ProcessId sender, const RbxMsg& msg);
 
-  /// The delivered value of instance (origin, tag), if any.
+  /// The delivered value of a *live* instance (origin, tag), if any.
+  /// Retired instances forget their delivery — long-running callers keep
+  /// their own applied state, that is the point of retiring.
   [[nodiscard]] std::optional<RbValue> delivered(ProcessId origin,
                                                  std::uint64_t tag) const;
 
-  /// Count of instances with any state (observability / leak checks).
+  /// Frees the instance (origin, tag) if live and drops all current and
+  /// future traffic for tags <= `tag` of `origin`: the service calls this
+  /// after applying a delivered op, so the live set stays bounded by the
+  /// origination window and late echo/ready stragglers cannot resurrect an
+  /// applied instance. Callers must retire tags of an origin in
+  /// non-decreasing order (the service applies in seq order, so this is
+  /// free).
+  void retire_through(ProcessId origin, std::uint64_t tag);
+
+  /// Count of live instances (observability / leak checks).
   [[nodiscard]] std::size_t instance_count() const noexcept {
-    return instances_.size();
+    return live_count_;
   }
 
+  /// Current instance-pool capacity (observability for growth tests).
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  [[nodiscard]] const RbEngineStats& stats() const noexcept { return stats_; }
+
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   struct Instance {
-    std::set<ProcessId> echo_from[kMaxRbValue + 1];
-    std::set<ProcessId> ready_from[kMaxRbValue + 1];
+    ProcessId origin = 0;
+    std::uint64_t tag = 0;
+    /// First-come value lanes; lane l's tallies live at row
+    /// slot * kValueSlots + l of the bit matrices / count arrays.
+    std::array<RbValue, kValueSlots> lane_value{};
+    std::uint8_t lanes_used = 0;
     bool echoed = false;
-    std::optional<RbValue> ready_sent;
-    std::optional<RbValue> delivered;
+    bool has_ready_sent = false;
+    bool has_delivered = false;
+    bool live = false;
+    RbValue delivered_value = 0;
+    /// Bucket chain link while live; free-list link while free.
+    std::uint32_t next = kNil;
   };
 
-  using Key = std::pair<ProcessId, std::uint64_t>;
-
+  [[nodiscard]] static std::uint64_t mix_key(ProcessId origin,
+                                             std::uint64_t tag) noexcept;
+  [[nodiscard]] std::uint32_t find(ProcessId origin,
+                                   std::uint64_t tag) const noexcept;
+  /// Finds or allocates the slot for (origin, tag); grows the pool when the
+  /// free list is empty.
+  [[nodiscard]] std::uint32_t obtain(ProcessId origin, std::uint64_t tag);
+  /// Returns the tally lane for `value` in `slot`, claiming a free lane on
+  /// first sight; kNil when all lanes hold other values (overflow).
+  [[nodiscard]] std::uint32_t lane_of(std::uint32_t slot, RbValue value);
+  /// Unlinks `slot` from its bucket and pushes it on the free list.
+  void release(std::uint32_t slot) noexcept;
+  void grow();
   /// Appends the READY transition for `value` if not yet sent.
-  void maybe_ready(Instance& inst, ProcessId origin, std::uint64_t tag,
-                   RbValue value, Outcome& out);
+  void maybe_ready(std::uint32_t slot, RbValue value, Outcome& out);
 
   core::ConsensusParams params_;
-  std::map<Key, Instance> instances_;
+  RbValue max_value_;
+  std::vector<Instance> slots_;
+  /// Open hash: bucket_heads_[hash & mask] -> slot chain via Instance::next.
+  std::vector<std::uint32_t> bucket_heads_;
+  std::uint64_t bucket_mask_ = 0;
+  std::uint32_t free_head_ = kNil;
+  std::size_t live_count_ = 0;
+  /// Per-sender dedup and tallies, row = slot * kValueSlots + lane.
+  core::BitRows echo_bits_;
+  core::BitRows ready_bits_;
+  std::vector<std::uint16_t> echo_count_;
+  std::vector<std::uint16_t> ready_count_;
+  /// retired_below_[origin] = smallest tag of `origin` still accepted.
+  std::vector<std::uint64_t> retired_below_;
+  RbEngineStats stats_;
 };
 
 }  // namespace rcp::ext

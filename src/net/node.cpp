@@ -151,6 +151,9 @@ void Node::run_loop() {
   LoopContext ctx(*this);
   process_->on_start(ctx);
   after_event();
+  if (cfg_.limits.idle_tick_ms != 0) {
+    next_idle_tick_ = Clock::now() + milliseconds(cfg_.limits.idle_tick_ms);
+  }
 
   while (!stop_.load(std::memory_order_acquire) && !crash_pending_) {
     auto now = Clock::now();
@@ -174,6 +177,13 @@ void Node::run_loop() {
     }
     deliver_local_once();
     check_timers(now);
+    if (cfg_.limits.idle_tick_ms != 0 && now >= next_idle_tick_) {
+      // Service tick: give the process a null step (the paper's phi) so it
+      // can originate work that arrived outside the message stream.
+      process_->on_null(ctx);
+      after_event();
+      next_idle_tick_ = now + milliseconds(cfg_.limits.idle_tick_ms);
+    }
 
     // Flush sends generated by local deliveries / retransmit rewinds, and
     // recompute backpressure from the resulting queue depths.
@@ -259,6 +269,9 @@ int Node::poll_timeout_ms(Clock::time_point now) const {
   if (!local_inbox_.empty()) {
     // Self-requeued messages retry on a short tick instead of spinning.
     consider(now + milliseconds(1));
+  }
+  if (cfg_.limits.idle_tick_ms != 0) {
+    consider(next_idle_tick_);
   }
   const auto delta = best - now;
   if (delta <= Clock::duration::zero()) {

@@ -69,6 +69,11 @@ struct NodeLimits {
   std::uint32_t handshake_timeout_ms = 2000;
   /// Idle poll cap — the loop always wakes at least this often.
   std::uint32_t poll_cap_ms = 50;
+  /// When non-zero, the loop invokes the process's on_null() at least every
+  /// this many milliseconds. Consensus protocols are purely message-driven
+  /// and leave this off; long-running services (the KV replica) use the
+  /// tick to pull queued client ops even when no frame is in flight.
+  std::uint32_t idle_tick_ms = 0;
 };
 
 struct NodeConfig {
@@ -182,6 +187,7 @@ class Node {
 
   std::optional<Value> decision_;  ///< loop-thread view, for the invariant
   bool crash_pending_ = false;
+  Clock::time_point next_idle_tick_{};  ///< armed when idle_tick_ms != 0
 
   int wake_rd_ = -1;
   int wake_wr_ = -1;

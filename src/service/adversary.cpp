@@ -1,0 +1,165 @@
+#include "service/adversary.hpp"
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "service/replica.hpp"  // tag layout (make_tag)
+
+namespace rcp::service {
+
+KvEquivocator::KvEquivocator(KvAdversaryConfig cfg)
+    : cfg_(cfg),
+      engine_(cfg.params, /*capacity_hint=*/0, ext::kRbValueAny),
+      sends_left_(cfg.send_budget) {}
+
+void KvEquivocator::equivocate_initial(Context& ctx, std::uint32_t shard,
+                                       std::uint64_t seq) {
+  const std::uint64_t tag = make_tag(shard, seq);
+  const std::uint64_t word_a =
+      pack_op(KvOp{static_cast<std::uint32_t>(seq * 2), 0xAAAA0000u + shard});
+  const std::uint64_t word_b =
+      pack_op(KvOp{static_cast<std::uint32_t>(seq * 2 + 1), 0xBBBB0000u + shard});
+  for (ProcessId q = 0; q < ctx.n(); ++q) {
+    if (q == ctx.self() || sends_left_ == 0) {
+      continue;
+    }
+    const std::uint64_t word = (q % 2 == 0) ? word_a : word_b;
+    --sends_left_;
+    ctx.send(q, ext::RbxMsg{.kind = ext::RbxMsg::Kind::initial,
+                            .origin = ctx.self(),
+                            .tag = tag,
+                            .value = word}
+                    .encode());
+    // Two-faced echo reinforcing whichever story this peer was told.
+    if (sends_left_ > 0) {
+      --sends_left_;
+      ctx.send(q, ext::RbxMsg{.kind = ext::RbxMsg::Kind::echo,
+                              .origin = ctx.self(),
+                              .tag = tag,
+                              .value = word}
+                      .encode());
+    }
+  }
+}
+
+void KvEquivocator::on_start(Context& ctx) {
+  for (std::uint32_t shard = 0; shard < cfg_.shards; ++shard) {
+    for (std::uint64_t seq = 0; seq < cfg_.ops_per_shard; ++seq) {
+      equivocate_initial(ctx, shard, seq);
+    }
+  }
+}
+
+void KvEquivocator::on_message(Context& ctx, const Envelope& env) {
+  // Participate honestly in everyone else's instances so the attack is
+  // pure equivocation, not a liveness stall.
+  ext::RbxMsg msg;
+  try {
+    msg = ext::RbxMsg::decode(env.payload, ext::kRbValueAny);
+  } catch (const DecodeError&) {
+    return;  // batches and garbage: an equivocator need not reply
+  }
+  if (msg.origin == ctx.self()) {
+    return;  // never help (or fix) our own split instances
+  }
+  const ext::RbEngine::Outcome out = engine_.handle(env.sender, msg);
+  for (const ext::RbxMsg& reply : out.to_broadcast) {
+    if (sends_left_ < ctx.n()) {
+      return;
+    }
+    sends_left_ -= ctx.n();
+    ctx.broadcast(reply.encode());
+  }
+}
+
+KvBabbler::KvBabbler(KvAdversaryConfig cfg)
+    : cfg_(cfg),
+      engine_(cfg.params, /*capacity_hint=*/0, ext::kRbValueAny),
+      sends_left_(cfg.send_budget) {}
+
+void KvBabbler::babble(Context& ctx) {
+  if (sends_left_ < ctx.n()) {
+    return;
+  }
+  sends_left_ -= ctx.n();
+  Rng& rng = ctx.rng();
+  switch (rng.below(5)) {
+    case 0: {  // raw noise, arbitrary length
+      ByteWriter w(16);
+      const std::uint32_t len = static_cast<std::uint32_t>(rng.below(33));
+      for (std::uint32_t i = 0; i < len; ++i) {
+        w.u8(static_cast<std::uint8_t>(rng.below(256)));
+      }
+      ctx.broadcast(std::move(w).take());
+      return;
+    }
+    case 1: {  // batch header whose count disagrees with the body
+      ByteWriter w(8);
+      w.u8(ext::RbxBatch::kTagByte)
+          .u32(static_cast<std::uint32_t>(1 + rng.below(64)))
+          .u8(0);
+      ctx.broadcast(std::move(w).take());
+      return;
+    }
+    case 2: {  // well-formed message, out-of-range kind byte
+      ByteWriter w(ext::RbxMsg::kWireSize);
+      w.u8(static_cast<std::uint8_t>(43 + rng.below(200)))
+          .u32(static_cast<std::uint32_t>(rng.below(ctx.n())))
+          .u64(rng.next())
+          .u64(rng.next());
+      ctx.broadcast(std::move(w).take());
+      return;
+    }
+    case 3: {  // echo/ready for a phantom instance, maybe phantom origin
+      const ProcessId origin =
+          static_cast<ProcessId>(rng.below(2ULL * ctx.n()));
+      const std::uint64_t tag =
+          make_tag(static_cast<std::uint32_t>(rng.below(4 * cfg_.shards)),
+                   rng.below(1u << 20));
+      ctx.broadcast(ext::RbxMsg{.kind = rng.bernoulli(0.5)
+                                            ? ext::RbxMsg::Kind::echo
+                                            : ext::RbxMsg::Kind::ready,
+                                .origin = origin,
+                                .tag = tag,
+                                .value = rng.next()}
+                        .encode());
+      return;
+    }
+    default: {  // truncated single message
+      ByteWriter w(8);
+      w.u8(40 + static_cast<std::uint8_t>(rng.below(3)))
+          .u32(static_cast<std::uint32_t>(rng.below(ctx.n())));
+      ctx.broadcast(std::move(w).take());
+      return;
+    }
+  }
+}
+
+void KvBabbler::on_start(Context& ctx) {
+  babble(ctx);
+  babble(ctx);
+}
+
+void KvBabbler::on_message(Context& ctx, const Envelope& env) {
+  // Stay a useful mesh citizen (echo/ready for real instances) so the run
+  // terminates, then spray garbage at a bounded rate.
+  try {
+    if (!ext::RbxBatch::is_batch(env.payload)) {
+      const ext::RbxMsg msg =
+          ext::RbxMsg::decode(env.payload, ext::kRbValueAny);
+      const ext::RbEngine::Outcome out = engine_.handle(env.sender, msg);
+      for (const ext::RbxMsg& reply : out.to_broadcast) {
+        if (sends_left_ >= ctx.n()) {
+          sends_left_ -= ctx.n();
+          ctx.broadcast(reply.encode());
+        }
+      }
+    }
+  } catch (const DecodeError&) {
+    // fellow babblers
+  }
+  if (ctx.rng().bernoulli(0.25)) {
+    babble(ctx);
+  }
+}
+
+}  // namespace rcp::service

@@ -1,0 +1,70 @@
+// Byzantine replicas for the KV service's adversary zoo.
+//
+// Both run as full mesh participants (they hold a real RbEngine so they do
+// not slow correct instances down by silence) while attacking on top:
+//
+//  - KvEquivocator originates ops whose initial shows a different
+//    (key, value) to each half of the mesh, and echoes its own instances
+//    two-faced. Bracha consistency is the property under test: either one
+//    of the conflicting values delivers at *every* correct replica or none
+//    does — the state-digest equivalence test fails on any split.
+//  - KvBabbler sprays malformed payloads — truncated messages, corrupted
+//    batches, out-of-range kinds/values/origins/shards — plus well-formed
+//    echoes and readies for instances that do not exist. The hardened
+//    decoders and the engine's range/retire drops are the property under
+//    test: correct replicas must absorb all of it without state change.
+//
+// Determinism: all randomness flows from Context::rng().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/process.hpp"
+#include "core/params.hpp"
+#include "extensions/rb_engine.hpp"
+#include "service/kv_store.hpp"
+
+namespace rcp::service {
+
+struct KvAdversaryConfig {
+  core::ConsensusParams params;
+  std::uint32_t shards = 1;
+  /// Ops the adversary originates per shard (equivocator only).
+  std::uint32_t ops_per_shard = 4;
+  /// Hard cap on attack sends, so the adversary cannot livelock the run.
+  std::uint64_t send_budget = 20000;
+};
+
+class KvEquivocator final : public Process {
+ public:
+  explicit KvEquivocator(KvAdversaryConfig cfg);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, const Envelope& env) override;
+
+ private:
+  void equivocate_initial(Context& ctx, std::uint32_t shard,
+                          std::uint64_t seq);
+
+  KvAdversaryConfig cfg_;
+  ext::RbEngine engine_;
+  std::uint64_t sends_left_;
+};
+
+class KvBabbler final : public Process {
+ public:
+  explicit KvBabbler(KvAdversaryConfig cfg);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, const Envelope& env) override;
+
+ private:
+  void babble(Context& ctx);
+
+  KvAdversaryConfig cfg_;
+  ext::RbEngine engine_;
+  std::uint64_t sends_left_;
+};
+
+}  // namespace rcp::service

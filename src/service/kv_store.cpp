@@ -1,0 +1,94 @@
+#include "service/kv_store.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace rcp::service {
+
+namespace {
+constexpr std::size_t kMinTable = 64;
+using detail::mix64;
+
+constexpr std::uint64_t fold_entry(std::uint64_t key,
+                                   std::uint32_t value) noexcept {
+  return mix64(key ^ (static_cast<std::uint64_t>(value) * 0x9e3779b97f4a7c15ULL));
+}
+}  // namespace
+
+KvStore::KvStore(std::uint32_t streams, bool keep_log)
+    : table_(kMinTable),
+      chains_(streams, 0),
+      stream_applied_(streams, 0),
+      keep_log_(keep_log) {
+  if (keep_log_) {
+    logs_.resize(streams);
+  }
+}
+
+std::size_t KvStore::probe(std::uint64_t key) const noexcept {
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = mix64(key) & mask;
+  while (table_[i].used && table_[i].key != key) {
+    i = (i + 1) & mask;
+  }
+  return i;
+}
+
+void KvStore::grow() {
+  std::vector<Slot> old = std::move(table_);
+  table_ = std::vector<Slot>(old.size() * 2);
+  for (const Slot& s : old) {
+    if (s.used) {
+      table_[probe(s.key)] = s;
+    }
+  }
+}
+
+void KvStore::apply(std::uint32_t stream, std::uint64_t seq, KvOp op) {
+  RCP_EXPECT(stream < chains_.size(), "KvStore: stream out of range");
+  const std::uint64_t composite =
+      (static_cast<std::uint64_t>(stream) << 32) | op.key;
+  std::size_t i = probe(composite);
+  if (table_[i].used) {
+    state_fold_ -= fold_entry(composite, table_[i].value);
+    table_[i].value = op.value;
+  } else {
+    // Grow at 70% load so probe runs stay short.
+    if ((used_ + 1) * 10 >= table_.size() * 7) {
+      grow();
+      i = probe(composite);
+    }
+    table_[i] = Slot{composite, op.value, true};
+    ++used_;
+  }
+  state_fold_ += fold_entry(composite, op.value);
+  chains_[stream] =
+      mix64(chains_[stream] ^ mix64(seq + 1) ^ mix64(pack_op(op)));
+  ++stream_applied_[stream];
+  ++applied_;
+  if (keep_log_) {
+    logs_[stream].emplace_back(seq, pack_op(op));
+  }
+}
+
+std::optional<std::uint32_t> KvStore::get(std::uint32_t stream,
+                                          std::uint32_t key) const {
+  const std::uint64_t composite =
+      (static_cast<std::uint64_t>(stream) << 32) | key;
+  const std::size_t i = probe(composite);
+  if (!table_[i].used) {
+    return std::nullopt;
+  }
+  return table_[i].value;
+}
+
+std::uint64_t KvStore::digest() const noexcept {
+  std::uint64_t h = mix64(applied_ ^ (state_fold_ * 0x9e3779b97f4a7c15ULL));
+  for (std::size_t s = 0; s < chains_.size(); ++s) {
+    h = mix64(h ^ mix64(chains_[s] + s));
+  }
+  return h;
+}
+
+}  // namespace rcp::service

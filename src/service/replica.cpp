@@ -1,0 +1,184 @@
+#include "service/replica.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rcp::service {
+
+namespace {
+/// Pending ops a Byzantine origin can park ahead of its own FIFO cursor
+/// before the replica starts shedding them. Correct origins never exceed
+/// their window, so the bound only disciplines attackers.
+constexpr std::size_t kPendingSlack = 4;
+}  // namespace
+
+KvReplica::KvReplica(ReplicaConfig cfg, std::shared_ptr<OpSource> source)
+    : cfg_(cfg),
+      source_(std::move(source)),
+      batcher_(cfg.params.n, cfg.batching),
+      kv_(cfg.params.n * cfg.shards, cfg.keep_log),
+      next_seq_(cfg.shards, 0),
+      inflight_(cfg.shards, 0),
+      next_apply_(static_cast<std::size_t>(cfg.params.n) * cfg.shards, 0),
+      pending_(static_cast<std::size_t>(cfg.params.n) * cfg.shards),
+      applied_from_(cfg.params.n, 0) {
+  RCP_EXPECT(cfg_.shards >= 1 && cfg_.shards < (1u << kShardBits),
+             "KvReplica: shard count out of tag range");
+  RCP_EXPECT(source_ != nullptr, "KvReplica: null op source");
+  const std::uint32_t hint = cfg_.engine_capacity != 0
+                                 ? cfg_.engine_capacity
+                                 : cfg_.params.n * cfg_.window;
+  engines_.reserve(cfg_.shards);
+  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+    engines_.emplace_back(cfg_.params, hint, ext::kRbValueAny);
+  }
+  if (!cfg_.expected_per_origin.empty()) {
+    for (const std::uint64_t expected : cfg_.expected_per_origin) {
+      if (expected > 0) {
+        ++origins_remaining_;
+      }
+    }
+  }
+  scratch_.reserve(ext::RbxBatch::kMaxMessages);
+}
+
+ext::RbEngineStats KvReplica::engine_stats() const {
+  ext::RbEngineStats total;
+  for (const ext::RbEngine& e : engines_) {
+    const ext::RbEngineStats& s = e.stats();
+    total.handled += s.handled;
+    total.dropped_origin_range += s.dropped_origin_range;
+    total.dropped_value_range += s.dropped_value_range;
+    total.dropped_retired += s.dropped_retired;
+    total.dropped_slot_overflow += s.dropped_slot_overflow;
+    total.grows += s.grows;
+  }
+  return total;
+}
+
+std::size_t KvReplica::live_instances() const {
+  std::size_t total = 0;
+  for (const ext::RbEngine& e : engines_) {
+    total += e.instance_count();
+  }
+  return total;
+}
+
+void KvReplica::pull(Context& ctx, std::uint32_t shard) {
+  while (inflight_[shard] < cfg_.window) {
+    const std::optional<KvOp> op = source_->next(shard);
+    if (!op.has_value()) {
+      return;
+    }
+    const std::uint64_t tag = make_tag(shard, next_seq_[shard]++);
+    ++inflight_[shard];
+    ++counters_.ops_submitted;
+    batcher_.queue_broadcast(
+        ctx, engines_[shard].start(self_, tag, pack_op(*op)));
+  }
+}
+
+void KvReplica::pull_all(Context& ctx) {
+  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+    pull(ctx, s);
+  }
+}
+
+void KvReplica::on_start(Context& ctx) {
+  self_ = ctx.self();
+  pull_all(ctx);
+  batcher_.flush(ctx);
+}
+
+void KvReplica::on_null(Context& ctx) {
+  pull_all(ctx);
+  batcher_.flush(ctx);
+}
+
+void KvReplica::on_message(Context& ctx, const Envelope& env) {
+  try {
+    if (ext::RbxBatch::is_batch(env.payload)) {
+      scratch_.clear();
+      ext::RbxBatch::decode_into(env.payload, scratch_, ext::kRbValueAny);
+      ++counters_.batches_decoded;
+      for (const ext::RbxMsg& msg : scratch_) {
+        feed(ctx, env.sender, msg);
+      }
+    } else {
+      feed(ctx, env.sender,
+           ext::RbxMsg::decode(env.payload, ext::kRbValueAny));
+    }
+  } catch (const DecodeError&) {
+    // Byzantine bytes: drop the payload, count it, stay alive.
+    ++counters_.decode_errors;
+  }
+  pull_all(ctx);
+  batcher_.flush(ctx);
+}
+
+void KvReplica::feed(Context& ctx, ProcessId sender, const ext::RbxMsg& msg) {
+  const std::uint32_t shard = shard_of(msg.tag);
+  if (shard >= cfg_.shards) {
+    ++counters_.dropped_bad_shard;
+    return;
+  }
+  ++counters_.msgs_decoded;
+  const ext::RbEngine::Outcome out = engines_[shard].handle(sender, msg);
+  for (const ext::RbxMsg& reply : out.to_broadcast) {
+    batcher_.queue_broadcast(ctx, reply);
+  }
+  if (out.delivered.has_value()) {
+    ++counters_.deliveries;
+    on_delivered(ctx, shard, *out.delivered);
+  }
+}
+
+void KvReplica::on_delivered(Context& ctx, std::uint32_t shard,
+                             const ext::RbEngine::Delivery& d) {
+  const std::uint32_t stream = stream_of(d.origin, shard);
+  const std::uint64_t seq = seq_of(d.tag);
+  if (seq < next_apply_[stream]) {
+    ++counters_.stale_deliveries;
+    return;
+  }
+  auto& pending = pending_[stream];
+  if (pending.size() >=
+      static_cast<std::size_t>(cfg_.window) * kPendingSlack + 16) {
+    ++counters_.pending_overflow;
+    return;
+  }
+  pending.emplace(seq, d.value);
+  // FIFO barrier: apply the contiguous run starting at the cursor.
+  auto it = pending.begin();
+  while (it != pending.end() && it->first == next_apply_[stream]) {
+    const std::uint64_t apply_seq = it->first;
+    const KvOp op = unpack_op(it->second);
+    it = pending.erase(it);
+    ++next_apply_[stream];
+    kv_.apply(stream, apply_seq, op);
+    ++counters_.ops_applied;
+    engines_[shard].retire_through(d.origin, make_tag(shard, apply_seq));
+    if (d.origin == self_) {
+      ++counters_.own_ops_applied;
+      if (inflight_[shard] > 0) {
+        --inflight_[shard];
+      }
+      if (apply_hook_) {
+        apply_hook_(shard, apply_seq, op);
+      }
+    }
+    if (!cfg_.expected_per_origin.empty() &&
+        d.origin < cfg_.expected_per_origin.size()) {
+      if (++applied_from_[d.origin] ==
+              cfg_.expected_per_origin[d.origin] &&
+          cfg_.expected_per_origin[d.origin] > 0) {
+        if (--origins_remaining_ == 0) {
+          ctx.decide(Value::one);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace rcp::service

@@ -1,0 +1,181 @@
+// KvReplica — one replica of the consensus-backed KV service.
+//
+// Every client write is one Bracha-broadcast instance in a multiplexed
+// ext::RbEngine: the owner replica originates initial(tag, packed-op), the
+// mesh echoes and readies, and each replica applies the op to its KvStore
+// when the instance delivers *and* every earlier op of the same origin
+// stream has been applied (the per-stream FIFO barrier — delivery order
+// across instances is asynchronous, apply order is not). Applied instances
+// are retired from the engine, so steady-state live instances stay bounded
+// by the origination window.
+//
+// Sharding: the 64-bit instance tag is (shard << 48) | seq; each shard has
+// its own engine, its own seq space and its own origination window, so
+// independent keys make progress in parallel and a slow shard cannot
+// head-of-line-block the others. Batching: all outgoing engine traffic of
+// one atomic step is flushed through an RbxBatcher as one frame per peer.
+//
+// The replica is a sans-io rcp::Process: the sim transport and the real
+// TCP mesh (net::Node with NodeLimits::idle_tick_ms armed) drive the same
+// object; client ops arrive through the pull-based OpSource.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/process.hpp"
+#include "core/params.hpp"
+#include "extensions/rb_engine.hpp"
+#include "service/batcher.hpp"
+#include "service/kv_store.hpp"
+
+namespace rcp::service {
+
+/// Tag layout: high 16 bits shard, low 48 bits per-(origin, shard) seq.
+inline constexpr std::uint32_t kShardBits = 16;
+inline constexpr std::uint64_t kSeqMask =
+    (std::uint64_t{1} << (64 - kShardBits)) - 1;
+
+[[nodiscard]] constexpr std::uint64_t make_tag(std::uint32_t shard,
+                                               std::uint64_t seq) noexcept {
+  return (static_cast<std::uint64_t>(shard) << (64 - kShardBits)) |
+         (seq & kSeqMask);
+}
+[[nodiscard]] constexpr std::uint32_t shard_of(std::uint64_t tag) noexcept {
+  return static_cast<std::uint32_t>(tag >> (64 - kShardBits));
+}
+[[nodiscard]] constexpr std::uint64_t seq_of(std::uint64_t tag) noexcept {
+  return tag & kSeqMask;
+}
+
+/// Pull interface for client ops, one queue per shard. Implementations:
+/// a preloaded deterministic script (sim tests, VectorOpSource below) or a
+/// locked queue fed by client threads (net mode; lives with the caller —
+/// the service layer itself stays free of OS concurrency).
+class OpSource {
+ public:
+  virtual ~OpSource() = default;
+  /// Next op for `shard`, or nullopt when none is queued right now.
+  [[nodiscard]] virtual std::optional<KvOp> next(std::uint32_t shard) = 0;
+};
+
+/// Preloaded per-shard op scripts.
+class VectorOpSource : public OpSource {
+ public:
+  explicit VectorOpSource(std::vector<std::vector<KvOp>> scripts)
+      : scripts_(std::move(scripts)), pos_(scripts_.size(), 0) {}
+
+  [[nodiscard]] std::optional<KvOp> next(std::uint32_t shard) override {
+    if (shard >= scripts_.size() || pos_[shard] >= scripts_[shard].size()) {
+      return std::nullopt;
+    }
+    return scripts_[shard][pos_[shard]++];
+  }
+
+ private:
+  std::vector<std::vector<KvOp>> scripts_;
+  std::vector<std::size_t> pos_;
+};
+
+struct ReplicaConfig {
+  core::ConsensusParams params;
+  std::uint32_t shards = 1;
+  bool batching = true;
+  /// Max own ops in flight (originated, not yet applied) per shard.
+  std::uint32_t window = 64;
+  /// RbEngine pool hint per shard; 0 derives n * window.
+  std::uint32_t engine_capacity = 0;
+  /// Retain per-stream op logs in the KvStore (test prefix checks).
+  bool keep_log = false;
+  /// Expected op count per origin (index = origin id; missing/0 = none
+  /// expected). When set, the replica decides Value::one once every
+  /// origin's expected ops are applied — the natural termination signal
+  /// both sim::Simulation and net::Cluster already wait on.
+  std::vector<std::uint64_t> expected_per_origin;
+};
+
+struct ReplicaCounters {
+  std::uint64_t ops_submitted = 0;     ///< own ops originated
+  std::uint64_t ops_applied = 0;       ///< ops applied (all origins)
+  std::uint64_t own_ops_applied = 0;
+  std::uint64_t deliveries = 0;        ///< engine deliveries observed
+  std::uint64_t stale_deliveries = 0;  ///< delivered below the apply cursor
+  std::uint64_t batches_decoded = 0;
+  std::uint64_t msgs_decoded = 0;      ///< RbxMsgs fed to engines
+  std::uint64_t decode_errors = 0;     ///< malformed payloads dropped
+  std::uint64_t dropped_bad_shard = 0; ///< tag shard out of range
+  std::uint64_t pending_overflow = 0;  ///< Byzantine pending-map bound hits
+};
+
+class KvReplica final : public Process {
+ public:
+  /// Called (own ops only, in per-shard seq order) as ops are applied —
+  /// the load generator's latency probe.
+  using ApplyHook = std::function<void(std::uint32_t shard, std::uint64_t seq,
+                                       KvOp op)>;
+
+  KvReplica(ReplicaConfig cfg, std::shared_ptr<OpSource> source);
+
+  void set_apply_hook(ApplyHook hook) { apply_hook_ = std::move(hook); }
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, const Envelope& env) override;
+  void on_null(Context& ctx) override;
+  /// Applied-op count, so phase-triggered fault injection can target
+  /// "after N ops".
+  [[nodiscard]] Phase phase() const noexcept override {
+    return static_cast<Phase>(counters_.ops_applied);
+  }
+
+  // ---- Observers (driver thread, post-run / white-box tests) -----------
+
+  [[nodiscard]] const KvStore& store() const noexcept { return kv_; }
+  [[nodiscard]] std::uint64_t digest() const noexcept { return kv_.digest(); }
+  [[nodiscard]] const ReplicaCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const RbxBatcher::Stats& batcher_stats() const noexcept {
+    return batcher_.stats();
+  }
+  /// Aggregated over the per-shard engines.
+  [[nodiscard]] ext::RbEngineStats engine_stats() const;
+  [[nodiscard]] std::size_t live_instances() const;
+
+ private:
+  void pull(Context& ctx, std::uint32_t shard);
+  void pull_all(Context& ctx);
+  void feed(Context& ctx, ProcessId sender, const ext::RbxMsg& msg);
+  void on_delivered(Context& ctx, std::uint32_t shard,
+                    const ext::RbEngine::Delivery& d);
+  [[nodiscard]] std::uint32_t stream_of(ProcessId origin,
+                                        std::uint32_t shard) const noexcept {
+    return origin * cfg_.shards + shard;
+  }
+
+  ReplicaConfig cfg_;
+  std::shared_ptr<OpSource> source_;
+  ProcessId self_ = 0;
+  std::vector<ext::RbEngine> engines_;  ///< one per shard
+  RbxBatcher batcher_;
+  KvStore kv_;
+  /// next_seq_[shard]: next seq this replica originates on that shard.
+  std::vector<std::uint64_t> next_seq_;
+  /// inflight_[shard]: own ops originated but not yet applied.
+  std::vector<std::uint32_t> inflight_;
+  /// next_apply_[stream]: the FIFO barrier cursor per origin stream.
+  std::vector<std::uint64_t> next_apply_;
+  /// Delivered-but-not-yet-applicable ops per stream, keyed by seq.
+  std::vector<std::map<std::uint64_t, std::uint64_t>> pending_;
+  /// Termination accounting against cfg_.expected_per_origin.
+  std::vector<std::uint64_t> applied_from_;
+  std::uint32_t origins_remaining_ = 0;
+  std::vector<ext::RbxMsg> scratch_;  ///< batch decode buffer
+  ReplicaCounters counters_;
+  ApplyHook apply_hook_;
+};
+
+}  // namespace rcp::service

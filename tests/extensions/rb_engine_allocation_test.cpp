@@ -1,0 +1,111 @@
+// Allocation contract of the multiplexed engine (docs/SERVICE.md,
+// docs/PERF.md): once the slot pool is warm, RbEngine::handle() and
+// retire_through() are allocation-free — the KV service's per-message hot
+// path — and RbxBatch::decode_into() into a warmed scratch vector is too.
+// The engine sources are listed under [allocation] in tools/lint_rules.toml,
+// so a new allocation fails the build (rcp-lint) *and* this counter.
+//
+// The binary-wide operator new override counts every allocation (same
+// instrument as tests/core/echo_allocation_test.cpp, different binary).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "extensions/rb_engine.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace rcp::ext {
+namespace {
+
+constexpr core::ConsensusParams kParams{7, 2};
+
+/// One full instance lifecycle: initial, echo quorum, ready quorum,
+/// delivery, retire. The steady-state traffic of one KV write.
+void drive_instance(RbEngine& e, ProcessId origin, std::uint64_t tag) {
+  (void)e.handle(origin, RbxMsg{.kind = RbxMsg::Kind::initial,
+                                .origin = origin,
+                                .tag = tag,
+                                .value = tag & 0xff});
+  for (ProcessId p = 0; p < kParams.n; ++p) {
+    (void)e.handle(p, RbxMsg{.kind = RbxMsg::Kind::echo,
+                             .origin = origin,
+                             .tag = tag,
+                             .value = tag & 0xff});
+  }
+  bool delivered = false;
+  for (ProcessId p = 0; p < kParams.n; ++p) {
+    const auto out = e.handle(p, RbxMsg{.kind = RbxMsg::Kind::ready,
+                                        .origin = origin,
+                                        .tag = tag,
+                                        .value = tag & 0xff});
+    delivered = delivered || out.delivered.has_value();
+  }
+  ASSERT_TRUE(delivered);
+  e.retire_through(origin, tag);
+}
+
+TEST(RbEngineAllocation, SteadyStateDispatchIsAllocationFree) {
+  RbEngine e(kParams, /*capacity_hint=*/64, kRbValueAny);
+  // Warm: every origin cycles a few instances; the pool never needs to
+  // grow past the hint because retire keeps live_count bounded.
+  std::uint64_t tag = 0;
+  for (; tag < 16; ++tag) {
+    for (ProcessId origin = 0; origin < kParams.n; ++origin) {
+      drive_instance(e, origin, tag);
+    }
+  }
+  const std::uint64_t before = g_allocations.load();
+  for (; tag < 200; ++tag) {
+    for (ProcessId origin = 0; origin < kParams.n; ++origin) {
+      drive_instance(e, origin, tag);
+    }
+  }
+  EXPECT_EQ(g_allocations.load() - before, 0u)
+      << "warm handle()/retire_through() must not touch the heap";
+  EXPECT_EQ(e.stats().grows, 0u);
+}
+
+TEST(RbEngineAllocation, BatchDecodeIntoWarmScratchIsAllocationFree) {
+  std::vector<RbxMsg> msgs;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    msgs.push_back(RbxMsg{.kind = RbxMsg::Kind::echo,
+                          .origin = i % kParams.n,
+                          .tag = i,
+                          .value = i});
+  }
+  const Bytes frame = RbxBatch::encode(msgs);
+  std::vector<RbxMsg> scratch;
+  scratch.reserve(msgs.size());  // the replica's reusable scratch, warmed
+  const std::uint64_t before = g_allocations.load();
+  for (int round = 0; round < 100; ++round) {
+    scratch.clear();
+    RbxBatch::decode_into(frame, scratch, kRbValueAny);
+  }
+  EXPECT_EQ(g_allocations.load() - before, 0u)
+      << "decoding into warmed scratch must not touch the heap";
+  EXPECT_EQ(scratch.size(), msgs.size());
+}
+
+}  // namespace
+}  // namespace rcp::ext

@@ -141,5 +141,123 @@ TEST(RbEngine, BottomValueFlowsThrough) {
   EXPECT_EQ(e.delivered(2, 5), kRbValueBottom);
 }
 
+TEST(RbEngine, DropsOriginOutsideProcessSpace) {
+  // A Byzantine frame can claim any origin; one at or past n must be
+  // counted and dropped before it can occupy a slot.
+  RbEngine e(kParams);
+  EXPECT_TRUE(e.handle(0, echo(7, 1, kRbValueOne)).to_broadcast.empty());
+  EXPECT_TRUE(e.handle(0, echo(9999, 1, kRbValueOne)).to_broadcast.empty());
+  EXPECT_EQ(e.instance_count(), 0u);
+  EXPECT_EQ(e.stats().dropped_origin_range, 2u);
+}
+
+TEST(RbEngine, DropsValueAboveEngineBound) {
+  RbEngine e(kParams);  // default bound: kMaxRbValue
+  EXPECT_TRUE(
+      e.handle(0, echo(6, 1, kMaxRbValue + 1)).to_broadcast.empty());
+  EXPECT_EQ(e.stats().dropped_value_range, 1u);
+  EXPECT_EQ(e.instance_count(), 0u);
+}
+
+TEST(RbEngine, WideValuesDeliverUnderRelaxedBound) {
+  // The KV service packs (key, value) into the full 64-bit word.
+  RbEngine e(kParams, 0, kRbValueAny);
+  const RbValue word = 0xfeedface'12345678ULL;
+  std::optional<RbEngine::Delivery> delivered;
+  for (ProcessId p = 0; p < 5; ++p) {
+    auto out = e.handle(p, ready(6, 3, word));
+    if (out.delivered.has_value()) {
+      delivered = out.delivered;
+    }
+  }
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(delivered->value, word);
+}
+
+TEST(RbEngine, RetireFreesSlotAndDropsStragglers) {
+  RbEngine e(kParams);
+  for (ProcessId p = 0; p < 5; ++p) {
+    (void)e.handle(p, ready(6, 3, kRbValueOne));
+  }
+  EXPECT_EQ(e.instance_count(), 1u);
+  e.retire_through(6, 3);
+  EXPECT_EQ(e.instance_count(), 0u);
+  // A late READY for the retired tag must not resurrect the instance.
+  EXPECT_TRUE(e.handle(5, ready(6, 3, kRbValueOne)).to_broadcast.empty());
+  EXPECT_EQ(e.instance_count(), 0u);
+  EXPECT_EQ(e.stats().dropped_retired, 1u);
+  // The cursor is per-origin: tags below it drop, the next tag is live.
+  EXPECT_TRUE(e.handle(0, echo(6, 2, kRbValueOne)).to_broadcast.empty());
+  EXPECT_EQ(e.stats().dropped_retired, 2u);
+  (void)e.handle(0, echo(6, 4, kRbValueOne));
+  EXPECT_EQ(e.instance_count(), 1u);
+  // ... and other origins are unaffected.
+  (void)e.handle(0, echo(5, 3, kRbValueOne));
+  EXPECT_EQ(e.instance_count(), 2u);
+}
+
+TEST(RbEngine, RetireCursorIsMonotone) {
+  RbEngine e(kParams);
+  e.retire_through(6, 10);
+  e.retire_through(6, 4);  // out-of-order retire must not move it back
+  EXPECT_TRUE(e.handle(0, echo(6, 9, kRbValueOne)).to_broadcast.empty());
+  EXPECT_EQ(e.stats().dropped_retired, 1u);
+}
+
+TEST(RbEngine, ValueLaneOverflowIsCountedNotFatal) {
+  // An equivocator spraying >4 distinct values per instance exhausts the
+  // first-come lanes; the overflowing values drop, the first ones still
+  // tally, and correct traffic proceeds.
+  RbEngine e(kParams, 0, kRbValueAny);
+  for (RbValue v = 0; v < 4; ++v) {
+    (void)e.handle(0, echo(6, 1, 100 + v));
+  }
+  EXPECT_EQ(e.stats().dropped_slot_overflow, 0u);
+  (void)e.handle(0, echo(6, 1, 999));
+  EXPECT_EQ(e.stats().dropped_slot_overflow, 1u);
+  // The first lane still reaches its quorum: senders 1..3 bring value 100
+  // to four echoes, sender 4's echo is the fifth and triggers the READY.
+  for (ProcessId p = 1; p < 4; ++p) {
+    EXPECT_TRUE(e.handle(p, echo(6, 1, 100)).to_broadcast.empty());
+  }
+  const auto out = e.handle(4, echo(6, 1, 100));
+  ASSERT_EQ(out.to_broadcast.size(), 1u);
+  EXPECT_EQ(out.to_broadcast[0].kind, RbxMsg::Kind::ready);
+  EXPECT_EQ(out.to_broadcast[0].value, 100u);
+}
+
+TEST(RbEngine, GrowsPastInitialCapacityAndKeepsState) {
+  // Open far more concurrent instances than the initial pool and finish
+  // them all afterwards: the doubling rehash must preserve every tally.
+  RbEngine e(kParams, 8);
+  const std::uint32_t total = 4 * e.capacity();
+  for (std::uint64_t tag = 0; tag < total; ++tag) {
+    for (ProcessId p = 0; p < 4; ++p) {  // one short of the ready quorum
+      (void)e.handle(p, ready(6, tag, kRbValueOne));
+    }
+  }
+  EXPECT_EQ(e.instance_count(), total);
+  EXPECT_GE(e.stats().grows, 1u);
+  for (std::uint64_t tag = 0; tag < total; ++tag) {
+    const auto out = e.handle(4, ready(6, tag, kRbValueOne));
+    ASSERT_TRUE(out.delivered.has_value()) << "tag " << tag;
+    EXPECT_EQ(out.delivered->tag, tag);
+  }
+}
+
+TEST(RbEngine, SlotReuseAfterRetireDoesNotLeakTallies) {
+  RbEngine e(kParams);
+  // Two echoes toward (6, 1), then retire it; the slot returns to the
+  // free list and must come back blank for the next instance.
+  (void)e.handle(0, echo(6, 1, kRbValueOne));
+  (void)e.handle(1, echo(6, 1, kRbValueOne));
+  e.retire_through(6, 1);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_TRUE(e.handle(p, echo(5, 9, kRbValueOne)).to_broadcast.empty());
+  }
+  const auto out = e.handle(4, echo(5, 9, kRbValueOne));
+  ASSERT_EQ(out.to_broadcast.size(), 1u);  // exactly at the echo threshold
+}
+
 }  // namespace
 }  // namespace rcp::ext

@@ -1,0 +1,93 @@
+// KvStore: the replicated state machine under the service. The properties
+// the equivalence proofs lean on: digests are a pure function of the
+// per-stream apply sequences, order-sensitive within a stream, and streams
+// namespace their keys (no cross-stream interference).
+#include "service/kv_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rcp::service {
+namespace {
+
+TEST(KvStore, AppliesAndReadsBack) {
+  KvStore kv(2);
+  kv.apply(0, 0, KvOp{.key = 7, .value = 100});
+  kv.apply(1, 0, KvOp{.key = 9, .value = 200});
+  kv.apply(0, 1, KvOp{.key = 7, .value = 300});  // overwrite
+  EXPECT_EQ(kv.get(0, 7), 300u);
+  EXPECT_EQ(kv.get(1, 9), 200u);
+  EXPECT_FALSE(kv.get(0, 9).has_value());
+  EXPECT_EQ(kv.size(), 2u);
+  EXPECT_EQ(kv.applied(), 3u);
+  EXPECT_EQ(kv.stream_applied(0), 2u);
+  EXPECT_EQ(kv.stream_applied(1), 1u);
+}
+
+TEST(KvStore, StreamsNamespaceKeys) {
+  KvStore kv(2);
+  kv.apply(0, 0, KvOp{.key = 5, .value = 1});
+  kv.apply(1, 0, KvOp{.key = 5, .value = 2});
+  EXPECT_EQ(kv.get(0, 5), 1u);
+  EXPECT_EQ(kv.get(1, 5), 2u);
+  EXPECT_EQ(kv.size(), 2u);
+}
+
+TEST(KvStore, DigestIsOrderSensitiveWithinStream) {
+  KvStore a(1);
+  a.apply(0, 0, KvOp{.key = 1, .value = 10});
+  a.apply(0, 1, KvOp{.key = 2, .value = 20});
+  KvStore b(1);
+  b.apply(0, 0, KvOp{.key = 2, .value = 20});
+  b.apply(0, 1, KvOp{.key = 1, .value = 10});
+  // Same final table, different apply order: the chain must differ.
+  EXPECT_EQ(a.get(0, 1), b.get(0, 1));
+  EXPECT_EQ(a.get(0, 2), b.get(0, 2));
+  EXPECT_NE(a.digest(), b.digest());
+  EXPECT_NE(a.stream_chain(0), b.stream_chain(0));
+}
+
+TEST(KvStore, DigestMatchesForIdenticalSequences) {
+  KvStore a(3);
+  KvStore b(3);
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    const KvOp op{.key = static_cast<std::uint32_t>(seq % 17),
+                  .value = static_cast<std::uint32_t>(seq * 31)};
+    a.apply(static_cast<std::uint32_t>(seq % 3), seq / 3, op);
+    b.apply(static_cast<std::uint32_t>(seq % 3), seq / 3, op);
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(KvStore, GrowsPastInitialTable) {
+  KvStore kv(1);
+  constexpr std::uint32_t kKeys = 10000;
+  for (std::uint32_t i = 0; i < kKeys; ++i) {
+    kv.apply(0, i, KvOp{.key = i, .value = i ^ 0xabcdu});
+  }
+  EXPECT_EQ(kv.size(), kKeys);
+  for (std::uint32_t i = 0; i < kKeys; i += 997) {
+    EXPECT_EQ(kv.get(0, i), i ^ 0xabcdu);
+  }
+}
+
+TEST(KvStore, KeepLogRetainsPerStreamSequences) {
+  KvStore kv(2, /*keep_log=*/true);
+  kv.apply(0, 0, KvOp{.key = 1, .value = 2});
+  kv.apply(1, 0, KvOp{.key = 3, .value = 4});
+  kv.apply(0, 1, KvOp{.key = 5, .value = 6});
+  ASSERT_EQ(kv.stream_log(0).size(), 2u);
+  EXPECT_EQ(kv.stream_log(0)[0].first, 0u);
+  EXPECT_EQ(kv.stream_log(0)[0].second, pack_op(KvOp{.key = 1, .value = 2}));
+  EXPECT_EQ(kv.stream_log(0)[1].first, 1u);
+  ASSERT_EQ(kv.stream_log(1).size(), 1u);
+}
+
+TEST(KvStore, PackOpRoundTrips) {
+  const KvOp op{.key = 0xdeadbeefu, .value = 0xcafef00du};
+  const KvOp back = unpack_op(pack_op(op));
+  EXPECT_EQ(back.key, op.key);
+  EXPECT_EQ(back.value, op.value);
+}
+
+}  // namespace
+}  // namespace rcp::service

@@ -1,18 +1,23 @@
 #!/usr/bin/env python3
-"""CI gate for the Byzantine echo-path throughput (docs/PERF.md).
+"""CI gate for benchmark throughput (docs/PERF.md, docs/SERVICE.md).
 
-Compares fresh benchmark JSON against the ``echo_path`` section of
+Compares fresh benchmark JSON against the matching section of
 BENCH_BASELINE.json and fails when any tracked series drops below
 ``threshold`` (default 0.70, i.e. a >30% regression) of its baseline.
 
-Two input formats are understood:
+Three input formats are understood:
 
 * ``--micro``: google-benchmark ``--benchmark_format=json`` output from
   bench_micro; entries are matched by benchmark name (``BM_EchoEngine*``)
-  and compared on ``items_per_second`` (echoes/sec).
+  and compared on ``items_per_second`` (echoes/sec), against the
+  ``echo_path`` baseline section.
 * ``--x4``: rcp-bench-v1 ``--json`` output from bench_x4_complexity;
   entries are matched by series ``label`` (``echo_path_n*``) and compared
-  on ``trials_per_sec`` (echoes/sec).
+  on ``trials_per_sec`` (echoes/sec), against ``echo_path``.
+* ``--svc``: rcp-svc-v1 ``--json`` output from kv_loadgen; runs are
+  matched by ``label`` (``sim_n7_batched`` etc.) and compared on
+  ``ops_per_sec``, against the ``service`` baseline section. A run that
+  did not converge (``ok: false``) fails outright.
 
 A baseline entry with no counterpart in the fresh output is an error —
 renaming or dropping a benchmark must be an explicit baseline edit, never
@@ -51,6 +56,24 @@ def x4_results(path):
     }
 
 
+def svc_results(path, failures):
+    """Label -> ops_per_sec for the kv_loadgen runs; non-ok runs fail."""
+    doc = load_json(path)
+    if doc.get("schema") != "rcp-svc-v1":
+        raise SystemExit(f"{path}: expected schema rcp-svc-v1")
+    out = {}
+    for run in doc.get("runs", []):
+        if "label" not in run:
+            continue
+        if not run.get("ok", False):
+            failures.append(
+                f"kv_loadgen: {run['label']}: run did not converge (ok=false)"
+            )
+            continue
+        out[run["label"]] = float(run["ops_per_sec"])
+    return out
+
+
 def check(kind, baseline, current, threshold, failures):
     for name, base in sorted(baseline.items()):
         if name not in current:
@@ -81,6 +104,7 @@ def main():
         "--micro", help="bench_micro --benchmark_format=json output"
     )
     parser.add_argument("--x4", help="bench_x4_complexity --json output")
+    parser.add_argument("--svc", help="kv_loadgen --json output (rcp-svc-v1)")
     parser.add_argument(
         "--threshold",
         type=float,
@@ -88,37 +112,49 @@ def main():
         help="minimum current/baseline ratio (0.70 = fail on >30%% drop)",
     )
     args = parser.parse_args()
-    if not args.micro and not args.x4:
-        parser.error("nothing to check: pass --micro and/or --x4")
+    if not args.micro and not args.x4 and not args.svc:
+        parser.error("nothing to check: pass --micro, --x4 and/or --svc")
 
-    baseline = load_json(args.baseline).get("echo_path")
-    if baseline is None:
-        raise SystemExit(f"{args.baseline}: no echo_path section")
-
+    doc = load_json(args.baseline)
     failures = []
-    if args.micro:
+    if args.micro or args.x4:
+        baseline = doc.get("echo_path")
+        if baseline is None:
+            raise SystemExit(f"{args.baseline}: no echo_path section")
+        if args.micro:
+            check(
+                "bench_micro",
+                baseline.get("bench_micro_items_per_second", {}),
+                micro_results(args.micro),
+                args.threshold,
+                failures,
+            )
+        if args.x4:
+            check(
+                "x4_complexity",
+                baseline.get("x4_complexity_trials_per_sec", {}),
+                x4_results(args.x4),
+                args.threshold,
+                failures,
+            )
+    if args.svc:
+        baseline = doc.get("service")
+        if baseline is None:
+            raise SystemExit(f"{args.baseline}: no service section")
         check(
-            "bench_micro",
-            baseline.get("bench_micro_items_per_second", {}),
-            micro_results(args.micro),
-            args.threshold,
-            failures,
-        )
-    if args.x4:
-        check(
-            "x4_complexity",
-            baseline.get("x4_complexity_trials_per_sec", {}),
-            x4_results(args.x4),
+            "kv_loadgen",
+            baseline.get("ops_per_sec", {}),
+            svc_results(args.svc, failures),
             args.threshold,
             failures,
         )
 
     if failures:
-        print(f"\n{len(failures)} echo-path gate failure(s):", file=sys.stderr)
+        print(f"\n{len(failures)} throughput gate failure(s):", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print("\necho-path throughput within gate")
+    print("\nbenchmark throughput within gate")
     return 0
 
 
