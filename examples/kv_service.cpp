@@ -13,7 +13,7 @@
 //   --n N --k K           (default n=7, k=(n-1)/3)
 //   --shards S            shards per replica (default 2)
 //   --ops OPS             total client writes (default 2000)
-//   --adversary none|equivocator|babbler   (default equivocator)
+//   --adversary none|equivocator|babbler|lane_jammer   (default equivocator)
 //   --byz B               byzantine seats (default 1, 0 with none)
 //   --no-batching         disable cross-instance frame batching
 //   --seed S              (default 1)
@@ -42,7 +42,8 @@ struct Options {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--n N] [--k K] [--shards S] [--ops OPS]\n"
-               "       [--adversary none|equivocator|babbler] [--byz B]\n"
+               "       [--adversary none|equivocator|babbler|lane_jammer]\n"
+               "       [--byz B]\n"
                "       [--no-batching] [--seed S]\n";
   return 2;
 }
@@ -76,7 +77,7 @@ std::optional<Options> parse(int argc, char** argv) {
         if (v == nullptr) return std::nullopt;
         opt.adversary = v;
         if (opt.adversary != "none" && opt.adversary != "equivocator" &&
-            opt.adversary != "babbler") {
+            opt.adversary != "babbler" && opt.adversary != "lane_jammer") {
           return std::nullopt;
         }
       } else if (flag == "--byz") {
@@ -117,7 +118,9 @@ int main(int argc, char** argv) {
   cfg.adversary = opt.adversary == "equivocator"
                       ? service::KvAdversaryKind::equivocator
                   : opt.adversary == "babbler" ? service::KvAdversaryKind::babbler
-                                               : service::KvAdversaryKind::none;
+                  : opt.adversary == "lane_jammer"
+                      ? service::KvAdversaryKind::lane_jammer
+                      : service::KvAdversaryKind::none;
   cfg.byzantine =
       opt.byz.value_or(opt.adversary == "none" ? 0U : 1U);
 
@@ -146,7 +149,8 @@ int main(int argc, char** argv) {
               << "  batched msgs=" << r.batched_msgs
               << "  unbatched msgs=" << r.unbatched_msgs << "\n"
               << "defense  : decode errors=" << r.decode_errors
-              << "  engine drops=" << r.engine_drops << "\n"
+              << "  engine drops=" << r.engine_drops
+              << "  admission drops=" << r.admission_drops << "\n"
               << "replicas : "
               << (r.correct_streams_equal ? "state digests MATCH"
                                           : "state digests DIVERGED")

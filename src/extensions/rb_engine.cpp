@@ -111,22 +111,37 @@ void RbxBatch::decode_into(const Bytes& payload, std::vector<RbxMsg>& out,
 }
 
 RbEngine::RbEngine(core::ConsensusParams params, std::uint32_t capacity_hint,
-                   RbValue max_value)
-    : params_(params), max_value_(max_value) {
+                   RbValue max_value, std::uint32_t max_live_per_origin)
+    : params_(params),
+      max_value_(max_value),
+      max_live_per_origin_(max_live_per_origin),
+      max_unanchored_per_origin_(
+          max_live_per_origin == 0
+              ? 0
+              : std::max(max_live_per_origin / 4, 8u)),
+      // A sender gets one counted vote per kind, so at most n distinct
+      // values can ever appear; k + 2 covers the fault budget with slack.
+      lanes_(std::max(std::min(params.k + 2, params.n), 2u)) {
+  RCP_EXPECT(params_.n >= 1 && params_.n <= 0xffffu,
+             "RbEngine: n must fit the 16-bit quorum tallies");
   const std::uint32_t cap =
       std::bit_ceil(std::max(capacity_hint, kMinCapacity));
   slots_ = std::vector<Instance>(cap);
   bucket_heads_ = std::vector<std::uint32_t>(2ULL * cap, kNil);
   bucket_mask_ = 2ULL * cap - 1;
-  echo_bits_ = core::BitRows(static_cast<std::size_t>(cap) * kValueSlots,
-                             params_.n);
-  ready_bits_ = core::BitRows(static_cast<std::size_t>(cap) * kValueSlots,
-                              params_.n);
+  echo_voted_ = core::BitRows(cap, params_.n);
+  ready_voted_ = core::BitRows(cap, params_.n);
+  echo_lane_value_ =
+      std::vector<RbValue>(static_cast<std::size_t>(cap) * lanes_, 0);
+  ready_lane_value_ =
+      std::vector<RbValue>(static_cast<std::size_t>(cap) * lanes_, 0);
   echo_count_ =
-      std::vector<std::uint16_t>(static_cast<std::size_t>(cap) * kValueSlots, 0);
+      std::vector<std::uint16_t>(static_cast<std::size_t>(cap) * lanes_, 0);
   ready_count_ =
-      std::vector<std::uint16_t>(static_cast<std::size_t>(cap) * kValueSlots, 0);
+      std::vector<std::uint16_t>(static_cast<std::size_t>(cap) * lanes_, 0);
   retired_below_ = std::vector<std::uint64_t>(params_.n, 0);
+  live_per_origin_ = std::vector<std::uint32_t>(params_.n, 0);
+  unanchored_per_origin_ = std::vector<std::uint32_t>(params_.n, 0);
   // Thread the whole pool onto the free list, lowest slot first.
   for (std::uint32_t i = cap; i-- > 0;) {
     slots_[i].next = free_head_;
@@ -151,10 +166,53 @@ std::uint32_t RbEngine::find(ProcessId origin,
   return kNil;
 }
 
-std::uint32_t RbEngine::obtain(ProcessId origin, std::uint64_t tag) {
+bool RbEngine::evict_unanchored(ProcessId origin) {
+  if (unanchored_per_origin_[origin] == 0) {
+    return false;
+  }
+  // Cold path: only reachable when an origin sits at its flood cap, i.e.
+  // under active attack. A linear sweep keeps the hot path free of any
+  // victim bookkeeping.
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    const Instance& inst = slots_[slot];
+    if (inst.live && !inst.anchored && !inst.has_delivered &&
+        inst.origin == origin) {
+      ++stats_.evicted_unanchored;
+      release(slot);
+      return true;
+    }
+  }
+  // Every unanchored instance has already delivered (the replica still
+  // needs those values); nothing is safely evictable.
+  return false;
+}
+
+std::uint32_t RbEngine::obtain(ProcessId origin, std::uint64_t tag,
+                               bool anchored) {
   const std::uint32_t found = find(origin, tag);
   if (found != kNil) {
+    Instance& inst = slots_[found];
+    if (anchored && !inst.anchored) {
+      inst.anchored = true;
+      --unanchored_per_origin_[origin];
+    }
     return found;
+  }
+  // First contact with this (origin, tag): the anchor-aware flood caps.
+  // Unanchored creations (echo/ready ahead of any initial — phantom
+  // candidates) draw from the tight sub-cap and the origin cap; anchored
+  // creations (the origin's own initial) may evict an unanchored instance
+  // rather than be refused, so phantoms can never wall off a correct
+  // origin's seq space.
+  if (max_live_per_origin_ != 0) {
+    if (!anchored && unanchored_per_origin_[origin] >=
+                         max_unanchored_per_origin_) {
+      return kNil;
+    }
+    if (live_per_origin_[origin] >= max_live_per_origin_ &&
+        (!anchored || !evict_unanchored(origin))) {
+      return kNil;
+    }
   }
   if (free_head_ == kNil) {
     grow();
@@ -166,32 +224,39 @@ std::uint32_t RbEngine::obtain(ProcessId origin, std::uint64_t tag) {
   inst.origin = origin;
   inst.tag = tag;
   inst.live = true;
-  const std::size_t row0 = static_cast<std::size_t>(slot) * kValueSlots;
-  echo_bits_.clear_rows(row0, kValueSlots);
-  ready_bits_.clear_rows(row0, kValueSlots);
-  std::fill_n(echo_count_.begin() + static_cast<std::ptrdiff_t>(row0),
-              kValueSlots, std::uint16_t{0});
-  std::fill_n(ready_count_.begin() + static_cast<std::ptrdiff_t>(row0),
-              kValueSlots, std::uint16_t{0});
+  inst.anchored = anchored;
+  if (!anchored) {
+    ++unanchored_per_origin_[origin];
+  }
+  const std::size_t row0 = static_cast<std::size_t>(slot) * lanes_;
+  echo_voted_.clear_rows(slot, 1);
+  ready_voted_.clear_rows(slot, 1);
+  std::fill_n(echo_count_.begin() + static_cast<std::ptrdiff_t>(row0), lanes_,
+              std::uint16_t{0});
+  std::fill_n(ready_count_.begin() + static_cast<std::ptrdiff_t>(row0), lanes_,
+              std::uint16_t{0});
   const std::uint64_t bucket = mix_key(origin, tag) & bucket_mask_;
   inst.next = bucket_heads_[bucket];
   bucket_heads_[bucket] = slot;
   ++live_count_;
+  ++live_per_origin_[origin];
   return slot;
 }
 
-std::uint32_t RbEngine::lane_of(std::uint32_t slot, RbValue value) {
-  Instance& inst = slots_[slot];
-  for (std::uint32_t l = 0; l < inst.lanes_used; ++l) {
-    if (inst.lane_value[l] == value) {
+std::uint32_t RbEngine::lane_of(std::uint32_t slot, RbValue value,
+                                std::vector<RbValue>& lane_values,
+                                std::uint16_t& lanes_used) {
+  const std::size_t row0 = static_cast<std::size_t>(slot) * lanes_;
+  for (std::uint32_t l = 0; l < lanes_used; ++l) {
+    if (lane_values[row0 + l] == value) {
       return l;
     }
   }
-  if (inst.lanes_used == kValueSlots) {
+  if (lanes_used == lanes_) {
     return kNil;
   }
-  const std::uint32_t l = inst.lanes_used++;
-  inst.lane_value[l] = value;
+  const std::uint32_t l = lanes_used++;
+  lane_values[row0 + l] = value;
   return l;
 }
 
@@ -207,6 +272,10 @@ void RbEngine::release(std::uint32_t slot) noexcept {
   inst.next = free_head_;
   free_head_ = slot;
   --live_count_;
+  --live_per_origin_[inst.origin];
+  if (!inst.anchored) {
+    --unanchored_per_origin_[inst.origin];
+  }
 }
 
 void RbEngine::grow() {
@@ -216,24 +285,27 @@ void RbEngine::grow() {
   std::vector<Instance> new_slots(new_cap);
   std::move(slots_.begin(), slots_.end(), new_slots.begin());
   slots_ = std::move(new_slots);
-  core::BitRows new_echo(static_cast<std::size_t>(new_cap) * kValueSlots,
-                         params_.n);
-  new_echo.copy_rows_from(echo_bits_,
-                          static_cast<std::size_t>(old_cap) * kValueSlots);
-  echo_bits_ = std::move(new_echo);
-  core::BitRows new_ready(static_cast<std::size_t>(new_cap) * kValueSlots,
-                          params_.n);
-  new_ready.copy_rows_from(ready_bits_,
-                           static_cast<std::size_t>(old_cap) * kValueSlots);
-  ready_bits_ = std::move(new_ready);
-  std::vector<std::uint16_t> new_echo_counts(
-      static_cast<std::size_t>(new_cap) * kValueSlots, 0);
-  std::copy(echo_count_.begin(), echo_count_.end(), new_echo_counts.begin());
-  echo_count_ = std::move(new_echo_counts);
-  std::vector<std::uint16_t> new_ready_counts(
-      static_cast<std::size_t>(new_cap) * kValueSlots, 0);
-  std::copy(ready_count_.begin(), ready_count_.end(), new_ready_counts.begin());
-  ready_count_ = std::move(new_ready_counts);
+  core::BitRows new_echo_voted(new_cap, params_.n);
+  new_echo_voted.copy_rows_from(echo_voted_, old_cap);
+  echo_voted_ = std::move(new_echo_voted);
+  core::BitRows new_ready_voted(new_cap, params_.n);
+  new_ready_voted.copy_rows_from(ready_voted_, old_cap);
+  ready_voted_ = std::move(new_ready_voted);
+  const auto grow_values = [new_cap, this](std::vector<RbValue>& v) {
+    std::vector<RbValue> bigger(static_cast<std::size_t>(new_cap) * lanes_, 0);
+    std::copy(v.begin(), v.end(), bigger.begin());
+    v = std::move(bigger);
+  };
+  grow_values(echo_lane_value_);
+  grow_values(ready_lane_value_);
+  const auto grow_counts = [new_cap, this](std::vector<std::uint16_t>& v) {
+    std::vector<std::uint16_t> bigger(
+        static_cast<std::size_t>(new_cap) * lanes_, 0);
+    std::copy(v.begin(), v.end(), bigger.begin());
+    v = std::move(bigger);
+  };
+  grow_counts(echo_count_);
+  grow_counts(ready_count_);
   // Rebuild the bucket chains and the free list over the doubled pool.
   bucket_heads_ = std::vector<std::uint32_t>(2ULL * new_cap, kNil);
   bucket_mask_ = 2ULL * new_cap - 1;
@@ -286,7 +358,16 @@ RbEngine::Outcome RbEngine::handle(ProcessId sender, const RbxMsg& msg) {
     ++stats_.dropped_retired;
     return out;
   }
-  const std::uint32_t slot = obtain(msg.origin, msg.tag);
+  // Only the origin's own initial anchors (identity-checked again below
+  // before any state change; a forged initial allocates at most an
+  // unanchored phantom-candidate slot, same as any echo).
+  const bool anchors =
+      msg.kind == RbxMsg::Kind::initial && sender == msg.origin;
+  const std::uint32_t slot = obtain(msg.origin, msg.tag, anchors);
+  if (slot == kNil) {
+    ++stats_.dropped_origin_flood;
+    return out;
+  }
   Instance& inst = slots_[slot];
   switch (msg.kind) {
     case RbxMsg::Kind::initial: {
@@ -303,32 +384,37 @@ RbEngine::Outcome RbEngine::handle(ProcessId sender, const RbxMsg& msg) {
       return out;
     }
     case RbxMsg::Kind::echo: {
-      const std::uint32_t lane = lane_of(slot, msg.value);
+      // One counted echo per sender per instance: a correct process sends
+      // exactly one, so a second (same value or not) is Byzantine noise —
+      // and a sender can therefore never claim more than one value lane.
+      if (!echo_voted_.test_and_set(slot, sender)) {
+        ++stats_.dropped_sender_dup;
+        return out;
+      }
+      const std::uint32_t lane =
+          lane_of(slot, msg.value, echo_lane_value_, inst.echo_lanes_used);
       if (lane == kNil) {
         ++stats_.dropped_slot_overflow;
         return out;
       }
-      const std::size_t row =
-          static_cast<std::size_t>(slot) * kValueSlots + lane;
-      if (!echo_bits_.test_and_set(row, sender)) {
-        return out;
-      }
+      const std::size_t row = static_cast<std::size_t>(slot) * lanes_ + lane;
       if (++echo_count_[row] >= params_.echo_acceptance_threshold()) {
         maybe_ready(slot, msg.value, out);
       }
       return out;
     }
     case RbxMsg::Kind::ready: {
-      const std::uint32_t lane = lane_of(slot, msg.value);
+      if (!ready_voted_.test_and_set(slot, sender)) {
+        ++stats_.dropped_sender_dup;
+        return out;
+      }
+      const std::uint32_t lane =
+          lane_of(slot, msg.value, ready_lane_value_, inst.ready_lanes_used);
       if (lane == kNil) {
         ++stats_.dropped_slot_overflow;
         return out;
       }
-      const std::size_t row =
-          static_cast<std::size_t>(slot) * kValueSlots + lane;
-      if (!ready_bits_.test_and_set(row, sender)) {
-        return out;
-      }
+      const std::size_t row = static_cast<std::size_t>(slot) * lanes_ + lane;
       const std::uint16_t count = ++ready_count_[row];
       if (count >= params_.ready_amplification_threshold()) {
         maybe_ready(slot, msg.value, out);

@@ -6,8 +6,8 @@
 // extensions/bracha87.hpp) need one instance per (origin, tag) — e.g. per
 // sender per round per sub-round — and the replicated KV service
 // (src/service/) runs one instance per client write. The engine owns all
-// per-instance state: echo/ready tallies with per-sender deduplication,
-// the sent-echo/-ready flags, and delivery. For k <= floor((n-1)/3) each
+// per-instance state: echo/ready tallies with per-sender vote gating, the
+// sent-echo/-ready flags, and delivery. For k <= floor((n-1)/3) each
 // instance guarantees:
 //   consistency — no two correct processes deliver different values for
 //     the same (origin, tag);
@@ -15,14 +15,43 @@
 //     eventually delivers;
 //   validity    — a correct origin's broadcast is delivered by everyone.
 //
+// Byzantine input is bounded at every edge:
+//  - One counted vote per sender per instance and per message kind: a
+//    correct process sends exactly one echo and at most one ready per
+//    instance, so any further echo/ready from the same sender is
+//    equivocation and is dropped (dropped_sender_dup). This is what makes
+//    the value lanes (below) exhaustion-proof: a sender can claim at most
+//    one echo lane and one ready lane, ever.
+//  - Echo and ready tallies keep separate first-come value-lane sets,
+//    k + 2 lanes each. With at most k Byzantine senders, garbage values
+//    occupy at most k lanes per set, so the real value always finds a
+//    lane; overflow beyond that (only reachable outside the fault budget,
+//    or on a Byzantine origin's own equivocated instance) is dropped and
+//    counted (dropped_slot_overflow), never fatal.
+//  - Optionally, at most `max_live_per_origin` live instances per origin,
+//    enforced anchor-aware. An instance is *anchored* once the origin's
+//    own initial has been seen (initials are identity-checked, so only
+//    the origin can anchor its tags) or the instance was started locally;
+//    instances created by echo/ready ahead of any initial are unanchored
+//    — phantom candidates — and draw from a tighter sub-cap (a quarter of
+//    the origin cap, at least 8). An arriving initial that finds the
+//    origin at its cap evicts an undelivered unanchored instance to claim
+//    the slot (evicted_unanchored), so phantom spray can bound memory but
+//    can never lock a correct origin out of its own seq space. The trade:
+//    votes that arrived before the initial can be lost to eviction under
+//    active flood; Bracha's thresholds absorb up to k lost echoes, and
+//    post-anchor traffic is never dropped, so an attacker buys at most
+//    delay, never divergence.
+//
 // Storage is flat (docs/PERF.md "Quorum accounting"): instances live in a
-// preallocated slot pool indexed by an open hash on (origin, tag), echo and
-// ready dedup is a core::BitRows bit per (slot, value-lane, sender), and
-// tallies are plain counters. Steady-state handle()/retire_through() is
-// allocation-free — the pool only reallocates when the number of live
-// instances outgrows capacity, which the service bounds with its
-// origination window. This file is under the [allocation] lint rule and
-// the operator-new counting test in tests/extensions/.
+// preallocated slot pool indexed by an open hash on (origin, tag), the
+// per-sender vote gates are one core::BitRows bit per (slot, sender) and
+// kind, and tallies are plain counters. Steady-state
+// handle()/retire_through() is allocation-free — the pool only reallocates
+// when the number of live instances outgrows capacity, which callers bound
+// with retirement plus the per-origin cap. This file is under the
+// [allocation] lint rule and the operator-new counting test in
+// tests/extensions/.
 #pragma once
 
 #include <array>
@@ -43,11 +72,11 @@ namespace rcp::ext {
 /// small alphabet — binary values, Ben-Or's "?" proposal (bottom),
 /// Bracha-87's decision proposals (2 + w) — while the KV service packs a
 /// whole (key, value) write into the word. Semantics belong to the caller;
-/// the engine only tallies equality. Each instance tracks at most
-/// `RbEngine::kValueSlots` distinct values: enough for every protocol
-/// alphabet in the tree, and enough to deliver in the service (a correct
-/// origin sends one value; Byzantine equivocation beyond the slots only
-/// wastes the attacker's own instance).
+/// the engine only tallies equality. Each instance tallies at most
+/// `RbEngine::lane_count()` (= k + 2) distinct values per message kind:
+/// one counted vote per sender means at most k Byzantine-introduced
+/// garbage values per kind, so a correct origin's real value always has a
+/// lane.
 using RbValue = std::uint64_t;
 inline constexpr RbValue kRbValueZero = 0;
 inline constexpr RbValue kRbValueOne = 1;
@@ -115,21 +144,30 @@ struct RbEngineStats {
   std::uint64_t dropped_origin_range = 0;  ///< origin >= n (no such process)
   std::uint64_t dropped_value_range = 0;   ///< value above the engine bound
   std::uint64_t dropped_retired = 0;       ///< tag at/below a retire cursor
-  std::uint64_t dropped_slot_overflow = 0; ///< > kValueSlots distinct values
+  std::uint64_t dropped_sender_dup = 0;    ///< second echo/ready of a sender
+                                           ///< in one instance (equivocation
+                                           ///< or duplicate)
+  std::uint64_t dropped_slot_overflow = 0; ///< > lane_count() distinct values
+  std::uint64_t dropped_origin_flood = 0;  ///< per-origin live-instance cap
+  std::uint64_t evicted_unanchored = 0;    ///< phantom evicted for an initial
   std::uint64_t grows = 0;                 ///< instance-pool reallocations
 };
 
 class RbEngine {
  public:
-  /// Distinct values tallied per instance; see the RbValue note above.
-  static constexpr std::uint32_t kValueSlots = 4;
-
   /// `capacity_hint` presizes the instance pool (rounded up to a power of
   /// two, minimum 64); the pool doubles when live instances outgrow it.
   /// `max_value` bounds accepted payload values (kRbValueAny = no bound).
+  /// `max_live_per_origin` (0 = unbounded) caps the live instances any one
+  /// origin's tags may occupy, anchor-aware (see the file comment): the
+  /// bound against phantom-tag floods. Size it well above the origin's
+  /// real origination window — it is a DoS backstop, not flow control;
+  /// in-cap protocol traffic is never dropped. Requires 1 <= n <= 65535
+  /// (tallies are 16-bit).
   explicit RbEngine(core::ConsensusParams params,
                     std::uint32_t capacity_hint = 0,
-                    RbValue max_value = kMaxRbValue);
+                    RbValue max_value = kMaxRbValue,
+                    std::uint32_t max_live_per_origin = 0);
 
   struct Delivery {
     ProcessId origin = 0;
@@ -177,7 +215,9 @@ class RbEngine {
 
   /// The delivered value of a *live* instance (origin, tag), if any.
   /// Retired instances forget their delivery — long-running callers keep
-  /// their own applied state, that is the point of retiring.
+  /// their own applied state, that is the point of retiring. The KV
+  /// service's FIFO apply path re-queries this as its cursor advances, so
+  /// an out-of-order delivery needs no caller-side buffer.
   [[nodiscard]] std::optional<RbValue> delivered(ProcessId origin,
                                                  std::uint64_t tag) const;
 
@@ -198,6 +238,9 @@ class RbEngine {
   /// Current instance-pool capacity (observability for growth tests).
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
+  /// Distinct values tallied per instance per message kind: k + 2.
+  [[nodiscard]] std::uint32_t lane_count() const noexcept { return lanes_; }
+
   [[nodiscard]] const RbEngineStats& stats() const noexcept { return stats_; }
 
  private:
@@ -206,14 +249,17 @@ class RbEngine {
   struct Instance {
     ProcessId origin = 0;
     std::uint64_t tag = 0;
-    /// First-come value lanes; lane l's tallies live at row
-    /// slot * kValueSlots + l of the bit matrices / count arrays.
-    std::array<RbValue, kValueSlots> lane_value{};
-    std::uint8_t lanes_used = 0;
+    /// First-come lanes in use per kind; lane l's values/tallies live at
+    /// row slot * lanes_ + l of the flat lane arrays.
+    std::uint16_t echo_lanes_used = 0;
+    std::uint16_t ready_lanes_used = 0;
     bool echoed = false;
     bool has_ready_sent = false;
     bool has_delivered = false;
     bool live = false;
+    /// True once the origin's own initial was seen (or started locally):
+    /// the instance is real protocol work, not a phantom candidate.
+    bool anchored = false;
     RbValue delivered_value = 0;
     /// Bucket chain link while live; free-list link while free.
     std::uint32_t next = kNil;
@@ -223,12 +269,21 @@ class RbEngine {
                                              std::uint64_t tag) noexcept;
   [[nodiscard]] std::uint32_t find(ProcessId origin,
                                    std::uint64_t tag) const noexcept;
-  /// Finds or allocates the slot for (origin, tag); grows the pool when the
-  /// free list is empty.
-  [[nodiscard]] std::uint32_t obtain(ProcessId origin, std::uint64_t tag);
-  /// Returns the tally lane for `value` in `slot`, claiming a free lane on
-  /// first sight; kNil when all lanes hold other values (overflow).
-  [[nodiscard]] std::uint32_t lane_of(std::uint32_t slot, RbValue value);
+  /// Finds or allocates the slot for (origin, tag); grows the pool when
+  /// the free list is empty. `anchored` marks creation by the origin's
+  /// own initial (promotes an existing unanchored instance, and may evict
+  /// one to stay in cap); kNil when the per-origin caps refuse the slot.
+  [[nodiscard]] std::uint32_t obtain(ProcessId origin, std::uint64_t tag,
+                                     bool anchored);
+  /// Releases the first undelivered unanchored live instance of `origin`
+  /// to make room for an anchored one; false when none exists.
+  [[nodiscard]] bool evict_unanchored(ProcessId origin);
+  /// Returns the tally lane for `value` among `lane_values` (the echo or
+  /// ready lane set of `slot`), claiming a free lane on first sight; kNil
+  /// when all lanes hold other values (overflow).
+  [[nodiscard]] std::uint32_t lane_of(std::uint32_t slot, RbValue value,
+                                      std::vector<RbValue>& lane_values,
+                                      std::uint16_t& lanes_used);
   /// Unlinks `slot` from its bucket and pushes it on the free list.
   void release(std::uint32_t slot) noexcept;
   void grow();
@@ -237,19 +292,31 @@ class RbEngine {
 
   core::ConsensusParams params_;
   RbValue max_value_;
+  std::uint32_t max_live_per_origin_ = 0;
+  /// Sub-cap on unanchored (pre-initial) instances per origin.
+  std::uint32_t max_unanchored_per_origin_ = 0;
+  std::uint32_t lanes_ = 0;
   std::vector<Instance> slots_;
   /// Open hash: bucket_heads_[hash & mask] -> slot chain via Instance::next.
   std::vector<std::uint32_t> bucket_heads_;
   std::uint64_t bucket_mask_ = 0;
   std::uint32_t free_head_ = kNil;
   std::size_t live_count_ = 0;
-  /// Per-sender dedup and tallies, row = slot * kValueSlots + lane.
-  core::BitRows echo_bits_;
-  core::BitRows ready_bits_;
+  /// One counted vote per sender per instance per kind: row = slot,
+  /// bit = sender. The gate that makes lanes exhaustion-proof.
+  core::BitRows echo_voted_;
+  core::BitRows ready_voted_;
+  /// First-come value lanes and tallies, row = slot * lanes_ + lane.
+  std::vector<RbValue> echo_lane_value_;
+  std::vector<RbValue> ready_lane_value_;
   std::vector<std::uint16_t> echo_count_;
   std::vector<std::uint16_t> ready_count_;
   /// retired_below_[origin] = smallest tag of `origin` still accepted.
   std::vector<std::uint64_t> retired_below_;
+  /// Live instances per origin, against max_live_per_origin_.
+  std::vector<std::uint32_t> live_per_origin_;
+  /// Live unanchored instances per origin, against the sub-cap.
+  std::vector<std::uint32_t> unanchored_per_origin_;
   RbEngineStats stats_;
 };
 

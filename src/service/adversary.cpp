@@ -139,6 +139,67 @@ void KvBabbler::on_start(Context& ctx) {
   babble(ctx);
 }
 
+KvLaneJammer::KvLaneJammer(KvAdversaryConfig cfg)
+    : cfg_(cfg),
+      engine_(cfg.params, /*capacity_hint=*/0, ext::kRbValueAny),
+      sends_left_(cfg.send_budget) {}
+
+void KvLaneJammer::on_start(Context& ctx) {
+  // Poison the victims' upcoming instances before any real traffic: one
+  // garbage echo and one garbage ready per (victim, shard, seq), with
+  // values keyed off our own id so multiple jammers burn *distinct*
+  // lanes. Pre-gate engines would have let this fill every value lane of
+  // a correct origin's instance; the per-sender vote gate caps the damage
+  // at one echo lane and one ready lane per jammer.
+  for (std::uint32_t shard = 0; shard < cfg_.shards; ++shard) {
+    for (std::uint64_t seq = 0; seq < cfg_.ops_per_shard; ++seq) {
+      for (ProcessId victim = 0; victim < cfg_.victims; ++victim) {
+        if (sends_left_ < 2ULL * ctx.n()) {
+          return;
+        }
+        sends_left_ -= 2ULL * ctx.n();
+        const std::uint64_t tag = make_tag(shard, seq);
+        const ext::RbValue garbage =
+            0xDEAD0000'00000000ULL | (static_cast<std::uint64_t>(ctx.self())
+                                      << 32) |
+            (seq << 8) | victim;
+        ctx.broadcast(ext::RbxMsg{.kind = ext::RbxMsg::Kind::echo,
+                                  .origin = victim,
+                                  .tag = tag,
+                                  .value = garbage}
+                          .encode());
+        ctx.broadcast(ext::RbxMsg{.kind = ext::RbxMsg::Kind::ready,
+                                  .origin = victim,
+                                  .tag = tag,
+                                  .value = garbage + 1}
+                          .encode());
+      }
+    }
+  }
+}
+
+void KvLaneJammer::on_message(Context& ctx, const Envelope& env) {
+  // Participate honestly in everything else so the attack is pure lane
+  // jamming, not a liveness stall. For jammed instances the receivers
+  // have already charged our one echo/ready vote to the garbage value, so
+  // these honest replies are dropped there as sender duplicates — which
+  // is the point.
+  ext::RbxMsg msg;
+  try {
+    msg = ext::RbxMsg::decode(env.payload, ext::kRbValueAny);
+  } catch (const DecodeError&) {
+    return;
+  }
+  const ext::RbEngine::Outcome out = engine_.handle(env.sender, msg);
+  for (const ext::RbxMsg& reply : out.to_broadcast) {
+    if (sends_left_ < ctx.n()) {
+      return;
+    }
+    sends_left_ -= ctx.n();
+    ctx.broadcast(reply.encode());
+  }
+}
+
 void KvBabbler::on_message(Context& ctx, const Envelope& env) {
   // Stay a useful mesh citizen (echo/ready for real instances) so the run
   // terminates, then spray garbage at a bounded rate.

@@ -11,8 +11,15 @@
 //  - KvBabbler sprays malformed payloads — truncated messages, corrupted
 //    batches, out-of-range kinds/values/origins/shards — plus well-formed
 //    echoes and readies for instances that do not exist. The hardened
-//    decoders and the engine's range/retire drops are the property under
-//    test: correct replicas must absorb all of it without state change.
+//    decoders, the replicas' admission horizon, and the engine's
+//    range/retire drops are the property under test: correct replicas
+//    must absorb all of it without state change.
+//  - KvLaneJammer pre-sends echoes and readies carrying garbage values
+//    for *correct* origins' upcoming instances, trying to exhaust the
+//    engine's first-come value lanes before the real value arrives. The
+//    per-sender vote gate is the property under test: each jammer burns
+//    at most one echo lane and one ready lane per instance, so the
+//    victims' real values always tally and every stream still completes.
 //
 // Determinism: all randomness flows from Context::rng().
 #pragma once
@@ -30,8 +37,11 @@ namespace rcp::service {
 struct KvAdversaryConfig {
   core::ConsensusParams params;
   std::uint32_t shards = 1;
-  /// Ops the adversary originates per shard (equivocator only).
+  /// Ops the adversary originates per shard (equivocator), or seqs it
+  /// jams per victim stream (lane jammer).
   std::uint32_t ops_per_shard = 4;
+  /// Correct origins the lane jammer poisons (ids 0..victims-1).
+  std::uint32_t victims = 0;
   /// Hard cap on attack sends, so the adversary cannot livelock the run.
   std::uint64_t send_budget = 20000;
 };
@@ -62,6 +72,19 @@ class KvBabbler final : public Process {
  private:
   void babble(Context& ctx);
 
+  KvAdversaryConfig cfg_;
+  ext::RbEngine engine_;
+  std::uint64_t sends_left_;
+};
+
+class KvLaneJammer final : public Process {
+ public:
+  explicit KvLaneJammer(KvAdversaryConfig cfg);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, const Envelope& env) override;
+
+ private:
   KvAdversaryConfig cfg_;
   ext::RbEngine engine_;
   std::uint64_t sends_left_;

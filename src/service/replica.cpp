@@ -6,13 +6,6 @@
 
 namespace rcp::service {
 
-namespace {
-/// Pending ops a Byzantine origin can park ahead of its own FIFO cursor
-/// before the replica starts shedding them. Correct origins never exceed
-/// their window, so the bound only disciplines attackers.
-constexpr std::size_t kPendingSlack = 4;
-}  // namespace
-
 KvReplica::KvReplica(ReplicaConfig cfg, std::shared_ptr<OpSource> source)
     : cfg_(cfg),
       source_(std::move(source)),
@@ -21,7 +14,6 @@ KvReplica::KvReplica(ReplicaConfig cfg, std::shared_ptr<OpSource> source)
       next_seq_(cfg.shards, 0),
       inflight_(cfg.shards, 0),
       next_apply_(static_cast<std::size_t>(cfg.params.n) * cfg.shards, 0),
-      pending_(static_cast<std::size_t>(cfg.params.n) * cfg.shards),
       applied_from_(cfg.params.n, 0) {
   RCP_EXPECT(cfg_.shards >= 1 && cfg_.shards < (1u << kShardBits),
              "KvReplica: shard count out of tag range");
@@ -29,9 +21,23 @@ KvReplica::KvReplica(ReplicaConfig cfg, std::shared_ptr<OpSource> source)
   const std::uint32_t hint = cfg_.engine_capacity != 0
                                  ? cfg_.engine_capacity
                                  : cfg_.params.n * cfg_.window;
+  // Anchor-aware phantom-flood backstop, sized far above the origination
+  // window: legitimate traffic must never hit it, because a dropped vote
+  // is never retransmitted and Bracha's ready threshold has zero slack
+  // under the full fault budget. "Far above" must account for *receiver
+  // lag*, not just the window — the origin's window advances on a 2k+1
+  // quorum, so the k slowest correct replicas can trail the frontier by an
+  // unbounded backlog of live (unretired) instances; a cap near the window
+  // wedges fault-free runs under load. The default is therefore an OOM
+  // backstop (~tens of MB per origin at worst), not flow control.
+  const std::uint32_t origin_cap =
+      cfg_.origin_cap != 0 ? cfg_.origin_cap
+                           : std::max(65536u, cfg_.window * 1024u);
+  RCP_EXPECT(origin_cap > cfg_.window,
+             "KvReplica: per-origin instance cap must exceed the window");
   engines_.reserve(cfg_.shards);
   for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
-    engines_.emplace_back(cfg_.params, hint, ext::kRbValueAny);
+    engines_.emplace_back(cfg_.params, hint, ext::kRbValueAny, origin_cap);
   }
   if (!cfg_.expected_per_origin.empty()) {
     for (const std::uint64_t expected : cfg_.expected_per_origin) {
@@ -51,7 +57,10 @@ ext::RbEngineStats KvReplica::engine_stats() const {
     total.dropped_origin_range += s.dropped_origin_range;
     total.dropped_value_range += s.dropped_value_range;
     total.dropped_retired += s.dropped_retired;
+    total.dropped_sender_dup += s.dropped_sender_dup;
     total.dropped_slot_overflow += s.dropped_slot_overflow;
+    total.dropped_origin_flood += s.dropped_origin_flood;
+    total.evicted_unanchored += s.evicted_unanchored;
     total.grows += s.grows;
   }
   return total;
@@ -123,6 +132,15 @@ void KvReplica::feed(Context& ctx, ProcessId sender, const ext::RbxMsg& msg) {
     ++counters_.dropped_bad_shard;
     return;
   }
+  if (msg.origin >= cfg_.params.n) {
+    ++counters_.dropped_bad_origin;
+    return;
+  }
+  // No seq-space shedding here: a vote dropped on receipt is gone forever
+  // (nothing retransmits), and under asynchrony a correct stream can race
+  // arbitrarily far past this replica's cursor, so any fixed horizon
+  // eventually sheds real votes and wedges the stream. Phantom-flood
+  // bounding lives in the engine's anchor-aware per-origin caps instead.
   ++counters_.msgs_decoded;
   const ext::RbEngine::Outcome out = engines_[shard].handle(sender, msg);
   for (const ext::RbxMsg& reply : out.to_broadcast) {
@@ -137,35 +155,39 @@ void KvReplica::feed(Context& ctx, ProcessId sender, const ext::RbxMsg& msg) {
 void KvReplica::on_delivered(Context& ctx, std::uint32_t shard,
                              const ext::RbEngine::Delivery& d) {
   const std::uint32_t stream = stream_of(d.origin, shard);
-  const std::uint64_t seq = seq_of(d.tag);
-  if (seq < next_apply_[stream]) {
-    ++counters_.stale_deliveries;
+  if (seq_of(d.tag) != next_apply_[stream]) {
+    // Delivered ahead of the cursor (behind is impossible — applied tags
+    // are retired). The instance stays live in the engine with its value
+    // queryable, so nothing is buffered replica-side and nothing can be
+    // shed: whether an op applies depends only on the cursor, never on
+    // local arrival order, which is what keeps correct replicas on
+    // identical per-stream prefixes.
+    ++counters_.deferred_deliveries;
     return;
   }
-  auto& pending = pending_[stream];
-  if (pending.size() >=
-      static_cast<std::size_t>(cfg_.window) * kPendingSlack + 16) {
-    ++counters_.pending_overflow;
-    return;
-  }
-  pending.emplace(seq, d.value);
-  // FIFO barrier: apply the contiguous run starting at the cursor.
-  auto it = pending.begin();
-  while (it != pending.end() && it->first == next_apply_[stream]) {
-    const std::uint64_t apply_seq = it->first;
-    const KvOp op = unpack_op(it->second);
-    it = pending.erase(it);
+  // FIFO barrier: apply the contiguous run starting at the cursor by
+  // re-querying the engine — the delivery callback is one-shot, the
+  // delivered() lookup is not.
+  ext::RbEngine& engine = engines_[shard];
+  for (;;) {
+    const std::uint64_t seq = next_apply_[stream];
+    const std::optional<ext::RbValue> word =
+        engine.delivered(d.origin, make_tag(shard, seq));
+    if (!word.has_value()) {
+      return;
+    }
+    const KvOp op = unpack_op(*word);
     ++next_apply_[stream];
-    kv_.apply(stream, apply_seq, op);
+    kv_.apply(stream, seq, op);
     ++counters_.ops_applied;
-    engines_[shard].retire_through(d.origin, make_tag(shard, apply_seq));
+    engine.retire_through(d.origin, make_tag(shard, seq));
     if (d.origin == self_) {
       ++counters_.own_ops_applied;
       if (inflight_[shard] > 0) {
         --inflight_[shard];
       }
       if (apply_hook_) {
-        apply_hook_(shard, apply_seq, op);
+        apply_hook_(shard, seq, op);
       }
     }
     if (!cfg_.expected_per_origin.empty() &&

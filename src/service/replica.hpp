@@ -5,9 +5,13 @@
 // mesh echoes and readies, and each replica applies the op to its KvStore
 // when the instance delivers *and* every earlier op of the same origin
 // stream has been applied (the per-stream FIFO barrier — delivery order
-// across instances is asynchronous, apply order is not). Applied instances
-// are retired from the engine, so steady-state live instances stay bounded
-// by the origination window.
+// across instances is asynchronous, apply order is not). Out-of-order
+// deliveries wait inside the engine (delivered() is re-queried as the
+// cursor advances); applied instances are retired, and the engine's
+// anchor-aware per-origin instance caps bound what Byzantine phantom
+// spray can occupy without ever dropping real protocol votes — lost
+// votes are never retransmitted, so receipt-time shedding of legitimate
+// traffic is the one thing this layer must not do.
 //
 // Sharding: the 64-bit instance tag is (shard << 48) | seq; each shard has
 // its own engine, its own seq space and its own origination window, so
@@ -22,7 +26,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -89,6 +92,14 @@ struct ReplicaConfig {
   std::uint32_t window = 64;
   /// RbEngine pool hint per shard; 0 derives n * window.
   std::uint32_t engine_capacity = 0;
+  /// Per-origin live-instance cap handed to each shard engine (0 derives
+  /// max(65536, window * 1024)). A DoS backstop against Byzantine phantom
+  /// (origin, seq) spray, enforced anchor-aware inside the engine so real
+  /// protocol traffic is never shed — see rb_engine.hpp. Must vastly
+  /// exceed the origination window: a lagging replica legitimately holds
+  /// one live instance per unapplied seq between its apply cursor and the
+  /// origin's frontier, and that backlog is quorum-paced, not window-paced.
+  std::uint32_t origin_cap = 0;
   /// Retain per-stream op logs in the KvStore (test prefix checks).
   bool keep_log = false;
   /// Expected op count per origin (index = origin id; missing/0 = none
@@ -103,12 +114,12 @@ struct ReplicaCounters {
   std::uint64_t ops_applied = 0;       ///< ops applied (all origins)
   std::uint64_t own_ops_applied = 0;
   std::uint64_t deliveries = 0;        ///< engine deliveries observed
-  std::uint64_t stale_deliveries = 0;  ///< delivered below the apply cursor
+  std::uint64_t deferred_deliveries = 0; ///< delivered ahead of the cursor
   std::uint64_t batches_decoded = 0;
   std::uint64_t msgs_decoded = 0;      ///< RbxMsgs fed to engines
   std::uint64_t decode_errors = 0;     ///< malformed payloads dropped
   std::uint64_t dropped_bad_shard = 0; ///< tag shard out of range
-  std::uint64_t pending_overflow = 0;  ///< Byzantine pending-map bound hits
+  std::uint64_t dropped_bad_origin = 0;///< origin outside the process space
 };
 
 class KvReplica final : public Process {
@@ -167,9 +178,9 @@ class KvReplica final : public Process {
   /// inflight_[shard]: own ops originated but not yet applied.
   std::vector<std::uint32_t> inflight_;
   /// next_apply_[stream]: the FIFO barrier cursor per origin stream.
+  /// Out-of-order deliveries stay live (and queryable) in the engine until
+  /// the cursor reaches them — there is no replica-side pending buffer.
   std::vector<std::uint64_t> next_apply_;
-  /// Delivered-but-not-yet-applicable ops per stream, keyed by seq.
-  std::vector<std::map<std::uint64_t, std::uint64_t>> pending_;
   /// Termination accounting against cfg_.expected_per_origin.
   std::vector<std::uint64_t> applied_from_;
   std::uint32_t origins_remaining_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <memory>
 #include <utility>
@@ -105,6 +106,12 @@ SimServiceResult run_sim_service(const SimServiceConfig& cfg) {
       case KvAdversaryKind::babbler:
         processes.push_back(std::make_unique<KvBabbler>(ac));
         break;
+      case KvAdversaryKind::lane_jammer:
+        // Poison every victim stream's whole first window of seqs.
+        ac.victims = workload.correct;
+        ac.ops_per_shard = std::max(cfg.window, 4u);
+        processes.push_back(std::make_unique<KvLaneJammer>(ac));
+        break;
       case KvAdversaryKind::none:
         // A Byzantine seat with no strategy behaves as silent (crash-like);
         // an empty replica with nothing to originate models that.
@@ -164,8 +171,39 @@ SimServiceResult run_sim_service(const SimServiceConfig& cfg) {
     result.decode_errors += r.counters().decode_errors;
     const ext::RbEngineStats es = r.engine_stats();
     result.engine_drops += es.dropped_origin_range + es.dropped_value_range +
-                           es.dropped_retired + es.dropped_slot_overflow;
+                           es.dropped_retired + es.dropped_sender_dup +
+                           es.dropped_slot_overflow + es.dropped_origin_flood;
+    result.admission_drops +=
+        r.counters().dropped_bad_shard + r.counters().dropped_bad_origin;
   }
+#ifdef RCP_SVC_DEBUG_DROPS
+  {
+    ext::RbEngineStats t;
+    std::uint64_t bad_origin = 0, deferred = 0;
+    std::size_t live = 0;
+    for (ProcessId p = 0; p < workload.correct; ++p) {
+      const ext::RbEngineStats es = replicas[p]->engine_stats();
+      t.dropped_retired += es.dropped_retired;
+      t.dropped_sender_dup += es.dropped_sender_dup;
+      t.dropped_slot_overflow += es.dropped_slot_overflow;
+      t.dropped_origin_flood += es.dropped_origin_flood;
+      t.evicted_unanchored += es.evicted_unanchored;
+      bad_origin += replicas[p]->counters().dropped_bad_origin;
+      deferred += replicas[p]->counters().deferred_deliveries;
+      live += replicas[p]->live_instances();
+    }
+    std::fprintf(stderr,
+                 "[svc-debug] retired=%llu dup=%llu overflow=%llu flood=%llu "
+                 "evicted=%llu bad_origin=%llu deferred=%llu live=%zu\n",
+                 (unsigned long long)t.dropped_retired,
+                 (unsigned long long)t.dropped_sender_dup,
+                 (unsigned long long)t.dropped_slot_overflow,
+                 (unsigned long long)t.dropped_origin_flood,
+                 (unsigned long long)t.evicted_unanchored,
+                 (unsigned long long)bad_origin, (unsigned long long)deferred,
+                 live);
+  }
+#endif
   result.correct_streams_equal = true;
   for (const std::uint64_t d : result.correct_digests) {
     if (d != result.correct_digests.front()) {

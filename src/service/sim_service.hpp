@@ -15,7 +15,12 @@
 
 namespace rcp::service {
 
-enum class KvAdversaryKind : std::uint8_t { none, equivocator, babbler };
+enum class KvAdversaryKind : std::uint8_t {
+  none,
+  equivocator,
+  babbler,
+  lane_jammer,
+};
 
 struct SimServiceConfig {
   core::ConsensusParams params{4, 1};
@@ -52,7 +57,9 @@ struct SimServiceResult {
   std::uint64_t batched_msgs = 0;
   std::uint64_t unbatched_msgs = 0;
   std::uint64_t decode_errors = 0;
-  std::uint64_t engine_drops = 0;  ///< origin/value/retired/overflow drops
+  std::uint64_t engine_drops = 0;  ///< origin/value/retired/dup/overflow/flood
+  /// Replica-level pre-engine drops: bad shard, bad origin.
+  std::uint64_t admission_drops = 0;
   std::vector<double> latencies_ms;  ///< when collect_latencies
 };
 

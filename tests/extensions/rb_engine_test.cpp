@@ -204,26 +204,174 @@ TEST(RbEngine, RetireCursorIsMonotone) {
   EXPECT_EQ(e.stats().dropped_retired, 1u);
 }
 
-TEST(RbEngine, ValueLaneOverflowIsCountedNotFatal) {
-  // An equivocator spraying >4 distinct values per instance exhausts the
-  // first-come lanes; the overflowing values drop, the first ones still
-  // tally, and correct traffic proceeds.
+TEST(RbEngine, EquivocatingSenderGetsOneCountedEcho) {
+  // A single Byzantine peer spraying distinct values cannot claim one
+  // lane per value: only its first echo counts, the rest drop as sender
+  // duplicates and no further lane fills.
   RbEngine e(kParams, 0, kRbValueAny);
-  for (RbValue v = 0; v < 4; ++v) {
-    (void)e.handle(0, echo(6, 1, 100 + v));
+  for (RbValue v = 0; v < 10; ++v) {
+    EXPECT_TRUE(e.handle(0, echo(6, 1, 100 + v)).to_broadcast.empty());
   }
+  EXPECT_EQ(e.stats().dropped_sender_dup, 9u);
   EXPECT_EQ(e.stats().dropped_slot_overflow, 0u);
-  (void)e.handle(0, echo(6, 1, 999));
-  EXPECT_EQ(e.stats().dropped_slot_overflow, 1u);
-  // The first lane still reaches its quorum: senders 1..3 bring value 100
-  // to four echoes, sender 4's echo is the fifth and triggers the READY.
-  for (ProcessId p = 1; p < 4; ++p) {
-    EXPECT_TRUE(e.handle(p, echo(6, 1, 100)).to_broadcast.empty());
+  // The real value still has a lane and reaches its quorum from the other
+  // senders: 1..5 bring it to five echoes, the fifth triggers the READY.
+  for (ProcessId p = 1; p < 5; ++p) {
+    EXPECT_TRUE(e.handle(p, echo(6, 1, 777)).to_broadcast.empty());
   }
-  const auto out = e.handle(4, echo(6, 1, 100));
+  const auto out = e.handle(5, echo(6, 1, 777));
   ASSERT_EQ(out.to_broadcast.size(), 1u);
   EXPECT_EQ(out.to_broadcast[0].kind, RbxMsg::Kind::ready);
-  EXPECT_EQ(out.to_broadcast[0].value, 100u);
+  EXPECT_EQ(out.to_broadcast[0].value, 777u);
+}
+
+TEST(RbEngine, ReadySenderCountsOnce) {
+  RbEngine e(kParams, 0, kRbValueAny);
+  // Sender 0 readies garbage first; its later ready for the real value is
+  // a sender duplicate and must not count toward delivery.
+  (void)e.handle(0, ready(6, 1, 500));
+  (void)e.handle(0, ready(6, 1, 900));
+  EXPECT_EQ(e.stats().dropped_sender_dup, 1u);
+  for (ProcessId p = 1; p < 5; ++p) {
+    EXPECT_FALSE(e.handle(p, ready(6, 1, 900)).delivered.has_value());
+  }
+  // The fifth *distinct* counted ready delivers.
+  EXPECT_TRUE(e.handle(5, ready(6, 1, 900)).delivered.has_value());
+}
+
+TEST(RbEngine, FaultBudgetOfLaneJammersCannotBlockDelivery) {
+  // k = 2 jammers each burn one echo lane and one ready lane with garbage
+  // before any real traffic; lanes are k + 2 per kind, so the real value
+  // always finds one and the instance still delivers (validity).
+  RbEngine e(kParams, 0, kRbValueAny);
+  EXPECT_EQ(e.lane_count(), 4u);
+  for (ProcessId byz = 5; byz < 7; ++byz) {
+    EXPECT_TRUE(e.handle(byz, echo(6, 1, 0xAA00u + byz)).to_broadcast.empty());
+    EXPECT_TRUE(e.handle(byz, ready(6, 1, 0xBB00u + byz)).to_broadcast.empty());
+  }
+  EXPECT_EQ(e.stats().dropped_slot_overflow, 0u);
+  const RbValue real = 42;
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_TRUE(e.handle(p, echo(6, 1, real)).to_broadcast.empty());
+  }
+  ASSERT_EQ(e.handle(4, echo(6, 1, real)).to_broadcast.size(), 1u);
+  std::optional<RbEngine::Delivery> delivered;
+  for (ProcessId p = 0; p < 5; ++p) {
+    auto out = e.handle(p, ready(6, 1, real));
+    if (out.delivered.has_value()) {
+      delivered = out.delivered;
+    }
+  }
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(delivered->value, real);
+}
+
+TEST(RbEngine, LaneOverflowBeyondFaultBudgetIsCountedNotFatal) {
+  // Five distinct senders bringing five distinct values exceed the
+  // k + 2 = 4 lanes — outside the fault budget; the overflowing value
+  // drops and is counted, earlier lanes still tally.
+  RbEngine e(kParams, 0, kRbValueAny);
+  for (ProcessId p = 0; p < 4; ++p) {
+    (void)e.handle(p, echo(6, 1, 100 + p));
+  }
+  EXPECT_EQ(e.stats().dropped_slot_overflow, 0u);
+  (void)e.handle(4, echo(6, 1, 999));
+  EXPECT_EQ(e.stats().dropped_slot_overflow, 1u);
+}
+
+TEST(RbEngine, PerOriginLiveCapStopsPhantomFloods) {
+  // One Byzantine sender sprays fresh future tags for a correct origin;
+  // with the cap armed, allocation stops at the cap instead of doubling
+  // the pool forever.
+  RbEngine e(kParams, /*capacity_hint=*/64, kRbValueAny,
+             /*max_live_per_origin=*/8);
+  for (std::uint64_t t = 0; t < 1000; ++t) {
+    (void)e.handle(0, echo(6, t, 1));
+  }
+  EXPECT_EQ(e.instance_count(), 8u);
+  EXPECT_EQ(e.stats().dropped_origin_flood, 992u);
+  EXPECT_EQ(e.stats().grows, 0u);
+  // In-cap instances still work, and retiring one frees room under the cap.
+  for (ProcessId p = 0; p < 5; ++p) {
+    (void)e.handle(p, ready(6, 3, 7));
+  }
+  EXPECT_EQ(e.delivered(6, 3), RbValue{7});
+  e.retire_through(6, 3);
+  (void)e.handle(0, echo(6, 500, 1));
+  EXPECT_EQ(e.instance_count(), 8u);
+  EXPECT_EQ(e.stats().dropped_origin_flood, 992u);
+}
+
+TEST(RbEngine, AnchoredInitialEvictsPhantomsAtCap) {
+  // Phantom spray fills the origin's cap; the origin's own initial for a
+  // fresh tag must still get a slot — it evicts an undelivered phantom
+  // rather than being refused, so a flood can never wall a correct origin
+  // out of its own seq space.
+  RbEngine e(kParams, /*capacity_hint=*/64, kRbValueAny,
+             /*max_live_per_origin=*/8);
+  for (std::uint64_t t = 100; t < 200; ++t) {
+    (void)e.handle(0, echo(6, t, 1));
+  }
+  EXPECT_EQ(e.instance_count(), 8u);
+  const auto out = e.handle(6, initial(6, 5, 42));
+  ASSERT_EQ(out.to_broadcast.size(), 1u);
+  EXPECT_EQ(out.to_broadcast[0].kind, RbxMsg::Kind::echo);
+  EXPECT_EQ(e.stats().evicted_unanchored, 1u);
+  EXPECT_EQ(e.instance_count(), 8u);
+  std::optional<RbEngine::Delivery> delivered;
+  for (ProcessId p = 0; p < 5; ++p) {
+    auto r = e.handle(p, ready(6, 5, 42));
+    if (r.delivered.has_value()) {
+      delivered = r.delivered;
+    }
+  }
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(delivered->value, 42u);
+}
+
+TEST(RbEngine, ForgedInitialNeitherAnchorsNorEvicts) {
+  // A Byzantine peer forging initials for someone else's stream gets the
+  // same treatment as any echo spray: phantom-candidate slots under the
+  // sub-cap, never an eviction.
+  RbEngine e(kParams, /*capacity_hint=*/64, kRbValueAny,
+             /*max_live_per_origin=*/8);
+  for (std::uint64_t t = 0; t < 8; ++t) {
+    (void)e.handle(0, echo(6, t, 1));
+  }
+  const auto out = e.handle(5, initial(6, 5000, 1));
+  EXPECT_TRUE(out.to_broadcast.empty());
+  EXPECT_EQ(e.stats().dropped_origin_flood, 1u);
+  EXPECT_EQ(e.stats().evicted_unanchored, 0u);
+}
+
+TEST(RbEngine, InitialPromotesEarlyEchoInstance) {
+  // Echoes racing ahead of the origin's initial create an unanchored
+  // instance; the initial promotes it in place (tallies intact), freeing
+  // unanchored budget for further early traffic.
+  RbEngine e(kParams, /*capacity_hint=*/64, kRbValueAny,
+             /*max_live_per_origin=*/32);  // unanchored sub-cap: 8
+  for (std::uint64_t t = 0; t < 8; ++t) {
+    (void)e.handle(0, echo(6, t, 1));
+  }
+  (void)e.handle(0, echo(6, 8, 1));
+  EXPECT_EQ(e.stats().dropped_origin_flood, 1u);  // sub-cap full
+  ASSERT_EQ(e.handle(6, initial(6, 3, 1)).to_broadcast.size(), 1u);
+  // Tag 3 is anchored now; the freed unanchored budget admits a new tag...
+  (void)e.handle(0, echo(6, 900, 1));
+  EXPECT_EQ(e.instance_count(), 9u);
+  EXPECT_EQ(e.stats().dropped_origin_flood, 1u);
+  // ...and the promoted instance kept its earlier echo tally: sender 0's
+  // echo for tag 3 still counts, so four more echoes reach the quorum.
+  for (ProcessId p = 1; p < 4; ++p) {
+    EXPECT_TRUE(e.handle(p, echo(6, 3, 1)).to_broadcast.empty());
+  }
+  ASSERT_EQ(e.handle(4, echo(6, 3, 1)).to_broadcast.size(), 1u);
+}
+
+TEST(RbEngine, RejectsNBeyondTallyWidth) {
+  // echo/ready tallies are 16-bit; an n that could overflow them must be
+  // rejected at construction, not corrupt quorums at runtime.
+  EXPECT_THROW(RbEngine(core::ConsensusParams{70000, 2}), PreconditionError);
 }
 
 TEST(RbEngine, GrowsPastInitialCapacityAndKeepsState) {

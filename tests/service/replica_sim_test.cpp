@@ -76,6 +76,23 @@ TEST(KvServiceSim, BabblerCannotCorruptOrWedge) {
   EXPECT_GT(r.decode_errors + r.engine_drops, 0u);
 }
 
+TEST(KvServiceSim, LaneJammersCannotStallVictimStreams) {
+  // Both Byzantine seats pre-poison every correct origin's upcoming
+  // instances with garbage echo/ready values — the lane-exhaustion
+  // attack: fill the engine's first-come value lanes before the real
+  // value arrives. The per-sender vote gate caps each jammer at one echo
+  // lane and one ready lane per instance, so every victim stream still
+  // completes and the replicas agree.
+  SimServiceConfig cfg = base_config();
+  cfg.byzantine = 2;
+  cfg.adversary = KvAdversaryKind::lane_jammer;
+  const SimServiceResult r = run_sim_service(cfg);
+  expect_converged(r);
+  // The jam must be visibly absorbed, not silently tallied: the burned
+  // votes surface as engine drops (sender duplicates).
+  EXPECT_GT(r.engine_drops, 0u);
+}
+
 TEST(KvServiceSim, SilentByzantineSeatsConverge) {
   SimServiceConfig cfg = base_config();
   cfg.byzantine = 2;
