@@ -32,6 +32,10 @@
 //   --threads T             sim mode: TrialPool size (default: cores)
 //   --seed S                (default 1)
 //   --timeout-ms T          net mode: per-run wall limit (default 120000)
+//   --loop-threads T        net mode: T shared event-loop threads instead
+//                           of one thread per replica (labels gain
+//                           a _sharedT suffix)
+//   --backend auto|poll|epoll   net mode: readiness backend
 //   --json PATH             write the rcp-svc-v1 report
 #include <algorithm>
 #include <chrono>
@@ -71,6 +75,8 @@ struct Options {
   std::uint32_t threads = 0;
   std::uint64_t seed = 1;
   std::uint32_t timeout_ms = 120000;
+  std::uint32_t loop_threads = 0;
+  net::Reactor::Backend backend = net::Reactor::Backend::automatic;
   std::string json_path;
 };
 
@@ -98,7 +104,8 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--mode sim|net] [--n N] [--k K] [--shards S] [--ops OPS]\n"
                "       [--window W] [--batching on|off|both] [--groups G]\n"
-               "       [--threads T] [--seed S] [--timeout-ms T]"
+               "       [--threads T] [--seed S] [--timeout-ms T]\n"
+               "       [--loop-threads T] [--backend auto|poll|epoll]"
                " [--json PATH]\n";
   return 2;
 }
@@ -160,6 +167,23 @@ std::optional<Options> parse(int argc, char** argv) {
         const char* v = next();
         if (v == nullptr) return std::nullopt;
         opt.timeout_ms = static_cast<std::uint32_t>(std::stoul(v));
+      } else if (flag == "--loop-threads") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        opt.loop_threads = static_cast<std::uint32_t>(std::stoul(v));
+      } else if (flag == "--backend") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        const std::string s = v;
+        if (s == "auto") {
+          opt.backend = net::Reactor::Backend::automatic;
+        } else if (s == "poll") {
+          opt.backend = net::Reactor::Backend::poll;
+        } else if (s == "epoll") {
+          opt.backend = net::Reactor::Backend::epoll;
+        } else {
+          return std::nullopt;
+        }
       } else if (flag == "--json") {
         const char* v = next();
         if (v == nullptr) return std::nullopt;
@@ -275,6 +299,8 @@ RunReport run_net(const Options& opt, bool batching) {
   // unbatched run at full window pushes thousands of frames per link.
   cc.limits.max_queued_frames = std::size_t{1} << 17;
   cc.limits.backpressure_high_water = std::size_t{1} << 16;
+  cc.loop_threads = opt.loop_threads;
+  cc.backend = opt.backend;
 
   net::Cluster cluster(cc, [&](ProcessId id) {
     service::ReplicaConfig rc;
@@ -321,7 +347,10 @@ RunReport run_net(const Options& opt, bool batching) {
 
   RunReport report;
   report.label = "net_n" + std::to_string(opt.n) +
-                 (batching ? "_batched" : "_unbatched");
+                 (batching ? "_batched" : "_unbatched") +
+                 (opt.loop_threads > 0
+                      ? "_shared" + std::to_string(opt.loop_threads)
+                      : "");
   report.batching = batching;
   report.ops = workload.total_ops;
   report.wall_seconds = result.elapsed_seconds;

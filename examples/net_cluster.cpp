@@ -26,7 +26,13 @@
 //   --delay MIN:MAX         uniform per-frame delay in milliseconds
 //   --seed S                (default 1)
 //   --timeout-ms T          give up after T ms (default 30000)
+//   --loop-threads T        drive all n nodes from T shared event-loop
+//                           threads (default 0 = one thread per node)
+//   --backend auto|poll|epoll   readiness backend (default auto)
 //   --json PATH             write the rcp-net-v1 report
+//   --sweep N1,N2,...       benchmark sweep: run the protocol at each n,
+//                           thread-per-node and shared-loop side by side,
+//                           and write an rcp-net-sweep-v1 report to --json
 //   --fork --base-port P    one OS process per node on ports P..P+n-1
 #include <sys/wait.h>
 #include <unistd.h>
@@ -73,6 +79,9 @@ struct Options {
   std::string json_path;
   bool fork_mode = false;
   std::uint16_t base_port = 0;
+  std::uint32_t loop_threads = 0;
+  net::Reactor::Backend backend = net::Reactor::Backend::automatic;
+  std::vector<std::uint32_t> sweep_ns;
 };
 
 int usage(const char* argv0) {
@@ -83,7 +92,8 @@ int usage(const char* argv0) {
          " [--byz B]\n"
          "       [--crash ID@PHASE]... [--disconnect A:B@D]...\n"
          "       [--drop P] [--delay MIN:MAX] [--seed S] [--timeout-ms T]\n"
-         "       [--json PATH] [--fork --base-port P]\n";
+         "       [--loop-threads T] [--backend auto|poll|epoll]\n"
+         "       [--json PATH] [--sweep N1,N2,...] [--fork --base-port P]\n";
   return 2;
 }
 
@@ -188,6 +198,35 @@ std::optional<Options> parse(int argc, char** argv) {
         const char* v = next();
         if (v == nullptr) return std::nullopt;
         opt.json_path = v;
+      } else if (flag == "--loop-threads") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        opt.loop_threads = static_cast<std::uint32_t>(std::stoul(v));
+      } else if (flag == "--backend") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        const std::string s = v;
+        if (s == "auto") {
+          opt.backend = net::Reactor::Backend::automatic;
+        } else if (s == "poll") {
+          opt.backend = net::Reactor::Backend::poll;
+        } else if (s == "epoll") {
+          opt.backend = net::Reactor::Backend::epoll;
+        } else {
+          return std::nullopt;
+        }
+      } else if (flag == "--sweep") {
+        const char* v = next();
+        if (v == nullptr) return std::nullopt;
+        std::string s = v;
+        for (std::size_t pos = 0; pos < s.size();) {
+          const auto comma = s.find(',', pos);
+          const auto end = comma == std::string::npos ? s.size() : comma;
+          opt.sweep_ns.push_back(
+              static_cast<std::uint32_t>(std::stoul(s.substr(pos, end - pos))));
+          pos = end + 1;
+        }
+        if (opt.sweep_ns.empty()) return std::nullopt;
       } else if (flag == "--fork") {
         opt.fork_mode = true;
       } else if (flag == "--base-port") {
@@ -282,7 +321,17 @@ net::ClusterConfig cluster_config(const Options& opt, const Plan& plan) {
   cfg.crashes = opt.crashes;
   cfg.arbitrary_faulty = plan.byzantine_ids;
   cfg.timeout_ms = opt.timeout_ms;
+  cfg.loop_threads = opt.loop_threads;
+  cfg.backend = opt.backend;
   return cfg;
+}
+
+net::LatencyHistogram merged_latency(const net::ClusterResult& result) {
+  net::LatencyHistogram merged;
+  for (const net::NodeOutcome& node : result.nodes) {
+    merged.merge(node.stats.latency);
+  }
+  return merged;
 }
 
 int report_thread_mode(const Options& opt, const Plan& plan,
@@ -290,7 +339,13 @@ int report_thread_mode(const Options& opt, const Plan& plan,
                        const net::ClusterResult& result) {
   std::cout << "protocol : " << opt.protocol << "  n=" << opt.n
             << " k=" << plan.k << " seed=" << opt.seed
-            << " transport=tcp-loopback\n";
+            << " transport=tcp-loopback";
+  if (opt.loop_threads > 0) {
+    std::cout << " loop-threads=" << opt.loop_threads;
+  } else {
+    std::cout << " thread-per-node";
+  }
+  std::cout << "\n";
   Table table({"node", "role", "decision", "phase", "delivered", "sent",
                "reconnects", "retransmits"});
   for (const net::NodeOutcome& node : result.nodes) {
@@ -340,6 +395,13 @@ int report_thread_mode(const Options& opt, const Plan& plan,
             << "  decisions/s=" << format_double(
                    static_cast<double>(decided) / elapsed, 1)
             << "\n";
+  const net::LatencyHistogram lat = merged_latency(result);
+  if (lat.count() > 0) {
+    std::cout << "latency  : p50=" << format_double(lat.quantile_ms(0.50), 3)
+              << "ms p99=" << format_double(lat.quantile_ms(0.99), 3)
+              << "ms p999=" << format_double(lat.quantile_ms(0.999), 3)
+              << "ms (" << lat.count() << " frames)\n";
+  }
   for (const net::NodeOutcome& node : result.nodes) {
     if (!node.error.empty()) {
       std::cout << "node " << node.id << " ERROR: " << node.error << "\n";
@@ -359,6 +421,121 @@ int report_thread_mode(const Options& opt, const Plan& plan,
     std::cout << "[json] wrote " << opt.json_path << "\n";
   }
   return result.success() ? 0 : 1;
+}
+
+/// One sweep cell: the protocol at one n under one threading model.
+struct SweepRun {
+  std::string label;
+  std::uint32_t n = 0;
+  std::uint32_t loop_threads = 0;
+  bool ok = false;
+  double elapsed_seconds = 0.0;
+  double msgs_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+};
+
+/// Runs the protocol at every requested n, thread-per-node and shared-loop
+/// side by side, and reports throughput + tail latency per cell. The
+/// labels ({protocol}_n{N}_tpn / _shared{T}) are what BENCH_BASELINE.json
+/// tracks and tools/check_bench_regression.py --net gates on.
+int run_sweep(const Options& opt) {
+  const std::uint32_t shared_threads =
+      opt.loop_threads > 0 ? opt.loop_threads : 4;
+  std::vector<SweepRun> runs;
+  for (const std::uint32_t n : opt.sweep_ns) {
+    for (const std::uint32_t threads : {0u, shared_threads}) {
+      Options run_opt = opt;
+      run_opt.n = n;
+      run_opt.loop_threads = threads;
+      run_opt.sweep_ns.clear();
+      const Plan plan = resolve_plan(run_opt);
+      const net::ClusterConfig cfg = cluster_config(run_opt, plan);
+      net::Cluster cluster(cfg, [&](ProcessId id) {
+        return make_process(run_opt, plan, id);
+      });
+      const net::ClusterResult result = cluster.run();
+
+      SweepRun run;
+      run.label = opt.protocol + "_n" + std::to_string(n) +
+                  (threads == 0 ? std::string("_tpn")
+                                : "_shared" + std::to_string(threads));
+      run.n = n;
+      run.loop_threads = threads;
+      run.ok = result.success();
+      run.elapsed_seconds = result.elapsed_seconds;
+      const double elapsed =
+          result.elapsed_seconds > 0.0 ? result.elapsed_seconds : 1e-9;
+      run.msgs_per_sec =
+          static_cast<double>(result.total_delivered) / elapsed;
+      const net::LatencyHistogram lat = merged_latency(result);
+      run.p50_ms = lat.quantile_ms(0.50);
+      run.p99_ms = lat.quantile_ms(0.99);
+      run.p999_ms = lat.quantile_ms(0.999);
+      std::cout << run.label << ": " << (run.ok ? "ok" : "FAILED")
+                << "  msgs/s=" << format_double(run.msgs_per_sec, 1)
+                << "  p50=" << format_double(run.p50_ms, 3)
+                << "ms p99=" << format_double(run.p99_ms, 3)
+                << "ms p999=" << format_double(run.p999_ms, 3) << "ms\n";
+      runs.push_back(std::move(run));
+    }
+  }
+
+  Table table({"label", "n", "threads", "ok", "msgs/s", "p50ms", "p99ms",
+               "p999ms"});
+  for (const SweepRun& run : runs) {
+    table.row()
+        .cell(run.label)
+        .cell(static_cast<std::uint64_t>(run.n))
+        .cell(static_cast<std::uint64_t>(
+            run.loop_threads == 0 ? run.n : run.loop_threads))
+        .cell(run.ok ? "yes" : "NO")
+        .cell(format_double(run.msgs_per_sec, 1))
+        .cell(format_double(run.p50_ms, 3))
+        .cell(format_double(run.p99_ms, 3))
+        .cell(format_double(run.p999_ms, 3));
+  }
+  table.print(std::cout);
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    if (!out) {
+      std::cerr << "error: cannot open " << opt.json_path << "\n";
+      return 1;
+    }
+    bench::JsonWriter j(out);
+    j.begin_object();
+    j.field("schema", "rcp-net-sweep-v1");
+    j.field("protocol", opt.protocol);
+    j.field("seed", opt.seed);
+    j.key("runs");
+    j.begin_array();
+    for (const SweepRun& run : runs) {
+      j.begin_object();
+      j.field("label", run.label);
+      j.field("n", run.n);
+      j.field("loop_threads", run.loop_threads);
+      j.field("ok", run.ok);
+      j.field("elapsed_seconds", run.elapsed_seconds);
+      j.field("msgs_per_sec", run.msgs_per_sec);
+      j.field("p50_ms", run.p50_ms);
+      j.field("p99_ms", run.p99_ms);
+      j.field("p999_ms", run.p999_ms);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    out << "\n";
+    std::cout << "[json] wrote " << opt.json_path << "\n";
+  }
+
+  for (const SweepRun& run : runs) {
+    if (!run.ok) {
+      return 1;
+    }
+  }
+  return 0;
 }
 
 /// One forked node: run until decided (correct) or stopped, then report
@@ -495,6 +672,9 @@ int main(int argc, char** argv) {
   const Options& opt = *parsed;
   try {
     const Plan plan = resolve_plan(opt);
+    if (!opt.sweep_ns.empty()) {
+      return run_sweep(opt);
+    }
     if (opt.fork_mode) {
       return run_fork_mode(opt, plan);
     }

@@ -1,11 +1,11 @@
 #include "net/cluster.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <thread>
 
 #include "common/error.hpp"
+#include "net/loop.hpp"
 
 namespace rcp::net {
 
@@ -44,6 +44,7 @@ Cluster::Cluster(ClusterConfig cfg, const ProcessFactory& factory)
             : static_cast<std::uint16_t>(cfg_.base_port + id);
     nc.seed = cfg_.seed;
     nc.limits = cfg_.limits;
+    nc.backend = cfg_.backend;
     nc.faults.link = cfg_.link_faults;
     for (const auto& [node, event] : cfg_.disconnects) {
       if (node == id) {
@@ -57,6 +58,11 @@ Cluster::Cluster(ClusterConfig cfg, const ProcessFactory& factory)
     }
     nodes_.push_back(std::make_unique<Node>(nc, factory(id)));
   }
+
+  // A full mesh is ~n^2 sockets plus listeners and wake pipes; make sure
+  // the fd limit accommodates it before any bind can hit EMFILE.
+  (void)raise_fd_limit(static_cast<std::size_t>(cfg_.n) * cfg_.n +
+                       static_cast<std::size_t>(cfg_.n) * 4 + 64);
 
   // Bind everything first, then distribute the real ports: with ephemeral
   // ports nobody knows an address until every listener exists.
@@ -74,20 +80,30 @@ Cluster::Cluster(ClusterConfig cfg, const ProcessFactory& factory)
 }
 
 ClusterResult Cluster::run() {
-  std::vector<std::unique_ptr<std::atomic<bool>>> done;
-  done.reserve(cfg_.n);
-  for (ProcessId id = 0; id < cfg_.n; ++id) {
-    done.push_back(std::make_unique<std::atomic<bool>>(false));
+  const std::uint32_t loop_count =
+      cfg_.loop_threads == 0 ? 0 : std::min(cfg_.loop_threads, cfg_.n);
+
+  std::vector<std::unique_ptr<EventLoop>> loops;
+  loops.reserve(loop_count);
+  for (std::uint32_t t = 0; t < loop_count; ++t) {
+    loops.push_back(std::make_unique<EventLoop>(cfg_.backend));
+  }
+  for (ProcessId id = 0; id < cfg_.n && loop_count > 0; ++id) {
+    loops[id % loop_count]->add(*nodes_[id]);
   }
 
   const auto started = steady_clock::now();
   std::vector<std::thread> threads;
-  threads.reserve(cfg_.n);
-  for (ProcessId id = 0; id < cfg_.n; ++id) {
-    threads.emplace_back([this, id, &done] {
-      nodes_[id]->run();
-      done[id]->store(true, std::memory_order_release);
-    });
+  if (loop_count > 0) {
+    threads.reserve(loop_count);
+    for (std::uint32_t t = 0; t < loop_count; ++t) {
+      threads.emplace_back([loop = loops[t].get()] { loop->run(); });
+    }
+  } else {
+    threads.reserve(cfg_.n);
+    for (ProcessId id = 0; id < cfg_.n; ++id) {
+      threads.emplace_back([this, id] { nodes_[id]->run(); });
+    }
   }
 
   const auto deadline = started + milliseconds(cfg_.timeout_ms);
@@ -101,9 +117,9 @@ ClusterResult Cluster::run() {
       }
       if (!nodes_[id]->decision().has_value()) {
         all_decided = false;
-        // A correct node whose loop already returned will never decide;
+        // A correct node whose loop already tore it down will never decide;
         // waiting for the timeout would only hide the failure.
-        if (done[id]->load(std::memory_order_acquire)) {
+        if (nodes_[id]->finished()) {
           correct_node_died = true;
         }
       }

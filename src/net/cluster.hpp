@@ -1,10 +1,17 @@
-// In-process loopback cluster: N net::Nodes, one thread each.
+// In-process loopback cluster: N net::Nodes on real sockets.
 //
 // The cluster is the net-mode analogue of sim::Simulation::run(): build a
 // process per node from a factory, wire the full mesh, run until every
 // correct node decides (or a wall-clock timeout), then stop everything and
 // report per-node outcomes plus the paper's two checkable properties —
 // all correct processes decide, and they decide the same value.
+//
+// Threading: loop_threads = 0 (default) runs one thread per node, each on
+// its own private event loop — the faithful "n independent machines"
+// configuration. loop_threads = T > 0 multiplexes all n nodes onto
+// min(T, n) shared EventLoop threads (round-robin assignment), which is
+// how n=100 full-mesh (~10k sockets) runs on single-digit threads.
+// Protocol semantics are identical; only the scheduler changes.
 //
 // Ports: by default every node binds an ephemeral port (bind 0, read the
 // real port back) and the cluster distributes the port table before any
@@ -49,6 +56,10 @@ struct ClusterConfig {
   std::vector<ProcessId> arbitrary_faulty;
   /// Give up if the correct nodes have not all decided by then.
   std::uint32_t timeout_ms = 30000;
+  /// 0 = one thread per node; T > 0 = min(T, n) shared loop threads.
+  std::uint32_t loop_threads = 0;
+  /// Readiness backend for every loop (automatic = epoll on Linux).
+  Reactor::Backend backend = Reactor::Backend::automatic;
 };
 
 struct NodeOutcome {

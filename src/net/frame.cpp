@@ -75,6 +75,23 @@ void append_ack(std::vector<std::byte>& out, std::uint64_t acked_seq) {
   put_u64(out, acked_seq);
 }
 
+void encode_data_header(std::span<std::byte, kDataFrameHeader> out,
+                        std::uint64_t seq, std::size_t payload_size) {
+  RCP_EXPECT(payload_size <= kMaxFrameBody - kDataHeader,
+             "payload exceeds frame body limit");
+  const auto body_len =
+      static_cast<std::uint32_t>(kDataHeader + payload_size);
+  for (int i = 0; i < 4; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((body_len >> (8 * i)) & 0xff);
+  }
+  out[4] = static_cast<std::byte>(FrameType::data);
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(5 + i)] =
+        static_cast<std::byte>((seq >> (8 * i)) & 0xff);
+  }
+}
+
 void FrameDecoder::feed(std::span<const std::byte> data) {
   // Reclaim consumed prefix before growing; keeps the buffer near the size
   // of one partial frame in steady state.

@@ -67,6 +67,17 @@ void append_data(std::vector<std::byte>& out, std::uint64_t seq,
                  const Bytes& payload);
 void append_ack(std::vector<std::byte>& out, std::uint64_t acked_seq);
 
+/// Everything in a data frame that precedes the payload bytes: length
+/// prefix (4), type (1), sequence number (8). Precomputed per queued
+/// frame so the send path can gather header + payload with writev and
+/// never re-encode or copy the payload.
+inline constexpr std::size_t kDataFrameHeader = 4 + 1 + 8;
+
+/// Encodes the data-frame header for a payload of `payload_size` bytes.
+/// Throws if the payload exceeds kMaxFrameBody.
+void encode_data_header(std::span<std::byte, kDataFrameHeader> out,
+                        std::uint64_t seq, std::size_t payload_size);
+
 /// Incremental frame parser. feed() appends raw bytes from the socket (in
 /// any fragmentation — frames may arrive split across arbitrarily many
 /// reads or many per read); next() yields complete frames in order.

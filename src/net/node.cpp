@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "net/loop.hpp"
 #include "runtime/seeding.hpp"
 
 namespace rcp::net {
@@ -19,9 +20,9 @@ namespace {
 using std::chrono::milliseconds;
 
 constexpr std::size_t kReadChunk = 16 * 1024;
-/// Encode stage stops growing a link's write buffer past this; the rest
-/// of the queue waits for the kernel to drain it.
-constexpr std::size_t kWriteBufCap = 256 * 1024;
+/// Per-service read cap (chunks): a firehose peer yields the loop to its
+/// siblings; the sticky readable flag keeps the remainder scheduled.
+constexpr int kMaxReadRounds = 64;
 
 [[nodiscard]] bool is_unarmed(Clock::time_point tp) noexcept {
   return tp == Clock::time_point{};
@@ -135,113 +136,116 @@ std::optional<Value> Node::decision() const noexcept {
 }
 
 void Node::run() {
-  try {
-    run_loop();
-  } catch (const std::exception& e) {
-    error_ = e.what();
-  }
-  close_all();
-  if (crash_pending_) {
-    crashed_.store(true, std::memory_order_release);
-  }
+  EventLoop loop(cfg_.backend);
+  loop.add(*this);
+  loop.run();
 }
 
-void Node::run_loop() {
+// ---- EventLoop interface ----------------------------------------------
+
+void Node::watch_fd(int fd, std::uint32_t sub, unsigned mask) {
+  loop_->watch(
+      fd, (static_cast<std::uint64_t>(loop_index_) << 32) | sub, mask);
+}
+
+void Node::loop_start(EventLoop& loop, std::uint32_t index,
+                      Clock::time_point now) {
+  loop_ = &loop;
+  loop_index_ = index;
   listen();
+  watch_fd(wake_rd_, kSubWake, Reactor::kRead);
+  wake_watched_ = true;
+  watch_fd(listener_.fd.get(), kSubListener, Reactor::kRead);
+  listener_watched_ = true;
   LoopContext ctx(*this);
   process_->on_start(ctx);
   after_event();
   if (cfg_.limits.idle_tick_ms != 0) {
-    next_idle_tick_ = Clock::now() + milliseconds(cfg_.limits.idle_tick_ms);
+    next_idle_tick_ = now + milliseconds(cfg_.limits.idle_tick_ms);
   }
+}
 
-  while (!stop_.load(std::memory_order_acquire) && !crash_pending_) {
-    auto now = Clock::now();
-    apply_due_disconnects(now);
-    start_due_dials(now);
-    build_interest_set(now);
-    poller_.wait(poll_timeout_ms(now));
-
-    if ((poller_.ready(wake_rd_) & POLLIN) != 0) {
-      char drain[64];
-      while (::read(wake_rd_, drain, sizeof(drain)) > 0) {
+void Node::loop_event(std::uint32_t sub, unsigned mask) {
+  if (sub == kSubWake) {
+    char drain[64];
+    while (::read(wake_rd_, drain, sizeof(drain)) > 0) {
+    }
+    return;
+  }
+  if (sub == kSubListener) {
+    listener_readable_ = true;
+    return;
+  }
+  if ((sub & kSubPendingBit) != 0) {
+    for (PendingConn& pc : pending_) {
+      if (pc.token == sub) {
+        pc.readable = true;
+        break;
       }
     }
+    return;
+  }
+  if (sub >= links_.size()) {
+    return;
+  }
+  PeerLink& link = links_[sub];
+  if (!link.fd.valid()) {
+    return;
+  }
+  // kError folds into readable: the next read() observes the error/EOF
+  // and the link resets through the normal path.
+  if ((mask & (Reactor::kRead | Reactor::kError)) != 0) {
+    link.ev_readable = true;
+  }
+  if ((mask & Reactor::kWrite) != 0) {
+    link.ev_writable = true;
+  }
+}
 
-    now = Clock::now();
+void Node::loop_service(Clock::time_point now) {
+  apply_due_disconnects(now);
+  start_due_dials(now);
+  if (listener_readable_) {
     accept_new_connections(now);
-    service_pending(now);
-    service_links(now);
+  }
+  service_pending(now);
+  service_links(now);
+  if (crash_pending_) {
+    return;
+  }
+  deliver_local_once();
+  if (crash_pending_) {
+    return;
+  }
+  check_timers(now);
+  if (cfg_.limits.idle_tick_ms != 0 && now >= next_idle_tick_) {
+    // Service tick: give the process a null step (the paper's phi) so it
+    // can originate work that arrived outside the message stream.
+    LoopContext ctx(*this);
+    process_->on_null(ctx);
+    after_event();
+    next_idle_tick_ = now + milliseconds(cfg_.limits.idle_tick_ms);
     if (crash_pending_) {
-      break;
+      return;
     }
-    deliver_local_once();
-    check_timers(now);
-    if (cfg_.limits.idle_tick_ms != 0 && now >= next_idle_tick_) {
-      // Service tick: give the process a null step (the paper's phi) so it
-      // can originate work that arrived outside the message stream.
-      process_->on_null(ctx);
-      after_event();
-      next_idle_tick_ = now + milliseconds(cfg_.limits.idle_tick_ms);
-    }
+  }
 
-    // Flush sends generated by local deliveries / retransmit rewinds, and
-    // recompute backpressure from the resulting queue depths.
-    for (PeerLink& link : links_) {
-      if (link.fd.valid()) {
-        flush_link(link, now);
-      }
-      const bool pause =
-          link.queue_depth() >= cfg_.limits.backpressure_high_water;
-      if (pause && !link.read_paused) {
-        ++stats_.read_pauses;
-      }
-      link.read_paused = pause;
-    }
-  }
-}
-
-void Node::build_interest_set(Clock::time_point now) {
-  poller_.clear();
-  poller_.want(wake_rd_, Poller::kRead);
-  if (listener_.fd.valid()) {
-    poller_.want(listener_.fd.get(), Poller::kRead);
-  }
-  for (const PendingConn& pc : pending_) {
-    poller_.want(pc.fd.get(), Poller::kRead);
-  }
+  // Flush sends generated by deliveries / retransmit rewinds, and
+  // recompute backpressure from the resulting queue depths.
   for (PeerLink& link : links_) {
-    if (!link.fd.valid()) {
-      continue;
+    if (link.fd.valid()) {
+      flush_link(link, now);
     }
-    short events = 0;
-    switch (link.state) {
-      case PeerLink::State::connecting:
-        events = Poller::kWrite;
-        break;
-      case PeerLink::State::hello_sent:
-        events = Poller::kRead;
-        if (link.write_off < link.write_buf.size()) {
-          events |= Poller::kWrite;
-        }
-        break;
-      case PeerLink::State::established:
-        if (!link.read_paused) {
-          events |= Poller::kRead;
-        }
-        if (link.write_off < link.write_buf.size() ||
-            link.transmittable(now) || link.ack_pending) {
-          events |= Poller::kWrite;
-        }
-        break;
-      case PeerLink::State::idle:
-        break;
+    const bool pause =
+        link.queue_depth() >= cfg_.limits.backpressure_high_water;
+    if (pause && !link.read_paused) {
+      ++stats_.read_pauses;
     }
-    poller_.want(link.fd.get(), events);
+    link.read_paused = pause;
   }
 }
 
-int Node::poll_timeout_ms(Clock::time_point now) const {
+int Node::loop_timeout_ms(Clock::time_point now) const {
   auto best = now + milliseconds(cfg_.limits.poll_cap_ms);
   const auto consider = [&](Clock::time_point tp) {
     if (!is_unarmed(tp) && tp < best) {
@@ -283,6 +287,87 @@ int Node::poll_timeout_ms(Clock::time_point now) const {
       std::min<long long>(ms, cfg_.limits.poll_cap_ms));
 }
 
+bool Node::loop_has_ready_work() const noexcept {
+  if (listener_readable_) {
+    return true;
+  }
+  for (const PendingConn& pc : pending_) {
+    if (pc.readable) {
+      return true;
+    }
+  }
+  for (const PeerLink& link : links_) {
+    if (!link.fd.valid() || !link.ev_readable) {
+      continue;
+    }
+    if (link.state == PeerLink::State::hello_sent ||
+        link.state == PeerLink::State::connecting ||
+        (link.state == PeerLink::State::established && !link.read_paused)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Node::loop_refresh_masks(Clock::time_point now) {
+  // Level-triggered fallback only: recompute each link's interest from
+  // its state (the poll path's analogue of the old build_interest_set).
+  // Write interest is wanted only after EAGAIN — while ev_writable holds,
+  // the service pass flushes opportunistically without kernel help.
+  for (PeerLink& link : links_) {
+    if (!link.fd.valid()) {
+      continue;
+    }
+    unsigned mask = 0;
+    switch (link.state) {
+      case PeerLink::State::connecting:
+        mask = Reactor::kWrite;
+        break;
+      case PeerLink::State::hello_sent:
+        mask = Reactor::kRead;
+        if (!link.ev_writable && link.write_off < link.write_buf.size()) {
+          mask |= Reactor::kWrite;
+        }
+        break;
+      case PeerLink::State::established:
+        if (!link.read_paused) {
+          mask |= Reactor::kRead;
+        }
+        if (!link.ev_writable &&
+            (link.write_off < link.write_buf.size() ||
+             link.transmittable(now) || link.ack_pending)) {
+          mask |= Reactor::kWrite;
+        }
+        break;
+      case PeerLink::State::idle:
+        break;
+    }
+    loop_->change(
+        link.fd.get(),
+        (static_cast<std::uint64_t>(loop_index_) << 32) | link.peer(),
+        mask);
+  }
+}
+
+bool Node::loop_finished() const noexcept {
+  return stop_.load(std::memory_order_acquire) || crash_pending_;
+}
+
+void Node::loop_abort(const char* what) {
+  error_ = what;
+  stop_.store(true, std::memory_order_release);
+}
+
+void Node::loop_finish() {
+  close_all();
+  if (crash_pending_) {
+    crashed_.store(true, std::memory_order_release);
+  }
+  finished_.store(true, std::memory_order_release);
+}
+
+// ---- Connection management --------------------------------------------
+
 void Node::apply_due_disconnects(Clock::time_point now) {
   for (const ProcessId p : faults_.due_disconnects(stats_.msgs_delivered)) {
     if (p < cfg_.n && p != cfg_.id && links_[p].fd.valid()) {
@@ -307,26 +392,42 @@ void Node::start_due_dials(Clock::time_point now) {
       link.next_dial_at = now + milliseconds(link.backoff_ms);
       continue;
     }
+    if (cfg_.limits.so_rcvbuf != 0) {
+      set_rcvbuf(fd, cfg_.limits.so_rcvbuf);
+    }
+    if (cfg_.limits.so_sndbuf != 0) {
+      set_sndbuf(fd, cfg_.limits.so_sndbuf);
+    }
     link.fd = std::move(fd);
     link.state = PeerLink::State::connecting;
     link.handshake_deadline =
         now + milliseconds(cfg_.limits.handshake_timeout_ms);
+    watch_fd(link.fd.get(), link.peer(),
+             Reactor::kRead | Reactor::kWrite);
   }
 }
 
 void Node::accept_new_connections(Clock::time_point now) {
-  if (!listener_.fd.valid() ||
-      (poller_.ready(listener_.fd.get()) & POLLIN) == 0) {
-    return;
-  }
+  listener_readable_ = false;
   while (true) {
     Fd conn = accept_on(listener_.fd);
     if (!conn.valid()) {
       break;
     }
+    if (cfg_.limits.so_rcvbuf != 0) {
+      set_rcvbuf(conn, cfg_.limits.so_rcvbuf);
+    }
+    if (cfg_.limits.so_sndbuf != 0) {
+      set_sndbuf(conn, cfg_.limits.so_sndbuf);
+    }
     PendingConn pc;
     pc.fd = std::move(conn);
     pc.deadline = now + milliseconds(cfg_.limits.handshake_timeout_ms);
+    pc.token = kSubPendingBit | (pending_token_seq_++ & 0x7FFFFFFFu);
+    // The hello may already sit in the kernel buffer from before the
+    // registration; start readable so the first service pass reads.
+    pc.readable = true;
+    watch_fd(pc.fd.get(), pc.token, Reactor::kRead);
     pending_.push_back(std::move(pc));
   }
 }
@@ -334,55 +435,50 @@ void Node::accept_new_connections(Clock::time_point now) {
 void Node::service_pending(Clock::time_point now) {
   for (std::size_t i = 0; i < pending_.size();) {
     PendingConn& pc = pending_[i];
-    const short revents = poller_.ready(pc.fd.get());
-    if ((revents & (POLLIN | POLLERR | POLLHUP)) == 0) {
-      ++i;
-      continue;
-    }
     bool drop = false;
-    std::byte buf[kReadChunk];
-    while (true) {
-      const ssize_t got = ::read(pc.fd.get(), buf, sizeof(buf));
-      if (got > 0) {
-        pc.decoder.feed({buf, static_cast<std::size_t>(got)});
-        if (got == static_cast<ssize_t>(sizeof(buf))) {
+    if (pc.readable) {
+      std::byte buf[kReadChunk];
+      while (true) {
+        const ssize_t got = ::read(pc.fd.get(), buf, sizeof(buf));
+        if (got > 0) {
+          pc.decoder.feed({buf, static_cast<std::size_t>(got)});
           continue;
         }
-        break;
-      }
-      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        break;
-      }
-      if (got < 0 && errno == EINTR) {
-        continue;
-      }
-      drop = true;  // EOF or hard error before the handshake finished
-      break;
-    }
-    if (!drop) {
-      try {
-        if (const auto frame = pc.decoder.next()) {
-          if (frame->type == FrameType::hello && frame->n == cfg_.n &&
-              frame->node_id < cfg_.n && frame->node_id > cfg_.id) {
-            attach_pending(i, frame->node_id);
-            continue;  // pending_[i] replaced by erase; do not ++i
-          }
-          drop = true;  // wrong identity or direction
+        if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          pc.readable = false;
+          break;
         }
-      } catch (const DecodeError&) {
-        drop = true;
+        if (got < 0 && errno == EINTR) {
+          continue;
+        }
+        drop = true;  // EOF or hard error before the handshake finished
+        break;
       }
+      if (!drop) {
+        try {
+          if (const auto frame = pc.decoder.next()) {
+            if (frame->type == FrameType::hello && frame->n == cfg_.n &&
+                frame->node_id < cfg_.n && frame->node_id > cfg_.id) {
+              attach_pending(i, frame->node_id);
+              continue;  // pending_[i] replaced by erase; do not ++i
+            }
+            drop = true;  // wrong identity or direction
+          }
+        } catch (const DecodeError&) {
+          drop = true;
+        }
+      }
+    }
+    if (!drop && pc.deadline <= now) {
+      drop = true;  // handshake timeout
     }
     if (drop) {
+      loop_->unwatch(pc.fd.get());
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
     } else {
       ++i;
     }
   }
-  // Handshake timeouts.
-  std::erase_if(pending_, [&](const PendingConn& pc) {
-    return pc.deadline <= now;
-  });
 }
 
 void Node::attach_pending(std::size_t index, ProcessId peer) {
@@ -395,7 +491,15 @@ void Node::attach_pending(std::size_t index, ProcessId peer) {
   }
   link.fd = std::move(pending_[index].fd);
   link.decoder = std::move(pending_[index].decoder);
+  const bool had_bytes_buffered = pending_[index].readable;
   pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+  // Re-address the registration from the pending token to the peer id.
+  loop_->change(link.fd.get(),
+                (static_cast<std::uint64_t>(loop_index_) << 32) |
+                    link.peer(),
+                Reactor::kRead | Reactor::kWrite);
+  link.ev_readable = had_bytes_buffered;
+  link.ev_writable = true;  // fresh socket: optimistically writable
   link.write_buf.clear();
   link.write_off = 0;
   append_hello(link.write_buf, cfg_.id, cfg_.n);  // handshake reply
@@ -403,7 +507,9 @@ void Node::attach_pending(std::size_t index, ProcessId peer) {
   // Frames that arrived right behind the hello are already buffered in
   // the decoder; process them now.
   process_link_input(link);
-  flush_link(link, now);
+  if (link.fd.valid()) {
+    flush_link(link, now);
+  }
 }
 
 void Node::establish_link(PeerLink& link) {
@@ -427,6 +533,9 @@ void Node::establish_link(PeerLink& link) {
 }
 
 void Node::reset_link(PeerLink& link, Clock::time_point now) {
+  if (link.fd.valid() && loop_ != nullptr) {
+    loop_->unwatch(link.fd.get());
+  }
   link.fd.reset();
   link.decoder = FrameDecoder{};
   link.write_buf.clear();
@@ -434,6 +543,8 @@ void Node::reset_link(PeerLink& link, Clock::time_point now) {
   link.ack_pending = false;
   link.read_paused = false;
   link.stale_acks = 0;
+  link.ev_readable = false;
+  link.ev_writable = false;
   link.handshake_deadline = {};
   link.retransmit_deadline = {};
   link.state = PeerLink::State::idle;
@@ -451,10 +562,9 @@ void Node::service_links(Clock::time_point now) {
     if (!link.fd.valid()) {
       continue;
     }
-    const short revents = poller_.ready(link.fd.get());
-
     if (link.state == PeerLink::State::connecting) {
-      if ((revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+      if (link.ev_writable || link.ev_readable) {
+        link.ev_readable = false;
         if (dial_result(link.fd) != 0) {
           reset_link(link, now);
           continue;
@@ -468,7 +578,7 @@ void Node::service_links(Clock::time_point now) {
 
     const bool may_read =
         link.state == PeerLink::State::hello_sent || !link.read_paused;
-    if (may_read && (revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+    if (may_read && link.ev_readable) {
       if (!read_socket(link)) {
         reset_link(link, now);
         continue;
@@ -490,21 +600,23 @@ void Node::service_links(Clock::time_point now) {
 }
 
 bool Node::read_socket(PeerLink& link) {
+  // Drain to EAGAIN: edge-triggered backends report only transitions, so
+  // stopping at a short read could strand buffered bytes forever. The
+  // round cap bounds one link's share of the loop; the sticky flag keeps
+  // an over-cap link scheduled for the next pass.
   std::byte buf[kReadChunk];
-  while (true) {
+  for (int round = 0; round < kMaxReadRounds; ++round) {
     const ssize_t got = ::read(link.fd.get(), buf, sizeof(buf));
     if (got > 0) {
       link.counters.bytes_in += static_cast<std::uint64_t>(got);
       link.decoder.feed({buf, static_cast<std::size_t>(got)});
-      if (got == static_cast<ssize_t>(sizeof(buf))) {
-        continue;
-      }
-      return true;
+      continue;
     }
     if (got == 0) {
       return false;  // orderly EOF
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      link.ev_readable = false;
       return true;
     }
     if (errno == EINTR) {
@@ -512,6 +624,7 @@ bool Node::read_socket(PeerLink& link) {
     }
     return false;
   }
+  return true;  // cap hit; ev_readable stays set
 }
 
 void Node::process_link_input(PeerLink& link) {
@@ -538,7 +651,7 @@ void Node::process_link_input(PeerLink& link) {
             break;
           case FrameType::ack: {
             const std::size_t before = link.queue_depth();
-            link.on_ack(frame->seq);
+            link.on_ack(frame->seq, now, &stats_.latency);
             if (link.queue_depth() != before) {
               // Ack progress restarts (or disarms) the retransmit clock.
               link.stale_acks = 0;
@@ -650,7 +763,7 @@ void Node::send_from_process(ProcessId to, Bytes payload) {
   // lost the message — which the protocols tolerate. The queued stream is
   // never cut, so delivery resumes seamlessly if the peer recovers.
   (void)link.enqueue(std::move(payload), now + milliseconds(delay),
-                     cfg_.limits.max_queued_frames);
+                     cfg_.limits.max_queued_frames, now);
 }
 
 void Node::record_decision(Value v) {
@@ -698,47 +811,55 @@ void Node::check_timers(Clock::time_point now) {
 }
 
 void Node::flush_link(PeerLink& link, Clock::time_point now) {
-  if (link.state == PeerLink::State::established) {
-    if (link.ack_pending) {
-      append_ack(link.write_buf, link.delivered_seq());
-      link.ack_pending = false;
-    }
-    while (link.transmittable(now) &&
-           link.write_buf.size() - link.write_off < kWriteBufCap) {
-      const Outbound& out = link.next_unsent();
-      if (faults_.should_drop()) {
-        ++link.counters.drops_injected;  // retransmit timer recovers it
-      } else {
-        append_data(link.write_buf, out.seq, out.payload);
-      }
-      link.advance_unsent();
-      if (is_unarmed(link.retransmit_deadline)) {
-        link.retransmit_deadline =
-            now + milliseconds(cfg_.limits.retransmit_timeout_ms);
-      }
-    }
+  if (link.state == PeerLink::State::established && link.ack_pending) {
+    append_ack(link.write_buf, link.delivered_seq());
+    link.ack_pending = false;
   }
-  while (link.write_off < link.write_buf.size()) {
-    const ssize_t wrote =
-        ::send(link.fd.get(), link.write_buf.data() + link.write_off,
-               link.write_buf.size() - link.write_off, MSG_NOSIGNAL);
-    if (wrote > 0) {
-      link.counters.bytes_out += static_cast<std::uint64_t>(wrote);
-      link.write_off += static_cast<std::size_t>(wrote);
+  if (!link.ev_writable) {
+    return;  // known-blocked; wait for the kernel's writability edge
+  }
+  const bool frames = link.state == PeerLink::State::established;
+  const auto arm_retransmit = [&](const WritevPlan::CommitResult& res) {
+    if (res.advanced && is_unarmed(link.retransmit_deadline)) {
+      link.retransmit_deadline =
+          now + milliseconds(cfg_.limits.retransmit_timeout_ms);
+    }
+  };
+  while (true) {
+    plan_.build(link, now, frames, [this] { return faults_.should_drop(); });
+    if (plan_.empty()) {
+      return;
+    }
+    if (plan_.iov_count() == 0) {
+      // Every candidate was drop-injected: nothing to write, but the
+      // cursor still advances (the retransmit timer recovers them).
+      arm_retransmit(plan_.commit(link, 0));
       continue;
     }
-    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      break;
+    msghdr mh{};
+    mh.msg_iov = plan_.iov();
+    mh.msg_iovlen = plan_.iov_count();
+    const ssize_t wrote = ::sendmsg(link.fd.get(), &mh, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Leading drop-injected frames still advance; real bytes stay.
+        arm_retransmit(plan_.commit(link, 0));
+        link.ev_writable = false;
+        return;
+      }
+      reset_link(link, now);
+      return;
     }
-    if (wrote < 0 && errno == EINTR) {
-      continue;
+    arm_retransmit(plan_.commit(link, static_cast<std::size_t>(wrote)));
+    if (static_cast<std::size_t>(wrote) < plan_.total_bytes()) {
+      // Short write: the kernel buffer filled mid-batch; the remainder of
+      // the partial frame now sits in write_buf awaiting the next edge.
+      link.ev_writable = false;
+      return;
     }
-    reset_link(link, now);
-    return;
-  }
-  if (link.write_off == link.write_buf.size()) {
-    link.write_buf.clear();
-    link.write_off = 0;
   }
 }
 
@@ -751,8 +872,22 @@ void Node::close_all() {
     }
     stats_.peers[p] = link.counters;
   }
+  for (PendingConn& pc : pending_) {
+    if (pc.fd.valid() && loop_ != nullptr) {
+      loop_->unwatch(pc.fd.get());
+    }
+  }
   pending_.clear();
+  if (listener_watched_) {
+    loop_->unwatch(listener_.fd.get());
+    listener_watched_ = false;
+  }
   listener_.fd.reset();
+  listening_ = false;
+  if (wake_watched_) {
+    loop_->unwatch(wake_rd_);
+    wake_watched_ = false;
+  }
 }
 
 }  // namespace rcp::net

@@ -29,10 +29,13 @@
 // future-phase message to itself waits for network progress instead of
 // spinning.
 //
-// Threading: run() occupies the calling thread until request_stop(), a
-// scheduled fail-stop crash, or a fatal error. decision()/phase()/
-// crashed() are safe from other threads while running; stats()/error()
-// are valid after run() returns (joining the node thread synchronizes).
+// Threading: a Node is driven by exactly one net::EventLoop thread —
+// either its own (run() wraps a private single-node loop) or a shared one
+// (net::EventLoop::add + run, the n=100 configuration). All loop_*
+// callbacks, and everything they reach, are loop-thread-only.
+// decision()/phase()/crashed()/finished() are safe from other threads
+// while running; stats()/error() are valid after the loop finishes the
+// node (joining the loop thread synchronizes).
 #pragma once
 
 #include <atomic>
@@ -47,11 +50,13 @@
 #include "common/types.hpp"
 #include "net/fault.hpp"
 #include "net/peer.hpp"
-#include "net/poller.hpp"
+#include "net/reactor.hpp"
 #include "net/socket.hpp"
 #include "net/stats.hpp"
 
 namespace rcp::net {
+
+class EventLoop;
 
 struct NodeLimits {
   /// Per-peer outbound queue bound; at the bound the newest message is
@@ -74,6 +79,11 @@ struct NodeLimits {
   /// and leave this off; long-running services (the KV replica) use the
   /// tick to pull queued client ops even when no frame is in flight.
   std::uint32_t idle_tick_ms = 0;
+  /// Test hooks: when non-zero, applied to every link socket (SO_RCVBUF /
+  /// SO_SNDBUF). Tiny values force short vectored writes, exercising the
+  /// partial-frame spill path under realistic kernel behaviour.
+  int so_rcvbuf = 0;
+  int so_sndbuf = 0;
 };
 
 struct NodeConfig {
@@ -91,6 +101,9 @@ struct NodeConfig {
   /// Fail-stop injection: the node dies (closes everything, exits run())
   /// as soon as its process's phase() reaches this value.
   std::optional<Phase> crash_at_phase;
+  /// Readiness backend when the node runs on its own loop (run()); a
+  /// shared EventLoop brings its own backend and ignores this.
+  Reactor::Backend backend = Reactor::Backend::automatic;
 };
 
 class Node {
@@ -111,11 +124,14 @@ class Node {
   /// listener first, then distributes the ephemeral ports).
   void set_peer(ProcessId p, PeerAddress addr);
 
-  /// Runs the event loop on the calling thread until request_stop(), a
-  /// scheduled crash, or a fatal error (recorded in error()).
+  /// Runs a private single-node EventLoop on the calling thread until
+  /// request_stop(), a scheduled crash, or a fatal error (recorded in
+  /// error()). For shared-loop operation use net::EventLoop directly.
   void run();
 
-  /// Thread-safe: asks the loop to exit; run() returns soon after.
+  /// Thread-safe: asks the loop to finish this node; with a private loop
+  /// run() returns soon after, with a shared loop the node detaches while
+  /// its siblings keep running.
   void request_stop();
 
   // ---- Thread-safe observers (valid while running) -------------------
@@ -128,6 +144,12 @@ class Node {
   [[nodiscard]] bool crashed() const noexcept {
     return crashed_.load(std::memory_order_acquire);
   }
+  /// True once the driving loop has torn this node down: its sockets are
+  /// closed and it will never decide. (The shared-loop analogue of "the
+  /// node thread returned".)
+  [[nodiscard]] bool finished() const noexcept {
+    return finished_.load(std::memory_order_acquire);
+  }
 
   // ---- Post-run observers (valid after run() returns) ----------------
 
@@ -139,10 +161,21 @@ class Node {
  private:
   class LoopContext;
   friend class LoopContext;
+  friend class EventLoop;
 
-  void run_loop();
-  void build_interest_set(Clock::time_point now);
-  [[nodiscard]] int poll_timeout_ms(Clock::time_point now) const;
+  // ---- EventLoop interface (loop-thread-only) ------------------------
+
+  void loop_start(EventLoop& loop, std::uint32_t index,
+                  Clock::time_point now);
+  void loop_event(std::uint32_t sub, unsigned mask);
+  void loop_service(Clock::time_point now);
+  [[nodiscard]] int loop_timeout_ms(Clock::time_point now) const;
+  [[nodiscard]] bool loop_has_ready_work() const noexcept;
+  void loop_refresh_masks(Clock::time_point now);
+  [[nodiscard]] bool loop_finished() const noexcept;
+  void loop_abort(const char* what);
+  void loop_finish();
+
   void start_due_dials(Clock::time_point now);
   void apply_due_disconnects(Clock::time_point now);
   void accept_new_connections(Clock::time_point now);
@@ -161,12 +194,15 @@ class Node {
   void record_decision(Value v);
   void after_event();
   void close_all();
+  void watch_fd(int fd, std::uint32_t sub, unsigned mask);
 
   /// A connection that said nothing yet: accepted, awaiting its hello.
   struct PendingConn {
     Fd fd;
     FrameDecoder decoder;
     Clock::time_point deadline;
+    std::uint32_t token = 0;  ///< kSubPendingBit | serial
+    bool readable = false;    ///< sticky readiness flag
   };
 
   NodeConfig cfg_;
@@ -175,11 +211,18 @@ class Node {
   bool listening_ = false;
   std::vector<PeerLink> links_;  ///< indexed by peer id; [self] unused
   std::vector<PendingConn> pending_;
-  Poller poller_;
   Rng process_rng_;
   FaultInjector faults_;
   NodeStats stats_;
   std::string error_;
+  WritevPlan plan_;  ///< reusable vectored-send scratch (no allocations)
+
+  EventLoop* loop_ = nullptr;  ///< set by loop_start, for registrations
+  std::uint32_t loop_index_ = 0;
+  bool listener_readable_ = false;
+  bool wake_watched_ = false;
+  bool listener_watched_ = false;
+  std::uint32_t pending_token_seq_ = 0;
 
   /// Self-send inbox (the paper's requeue device).
   std::vector<sim::Envelope> local_inbox_;
@@ -195,6 +238,7 @@ class Node {
   std::atomic<int> decision_published_{-1};
   std::atomic<std::uint64_t> phase_published_{0};
   std::atomic<bool> crashed_{false};
+  std::atomic<bool> finished_{false};
 };
 
 }  // namespace rcp::net

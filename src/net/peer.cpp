@@ -4,16 +4,31 @@
 
 namespace rcp::net {
 
+void OutboundRing::grow() {
+  const std::size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+  std::vector<Outbound> next(cap);
+  for (std::size_t i = 0; i < size_; ++i) {
+    next[i] = std::move((*this)[i]);
+  }
+  slots_ = std::move(next);
+  head_ = 0;
+  mask_ = cap - 1;
+}
+
 bool PeerLink::enqueue(Bytes payload, Clock::time_point eligible_at,
-                       std::size_t max_queued) {
+                       std::size_t max_queued,
+                       Clock::time_point enqueued_at) {
   if (queue_.size() >= max_queued) {
     ++counters.overflow_drops;
     return false;
   }
   Outbound out;
   out.seq = assign_seq();
+  encode_data_header(out.header, out.seq, payload.size());
   out.payload = std::move(payload);
   out.eligible_at = eligible_at;
+  out.enqueued_at =
+      enqueued_at == Clock::time_point{} ? eligible_at : enqueued_at;
   queue_.push_back(std::move(out));
   ++counters.msgs_out;
   counters.queue_depth = queue_.size();
@@ -21,8 +36,18 @@ bool PeerLink::enqueue(Bytes payload, Clock::time_point eligible_at,
   return true;
 }
 
-void PeerLink::on_ack(std::uint64_t acked) noexcept {
-  while (!queue_.empty() && queue_.front().seq <= acked) {
+void PeerLink::on_ack(std::uint64_t acked, Clock::time_point now,
+                      LatencyHistogram* latency) noexcept {
+  while (!queue_.empty() && queue_[0].seq <= acked) {
+    if (latency != nullptr) {
+      const auto waited = now - queue_[0].enqueued_at;
+      latency->record(waited > Clock::duration::zero()
+                          ? static_cast<std::uint64_t>(
+                                std::chrono::duration_cast<
+                                    std::chrono::nanoseconds>(waited)
+                                    .count())
+                          : 0);
+    }
     queue_.pop_front();
     if (unsent_ > 0) {
       --unsent_;
@@ -61,6 +86,71 @@ int PeerLink::classify_and_advance(std::uint64_t seq) noexcept {
   ++next_expected_;
   ++counters.msgs_in;
   return 0;
+}
+
+WritevPlan::CommitResult WritevPlan::commit(PeerLink& link,
+                                            std::size_t written) const {
+  CommitResult res;
+  link.counters.bytes_out += written;
+  std::size_t left = written;
+
+  const std::size_t buf_take = std::min(left, buf_bytes_);
+  link.write_off += buf_take;
+  left -= buf_take;
+  if (link.write_off == link.write_buf.size()) {
+    link.write_buf.clear();
+    link.write_off = 0;
+  }
+
+  for (std::size_t i = 0; i < frame_count_; ++i) {
+    const FrameSlot& fs = frames_[i];
+    if (fs.dropped) {
+      // A drop-injected frame "transmits" zero bytes; its fate does not
+      // depend on the kernel, only on every earlier frame having been
+      // consumed — which this in-order walk guarantees.
+      ++link.counters.drops_injected;
+      link.advance_unsent();
+      ++res.frames_dropped;
+      res.advanced = true;
+      continue;
+    }
+    if (left == 0) {
+      break;
+    }
+    if (left >= fs.bytes) {
+      left -= fs.bytes;
+      link.advance_unsent();
+      ++res.frames_sent;
+      res.advanced = true;
+      continue;
+    }
+    // Partial frame: the kernel took a prefix. Spill the remainder into
+    // write_buf (the only copy on the egress path, and only under
+    // backpressure) so the stream stays byte-exact, then stop — later
+    // frames were not reached.
+    const Outbound& f = link.frame_at(link.unsent_index());
+    const std::size_t consumed = left;
+    if (consumed < f.header.size()) {
+      link.write_buf.insert(link.write_buf.end(),
+                            f.header.begin() +
+                                static_cast<std::ptrdiff_t>(consumed),
+                            f.header.end());
+      const auto span = f.payload.span();
+      link.write_buf.insert(link.write_buf.end(), span.begin(), span.end());
+    } else {
+      const auto span = f.payload.span();
+      link.write_buf.insert(
+          link.write_buf.end(),
+          span.begin() +
+              static_cast<std::ptrdiff_t>(consumed - f.header.size()),
+          span.end());
+    }
+    link.advance_unsent();
+    ++res.frames_sent;
+    res.advanced = true;
+    break;
+  }
+  return res;
 }
 
 }  // namespace rcp::net

@@ -24,13 +24,22 @@
 // the bound, crossing the high-water mark pauses reads from that peer
 // (backpressure on the only traffic source that can grow this queue).
 //
-// PeerLink owns no sockets and does no I/O; the Node event loop moves
+// Egress is zero-copy: each queued frame keeps its Payload (SBO/COW —
+// sharing the sender's buffer, not copying it) plus a 13-byte wire header
+// precomputed at enqueue. WritevPlan gathers header/payload pairs straight
+// from the ring into one vectored send per readiness event; only the
+// remainder of a partially-written frame is ever copied (into write_buf).
+//
+// PeerLink owns no sockets and does no I/O; the net event loop moves
 // bytes and drives the state transitions.
 #pragma once
 
+#include <sys/uio.h>
+
+#include <array>
 #include <chrono>
 #include <cstdint>
-#include <deque>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -43,12 +52,62 @@ namespace rcp::net {
 
 using Clock = std::chrono::steady_clock;
 
-/// One queued-but-not-yet-acked outbound payload.
+/// One queued-but-not-yet-acked outbound payload, with its wire header
+/// precomputed so transmission is pure buffer gathering.
 struct Outbound {
   std::uint64_t seq = 0;
   Bytes payload;
+  std::array<std::byte, kDataFrameHeader> header{};
   /// Not transmitted before this instant (delay injection).
   Clock::time_point eligible_at{};
+  /// When the sender queued it — the start of the latency measurement.
+  Clock::time_point enqueued_at{};
+};
+
+/// Bounded-growth ring of Outbound frames. A deque would allocate a block
+/// every few hundred frames forever; the ring reaches the queue's working
+/// capacity once and then recycles slots, keeping the steady-state send
+/// path allocation-free (payload Bytes are released on pop so refcounted
+/// buffers return to their owners promptly).
+class OutboundRing {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] Outbound& operator[](std::size_t i) noexcept {
+    return slots_[(head_ + i) & mask_];
+  }
+  [[nodiscard]] const Outbound& operator[](std::size_t i) const noexcept {
+    return slots_[(head_ + i) & mask_];
+  }
+
+  void push_back(Outbound&& out) {
+    if (size_ == slots_.size()) {
+      grow();
+    }
+    slots_[(head_ + size_) & mask_] = std::move(out);
+    ++size_;
+  }
+
+  void pop_front() noexcept {
+    slots_[head_].payload = Bytes{};
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void clear() noexcept {
+    while (size_ > 0) {
+      pop_front();
+    }
+  }
+
+ private:
+  void grow();
+
+  std::vector<Outbound> slots_;  ///< power-of-two capacity (or empty)
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
 };
 
 class PeerLink {
@@ -73,9 +132,13 @@ class PeerLink {
   // ---- Outbound reliable stream -------------------------------------
 
   /// Queues a payload; returns false (and counts an overflow drop) if the
-  /// bound was reached — the message is then lost to this peer.
+  /// bound was reached — the message is then lost to this peer. The wire
+  /// header is encoded here, once; transmission only gathers pointers.
+  /// `enqueued_at` anchors the latency measurement (defaults to
+  /// eligible_at for callers that do not measure).
   [[nodiscard]] bool enqueue(Bytes payload, Clock::time_point eligible_at,
-                             std::size_t max_queued);
+                             std::size_t max_queued,
+                             Clock::time_point enqueued_at = {});
 
   /// Is there a frame ready to transmit at `now`?
   [[nodiscard]] bool transmittable(Clock::time_point now) const noexcept {
@@ -90,8 +153,17 @@ class PeerLink {
   /// Marks next_unsent() as transmitted (bytes written or drop-injected).
   void advance_unsent() noexcept { ++unsent_; }
 
-  /// Processes a cumulative ack: releases frames with seq <= acked.
-  void on_ack(std::uint64_t acked) noexcept;
+  /// Random access for WritevPlan: index of the next frame to transmit
+  /// and the frame at queue position `i` (0 = oldest unacked).
+  [[nodiscard]] std::size_t unsent_index() const noexcept { return unsent_; }
+  [[nodiscard]] const Outbound& frame_at(std::size_t i) const noexcept {
+    return queue_[i];
+  }
+
+  /// Processes a cumulative ack: releases frames with seq <= acked. When
+  /// `latency` is given, each released frame records enqueue → now.
+  void on_ack(std::uint64_t acked, Clock::time_point now = {},
+              LatencyHistogram* latency = nullptr) noexcept;
 
   /// Rewinds transmission to the first unacked frame (reconnect or
   /// retransmit timeout); counts skipped-over frames as retransmits.
@@ -125,12 +197,14 @@ class PeerLink {
     return next_expected_ - 1;
   }
 
-  // ---- Connection bookkeeping (owned by the Node loop) ---------------
+  // ---- Connection bookkeeping (owned by the net event loop) ----------
 
   State state = State::idle;
   Fd fd;
   FrameDecoder decoder;
-  /// Socket write buffer: encoded frames not yet accepted by the kernel.
+  /// Control/spill buffer: hello and ack frames, plus the remainder of a
+  /// partially-written data frame. Data frames otherwise go straight from
+  /// the ring via WritevPlan and never live here.
   std::vector<std::byte> write_buf;
   std::size_t write_off = 0;
   /// Dialer backoff: next dial attempt not before this instant.
@@ -148,6 +222,10 @@ class PeerLink {
   std::uint32_t stale_acks = 0;
   bool read_paused = false;   ///< backpressure: stop reading this peer
   bool ever_connected = false;
+  /// Sticky readiness flags (edge-triggered discipline): set by reactor
+  /// events, cleared only when the corresponding syscall returns EAGAIN.
+  bool ev_readable = false;
+  bool ev_writable = false;
   PeerCounters counters;
 
  private:
@@ -155,10 +233,108 @@ class PeerLink {
   PeerAddress addr_;
   bool dialer_ = false;
 
-  std::deque<Outbound> queue_;
+  OutboundRing queue_;
   std::size_t unsent_ = 0;        ///< index of next frame to transmit
   std::uint64_t last_seq_ = 0;    ///< last assigned outbound seq
   std::uint64_t next_expected_ = 1;  ///< next inbound seq to deliver
+};
+
+/// One vectored send assembled from a link's pending bytes: the tail of
+/// write_buf first (acks, hello, spilled remainders), then a
+/// (header, payload) iovec pair per transmittable frame, gathered in
+/// place from the ring — no copies. Fixed-capacity, reusable; building a
+/// plan allocates nothing.
+///
+/// build() reads the link without mutating it (the drop callback is the
+/// one side effect: fault draws are consumed per candidate). commit()
+/// applies the kernel's answer: it consumes write_buf, advances the
+/// unsent cursor over fully-sent and drop-injected frames in order, and
+/// spills the first partial frame's remainder into write_buf. Frames the
+/// kernel did not reach stay queued; an EAGAIN round re-draws their drop
+/// fate next time, which only reshuffles the injector's random stream.
+class WritevPlan {
+ public:
+  static constexpr std::size_t kMaxFrames = 31;
+  static constexpr std::size_t kMaxIovecs = 1 + 2 * kMaxFrames;
+  static constexpr std::size_t kMaxBytes = 256 * 1024;
+
+  template <typename DropFn>
+  void build(const PeerLink& link, Clock::time_point now,
+             bool include_frames, DropFn&& should_drop) {
+    iov_count_ = 0;
+    frame_count_ = 0;
+    total_bytes_ = 0;
+    buf_bytes_ = 0;
+    if (link.write_off < link.write_buf.size()) {
+      buf_bytes_ = link.write_buf.size() - link.write_off;
+      push_iov(link.write_buf.data() + link.write_off, buf_bytes_);
+      total_bytes_ += buf_bytes_;
+    }
+    if (!include_frames) {
+      return;
+    }
+    std::size_t pos = link.unsent_index();
+    while (frame_count_ < kMaxFrames && total_bytes_ < kMaxBytes &&
+           pos < link.queue_depth()) {
+      const Outbound& f = link.frame_at(pos);
+      if (f.eligible_at > now) {
+        break;  // in-order stream: an ineligible frame blocks the rest
+      }
+      if (should_drop()) {
+        frames_[frame_count_++] = FrameSlot{0, true};
+      } else {
+        const std::size_t bytes = f.header.size() + f.payload.size();
+        push_iov(f.header.data(), f.header.size());
+        push_iov(f.payload.data(), f.payload.size());
+        frames_[frame_count_++] = FrameSlot{bytes, false};
+        total_bytes_ += bytes;
+      }
+      ++pos;
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return iov_count_ == 0 && frame_count_ == 0;
+  }
+  [[nodiscard]] iovec* iov() noexcept { return iov_.data(); }
+  [[nodiscard]] std::size_t iov_count() const noexcept { return iov_count_; }
+  [[nodiscard]] std::size_t frame_count() const noexcept {
+    return frame_count_;
+  }
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return total_bytes_;
+  }
+
+  struct CommitResult {
+    std::size_t frames_sent = 0;
+    std::size_t frames_dropped = 0;
+    /// True if the unsent cursor moved (arms the retransmit clock).
+    bool advanced = false;
+  };
+
+  /// Applies `written` bytes (the sendmsg return; 0 is valid and still
+  /// commits leading drop-injected frames) to the link.
+  CommitResult commit(PeerLink& link, std::size_t written) const;
+
+ private:
+  struct FrameSlot {
+    std::size_t bytes = 0;
+    bool dropped = false;
+  };
+
+  void push_iov(const std::byte* data, std::size_t len) noexcept {
+    // sendmsg never writes through the iovec; the const_cast only
+    // satisfies the POSIX struct.
+    iov_[iov_count_++] =
+        iovec{const_cast<std::byte*>(data), len};  // NOLINT
+  }
+
+  std::array<iovec, kMaxIovecs> iov_{};
+  std::array<FrameSlot, kMaxFrames> frames_{};
+  std::size_t iov_count_ = 0;
+  std::size_t frame_count_ = 0;
+  std::size_t total_bytes_ = 0;
+  std::size_t buf_bytes_ = 0;
 };
 
 }  // namespace rcp::net

@@ -1,30 +1,31 @@
 #include "net/poller.hpp"
 
+#include <algorithm>
 #include <cerrno>
 
 namespace rcp::net {
 
 int Poller::wait(int timeout_ms) {
+  // Drop stale readiness before blocking so ready() can never report an
+  // event from a previous iteration against a recycled fd.
+  std::fill(ready_.begin(), ready_.end(), short{0});
   const int rc = ::poll(fds_.data(), fds_.size(), timeout_ms);
   if (rc < 0) {
-    if (errno == EINTR) {
-      for (pollfd& p : fds_) {
-        p.revents = 0;
+    return errno == EINTR ? 0 : rc;
+  }
+  if (rc > 0) {
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0 || p.fd < 0) {
+        continue;
       }
-      return 0;
+      const auto i = static_cast<std::size_t>(p.fd);
+      if (i >= ready_.size()) {
+        ready_.resize(i + 1, 0);
+      }
+      ready_[i] = p.revents;
     }
-    return rc;
   }
   return rc;
-}
-
-short Poller::ready(int fd) const noexcept {
-  for (const pollfd& p : fds_) {
-    if (p.fd == fd) {
-      return p.revents;
-    }
-  }
-  return 0;
 }
 
 }  // namespace rcp::net

@@ -1,9 +1,12 @@
-// poll(2)-based readiness multiplexer for the Node event loop.
+// poll(2)-based readiness multiplexer — the portable half of the Reactor
+// abstraction (net/reactor.hpp).
 //
-// One Node watches a handful of descriptors (listener, one socket per
-// peer, a wakeup pipe), so poll() is the right tool: the interest set is
-// rebuilt each iteration from the loop's current state, which keeps the
-// connection state machine authoritative and the poller stateless.
+// The interest set is rebuilt each iteration from the caller's current
+// state, which keeps the connection state machine authoritative and the
+// poller stateless. Readiness lookups are O(1): wait() scatters revents
+// into an fd-indexed table, so a loop serving hundreds of descriptors
+// does not rescan the interest vector per query (the old linear ready()
+// made large-n fallback loops quadratic per iteration).
 #pragma once
 
 #include <poll.h>
@@ -34,10 +37,17 @@ class Poller {
   /// POLLERR/POLLHUP are always reported by the kernel regardless of the
   /// interest mask; callers treat them as readable so the subsequent
   /// read() observes the error/EOF.
-  [[nodiscard]] short ready(int fd) const noexcept;
+  [[nodiscard]] short ready(int fd) const noexcept {
+    const auto i = static_cast<std::size_t>(fd);
+    return fd >= 0 && i < ready_.size() ? ready_[i] : short{0};
+  }
+
+  [[nodiscard]] std::size_t watched() const noexcept { return fds_.size(); }
 
  private:
   std::vector<pollfd> fds_;
+  /// fd-indexed revents from the last wait(); sized to the max watched fd.
+  std::vector<short> ready_;
 };
 
 }  // namespace rcp::net

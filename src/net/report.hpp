@@ -4,17 +4,23 @@
 // (python -c "json.load(...)" one-liners; see docs/PERF.md).
 //
 // Layout:
-//   { schema, protocol, n, seed,
+//   { schema, protocol, n, seed, loop_threads, backend,
 //     all_correct_decided, agreement, timed_out, value,
 //     elapsed_seconds,
 //     totals: { delivered, sent, bytes_out, reconnects, retransmits,
-//               msgs_per_sec, decisions_per_sec },
+//               msgs_per_sec, decisions_per_sec,
+//               latency: { count, mean_ms, p50_ms, p99_ms, p999_ms } },
 //     nodes: [ { id, correct, decision, phase, crashed, error,
 //                events, msgs_sent, msgs_delivered, read_pauses,
+//                latency: { count, mean_ms, p50_ms, p99_ms, p999_ms },
 //                peers: [ { bytes_out, bytes_in, msgs_out, msgs_in,
 //                           reconnects, retransmits, drops_injected,
 //                           delays_injected, dup_frames, gap_frames,
 //                           overflow_drops, queue_peak } ] } ] }
+//
+// Latency is per-frame enqueue → cumulative-ack release at the sender:
+// it covers queueing, the vectored send, the peer's delivery and its ack
+// coming back — the transport's full round trip, not the process logic.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,18 @@
 #include "net/stats.hpp"
 
 namespace rcp::net {
+
+inline void write_latency(bench::JsonWriter& j,
+                          const LatencyHistogram& h) {
+  j.key("latency");
+  j.begin_object();
+  j.field("count", h.count());
+  j.field("mean_ms", h.mean_ms());
+  j.field("p50_ms", h.quantile_ms(0.50));
+  j.field("p99_ms", h.quantile_ms(0.99));
+  j.field("p999_ms", h.quantile_ms(0.999));
+  j.end_object();
+}
 
 inline void write_peer_counters(bench::JsonWriter& j,
                                 const PeerCounters& pc) {
@@ -63,6 +81,7 @@ inline void write_node_outcome(bench::JsonWriter& j,
   j.field("msgs_sent", node.stats.msgs_sent);
   j.field("msgs_delivered", node.stats.msgs_delivered);
   j.field("read_pauses", node.stats.read_pauses);
+  write_latency(j, node.stats.latency);
   j.key("peers");
   j.begin_array();
   for (const PeerCounters& pc : node.stats.peers) {
@@ -82,6 +101,18 @@ inline void write_cluster_report(bench::JsonWriter& j,
   j.field("protocol", protocol);
   j.field("n", cfg.n);
   j.field("seed", cfg.seed);
+  j.field("loop_threads", cfg.loop_threads);
+  j.field("backend", [&]() -> std::string_view {
+    switch (cfg.backend) {
+      case Reactor::Backend::poll:
+        return "poll";
+      case Reactor::Backend::epoll:
+        return "epoll";
+      case Reactor::Backend::automatic:
+        break;
+    }
+    return Reactor::epoll_available() ? "epoll" : "poll";
+  }());
   j.field("all_correct_decided", result.all_correct_decided);
   j.field("agreement", result.agreement);
   j.field("timed_out", result.timed_out);
@@ -111,6 +142,11 @@ inline void write_cluster_report(bench::JsonWriter& j,
   j.field("msgs_per_sec",
           static_cast<double>(result.total_delivered) / elapsed);
   j.field("decisions_per_sec", static_cast<double>(decided) / elapsed);
+  LatencyHistogram merged;
+  for (const NodeOutcome& node : result.nodes) {
+    merged.merge(node.stats.latency);
+  }
+  write_latency(j, merged);
   j.end_object();
 
   j.key("nodes");

@@ -1,12 +1,13 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -16,12 +17,12 @@ namespace rcp::net {
 
 namespace {
 
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  RCP_EXPECT(flags >= 0, "fcntl(F_GETFL) failed");
-  RCP_EXPECT(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
-             "fcntl(F_SETFL, O_NONBLOCK) failed");
-}
+// Every socket this module creates carries SOCK_NONBLOCK | SOCK_CLOEXEC
+// from birth — set atomically in socket(2)/accept4(2) rather than via a
+// follow-up fcntl, so there is no window where a concurrent fork() (the
+// crash-isolation runner forks workers) inherits the descriptor or a
+// blocking call sneaks in before the flags land.
+constexpr int kSockFlags = SOCK_NONBLOCK | SOCK_CLOEXEC;
 
 void set_nodelay(int fd) {
   // Consensus messages are tiny and latency-bound; Nagle batching would
@@ -50,7 +51,7 @@ void Fd::reset() noexcept {
 }
 
 ListenSocket listen_on(const std::string& host, std::uint16_t port) {
-  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  Fd fd(::socket(AF_INET, SOCK_STREAM | kSockFlags, 0));
   RCP_EXPECT(fd.valid(), "socket() failed");
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -60,7 +61,6 @@ ListenSocket listen_on(const std::string& host, std::uint16_t port) {
              "bind() failed on " + host + ":" + std::to_string(port) + ": " +
                  std::strerror(errno));
   RCP_EXPECT(::listen(fd.get(), SOMAXCONN) == 0, "listen() failed");
-  set_nonblocking(fd.get());
 
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
@@ -74,20 +74,18 @@ ListenSocket listen_on(const std::string& host, std::uint16_t port) {
 }
 
 Fd accept_on(const Fd& listener) {
-  const int fd = ::accept(listener.get(), nullptr, nullptr);
+  const int fd = ::accept4(listener.get(), nullptr, nullptr, kSockFlags);
   if (fd < 0) {
     return Fd{};
   }
   Fd out(fd);
-  set_nonblocking(fd);
   set_nodelay(fd);
   return out;
 }
 
 Fd dial_start(const PeerAddress& peer) {
-  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  Fd fd(::socket(AF_INET, SOCK_STREAM | kSockFlags, 0));
   RCP_EXPECT(fd.valid(), "socket() failed");
-  set_nonblocking(fd.get());
   set_nodelay(fd.get());
   sockaddr_in addr = parse_addr(peer.host, peer.port);
   const int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
@@ -108,6 +106,32 @@ int dial_result(const Fd& fd) {
     return errno != 0 ? errno : EBADF;
   }
   return err;
+}
+
+void set_rcvbuf(const Fd& fd, int bytes) {
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+}
+
+void set_sndbuf(const Fd& fd, int bytes) {
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+}
+
+std::size_t raise_fd_limit(std::size_t want) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) {
+    return 0;
+  }
+  if (lim.rlim_cur != RLIM_INFINITY && lim.rlim_cur < want) {
+    rlimit raised = lim;
+    raised.rlim_cur = lim.rlim_max == RLIM_INFINITY
+                          ? static_cast<rlim_t>(want)
+                          : std::min(static_cast<rlim_t>(want), lim.rlim_max);
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) {
+      lim = raised;
+    }
+  }
+  return lim.rlim_cur == RLIM_INFINITY ? want
+                                       : static_cast<std::size_t>(lim.rlim_cur);
 }
 
 }  // namespace rcp::net

@@ -6,6 +6,7 @@
 // belong to the Node event loop.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -70,5 +71,20 @@ struct ListenSocket {
 /// After a dialing fd polls writable: 0 on success, else the errno that
 /// killed the connect.
 [[nodiscard]] int dial_result(const Fd& fd);
+
+/// Shrinks the socket's kernel receive buffer (SO_RCVBUF) to roughly
+/// `bytes`. Test hook: a tiny receive window forces short writev()
+/// returns on the sender so partial-write handling gets exercised.
+void set_rcvbuf(const Fd& fd, int bytes);
+
+/// Shrinks the socket's kernel send buffer (SO_SNDBUF) to roughly
+/// `bytes`. Test hook: a tiny send window forces short vectored writes,
+/// exercising the partial-frame spill path.
+void set_sndbuf(const Fd& fd, int bytes);
+
+/// Best-effort bump of RLIMIT_NOFILE so a full-mesh loopback cluster
+/// (n nodes ≈ n² sockets) does not die on EMFILE. Returns the resulting
+/// soft limit; never throws — callers with modest n work under defaults.
+std::size_t raise_fd_limit(std::size_t want);
 
 }  // namespace rcp::net

@@ -1,0 +1,7 @@
+// Fixture: sits inside the os_headers allow path (src/net/), so plain
+// OS includes pass — but <sys/epoll.h> is [[os_exclusive]] to
+// src/net/reactor.cpp, so line 5 must still be flagged.
+#include <poll.h>
+#include <sys/epoll.h>
+
+int fixture_os_exclusive() { return 0; }

@@ -100,6 +100,18 @@ TEST(LintTool, OsHeadersBannedOutsideNetRuntime) {
   EXPECT_EQ(count_rule(run, "os-header"), 3) << run.output;
 }
 
+TEST(LintTool, ExclusiveHeaderFlaggedEvenInsideOsAllowPath) {
+  const LintRun run = run_lint("src/net/os_exclusive_violation.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // <poll.h> on line 4 passes (src/net/ is an os_headers allow path);
+  // only the [[os_exclusive]] <sys/epoll.h> include is an error.
+  EXPECT_TRUE(has_diag(run, "src/net/os_exclusive_violation.cpp:5: error:",
+                       "os-exclusive"))
+      << run.output;
+  EXPECT_EQ(count_rule(run, "os-exclusive"), 1) << run.output;
+  EXPECT_EQ(count_rule(run, "os-header"), 0) << run.output;
+}
+
 TEST(LintTool, DeterminismBansTokensAndCalls) {
   const LintRun run = run_lint("src/core/determinism_violation.cpp");
   EXPECT_EQ(run.exit_code, 1) << run.output;
@@ -213,12 +225,13 @@ TEST(LintTool, WholeFixtureTreeSummary) {
   EXPECT_EQ(run.exit_code, 1) << run.output;
   EXPECT_EQ(count_rule(run, "layer"), 3) << run.output;
   EXPECT_EQ(count_rule(run, "os-header"), 3) << run.output;
+  EXPECT_EQ(count_rule(run, "os-exclusive"), 1) << run.output;
   EXPECT_EQ(count_rule(run, "determinism"), 5) << run.output;
   EXPECT_EQ(count_rule(run, "hot-alloc"), 8) << run.output;
   EXPECT_EQ(count_rule(run, "threshold"), 3) << run.output;
   EXPECT_EQ(count_rule(run, "unused-suppression"), 1) << run.output;
   EXPECT_EQ(count_rule(run, "bad-suppression"), 1) << run.output;
-  EXPECT_NE(run.output.find("rcp-lint: 9 files, 24 error(s), 5 suppression(s) "
+  EXPECT_NE(run.output.find("rcp-lint: 10 files, 25 error(s), 5 suppression(s) "
                             "(5 diagnostic(s) suppressed)"),
             std::string::npos)
       << run.output;

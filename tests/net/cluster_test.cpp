@@ -18,13 +18,17 @@ namespace rcp::net {
 namespace {
 
 ClusterResult run_fig1(std::uint32_t ones, std::uint64_t seed,
-                       bool inject_disconnects) {
+                       bool inject_disconnects,
+                       std::uint32_t loop_threads = 0,
+                       Reactor::Backend backend = Reactor::Backend::automatic) {
   const core::ConsensusParams params{5, 2};
   const auto inputs = adversary::inputs_with_ones(params.n, ones);
   ClusterConfig cfg;
   cfg.n = params.n;
   cfg.seed = seed;
   cfg.timeout_ms = 20000;
+  cfg.loop_threads = loop_threads;
+  cfg.backend = backend;
   cfg.crashes.push_back({4, 1});  // one fail-stop crash entering phase 1
   if (inject_disconnects) {
     // Cut node 0 off from every live peer early: it cannot assemble
@@ -41,13 +45,17 @@ ClusterResult run_fig1(std::uint32_t ones, std::uint64_t seed,
 }
 
 ClusterResult run_fig2(std::uint32_t ones, std::uint64_t seed,
-                       bool inject_disconnects) {
+                       bool inject_disconnects,
+                       std::uint32_t loop_threads = 0,
+                       Reactor::Backend backend = Reactor::Backend::automatic) {
   const core::ConsensusParams params{7, 2};
   const auto inputs = adversary::inputs_with_ones(params.n, ones);
   ClusterConfig cfg;
   cfg.n = params.n;
   cfg.seed = seed;
   cfg.timeout_ms = 20000;
+  cfg.loop_threads = loop_threads;
+  cfg.backend = backend;
   cfg.arbitrary_faulty.push_back(3);  // one silent Byzantine (k = 2 bound)
   if (inject_disconnects) {
     // Cut node 1 off from every correct peer: it cannot accept another
@@ -155,6 +163,92 @@ TEST(NetCluster, SimNetEquivalenceMixedInputsPropertiesHold) {
   // Both 0s and 1s were proposed, so any binary value is valid; the
   // meaningful check is that every correct node converged on one of them.
   EXPECT_TRUE(*net_out.value == Value::zero || *net_out.value == Value::one);
+}
+
+// ---- Shared-loop mode ---------------------------------------------------
+// One reactor thread driving several nodes must be behaviorally identical
+// to thread-per-node: the same fault scenarios decide with the same
+// checkable properties, on both readiness backends.
+
+TEST(NetClusterSharedLoop, Fig1DecidesOnPollBackend) {
+  const ClusterResult result =
+      run_fig1(/*ones=*/2, /*seed=*/1, /*inject_disconnects=*/true,
+               /*loop_threads=*/2, Reactor::Backend::poll);
+  ASSERT_TRUE(result.success()) << "timed_out=" << result.timed_out;
+  EXPECT_TRUE(result.all_correct_decided);
+  EXPECT_TRUE(result.agreement);
+  EXPECT_GE(result.total_reconnects, 1u);
+  EXPECT_TRUE(result.nodes[4].crashed);
+}
+
+TEST(NetClusterSharedLoop, Fig1DecidesOnEpollBackend) {
+  if (!Reactor::epoll_available()) {
+    GTEST_SKIP() << "no epoll on this platform";
+  }
+  const ClusterResult result =
+      run_fig1(/*ones=*/2, /*seed=*/1, /*inject_disconnects=*/true,
+               /*loop_threads=*/2, Reactor::Backend::epoll);
+  ASSERT_TRUE(result.success()) << "timed_out=" << result.timed_out;
+  EXPECT_TRUE(result.all_correct_decided);
+  EXPECT_TRUE(result.agreement);
+  EXPECT_GE(result.total_reconnects, 1u);
+  EXPECT_TRUE(result.nodes[4].crashed);
+}
+
+TEST(NetClusterSharedLoop, Fig2DecidesOnPollBackend) {
+  const ClusterResult result =
+      run_fig2(/*ones=*/3, /*seed=*/1, /*inject_disconnects=*/true,
+               /*loop_threads=*/3, Reactor::Backend::poll);
+  ASSERT_TRUE(result.success()) << "timed_out=" << result.timed_out;
+  EXPECT_TRUE(result.all_correct_decided);
+  EXPECT_TRUE(result.agreement);
+  EXPECT_FALSE(result.nodes[3].decision.has_value());
+}
+
+TEST(NetClusterSharedLoop, Fig2DecidesOnEpollBackend) {
+  if (!Reactor::epoll_available()) {
+    GTEST_SKIP() << "no epoll on this platform";
+  }
+  const ClusterResult result =
+      run_fig2(/*ones=*/3, /*seed=*/1, /*inject_disconnects=*/true,
+               /*loop_threads=*/3, Reactor::Backend::epoll);
+  ASSERT_TRUE(result.success()) << "timed_out=" << result.timed_out;
+  EXPECT_TRUE(result.all_correct_decided);
+  EXPECT_TRUE(result.agreement);
+  EXPECT_FALSE(result.nodes[3].decision.has_value());
+}
+
+// A single-thread loop drives the whole cluster: the strictest test of the
+// runtime's fairness — any node starving another would deadlock consensus.
+TEST(NetClusterSharedLoop, SingleLoopThreadDrivesWholeCluster) {
+  const ClusterResult result =
+      run_fig2(/*ones=*/7, /*seed=*/2, /*inject_disconnects=*/false,
+               /*loop_threads=*/1);
+  ASSERT_TRUE(result.success()) << "timed_out=" << result.timed_out;
+  ASSERT_TRUE(result.value.has_value());
+  EXPECT_EQ(*result.value, Value::one);  // validity under unanimous inputs
+}
+
+// n=100 smoke: a full mesh (~10k sockets) multiplexed onto 4 loop threads.
+// The generous timeout absorbs sanitizer slowdowns; uncontended runs
+// converge in about a second.
+TEST(NetClusterSharedLoop, HundredNodesConvergeOnFourLoopThreads) {
+  const core::ConsensusParams params{100, 33};
+  const auto inputs = adversary::inputs_with_ones(params.n, params.n);
+  ClusterConfig cfg;
+  cfg.n = params.n;
+  cfg.seed = 1;
+  cfg.timeout_ms = 240000;
+  cfg.loop_threads = 4;
+  Cluster cluster(cfg, [&](ProcessId id) -> std::unique_ptr<sim::Process> {
+    return core::FailStopConsensus::make(params, inputs[id]);
+  });
+  const ClusterResult result = cluster.run();
+  ASSERT_TRUE(result.success()) << "timed_out=" << result.timed_out;
+  EXPECT_TRUE(result.all_correct_decided);
+  EXPECT_TRUE(result.agreement);
+  ASSERT_TRUE(result.value.has_value());
+  EXPECT_EQ(*result.value, Value::one);
 }
 
 // The same cluster config is rerunnable: ephemeral ports mean back-to-back

@@ -1,0 +1,150 @@
+// The allocation contract of the net send path (docs/PERF.md "Network
+// runtime"): once a link's ring is warm, the steady-state send cycle —
+// enqueue, WritevPlan::build, commit, cumulative-ack release with latency
+// recording — performs zero heap allocations. Frames are gathered in place
+// from the ring (header bytes precomputed at enqueue), so there is no
+// per-send serialization, and protocol-sized payloads stay in the inline
+// Bytes capacity.
+//
+// The binary-wide operator new override counts every allocation; each test
+// snapshots before/after deltas. (Same instrument as
+// tests/core/echo_allocation_test.cpp, which lives in a different test
+// binary.)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "common/payload.hpp"
+#include "net/peer.hpp"
+#include "net/stats.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace rcp::net {
+namespace {
+
+constexpr std::size_t kNoBound = 1 << 20;
+constexpr std::uint32_t kBatch = 16;
+
+Bytes small_payload(std::uint32_t i) {
+  Bytes b;
+  b.push_back(static_cast<std::byte>(i & 0xff));
+  b.push_back(static_cast<std::byte>((i >> 8) & 0xff));
+  return b;
+}
+
+/// One steady-state round: a batch of enqueues, drain the queue through
+/// build/commit with `written` bytes granted per sendmsg, then the
+/// cumulative ack that releases the batch and records its latency.
+void drive_round(PeerLink& link, WritevPlan& plan, LatencyHistogram& hist,
+                 std::uint64_t& acked, bool partial_writes) {
+  const auto now = Clock::now();
+  for (std::uint32_t i = 0; i < kBatch; ++i) {
+    ASSERT_TRUE(link.enqueue(small_payload(i), now, kNoBound, now));
+  }
+  while (true) {
+    plan.build(link, now, /*include_frames=*/true, [] { return false; });
+    if (plan.empty()) {
+      break;
+    }
+    // A partial write commits a prefix and spills the torn frame's
+    // remainder into write_buf; the next build resumes from that tail.
+    const std::size_t written = partial_writes
+                                    ? (plan.total_bytes() + 1) / 2
+                                    : plan.total_bytes();
+    (void)plan.commit(link, written);
+  }
+  acked += kBatch;
+  link.on_ack(acked, now, &hist);
+  EXPECT_EQ(link.queue_depth(), 0u);
+}
+
+TEST(NetAllocation, SendPathSteadyStateIsAllocationFree) {
+  PeerLink link;
+  link.init(1, {}, false);
+  WritevPlan plan;
+  LatencyHistogram hist;
+  std::uint64_t acked = 0;
+  for (int round = 0; round < 4; ++round) {
+    drive_round(link, plan, hist, acked, /*partial_writes=*/false);
+  }
+  const std::uint64_t before = g_allocations.load();
+  const std::uint64_t payload_before = Payload::heap_allocation_count();
+  for (int round = 0; round < 100; ++round) {
+    drive_round(link, plan, hist, acked, /*partial_writes=*/false);
+  }
+  EXPECT_EQ(g_allocations.load() - before, 0u)
+      << "warm enqueue/build/commit/ack must not touch the heap";
+  EXPECT_EQ(Payload::heap_allocation_count() - payload_before, 0u)
+      << "protocol-sized payloads must stay inline";
+  EXPECT_EQ(hist.count(), acked);
+}
+
+TEST(NetAllocation, PartialWriteSpillSteadyStateIsAllocationFree) {
+  PeerLink link;
+  link.init(1, {}, false);
+  WritevPlan plan;
+  LatencyHistogram hist;
+  std::uint64_t acked = 0;
+  // Warm rounds grow the ring and give write_buf its spill capacity.
+  for (int round = 0; round < 4; ++round) {
+    drive_round(link, plan, hist, acked, /*partial_writes=*/true);
+  }
+  const std::uint64_t before = g_allocations.load();
+  for (int round = 0; round < 100; ++round) {
+    drive_round(link, plan, hist, acked, /*partial_writes=*/true);
+  }
+  EXPECT_EQ(g_allocations.load() - before, 0u)
+      << "short-write spill and resume must not touch the heap";
+}
+
+TEST(NetAllocation, RetransmitRewindIsAllocationFree) {
+  PeerLink link;
+  link.init(1, {}, false);
+  WritevPlan plan;
+  LatencyHistogram hist;
+  std::uint64_t acked = 0;
+  for (int round = 0; round < 4; ++round) {
+    drive_round(link, plan, hist, acked, /*partial_writes=*/false);
+  }
+  const auto now = Clock::now();
+  for (std::uint32_t i = 0; i < kBatch; ++i) {
+    ASSERT_TRUE(link.enqueue(small_payload(i), now, kNoBound, now));
+  }
+  const std::uint64_t before = g_allocations.load();
+  // Go-back-N: send the window, rewind as a timeout would, resend, ack.
+  for (int round = 0; round < 50; ++round) {
+    plan.build(link, now, /*include_frames=*/true, [] { return false; });
+    (void)plan.commit(link, plan.total_bytes());
+    link.rewind_unsent();
+  }
+  plan.build(link, now, /*include_frames=*/true, [] { return false; });
+  (void)plan.commit(link, plan.total_bytes());
+  acked += kBatch;
+  link.on_ack(acked, now, &hist);
+  EXPECT_EQ(g_allocations.load() - before, 0u)
+      << "rewind and retransmission must not touch the heap";
+  EXPECT_EQ(link.queue_depth(), 0u);
+}
+
+}  // namespace
+}  // namespace rcp::net

@@ -264,6 +264,88 @@ TEST(Transport, StreamSurvivesDropInjection) {
   EXPECT_GE(retransmits, drops);
 }
 
+// ---- Partial writes under tiny socket buffers ---------------------------
+
+constexpr std::uint32_t kBigLen = 150;
+constexpr std::size_t kBigPayload = 2048;
+
+Bytes big_payload(std::uint32_t i) {
+  Bytes b;
+  b.resize(kBigPayload);
+  b[0] = static_cast<std::byte>(i & 0xff);
+  b[1] = static_cast<std::byte>((i >> 8) & 0xff);
+  for (std::size_t j = 2; j < kBigPayload; ++j) {
+    b[j] = static_cast<std::byte>((i + j) & 0xff);
+  }
+  return b;
+}
+
+/// Sends kBigLen payloads, each larger than the socket send buffer.
+class BigStreamSender final : public sim::Process {
+ public:
+  void on_start(sim::Context& ctx) override {
+    for (std::uint32_t i = 0; i < kBigLen; ++i) {
+      ctx.send(1, big_payload(i));
+    }
+    ctx.decide(Value::one);
+  }
+  void on_message(sim::Context&, const sim::Envelope&) override {}
+};
+
+/// Verifies order, exactly-once delivery, and byte-for-byte content.
+class BigStreamReceiver final : public sim::Process {
+ public:
+  void on_start(sim::Context&) override {}
+  void on_message(sim::Context& ctx, const sim::Envelope& env) override {
+    if (env.sender != 0 || env.payload != big_payload(received)) {
+      ++violations;
+    }
+    ++received;
+    if (received == kBigLen) {
+      ctx.decide(Value::one);
+    }
+  }
+
+  std::uint32_t received = 0;
+  std::uint32_t violations = 0;
+};
+
+// Frames larger than SO_SNDBUF force every writev to return short: the
+// remainder must spill into the link's write buffer and resume on the
+// next writability edge, without tearing or reordering frames — including
+// across forced reconnects, where go-back-N replays from the last ack.
+TEST(Transport, FramesSurviveShortWritesAndReconnects) {
+  ClusterConfig cfg;
+  cfg.n = 2;
+  cfg.seed = 13;
+  cfg.timeout_ms = 20000;
+  // A send buffer below one frame forces every sendmsg of a multi-frame
+  // plan to return short (the kernel rounds the size up, but far below the
+  // ~64 KiB a full WritevPlan gathers). The receive buffer stays at its
+  // default: shrinking it too stalls on kernel TCP flow control (delayed
+  // ACKs against a tiny window), which is not the path under test.
+  cfg.limits.so_sndbuf = 2048;
+  cfg.disconnects.push_back({1, {.peer = 0, .after_delivered = 30}});
+  cfg.disconnects.push_back({1, {.peer = 0, .after_delivered = 90}});
+  Cluster cluster(cfg, [](ProcessId id) -> std::unique_ptr<sim::Process> {
+    if (id == 0) {
+      return std::make_unique<BigStreamSender>();
+    }
+    return std::make_unique<BigStreamReceiver>();
+  });
+  const ClusterResult result = cluster.run();
+  ASSERT_TRUE(result.success())
+      << "timed_out=" << result.timed_out
+      << " node0_err=" << result.nodes[0].error
+      << " node1_err=" << result.nodes[1].error;
+
+  const auto& receiver =
+      static_cast<const BigStreamReceiver&>(cluster.node(1).process());
+  EXPECT_EQ(receiver.received, kBigLen);
+  EXPECT_EQ(receiver.violations, 0u);
+  EXPECT_GE(result.total_reconnects, 1u);
+}
+
 TEST(Transport, DelayInjectionStillDeliversAll) {
   ClusterConfig cfg;
   cfg.n = 2;

@@ -14,10 +14,18 @@ Three input formats are understood:
 * ``--x4``: rcp-bench-v1 ``--json`` output from bench_x4_complexity;
   entries are matched by series ``label`` (``echo_path_n*``) and compared
   on ``trials_per_sec`` (echoes/sec), against ``echo_path``.
-* ``--svc``: rcp-svc-v1 ``--json`` output from kv_loadgen; runs are
-  matched by ``label`` (``sim_n7_batched`` etc.) and compared on
-  ``ops_per_sec``, against the ``service`` baseline section. A run that
-  did not converge (``ok: false``) fails outright.
+* ``--svc`` (repeatable): rcp-svc-v1 ``--json`` output from kv_loadgen;
+  runs are matched by ``label`` (``sim_n7_batched``, ``net_n7_batched``
+  etc.) and compared on ``ops_per_sec``. The document's ``mode`` field
+  selects the baseline subsection — ``service.ops_per_sec`` for sim,
+  ``service.net_ops_per_sec`` for net — so the simulated and the TCP-mesh
+  loadgen runs gate independently. A run that did not converge
+  (``ok: false``) fails outright.
+* ``--net``: rcp-net-sweep-v1 ``--json`` output from net_cluster
+  ``--sweep``; runs are matched by ``label`` (``fig1_n7_tpn``,
+  ``fig1_n100_shared4`` etc.) and compared on ``msgs_per_sec``, against
+  the ``net`` baseline section. A run that did not decide (``ok: false``)
+  fails outright.
 
 A baseline entry with no counterpart in the fresh output is an error —
 renaming or dropping a benchmark must be an explicit baseline edit, never
@@ -57,7 +65,7 @@ def x4_results(path):
 
 
 def svc_results(path, failures):
-    """Label -> ops_per_sec for the kv_loadgen runs; non-ok runs fail."""
+    """(mode, label -> ops_per_sec) for kv_loadgen runs; non-ok runs fail."""
     doc = load_json(path)
     if doc.get("schema") != "rcp-svc-v1":
         raise SystemExit(f"{path}: expected schema rcp-svc-v1")
@@ -71,6 +79,24 @@ def svc_results(path, failures):
             )
             continue
         out[run["label"]] = float(run["ops_per_sec"])
+    return doc.get("mode", "sim"), out
+
+
+def net_results(path, failures):
+    """Label -> msgs_per_sec for the net_cluster sweep; non-ok runs fail."""
+    doc = load_json(path)
+    if doc.get("schema") != "rcp-net-sweep-v1":
+        raise SystemExit(f"{path}: expected schema rcp-net-sweep-v1")
+    out = {}
+    for run in doc.get("runs", []):
+        if "label" not in run:
+            continue
+        if not run.get("ok", False):
+            failures.append(
+                f"net_cluster: {run['label']}: run did not decide (ok=false)"
+            )
+            continue
+        out[run["label"]] = float(run["msgs_per_sec"])
     return out
 
 
@@ -104,7 +130,16 @@ def main():
         "--micro", help="bench_micro --benchmark_format=json output"
     )
     parser.add_argument("--x4", help="bench_x4_complexity --json output")
-    parser.add_argument("--svc", help="kv_loadgen --json output (rcp-svc-v1)")
+    parser.add_argument(
+        "--svc",
+        action="append",
+        default=[],
+        help="kv_loadgen --json output (rcp-svc-v1); repeatable",
+    )
+    parser.add_argument(
+        "--net",
+        help="net_cluster --sweep --json output (rcp-net-sweep-v1)",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -112,8 +147,10 @@ def main():
         help="minimum current/baseline ratio (0.70 = fail on >30%% drop)",
     )
     args = parser.parse_args()
-    if not args.micro and not args.x4 and not args.svc:
-        parser.error("nothing to check: pass --micro, --x4 and/or --svc")
+    if not args.micro and not args.x4 and not args.svc and not args.net:
+        parser.error(
+            "nothing to check: pass --micro, --x4, --svc and/or --net"
+        )
 
     doc = load_json(args.baseline)
     failures = []
@@ -141,10 +178,28 @@ def main():
         baseline = doc.get("service")
         if baseline is None:
             raise SystemExit(f"{args.baseline}: no service section")
+        for path in args.svc:
+            mode, results = svc_results(path, failures)
+            key = "net_ops_per_sec" if mode == "net" else "ops_per_sec"
+            section = baseline.get(key)
+            if section is None:
+                raise SystemExit(f"{args.baseline}: no service.{key} entries")
+            check(
+                f"kv_loadgen[{mode}]",
+                section,
+                results,
+                args.threshold,
+                failures,
+            )
+
+    if args.net:
+        baseline = doc.get("net")
+        if baseline is None:
+            raise SystemExit(f"{args.baseline}: no net section")
         check(
-            "kv_loadgen",
-            baseline.get("ops_per_sec", {}),
-            svc_results(args.svc, failures),
+            "net_cluster",
+            baseline.get("msgs_per_sec", {}),
+            net_results(args.net, failures),
             args.threshold,
             failures,
         )

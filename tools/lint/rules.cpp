@@ -120,6 +120,28 @@ void check_os_headers(const ScannedFile& f, const Config& cfg,
   }
 }
 
+void check_os_exclusive(const ScannedFile& f, const Config& cfg,
+                        std::vector<Diag>& out) {
+  for (const OsExclusiveCfg& rule : cfg.os_exclusive) {
+    if (matches_any_prefix(f.path, rule.allow)) {
+      continue;
+    }
+    for (const Include& inc : f.includes) {
+      if (inc.target == rule.header) {
+        std::string owners;
+        for (const std::string& a : rule.allow) {
+          owners += owners.empty() ? a : ", " + a;
+        }
+        out.push_back(Diag{f.path, inc.line, "os-exclusive",
+                           "header <" + rule.header + "> is exclusive to " +
+                               owners +
+                               "; program against the backend-hiding "
+                               "interface instead (docs/LINT.md)"});
+      }
+    }
+  }
+}
+
 void check_determinism(const ScannedFile& f, const Config& cfg,
                        std::vector<Diag>& out) {
   if (matches_any_prefix(f.path, cfg.determinism.allow_paths)) {
@@ -248,6 +270,21 @@ Config load_config(const TomlDoc& doc) {
     cfg.os_headers.banned = get_array(*t, "banned");
     cfg.os_headers.allow_paths = get_array(*t, "allow_paths");
   }
+  const auto excl_it = doc.find("os_exclusive");
+  if (excl_it != doc.end()) {
+    for (const TomlTable& t : excl_it->second) {
+      OsExclusiveCfg rule;
+      const auto header = t.find("header");
+      if (header == t.end() ||
+          header->second.kind != TomlValue::Kind::string) {
+        throw std::runtime_error(
+            "rules: [[os_exclusive]] needs a string `header`");
+      }
+      rule.header = header->second.str;
+      rule.allow = get_array(t, "allow");
+      cfg.os_exclusive.push_back(std::move(rule));
+    }
+  }
   if (const TomlTable* t = get_table(doc, "determinism")) {
     cfg.determinism.tokens = get_array(*t, "banned_tokens");
     cfg.determinism.calls = get_array(*t, "banned_calls");
@@ -281,6 +318,7 @@ std::vector<Diag> check_file(const ScannedFile& f, const Config& cfg) {
   std::vector<Diag> out;
   check_layering(f, cfg, out);
   check_os_headers(f, cfg, out);
+  check_os_exclusive(f, cfg, out);
   check_determinism(f, cfg, out);
   check_allocation(f, cfg, out);
   check_threshold(f, cfg, out);

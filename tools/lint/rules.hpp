@@ -9,6 +9,9 @@
 //                 adversary} -> runtime/net; protocol cores stay sans-io.
 //   os-header   — OS/network/threading headers are banned outside the
 //                 transport and runtime layers.
+//   os-exclusive — headers one TU owns outright: <sys/epoll.h> belongs to
+//                 the reactor implementation alone; everything else
+//                 programs against the Reactor interface.
 //   determinism — std::random_device, rand(), time(), system_clock and
 //                 std::<random> engines are banned outside common/rng;
 //                 every run must be a pure function of its seed.
@@ -51,6 +54,13 @@ struct OsHeaderCfg {
   std::vector<std::string> allow_paths;  ///< File/dir prefixes exempted.
 };
 
+/// One header that exactly one implementation site may include; stricter
+/// than os-header (an os_headers allow path does not help here).
+struct OsExclusiveCfg {
+  std::string header;              ///< Exact name, e.g. "sys/epoll.h".
+  std::vector<std::string> allow;  ///< File/dir prefixes that own it.
+};
+
 struct DeterminismCfg {
   std::vector<std::string> tokens;       ///< Banned bare identifiers.
   std::vector<std::string> calls;        ///< Banned only when called: `x(`.
@@ -81,6 +91,7 @@ struct Config {
   RunCfg run;
   std::vector<LayerCfg> layers;
   OsHeaderCfg os_headers;
+  std::vector<OsExclusiveCfg> os_exclusive;
   DeterminismCfg determinism;
   AllocationCfg allocation;
   ThresholdCfg threshold;
