@@ -25,20 +25,30 @@
 //                                   --runs > 1)
 //   --json FILE                     rcp-bench-v1 report (same schema as the
 //                                   bench_e* harnesses; see docs/PERF.md)
+//   --list-scenarios                enumerate the built-in digest-pinned
+//                                   scenarios and the golden files under
+//                                   --data-dir (default: the checked-in
+//                                   tests/data), then exit
+//   --data-dir DIR                  where --list-scenarios looks for
+//                                   *.plan / *.schedule goldens
 //
 // The RCP_BENCH_RUNS environment variable overrides the trial count like
 // it does for the bench harnesses (the perf-smoke ctest label sets it
 // to 2), except when --record/--replay pin a single execution.
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "adversary/crash_plan.hpp"
 #include "adversary/scenario.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "fuzz/plan.hpp"
 #include "runtime/progress.hpp"
 #include "runtime/scenario_series.hpp"
 #include "runtime/thread_control.hpp"
@@ -63,6 +73,8 @@ struct Options {
   std::uint32_t threads = 0;  // 0: runtime::default_threads()
   bool progress = false;
   std::string json_path;
+  bool list_scenarios = false;
+  std::string data_dir = RCP_GOLDEN_DATA_DIR;
 };
 
 int usage(const char* argv0) {
@@ -71,7 +83,8 @@ int usage(const char* argv0) {
                "       [--adversary none|silent|equivocator|balancer|babbler]\n"
                "       [--crashes C] [--seed S] [--max-steps X]\n"
                "       [--record FILE | --replay FILE]\n"
-               "       [--runs R] [--threads N] [--progress] [--json FILE]\n";
+               "       [--runs R] [--threads N] [--progress] [--json FILE]\n"
+               "       [--list-scenarios] [--data-dir DIR]\n";
   return 2;
 }
 
@@ -152,6 +165,12 @@ std::optional<Options> parse(int argc, char** argv) {
       opt.threads = static_cast<std::uint32_t>(std::stoul(v));
     } else if (flag == "--progress") {
       opt.progress = true;
+    } else if (flag == "--list-scenarios") {
+      opt.list_scenarios = true;
+    } else if (flag == "--data-dir") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.data_dir = v;
     } else if (flag == "--json") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
@@ -212,6 +231,90 @@ int run_series_mode(const Options& opt, const adversary::Scenario& s,
   return r.agreed == r.runs ? 0 : 1;
 }
 
+/// --list-scenarios: the built-in digest-pinned registry plus every
+/// golden file under the data directory, with enough shape information
+/// to pick one for --replay / rcp-fuzz --replay.
+int list_scenarios(const std::string& data_dir) {
+  namespace fs = std::filesystem;
+
+  std::cout << "built-in scenarios (digest-pinned; see "
+               "tests/sim/trace_digest_test.cpp):\n";
+  Table builtins({"name", "protocol", "n", "k", "summary"});
+  for (const adversary::NamedScenario& named :
+       adversary::builtin_scenarios()) {
+    builtins.row()
+        .cell(named.name)
+        .cell(to_string(named.scenario.protocol))
+        .cell(std::to_string(named.scenario.params.n))
+        .cell(std::to_string(named.scenario.params.k))
+        .cell(named.summary);
+  }
+  builtins.print(std::cout);
+
+  std::vector<fs::path> plans;
+  std::vector<fs::path> schedules;
+  if (fs::is_directory(data_dir)) {
+    for (const auto& entry : fs::directory_iterator(data_dir)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      if (entry.path().extension() == ".plan") {
+        plans.push_back(entry.path());
+      } else if (entry.path().extension() == ".schedule") {
+        schedules.push_back(entry.path());
+      }
+    }
+  } else {
+    std::cerr << "warning: data dir not found: " << data_dir << "\n";
+  }
+  std::sort(plans.begin(), plans.end());
+  std::sort(schedules.begin(), schedules.end());
+
+  std::cout << "\ngolden plans in " << data_dir
+            << " (replay: rcp-fuzz --replay FILE, live: --nemesis FILE):\n";
+  Table table({"file", "protocol", "n", "k", "byz", "tape", "expect"});
+  for (const fs::path& path : plans) {
+    std::ifstream in(path);
+    try {
+      fuzz::SchedulePlan plan = fuzz::SchedulePlan::parse(in);
+      plan.validate();
+      table.row()
+          .cell(path.filename().string())
+          .cell(fuzz::protocol_token(plan.spec.protocol))
+          .cell(std::to_string(plan.spec.params.n))
+          .cell(std::to_string(plan.spec.params.k))
+          .cell(std::to_string(plan.spec.byzantine_ids.size()))
+          .cell(std::to_string(plan.tape.size()))
+          .cell(plan.expect.present
+                    ? std::string(fuzz::status_token(plan.expect.status)) +
+                          "@" + std::to_string(plan.expect.steps)
+                    : "-");
+    } catch (const std::exception& e) {
+      std::cerr << path.filename().string() << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nrecorded schedules in " << data_dir
+            << " (replay: --replay FILE):\n";
+  Table sched({"file", "steps"});
+  for (const fs::path& path : schedules) {
+    std::ifstream in(path);
+    try {
+      const sim::Schedule schedule = sim::Schedule::load(in);
+      sched.row()
+          .cell(path.filename().string())
+          .cell(std::to_string(schedule.size()));
+    } catch (const std::exception& e) {
+      std::cerr << path.filename().string() << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+  sched.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -220,6 +323,9 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
   Options opt = *parsed;
+  if (opt.list_scenarios) {
+    return list_scenarios(opt.data_dir);
+  }
   if (opt.record_path.empty() && opt.replay_path.empty()) {
     // RCP_BENCH_RUNS overrides the trial count (perf-smoke sets it to 2);
     // record/replay pin a single execution and are left alone.

@@ -127,6 +127,57 @@ void BabblerByzantine::attack_phase(sim::Context& ctx, Phase t) {
   ctx.send(static_cast<ProcessId>(rng.below(n)), std::move(junk));
 }
 
+// ---- Scripted ----------------------------------------------------------
+
+const ScriptedMove* ScriptedByzantine::move_for(Phase t) const noexcept {
+  if (moves_.empty()) {
+    return nullptr;
+  }
+  return &moves_[static_cast<std::size_t>(t % moves_.size())];
+}
+
+bool ScriptedByzantine::below_split(const ScriptedMove& move,
+                                    ProcessId q) const noexcept {
+  // Fraction-of-id-space comparison; split256 = 128 reproduces the
+  // equivocator's "first half" split at every n.
+  return static_cast<std::uint64_t>(q) * 256 <
+         static_cast<std::uint64_t>(move.split256) * params().n;
+}
+
+void ScriptedByzantine::attack_phase(sim::Context& ctx, Phase t) {
+  const ScriptedMove* move = move_for(t);
+  if (move == nullptr) {
+    return;  // empty script: silent
+  }
+  const std::uint32_t n = params().n;
+  for (ProcessId q = 0; q < n; ++q) {
+    const Value v = below_split(*move, q) ? move->low_value : move->high_value;
+    ctx.send(q, EchoProtocolMsg{
+                    .is_echo = false, .from = ctx.self(), .value = v, .phase = t}
+                    .encode());
+  }
+}
+
+void ScriptedByzantine::observe(sim::Context& ctx, ProcessId /*sender*/,
+                                const EchoProtocolMsg& msg) {
+  if (msg.is_echo) {
+    return;
+  }
+  const ScriptedMove* move = move_for(msg.phase);
+  if (move == nullptr || move->echo_mode == 0) {
+    return;
+  }
+  const std::uint32_t n = params().n;
+  for (ProcessId q = 0; q < n; ++q) {
+    const Value v = move->echo_mode == 1 || below_split(*move, q)
+                        ? msg.value
+                        : other(msg.value);
+    ctx.send(q, EchoProtocolMsg{
+                    .is_echo = true, .from = msg.from, .value = v, .phase = msg.phase}
+                    .encode());
+  }
+}
+
 // ---- SplitVoice (majority variant attack) ------------------------------
 
 void SplitVoiceByzantine::on_start(sim::Context& ctx) {

@@ -18,6 +18,11 @@
 //  - SplitVoiceByzantine  : the Theorem 3 equivocation against the
 //                           echo-less majority variant, used by the
 //                           lower-bound experiment E7.
+//  - ScriptedByzantine    : a parameterized strategy driven by a move table
+//                           (per-phase value split + echo behaviour) — the
+//                           search space the schedule fuzzer (src/fuzz)
+//                           mutates over; every hand-written design above
+//                           is one point of this space.
 //
 // All strategies track the protocol's phase frontier from the traffic they
 // observe and mount their attack once per phase.
@@ -25,6 +30,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/process.hpp"
 #include "common/types.hpp"
@@ -111,6 +117,46 @@ class BabblerByzantine final : public ByzantineBase {
 
  protected:
   void attack_phase(sim::Context& ctx, Phase t) override;
+};
+
+/// One phase of a ScriptedByzantine's behaviour. The split point is encoded
+/// as a fraction of the id space (split256/256), so the same move table is
+/// meaningful at any n — which is what lets the fuzzer mutate moves and n
+/// independently.
+struct ScriptedMove {
+  /// Initial value sent to ids below the split point.
+  Value low_value = Value::zero;
+  /// Initial value sent to ids at or above the split point.
+  Value high_value = Value::one;
+  /// Split point numerator: ids q with q * 256 < split256 * n get low_value.
+  std::uint8_t split256 = 128;
+  /// 0 = echo nothing, 1 = echo honestly, 2 = echo two-facedly (true value
+  /// below the split, opposite above).
+  std::uint8_t echo_mode = 1;
+};
+
+/// Plays a move table against Figure 2: phase t executes move t (the table
+/// cycles once exhausted; an empty table degenerates to SilentByzantine).
+/// Every field of every move is fuzzer-mutable, making this the bridge from
+/// SchedulePlan bytes to Byzantine behaviour.
+class ScriptedByzantine final : public ByzantineBase {
+ public:
+  ScriptedByzantine(core::ConsensusParams params,
+                    std::vector<ScriptedMove> moves) noexcept
+      : ByzantineBase(params), moves_(std::move(moves)) {}
+
+ protected:
+  void attack_phase(sim::Context& ctx, Phase t) override;
+  void observe(sim::Context& ctx, ProcessId sender,
+               const core::EchoProtocolMsg& msg) override;
+
+ private:
+  [[nodiscard]] const ScriptedMove* move_for(Phase t) const noexcept;
+  /// True iff `q` falls below the move's split point.
+  [[nodiscard]] bool below_split(const ScriptedMove& move,
+                                 ProcessId q) const noexcept;
+
+  std::vector<ScriptedMove> moves_;
 };
 
 /// Equivocation against the echo-less majority variant: majority-message

@@ -32,12 +32,15 @@ const char* to_string(ByzantineKind kind) noexcept {
       return "balancer";
     case ByzantineKind::babbler:
       return "babbler";
+    case ByzantineKind::scripted:
+      return "scripted";
   }
   return "?";
 }
 
-std::unique_ptr<sim::Process> make_byzantine(ByzantineKind kind,
-                                             core::ConsensusParams params) {
+std::unique_ptr<sim::Process> make_byzantine(
+    ByzantineKind kind, core::ConsensusParams params,
+    const std::vector<ScriptedMove>& moves) {
   switch (kind) {
     case ByzantineKind::silent:
       return std::make_unique<SilentByzantine>();
@@ -47,6 +50,8 @@ std::unique_ptr<sim::Process> make_byzantine(ByzantineKind kind,
       return std::make_unique<BalancerByzantine>(params);
     case ByzantineKind::babbler:
       return std::make_unique<BabblerByzantine>(params);
+    case ByzantineKind::scripted:
+      return std::make_unique<ScriptedByzantine>(params, moves);
   }
   RCP_INVARIANT(false, "unknown byzantine kind");
 }
@@ -91,7 +96,8 @@ std::unique_ptr<sim::Simulation> build(
   procs.reserve(n);
   for (ProcessId p = 0; p < n; ++p) {
     if (is_byz[p]) {
-      procs.push_back(make_byzantine(scenario.byzantine_kind, scenario.params));
+      procs.push_back(make_byzantine(scenario.byzantine_kind, scenario.params,
+                                     scenario.scripted_moves));
     } else {
       procs.push_back(make_protocol(scenario, scenario.inputs[p]));
     }
@@ -131,6 +137,78 @@ std::vector<Value> random_inputs(std::uint32_t n, Rng& rng) {
     v = rng.bernoulli(0.5) ? Value::one : Value::zero;
   }
   return inputs;
+}
+
+namespace {
+
+// The exact scenarios whose digests tests/sim/trace_digest_test.cpp pins.
+// Changing any field here changes a golden digest — that is the point: the
+// registry and the goldens must move together.
+std::vector<NamedScenario> make_builtins() {
+  std::vector<NamedScenario> out;
+
+  {
+    Scenario s;
+    s.protocol = ProtocolKind::fail_stop;
+    s.params = {5, 1};
+    s.inputs = alternating_inputs(5);
+    s.crashes = CrashPlan::staggered(1);
+    s.seed = 42;
+    s.max_steps = 200000;
+    out.push_back({"failstop_n5",
+                   "Fig 1, n=5 k=1, alternating inputs, staggered crash", s});
+  }
+  {
+    Scenario s;
+    s.protocol = ProtocolKind::malicious;
+    s.params = {7, 2};
+    s.inputs = alternating_inputs(7);
+    s.byzantine_ids = {6};
+    s.byzantine_kind = ByzantineKind::equivocator;
+    s.seed = 2026;
+    s.max_steps = 500000;
+    out.push_back({"malicious_n7_equivocator",
+                   "Fig 2, n=7 k=2, one equivocator", s});
+  }
+  {
+    Scenario s;
+    s.protocol = ProtocolKind::majority;
+    s.params = {9, 2};
+    s.inputs = inputs_with_ones(9, 5);
+    s.seed = 7;
+    s.max_steps = 500000;
+    out.push_back({"majority_n9", "S4.1 variant, n=9 k=2, 5 ones", s});
+  }
+  {
+    Scenario s;
+    s.protocol = ProtocolKind::malicious;
+    s.params = {10, 3};
+    s.inputs = alternating_inputs(10);
+    s.byzantine_ids = {0, 4, 8};
+    s.byzantine_kind = ByzantineKind::babbler;
+    s.seed = 777;
+    s.max_steps = 2000000;
+    out.push_back({"babbler_n10", "Fig 2, n=10 k=3, three babblers", s});
+  }
+  {
+    Scenario s;
+    s.protocol = ProtocolKind::malicious;
+    s.params = {10, 2};
+    s.inputs = alternating_inputs(10);
+    s.byzantine_ids = {0, 5};
+    s.byzantine_kind = ByzantineKind::balancer;
+    s.seed = 31337;
+    s.max_steps = 4000000;
+    out.push_back({"balancer_n10", "Fig 2, n=10 k=2, two balancers", s});
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<NamedScenario>& builtin_scenarios() {
+  static const std::vector<NamedScenario> kBuiltins = make_builtins();
+  return kBuiltins;
 }
 
 }  // namespace rcp::adversary

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "adversary/byzantine.hpp"
 #include "adversary/crash_plan.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -28,13 +29,16 @@ enum class ByzantineKind : std::uint8_t {
   equivocator,
   balancer,
   babbler,
+  scripted,  ///< move-table-driven (the fuzzer's search space)
 };
 
 [[nodiscard]] const char* to_string(ByzantineKind kind) noexcept;
 
-/// Constructs one Byzantine process of the given strategy.
+/// Constructs one Byzantine process of the given strategy. For `scripted`,
+/// `moves` supplies the move table (empty = silent).
 [[nodiscard]] std::unique_ptr<sim::Process> make_byzantine(
-    ByzantineKind kind, core::ConsensusParams params);
+    ByzantineKind kind, core::ConsensusParams params,
+    const std::vector<ScriptedMove>& moves = {});
 
 struct Scenario {
   ProtocolKind protocol = ProtocolKind::malicious;
@@ -45,6 +49,8 @@ struct Scenario {
   /// Which slots run a Byzantine strategy instead of the protocol.
   std::vector<ProcessId> byzantine_ids;
   ByzantineKind byzantine_kind = ByzantineKind::silent;
+  /// Move table for ByzantineKind::scripted (ignored otherwise).
+  std::vector<ScriptedMove> scripted_moves;
   /// Crash schedule (fail-stop faults); victims stay protocol processes.
   CrashPlan crashes;
   std::uint64_t seed = 1;
@@ -72,5 +78,21 @@ struct Scenario {
 
 /// Uniform random inputs.
 [[nodiscard]] std::vector<Value> random_inputs(std::uint32_t n, Rng& rng);
+
+// ---- Built-in scenario registry ----------------------------------------
+
+/// A named, fully specified scenario. The registry below is the single
+/// source of truth for the repo's golden scenarios: the trace-digest suite
+/// pins their digests, and `scenario_runner --list-scenarios` enumerates
+/// them next to the fuzzer-emitted plans under tests/data/.
+struct NamedScenario {
+  const char* name;     ///< stable identifier, e.g. "malicious_n7_equivocator"
+  const char* summary;  ///< one-line description for listings
+  Scenario scenario;
+};
+
+/// The hand-curated golden scenarios (digest-pinned; see
+/// tests/sim/trace_digest_test.cpp). Order is stable.
+[[nodiscard]] const std::vector<NamedScenario>& builtin_scenarios();
 
 }  // namespace rcp::adversary

@@ -92,6 +92,13 @@ class EchoEngine {
     return echo_window_.popcount_all() + echo_overflow_.size();
   }
 
+  /// Entries currently spilled past the flat dedup window (exact overflow
+  /// ledger); nonzero only when peers run more than kPhaseWindow phases
+  /// ahead — a coverage signal the schedule fuzzer watches for.
+  [[nodiscard]] std::size_t echo_overflow_size() const noexcept {
+    return echo_overflow_.size();
+  }
+
   /// Bytes retained across all internal tables (flat-memory observability;
   /// counts capacity, so it reflects the steady-state high-water mark).
   [[nodiscard]] std::size_t memory_bytes() const noexcept;

@@ -1,0 +1,44 @@
+// The corpus: every plan that contributed a new coverage key, in the
+// deterministic order it was admitted (batch fold order — see fuzzer.cpp).
+// The corpus digest chains each entry's content hash in admission order, so
+// two runs with identical corpora (same plans, same order) produce the same
+// digest — the bit-reproducibility witness the CLI prints and CI diffs
+// across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/digest.hpp"
+#include "fuzz/executor.hpp"
+#include "fuzz/plan.hpp"
+
+namespace rcp::fuzz {
+
+struct CorpusEntry {
+  SchedulePlan plan;
+  ExecResult result;
+};
+
+class Corpus {
+ public:
+  void add(CorpusEntry entry) {
+    digest_.mix(entry.plan.content_hash());
+    entries_.push_back(std::move(entry));
+  }
+
+  [[nodiscard]] const std::vector<CorpusEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] const CorpusEntry& entry(std::size_t i) const {
+    return entries_[i];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_.h; }
+
+ private:
+  std::vector<CorpusEntry> entries_;
+  Digest digest_;
+};
+
+}  // namespace rcp::fuzz

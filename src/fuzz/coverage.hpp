@@ -1,0 +1,41 @@
+// Coverage accounting: the set of distinct feature keys seen so far.
+//
+// A key is the bucketized feature hash execute() computes; a plan earns a
+// corpus slot iff its key is new. The digest is order-independent (keys are
+// wrap-added after remixing), so it is identical at any thread count as
+// long as the same *set* of keys was reached — which batch-synchronous
+// fuzzing guarantees.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace rcp::fuzz {
+
+class CoverageMap {
+ public:
+  /// Records the key; true iff it was not yet present.
+  bool add(std::uint64_t key) {
+    if (!keys_.insert(key).second) {
+      return false;
+    }
+    // Remix before the commutative add so near-identical keys don't cancel.
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    digest_ += z ^ (z >> 31);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const {
+    return keys_.contains(key);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+
+ private:
+  std::unordered_set<std::uint64_t> keys_;
+  std::uint64_t digest_ = 0;
+};
+
+}  // namespace rcp::fuzz

@@ -1,0 +1,85 @@
+// Execution digests shared by the fuzzer, the golden replay tests and the
+// plan files themselves.
+//
+// The algorithm is the FNV-1a mixing the trace-digest suite has pinned
+// since PR 2 (tests/sim/trace_digest_test.cpp): an event digest over every
+// trace record and a state digest over the final simulation state. A plan
+// that embeds its expected digests is therefore a *golden scenario*: any
+// simulator change that shifts one RNG draw, one delivery choice or one
+// message byte fails its replay.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "sim/simulation.hpp"
+#include "sim/trace.hpp"
+
+namespace rcp::fuzz {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Incremental FNV-1a over 64-bit words (byte by byte, little-endian).
+struct Digest {
+  std::uint64_t h = kFnvOffset;
+
+  void mix(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= kFnvPrime;
+    }
+  }
+};
+
+/// FNV-1a over a byte string (used for plan content hashes).
+[[nodiscard]] inline std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// TraceSink mixing every event into one digest — identical field order to
+/// the trace-digest golden suite.
+class DigestTrace final : public sim::TraceSink {
+ public:
+  void record(const sim::Event& e) override {
+    d_.mix(static_cast<std::uint64_t>(e.kind));
+    d_.mix(e.step);
+    d_.mix(e.process);
+    d_.mix(e.peer);
+    d_.mix(e.payload_size);
+    d_.mix(e.decision.has_value() ? static_cast<std::uint64_t>(*e.decision)
+                                  : 2);
+  }
+
+  [[nodiscard]] std::uint64_t hash() const noexcept { return d_.h; }
+
+ private:
+  Digest d_;
+};
+
+/// Final-state digest: decisions, liveness, faultiness, mailbox depths and
+/// the metrics counters.
+[[nodiscard]] inline std::uint64_t state_digest(const sim::Simulation& s) {
+  Digest d;
+  for (ProcessId p = 0; p < s.n(); ++p) {
+    const auto dec = s.decision_of(p);
+    d.mix(dec.has_value() ? static_cast<std::uint64_t>(*dec) : 2);
+    d.mix(s.alive(p) ? 1 : 0);
+    d.mix(s.is_faulty(p) ? 1 : 0);
+    d.mix(s.mailbox_size(p));
+  }
+  d.mix(s.metrics().steps);
+  d.mix(s.metrics().messages_sent);
+  d.mix(s.metrics().messages_delivered);
+  d.mix(s.metrics().phi_steps);
+  d.mix(s.metrics().max_phase);
+  return d.h;
+}
+
+}  // namespace rcp::fuzz

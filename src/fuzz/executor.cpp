@@ -1,0 +1,184 @@
+#include "fuzz/executor.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "core/failstop.hpp"
+#include "core/malicious.hpp"
+#include "fuzz/digest.hpp"
+
+namespace rcp::fuzz {
+
+namespace {
+
+std::uint64_t log2_bucket(std::uint64_t v) noexcept {
+  std::uint64_t b = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+/// One probe pass over every correct process's protocol internals.
+struct ProbeState {
+  bool quorum_boundary = false;
+  bool near_boundary = false;
+  bool near_disagreement = false;
+  bool dedup_overflow = false;
+  std::uint64_t max_deferred = 0;
+
+  void probe(sim::Simulation& s, const core::ConsensusParams& params) {
+    // Near-disagreement needs a cross-process view: the decided values of
+    // correct processes, and per undecided correct process the values it
+    // has boundary-level support for.
+    std::array<bool, 2> decided{false, false};
+    std::array<bool, 2> near_decide{false, false};
+    const std::uint32_t thr = params.echo_acceptance_threshold();
+    for (ProcessId p = 0; p < s.n(); ++p) {
+      if (s.is_faulty(p) || !s.alive(p)) {
+        continue;
+      }
+      if (const auto d = s.decision_of(p)) {
+        decided[value_index(*d)] = true;
+      }
+      auto& proc = s.process(p);
+      if (const auto* mal = dynamic_cast<core::MaliciousConsensus*>(&proc)) {
+        const core::EchoEngine& eng = mal->engine();
+        for (ProcessId origin = 0; origin < s.n(); ++origin) {
+          for (const Value v : kBothValues) {
+            const std::uint32_t c = eng.echo_count(origin, v);
+            if (c == thr) {
+              quorum_boundary = true;
+            } else if (c + 1 == thr) {
+              near_boundary = true;
+            }
+          }
+        }
+        if (!mal->decision().has_value()) {
+          for (const Value v : kBothValues) {
+            // Decision fires at the same strictly-greater-than-(n+k)/2
+            // threshold as acceptance; one accepted message short of it is
+            // the dangerous state.
+            if (mal->accepted_counts()[v] + 1 == thr) {
+              near_decide[value_index(v)] = true;
+            }
+          }
+        }
+        if (eng.echo_overflow_size() > 0) {
+          dedup_overflow = true;
+        }
+        max_deferred = std::max<std::uint64_t>(max_deferred,
+                                               eng.deferred_count());
+      } else if (const auto* fs =
+                     dynamic_cast<core::FailStopConsensus*>(&proc)) {
+        for (const Value v : kBothValues) {
+          const std::uint32_t w = fs->witness_counts()[v];
+          // Fig 1 decides on witness_count > k: k is the boundary, k+1 the
+          // crossing.
+          if (w == params.k + 1) {
+            quorum_boundary = true;
+          } else if (w == params.k && params.k > 0) {
+            near_boundary = true;
+          }
+          if (!fs->decision().has_value() && w == params.k) {
+            near_decide[value_index(v)] = true;
+          }
+        }
+      }
+    }
+    for (const Value v : kBothValues) {
+      // Decided v while someone is a hair from deciding 1-v (actual
+      // disagreement — both decided — also lands here and additionally
+      // flips the agreement flag in the result).
+      const Value o = other(v);
+      if (decided[value_index(v)] &&
+          (near_decide[value_index(o)] || decided[value_index(o)])) {
+        near_disagreement = true;
+      }
+    }
+  }
+};
+
+std::uint64_t feature_hash(const SchedulePlan& plan, const ExecResult& r) {
+  Digest d;
+  // Config partition: runs of different systems never collide.
+  d.mix(static_cast<std::uint64_t>(plan.spec.protocol));
+  d.mix(plan.spec.params.n);
+  d.mix(plan.spec.params.k);
+  d.mix(static_cast<std::uint64_t>(plan.spec.byzantine_kind));
+  d.mix(plan.spec.byzantine_ids.size());
+  // Outcome features, bucketized.
+  d.mix(static_cast<std::uint64_t>(r.status));
+  d.mix(r.agreement ? 1 : 0);
+  d.mix(r.agreed_value ? static_cast<std::uint64_t>(*r.agreed_value) : 2);
+  d.mix(std::min<std::uint64_t>(r.max_phase, 15));
+  d.mix(log2_bucket(r.steps + 1));
+  d.mix(log2_bucket(r.messages_sent + 1));
+  d.mix(r.steps > 0 ? (8 * r.phi_steps) / r.steps : 0);
+  // Signal flags.
+  d.mix((r.quorum_boundary ? 1ULL : 0) | (r.near_boundary ? 2ULL : 0) |
+        (r.near_disagreement ? 4ULL : 0) | (r.dedup_overflow ? 8ULL : 0));
+  d.mix(std::min<std::uint64_t>(log2_bucket(r.max_deferred + 1), 7));
+  return d.h;
+}
+
+}  // namespace
+
+ExecResult execute(const SchedulePlan& plan) {
+  auto sim = build(plan);
+  DigestTrace trace;
+  sim->set_trace(&trace);
+  sim->start();
+
+  ProbeState probes;
+  ExecResult r;
+  std::uint64_t steps = 0;
+  sim::RunStatus status = sim::RunStatus::step_limit;
+  while (steps < plan.spec.max_steps) {
+    if (sim->all_correct_decided()) {
+      status = sim::RunStatus::all_decided;
+      break;
+    }
+    if (!sim->step()) {
+      status = sim::RunStatus::quiescent;
+      break;
+    }
+    ++steps;
+    if (steps % kProbeInterval == 0) {
+      probes.probe(*sim, plan.spec.params);
+    }
+  }
+  if (status == sim::RunStatus::step_limit && sim->all_correct_decided()) {
+    status = sim::RunStatus::all_decided;
+  }
+  probes.probe(*sim, plan.spec.params);  // final state counts too
+
+  r.status = status;
+  r.steps = sim->metrics().steps;
+  r.trace_digest = trace.hash();
+  r.state_digest = state_digest(*sim);
+  r.agreement = sim->agreement_holds();
+  r.agreed_value = sim->agreed_value();
+  r.max_phase = sim->metrics().max_phase;
+  r.messages_sent = sim->metrics().messages_sent;
+  r.phi_steps = sim->metrics().phi_steps;
+  r.quorum_boundary = probes.quorum_boundary;
+  r.near_boundary = probes.near_boundary;
+  r.near_disagreement = probes.near_disagreement;
+  r.dedup_overflow = probes.dedup_overflow;
+  r.max_deferred = probes.max_deferred;
+  r.coverage_key = feature_hash(plan, r);
+  return r;
+}
+
+bool matches_expect(const ExecResult& r, const SchedulePlan& plan) noexcept {
+  if (!plan.expect.present) {
+    return true;
+  }
+  return r.status == plan.expect.status && r.steps == plan.expect.steps &&
+         r.trace_digest == plan.expect.trace_digest &&
+         r.state_digest == plan.expect.state_digest;
+}
+
+}  // namespace rcp::fuzz

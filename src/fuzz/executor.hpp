@@ -1,0 +1,66 @@
+// Plan execution + coverage signal extraction.
+//
+// execute() runs a SchedulePlan to completion on the simulator, digesting
+// the full trace, and probes protocol-internal state at a fixed step
+// interval for the signals the corpus rewards:
+//
+//   quorum boundary  — some correct process's echo tally (Fig 2) sits at
+//                      exactly floor((n+k)/2)+1, or its Fig 1 witness count
+//                      just crossed k: the execution walked the edge the
+//                      paper's agreement proof reasons about;
+//   near boundary    — one echo/witness short of the above;
+//   near disagreement— a correct process has decided v while another
+//                      correct process is within one accepted message of
+//                      deciding 1-v (or has near-boundary support for it);
+//   dedup overflow   — the EchoEngine's flat dedup window spilled to its
+//                      exact overflow ledger (phase skew > window);
+//   phases/steps     — convergence-speed buckets.
+//
+// The probe interval is a fixed constant so the signal set is a pure
+// function of the plan; dynamic_casts make the probes protocol-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+#include "fuzz/plan.hpp"
+#include "sim/simulation.hpp"
+
+namespace rcp::fuzz {
+
+struct ExecResult {
+  sim::RunStatus status = sim::RunStatus::all_decided;
+  std::uint64_t steps = 0;
+  std::uint64_t trace_digest = 0;
+  std::uint64_t state_digest = 0;
+  bool agreement = true;
+  std::optional<Value> agreed_value;
+  Phase max_phase = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t phi_steps = 0;
+
+  // Coverage signals (see header comment).
+  bool quorum_boundary = false;
+  bool near_boundary = false;
+  bool near_disagreement = false;
+  bool dedup_overflow = false;
+  std::uint64_t max_deferred = 0;
+
+  /// Hash of the bucketized feature tuple; the corpus keeps one plan per
+  /// distinct key.
+  std::uint64_t coverage_key = 0;
+};
+
+/// Steps between protocol-state probes (fixed: part of the plan semantics).
+inline constexpr std::uint64_t kProbeInterval = 16;
+
+/// Runs the plan. The plan must be valid (see SchedulePlan::validate).
+[[nodiscard]] ExecResult execute(const SchedulePlan& plan);
+
+/// True when `r` matches the plan's embedded expectation (vacuously true
+/// when the plan embeds none).
+[[nodiscard]] bool matches_expect(const ExecResult& r,
+                                  const SchedulePlan& plan) noexcept;
+
+}  // namespace rcp::fuzz

@@ -1,0 +1,94 @@
+// The coverage-guided fuzzing loop.
+//
+// Batch-synchronous search, bit-reproducible at any thread count:
+//   - the batch size is a fixed constant independent of the worker count;
+//   - trial t's mutation randomness is Rng(runtime::trial_seed(seed, t)) —
+//     a pure function of the global trial index;
+//   - every batch's plans are generated up front against a corpus snapshot
+//     frozen at the batch boundary, executed in parallel on a TrialPool,
+//     and folded into corpus/coverage sequentially in trial-index order.
+// Two runs with the same (seed, budget) therefore admit the same plans in
+// the same order whether they ran on 1 thread or 64 — the corpus digest is
+// the witness, and CI diffs it across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "adversary/scenario.hpp"
+#include "core/params.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/coverage.hpp"
+#include "fuzz/executor.hpp"
+#include "fuzz/plan.hpp"
+
+namespace rcp::fuzz {
+
+struct FuzzConfig {
+  adversary::ProtocolKind protocol = adversary::ProtocolKind::malicious;
+  core::ConsensusParams params{7, 2};
+  std::uint64_t seed = 1;
+  /// Total executions (seed corpus + mutated children, rounded up to whole
+  /// batches).
+  std::uint64_t budget = 256;
+  /// Worker threads; 0 = hardware default. Never affects results.
+  std::uint32_t threads = 0;
+  /// Trials per batch — fixed constant, independent of `threads`.
+  std::uint32_t batch = 32;
+  /// Minimize interesting plans before emitting them as goldens.
+  bool minimize = true;
+  std::uint32_t minimize_attempts = 48;
+  /// Max golden plans to emit (most severe signals first).
+  std::uint32_t max_emit = 4;
+};
+
+struct FuzzStats {
+  std::uint64_t executions = 0;
+  std::uint64_t decided = 0;
+  std::uint64_t quiescent = 0;
+  std::uint64_t step_limit = 0;
+  std::uint64_t quorum_boundary = 0;
+  std::uint64_t near_boundary = 0;
+  std::uint64_t near_disagreement = 0;
+  std::uint64_t dedup_overflow = 0;
+  std::uint64_t agreement_violations = 0;
+};
+
+/// A minimized interesting plan, golden digests embedded, ready to write to
+/// tests/data/.
+struct EmittedPlan {
+  std::string signal;  ///< "agreement-violation" | "near-disagreement" | ...
+  SchedulePlan plan;
+  ExecResult result;
+
+  /// Canonical file name: fuzz_<protocol>_<signal>_<hash8>.plan.
+  [[nodiscard]] std::string file_name() const;
+};
+
+struct FuzzOutcome {
+  FuzzStats stats;
+  Corpus corpus;
+  CoverageMap coverage;
+  std::vector<EmittedPlan> emitted;
+};
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(FuzzConfig cfg);
+
+  /// Runs the whole search; deterministic in cfg (seed, budget, batch).
+  [[nodiscard]] FuzzOutcome run();
+
+ private:
+  FuzzConfig cfg_;
+};
+
+/// rcp-fuzz-v1 JSON. Deliberately excludes thread count and wall-clock
+/// timing so the report is byte-identical across thread counts (CI diffs
+/// it); the CLI prints timing to stderr instead.
+void write_report(std::ostream& os, const FuzzConfig& cfg,
+                  const FuzzOutcome& outcome);
+
+}  // namespace rcp::fuzz

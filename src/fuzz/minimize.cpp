@@ -1,0 +1,113 @@
+#include "fuzz/minimize.hpp"
+
+#include <utility>
+
+namespace rcp::fuzz {
+
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(SchedulePlan best, const std::function<bool(const ExecResult&)>& keep,
+           std::uint32_t max_attempts)
+      : best_(std::move(best)), keep_(keep), max_attempts_(max_attempts) {}
+
+  /// Executes the candidate; adopts it when the predicate holds.
+  bool try_adopt(SchedulePlan candidate) {
+    if (stats_.attempts >= max_attempts_) {
+      return false;
+    }
+    ++stats_.attempts;
+    const ExecResult r = execute(candidate);
+    if (!keep_(r)) {
+      return false;
+    }
+    ++stats_.accepted;
+    best_ = std::move(candidate);
+    best_result_ = r;
+    return true;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return stats_.attempts >= max_attempts_;
+  }
+
+  SchedulePlan best_;
+  ExecResult best_result_;
+  MinimizeStats stats_;
+
+ private:
+  const std::function<bool(const ExecResult&)>& keep_;
+  std::uint32_t max_attempts_;
+};
+
+}  // namespace
+
+SchedulePlan minimize(const SchedulePlan& plan,
+                      const std::function<bool(const ExecResult&)>& keep,
+                      std::uint32_t max_attempts, MinimizeStats* stats) {
+  Shrinker s(plan, keep, max_attempts);
+  s.best_result_ = execute(plan);  // caller guarantees keep() holds here
+
+  // 1. No explicit tape at all.
+  if (!s.best_.tape.empty()) {
+    SchedulePlan c = s.best_;
+    c.tape.clear();
+    s.try_adopt(std::move(c));
+  }
+
+  // 2. Shortest explicit prefix (predicate need not be monotone in the
+  // prefix length; binary search is a strong heuristic, not a proof).
+  if (!s.best_.tape.empty()) {
+    std::size_t lo = 0;
+    std::size_t hi = s.best_.tape.size();
+    while (lo < hi && !s.exhausted()) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      SchedulePlan c = s.best_;
+      c.tape.resize(mid);
+      if (s.try_adopt(std::move(c))) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+  }
+
+  // 3. Crash events, last first (index stability while erasing).
+  for (std::size_t i = s.best_.spec.crashes.size(); i-- > 0;) {
+    if (s.exhausted()) {
+      break;
+    }
+    SchedulePlan c = s.best_;
+    c.spec.crashes.erase(c.spec.crashes.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+    s.try_adopt(std::move(c));
+  }
+
+  // 4. Scripted moves, last first (an empty script stays valid: silent).
+  for (std::size_t i = s.best_.spec.moves.size(); i-- > 0;) {
+    if (s.exhausted()) {
+      break;
+    }
+    SchedulePlan c = s.best_;
+    c.spec.moves.erase(c.spec.moves.begin() + static_cast<std::ptrdiff_t>(i));
+    s.try_adopt(std::move(c));
+  }
+
+  // 5. Tight step bound: replaying the golden costs exactly what it needs.
+  {
+    const std::uint64_t used = s.best_result_.steps;
+    if (used + 64 < s.best_.spec.max_steps) {
+      SchedulePlan c = s.best_;
+      c.spec.max_steps = used + 64;
+      s.try_adopt(std::move(c));
+    }
+  }
+
+  if (stats != nullptr) {
+    *stats = s.stats_;
+  }
+  return s.best_;
+}
+
+}  // namespace rcp::fuzz

@@ -1,0 +1,34 @@
+// Plan minimization: shrink an interesting plan while a predicate over its
+// execution keeps holding (delta-debugging over the plan structure).
+//
+// Deterministic — no randomness, a fixed strategy order — so a given
+// (plan, predicate) always minimizes to the same result:
+//   1. drop the whole explicit tape (pure fallback stream often suffices),
+//   2. binary-search the shortest explicit tape prefix,
+//   3. drop crash events one at a time (last first),
+//   4. drop scripted moves one at a time,
+//   5. clamp max_steps to just past the steps the run actually used.
+// Every candidate is re-executed; the attempt budget bounds total work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fuzz/executor.hpp"
+#include "fuzz/plan.hpp"
+
+namespace rcp::fuzz {
+
+struct MinimizeStats {
+  std::uint32_t attempts = 0;  ///< executions spent
+  std::uint32_t accepted = 0;  ///< shrinking steps that kept the predicate
+};
+
+/// Returns the smallest plan found whose execution still satisfies `keep`.
+/// Precondition: keep(execute(plan)) is true.
+[[nodiscard]] SchedulePlan minimize(
+    const SchedulePlan& plan,
+    const std::function<bool(const ExecResult&)>& keep,
+    std::uint32_t max_attempts = 64, MinimizeStats* stats = nullptr);
+
+}  // namespace rcp::fuzz

@@ -1,0 +1,29 @@
+// Plan mutation and corpus seeding.
+//
+// All mutation randomness comes from the caller-supplied Rng (one per
+// trial, derived via runtime::trial_seed), so the generated plan is a pure
+// function of (parent, trial seed). Mutations keep plans inside
+// SchedulePlan::validate()'s envelope by construction — clamped n/k, sorted
+// byzantine casts within the resilience bound, capped tapes.
+#pragma once
+
+#include <vector>
+
+#include "adversary/scenario.hpp"
+#include "common/rng.hpp"
+#include "core/params.hpp"
+#include "fuzz/plan.hpp"
+
+namespace rcp::fuzz {
+
+/// The initial population for a (protocol, n, k) configuration: a no-fault
+/// baseline, each zoo strategy at full cast, a scripted strategy, and a
+/// crashy variant. Deterministic in `base_seed`.
+[[nodiscard]] std::vector<SchedulePlan> seed_corpus(
+    adversary::ProtocolKind protocol, core::ConsensusParams params,
+    std::uint64_t base_seed);
+
+/// One mutated child of `parent`. Always returns a valid plan.
+[[nodiscard]] SchedulePlan mutate(const SchedulePlan& parent, Rng& rng);
+
+}  // namespace rcp::fuzz

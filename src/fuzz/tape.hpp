@@ -1,0 +1,119 @@
+// The decision tape: how a SchedulePlan drives the simulator.
+//
+// Every nondeterministic choice the simulation makes — which process steps,
+// which buffered message it receives (or phi) — is resolved by consuming
+// one 32-bit value from a shared tape cursor, in a fixed order (scheduler
+// draw first, then delivery draw). When the explicit tape runs out, the
+// cursor switches to a SplitMix64 stream rooted at the plan's tape seed, so
+// *every* plan defines a total schedule: mutations can truncate, extend or
+// rewrite the tape freely and the run stays well-defined, and minimization
+// can binary-search the shortest explicit prefix that still triggers the
+// behaviour of interest.
+//
+// Decoding (stable; plan files depend on it):
+//   scheduler: actor = eligible[v % |eligible|]
+//   delivery:  phi      if phi_weight > 0 and (v & 0xff) < phi_weight
+//              index    = (v >> 8) % |mailbox| otherwise
+// phi models the paper's arbitrarily long transmission delay, i.e. the
+// drop/delay decisions of the schedule; runs stay bounded by max_steps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/delivery.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rcp::fuzz {
+
+/// Consumes the explicit tape, then an endless SplitMix64 fallback stream.
+class TapeCursor {
+ public:
+  TapeCursor(std::vector<std::uint32_t> tape,
+             std::uint64_t fallback_seed) noexcept
+      : tape_(std::move(tape)), state_(fallback_seed) {}
+
+  [[nodiscard]] std::uint32_t next() noexcept {
+    if (pos_ < tape_.size()) {
+      return tape_[pos_++];
+    }
+    ++fallback_draws_;
+    return static_cast<std::uint32_t>(splitmix64(state_));
+  }
+
+  /// Values served from the explicit tape so far.
+  [[nodiscard]] std::size_t consumed() const noexcept { return pos_; }
+  /// Values served from the fallback stream so far.
+  [[nodiscard]] std::uint64_t fallback_draws() const noexcept {
+    return fallback_draws_;
+  }
+
+ private:
+  std::vector<std::uint32_t> tape_;
+  std::size_t pos_ = 0;
+  std::uint64_t state_;
+  std::uint64_t fallback_draws_ = 0;
+};
+
+/// Scheduler half of the tape: one cursor value per step.
+class TapeScheduler final : public sim::SchedulerPolicy {
+ public:
+  explicit TapeScheduler(std::shared_ptr<TapeCursor> cursor) noexcept
+      : cursor_(std::move(cursor)) {}
+
+  [[nodiscard]] ProcessId pick(std::span<const ProcessId> eligible,
+                               Rng& /*rng*/) override {
+    const std::uint32_t v = cursor_->next();
+    return eligible[v % eligible.size()];
+  }
+
+ private:
+  std::shared_ptr<TapeCursor> cursor_;
+};
+
+/// Delivery half of the tape: one cursor value per delivery decision.
+class TapeDelivery final : public sim::DeliveryPolicy {
+ public:
+  TapeDelivery(std::shared_ptr<TapeCursor> cursor,
+               std::uint32_t phi_weight) noexcept
+      : cursor_(std::move(cursor)), phi_weight_(phi_weight) {}
+
+  [[nodiscard]] std::optional<std::size_t> pick(ProcessId /*receiver*/,
+                                                const sim::Mailbox& mailbox,
+                                                std::uint64_t /*now_step*/,
+                                                Rng& /*rng*/) override {
+    const std::uint32_t v = cursor_->next();
+    if (phi_weight_ > 0 && (v & 0xffU) < phi_weight_) {
+      return std::nullopt;
+    }
+    return static_cast<std::size_t>((v >> 8) % mailbox.size());
+  }
+
+ private:
+  std::shared_ptr<TapeCursor> cursor_;
+  std::uint32_t phi_weight_;
+};
+
+/// Both policy halves over one shared cursor.
+struct TapePolicies {
+  std::shared_ptr<TapeCursor> cursor;
+  std::unique_ptr<sim::DeliveryPolicy> delivery;
+  std::unique_ptr<sim::SchedulerPolicy> scheduler;
+};
+
+[[nodiscard]] inline TapePolicies make_tape_policies(
+    std::vector<std::uint32_t> tape, std::uint64_t fallback_seed,
+    std::uint32_t phi_weight) {
+  auto cursor = std::make_shared<TapeCursor>(std::move(tape), fallback_seed);
+  TapePolicies out;
+  out.delivery = std::make_unique<TapeDelivery>(cursor, phi_weight);
+  out.scheduler = std::make_unique<TapeScheduler>(cursor);
+  out.cursor = std::move(cursor);
+  return out;
+}
+
+}  // namespace rcp::fuzz

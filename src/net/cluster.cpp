@@ -163,6 +163,7 @@ ClusterResult Cluster::run() {
       result.total_bytes_out += pc.bytes_out;
       result.total_reconnects += pc.reconnects;
       result.total_retransmits += pc.retransmits;
+      result.total_spurious_retransmits += pc.spurious_retransmits;
     }
 
     if (correct_[id]) {

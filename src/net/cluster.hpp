@@ -84,6 +84,7 @@ struct ClusterResult {
   std::uint64_t total_bytes_out = 0;
   std::uint64_t total_reconnects = 0;
   std::uint64_t total_retransmits = 0;
+  std::uint64_t total_spurious_retransmits = 0;
   std::vector<NodeOutcome> nodes;
 
   /// Decision + agreement both hold and no node loop errored.

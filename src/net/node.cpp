@@ -85,6 +85,9 @@ Node::Node(NodeConfig cfg, std::unique_ptr<sim::Process> process)
     // Dial direction: higher id dials lower, so every pair has exactly
     // one connection and dial races are impossible.
     links_[p].init(p, cfg_.peers[p], /*dialer=*/p < cfg_.id);
+    links_[p].configure_rto(cfg_.limits.adaptive_rto,
+                            cfg_.limits.retransmit_timeout_ms,
+                            cfg_.limits.rto_min_ms, cfg_.limits.rto_max_ms);
   }
   stats_.peers.resize(cfg_.n);
 
@@ -523,8 +526,11 @@ void Node::establish_link(PeerLink& link) {
   link.backoff_ms = 0;
   link.stale_acks = 0;
   // Retransmit everything unacked: bytes in flight on the old connection
-  // may be lost; the receiver's dedupe discards what did arrive.
+  // may be lost; the receiver's dedupe discards what did arrive. The
+  // mirror image holds inbound: the peer rewinds too, so duplicates of
+  // already-delivered seqs are expected, not spurious retransmits.
   link.rewind_unsent();
+  link.expect_rewind_dups();
   if (link.delivered_seq() > 0) {
     // Tell the peer where our inbound stream stands so it can release
     // acked frames immediately after the reconnect.
@@ -656,9 +662,8 @@ void Node::process_link_input(PeerLink& link) {
               // Ack progress restarts (or disarms) the retransmit clock.
               link.stale_acks = 0;
               link.retransmit_deadline =
-                  link.in_flight()
-                      ? now + milliseconds(cfg_.limits.retransmit_timeout_ms)
-                      : Clock::time_point{};
+                  link.in_flight() ? now + milliseconds(link.rto_ms())
+                                   : Clock::time_point{};
             } else if (link.in_flight() && ++link.stale_acks >= 2) {
               // Fast retransmit: the peer acks every arrival, so repeated
               // acks with no progress mean it is discarding ahead-of-stream
@@ -666,8 +671,7 @@ void Node::process_link_input(PeerLink& link) {
               // the full retransmit timeout.
               link.stale_acks = 0;
               link.rewind_unsent();
-              link.retransmit_deadline =
-                  now + milliseconds(cfg_.limits.retransmit_timeout_ms);
+              link.retransmit_deadline = now + milliseconds(link.rto_ms());
             }
             break;
           }
@@ -802,10 +806,11 @@ void Node::check_timers(Clock::time_point now) {
         !is_unarmed(link.retransmit_deadline) &&
         link.retransmit_deadline <= now) {
       // No ack progress: assume loss (injected or real) and go back to
-      // the first unacked frame.
+      // the first unacked frame. The RTO doubles each time this fires so
+      // an unlucky estimate cannot melt the link into a rewind storm.
       link.rewind_unsent();
-      link.retransmit_deadline =
-          now + milliseconds(cfg_.limits.retransmit_timeout_ms);
+      link.backoff_rto();
+      link.retransmit_deadline = now + milliseconds(link.rto_ms());
     }
   }
 }
@@ -821,8 +826,7 @@ void Node::flush_link(PeerLink& link, Clock::time_point now) {
   const bool frames = link.state == PeerLink::State::established;
   const auto arm_retransmit = [&](const WritevPlan::CommitResult& res) {
     if (res.advanced && is_unarmed(link.retransmit_deadline)) {
-      link.retransmit_deadline =
-          now + milliseconds(cfg_.limits.retransmit_timeout_ms);
+      link.retransmit_deadline = now + milliseconds(link.rto_ms());
     }
   };
   while (true) {

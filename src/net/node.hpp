@@ -65,8 +65,17 @@ struct NodeLimits {
   std::size_t max_queued_frames = 4096;
   /// Crossing this pauses reads from that peer (backpressure).
   std::size_t backpressure_high_water = 2048;
-  /// Go-back-N rewind after this long with no ack progress.
+  /// Go-back-N rewind after this long with no ack progress. With
+  /// adaptive_rto this is only the initial timeout, used until the first
+  /// RTT sample; without it, the fixed timeout for every rewind.
   std::uint32_t retransmit_timeout_ms = 100;
+  /// RFC 6298-style retransmit timeout: SRTT/RTTVAR estimated from the
+  /// per-frame enqueue → ack samples, rto = srtt + max(1ms, 4·rttvar)
+  /// clamped to [rto_min_ms, rto_max_ms], doubled after each timeout
+  /// (see PeerLink::note_rtt and docs/NET.md).
+  bool adaptive_rto = true;
+  std::uint32_t rto_min_ms = 20;
+  std::uint32_t rto_max_ms = 2000;
   /// Dial retry backoff: initial, doubling to the cap.
   std::uint32_t reconnect_initial_ms = 5;
   std::uint32_t reconnect_max_ms = 250;

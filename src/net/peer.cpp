@@ -1,6 +1,7 @@
 #include "net/peer.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace rcp::net {
 
@@ -38,15 +39,27 @@ bool PeerLink::enqueue(Bytes payload, Clock::time_point eligible_at,
 
 void PeerLink::on_ack(std::uint64_t acked, Clock::time_point now,
                       LatencyHistogram* latency) noexcept {
+  if (!queue_.empty() && queue_[0].seq <= acked) {
+    // Ack progress: the link is alive, so any timeout backoff can relax
+    // back to the estimator-derived RTO.
+    rto_current_ms_ = rto_has_sample_ ? rto_derived_ms_ : rto_current_ms_;
+  }
   while (!queue_.empty() && queue_[0].seq <= acked) {
-    if (latency != nullptr) {
+    if (now != Clock::time_point{}) {
       const auto waited = now - queue_[0].enqueued_at;
-      latency->record(waited > Clock::duration::zero()
-                          ? static_cast<std::uint64_t>(
-                                std::chrono::duration_cast<
-                                    std::chrono::nanoseconds>(waited)
-                                    .count())
-                          : 0);
+      const std::uint64_t ns =
+          waited > Clock::duration::zero()
+              ? static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        waited)
+                        .count())
+              : 0;
+      if (latency != nullptr) {
+        latency->record(ns);
+      }
+      if (!queue_[0].retransmitted) {  // Karn: ambiguous samples excluded
+        note_rtt(static_cast<double>(ns) / 1e6);
+      }
     }
     queue_.pop_front();
     if (unsent_ > 0) {
@@ -56,8 +69,39 @@ void PeerLink::on_ack(std::uint64_t acked, Clock::time_point now,
   counters.queue_depth = queue_.size();
 }
 
+void PeerLink::note_rtt(double sample_ms) noexcept {
+  if (!rto_adaptive_) {
+    return;
+  }
+  if (!rto_has_sample_) {
+    // RFC 6298 §2.2: first measurement seeds both estimators.
+    srtt_ms_ = sample_ms;
+    rttvar_ms_ = sample_ms / 2.0;
+    rto_has_sample_ = true;
+  } else {
+    // RFC 6298 §2.3: rttvar before srtt, beta = 1/4, alpha = 1/8.
+    rttvar_ms_ =
+        0.75 * rttvar_ms_ + 0.25 * std::abs(srtt_ms_ - sample_ms);
+    srtt_ms_ = 0.875 * srtt_ms_ + 0.125 * sample_ms;
+  }
+  const double rto = srtt_ms_ + std::max(1.0, 4.0 * rttvar_ms_);
+  rto_derived_ms_ = static_cast<std::uint32_t>(
+      std::clamp(rto, static_cast<double>(rto_min_ms_),
+                 static_cast<double>(rto_max_ms_)));
+  rto_current_ms_ = rto_derived_ms_;
+}
+
+void PeerLink::backoff_rto() noexcept {
+  if (rto_adaptive_ && rto_has_sample_) {
+    rto_current_ms_ = std::min(rto_current_ms_ * 2, rto_max_ms_);
+  }
+}
+
 void PeerLink::rewind_unsent() noexcept {
   counters.retransmits += unsent_;
+  for (std::size_t i = 0; i < unsent_; ++i) {
+    queue_[i].retransmitted = true;
+  }
   unsent_ = 0;
 }
 
@@ -77,14 +121,22 @@ void PeerLink::clear_queue() noexcept {
 int PeerLink::classify_and_advance(std::uint64_t seq) noexcept {
   if (seq < next_expected_) {
     ++counters.dup_frames;
+    if (!gap_since_delivery_ && !rewind_dups_expected_) {
+      // No loss episode and no reconnect explains this duplicate: the
+      // sender's retransmit fired while our ack was still in flight.
+      ++counters.spurious_retransmits;
+    }
     return -1;
   }
   if (seq > next_expected_) {
     ++counters.gap_frames;
+    gap_since_delivery_ = true;  // a rewind is now genuinely needed
     return 1;
   }
   ++next_expected_;
   ++counters.msgs_in;
+  gap_since_delivery_ = false;
+  rewind_dups_expected_ = false;
   return 0;
 }
 

@@ -62,6 +62,10 @@ struct Outbound {
   Clock::time_point eligible_at{};
   /// When the sender queued it — the start of the latency measurement.
   Clock::time_point enqueued_at{};
+  /// Set when a rewind schedules this frame for re-transmission. Karn's
+  /// algorithm: an ack for a retransmitted frame is ambiguous (it may
+  /// answer either transmission), so it yields no RTT sample.
+  bool retransmitted = false;
 };
 
 /// Bounded-growth ring of Outbound frames. A deque would allocate a block
@@ -186,6 +190,50 @@ class PeerLink {
 
   [[nodiscard]] std::uint64_t assign_seq() noexcept { return ++last_seq_; }
 
+  // ---- Adaptive retransmit timeout (RFC 6298 shape) ------------------
+  //
+  // The fixed timeout either stalls recovery (too long for a fast link)
+  // or rewinds spuriously (too short under queueing). Instead the link
+  // estimates SRTT/RTTVAR from the enqueue → cumulative-ack samples the
+  // latency histogram already measures, and arms the retransmit clock at
+  //   rto = clamp(srtt + max(granularity, 4·rttvar), rto_min, rto_max).
+  // Retransmitted frames contribute no samples (Karn), and the RTO
+  // doubles after each timeout-triggered rewind until fresh acks re-seed
+  // the estimator.
+
+  /// Installs the estimator configuration (copied from NodeLimits at node
+  /// setup; this header cannot depend on node.hpp). `initial_ms` is the
+  /// timeout used before the first sample — and always, when `adaptive`
+  /// is off.
+  void configure_rto(bool adaptive, std::uint32_t initial_ms,
+                     std::uint32_t min_ms, std::uint32_t max_ms) noexcept {
+    rto_adaptive_ = adaptive;
+    rto_initial_ms_ = initial_ms;
+    rto_min_ms_ = min_ms;
+    rto_max_ms_ = max_ms;
+  }
+
+  /// Current value for arming the retransmit clock, in milliseconds.
+  [[nodiscard]] std::uint32_t rto_ms() const noexcept {
+    return rto_adaptive_ && rto_has_sample_ ? rto_current_ms_
+                                            : rto_initial_ms_;
+  }
+
+  /// Exponential backoff after a timeout-triggered rewind; the next
+  /// accepted sample re-derives the RTO from srtt/rttvar.
+  void backoff_rto() noexcept;
+
+  [[nodiscard]] bool has_rtt_sample() const noexcept {
+    return rto_has_sample_;
+  }
+  [[nodiscard]] double srtt_ms() const noexcept { return srtt_ms_; }
+  [[nodiscard]] double rttvar_ms() const noexcept { return rttvar_ms_; }
+
+  /// Receive side: a (re)connect makes the sender rewind to its first
+  /// unacked frame, so duplicates of already-delivered seqs are expected
+  /// and must not count as spurious retransmits.
+  void expect_rewind_dups() noexcept { rewind_dups_expected_ = true; }
+
   // ---- Inbound ordered stream ---------------------------------------
 
   /// Classifies an arriving data seq: 0 = deliver (and advances the
@@ -229,6 +277,10 @@ class PeerLink {
   PeerCounters counters;
 
  private:
+  /// Folds one non-retransmitted enqueue → ack sample into srtt/rttvar
+  /// and re-derives the RTO.
+  void note_rtt(double sample_ms) noexcept;
+
   ProcessId peer_ = 0;
   PeerAddress addr_;
   bool dialer_ = false;
@@ -237,6 +289,30 @@ class PeerLink {
   std::size_t unsent_ = 0;        ///< index of next frame to transmit
   std::uint64_t last_seq_ = 0;    ///< last assigned outbound seq
   std::uint64_t next_expected_ = 1;  ///< next inbound seq to deliver
+
+  // RTO estimator (configure_rto installs the NodeLimits values).
+  bool rto_adaptive_ = true;
+  std::uint32_t rto_initial_ms_ = 100;
+  std::uint32_t rto_min_ms_ = 20;
+  std::uint32_t rto_max_ms_ = 2000;
+  bool rto_has_sample_ = false;
+  double srtt_ms_ = 0.0;
+  double rttvar_ms_ = 0.0;
+  /// Estimator-derived value (no backoff applied).
+  std::uint32_t rto_derived_ms_ = 0;
+  /// Active value: derived, doubled by backoff_rto() after timeouts.
+  /// Ack progress collapses it back to derived — Karn keeps retransmitted
+  /// frames out of the estimator, so without this a burst of losses would
+  /// pin the RTO at the cap for the rest of the recovery.
+  std::uint32_t rto_current_ms_ = 0;
+
+  // Spurious-retransmit detection (receive side). A duplicate seq means
+  // the sender rewound; it was necessary only if this receiver saw a gap
+  // since its last in-order delivery (loss recovery) or a reconnect made
+  // rewinding mandatory. Any other duplicate is a retransmit the sender
+  // did not need — its RTO fired while the ack was still in flight.
+  bool gap_since_delivery_ = false;
+  bool rewind_dups_expected_ = false;
 };
 
 /// One vectored send assembled from a link's pending bytes: the tail of

@@ -94,6 +94,10 @@ struct PeerCounters {
   std::uint64_t delays_injected = 0;///< frames given a non-zero hold
   std::uint64_t dup_frames = 0;     ///< already-delivered seqs discarded
   std::uint64_t gap_frames = 0;     ///< ahead-of-stream seqs discarded
+  /// Duplicates not explained by loss recovery or a reconnect: the peer's
+  /// retransmit timer fired while our ack was still in flight. The
+  /// adaptive RTO exists to keep this near zero.
+  std::uint64_t spurious_retransmits = 0;
   std::uint64_t overflow_drops = 0; ///< messages dropped at the queue bound
   std::size_t queue_depth = 0;      ///< current outbound queue length
   std::size_t queue_peak = 0;       ///< high-water outbound queue length

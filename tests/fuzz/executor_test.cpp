@@ -1,0 +1,100 @@
+// execute(): pure-function-of-plan-bytes semantics and the coverage
+// signals the corpus rewards.
+#include "fuzz/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fuzz/plan.hpp"
+
+namespace rcp::fuzz {
+namespace {
+
+SchedulePlan basic_plan(adversary::ProtocolKind protocol, std::uint32_t n,
+                        std::uint32_t k) {
+  SchedulePlan p;
+  p.spec.protocol = protocol;
+  p.spec.params = {n, k};
+  for (std::uint32_t i = 0; i < n; ++i) {
+    p.spec.inputs.push_back(i % 2 == 0 ? Value::zero : Value::one);
+  }
+  p.spec.seed = 42;
+  p.tape_seed = 1234;
+  return p;
+}
+
+TEST(Executor, FaultFreeMaliciousRunDecidesWithAgreement) {
+  const SchedulePlan p = basic_plan(adversary::ProtocolKind::malicious, 7, 2);
+  const ExecResult r = execute(p);
+  EXPECT_EQ(r.status, sim::RunStatus::all_decided);
+  EXPECT_TRUE(r.agreement);
+  ASSERT_TRUE(r.agreed_value.has_value());
+  EXPECT_GT(r.steps, 0u);
+  EXPECT_GT(r.messages_sent, 0u);
+  // Deciding means some probe saw an echo tally on the quorum edge.
+  EXPECT_TRUE(r.quorum_boundary);
+  EXPECT_NE(r.coverage_key, 0u);
+}
+
+TEST(Executor, FaultFreeFailStopRunDecides) {
+  const SchedulePlan p = basic_plan(adversary::ProtocolKind::fail_stop, 5, 1);
+  const ExecResult r = execute(p);
+  EXPECT_EQ(r.status, sim::RunStatus::all_decided);
+  EXPECT_TRUE(r.agreement);
+}
+
+TEST(Executor, ExecutionIsAPureFunctionOfThePlan) {
+  const SchedulePlan p = basic_plan(adversary::ProtocolKind::malicious, 7, 2);
+  const ExecResult a = execute(p);
+  const ExecResult b = execute(p);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.state_digest, b.state_digest);
+  EXPECT_EQ(a.coverage_key, b.coverage_key);
+}
+
+TEST(Executor, TapeSeedChangesTheSchedule) {
+  const SchedulePlan p = basic_plan(adversary::ProtocolKind::malicious, 7, 2);
+  SchedulePlan q = p;
+  q.tape_seed ^= 0x5555;
+  EXPECT_NE(execute(p).trace_digest, execute(q).trace_digest);
+}
+
+TEST(Executor, ExplicitTapePrefixChangesTheSchedule) {
+  const SchedulePlan p = basic_plan(adversary::ProtocolKind::malicious, 7, 2);
+  SchedulePlan q = p;
+  // A long alternating prefix steers scheduling away from the fallback run.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    q.tape.push_back(i * 7919U);
+  }
+  EXPECT_NE(execute(p).trace_digest, execute(q).trace_digest);
+}
+
+TEST(Executor, StepLimitIsClassified) {
+  SchedulePlan p = basic_plan(adversary::ProtocolKind::malicious, 7, 2);
+  p.spec.max_steps = 8;  // far too few to decide
+  const ExecResult r = execute(p);
+  EXPECT_EQ(r.status, sim::RunStatus::step_limit);
+  EXPECT_LE(r.steps, 8u);
+}
+
+TEST(Executor, MatchesExpectIsVacuousWithoutAnExpectLine) {
+  const SchedulePlan p = basic_plan(adversary::ProtocolKind::malicious, 7, 2);
+  EXPECT_TRUE(matches_expect(execute(p), p));
+}
+
+TEST(Executor, MatchesExpectComparesAllFourFields) {
+  SchedulePlan p = basic_plan(adversary::ProtocolKind::malicious, 7, 2);
+  const ExecResult r = execute(p);
+  p.expect.present = true;
+  p.expect.status = r.status;
+  p.expect.steps = r.steps;
+  p.expect.trace_digest = r.trace_digest;
+  p.expect.state_digest = r.state_digest;
+  EXPECT_TRUE(matches_expect(r, p));
+  p.expect.state_digest ^= 1;
+  EXPECT_FALSE(matches_expect(r, p));
+}
+
+}  // namespace
+}  // namespace rcp::fuzz

@@ -1,0 +1,103 @@
+// The fuzzing loop's headline guarantee: bit-reproducible at any thread
+// count — identical corpus/coverage digests and a byte-identical
+// rcp-fuzz-v1 report — plus golden emission that replays.
+#include "fuzz/fuzzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fuzz/executor.hpp"
+
+namespace rcp::fuzz {
+namespace {
+
+FuzzConfig small_config(std::uint32_t threads) {
+  FuzzConfig cfg;
+  cfg.protocol = adversary::ProtocolKind::malicious;
+  cfg.params = {7, 2};
+  cfg.seed = 42;
+  cfg.budget = 96;
+  cfg.batch = 16;
+  cfg.threads = threads;
+  cfg.minimize = true;
+  cfg.minimize_attempts = 16;
+  cfg.max_emit = 4;
+  return cfg;
+}
+
+TEST(Fuzzer, BitReproducibleAcrossThreadCounts) {
+  const FuzzOutcome one = Fuzzer(small_config(1)).run();
+  const FuzzOutcome eight = Fuzzer(small_config(8)).run();
+
+  EXPECT_EQ(one.stats.executions, eight.stats.executions);
+  EXPECT_EQ(one.corpus.size(), eight.corpus.size());
+  EXPECT_EQ(one.corpus.digest(), eight.corpus.digest());
+  EXPECT_EQ(one.coverage.size(), eight.coverage.size());
+  EXPECT_EQ(one.coverage.digest(), eight.coverage.digest());
+
+  // The rcp-fuzz-v1 report has no thread/time fields: byte-identical.
+  std::ostringstream a;
+  std::ostringstream b;
+  write_report(a, small_config(1), one);
+  write_report(b, small_config(8), eight);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Fuzzer, DifferentSeedsExploreDifferently) {
+  FuzzConfig other = small_config(4);
+  other.seed = 43;
+  const FuzzOutcome a = Fuzzer(small_config(4)).run();
+  const FuzzOutcome b = Fuzzer(other).run();
+  EXPECT_NE(a.corpus.digest(), b.corpus.digest());
+}
+
+TEST(Fuzzer, RunsAtLeastTheBudgetInWholeBatches) {
+  const FuzzOutcome out = Fuzzer(small_config(2)).run();
+  EXPECT_GE(out.stats.executions, 96u);
+  EXPECT_EQ(out.stats.executions,
+            out.stats.decided + out.stats.quiescent + out.stats.step_limit);
+}
+
+TEST(Fuzzer, EmitsMinimizedGoldensThatReplay) {
+  const FuzzOutcome out = Fuzzer(small_config(4)).run();
+  ASSERT_FALSE(out.emitted.empty());
+  for (const EmittedPlan& e : out.emitted) {
+    ASSERT_TRUE(e.plan.expect.present) << e.signal;
+    const ExecResult r = execute(e.plan);
+    EXPECT_TRUE(matches_expect(r, e.plan)) << e.signal;
+    // Round-trip through the text format preserves the golden.
+    const SchedulePlan reparsed =
+        SchedulePlan::parse_string(e.plan.serialize());
+    EXPECT_TRUE(matches_expect(execute(reparsed), reparsed)) << e.signal;
+    // The file name embeds protocol, signal class and content hash.
+    EXPECT_NE(e.file_name().find("fuzz_fig2_" + e.signal), std::string::npos)
+        << e.file_name();
+  }
+}
+
+TEST(Fuzzer, FindsTheQuorumBoundary) {
+  // The acceptance bar for the subsystem: a small budget already surfaces
+  // and emits a quorum-boundary schedule (or a rarer, higher-priority one).
+  const FuzzOutcome out = Fuzzer(small_config(4)).run();
+  EXPECT_GT(out.stats.quorum_boundary, 0u);
+  bool emitted_boundary_class = false;
+  for (const EmittedPlan& e : out.emitted) {
+    emitted_boundary_class =
+        emitted_boundary_class || e.result.quorum_boundary;
+  }
+  EXPECT_TRUE(emitted_boundary_class);
+}
+
+TEST(Fuzzer, FailStopConfigurationRuns) {
+  FuzzConfig cfg = small_config(2);
+  cfg.protocol = adversary::ProtocolKind::fail_stop;
+  cfg.params = {5, 2};
+  cfg.budget = 48;
+  const FuzzOutcome out = Fuzzer(cfg).run();
+  EXPECT_GE(out.stats.executions, 48u);
+  EXPECT_EQ(out.stats.agreement_violations, 0u);
+}
+
+}  // namespace
+}  // namespace rcp::fuzz

@@ -1,0 +1,136 @@
+// seed_corpus()/mutate() stay inside the validation envelope by
+// construction; minimize() is a deterministic shrinker.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fuzz/executor.hpp"
+#include "fuzz/minimize.hpp"
+#include "fuzz/mutate.hpp"
+#include "fuzz/plan.hpp"
+
+namespace rcp::fuzz {
+namespace {
+
+TEST(Mutate, SeedCorpusIsValidAndDiverse) {
+  const auto seeds =
+      seed_corpus(adversary::ProtocolKind::malicious, {7, 2}, 99);
+  ASSERT_GE(seeds.size(), 4u);
+  for (const SchedulePlan& p : seeds) {
+    EXPECT_NO_THROW(p.validate()) << p.serialize();
+  }
+  // The baseline entry is fault-free; at least one entry fields Byzantines.
+  EXPECT_TRUE(seeds.front().spec.byzantine_ids.empty());
+  bool any_byz = false;
+  for (const SchedulePlan& p : seeds) {
+    any_byz = any_byz || !p.spec.byzantine_ids.empty();
+  }
+  EXPECT_TRUE(any_byz);
+}
+
+TEST(Mutate, FailStopSeedCorpusFieldsNoByzantines) {
+  const auto seeds =
+      seed_corpus(adversary::ProtocolKind::fail_stop, {5, 2}, 7);
+  for (const SchedulePlan& p : seeds) {
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_TRUE(p.spec.byzantine_ids.empty());
+  }
+}
+
+TEST(Mutate, IsDeterministicInTheRngSeed) {
+  const auto seeds =
+      seed_corpus(adversary::ProtocolKind::malicious, {7, 2}, 99);
+  Rng a(12345);
+  Rng b(12345);
+  EXPECT_EQ(mutate(seeds[0], a).serialize(), mutate(seeds[0], b).serialize());
+}
+
+TEST(Mutate, LongChainsStayValid) {
+  const auto seeds =
+      seed_corpus(adversary::ProtocolKind::malicious, {7, 2}, 99);
+  Rng rng(2026);
+  SchedulePlan current = seeds.front();
+  for (int i = 0; i < 300; ++i) {
+    current = mutate(current, rng);
+    ASSERT_NO_THROW(current.validate()) << "after " << i + 1 << " mutations:\n"
+                                        << current.serialize();
+    EXPECT_FALSE(current.expect.present);  // mutation invalidates goldens
+  }
+}
+
+TEST(Mutate, SmallSystemChainsStayValid) {
+  // n=2, k=0 exercises every clamp (no Byzantine room, one crash slot).
+  const auto seeds =
+      seed_corpus(adversary::ProtocolKind::fail_stop, {2, 0}, 5);
+  Rng rng(31337);
+  SchedulePlan current = seeds.front();
+  for (int i = 0; i < 200; ++i) {
+    current = mutate(current, rng);
+    ASSERT_NO_THROW(current.validate()) << current.serialize();
+  }
+}
+
+TEST(Minimize, DropsTheTapeWhenTheFallbackSuffices) {
+  SchedulePlan p;
+  p.spec.protocol = adversary::ProtocolKind::malicious;
+  p.spec.params = {7, 2};
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    p.spec.inputs.push_back(i % 2 == 0 ? Value::zero : Value::one);
+  }
+  p.tape_seed = 77;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    p.tape.push_back(i * 2654435761U);
+  }
+  const auto decided = [](const ExecResult& r) {
+    return r.status == sim::RunStatus::all_decided;
+  };
+  ASSERT_TRUE(decided(execute(p)));
+
+  MinimizeStats stats;
+  const SchedulePlan small = minimize(p, decided, 64, &stats);
+  EXPECT_TRUE(decided(execute(small)));
+  // The fallback stream alone decides, so the whole tape goes.
+  EXPECT_TRUE(small.tape.empty());
+  EXPECT_LT(small.spec.max_steps, p.spec.max_steps);
+  EXPECT_GT(stats.attempts, 0u);
+  EXPECT_GT(stats.accepted, 0u);
+}
+
+TEST(Minimize, IsDeterministic) {
+  SchedulePlan p;
+  p.spec.protocol = adversary::ProtocolKind::malicious;
+  p.spec.params = {7, 2};
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    p.spec.inputs.push_back(Value::one);
+  }
+  p.tape_seed = 3;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    p.tape.push_back(i);
+  }
+  const auto keep = [](const ExecResult& r) { return r.agreement; };
+  EXPECT_EQ(minimize(p, keep, 48).serialize(),
+            minimize(p, keep, 48).serialize());
+}
+
+TEST(Minimize, KeepsCrashEventsThePredicateNeeds) {
+  // Predicate: some process never decides (the crash victim). Minimization
+  // must not drop the crash that causes it.
+  SchedulePlan p;
+  p.spec.protocol = adversary::ProtocolKind::fail_stop;
+  p.spec.params = {5, 1};
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    p.spec.inputs.push_back(Value::one);
+  }
+  p.spec.crashes.push_back(
+      {.victim = 0, .by_phase = false, .at_step = 0, .at_phase = 0});
+  p.tape_seed = 11;
+  const auto victim_dead = [](const ExecResult& r) {
+    return r.status == sim::RunStatus::all_decided;
+  };
+  // Correct processes still decide around the dead one (k=1 tolerates it).
+  ASSERT_TRUE(victim_dead(execute(p)));
+  const SchedulePlan small = minimize(p, victim_dead, 48);
+  EXPECT_TRUE(victim_dead(execute(small)));
+}
+
+}  // namespace
+}  // namespace rcp::fuzz

@@ -1,0 +1,94 @@
+// Net-level nemesis: the plan -> ClusterConfig mapping is deterministic,
+// and a checked-in fault plan replays against a live net::Cluster with all
+// correct nodes deciding the same value (the paper's properties over TCP).
+#include "fuzz/nemesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "fuzz/plan.hpp"
+
+namespace rcp::fuzz {
+namespace {
+
+SchedulePlan fault_plan() {
+  SchedulePlan p;
+  p.spec.protocol = adversary::ProtocolKind::malicious;
+  p.spec.params = {5, 1};
+  p.spec.inputs = {Value::one, Value::zero, Value::one, Value::zero,
+                   Value::one};
+  p.spec.byzantine_ids = {2};
+  p.spec.byzantine_kind = adversary::ByzantineKind::equivocator;
+  p.spec.crashes.push_back(
+      {.victim = 4, .by_phase = true, .at_step = 0, .at_phase = 3});
+  p.spec.crashes.push_back(
+      {.victim = 1, .by_phase = false, .at_step = 500, .at_phase = 0});
+  p.spec.seed = 9;
+  p.spec.net_drop_permille = 40;
+  p.spec.net_delay_max_ms = 3;
+  p.spec.net_disconnects = 2;
+  p.tape_seed = 0xabcdef;
+  return p;
+}
+
+TEST(Nemesis, PlanMapsDeterministicallyToClusterConfig) {
+  const SchedulePlan p = fault_plan();
+  const net::ClusterConfig a = nemesis_cluster_config(p, {});
+  const net::ClusterConfig b = nemesis_cluster_config(p, {});
+
+  EXPECT_EQ(a.n, 5u);
+  EXPECT_EQ(a.seed, 9u);
+  EXPECT_DOUBLE_EQ(a.link_faults.drop_probability, 0.040);
+  EXPECT_EQ(a.link_faults.delay_max_ms, 3u);
+  ASSERT_EQ(a.disconnects.size(), 2u);
+  // The disconnect stream is a pure function of the tape seed.
+  for (std::size_t i = 0; i < a.disconnects.size(); ++i) {
+    EXPECT_EQ(a.disconnects[i].first, b.disconnects[i].first);
+    EXPECT_EQ(a.disconnects[i].second.peer, b.disconnects[i].second.peer);
+    EXPECT_EQ(a.disconnects[i].second.after_delivered,
+              b.disconnects[i].second.after_delivered);
+    EXPECT_NE(a.disconnects[i].first, a.disconnects[i].second.peer);
+    EXPECT_LT(a.disconnects[i].first, 5u);
+  }
+  // Only phase crashes map to the transport (no global step over TCP).
+  ASSERT_EQ(a.crashes.size(), 1u);
+  EXPECT_EQ(a.crashes[0].first, 4);
+  EXPECT_EQ(a.crashes[0].second, 3u);
+  ASSERT_EQ(a.arbitrary_faulty.size(), 1u);
+  EXPECT_EQ(a.arbitrary_faulty[0], 2);
+}
+
+TEST(Nemesis, CheckedInFaultPlanSurvivesTheLiveCluster) {
+  // The CI nemesis gate: replay the golden fault plan over real sockets —
+  // drops, delays, disconnects, a Byzantine node — and every correct node
+  // must decide the same value (decision digests MATCH).
+  const std::filesystem::path path =
+      std::filesystem::path(RCP_TEST_DATA_DIR) / "nemesis_fig2_faults.plan";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  SchedulePlan plan = SchedulePlan::parse(in);
+  plan.validate();
+  EXPECT_GT(plan.spec.net_drop_permille, 0u);
+  EXPECT_GT(plan.spec.net_disconnects, 0u);
+
+  NemesisConfig cfg;
+  cfg.loop_threads = 3;  // shared reactor loops: the cheap CI shape
+  cfg.timeout_ms = 60'000;
+  const NemesisResult r = run_nemesis(plan, cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.digests_match) << "decision digest 0x" << std::hex
+                               << r.decision_digest;
+  EXPECT_TRUE(r.cluster.all_correct_decided);
+  EXPECT_TRUE(r.cluster.agreement);
+}
+
+TEST(Nemesis, SyntheticFaultPlanAgreesEndToEnd) {
+  const NemesisResult r = run_nemesis(fault_plan(), {});
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.digests_match);
+}
+
+}  // namespace
+}  // namespace rcp::fuzz

@@ -1,0 +1,105 @@
+// Tape semantics: the cursor's explicit-then-fallback contract and the
+// fixed decode rules both policy halves apply (part of the plan format —
+// changing them invalidates every checked-in .plan golden).
+#include "fuzz/tape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/envelope.hpp"
+#include "sim/mailbox.hpp"
+
+namespace rcp::fuzz {
+namespace {
+
+TEST(TapeCursor, ServesExplicitTapeThenFallbackStream) {
+  TapeCursor cursor({11, 22, 33}, /*fallback_seed=*/99);
+  EXPECT_EQ(cursor.next(), 11u);
+  EXPECT_EQ(cursor.next(), 22u);
+  EXPECT_EQ(cursor.next(), 33u);
+  EXPECT_EQ(cursor.consumed(), 3u);
+  EXPECT_EQ(cursor.fallback_draws(), 0u);
+
+  // Fallback values are the SplitMix64 stream from the seed, truncated.
+  std::uint64_t state = 99;
+  const auto expected0 = static_cast<std::uint32_t>(splitmix64(state));
+  const auto expected1 = static_cast<std::uint32_t>(splitmix64(state));
+  EXPECT_EQ(cursor.next(), expected0);
+  EXPECT_EQ(cursor.next(), expected1);
+  EXPECT_EQ(cursor.fallback_draws(), 2u);
+  EXPECT_EQ(cursor.consumed(), 3u);
+}
+
+TEST(TapeCursor, EmptyTapeIsPureFallback) {
+  TapeCursor cursor({}, 7);
+  std::uint64_t state = 7;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(cursor.next(), static_cast<std::uint32_t>(splitmix64(state)));
+  }
+  EXPECT_EQ(cursor.consumed(), 0u);
+  EXPECT_EQ(cursor.fallback_draws(), 8u);
+}
+
+TEST(TapeScheduler, PicksEligibleByModulo) {
+  auto cursor = std::make_shared<TapeCursor>(
+      std::vector<std::uint32_t>{0, 1, 5, 7}, 0);
+  TapeScheduler scheduler(cursor);
+  Rng rng(1);  // unused by the policy
+  const ProcessId eligible[] = {2, 4, 9};
+  EXPECT_EQ(scheduler.pick(eligible, rng), 2);  // 0 % 3 -> 2
+  EXPECT_EQ(scheduler.pick(eligible, rng), 4);  // 1 % 3 -> 4
+  EXPECT_EQ(scheduler.pick(eligible, rng), 9);  // 5 % 3 -> 9
+  EXPECT_EQ(scheduler.pick(eligible, rng), 4);  // 7 % 3 -> 4
+}
+
+TEST(TapeDelivery, DecodesPhiFromLowByteAndIndexFromHighBits) {
+  // phi_weight 16: low byte < 16 means phi (arbitrarily delayed delivery);
+  // otherwise the mailbox index is (v >> 8) % size.
+  auto cursor = std::make_shared<TapeCursor>(
+      std::vector<std::uint32_t>{
+          15,                   // low byte 15 < 16 -> phi
+          16 | (5U << 8),       // low byte 16 -> index 5 % 3 = 2
+          255 | (1U << 8),      // low byte 255 -> index 1
+      },
+      0);
+  TapeDelivery delivery(cursor, /*phi_weight=*/16);
+  Rng rng(1);
+  sim::Mailbox box;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    box.push(Envelope{
+        .sender = 0, .receiver = 1, .payload = {}, .sent_at_step = 0,
+        .seq = s});
+  }
+  EXPECT_EQ(delivery.pick(1, box, 0, rng), std::nullopt);
+  EXPECT_EQ(delivery.pick(1, box, 0, rng), std::optional<std::size_t>(2));
+  EXPECT_EQ(delivery.pick(1, box, 0, rng), std::optional<std::size_t>(1));
+}
+
+TEST(TapeDelivery, ZeroPhiWeightNeverDelays) {
+  auto cursor = std::make_shared<TapeCursor>(
+      std::vector<std::uint32_t>{0, 1, 2, 3}, 0);
+  TapeDelivery delivery(cursor, /*phi_weight=*/0);
+  Rng rng(1);
+  sim::Mailbox box;
+  box.push(Envelope{
+      .sender = 0, .receiver = 1, .payload = {}, .sent_at_step = 0,
+      .seq = 0});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(delivery.pick(1, box, 0, rng), std::optional<std::size_t>(0));
+  }
+}
+
+TEST(TapePolicies, ShareOneCursor) {
+  TapePolicies policies = make_tape_policies({1, 2, 3}, 4, 16);
+  Rng rng(1);
+  const ProcessId eligible[] = {0, 1};
+  (void)policies.scheduler->pick(eligible, rng);  // consumes tape[0]
+  sim::Mailbox box;
+  box.push(Envelope{
+      .sender = 0, .receiver = 1, .payload = {}, .sent_at_step = 0,
+      .seq = 0});
+  (void)policies.delivery->pick(1, box, 0, rng);  // consumes tape[1]
+  EXPECT_EQ(policies.cursor->consumed(), 2u);
+}
+
+}  // namespace
+}  // namespace rcp::fuzz

@@ -1,5 +1,7 @@
 // Fixture: a file with no violations at all — including tricky lexical
 // shapes the scanner must not misread.
+#include <chrono>
+
 #include "common/ok.hpp"
 
 /* block comment mentioning rand() and <thread> — not code */
@@ -7,5 +9,9 @@ int clean(int n) {
   const char* words = "rand() malloc(1) new int n / 2";  // in a string
   const char* raw = R"(time(nullptr) and system_clock)";
   const int separated = 1'000'000;  // digit separator, not a char literal
-  return n + separated + (words != nullptr) + (raw != nullptr);
+  // <chrono> and steady_clock are determinism-strict-banned only under the
+  // strict paths (src/fuzz/); real usage here must stay clean.
+  const auto tick = std::chrono::steady_clock::now().time_since_epoch();
+  return n + separated + (words != nullptr) + (raw != nullptr) +
+         static_cast<int>(tick.count() != 0);
 }

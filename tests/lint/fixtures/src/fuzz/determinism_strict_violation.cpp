@@ -1,0 +1,11 @@
+// Fixture: the `determinism-strict` extension. src/fuzz/ is a strict path:
+// the report-only clocks tolerated elsewhere are banned here outright.
+#include <chrono>
+
+long long fixture_strict_clock() {
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+// `unsteady_clock_name` shares a suffix, not the token — stays clean.
+int unsteady_clock_name = 0;

@@ -126,6 +126,34 @@ TEST(LintTool, DeterminismBansTokensAndCalls) {
   EXPECT_EQ(count_rule(run, "determinism"), 5) << run.output;
 }
 
+TEST(LintTool, DeterminismStrictBansClocksInFuzzPaths) {
+  const LintRun run =
+      run_lint("src/fuzz/determinism_strict_violation.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // Line 3: the <chrono> include; line 6: the steady_clock token.
+  EXPECT_TRUE(has_diag(run,
+                       "src/fuzz/determinism_strict_violation.cpp:3: error:",
+                       "determinism-strict"))
+      << run.output;
+  EXPECT_TRUE(has_diag(run,
+                       "src/fuzz/determinism_strict_violation.cpp:6: error:",
+                       "determinism-strict"))
+      << run.output;
+  // `unsteady_clock_name` (identifier boundary) stays clean, and the base
+  // determinism rule — which allows steady_clock — reports nothing.
+  EXPECT_EQ(count_rule(run, "determinism-strict"), 2) << run.output;
+  EXPECT_EQ(count_rule(run, "determinism"), 0) << run.output;
+}
+
+TEST(LintTool, DeterminismStrictOnlyAppliesToStrictPaths) {
+  // steady_clock in a non-strict path is legal (it feeds timing reports):
+  // the clean core fixture plus the rest of the tree report no
+  // determinism-strict hits outside src/fuzz/.
+  const LintRun run = run_lint("src/core/clean.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(count_rule(run, "determinism-strict"), 0) << run.output;
+}
+
 TEST(LintTool, HotPathAllocationContract) {
   const LintRun run = run_lint("src/sim/hot_path.cpp");
   EXPECT_EQ(run.exit_code, 1) << run.output;
@@ -227,11 +255,12 @@ TEST(LintTool, WholeFixtureTreeSummary) {
   EXPECT_EQ(count_rule(run, "os-header"), 3) << run.output;
   EXPECT_EQ(count_rule(run, "os-exclusive"), 1) << run.output;
   EXPECT_EQ(count_rule(run, "determinism"), 5) << run.output;
+  EXPECT_EQ(count_rule(run, "determinism-strict"), 2) << run.output;
   EXPECT_EQ(count_rule(run, "hot-alloc"), 8) << run.output;
   EXPECT_EQ(count_rule(run, "threshold"), 3) << run.output;
   EXPECT_EQ(count_rule(run, "unused-suppression"), 1) << run.output;
   EXPECT_EQ(count_rule(run, "bad-suppression"), 1) << run.output;
-  EXPECT_NE(run.output.find("rcp-lint: 10 files, 25 error(s), 5 suppression(s) "
+  EXPECT_NE(run.output.find("rcp-lint: 11 files, 27 error(s), 5 suppression(s) "
                             "(5 diagnostic(s) suppressed)"),
             std::string::npos)
       << run.output;

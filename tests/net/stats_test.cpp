@@ -1,0 +1,89 @@
+// LatencyHistogram edge cases: empty and single-sample quantiles, the
+// saturating top bucket, and merging histograms with disjoint ranges.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "net/stats.hpp"
+
+namespace rcp::net {
+namespace {
+
+TEST(LatencyHistogram, EmptyHistogramReportsZeros) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_ms(), 0.0);
+  EXPECT_EQ(h.quantile_ms(0.0), 0.0);
+  EXPECT_EQ(h.quantile_ms(0.5), 0.0);
+  EXPECT_EQ(h.quantile_ms(1.0), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleLandsInItsBucket) {
+  LatencyHistogram h;
+  h.record(1'500'000);  // 1.5ms -> bucket [2^20, 2^21) ns
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean_ms(), 1.5);
+  // Every quantile interpolates inside the one occupied bucket, so the
+  // answer is bounded by the bucket edges (~1.05ms .. ~2.10ms).
+  for (const double q : {0.01, 0.50, 0.99, 1.0}) {
+    const double ms = h.quantile_ms(q);
+    EXPECT_GE(ms, (1u << 20) / 1e6) << q;
+    EXPECT_LE(ms, (1u << 21) / 1e6) << q;
+  }
+}
+
+TEST(LatencyHistogram, ZeroSampleUsesTheBottomBucket) {
+  LatencyHistogram h;
+  h.record(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean_ms(), 0.0);
+  // Bucket 0 spans [1, 2) ns after interpolation — effectively zero ms.
+  EXPECT_LE(h.quantile_ms(0.5), 2.0 / 1e6);
+}
+
+TEST(LatencyHistogram, TopBucketSaturatesInsteadOfOverflowing) {
+  LatencyHistogram h;
+  h.record(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.count(), 1u);
+  // The sample lands in bucket 63; the bucket ceiling saturates at the
+  // uint64 range instead of shifting past it.
+  const double ms = h.quantile_ms(0.99);
+  EXPECT_GE(ms, static_cast<double>(std::uint64_t{1} << 63) / 1e6);
+  EXPECT_LE(ms,
+            static_cast<double>(std::numeric_limits<std::uint64_t>::max()) /
+                1e6);
+}
+
+TEST(LatencyHistogram, MergeOfDisjointRangesKeepsBothTails) {
+  LatencyHistogram fast;
+  LatencyHistogram slow;
+  for (int i = 0; i < 99; ++i) {
+    fast.record(1'000);  // 1us
+  }
+  slow.record(1'000'000'000);  // 1s
+
+  LatencyHistogram merged;
+  merged.merge(fast);
+  merged.merge(slow);
+  EXPECT_EQ(merged.count(), 100u);
+  // The mean mixes both populations exactly.
+  EXPECT_NEAR(merged.mean_ms(), (99.0 * 1e3 + 1e9) / 100.0 / 1e6, 1e-9);
+  // p50 stays with the fast majority; p999 reaches the slow outlier.
+  EXPECT_LT(merged.quantile_ms(0.50), 1.0);
+  EXPECT_GE(merged.quantile_ms(0.999), 512.0);
+}
+
+TEST(LatencyHistogram, MergeIntoEmptyEqualsTheSource) {
+  LatencyHistogram src;
+  src.record(42'000);
+  src.record(99'000);
+  LatencyHistogram dst;
+  dst.merge(src);
+  EXPECT_EQ(dst.count(), src.count());
+  EXPECT_DOUBLE_EQ(dst.mean_ms(), src.mean_ms());
+  EXPECT_DOUBLE_EQ(dst.quantile_ms(0.5), src.quantile_ms(0.5));
+}
+
+}  // namespace
+}  // namespace rcp::net

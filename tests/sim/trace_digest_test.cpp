@@ -13,7 +13,9 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -70,64 +72,16 @@ std::uint64_t state_digest(const sim::Simulation& s) {
   return d.h;
 }
 
-adversary::Scenario failstop_scenario() {
-  adversary::Scenario s;
-  s.protocol = adversary::ProtocolKind::fail_stop;
-  s.params = {5, 1};
-  s.inputs = adversary::alternating_inputs(5);
-  s.crashes = adversary::CrashPlan::staggered(1);
-  s.seed = 42;
-  s.max_steps = 200000;
-  return s;
-}
-
-adversary::Scenario malicious_scenario() {
-  adversary::Scenario s;
-  s.protocol = adversary::ProtocolKind::malicious;
-  s.params = {7, 2};
-  s.inputs = adversary::alternating_inputs(7);
-  s.byzantine_ids = {6};
-  s.byzantine_kind = adversary::ByzantineKind::equivocator;
-  s.seed = 2026;
-  s.max_steps = 500000;
-  return s;
-}
-
-adversary::Scenario majority_scenario() {
-  adversary::Scenario s;
-  s.protocol = adversary::ProtocolKind::majority;
-  s.params = {9, 2};
-  s.inputs = adversary::inputs_with_ones(9, 5);
-  s.seed = 7;
-  s.max_steps = 500000;
-  return s;
-}
-
-// E2-style stress: more Byzantine processes, different strategies, larger n
-// than the original malicious golden — these are the scenarios that push
-// echo traffic through every EchoEngine code path (dedup, deferral, replay).
-adversary::Scenario babbler_scenario() {
-  adversary::Scenario s;
-  s.protocol = adversary::ProtocolKind::malicious;
-  s.params = {10, 3};
-  s.inputs = adversary::alternating_inputs(10);
-  s.byzantine_ids = {0, 4, 8};
-  s.byzantine_kind = adversary::ByzantineKind::babbler;
-  s.seed = 777;
-  s.max_steps = 2000000;
-  return s;
-}
-
-adversary::Scenario balancer_scenario() {
-  adversary::Scenario s;
-  s.protocol = adversary::ProtocolKind::malicious;
-  s.params = {10, 2};
-  s.inputs = adversary::alternating_inputs(10);
-  s.byzantine_ids = {0, 5};
-  s.byzantine_kind = adversary::ByzantineKind::balancer;
-  s.seed = 31337;
-  s.max_steps = 4000000;
-  return s;
+// The scenarios themselves live in the adversary::builtin_scenarios()
+// registry (shared with `scenario_runner --list-scenarios`); this suite
+// pins their digests, so registry edits and golden updates move together.
+const adversary::Scenario& builtin(const char* name) {
+  for (const auto& named : adversary::builtin_scenarios()) {
+    if (std::string_view(named.name) == name) {
+      return named.scenario;
+    }
+  }
+  throw std::runtime_error(std::string("unknown builtin scenario: ") + name);
 }
 
 // X1-style: the reliable-broadcast extension under a two-faced sender that
@@ -181,23 +135,23 @@ void expect_golden(const adversary::Scenario& scenario, const Golden& g) {
 }
 
 TEST(TraceDigest, FailStopN5MatchesPreChangeRun) {
-  expect_golden(failstop_scenario(), kFailstopN5);
+  expect_golden(builtin("failstop_n5"), kFailstopN5);
 }
 
 TEST(TraceDigest, MaliciousN7MatchesPreChangeRun) {
-  expect_golden(malicious_scenario(), kMaliciousN7);
+  expect_golden(builtin("malicious_n7_equivocator"), kMaliciousN7);
 }
 
 TEST(TraceDigest, MajorityN9MatchesPreChangeRun) {
-  expect_golden(majority_scenario(), kMajorityN9);
+  expect_golden(builtin("majority_n9"), kMajorityN9);
 }
 
 TEST(TraceDigest, BabblerN10MatchesPreFlatQuorumRun) {
-  expect_golden(babbler_scenario(), kBabblerN10);
+  expect_golden(builtin("babbler_n10"), kBabblerN10);
 }
 
 TEST(TraceDigest, BalancerN10MatchesPreFlatQuorumRun) {
-  expect_golden(balancer_scenario(), kBalancerN10);
+  expect_golden(builtin("balancer_n10"), kBalancerN10);
 }
 
 TEST(TraceDigest, ReliableBroadcastTwoFacedSenderMatchesPreFlatQuorumRun) {
@@ -252,7 +206,7 @@ TEST(TraceDigest, PreChangeRecordedScheduleReplaysByteIdentically) {
                    "/pre_change_failstop_n5.schedule");
   ASSERT_TRUE(in.good()) << "missing checked-in schedule";
   auto replay = sim::make_replay_policies(sim::Schedule::load(in));
-  auto sim = adversary::build(failstop_scenario(), std::move(replay.delivery),
+  auto sim = adversary::build(builtin("failstop_n5"), std::move(replay.delivery),
                               std::move(replay.scheduler));
   DigestTrace trace;
   sim->set_trace(&trace);

@@ -1,0 +1,277 @@
+// rcp-fuzz: coverage-guided schedule/Byzantine-strategy fuzzer CLI.
+//
+//   $ ./rcp-fuzz --protocol fig2 --n 7 --k 2 --seed 42 --budget 512
+//         --emit-dir ../tests/data --json fuzz.json
+//   $ ./rcp-fuzz --replay ../tests/data/fuzz_fig2_quorum-boundary_xxxx.plan
+//   $ ./rcp-fuzz --nemesis plan.plan          # replay over live TCP mesh
+//
+// Modes:
+//   (default)        run the coverage-guided search (src/fuzz/fuzzer.hpp)
+//   --replay FILE    execute one plan, verify its embedded expect line
+//   --nemesis FILE   replay the plan's fault scenario on a net::Cluster
+//
+// Options (fuzz mode):
+//   --protocol fig1|fig2|majority   (default fig2)
+//   --n N --k K                     (default n=7, k=2)
+//   --seed S                        search seed (default 1)
+//   --budget B                      total executions (default 256)
+//   --threads T                     workers; never affects results
+//   --batch B                       trials per batch (default 32)
+//   --minimize | --no-minimize      shrink goldens (default on)
+//   --minimize-attempts A           per-golden shrink budget (default 48)
+//   --max-emit E                    golden plans to emit (default 4)
+//   --emit-dir DIR                  write goldens as .plan files
+//   --json FILE                     rcp-fuzz-v1 report (default: stdout)
+//
+// Options (--nemesis):
+//   --loop-threads T --timeout-ms MS
+//
+// The JSON report contains no thread count and no wall-clock fields — CI
+// diffs it across thread counts — so timing goes to stderr only.
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "fuzz/executor.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/nemesis.hpp"
+#include "fuzz/plan.hpp"
+
+namespace {
+
+using namespace rcp;
+
+struct Options {
+  fuzz::FuzzConfig fuzz;
+  std::string emit_dir;
+  std::string json_path;
+  std::string replay_path;
+  std::string nemesis_path;
+  fuzz::NemesisConfig nemesis;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--protocol fig1|fig2|majority] [--n N] [--k K] [--seed S]\n"
+         "       [--budget B] [--threads T] [--batch B]\n"
+         "       [--minimize | --no-minimize] [--minimize-attempts A]\n"
+         "       [--max-emit E] [--emit-dir DIR] [--json FILE]\n"
+         "       | --replay FILE\n"
+         "       | --nemesis FILE [--loop-threads T] [--timeout-ms MS]\n";
+  return 2;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    auto next_u64 = [&](std::uint64_t& out) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out = std::stoull(v);
+      return true;
+    };
+    auto next_u32 = [&](std::uint32_t& out) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out = static_cast<std::uint32_t>(std::stoul(v));
+      return true;
+    };
+    if (flag == "--protocol") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      if (std::strcmp(v, "fig1") == 0) {
+        opt.fuzz.protocol = adversary::ProtocolKind::fail_stop;
+      } else if (std::strcmp(v, "fig2") == 0) {
+        opt.fuzz.protocol = adversary::ProtocolKind::malicious;
+      } else if (std::strcmp(v, "majority") == 0) {
+        opt.fuzz.protocol = adversary::ProtocolKind::majority;
+      } else {
+        return std::nullopt;
+      }
+    } else if (flag == "--n") {
+      if (!next_u32(opt.fuzz.params.n)) return std::nullopt;
+    } else if (flag == "--k") {
+      if (!next_u32(opt.fuzz.params.k)) return std::nullopt;
+    } else if (flag == "--seed") {
+      if (!next_u64(opt.fuzz.seed)) return std::nullopt;
+    } else if (flag == "--budget") {
+      if (!next_u64(opt.fuzz.budget)) return std::nullopt;
+    } else if (flag == "--threads") {
+      if (!next_u32(opt.fuzz.threads)) return std::nullopt;
+    } else if (flag == "--batch") {
+      if (!next_u32(opt.fuzz.batch)) return std::nullopt;
+    } else if (flag == "--minimize") {
+      opt.fuzz.minimize = true;
+    } else if (flag == "--no-minimize") {
+      opt.fuzz.minimize = false;
+    } else if (flag == "--minimize-attempts") {
+      if (!next_u32(opt.fuzz.minimize_attempts)) return std::nullopt;
+    } else if (flag == "--max-emit") {
+      if (!next_u32(opt.fuzz.max_emit)) return std::nullopt;
+    } else if (flag == "--emit-dir") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.emit_dir = v;
+    } else if (flag == "--json") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.json_path = v;
+    } else if (flag == "--replay") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.replay_path = v;
+    } else if (flag == "--nemesis") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opt.nemesis_path = v;
+    } else if (flag == "--loop-threads") {
+      if (!next_u32(opt.nemesis.loop_threads)) return std::nullopt;
+    } else if (flag == "--timeout-ms") {
+      if (!next_u32(opt.nemesis.timeout_ms)) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+fuzz::SchedulePlan load_plan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read plan: " + path);
+  }
+  fuzz::SchedulePlan plan = fuzz::SchedulePlan::parse(in);
+  plan.validate();
+  return plan;
+}
+
+void print_exec(std::ostream& os, const fuzz::ExecResult& r) {
+  os << "status   : " << fuzz::status_token(r.status)
+     << "\nsteps    : " << r.steps << "\nmessages : " << r.messages_sent
+     << "\nphases   : " << static_cast<unsigned>(r.max_phase)
+     << "\nagreement: " << (r.agreement ? "holds" : "VIOLATED");
+  if (r.agreed_value.has_value()) {
+    os << " (value " << *r.agreed_value << ")";
+  }
+  os << "\nsignals  :";
+  if (r.quorum_boundary) os << " quorum-boundary";
+  if (r.near_boundary) os << " near-boundary";
+  if (r.near_disagreement) os << " near-disagreement";
+  if (r.dedup_overflow) os << " dedup-overflow";
+  if (!r.quorum_boundary && !r.near_boundary && !r.near_disagreement &&
+      !r.dedup_overflow) {
+    os << " (none)";
+  }
+  os << "\n";
+}
+
+int replay_mode(const Options& opt) {
+  const fuzz::SchedulePlan plan = load_plan(opt.replay_path);
+  const fuzz::ExecResult r = fuzz::execute(plan);
+  print_exec(std::cout, r);
+  if (plan.expect.present) {
+    const bool ok = fuzz::matches_expect(r, plan);
+    std::cout << "golden   : " << (ok ? "MATCH" : "MISMATCH") << "\n";
+    if (!ok) {
+      return 1;
+    }
+  }
+  return r.agreement ? 0 : 1;
+}
+
+int nemesis_mode(const Options& opt) {
+  const fuzz::SchedulePlan plan = load_plan(opt.nemesis_path);
+  const fuzz::NemesisResult r = fuzz::run_nemesis(plan, opt.nemesis);
+  std::cout << "completed: " << (r.completed ? "yes" : "NO")
+            << "\ndecided  : ";
+  std::uint32_t decided = 0;
+  std::uint32_t correct = 0;
+  for (const net::NodeOutcome& node : r.cluster.nodes) {
+    if (node.correct) {
+      ++correct;
+      decided += node.decision.has_value() ? 1 : 0;
+    }
+  }
+  std::cout << decided << "/" << correct << " correct nodes"
+            << "\ndigests  : " << (r.digests_match ? "MATCH" : "MISMATCH")
+            << "\n";
+  return r.completed && r.digests_match ? 0 : 1;
+}
+
+int fuzz_mode(const Options& opt) {
+  const auto start = std::chrono::steady_clock::now();
+  fuzz::Fuzzer fuzzer(opt.fuzz);
+  const fuzz::FuzzOutcome outcome = fuzzer.run();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (!opt.emit_dir.empty()) {
+    for (const fuzz::EmittedPlan& e : outcome.emitted) {
+      const std::string path = opt.emit_dir + "/" + e.file_name();
+      std::ofstream out(path);
+      if (!out) {
+        std::cerr << "cannot write " << path << "\n";
+        return 2;
+      }
+      out << e.plan.serialize();
+      std::cerr << "emitted  " << path << " (" << e.signal << ")\n";
+    }
+  }
+
+  if (opt.json_path.empty()) {
+    fuzz::write_report(std::cout, opt.fuzz, outcome);
+  } else {
+    std::ofstream out(opt.json_path);
+    if (!out) {
+      std::cerr << "cannot write " << opt.json_path << "\n";
+      return 2;
+    }
+    fuzz::write_report(out, opt.fuzz, outcome);
+  }
+
+  // Timing is stderr-only: the JSON must be byte-identical across thread
+  // counts and machines.
+  std::cerr << "executions " << outcome.stats.executions << "  corpus "
+            << outcome.corpus.size() << "  coverage "
+            << outcome.coverage.size() << "  emitted "
+            << outcome.emitted.size() << "  wall " << seconds << "s\n";
+  return outcome.stats.agreement_violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed.has_value()) {
+    return usage(argv[0]);
+  }
+  const Options& opt = *parsed;
+  const int modes = (opt.replay_path.empty() ? 0 : 1) +
+                    (opt.nemesis_path.empty() ? 0 : 1);
+  if (modes > 1) {
+    std::cerr << "--replay and --nemesis are mutually exclusive\n";
+    return 2;
+  }
+  try {
+    if (!opt.replay_path.empty()) {
+      return replay_mode(opt);
+    }
+    if (!opt.nemesis_path.empty()) {
+      return nemesis_mode(opt);
+    }
+    return fuzz_mode(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "rcp-fuzz: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -171,6 +171,38 @@ void check_determinism(const ScannedFile& f, const Config& cfg,
       }
     }
   }
+  // determinism-strict: in the strict paths even the report-only clocks
+  // are out — a fuzz plan's execution is a pure function of the plan
+  // bytes, so nothing in the subsystem may observe time at all.
+  if (!matches_any_prefix(f.path, cfg.determinism.strict_paths)) {
+    return;
+  }
+  for (const Include& inc : f.includes) {
+    for (const std::string& header : cfg.determinism.strict_headers) {
+      if (inc.target == header) {
+        out.push_back(Diag{f.path, inc.line, "determinism-strict",
+                           "header <" + header +
+                               "> is banned in seed-deterministic paths; "
+                               "plan execution must be a pure function of "
+                               "the plan bytes (docs/FUZZ.md)"});
+      }
+    }
+  }
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (skip[i + 1]) {
+      continue;
+    }
+    for (const std::string& token : cfg.determinism.strict_tokens) {
+      if (line_has_token(f.code[i], token, /*as_call=*/false,
+                         /*member_only=*/false)) {
+        out.push_back(Diag{f.path, i + 1, "determinism-strict",
+                           "`" + token +
+                               "` in a seed-deterministic path; even "
+                               "report-only clocks are banned here "
+                               "(docs/FUZZ.md)"});
+      }
+    }
+  }
 }
 
 void check_allocation(const ScannedFile& f, const Config& cfg,
@@ -289,6 +321,9 @@ Config load_config(const TomlDoc& doc) {
     cfg.determinism.tokens = get_array(*t, "banned_tokens");
     cfg.determinism.calls = get_array(*t, "banned_calls");
     cfg.determinism.allow_paths = get_array(*t, "allow_paths");
+    cfg.determinism.strict_paths = get_array(*t, "strict_paths");
+    cfg.determinism.strict_tokens = get_array(*t, "strict_tokens");
+    cfg.determinism.strict_headers = get_array(*t, "strict_headers");
   }
   if (const TomlTable* t = get_table(doc, "allocation")) {
     cfg.allocation.files = get_array(*t, "files");

@@ -14,7 +14,11 @@
 //                 programs against the Reactor interface.
 //   determinism — std::random_device, rand(), time(), system_clock and
 //                 std::<random> engines are banned outside common/rng;
-//                 every run must be a pure function of its seed.
+//                 every run must be a pure function of its seed. Its
+//                 `determinism-strict` extension additionally bans the
+//                 report-only clocks (steady_clock, <chrono>) in the
+//                 strict paths (src/fuzz): a fuzz plan's execution must be
+//                 a pure function of the plan bytes, timing included.
 //   hot-alloc   — allocation and growth-capable container calls are banned
 //                 in the files covered by the operator-new counting
 //                 contract (sim step path, Payload, Mailbox).
@@ -65,6 +69,11 @@ struct DeterminismCfg {
   std::vector<std::string> tokens;       ///< Banned bare identifiers.
   std::vector<std::string> calls;        ///< Banned only when called: `x(`.
   std::vector<std::string> allow_paths;
+  // `determinism-strict`: paths where even the report-only clocks are
+  // banned (plan execution must be a pure function of the plan bytes).
+  std::vector<std::string> strict_paths;
+  std::vector<std::string> strict_tokens;
+  std::vector<std::string> strict_headers;  ///< Banned #include targets.
 };
 
 struct AllocationCfg {
