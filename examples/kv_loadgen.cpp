@@ -43,17 +43,18 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/json.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "net/cluster.hpp"
+#include "runtime/sync.hpp"
 #include "service/loadgen.hpp"
 #include "service/sim_service.hpp"
 #include "service/workload.hpp"
@@ -244,13 +245,13 @@ class QueueOpSource final : public service::OpSource {
       : queues_(shards), stamps_(shards) {}
 
   void push(std::uint32_t shard, service::KvOp op) {
-    const std::scoped_lock lock(mu_);
+    const runtime::MutexLock lock(mu_);
     queues_[shard].push_back(op);
   }
 
   [[nodiscard]] std::optional<service::KvOp> next(
       std::uint32_t shard) override {
-    const std::scoped_lock lock(mu_);
+    const runtime::MutexLock lock(mu_);
     if (queues_[shard].empty()) {
       return std::nullopt;
     }
@@ -262,7 +263,7 @@ class QueueOpSource final : public service::OpSource {
 
   /// Own-op applies run in per-shard seq order, matching next() order.
   [[nodiscard]] double take_latency_ms(std::uint32_t shard) {
-    const std::scoped_lock lock(mu_);
+    const runtime::MutexLock lock(mu_);
     const Clock::time_point t0 = stamps_[shard].front();
     stamps_[shard].pop_front();
     return std::chrono::duration<double, std::milli>(Clock::now() - t0)
@@ -270,9 +271,9 @@ class QueueOpSource final : public service::OpSource {
   }
 
  private:
-  std::mutex mu_;
-  std::vector<std::deque<service::KvOp>> queues_;
-  std::vector<std::deque<Clock::time_point>> stamps_;
+  runtime::Mutex mu_;
+  std::vector<std::deque<service::KvOp>> queues_ RCP_GUARDED_BY(mu_);
+  std::vector<std::deque<Clock::time_point>> stamps_ RCP_GUARDED_BY(mu_);
 };
 
 RunReport run_net(const Options& opt, bool batching) {

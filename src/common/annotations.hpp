@@ -1,0 +1,85 @@
+// Thread-safety annotations, checked by two independent analyzers.
+//
+// Under clang the RCP_* macros expand to the -Wthread-safety capability
+// attributes (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), so
+// the clang CI job proves lock discipline with full call-graph analysis.
+// Under every other compiler they expand to nothing — but rcp-lint's
+// `thread-safety` rule parses the markers straight out of the source
+// text, so the same contracts are enforced token-level on every build
+// (see docs/LINT.md).
+//
+// The two views deliberately share one spelling: an annotation that one
+// analyzer honours and the other ignores is a bug in this header.
+#pragma once
+
+#if defined(__clang__)
+#define RCP_TSA_(x) __attribute__((x))
+#else
+#define RCP_TSA_(x)
+#endif
+
+/// Marks a class as a capability (a mutex, or a role such as "the thread
+/// driving this object"). The string names the capability kind in clang
+/// diagnostics.
+#define RCP_CAPABILITY(name) RCP_TSA_(capability(name))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (see runtime::MutexLock).
+#define RCP_SCOPED_CAPABILITY RCP_TSA_(scoped_lockable)
+
+/// Member may only be read or written while holding `x`.
+#define RCP_GUARDED_BY(x) RCP_TSA_(guarded_by(x))
+
+/// Pointee of the annotated pointer member is guarded by `x`.
+#define RCP_PT_GUARDED_BY(x) RCP_TSA_(pt_guarded_by(x))
+
+/// Caller must hold the listed capabilities before calling.
+#define RCP_REQUIRES(...) RCP_TSA_(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock guard for
+/// functions that acquire them internally).
+#define RCP_EXCLUDES(...) RCP_TSA_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define RCP_ACQUIRE(...) RCP_TSA_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define RCP_RELEASE(...) RCP_TSA_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capabilities when it returns `ret`.
+#define RCP_TRY_ACQUIRE(ret, ...) \
+  RCP_TSA_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Calling the function asserts (without acquiring) that the capability is
+/// held — the static escape hatch for facts established by runtime
+/// structure, e.g. "only the loop thread reaches this path".
+#define RCP_ASSERT_CAPABILITY(x) RCP_TSA_(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define RCP_RETURN_CAPABILITY(x) RCP_TSA_(lock_returned(x))
+
+/// Function body is exempt from analysis. Reserve for code whose safety
+/// argument lives outside the lock discipline (condition-variable wait
+/// predicates run under the wait's own mutex contract) and pair it with a
+/// comment citing that argument.
+#define RCP_NO_THREAD_SAFETY_ANALYSIS RCP_TSA_(no_thread_safety_analysis)
+
+namespace rcp {
+
+/// A pseudo-capability representing "the single thread currently driving
+/// this object" — thread confinement made visible to the analyzers.
+///
+/// It has no runtime state and acquires nothing: holding it is a claim,
+/// introduced at the few places where the runtime structure makes the
+/// claim true (an event loop entering a node's callbacks, a driver thread
+/// that owns an object before any worker exists). Members annotated
+/// RCP_GUARDED_BY(affinity) and methods annotated RCP_REQUIRES(affinity)
+/// are then statically confined to those paths.
+class RCP_CAPABILITY("thread role") ThreadAffinity {
+ public:
+  /// States that the calling thread is the driver. Both analyzers treat
+  /// the capability as held from this call to the end of the scope.
+  void assert_held() const RCP_ASSERT_CAPABILITY(this) {}
+};
+
+}  // namespace rcp

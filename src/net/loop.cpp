@@ -9,11 +9,16 @@ namespace rcp::net {
 
 void EventLoop::run() {
   auto now = Clock::now();
+  // This thread is now the driver of every attached node; each batch of
+  // loop_* calls below re-asserts the affinity capability for the
+  // analyzers (see Node::assert_driving).
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     Node& node = *nodes_[i];
+    node.assert_driving();
     try {
       node.loop_start(*this, static_cast<std::uint32_t>(i), now);
     } catch (const std::exception& e) {
+      node.assert_driving();  // catch blocks re-enter the analysis fresh
       node.loop_abort(e.what());
     }
   }
@@ -25,10 +30,12 @@ void EventLoop::run() {
       if (node->finished()) {
         continue;
       }
+      node->assert_driving();
       if (!node->loop_finished()) {
         try {
           node->loop_service(now);
         } catch (const std::exception& e) {
+          node->assert_driving();
           node->loop_abort(e.what());
         }
       }
@@ -49,6 +56,7 @@ void EventLoop::run() {
       if (node->finished()) {
         continue;
       }
+      node->assert_driving();
       timeout_ms = std::min(timeout_ms, node->loop_timeout_ms(now));
       ready_now = ready_now || node->loop_has_ready_work();
       if (!reactor_->edge_triggered()) {
@@ -59,8 +67,9 @@ void EventLoop::run() {
     for (const ReactorEvent& ev : reactor_->events()) {
       const auto idx = static_cast<std::size_t>(ev.token >> 32);
       if (idx < nodes_.size() && !nodes_[idx]->finished()) {
-        nodes_[idx]->loop_event(static_cast<std::uint32_t>(ev.token),
-                                ev.mask);
+        Node& node = *nodes_[idx];
+        node.assert_driving();
+        node.loop_event(static_cast<std::uint32_t>(ev.token), ev.mask);
       }
     }
   }

@@ -44,24 +44,35 @@ class Node::LoopContext final : public sim::Context {
   [[nodiscard]] std::uint32_t n() const noexcept override {
     return node_.cfg_.n;
   }
+  // A LoopContext only ever exists inside a loop_* callback, so each
+  // entry point re-states the affinity the virtual dispatch erased.
   [[nodiscard]] std::uint64_t step() const noexcept override {
+    node_.assert_driving();
     return node_.stats_.events;
   }
 
   void send(ProcessId to, Bytes payload) override {
+    node_.assert_driving();
     RCP_EXPECT(to < node_.cfg_.n, "send to unknown process");
     node_.send_from_process(to, std::move(payload));
   }
 
   void broadcast(const Bytes& payload) override {
+    node_.assert_driving();
     for (ProcessId q = 0; q < node_.cfg_.n; ++q) {
       node_.send_from_process(q, payload);
     }
   }
 
-  void decide(Value v) override { node_.record_decision(v); }
+  void decide(Value v) override {
+    node_.assert_driving();
+    node_.record_decision(v);
+  }
 
-  [[nodiscard]] Rng& rng() noexcept override { return node_.process_rng_; }
+  [[nodiscard]] Rng& rng() noexcept override {
+    node_.assert_driving();
+    return node_.process_rng_;
+  }
 
  private:
   Node& node_;
@@ -74,6 +85,7 @@ Node::Node(NodeConfig cfg, std::unique_ptr<sim::Process> process)
       faults_(cfg_.faults,
               runtime::trial_seed(cfg_.seed ^ runtime::kSplitMix64Gamma,
                                   cfg_.id)) {
+  assert_driving();  // no loop yet: the constructing thread is the driver
   RCP_EXPECT(cfg_.n >= 1, "node needs a cluster size of at least 1");
   RCP_EXPECT(cfg_.id < cfg_.n, "node id outside [0, n)");
   RCP_EXPECT(process_ != nullptr, "null process");
@@ -111,6 +123,7 @@ Node::~Node() {
 }
 
 std::uint16_t Node::listen() {
+  assert_driving();  // setup phase, or loop_start on the loop thread
   if (!listening_) {
     listener_ = listen_on(cfg_.listen_host, cfg_.listen_port);
     listening_ = true;
@@ -119,6 +132,7 @@ std::uint16_t Node::listen() {
 }
 
 void Node::set_peer(ProcessId p, PeerAddress addr) {
+  assert_driving();  // setup phase: the loop is not running yet
   RCP_EXPECT(p < cfg_.n, "unknown peer id");
   cfg_.peers[p] = addr;
   links_[p].init(p, std::move(addr), links_[p].dialer());
@@ -830,7 +844,10 @@ void Node::flush_link(PeerLink& link, Clock::time_point now) {
     }
   };
   while (true) {
-    plan_.build(link, now, frames, [this] { return faults_.should_drop(); });
+    plan_.build(link, now, frames, [this] {
+      assert_driving();  // lambda body escapes the enclosing REQUIRES
+      return faults_.should_drop();
+    });
     if (plan_.empty()) {
       return;
     }

@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/process.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -162,9 +163,18 @@ class Node {
 
   // ---- Post-run observers (valid after run() returns) ----------------
 
-  [[nodiscard]] const NodeStats& stats() const noexcept { return stats_; }
+  // Exempt from lock analysis: the caller joined (or observed finished()
+  // on) the driving loop thread, which synchronizes; there is no lock to
+  // name for a happens-before edge established by thread teardown.
+  [[nodiscard]] const NodeStats& stats() const noexcept
+      RCP_NO_THREAD_SAFETY_ANALYSIS {
+    return stats_;
+  }
   /// Non-empty if the loop died on an exception.
-  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] const std::string& error() const noexcept
+      RCP_NO_THREAD_SAFETY_ANALYSIS {
+    return error_;
+  }
   [[nodiscard]] sim::Process& process() noexcept { return *process_; }
 
  private:
@@ -172,38 +182,58 @@ class Node {
   friend class LoopContext;
   friend class EventLoop;
 
+  /// States that the calling thread is the one driving this node — the
+  /// EventLoop asserts it before every batch of loop_* calls, and the
+  /// setup-phase entry points (constructor, listen, set_peer) assert it
+  /// themselves: before the loop exists, the constructing thread is
+  /// trivially the only driver.
+  void assert_driving() const RCP_ASSERT_CAPABILITY(loop_affinity_) {}
+
   // ---- EventLoop interface (loop-thread-only) ------------------------
 
   void loop_start(EventLoop& loop, std::uint32_t index,
-                  Clock::time_point now);
-  void loop_event(std::uint32_t sub, unsigned mask);
-  void loop_service(Clock::time_point now);
-  [[nodiscard]] int loop_timeout_ms(Clock::time_point now) const;
-  [[nodiscard]] bool loop_has_ready_work() const noexcept;
-  void loop_refresh_masks(Clock::time_point now);
-  [[nodiscard]] bool loop_finished() const noexcept;
-  void loop_abort(const char* what);
-  void loop_finish();
+                  Clock::time_point now) RCP_REQUIRES(loop_affinity_);
+  void loop_event(std::uint32_t sub, unsigned mask)
+      RCP_REQUIRES(loop_affinity_);
+  void loop_service(Clock::time_point now) RCP_REQUIRES(loop_affinity_);
+  [[nodiscard]] int loop_timeout_ms(Clock::time_point now) const
+      RCP_REQUIRES(loop_affinity_);
+  [[nodiscard]] bool loop_has_ready_work() const noexcept
+      RCP_REQUIRES(loop_affinity_);
+  void loop_refresh_masks(Clock::time_point now) RCP_REQUIRES(loop_affinity_);
+  [[nodiscard]] bool loop_finished() const noexcept
+      RCP_REQUIRES(loop_affinity_);
+  void loop_abort(const char* what) RCP_REQUIRES(loop_affinity_);
+  void loop_finish() RCP_REQUIRES(loop_affinity_);
 
-  void start_due_dials(Clock::time_point now);
-  void apply_due_disconnects(Clock::time_point now);
-  void accept_new_connections(Clock::time_point now);
-  void service_pending(Clock::time_point now);
-  void service_links(Clock::time_point now);
-  void check_timers(Clock::time_point now);
-  void process_link_input(PeerLink& link);
-  [[nodiscard]] bool read_socket(PeerLink& link);
-  void attach_pending(std::size_t index, ProcessId peer);
-  void establish_link(PeerLink& link);
-  void reset_link(PeerLink& link, Clock::time_point now);
-  void flush_link(PeerLink& link, Clock::time_point now);
-  void deliver_data(PeerLink& link, Frame&& frame);
-  void deliver_local_once();
-  void send_from_process(ProcessId to, Bytes payload);
-  void record_decision(Value v);
-  void after_event();
-  void close_all();
-  void watch_fd(int fd, std::uint32_t sub, unsigned mask);
+  void start_due_dials(Clock::time_point now) RCP_REQUIRES(loop_affinity_);
+  void apply_due_disconnects(Clock::time_point now)
+      RCP_REQUIRES(loop_affinity_);
+  void accept_new_connections(Clock::time_point now)
+      RCP_REQUIRES(loop_affinity_);
+  void service_pending(Clock::time_point now) RCP_REQUIRES(loop_affinity_);
+  void service_links(Clock::time_point now) RCP_REQUIRES(loop_affinity_);
+  void check_timers(Clock::time_point now) RCP_REQUIRES(loop_affinity_);
+  void process_link_input(PeerLink& link) RCP_REQUIRES(loop_affinity_);
+  [[nodiscard]] bool read_socket(PeerLink& link)
+      RCP_REQUIRES(loop_affinity_);
+  void attach_pending(std::size_t index, ProcessId peer)
+      RCP_REQUIRES(loop_affinity_);
+  void establish_link(PeerLink& link) RCP_REQUIRES(loop_affinity_);
+  void reset_link(PeerLink& link, Clock::time_point now)
+      RCP_REQUIRES(loop_affinity_);
+  void flush_link(PeerLink& link, Clock::time_point now)
+      RCP_REQUIRES(loop_affinity_);
+  void deliver_data(PeerLink& link, Frame&& frame)
+      RCP_REQUIRES(loop_affinity_);
+  void deliver_local_once() RCP_REQUIRES(loop_affinity_);
+  void send_from_process(ProcessId to, Bytes payload)
+      RCP_REQUIRES(loop_affinity_);
+  void record_decision(Value v) RCP_REQUIRES(loop_affinity_);
+  void after_event() RCP_REQUIRES(loop_affinity_);
+  void close_all() RCP_REQUIRES(loop_affinity_);
+  void watch_fd(int fd, std::uint32_t sub, unsigned mask)
+      RCP_REQUIRES(loop_affinity_);
 
   /// A connection that said nothing yet: accepted, awaiting its hello.
   struct PendingConn {
@@ -214,33 +244,47 @@ class Node {
     bool readable = false;    ///< sticky readiness flag
   };
 
-  NodeConfig cfg_;
-  std::unique_ptr<sim::Process> process_;
-  ListenSocket listener_;
-  bool listening_ = false;
-  std::vector<PeerLink> links_;  ///< indexed by peer id; [self] unused
-  std::vector<PendingConn> pending_;
-  Rng process_rng_;
-  FaultInjector faults_;
-  NodeStats stats_;
-  std::string error_;
-  WritevPlan plan_;  ///< reusable vectored-send scratch (no allocations)
+  /// The capability "I am the thread driving this node". Costless claim,
+  /// not a lock: EventLoop::run asserts it per node, the setup phase
+  /// asserts it on entry, and everything below marked RCP_GUARDED_BY is
+  /// thereby statically confined to the driving thread.
+  ThreadAffinity loop_affinity_;
 
-  EventLoop* loop_ = nullptr;  ///< set by loop_start, for registrations
-  std::uint32_t loop_index_ = 0;
-  bool listener_readable_ = false;
-  bool wake_watched_ = false;
-  bool listener_watched_ = false;
-  std::uint32_t pending_token_seq_ = 0;
+  NodeConfig cfg_;  ///< immutable once the loop starts (observers read id)
+  std::unique_ptr<sim::Process> process_;
+  ListenSocket listener_ RCP_GUARDED_BY(loop_affinity_);
+  bool listening_ RCP_GUARDED_BY(loop_affinity_) = false;
+  /// Indexed by peer id; [self] unused.
+  std::vector<PeerLink> links_ RCP_GUARDED_BY(loop_affinity_);
+  std::vector<PendingConn> pending_ RCP_GUARDED_BY(loop_affinity_);
+  Rng process_rng_ RCP_GUARDED_BY(loop_affinity_);
+  FaultInjector faults_ RCP_GUARDED_BY(loop_affinity_);
+  NodeStats stats_ RCP_GUARDED_BY(loop_affinity_);
+  std::string error_ RCP_GUARDED_BY(loop_affinity_);
+  /// Reusable vectored-send scratch (no allocations).
+  WritevPlan plan_ RCP_GUARDED_BY(loop_affinity_);
+
+  /// Set by loop_start, for registrations.
+  EventLoop* loop_ RCP_GUARDED_BY(loop_affinity_) = nullptr;
+  std::uint32_t loop_index_ RCP_GUARDED_BY(loop_affinity_) = 0;
+  bool listener_readable_ RCP_GUARDED_BY(loop_affinity_) = false;
+  bool wake_watched_ RCP_GUARDED_BY(loop_affinity_) = false;
+  bool listener_watched_ RCP_GUARDED_BY(loop_affinity_) = false;
+  std::uint32_t pending_token_seq_ RCP_GUARDED_BY(loop_affinity_) = 0;
 
   /// Self-send inbox (the paper's requeue device).
-  std::vector<sim::Envelope> local_inbox_;
-  std::uint64_t local_seq_ = 0;
+  std::vector<sim::Envelope> local_inbox_ RCP_GUARDED_BY(loop_affinity_);
+  std::uint64_t local_seq_ RCP_GUARDED_BY(loop_affinity_) = 0;
 
-  std::optional<Value> decision_;  ///< loop-thread view, for the invariant
-  bool crash_pending_ = false;
-  Clock::time_point next_idle_tick_{};  ///< armed when idle_tick_ms != 0
+  /// Loop-thread view, for the one-shot invariant.
+  std::optional<Value> decision_ RCP_GUARDED_BY(loop_affinity_);
+  bool crash_pending_ RCP_GUARDED_BY(loop_affinity_) = false;
+  /// Armed when idle_tick_ms != 0.
+  Clock::time_point next_idle_tick_ RCP_GUARDED_BY(loop_affinity_){};
 
+  // Deliberately unguarded: set in the constructor, closed in the
+  // destructor, and in between only read — the loop drains wake_rd_,
+  // request_stop() (any thread) writes one byte to wake_wr_.
   int wake_rd_ = -1;
   int wake_wr_ = -1;
   std::atomic<bool> stop_{false};

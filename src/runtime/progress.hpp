@@ -10,9 +10,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <iosfwd>
-#include <mutex>
 #include <thread>
 
+#include "common/annotations.hpp"
+#include "runtime/sync.hpp"
 #include "runtime/thread_control.hpp"
 
 namespace rcp::runtime {
@@ -32,16 +33,18 @@ class ProgressReporter {
   ProgressReporter& operator=(const ProgressReporter&) = delete;
 
  private:
-  void loop(const std::stop_token& stop);
-  void print_line();
+  void loop(const std::stop_token& stop) RCP_EXCLUDES(mutex_);
+  void print_line() RCP_REQUIRES(mutex_);
 
   const ThreadControl& control_;
   std::ostream& out_;
   std::chrono::milliseconds interval_;
   std::chrono::steady_clock::time_point start_;
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable_any cv_;
-  bool printed_ = false;
+  // mutex_ serializes the reporter thread's periodic line against the
+  // destructor's final one (out_ and printed_ are the shared state).
+  bool printed_ RCP_GUARDED_BY(mutex_) = false;
   std::jthread thread_;
 };
 

@@ -1,0 +1,66 @@
+// Annotated mutex wrappers. libstdc++'s std::mutex carries no capability
+// attributes, so clang's -Wthread-safety cannot see it; Mutex/MutexLock
+// are the thinnest possible shims that make locking visible to the
+// analyzers (common/annotations.hpp) while keeping std::mutex semantics —
+// including compatibility with std::condition_variable_any, which only
+// needs lock()/unlock() on the lock object it is handed.
+//
+// Layering: this header lives in src/runtime (with the other OS-thread
+// machinery) so the sans-io layers — common, core, protocols, service —
+// cannot grow a dependency on OS locking without tripping the layer rule.
+#pragma once
+
+#include <mutex>
+
+#include "common/annotations.hpp"
+
+namespace rcp::runtime {
+
+/// std::mutex with capability attributes.
+class RCP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RCP_ACQUIRE() { raw_.lock(); }
+  void unlock() RCP_RELEASE() { raw_.unlock(); }
+  [[nodiscard]] bool try_lock() RCP_TRY_ACQUIRE(true) {
+    return raw_.try_lock();
+  }
+
+ private:
+  std::mutex raw_;
+};
+
+/// Scoped lock over Mutex, relockable like std::unique_lock so it can sit
+/// under a condition_variable_any wait and bracket an unlocked region.
+class RCP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RCP_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() RCP_RELEASE() {
+    if (held_) {
+      mu_.unlock();
+    }
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() RCP_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  void unlock() RCP_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+}  // namespace rcp::runtime

@@ -24,7 +24,7 @@ TrialPool::~TrialPool() {
 
 void TrialPool::for_each(std::uint64_t jobs, const Job& fn,
                          ThreadControl* control) {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   RCP_EXPECT(active_ == 0, "TrialPool::for_each is not reentrant");
   job_ = &fn;
   job_count_ = jobs;
@@ -35,7 +35,7 @@ void TrialPool::for_each(std::uint64_t jobs, const Job& fn,
   active_ = thread_count();
   ++generation_;
   work_cv_.notify_all();
-  done_cv_.wait(lock, [this] { return active_ == 0; });
+  done_cv_.wait(lock, [this] { return batch_done(); });
   job_ = nullptr;
   if (error_ != nullptr) {
     std::exception_ptr error = error_;
@@ -46,10 +46,10 @@ void TrialPool::for_each(std::uint64_t jobs, const Job& fn,
 
 void TrialPool::worker(const std::stop_token& stop, std::uint32_t index) {
   std::uint64_t seen = 0;
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
     const bool woke = work_cv_.wait(
-        lock, stop, [this, seen] { return generation_ != seen; });
+        lock, stop, [this, seen] { return generation_advanced(seen); });
     if (!woke) {
       return;  // stop requested with no new batch
     }

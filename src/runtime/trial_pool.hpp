@@ -18,10 +18,11 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "runtime/sync.hpp"
 #include "runtime/thread_control.hpp"
 
 namespace rcp::runtime {
@@ -47,23 +48,36 @@ class TrialPool {
   /// `control` is non-null, its cancellation flag is honoured between
   /// jobs (already-started jobs run to completion). Not reentrant.
   void for_each(std::uint64_t jobs, const Job& fn,
-                ThreadControl* control = nullptr);
+                ThreadControl* control = nullptr) RCP_EXCLUDES(mutex_);
 
  private:
-  void worker(const std::stop_token& stop, std::uint32_t index);
+  void worker(const std::stop_token& stop, std::uint32_t index)
+      RCP_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
+  // Condition-variable wait predicates run under the wait's own mutex
+  // contract (the cv re-acquires before evaluating them), which neither
+  // analyzer can see through the lambda — so the guarded reads live in
+  // these two exempt helpers instead of inline lambdas.
+  [[nodiscard]] bool batch_done() const RCP_NO_THREAD_SAFETY_ANALYSIS {
+    return active_ == 0;
+  }
+  [[nodiscard]] bool generation_advanced(std::uint64_t seen) const
+      RCP_NO_THREAD_SAFETY_ANALYSIS {
+    return generation_ != seen;
+  }
+
+  Mutex mutex_;
   std::condition_variable_any work_cv_;
   std::condition_variable_any done_cv_;
-  // Batch state, guarded by mutex_ (next_ is claimed lock-free).
-  std::uint64_t generation_ = 0;
-  const Job* job_ = nullptr;
-  std::uint64_t job_count_ = 0;
-  ThreadControl* control_ = nullptr;
+  // Batch state (next_ is claimed lock-free).
+  std::uint64_t generation_ RCP_GUARDED_BY(mutex_) = 0;
+  const Job* job_ RCP_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t job_count_ RCP_GUARDED_BY(mutex_) = 0;
+  ThreadControl* control_ RCP_GUARDED_BY(mutex_) = nullptr;
   std::atomic<std::uint64_t> next_{0};
   std::atomic<bool> abort_{false};
-  std::uint32_t active_ = 0;
-  std::exception_ptr error_;
+  std::uint32_t active_ RCP_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr error_ RCP_GUARDED_BY(mutex_);
   std::vector<std::jthread> workers_;
 };
 

@@ -15,6 +15,7 @@ KvReplica::KvReplica(ReplicaConfig cfg, std::shared_ptr<OpSource> source)
       inflight_(cfg.shards, 0),
       next_apply_(static_cast<std::size_t>(cfg.params.n) * cfg.shards, 0),
       applied_from_(cfg.params.n, 0) {
+  step_affinity_.assert_held();  // constructing thread is the first driver
   RCP_EXPECT(cfg_.shards >= 1 && cfg_.shards < (1u << kShardBits),
              "KvReplica: shard count out of tag range");
   RCP_EXPECT(source_ != nullptr, "KvReplica: null op source");
@@ -50,6 +51,7 @@ KvReplica::KvReplica(ReplicaConfig cfg, std::shared_ptr<OpSource> source)
 }
 
 ext::RbEngineStats KvReplica::engine_stats() const {
+  step_affinity_.assert_held();  // driver-thread observer (see header)
   ext::RbEngineStats total;
   for (const ext::RbEngine& e : engines_) {
     const ext::RbEngineStats& s = e.stats();
@@ -67,6 +69,7 @@ ext::RbEngineStats KvReplica::engine_stats() const {
 }
 
 std::size_t KvReplica::live_instances() const {
+  step_affinity_.assert_held();  // driver-thread observer (see header)
   std::size_t total = 0;
   for (const ext::RbEngine& e : engines_) {
     total += e.instance_count();
@@ -94,18 +97,23 @@ void KvReplica::pull_all(Context& ctx) {
   }
 }
 
+// The Process entry points are where the stepping thread enters: each one
+// re-states the affinity the virtual dispatch erased.
 void KvReplica::on_start(Context& ctx) {
+  step_affinity_.assert_held();
   self_ = ctx.self();
   pull_all(ctx);
   batcher_.flush(ctx);
 }
 
 void KvReplica::on_null(Context& ctx) {
+  step_affinity_.assert_held();
   pull_all(ctx);
   batcher_.flush(ctx);
 }
 
 void KvReplica::on_message(Context& ctx, const Envelope& env) {
+  step_affinity_.assert_held();
   try {
     if (ext::RbxBatch::is_batch(env.payload)) {
       scratch_.clear();

@@ -30,6 +30,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/process.hpp"
 #include "core/params.hpp"
 #include "extensions/rb_engine.hpp"
@@ -131,25 +132,40 @@ class KvReplica final : public Process {
 
   KvReplica(ReplicaConfig cfg, std::shared_ptr<OpSource> source);
 
-  void set_apply_hook(ApplyHook hook) { apply_hook_ = std::move(hook); }
+  void set_apply_hook(ApplyHook hook) {
+    step_affinity_.assert_held();  // setup phase, before any step runs
+    apply_hook_ = std::move(hook);
+  }
 
   void on_start(Context& ctx) override;
   void on_message(Context& ctx, const Envelope& env) override;
   void on_null(Context& ctx) override;
   /// Applied-op count, so phase-triggered fault injection can target
-  /// "after N ops".
-  [[nodiscard]] Phase phase() const noexcept override {
+  /// "after N ops". Relaxed read of step state from the phase observer —
+  /// net::Node republishes it through its own atomic.
+  [[nodiscard]] Phase phase() const noexcept override
+      RCP_NO_THREAD_SAFETY_ANALYSIS {
     return static_cast<Phase>(counters_.ops_applied);
   }
 
   // ---- Observers (driver thread, post-run / white-box tests) -----------
+  // The reading thread is the step driver (sim mode) or has joined it
+  // (net mode): it holds the affinity, and says so.
 
-  [[nodiscard]] const KvStore& store() const noexcept { return kv_; }
-  [[nodiscard]] std::uint64_t digest() const noexcept { return kv_.digest(); }
+  [[nodiscard]] const KvStore& store() const noexcept {
+    step_affinity_.assert_held();
+    return kv_;
+  }
+  [[nodiscard]] std::uint64_t digest() const noexcept {
+    step_affinity_.assert_held();
+    return kv_.digest();
+  }
   [[nodiscard]] const ReplicaCounters& counters() const noexcept {
+    step_affinity_.assert_held();
     return counters_;
   }
   [[nodiscard]] const RbxBatcher::Stats& batcher_stats() const noexcept {
+    step_affinity_.assert_held();
     return batcher_.stats();
   }
   /// Aggregated over the per-shard engines.
@@ -157,36 +173,45 @@ class KvReplica final : public Process {
   [[nodiscard]] std::size_t live_instances() const;
 
  private:
-  void pull(Context& ctx, std::uint32_t shard);
-  void pull_all(Context& ctx);
-  void feed(Context& ctx, ProcessId sender, const ext::RbxMsg& msg);
+  void pull(Context& ctx, std::uint32_t shard) RCP_REQUIRES(step_affinity_);
+  void pull_all(Context& ctx) RCP_REQUIRES(step_affinity_);
+  void feed(Context& ctx, ProcessId sender, const ext::RbxMsg& msg)
+      RCP_REQUIRES(step_affinity_);
   void on_delivered(Context& ctx, std::uint32_t shard,
-                    const ext::RbEngine::Delivery& d);
+                    const ext::RbEngine::Delivery& d)
+      RCP_REQUIRES(step_affinity_);
   [[nodiscard]] std::uint32_t stream_of(ProcessId origin,
                                         std::uint32_t shard) const noexcept {
     return origin * cfg_.shards + shard;
   }
 
+  /// "I am the single thread stepping this replica" — sim::Simulation's
+  /// run loop or the owning net::Node's event loop. The Process entry
+  /// points assert it; everything below it is confined to that thread.
+  ThreadAffinity step_affinity_;
+
   ReplicaConfig cfg_;
   std::shared_ptr<OpSource> source_;
-  ProcessId self_ = 0;
-  std::vector<ext::RbEngine> engines_;  ///< one per shard
-  RbxBatcher batcher_;
-  KvStore kv_;
+  ProcessId self_ RCP_GUARDED_BY(step_affinity_) = 0;
+  /// One engine per shard.
+  std::vector<ext::RbEngine> engines_ RCP_GUARDED_BY(step_affinity_);
+  RbxBatcher batcher_ RCP_GUARDED_BY(step_affinity_);
+  KvStore kv_ RCP_GUARDED_BY(step_affinity_);
   /// next_seq_[shard]: next seq this replica originates on that shard.
-  std::vector<std::uint64_t> next_seq_;
+  std::vector<std::uint64_t> next_seq_ RCP_GUARDED_BY(step_affinity_);
   /// inflight_[shard]: own ops originated but not yet applied.
-  std::vector<std::uint32_t> inflight_;
+  std::vector<std::uint32_t> inflight_ RCP_GUARDED_BY(step_affinity_);
   /// next_apply_[stream]: the FIFO barrier cursor per origin stream.
   /// Out-of-order deliveries stay live (and queryable) in the engine until
   /// the cursor reaches them — there is no replica-side pending buffer.
-  std::vector<std::uint64_t> next_apply_;
+  std::vector<std::uint64_t> next_apply_ RCP_GUARDED_BY(step_affinity_);
   /// Termination accounting against cfg_.expected_per_origin.
-  std::vector<std::uint64_t> applied_from_;
-  std::uint32_t origins_remaining_ = 0;
-  std::vector<ext::RbxMsg> scratch_;  ///< batch decode buffer
-  ReplicaCounters counters_;
-  ApplyHook apply_hook_;
+  std::vector<std::uint64_t> applied_from_ RCP_GUARDED_BY(step_affinity_);
+  std::uint32_t origins_remaining_ RCP_GUARDED_BY(step_affinity_) = 0;
+  /// Batch decode buffer.
+  std::vector<ext::RbxMsg> scratch_ RCP_GUARDED_BY(step_affinity_);
+  ReplicaCounters counters_ RCP_GUARDED_BY(step_affinity_);
+  ApplyHook apply_hook_ RCP_GUARDED_BY(step_affinity_);
 };
 
 }  // namespace rcp::service
