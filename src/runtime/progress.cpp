@@ -20,6 +20,10 @@ ProgressReporter::~ProgressReporter() {
   if (thread_.joinable()) {
     thread_.join();
   }
+  // The reporter thread is gone, but the lock discipline stays uniform:
+  // the final line and the printed_ read follow the same protocol as the
+  // periodic ones.
+  MutexLock lock(mutex_);
   print_line();
   if (printed_) {
     out_ << "\n";
@@ -28,7 +32,7 @@ ProgressReporter::~ProgressReporter() {
 }
 
 void ProgressReporter::loop(const std::stop_token& stop) {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   while (!stop.stop_requested()) {
     // Throttle: one wake-up per interval, released early only on stop.
     cv_.wait_for(lock, stop, interval_, [] { return false; });
