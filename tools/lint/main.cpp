@@ -1,6 +1,11 @@
-// rcp-lint entry point: walks the configured roots (or explicit paths),
-// scans every translation unit, applies the rule classes from
-// tools/lint_rules.toml and prints GCC-style diagnostics:
+// rcp-lint entry point: the two-pass engine.
+//
+// Pass 1 scans every translation unit in the configured roots (or the
+// explicit paths) and builds the repo-wide model — include graph, class
+// and annotation index, protocol registration sites (lint/model.hpp).
+// Pass 2 runs the per-file rule classes plus the cross-file rules
+// (thread-safety, include-cycle, layer-closure, unused-header,
+// resilience-bound) over that model and prints GCC-style diagnostics:
 //
 //   src/core/foo.cpp:12: error: ... [rule-id]
 //
@@ -9,16 +14,20 @@
 #include <algorithm>
 #include <filesystem>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "lint/model.hpp"
 #include "lint/rules.hpp"
 #include "lint/scan.hpp"
+#include "lint/thread_safety.hpp"
 #include "lint/toml.hpp"
 
 namespace fs = std::filesystem;
 using rcp::lint::Config;
 using rcp::lint::Diag;
+using rcp::lint::RepoModel;
 using rcp::lint::ScannedFile;
 
 namespace {
@@ -26,15 +35,28 @@ namespace {
 struct Options {
   std::string root = ".";
   std::string rules;
+  std::string model_cache;  ///< Pass-1 model cache file ("" = no cache).
   bool list_suppressions = false;
+  bool graph_dot = false;   ///< Print the include graph as DOT and exit.
+  long expect_min_files = -1;  ///< Fail (exit 2) if fewer files linted.
   std::vector<std::string> paths;  ///< Explicit files/dirs; empty = config roots.
 };
 
 int usage() {
   std::cerr << "usage: rcp-lint [--root DIR] [--rules FILE]"
-            << " [--list-suppressions] [paths...]\n"
+            << " [--model-cache FILE] [--graph-dot]\n"
+            << "                [--expect-min-files N] [--list-suppressions]"
+            << " [paths...]\n"
             << "  --root DIR            repository root (default: cwd)\n"
             << "  --rules FILE          rule set (default: ROOT/tools/lint_rules.toml)\n"
+            << "  --model-cache FILE    reuse/update the pass-1 model cache; entries\n"
+            << "                        are keyed on content hashes, a stale cache\n"
+            << "                        is rebuilt silently\n"
+            << "  --graph-dot           print the resolved include graph as DOT\n"
+            << "                        and exit (no rules run)\n"
+            << "  --expect-min-files N  exit 2 if fewer than N files were linted\n"
+            << "                        (guards CI against an accidentally\n"
+            << "                        narrowed tree)\n"
             << "  --list-suppressions   print every honored suppression\n"
             << "  paths                 files or directories to lint instead of\n"
             << "                        the configured roots (repo-relative or\n"
@@ -83,6 +105,17 @@ int main(int argc, char** argv) {
       opt.root = argv[++i];
     } else if (arg == "--rules" && i + 1 < argc) {
       opt.rules = argv[++i];
+    } else if (arg == "--model-cache" && i + 1 < argc) {
+      opt.model_cache = argv[++i];
+    } else if (arg == "--expect-min-files" && i + 1 < argc) {
+      try {
+        opt.expect_min_files = std::stol(argv[++i]);
+      } catch (const std::exception&) {
+        std::cerr << "rcp-lint: --expect-min-files needs a number\n";
+        return usage();
+      }
+    } else if (arg == "--graph-dot") {
+      opt.graph_dot = true;
     } else if (arg == "--list-suppressions") {
       opt.list_suppressions = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -127,15 +160,62 @@ int main(int argc, char** argv) {
     }
     std::sort(files.begin(), files.end());
 
-    std::vector<Diag> errors;
+    // ---- Pass 1: scan everything, build the repo model ------------------
+    std::vector<ScannedFile> scans;
+    scans.reserve(files.size());
+    for (const fs::path& file : files) {
+      scans.push_back(
+          rcp::lint::scan_file(file.string(), rel_path(file, root)));
+    }
+    RepoModel cache;
+    const bool have_cache =
+        !opt.model_cache.empty() &&
+        rcp::lint::load_model_cache(opt.model_cache, cache);
+    const RepoModel model =
+        rcp::lint::build_model(scans, have_cache ? &cache : nullptr);
+    if (!opt.model_cache.empty()) {
+      rcp::lint::save_model_cache(opt.model_cache, model);
+    }
+
+    if (opt.graph_dot) {
+      std::cout << rcp::lint::to_dot(model);
+      return 0;
+    }
+
+    // ---- Pass 2: per-file rules + cross-file rules over the model -------
+    // Cross-file diagnostics are routed through the suppressions of the
+    // file they point at, exactly like per-file ones.
+    std::map<std::string, std::vector<Diag>> raw_by_file;
+    for (const ScannedFile& scanned : scans) {
+      std::vector<Diag>& raw = raw_by_file[scanned.path];
+      const std::vector<Diag> per_file = rcp::lint::check_file(scanned, cfg);
+      raw.insert(raw.end(), per_file.begin(), per_file.end());
+      const std::vector<Diag> tsa =
+          rcp::lint::check_thread_safety(scanned, model, cfg);
+      raw.insert(raw.end(), tsa.begin(), tsa.end());
+    }
+    // Cross-file rules judge repo-level invariants, so they only run when
+    // the whole configured tree was scanned: a partial model would call
+    // every header unused and every declared protocol missing.
+    std::vector<Diag> unroutable;  // diags against unscanned paths
+    if (opt.paths.empty()) {
+      for (const Diag& d : rcp::lint::check_repo(model, cfg)) {
+        const auto it = raw_by_file.find(d.file);
+        if (it != raw_by_file.end()) {
+          it->second.push_back(d);
+        } else {
+          unroutable.push_back(d);
+        }
+      }
+    }
+
+    std::vector<Diag> errors = std::move(unroutable);
     std::size_t markers = 0;
     std::size_t honored = 0;
     std::vector<std::string> suppression_notes;
-    for (const fs::path& file : files) {
-      const ScannedFile scanned =
-          rcp::lint::scan_file(file.string(), rel_path(file, root));
+    for (const ScannedFile& scanned : scans) {
       const auto outcome = rcp::lint::apply_suppressions(
-          scanned, rcp::lint::check_file(scanned, cfg));
+          scanned, raw_by_file[scanned.path]);
       errors.insert(errors.end(), outcome.remaining.begin(),
                     outcome.remaining.end());
       errors.insert(errors.end(), outcome.meta.begin(), outcome.meta.end());
@@ -167,6 +247,13 @@ int main(int argc, char** argv) {
     std::cout << "rcp-lint: " << files.size() << " files, " << errors.size()
               << " error(s), " << markers << " suppression(s) ("
               << honored << " diagnostic(s) suppressed)\n";
+    if (opt.expect_min_files >= 0 &&
+        files.size() < static_cast<std::size_t>(opt.expect_min_files)) {
+      std::cerr << "rcp-lint: expected at least " << opt.expect_min_files
+                << " files, linted " << files.size()
+                << " — the tree walk is narrower than CI assumes\n";
+      return 2;
+    }
     return errors.empty() ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "rcp-lint: " << e.what() << "\n";

@@ -1,0 +1,763 @@
+#include "lint/model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace rcp::lint {
+
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// First non-space character of a line, or '\0'.
+[[nodiscard]] char first_char(const std::string& line) {
+  for (const char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+      return c;
+    }
+  }
+  return '\0';
+}
+
+[[nodiscard]] bool ends_with_backslash(const std::string& line) {
+  for (auto it = line.rbegin(); it != line.rend(); ++it) {
+    if (std::isspace(static_cast<unsigned char>(*it)) == 0) {
+      return *it == '\\';
+    }
+  }
+  return false;
+}
+
+// Identifiers that are followed by '(' without naming a function we care
+// about — casts, control flow, declaration noise. find_callee skips them.
+[[nodiscard]] bool is_nonname_keyword(const std::string& s) {
+  static const std::set<std::string> kSkip = {
+      "if",         "while",     "for",       "switch",    "return",
+      "catch",      "throw",     "sizeof",    "alignof",   "alignas",
+      "decltype",   "noexcept",  "operator",  "static_cast",
+      "const_cast", "dynamic_cast", "reinterpret_cast",    "typeid",
+      "assert",     "defined",   "nodiscard", "deprecated", "noreturn",
+      "maybe_unused",
+  };
+  return kSkip.count(s) != 0;
+}
+
+/// `t[open]` must be "("; returns the index of the matching ")" (or `end`).
+[[nodiscard]] std::size_t match_paren(const std::vector<Tok>& t,
+                                      std::size_t open, std::size_t end) {
+  int depth = 0;
+  for (std::size_t i = open; i < end; ++i) {
+    if (t[i].text == "(") {
+      ++depth;
+    } else if (t[i].text == ")") {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return end;
+}
+
+/// Joins the tokens of (open, close) into comma-separated argument
+/// strings: RCP_REQUIRES(a, b) -> {"a", "b"}. Nested parens stay inside
+/// one argument.
+[[nodiscard]] std::vector<std::string> macro_args(const std::vector<Tok>& t,
+                                                  std::size_t open,
+                                                  std::size_t close) {
+  std::vector<std::string> args;
+  std::string cur;
+  int depth = 0;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const std::string& s = t[i].text;
+    if (s == "(") {
+      ++depth;
+    } else if (s == ")") {
+      --depth;
+    } else if (s == "," && depth == 0) {
+      if (!cur.empty()) {
+        args.push_back(cur);
+      }
+      cur.clear();
+      continue;
+    }
+    cur += s;
+  }
+  if (!cur.empty()) {
+    args.push_back(cur);
+  }
+  return args;
+}
+
+/// Class-head name: the last identifier before the first base-clause ':'
+/// (the fused "::" token never matches), skipping keywords — handles
+/// `class RCP_CAPABILITY("mutex") Mutex`, `template <class T> struct X`,
+/// and `class Foo final : public Bar`.
+[[nodiscard]] std::string class_head_name(const std::vector<Tok>& t,
+                                          std::size_t begin,
+                                          std::size_t end) {
+  static const std::set<std::string> kNotName = {
+      "class",  "struct",    "union",  "final",   "template",
+      "public", "protected", "private", "typename", "virtual",
+  };
+  std::string name;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (t[i].text == ":") {
+      break;
+    }
+    if (t[i].kind == Tok::Kind::ident && kNotName.count(t[i].text) == 0 &&
+        !is_annotation_macro(t[i].text)) {
+      name = t[i].text;
+    }
+  }
+  return name;
+}
+
+/// Extracts annotations from one class-body member statement [begin, end).
+void process_member(const std::vector<Tok>& t, std::size_t begin,
+                    std::size_t end, ClassModel& cls) {
+  bool method_annotated = false;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (t[i].kind != Tok::Kind::ident) {
+      continue;
+    }
+    const std::string& s = t[i].text;
+    if ((s == "RCP_GUARDED_BY" || s == "RCP_PT_GUARDED_BY") && i + 1 < end &&
+        t[i + 1].text == "(") {
+      const std::size_t close = match_paren(t, i + 1, end);
+      const std::vector<std::string> args = macro_args(t, i + 1, close);
+      for (std::size_t j = i; j-- > begin;) {
+        if (t[j].kind == Tok::Kind::ident) {
+          if (!args.empty()) {
+            cls.guarded[t[j].text] = args.front();
+          }
+          break;
+        }
+      }
+    } else if (s == "Mutex" || s == "ThreadAffinity") {
+      // A capability member: `runtime::Mutex mu_;`, `ThreadAffinity aff_;`.
+      // Exact-token match, so MutexLock declarations never trip this.
+      if (i + 1 < end && t[i + 1].kind == Tok::Kind::ident) {
+        cls.capabilities.push_back(t[i + 1].text);
+      }
+    } else if (s == "RCP_REQUIRES" || s == "RCP_EXCLUDES" ||
+               s == "RCP_ASSERT_CAPABILITY" ||
+               s == "RCP_NO_THREAD_SAFETY_ANALYSIS") {
+      method_annotated = true;
+    }
+  }
+  if (!method_annotated) {
+    return;
+  }
+  const std::size_t name_idx = find_callee(t, begin, end);
+  if (name_idx == end) {
+    return;  // annotation on something that is not a function declaration
+  }
+  MethodAnnotations& m = cls.methods[t[name_idx].text];
+  m.name = t[name_idx].text;
+  for (std::size_t i = name_idx; i < end; ++i) {
+    if (t[i].kind != Tok::Kind::ident) {
+      continue;
+    }
+    const std::string& s = t[i].text;
+    if (s == "RCP_NO_THREAD_SAFETY_ANALYSIS") {
+      m.no_analysis = true;
+    } else if ((s == "RCP_REQUIRES" || s == "RCP_EXCLUDES" ||
+                s == "RCP_ASSERT_CAPABILITY") &&
+               i + 1 < end && t[i + 1].text == "(") {
+      const std::size_t close = match_paren(t, i + 1, end);
+      const std::vector<std::string> args = macro_args(t, i + 1, close);
+      if (s == "RCP_REQUIRES") {
+        m.requires_caps.insert(m.requires_caps.end(), args.begin(),
+                               args.end());
+      } else if (s == "RCP_EXCLUDES") {
+        m.excludes_caps.insert(m.excludes_caps.end(), args.begin(),
+                               args.end());
+      } else if (!args.empty()) {
+        m.asserts_cap = args.front();
+      }
+      i = close;
+    }
+  }
+}
+
+/// Flat scan for `validate(... FaultModel::<model> ...)` calls — the
+/// protocol registration sites the resilience-bound rule cross-checks.
+/// `validate()` calls without a FaultModel argument (fuzz plans) are not
+/// registration sites and are skipped.
+void extract_validates(const std::vector<Tok>& t, FileModel& out) {
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::Kind::ident || t[i].text != "validate" ||
+        t[i + 1].text != "(") {
+      continue;
+    }
+    const std::size_t close = match_paren(t, i + 1, t.size());
+    for (std::size_t j = i + 2; j + 2 < close; ++j) {
+      if (t[j].text == "FaultModel" && t[j + 1].text == "::" &&
+          t[j + 2].kind == Tok::Kind::ident) {
+        out.validates.push_back(ValidateSite{t[i].line, t[j + 2].text});
+        break;
+      }
+    }
+    i = close;
+  }
+}
+
+/// One pass over the token stream with an explicit scope stack. Class
+/// bodies parse member statements; namespaces are transparent; everything
+/// else (function bodies, enum bodies, brace initializers) is opaque.
+void extract_classes(const std::vector<Tok>& t, FileModel& out) {
+  enum class ScopeKind : std::uint8_t { transparent, cls, opaque };
+  struct Scope {
+    ScopeKind kind;
+    std::size_t cls_idx;
+  };
+  std::vector<Scope> stack;
+  std::size_t stmt = 0;
+  const auto level = [&]() {
+    return stack.empty() ? ScopeKind::transparent : stack.back().kind;
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (level() == ScopeKind::opaque) {
+      if (s == "{") {
+        stack.push_back({ScopeKind::opaque, npos});
+      } else if (s == "}") {
+        stack.pop_back();
+        stmt = i + 1;
+      }
+      continue;
+    }
+    if (s == ";") {
+      if (level() == ScopeKind::cls) {
+        process_member(t, stmt, i, out.classes[stack.back().cls_idx]);
+      }
+      stmt = i + 1;
+    } else if (s == "{") {
+      bool has_enum = false;
+      bool has_class = false;
+      bool has_ns = false;
+      for (std::size_t j = stmt; j < i; ++j) {
+        if (t[j].kind != Tok::Kind::ident) {
+          continue;
+        }
+        if (t[j].text == "template" && j + 1 < i && t[j + 1].text == "<") {
+          // `template <class T>`: the parameter-list `class` is not a
+          // class head. Skip the angle brackets.
+          int depth = 0;
+          for (++j; j < i; ++j) {
+            if (t[j].text == "<") {
+              ++depth;
+            } else if (t[j].text == ">" && --depth == 0) {
+              break;
+            }
+          }
+          continue;
+        }
+        if (t[j].text == "enum") {
+          has_enum = true;
+        } else if (t[j].text == "class" || t[j].text == "struct" ||
+                   t[j].text == "union") {
+          has_class = true;
+        } else if (t[j].text == "namespace") {
+          has_ns = true;
+        }
+      }
+      if (has_ns) {
+        stack.push_back({ScopeKind::transparent, npos});
+      } else if (has_class && !has_enum) {
+        const std::string name = class_head_name(t, stmt, i);
+        if (!name.empty()) {
+          ClassModel cls;
+          cls.name = name;
+          cls.line = t[stmt < i ? stmt : i].line;
+          out.classes.push_back(std::move(cls));
+          stack.push_back({ScopeKind::cls, out.classes.size() - 1});
+        } else {
+          stack.push_back({ScopeKind::opaque, npos});
+        }
+      } else {
+        // An inline method body (annotations sit on the head we just
+        // collected) or a brace initializer.
+        if (level() == ScopeKind::cls) {
+          process_member(t, stmt, i, out.classes[stack.back().cls_idx]);
+        }
+        stack.push_back({ScopeKind::opaque, npos});
+      }
+      stmt = i + 1;
+    } else if (s == "}") {
+      if (!stack.empty()) {
+        stack.pop_back();
+      }
+      stmt = i + 1;
+    }
+  }
+}
+
+void merge_class(ClassModel& into, const ClassModel& from) {
+  for (const auto& [member, cap] : from.guarded) {
+    into.guarded.emplace(member, cap);
+  }
+  for (const std::string& cap : from.capabilities) {
+    if (std::find(into.capabilities.begin(), into.capabilities.end(), cap) ==
+        into.capabilities.end()) {
+      into.capabilities.push_back(cap);
+    }
+  }
+  for (const auto& [name, m] : from.methods) {
+    auto [it, inserted] = into.methods.emplace(name, m);
+    if (!inserted) {
+      MethodAnnotations& dst = it->second;
+      dst.no_analysis = dst.no_analysis || m.no_analysis;
+      if (dst.asserts_cap.empty()) {
+        dst.asserts_cap = m.asserts_cap;
+      }
+      for (const std::string& c : m.requires_caps) {
+        if (std::find(dst.requires_caps.begin(), dst.requires_caps.end(),
+                      c) == dst.requires_caps.end()) {
+          dst.requires_caps.push_back(c);
+        }
+      }
+      for (const std::string& c : m.excludes_caps) {
+        if (std::find(dst.excludes_caps.begin(), dst.excludes_caps.end(),
+                      c) == dst.excludes_caps.end()) {
+          dst.excludes_caps.push_back(c);
+        }
+      }
+    }
+  }
+}
+
+[[nodiscard]] std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kPrime;
+  }
+  h ^= static_cast<unsigned char>('\n');
+  h *= kPrime;
+  return h;
+}
+
+}  // namespace
+
+bool is_annotation_macro(const std::string& ident) {
+  static const std::set<std::string> kMacros = {
+      "RCP_CAPABILITY",        "RCP_SCOPED_CAPABILITY",
+      "RCP_GUARDED_BY",        "RCP_PT_GUARDED_BY",
+      "RCP_REQUIRES",          "RCP_EXCLUDES",
+      "RCP_ACQUIRE",           "RCP_RELEASE",
+      "RCP_TRY_ACQUIRE",       "RCP_ASSERT_CAPABILITY",
+      "RCP_RETURN_CAPABILITY", "RCP_NO_THREAD_SAFETY_ANALYSIS",
+  };
+  return kMacros.count(ident) != 0;
+}
+
+std::size_t find_callee(const std::vector<Tok>& toks, std::size_t begin,
+                        std::size_t end) {
+  for (std::size_t i = begin; i + 1 < end; ++i) {
+    if (toks[i].kind == Tok::Kind::ident && toks[i + 1].text == "(" &&
+        !is_annotation_macro(toks[i].text) &&
+        !is_nonname_keyword(toks[i].text)) {
+      return i;
+    }
+  }
+  return end;
+}
+
+std::vector<Tok> tokenize(const std::vector<std::string>& code) {
+  std::vector<Tok> toks;
+  bool in_directive = false;  // skip preprocessor lines (+ continuations)
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    const std::string& line = code[li];
+    if (in_directive || first_char(line) == '#') {
+      in_directive = ends_with_backslash(line);
+      continue;
+    }
+    std::size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      Tok tok;
+      tok.line = li + 1;
+      if (ident_start(c)) {
+        std::size_t j = i + 1;
+        while (j < line.size() && ident_char(line[j])) {
+          ++j;
+        }
+        tok.kind = Tok::Kind::ident;
+        tok.text = line.substr(i, j - i);
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        std::size_t j = i + 1;
+        while (j < line.size() &&
+               (ident_char(line[j]) || line[j] == '.' || line[j] == '\'')) {
+          ++j;
+        }
+        tok.kind = Tok::Kind::number;
+        tok.text = line.substr(i, j - i);
+        i = j;
+      } else {
+        tok.kind = Tok::Kind::punct;
+        // Fuse the two-char tokens both passes care about; everything
+        // else is a single character.
+        if (i + 1 < line.size()) {
+          const char d = line[i + 1];
+          if ((c == ':' && d == ':') || (c == '-' && d == '>') ||
+              (c == '[' && d == '[') || (c == ']' && d == ']')) {
+            tok.text = line.substr(i, 2);
+            i += 2;
+            toks.push_back(std::move(tok));
+            continue;
+          }
+        }
+        tok.text = std::string(1, c);
+        ++i;
+      }
+      toks.push_back(std::move(tok));
+    }
+  }
+  return toks;
+}
+
+std::uint64_t content_hash(const ScannedFile& f) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::string& line : f.code) {
+    h = fnv1a(h, line);
+  }
+  for (const Include& inc : f.includes) {
+    h = fnv1a(h, std::to_string(inc.line) + (inc.angled ? "<" : "\"") +
+                     inc.target);
+  }
+  return h;
+}
+
+RepoModel build_model(const std::vector<ScannedFile>& scans,
+                      const RepoModel* cache) {
+  RepoModel m;
+  m.files.resize(scans.size());
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    m.files[i].path = scans[i].path;
+    m.files[i].hash = content_hash(scans[i]);
+    m.index[scans[i].path] = i;
+  }
+
+  // Per-file extraction, reusing cache entries whose hash still matches.
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    FileModel& f = m.files[i];
+    if (cache != nullptr) {
+      const auto it = cache->index.find(f.path);
+      if (it != cache->index.end() &&
+          cache->files[it->second].hash == f.hash) {
+        const FileModel& c = cache->files[it->second];
+        f.includes = c.includes;
+        f.classes = c.classes;
+        f.validates = c.validates;
+        f.from_cache = true;
+        continue;
+      }
+    }
+    f.includes = scans[i].includes;
+    const std::vector<Tok> toks = tokenize(scans[i].code);
+    extract_classes(toks, f);
+    extract_validates(toks, f);
+  }
+
+  // Include edges: quoted targets resolved against the scanned set, the
+  // way the build resolves them (include dirs src/ and tools/).
+  for (FileModel& f : m.files) {
+    for (const Include& inc : f.includes) {
+      if (inc.angled) {
+        continue;
+      }
+      for (const std::string& cand :
+           {inc.target, "src/" + inc.target, "tools/" + inc.target,
+            "tests/" + inc.target, "examples/" + inc.target}) {
+        const auto it = m.index.find(cand);
+        if (it != m.index.end()) {
+          f.edges.push_back(it->second);
+          break;
+        }
+      }
+    }
+    std::sort(f.edges.begin(), f.edges.end());
+    f.edges.erase(std::unique(f.edges.begin(), f.edges.end()),
+                  f.edges.end());
+  }
+
+  // Reachability (BFS per node; the graph is small). closure[i] excludes
+  // i unless i sits on a cycle, which makes the SCC computation below a
+  // two-line check: i and j are mutually reachable.
+  const std::size_t n = m.files.size();
+  m.closure.assign(n, {});
+  m.included_by.assign(n, 0);
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t e : m.files[i].edges) {
+      ++m.included_by[e];
+    }
+    std::vector<std::size_t> work(m.files[i].edges.begin(),
+                                  m.files[i].edges.end());
+    while (!work.empty()) {
+      const std::size_t v = work.back();
+      work.pop_back();
+      if (reach[i][v]) {
+        continue;
+      }
+      reach[i][v] = true;
+      work.insert(work.end(), m.files[v].edges.begin(),
+                  m.files[v].edges.end());
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (reach[i][j]) {
+        m.closure[i].push_back(j);
+      }
+    }
+  }
+
+  // Cycles: strongly connected components of size >= 2 (and self-loops),
+  // members sorted by path, components sorted by first member.
+  std::vector<bool> assigned(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (assigned[i]) {
+      continue;
+    }
+    std::vector<std::size_t> comp{i};
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!assigned[j] && reach[i][j] && reach[j][i]) {
+        comp.push_back(j);
+        assigned[j] = true;
+      }
+    }
+    assigned[i] = true;
+    if (comp.size() >= 2 || reach[i][i]) {
+      std::sort(comp.begin(), comp.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return m.files[a].path < m.files[b].path;
+                });
+      m.cycles.push_back(std::move(comp));
+    }
+  }
+  std::sort(m.cycles.begin(), m.cycles.end(),
+            [&](const std::vector<std::size_t>& a,
+                const std::vector<std::size_t>& b) {
+              return m.files[a.front()].path < m.files[b.front()].path;
+            });
+
+  // Repo-wide class index: a class annotated in its header is checked in
+  // its .cpp through this merged view.
+  for (const FileModel& f : m.files) {
+    for (const ClassModel& cls : f.classes) {
+      auto [it, inserted] = m.classes.emplace(cls.name, cls);
+      if (!inserted) {
+        merge_class(it->second, cls);
+      }
+    }
+  }
+  return m;
+}
+
+// ---- Cache serialization ------------------------------------------------
+// Line-oriented text, one record per line, no field may contain a space:
+//   rcp-lint-model-v1
+//   F <hash> <path>
+//   I <line> <angled> <target>      (belongs to the last F)
+//   C <line> <name>                 (belongs to the last F)
+//   G <member> <capability>         (belongs to the last C)
+//   P <capability-member>           (belongs to the last C)
+//   M <name> <no_analysis> <asserts|!> <req,..|!> <exc,..|!>
+//   V <line> <model>                (belongs to the last F)
+
+namespace {
+
+[[nodiscard]] std::string join_list(const std::vector<std::string>& v) {
+  if (v.empty()) {
+    return "!";
+  }
+  std::string out;
+  for (const std::string& s : v) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += s;
+  }
+  return out;
+}
+
+[[nodiscard]] std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  if (s == "!") {
+    return out;
+  }
+  std::string cur;
+  for (const char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool load_model_cache(const std::string& path, RepoModel& out) {
+  out = RepoModel{};
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != "rcp-lint-model-v1") {
+    return false;
+  }
+  FileModel* file = nullptr;
+  ClassModel* cls = nullptr;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) {
+      continue;
+    }
+    if (tag == "F") {
+      std::uint64_t hash = 0;
+      std::string p;
+      if (!(ls >> hash >> p)) {
+        return false;
+      }
+      out.files.push_back(FileModel{});
+      file = &out.files.back();
+      file->path = p;
+      file->hash = hash;
+      out.index[p] = out.files.size() - 1;
+      cls = nullptr;
+    } else if (tag == "I" && file != nullptr) {
+      Include inc;
+      int angled = 0;
+      if (!(ls >> inc.line >> angled >> inc.target)) {
+        return false;
+      }
+      inc.angled = angled != 0;
+      file->includes.push_back(inc);
+    } else if (tag == "C" && file != nullptr) {
+      ClassModel c;
+      if (!(ls >> c.line >> c.name)) {
+        return false;
+      }
+      file->classes.push_back(std::move(c));
+      cls = &file->classes.back();
+    } else if (tag == "G" && cls != nullptr) {
+      std::string member;
+      std::string cap;
+      if (!(ls >> member >> cap)) {
+        return false;
+      }
+      cls->guarded[member] = cap;
+    } else if (tag == "P" && cls != nullptr) {
+      std::string cap;
+      if (!(ls >> cap)) {
+        return false;
+      }
+      cls->capabilities.push_back(cap);
+    } else if (tag == "M" && cls != nullptr) {
+      MethodAnnotations ma;
+      int na = 0;
+      std::string asserts;
+      std::string reqs;
+      std::string excs;
+      if (!(ls >> ma.name >> na >> asserts >> reqs >> excs)) {
+        return false;
+      }
+      ma.no_analysis = na != 0;
+      ma.asserts_cap = asserts == "!" ? "" : asserts;
+      ma.requires_caps = split_list(reqs);
+      ma.excludes_caps = split_list(excs);
+      cls->methods[ma.name] = std::move(ma);
+    } else if (tag == "V" && file != nullptr) {
+      ValidateSite v;
+      if (!(ls >> v.line >> v.model)) {
+        return false;
+      }
+      file->validates.push_back(v);
+    }
+  }
+  return true;
+}
+
+void save_model_cache(const std::string& path, const RepoModel& model) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return;  // an unwritable cache is a silent no-op, never an error
+  }
+  out << "rcp-lint-model-v1\n";
+  for (const FileModel& f : model.files) {
+    out << "F " << f.hash << " " << f.path << "\n";
+    for (const Include& inc : f.includes) {
+      out << "I " << inc.line << " " << (inc.angled ? 1 : 0) << " "
+          << inc.target << "\n";
+    }
+    for (const ClassModel& cls : f.classes) {
+      out << "C " << cls.line << " " << cls.name << "\n";
+      for (const auto& [member, cap] : cls.guarded) {
+        out << "G " << member << " " << cap << "\n";
+      }
+      for (const std::string& cap : cls.capabilities) {
+        out << "P " << cap << "\n";
+      }
+      for (const auto& [name, ma] : cls.methods) {
+        out << "M " << name << " " << (ma.no_analysis ? 1 : 0) << " "
+            << (ma.asserts_cap.empty() ? "!" : ma.asserts_cap) << " "
+            << join_list(ma.requires_caps) << " "
+            << join_list(ma.excludes_caps) << "\n";
+      }
+    }
+    for (const ValidateSite& v : f.validates) {
+      out << "V " << v.line << " " << v.model << "\n";
+    }
+  }
+}
+
+std::string to_dot(const RepoModel& model) {
+  std::vector<std::size_t> order(model.files.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return model.files[a].path < model.files[b].path;
+  });
+  std::string out = "digraph rcp_includes {\n  rankdir=LR;\n";
+  for (const std::size_t i : order) {
+    out += "  \"" + model.files[i].path + "\";\n";
+  }
+  for (const std::size_t i : order) {
+    std::vector<std::string> targets;
+    for (const std::size_t e : model.files[i].edges) {
+      targets.push_back(model.files[e].path);
+    }
+    std::sort(targets.begin(), targets.end());
+    for (const std::string& t : targets) {
+      out += "  \"" + model.files[i].path + "\" -> \"" + t + "\";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rcp::lint

@@ -1,0 +1,144 @@
+// Pass 1 of the rcp-lint two-pass engine: the repo-wide model.
+//
+// Where scan.hpp sees one translation unit at a time, the RepoModel sees
+// all of them at once:
+//
+//   * the resolved include graph (quoted includes rooted at src/ or
+//     tools/, matched against the scanned file set), its strongly
+//     connected components (cycles) and its transitive closure;
+//   * a per-class annotation index built from the common/annotations.hpp
+//     markers: which members are RCP_GUARDED_BY which capability, which
+//     capability members exist (Mutex, ThreadAffinity), and which methods
+//     carry RCP_REQUIRES / RCP_EXCLUDES / RCP_ASSERT_CAPABILITY /
+//     RCP_NO_THREAD_SAFETY_ANALYSIS;
+//   * every `validate(FaultModel::X)` protocol-registration site, for the
+//     resilience-bound cross-check.
+//
+// Pass 2 (rules.cpp check_repo + thread_safety.cpp) runs flow-aware rules
+// over this model; the model itself never emits diagnostics.
+//
+// The model is cacheable: save()/load() serialize the per-file extraction
+// keyed on an FNV-1a hash of the file's blanked code, so an unchanged
+// file's annotation parse is skipped on the next run (the CI lint job
+// persists the cache across builds).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/scan.hpp"
+
+namespace rcp::lint {
+
+// ---- Token stream ------------------------------------------------------
+// Both the annotation parser (pass 1) and the thread-safety checker
+// (pass 2) work on the same trivial token stream over blanked code:
+// identifiers, numbers and punctuation (with ::, ->, [[ and ]] fused),
+// each carrying its 1-based source line.
+
+struct Tok {
+  enum class Kind : std::uint8_t { ident, number, punct };
+  Kind kind = Kind::punct;
+  std::string text;
+  std::size_t line = 0;
+};
+
+[[nodiscard]] std::vector<Tok> tokenize(const std::vector<std::string>& code);
+
+/// True for the RCP_* thread-safety annotation macros — token positions
+/// that look like calls but never name a function.
+[[nodiscard]] bool is_annotation_macro(const std::string& ident);
+
+/// Index of the first identifier in [begin, end) that is directly followed
+/// by '(' and is a plausible function name (annotation macros, casts,
+/// control keywords and friends are skipped); returns `end` if none. This
+/// is how both passes find "the function this statement declares/calls":
+/// a member brace-init like `tick_ RCP_GUARDED_BY(m){}` has no such
+/// identifier, so it is never mistaken for a method.
+[[nodiscard]] std::size_t find_callee(const std::vector<Tok>& toks,
+                                      std::size_t begin, std::size_t end);
+
+// ---- Per-class annotation inventory ------------------------------------
+
+struct MethodAnnotations {
+  std::string name;
+  std::vector<std::string> requires_caps;  ///< RCP_REQUIRES(...)
+  std::vector<std::string> excludes_caps;  ///< RCP_EXCLUDES(...)
+  std::string asserts_cap;                 ///< RCP_ASSERT_CAPABILITY(x)
+  bool no_analysis = false;                ///< RCP_NO_THREAD_SAFETY_ANALYSIS
+};
+
+struct ClassModel {
+  std::string name;
+  std::size_t line = 0;  ///< line of the class head
+  /// member -> capability it is guarded by (RCP_GUARDED_BY).
+  std::map<std::string, std::string> guarded;
+  /// Capability members: declared Mutex or ThreadAffinity.
+  std::vector<std::string> capabilities;
+  /// Annotated methods by name (unannotated methods are absent).
+  std::map<std::string, MethodAnnotations> methods;
+};
+
+/// One `validate(FaultModel::X)` registration site.
+struct ValidateSite {
+  std::size_t line = 0;
+  std::string model;  ///< "fail_stop" / "malicious" as written
+};
+
+struct FileModel {
+  std::string path;
+  std::uint64_t hash = 0;  ///< FNV-1a over the blanked code
+  std::vector<Include> includes;
+  std::vector<ClassModel> classes;
+  std::vector<ValidateSite> validates;
+  /// Resolved include edges: indices into RepoModel::files, sorted.
+  std::vector<std::size_t> edges;
+  bool from_cache = false;  ///< extraction reused from the model cache
+};
+
+struct RepoModel {
+  std::vector<FileModel> files;            ///< parallel to the scan set
+  std::map<std::string, std::size_t> index;  ///< path -> files index
+  /// classes merged across files by name (a class annotated in its header
+  /// is checked in its .cpp): name -> merged model.
+  std::map<std::string, ClassModel> classes;
+  /// Strongly connected components with >= 2 files (include cycles),
+  /// each sorted by path; the list itself sorted by first member.
+  std::vector<std::vector<std::size_t>> cycles;
+  /// closure[i] = every file reachable from i via resolved includes
+  /// (excluding i itself unless i is on a cycle), sorted.
+  std::vector<std::vector<std::size_t>> closure;
+  /// For unused-header detection: number of scanned files including i.
+  std::vector<std::size_t> included_by;
+
+  [[nodiscard]] std::uint64_t hash_of(const std::string& path) const {
+    const auto it = index.find(path);
+    return it == index.end() ? 0 : files[it->second].hash;
+  }
+};
+
+/// FNV-1a over the blanked code lines *and* the include list (include
+/// targets are string literals, which blanking erases from `code`), so the
+/// cache key changes exactly when the model-relevant content changes.
+[[nodiscard]] std::uint64_t content_hash(const ScannedFile& f);
+
+/// Builds the model for `scans`. When `cache` is non-null, files whose
+/// hash matches a cache entry reuse the cached extraction (the include
+/// graph is always re-resolved — it depends on the file *set*).
+[[nodiscard]] RepoModel build_model(const std::vector<ScannedFile>& scans,
+                                    const RepoModel* cache);
+
+/// Cache round-trip: a versioned text format ("rcp-lint-model-v1").
+/// load_model_cache returns an empty model (and false) on a missing,
+/// unreadable or version-mismatched file — a stale cache is never an
+/// error, just a full rebuild.
+bool load_model_cache(const std::string& path, RepoModel& out);
+void save_model_cache(const std::string& path, const RepoModel& model);
+
+/// Deterministic DOT rendering of the resolved include graph (sorted
+/// nodes and edges), for docs and the --graph-dot golden test.
+[[nodiscard]] std::string to_dot(const RepoModel& model);
+
+}  // namespace rcp::lint

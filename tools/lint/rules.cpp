@@ -1,7 +1,11 @@
 #include "lint/rules.hpp"
 
 #include <algorithm>
+#include <initializer_list>
+#include <set>
 #include <stdexcept>
+
+#include "lint/model.hpp"
 
 namespace rcp::lint {
 
@@ -43,6 +47,19 @@ std::vector<std::string> get_array(const TomlTable& t, const std::string& key) {
 const TomlTable* get_table(const TomlDoc& doc, const std::string& name) {
   const auto it = doc.find(name);
   return it == doc.end() || it->second.empty() ? nullptr : &it->second.front();
+}
+
+/// A typoed key must never silently disable a rule: every key in a section
+/// has to be one the engine actually reads.
+void require_keys(const TomlTable& t, const std::string& section,
+                  std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : t) {
+    if (std::none_of(allowed.begin(), allowed.end(),
+                     [&](const char* a) { return key == a; })) {
+      throw std::runtime_error("rules: unknown key `" + key + "` in [" +
+                               section + "]");
+    }
+  }
 }
 
 /// Lines occupied by #include directives: token rules skip them so that
@@ -266,7 +283,27 @@ void check_threshold(const ScannedFile& f, const Config& cfg,
 
 Config load_config(const TomlDoc& doc) {
   Config cfg;
+  // Unknown sections and stray top-level keys are hard errors, for the
+  // same reason unknown keys are: a typo must not silently turn a rule off.
+  static const std::set<std::string> kSections = {
+      "",           "run",         "layer",         "os_headers",
+      "os_exclusive", "determinism", "allocation",  "threshold",
+      "thread_safety", "include_graph", "resilience", "protocol",
+  };
+  for (const auto& [name, tables] : doc) {
+    if (kSections.count(name) == 0) {
+      throw std::runtime_error("rules: unknown section [" + name + "]");
+    }
+  }
+  if (const TomlTable* root = get_table(doc, "")) {
+    if (!root->empty()) {
+      throw std::runtime_error("rules: top-level key `" +
+                               root->begin()->first +
+                               "` outside any section");
+    }
+  }
   if (const TomlTable* run = get_table(doc, "run")) {
+    require_keys(*run, "run", {"roots", "exclude", "extensions"});
     cfg.run.roots = get_array(*run, "roots");
     cfg.run.exclude = get_array(*run, "exclude");
     cfg.run.extensions = get_array(*run, "extensions");
@@ -280,6 +317,7 @@ Config load_config(const TomlDoc& doc) {
   }
   for (const TomlTable& t : layer_it->second) {
     LayerCfg layer;
+    require_keys(t, "layer", {"name", "paths", "deps"});
     const auto name = t.find("name");
     if (name == t.end() || name->second.kind != TomlValue::Kind::string) {
       throw std::runtime_error("rules: [[layer]] needs a string `name`");
@@ -299,6 +337,7 @@ Config load_config(const TomlDoc& doc) {
     }
   }
   if (const TomlTable* t = get_table(doc, "os_headers")) {
+    require_keys(*t, "os_headers", {"banned", "allow_paths"});
     cfg.os_headers.banned = get_array(*t, "banned");
     cfg.os_headers.allow_paths = get_array(*t, "allow_paths");
   }
@@ -306,6 +345,7 @@ Config load_config(const TomlDoc& doc) {
   if (excl_it != doc.end()) {
     for (const TomlTable& t : excl_it->second) {
       OsExclusiveCfg rule;
+      require_keys(t, "os_exclusive", {"header", "allow"});
       const auto header = t.find("header");
       if (header == t.end() ||
           header->second.kind != TomlValue::Kind::string) {
@@ -318,6 +358,9 @@ Config load_config(const TomlDoc& doc) {
     }
   }
   if (const TomlTable* t = get_table(doc, "determinism")) {
+    require_keys(*t, "determinism",
+                 {"banned_tokens", "banned_calls", "allow_paths",
+                  "strict_paths", "strict_tokens", "strict_headers"});
     cfg.determinism.tokens = get_array(*t, "banned_tokens");
     cfg.determinism.calls = get_array(*t, "banned_calls");
     cfg.determinism.allow_paths = get_array(*t, "allow_paths");
@@ -326,6 +369,8 @@ Config load_config(const TomlDoc& doc) {
     cfg.determinism.strict_headers = get_array(*t, "strict_headers");
   }
   if (const TomlTable* t = get_table(doc, "allocation")) {
+    require_keys(*t, "allocation",
+                 {"files", "alloc_calls", "growth_calls", "ban_new"});
     cfg.allocation.files = get_array(*t, "files");
     cfg.allocation.alloc_calls = get_array(*t, "alloc_calls");
     cfg.allocation.growth_calls = get_array(*t, "growth_calls");
@@ -335,6 +380,7 @@ Config load_config(const TomlDoc& doc) {
         ban->second.boolean;
   }
   if (const TomlTable* t = get_table(doc, "threshold")) {
+    require_keys(*t, "threshold", {"paths", "exempt", "patterns"});
     cfg.threshold.paths = get_array(*t, "paths");
     cfg.threshold.exempt = get_array(*t, "exempt");
     cfg.threshold.pattern_text = get_array(*t, "patterns");
@@ -344,6 +390,43 @@ Config load_config(const TomlDoc& doc) {
       } catch (const std::regex_error&) {
         throw std::runtime_error("rules: bad threshold regex: " + pattern);
       }
+    }
+  }
+  if (const TomlTable* t = get_table(doc, "thread_safety")) {
+    require_keys(*t, "thread_safety", {"paths"});
+    cfg.thread_safety.paths = get_array(*t, "paths");
+  }
+  if (const TomlTable* t = get_table(doc, "include_graph")) {
+    require_keys(*t, "include_graph", {"public_paths", "unused_exempt"});
+    cfg.include_graph.public_paths = get_array(*t, "public_paths");
+    cfg.include_graph.unused_exempt = get_array(*t, "unused_exempt");
+  }
+  if (const TomlTable* t = get_table(doc, "resilience")) {
+    require_keys(*t, "resilience", {"paths"});
+    cfg.resilience.paths = get_array(*t, "paths");
+  }
+  const auto proto_it = doc.find("protocol");
+  if (proto_it != doc.end()) {
+    for (const TomlTable& t : proto_it->second) {
+      require_keys(t, "protocol", {"file", "model"});
+      ProtocolCfg p;
+      const auto file = t.find("file");
+      const auto model = t.find("model");
+      if (file == t.end() ||
+          file->second.kind != TomlValue::Kind::string ||
+          model == t.end() ||
+          model->second.kind != TomlValue::Kind::string) {
+        throw std::runtime_error(
+            "rules: [[protocol]] needs string `file` and `model`");
+      }
+      p.file = file->second.str;
+      p.model = model->second.str;
+      if (p.model != "fail_stop" && p.model != "malicious") {
+        throw std::runtime_error("rules: [[protocol]] model must be "
+                                 "`fail_stop` or `malicious`, got `" +
+                                 p.model + "`");
+      }
+      cfg.resilience.protocols.push_back(std::move(p));
     }
   }
   return cfg;
@@ -357,6 +440,184 @@ std::vector<Diag> check_file(const ScannedFile& f, const Config& cfg) {
   check_determinism(f, cfg, out);
   check_allocation(f, cfg, out);
   check_threshold(f, cfg, out);
+  return out;
+}
+
+namespace {
+
+[[nodiscard]] bool ends_with(const std::string& s, const std::string& tail) {
+  return s.size() >= tail.size() &&
+         s.compare(s.size() - tail.size(), tail.size(), tail) == 0;
+}
+
+/// Line of the include in `f` that resolves to `target_path`, matched by
+/// path suffix (include targets are written without the src/tools root).
+[[nodiscard]] std::size_t include_line_for(const FileModel& f,
+                                           const std::string& target_path) {
+  for (const Include& inc : f.includes) {
+    if (!inc.angled && (target_path == inc.target ||
+                        ends_with(target_path, "/" + inc.target))) {
+      return inc.line;
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::vector<Diag> check_repo(const RepoModel& model, const Config& cfg) {
+  std::vector<Diag> out;
+
+  // include-cycle: one diagnostic per strongly connected component,
+  // reported at the first member's offending include.
+  for (const std::vector<std::size_t>& comp : model.cycles) {
+    const FileModel& first = model.files[comp.front()];
+    std::string chain;
+    for (const std::size_t idx : comp) {
+      chain += model.files[idx].path + " -> ";
+    }
+    chain += first.path;
+    std::size_t line = 1;
+    for (std::size_t k = 1; k < comp.size(); ++k) {
+      const std::size_t l =
+          include_line_for(first, model.files[comp[k]].path);
+      if (l != 1) {
+        line = l;
+        break;
+      }
+    }
+    out.push_back(Diag{first.path, line, "include-cycle",
+                       "include cycle: " + chain +
+                           "; break it with a forward declaration or by "
+                           "moving the shared piece down a layer"});
+  }
+
+  // layer-closure: layering must hold transitively. Direct violations are
+  // the per-file `layer` rule's business; this rule reports a file that
+  // reaches a forbidden layer only through intermediaries. One diagnostic
+  // per (file, offending layer).
+  std::vector<std::set<std::string>> allowed(cfg.layers.size());
+  for (std::size_t li = 0; li < cfg.layers.size(); ++li) {
+    std::vector<std::string> work{cfg.layers[li].name};
+    while (!work.empty()) {
+      const std::string name = work.back();
+      work.pop_back();
+      if (!allowed[li].insert(name).second) {
+        continue;
+      }
+      for (const LayerCfg& l : cfg.layers) {
+        if (l.name == name) {
+          work.insert(work.end(), l.deps.begin(), l.deps.end());
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < model.files.size(); ++i) {
+    const std::size_t self = layer_of(model.files[i].path, cfg.layers);
+    if (self == std::string::npos) {
+      continue;
+    }
+    const std::set<std::size_t> direct(model.files[i].edges.begin(),
+                                       model.files[i].edges.end());
+    std::set<std::string> reported;
+    for (const std::size_t j : model.closure[i]) {
+      if (direct.count(j) != 0) {
+        continue;
+      }
+      const std::size_t target = layer_of(model.files[j].path, cfg.layers);
+      if (target == std::string::npos || target == self ||
+          allowed[self].count(cfg.layers[target].name) != 0) {
+        continue;
+      }
+      if (!reported.insert(cfg.layers[target].name).second) {
+        continue;
+      }
+      // Blame the direct include whose subtree reaches the offender.
+      std::size_t via = std::string::npos;
+      for (const std::size_t e : model.files[i].edges) {
+        if (e == j || std::binary_search(model.closure[e].begin(),
+                                         model.closure[e].end(), j)) {
+          via = e;
+          break;
+        }
+      }
+      const std::size_t line =
+          via == std::string::npos
+              ? 1
+              : include_line_for(model.files[i], model.files[via].path);
+      out.push_back(Diag{
+          model.files[i].path, line, "layer-closure",
+          "layer `" + cfg.layers[self].name + "` transitively reaches " +
+              model.files[j].path + " in layer `" +
+              cfg.layers[target].name +
+              "`; the layering contract holds for the whole include "
+              "closure, not just direct edges"});
+    }
+  }
+
+  // unused-header: a public header no scanned file includes.
+  for (std::size_t i = 0; i < model.files.size(); ++i) {
+    const std::string& path = model.files[i].path;
+    if (model.included_by[i] != 0 || !ends_with(path, ".hpp") ||
+        !matches_any_prefix(path, cfg.include_graph.public_paths) ||
+        matches_any_prefix(path, cfg.include_graph.unused_exempt)) {
+      continue;
+    }
+    out.push_back(Diag{path, 1, "unused-header",
+                       "public header is included by no scanned file; "
+                       "dead interface surface (delete it or add it to "
+                       "unused_exempt with a reason)"});
+  }
+
+  // resilience-bound: declared protocols vs validate(FaultModel::X) sites.
+  for (const ProtocolCfg& p : cfg.resilience.protocols) {
+    const auto it = model.index.find(p.file);
+    if (it == model.index.end()) {
+      out.push_back(Diag{p.file, 1, "resilience-bound",
+                         "[[protocol]] declares this file but it was not "
+                         "scanned; fix the path in tools/lint_rules.toml"});
+      continue;
+    }
+    const FileModel& f = model.files[it->second];
+    if (f.validates.empty()) {
+      out.push_back(Diag{
+          p.file, 1, "resilience-bound",
+          "declared as a `" + p.model +
+              "` protocol but contains no validate(FaultModel::...) "
+              "registration; every protocol must state its fault model "
+              "at its registration site"});
+      continue;
+    }
+    for (const ValidateSite& v : f.validates) {
+      if (v.model != p.model) {
+        out.push_back(Diag{
+            p.file, v.line, "resilience-bound",
+            "registers FaultModel::" + v.model + " but [[protocol]] "
+                "declares `" + p.model + "`; the declared resilience "
+                "bound (k <= (n-1)/2 fail-stop, k <= (n-1)/3 malicious) "
+                "would not match what validate() enforces"});
+      }
+    }
+  }
+  for (const FileModel& f : model.files) {
+    if (!matches_any_prefix(f.path, cfg.resilience.paths)) {
+      continue;
+    }
+    const bool declared =
+        std::any_of(cfg.resilience.protocols.begin(),
+                    cfg.resilience.protocols.end(),
+                    [&](const ProtocolCfg& p) { return p.file == f.path; });
+    if (declared) {
+      continue;
+    }
+    for (const ValidateSite& v : f.validates) {
+      out.push_back(Diag{
+          f.path, v.line, "resilience-bound",
+          "validate(FaultModel::" + v.model + ") registration site has "
+              "no [[protocol]] declaration in the rules file; declare "
+              "file and model so the resilience bound stays auditable"});
+    }
+  }
   return out;
 }
 

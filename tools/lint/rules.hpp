@@ -26,6 +26,21 @@
 //                 must go through core/params.hpp accessors, never inline
 //                 arithmetic.
 //
+// The v2 engine adds cross-file rules that run over the pass-1 RepoModel
+// (lint/model.hpp) instead of one translation unit:
+//
+//   thread-safety    — flow-aware lock/affinity tracking against the
+//                      RCP_* annotations (lint/thread_safety.hpp).
+//   include-cycle    — the resolved include graph must be acyclic.
+//   layer-closure    — layering holds transitively: a file may not reach a
+//                      forbidden layer through intermediaries either.
+//   unused-header    — a public header nobody includes is dead interface.
+//   resilience-bound — every params.validate(FaultModel::X) registration
+//                      site must be declared in [[protocol]] with the
+//                      matching fault model, so the k <= (n-1)/2 vs
+//                      k <= (n-1)/3 resilience claim of each protocol is
+//                      auditable from the rules file alone.
+//
 // Plus two meta rules: unused-suppression (an `allow` that matched nothing)
 // and bad-suppression (a marker without rule id or reason).
 #pragma once
@@ -96,6 +111,31 @@ struct RunCfg {
   std::vector<std::string> extensions;  ///< e.g. ".hpp", ".cpp".
 };
 
+/// Paths whose function bodies run the annotation-driven lock tracker.
+struct ThreadSafetyCfg {
+  std::vector<std::string> paths;
+};
+
+struct IncludeGraphCfg {
+  /// Prefixes whose .hpp files must be included by someone (unused-header).
+  std::vector<std::string> public_paths;
+  /// Headers exempt from unused-header (e.g. umbrella / entry headers).
+  std::vector<std::string> unused_exempt;
+};
+
+/// One declared protocol registration: `file` must call
+/// validate(FaultModel::`model`) and nothing else.
+struct ProtocolCfg {
+  std::string file;
+  std::string model;  ///< "fail_stop" or "malicious".
+};
+
+struct ResilienceCfg {
+  /// Prefixes where validate(FaultModel::X) sites must be declared.
+  std::vector<std::string> paths;
+  std::vector<ProtocolCfg> protocols;
+};
+
 struct Config {
   RunCfg run;
   std::vector<LayerCfg> layers;
@@ -104,15 +144,28 @@ struct Config {
   DeterminismCfg determinism;
   AllocationCfg allocation;
   ThresholdCfg threshold;
+  ThreadSafetyCfg thread_safety;
+  IncludeGraphCfg include_graph;
+  ResilienceCfg resilience;
 };
 
 /// Builds a Config from a parsed rules file; throws std::runtime_error on
-/// missing sections or unknown layer names in deps.
+/// missing sections, unknown layer names in deps, or unknown keys/tables
+/// (a typoed key must never silently disable a rule).
 [[nodiscard]] Config load_config(const TomlDoc& doc);
 
-/// Runs every rule class over one file. Returned diagnostics are raw —
-/// suppressions have not been applied yet.
+/// Runs every per-file rule class over one file. Returned diagnostics are
+/// raw — suppressions have not been applied yet.
 [[nodiscard]] std::vector<Diag> check_file(const ScannedFile& f,
+                                           const Config& cfg);
+
+struct RepoModel;  // lint/model.hpp
+
+/// Runs the cross-file rules (include-cycle, layer-closure, unused-header,
+/// resilience-bound) over the pass-1 model. Diagnostics are raw and may
+/// target any scanned file; the caller routes them through that file's
+/// suppressions.
+[[nodiscard]] std::vector<Diag> check_repo(const RepoModel& model,
                                            const Config& cfg);
 
 struct SuppressionOutcome {

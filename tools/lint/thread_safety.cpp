@@ -1,0 +1,465 @@
+#include "lint/thread_safety.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace rcp::lint {
+
+namespace {
+
+[[nodiscard]] bool starts_with(const std::string& s,
+                               const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+[[nodiscard]] bool is_locker_type(const std::string& s) {
+  return s == "MutexLock" || s == "lock_guard" || s == "scoped_lock" ||
+         s == "unique_lock";
+}
+
+/// Flow tracker for one function body. Lexical scoping: a `{` pushes, a
+/// `}` pops and releases whatever that scope acquired through scoped
+/// lockers or capability asserts. Manual mu_.lock()/mu_.unlock() is not
+/// scope-bound — it toggles the count directly.
+class BodyChecker {
+ public:
+  BodyChecker(const std::vector<Tok>& t, const ClassModel& cls,
+              const std::string& path, std::vector<Diag>& out)
+      : t_(t), cls_(cls), path_(path), out_(out) {
+    for (const std::string& cap : cls_.capabilities) {
+      caps_.insert(cap);
+    }
+  }
+
+  void run(std::size_t open, std::size_t close,
+           const MethodAnnotations* ann) {
+    if (ann != nullptr) {
+      for (const std::string& cap : ann->requires_caps) {
+        ++held_[cap];
+      }
+      if (!ann->asserts_cap.empty() && ann->asserts_cap != "this") {
+        ++held_[ann->asserts_cap];
+      }
+    }
+    scopes_.emplace_back();
+    for (std::size_t i = open + 1; i < close; ++i) {
+      const Tok& tok = t_[i];
+      if (tok.text == "{") {
+        scopes_.emplace_back();
+        continue;
+      }
+      if (tok.text == "}") {
+        pop_scope();
+        continue;
+      }
+      if (tok.kind != Tok::Kind::ident) {
+        continue;
+      }
+      // Scoped locker declaration: [const] [ns::]MutexLock/lock_guard/...
+      // [<...>] var ( caps... )
+      if (is_locker_type(tok.text)) {
+        i = declare_locker(i, close);
+        continue;
+      }
+      // Object patterns: X.lock() / X->unlock() / X.assert_held().
+      if (i + 1 < close &&
+          (t_[i + 1].text == "." || t_[i + 1].text == "->") &&
+          tok.text != "this") {
+        handle_object(i, close);
+        continue;
+      }
+      // Unqualified (or this->) uses. Skip `obj.member` / `ns::member`:
+      // another object's state is that object's business (clang does the
+      // deep cross-object analysis).
+      const bool member_of_other =
+          i > open + 1 &&
+          ((t_[i - 1].text == "." &&
+            !(i > open + 2 && t_[i - 2].text == "this")) ||
+           (t_[i - 1].text == "->" &&
+            !(i > open + 2 && t_[i - 2].text == "this")) ||
+           t_[i - 1].text == "::");
+      if (member_of_other) {
+        continue;
+      }
+      check_guarded_use(tok);
+      if (i + 1 < close && t_[i + 1].text == "(" &&
+          !is_annotation_macro(tok.text)) {
+        check_method_call(tok);
+      }
+    }
+  }
+
+ private:
+  struct Locker {
+    std::vector<std::string> caps;
+    bool engaged = true;
+  };
+
+  struct ScopeEntry {
+    std::vector<std::string> asserted;  ///< caps granted until scope exit
+    std::vector<std::string> lockers;   ///< locker vars declared here
+  };
+
+  void pop_scope() {
+    if (scopes_.empty()) {
+      return;
+    }
+    for (const std::string& cap : scopes_.back().asserted) {
+      --held_[cap];
+    }
+    for (const std::string& var : scopes_.back().lockers) {
+      const auto it = lockers_.find(var);
+      if (it != lockers_.end()) {
+        if (it->second.engaged) {
+          for (const std::string& cap : it->second.caps) {
+            --held_[cap];
+          }
+        }
+        lockers_.erase(it);
+      }
+    }
+    scopes_.pop_back();
+  }
+
+  [[nodiscard]] bool is_held(const std::string& cap) const {
+    const auto it = held_.find(cap);
+    return it != held_.end() && it->second > 0;
+  }
+
+  [[nodiscard]] std::size_t match_paren(std::size_t open,
+                                        std::size_t end) const {
+    int depth = 0;
+    for (std::size_t i = open; i < end; ++i) {
+      if (t_[i].text == "(" || t_[i].text == "{") {
+        ++depth;
+      } else if (t_[i].text == ")" || t_[i].text == "}") {
+        if (--depth == 0) {
+          return i;
+        }
+      }
+    }
+    return end;
+  }
+
+  /// `i` sits on a locker type token; returns the index to resume after.
+  std::size_t declare_locker(std::size_t i, std::size_t end) {
+    std::size_t j = i + 1;
+    if (j < end && t_[j].text == "<") {  // skip template arguments
+      int depth = 0;
+      for (; j < end; ++j) {
+        if (t_[j].text == "<") {
+          ++depth;
+        } else if (t_[j].text == ">") {
+          if (--depth == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+    }
+    if (j >= end || t_[j].kind != Tok::Kind::ident) {
+      return i;  // not a declaration (e.g. a cast or mention)
+    }
+    const std::string var = t_[j].text;
+    ++j;
+    if (j >= end || (t_[j].text != "(" && t_[j].text != "{")) {
+      return i;
+    }
+    const std::size_t close = match_paren(j, end);
+    Locker locker;
+    std::string cur;
+    int depth = 0;
+    for (std::size_t k = j + 1; k < close; ++k) {
+      const std::string& s = t_[k].text;
+      if (s == "(" || s == "{") {
+        ++depth;
+      } else if (s == ")" || s == "}") {
+        --depth;
+      } else if (s == "," && depth == 0) {
+        if (!cur.empty()) {
+          locker.caps.push_back(cur);
+        }
+        cur.clear();
+        continue;
+      }
+      cur += s;
+    }
+    if (!cur.empty()) {
+      locker.caps.push_back(cur);
+    }
+    // std::defer_lock / adopt_lock tags are not capabilities.
+    const auto is_tag = [](const std::string& s) {
+      return s.find("defer_lock") != std::string::npos ||
+             s.find("adopt_lock") != std::string::npos ||
+             s.find("try_to_lock") != std::string::npos;
+    };
+    locker.engaged = std::none_of(locker.caps.begin(), locker.caps.end(),
+                                  is_tag);
+    locker.caps.erase(
+        std::remove_if(locker.caps.begin(), locker.caps.end(), is_tag),
+        locker.caps.end());
+    if (locker.engaged) {
+      for (const std::string& cap : locker.caps) {
+        ++held_[cap];
+      }
+    }
+    if (!scopes_.empty()) {
+      scopes_.back().lockers.push_back(var);
+    }
+    lockers_[var] = std::move(locker);
+    return close;
+  }
+
+  /// `i` sits on an identifier followed by `.` or `->`.
+  void handle_object(std::size_t i, std::size_t end) {
+    const std::string& obj = t_[i].text;
+    const bool is_call = i + 3 < end && t_[i + 2].kind == Tok::Kind::ident &&
+                         t_[i + 3].text == "(";
+    const std::string method = is_call ? t_[i + 2].text : "";
+    const auto locker = lockers_.find(obj);
+    if (locker != lockers_.end()) {
+      if (method == "lock" && !locker->second.engaged) {
+        locker->second.engaged = true;
+        for (const std::string& cap : locker->second.caps) {
+          ++held_[cap];
+        }
+      } else if (method == "unlock" && locker->second.engaged) {
+        locker->second.engaged = false;
+        for (const std::string& cap : locker->second.caps) {
+          --held_[cap];
+        }
+      }
+      return;
+    }
+    if (caps_.count(obj) != 0) {
+      if (method == "lock") {
+        ++held_[obj];
+      } else if (method == "unlock") {
+        --held_[obj];
+      } else if (method == "assert_held") {
+        ++held_[obj];
+        if (!scopes_.empty()) {
+          scopes_.back().asserted.push_back(obj);
+        }
+      }
+      return;
+    }
+    // Accessing a member of a guarded object uses the object itself.
+    check_guarded_use(t_[i]);
+  }
+
+  void check_guarded_use(const Tok& tok) {
+    const auto it = cls_.guarded.find(tok.text);
+    if (it == cls_.guarded.end() || is_held(it->second)) {
+      return;
+    }
+    out_.push_back(Diag{
+        path_, tok.line, "thread-safety",
+        "`" + tok.text + "` is guarded by `" + it->second +
+            "` which is not held here; lock it, assert the thread role, "
+            "or annotate the access (common/annotations.hpp)"});
+  }
+
+  void check_method_call(const Tok& tok) {
+    const auto it = cls_.methods.find(tok.text);
+    if (it == cls_.methods.end()) {
+      return;
+    }
+    const MethodAnnotations& m = it->second;
+    for (const std::string& cap : m.requires_caps) {
+      if (!is_held(cap)) {
+        out_.push_back(Diag{
+            path_, tok.line, "thread-safety",
+            "call to `" + tok.text + "()` requires capability `" + cap +
+                "` which is not held here"});
+      }
+    }
+    for (const std::string& cap : m.excludes_caps) {
+      if (is_held(cap)) {
+        out_.push_back(Diag{
+            path_, tok.line, "thread-safety",
+            "call to `" + tok.text + "()` excludes capability `" + cap +
+                "` which is held here (self-deadlock)"});
+      }
+    }
+    if (!m.asserts_cap.empty() && m.asserts_cap != "this") {
+      ++held_[m.asserts_cap];
+      if (!scopes_.empty()) {
+        scopes_.back().asserted.push_back(m.asserts_cap);
+      }
+    }
+  }
+
+  const std::vector<Tok>& t_;
+  const ClassModel& cls_;
+  const std::string& path_;
+  std::vector<Diag>& out_;
+  std::set<std::string> caps_;
+  std::map<std::string, int> held_;
+  std::map<std::string, Locker> lockers_;
+  std::vector<ScopeEntry> scopes_;
+};
+
+/// Finds the matching `}` for the `{` at `open` in the raw token stream.
+[[nodiscard]] std::size_t match_brace(const std::vector<Tok>& t,
+                                      std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == "{") {
+      ++depth;
+    } else if (t[i].text == "}") {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return t.size();
+}
+
+}  // namespace
+
+std::vector<Diag> check_thread_safety(const ScannedFile& f,
+                                      const RepoModel& model,
+                                      const Config& cfg) {
+  std::vector<Diag> out;
+  if (std::none_of(cfg.thread_safety.paths.begin(),
+                   cfg.thread_safety.paths.end(),
+                   [&](const std::string& p) {
+                     return starts_with(f.path, p);
+                   })) {
+    return out;
+  }
+  const std::vector<Tok> t = tokenize(f.code);
+
+  // The same scope walk as the model's class extraction, but here a `{`
+  // that closes a function head hands the body to the BodyChecker.
+  enum class ScopeKind : std::uint8_t { transparent, cls, opaque };
+  struct Scope {
+    ScopeKind kind;
+    std::string cls_name;
+  };
+  std::vector<Scope> stack;
+  std::size_t stmt = 0;
+  const auto level = [&]() {
+    return stack.empty() ? ScopeKind::transparent : stack.back().kind;
+  };
+  const auto enclosing_class = [&]() -> std::string {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->kind == ScopeKind::cls) {
+        return it->cls_name;
+      }
+    }
+    return "";
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (level() == ScopeKind::opaque) {
+      if (s == "{") {
+        stack.push_back({ScopeKind::opaque, ""});
+      } else if (s == "}") {
+        stack.pop_back();
+        stmt = i + 1;
+      }
+      continue;
+    }
+    if (s == ";") {
+      stmt = i + 1;
+    } else if (s == "{") {
+      bool has_enum = false;
+      bool has_class = false;
+      bool has_ns = false;
+      bool in_bases = false;  // past the base-clause ':' of a class head
+      std::string last_ident;
+      static const std::set<std::string> kHeadKeywords = {
+          "class",  "struct",    "union",   "final",    "template",
+          "public", "protected", "private", "typename", "virtual",
+          "enum",   "namespace",
+      };
+      for (std::size_t j = stmt; j < i; ++j) {
+        if (t[j].text == ":") {
+          in_bases = true;
+        }
+        if (t[j].kind != Tok::Kind::ident) {
+          continue;
+        }
+        if (t[j].text == "template" && j + 1 < i && t[j + 1].text == "<") {
+          int depth = 0;  // `template <class T>` is not a class head
+          for (++j; j < i; ++j) {
+            if (t[j].text == "<") {
+              ++depth;
+            } else if (t[j].text == ">" && --depth == 0) {
+              break;
+            }
+          }
+          continue;
+        }
+        if (t[j].text == "enum") {
+          has_enum = true;
+        } else if (t[j].text == "class" || t[j].text == "struct" ||
+                   t[j].text == "union") {
+          has_class = true;
+        } else if (t[j].text == "namespace") {
+          has_ns = true;
+        }
+        if (!in_bases && kHeadKeywords.count(t[j].text) == 0 &&
+            !is_annotation_macro(t[j].text)) {
+          last_ident = t[j].text;
+        }
+      }
+      if (has_ns) {
+        stack.push_back({ScopeKind::transparent, ""});
+        stmt = i + 1;
+        continue;
+      }
+      if (has_class && !has_enum) {
+        stack.push_back({ScopeKind::cls, last_ident});
+        stmt = i + 1;
+        continue;
+      }
+      // Candidate function body: who owns it?
+      const std::size_t callee = find_callee(t, stmt, i);
+      std::string owner;
+      if (callee != i) {
+        if (callee >= stmt + 2 && t[callee - 1].text == "::" &&
+            t[callee - 2].kind == Tok::Kind::ident) {
+          owner = t[callee - 2].text;  // Cls::method(...)
+        } else if (callee >= stmt + 3 && t[callee - 1].text == "~" &&
+                   t[callee - 2].text == "::" &&
+                   t[callee - 3].kind == Tok::Kind::ident) {
+          owner = t[callee - 3].text;  // Cls::~Cls(...)
+        } else {
+          owner = enclosing_class();
+        }
+      }
+      const auto cls_it =
+          owner.empty() ? model.classes.end() : model.classes.find(owner);
+      if (callee == i || cls_it == model.classes.end()) {
+        // Free function / unknown class: nothing annotated to check.
+        stack.push_back({ScopeKind::opaque, ""});
+        stmt = i + 1;
+        continue;
+      }
+      const ClassModel& cls = cls_it->second;
+      const auto method_it = cls.methods.find(t[callee].text);
+      const MethodAnnotations* ann =
+          method_it == cls.methods.end() ? nullptr : &method_it->second;
+      const std::size_t close = match_brace(t, i);
+      if (ann == nullptr || !ann->no_analysis) {
+        BodyChecker(t, cls, f.path, out).run(i, close, ann);
+      }
+      i = close;
+      stmt = i + 1;
+    } else if (s == "}") {
+      if (!stack.empty()) {
+        stack.pop_back();
+      }
+      stmt = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace rcp::lint

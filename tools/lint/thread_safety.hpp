@@ -1,0 +1,37 @@
+// Pass-2 thread-safety rule: a flow-aware lock tracker over function
+// bodies, driven by the RCP_* annotations collected into the RepoModel.
+//
+// This is rcp-lint's portable rendition of clang's -Wthread-safety: the
+// same annotations feed both, clang does the deep interprocedural version
+// on the clang CI job, and this rule keeps the invariant enforced on every
+// toolchain the tests run on. The tracker is lexical and intra-procedural
+// on purpose (see docs/LINT.md): it knows
+//
+//   * scoped lockers (runtime::MutexLock, std::lock_guard, std::scoped_lock,
+//     std::unique_lock) including manual lock()/unlock() on the variable,
+//   * direct capability operations (mu_.lock(), mu_.unlock(),
+//     aff_.assert_held() which grants until scope end),
+//   * same-class method calls checked against their RCP_REQUIRES /
+//     RCP_EXCLUDES / RCP_ASSERT_CAPABILITY annotations (cross-file: the
+//     class may be annotated in its header and defined in its .cpp),
+//   * bare accesses to RCP_GUARDED_BY members.
+//
+// Constructors and destructors are NOT exempt (stricter than clang): the
+// thread that constructs or destroys an object must still be stated — by
+// asserting the affinity or taking the lock.
+#pragma once
+
+#include <vector>
+
+#include "lint/model.hpp"
+#include "lint/rules.hpp"
+
+namespace rcp::lint {
+
+/// Checks every function body in `f` whose owning class is known to the
+/// model. Files outside cfg.thread_safety.paths return no diagnostics.
+[[nodiscard]] std::vector<Diag> check_thread_safety(const ScannedFile& f,
+                                                    const RepoModel& model,
+                                                    const Config& cfg);
+
+}  // namespace rcp::lint

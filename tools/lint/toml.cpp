@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -69,6 +70,11 @@ TomlDoc parse_toml_file(const std::string& path) {
   }
   TomlDoc doc;
   TomlTable* current = &doc[""].emplace_back();
+  // Duplicate [table] headers are hard errors (silent merging hid typos
+  // and shadowed earlier keys); so is redeclaring a plain [table] as an
+  // [[array-of-tables]] or vice versa.
+  std::set<std::string> plain_tables;
+  std::set<std::string> array_tables;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -92,9 +98,24 @@ TomlDoc parse_toml_file(const std::string& path) {
         fail(path, line_no, "empty table name");
       }
       auto& tables = doc[name];
-      if (array_of_tables || tables.empty()) {
-        tables.emplace_back();
+      if (array_of_tables) {
+        if (plain_tables.count(name) != 0) {
+          fail(path, line_no,
+               "table [" + name + "] redeclared as array of tables [[" +
+                   name + "]]");
+        }
+        array_tables.insert(name);
+      } else {
+        if (array_tables.count(name) != 0) {
+          fail(path, line_no, "array of tables [[" + name +
+                                  "]] redeclared as plain table [" + name +
+                                  "]");
+        }
+        if (!plain_tables.insert(name).second) {
+          fail(path, line_no, "duplicate table [" + name + "]");
+        }
       }
+      tables.emplace_back();
       current = &tables.back();
       continue;
     }
@@ -123,6 +144,7 @@ TomlDoc parse_toml_file(const std::string& path) {
       value.kind = TomlValue::Kind::array;
       ++i;
       bool done = false;
+      bool expect_sep = false;  // after an element: only `,` or `]`
       while (!done) {
         skip_ws(line, i);
         if (at_line_end(line, i)) {
@@ -138,9 +160,17 @@ TomlDoc parse_toml_file(const std::string& path) {
           ++i;
           done = true;
         } else if (line[i] == ',') {
+          if (!expect_sep) {
+            fail(path, line_no, "unexpected `,` in array");
+          }
+          expect_sep = false;
           ++i;
         } else if (line[i] == '"' || line[i] == '\'') {
+          if (expect_sep) {
+            fail(path, line_no, "missing `,` between array elements");
+          }
           value.array.push_back(parse_string(path, line_no, line, i));
+          expect_sep = true;
         } else {
           fail(path, line_no, "arrays may contain only strings");
         }
