@@ -1,0 +1,8 @@
+// Fixture: this header's own include reaches up-layer — a direct `layer`
+// violation here, and a `layer-closure` violation at whoever includes it.
+#pragma once
+#include "sim/above.hpp"
+
+namespace fixture {
+inline int bridge_marker() { return above_marker(); }
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: half of an include cycle — core/cycle_a.hpp and
+// core/cycle_b.hpp include each other (include-cycle).
+#pragma once
+#include "core/cycle_b.hpp"
+
+namespace fixture {
+struct CycleA {};
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture: the other half of the include cycle with core/cycle_a.hpp.
+#pragma once
+#include "core/cycle_a.hpp"
+
+namespace fixture {
+struct CycleB {};
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: every direct include is legal, but the transitive closure
+// reaches src/sim/ through core/bridge.hpp — flagged by `layer-closure`
+// (the direct hop inside bridge.hpp is the plain `layer` rule's job).
+#include "core/bridge.hpp"
+
+namespace fixture {
+int indirect_marker() { return bridge_marker(); }
+}  // namespace fixture

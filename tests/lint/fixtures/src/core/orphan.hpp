@@ -1,0 +1,6 @@
+// Fixture: public header that no scanned file includes (unused-header).
+#pragma once
+
+namespace fixture {
+inline int orphan_answer() { return 42; }
+}  // namespace fixture

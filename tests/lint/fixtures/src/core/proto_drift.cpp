@@ -1,0 +1,12 @@
+// Fixture: rules.toml declares this protocol fail_stop (k <= (n-1)/2) but
+// the code registers under the malicious model — the declared resilience
+// bound is wrong for what actually runs (resilience-bound).
+#include "core/params.hpp"
+
+namespace fixture {
+
+void register_drifted(rcp::core::ConsensusParams params) {
+  params.validate(rcp::core::FaultModel::malicious);
+}
+
+}  // namespace fixture

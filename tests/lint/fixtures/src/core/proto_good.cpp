@@ -1,0 +1,11 @@
+// Fixture: the [[protocol]] declaration in rules.toml says malicious and
+// the registration site validates malicious — clean (resilience-bound).
+#include "core/params.hpp"
+
+namespace fixture {
+
+void register_good(rcp::core::ConsensusParams params) {
+  params.validate(rcp::core::FaultModel::malicious);
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: a registration site with no matching [[protocol]] declaration
+// in rules.toml — every fault-model commitment must be declared so the
+// resilience bounds stay auditable (resilience-bound).
+#include "core/params.hpp"
+
+namespace fixture {
+
+void register_unlisted(rcp::core::ConsensusParams params) {
+  params.validate(rcp::core::FaultModel::fail_stop);
+}
+
+}  // namespace fixture

@@ -1,0 +1,53 @@
+// Fixture: correct lock discipline — scoped lockers (MutexLock,
+// std::lock_guard), manual lock()/unlock(), unlock/relock through the
+// scoped locker, a ThreadAffinity assert, and an RCP_NO_THREAD_SAFETY_ANALYSIS
+// observer. Zero diagnostics.
+#include <mutex>
+
+#include "common/annotations.hpp"
+#include "runtime/sync.hpp"
+
+namespace fixture {
+
+class CleanCounter {
+ public:
+  void scoped_increment() {
+    rcp::runtime::MutexLock lock(mu_);
+    value_ += 1;
+    locked_bump();
+  }
+  void guard_increment() {
+    std::lock_guard<std::mutex> guard(mu_);
+    value_ += 1;
+  }
+  void manual_increment() {
+    mu_.lock();
+    value_ += 1;
+    mu_.unlock();
+  }
+  void relock() {
+    rcp::runtime::MutexLock lock(mu_);
+    value_ += 1;
+    lock.unlock();
+    plain_ = 0;
+    lock.lock();
+    value_ += 1;
+  }
+  void asserted_write() {
+    role_.assert_held();
+    owned_ += 1;
+  }
+  [[nodiscard]] int racy_peek() const RCP_NO_THREAD_SAFETY_ANALYSIS {
+    return value_;
+  }
+
+ private:
+  void locked_bump() RCP_REQUIRES(mu_) { value_ += 1; }
+  rcp::runtime::Mutex mu_;
+  rcp::ThreadAffinity role_;
+  int value_ RCP_GUARDED_BY(mu_) = 0;
+  int owned_ RCP_GUARDED_BY(role_) = 0;
+  int plain_ = 0;
+};
+
+}  // namespace fixture

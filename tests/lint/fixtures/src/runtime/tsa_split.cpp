@@ -1,0 +1,12 @@
+// Fixture: the definition forgets the lock the header demands — both
+// diagnostics come from annotations declared in tsa_split.hpp.
+#include "runtime/tsa_split.hpp"
+
+namespace fixture {
+
+void SplitCounter::increment() {
+  value_ += 1;
+  locked_bump();
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: the annotations live on the declarations here; the matching
+// .cpp definitions are checked against them through the cross-file class
+// model (pass 1 merges ClassModels by name).
+#pragma once
+
+#include "common/annotations.hpp"
+#include "runtime/sync.hpp"
+
+namespace fixture {
+
+class SplitCounter {
+ public:
+  void increment();
+
+ private:
+  void locked_bump() RCP_REQUIRES(mu_);
+  rcp::runtime::Mutex mu_;
+  int value_ RCP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: thread-safety violations — a guarded member touched without
+// its mutex, a REQUIRES call without the capability, an EXCLUDES call
+// made while holding it.
+#include "common/annotations.hpp"
+#include "runtime/sync.hpp"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void unlocked_increment() { value_ += 1; }
+  void missing_requires() { locked_bump(); }
+  void deadlock_prone() {
+    rcp::runtime::MutexLock lock(mu_);
+    blocking_refresh();
+  }
+
+ private:
+  void locked_bump() RCP_REQUIRES(mu_) { value_ += 1; }
+  void blocking_refresh() RCP_EXCLUDES(mu_) {}
+  rcp::runtime::Mutex mu_;
+  int value_ RCP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

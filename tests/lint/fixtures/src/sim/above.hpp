@@ -1,0 +1,7 @@
+// Fixture: a sim-layer header that core code must not reach, directly
+// or transitively.
+#pragma once
+
+namespace fixture {
+inline int above_marker() { return 1; }
+}  // namespace fixture

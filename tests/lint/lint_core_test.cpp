@@ -1,0 +1,291 @@
+// Unit tests for the rcp_lint_core library: the TOML-subset reader's
+// hard-error edge cases (duplicate tables, malformed arrays, unknown
+// keys/sections) and the pass-1 annotation parser's corner cases
+// (multi-line declarations, macro-heavy members, cache round-trips).
+// The end-to-end binary tests live in lint_tool_test.cpp; these link the
+// library directly so a parser regression fails with a precise message
+// instead of a diff of whole-tree lint output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lint/model.hpp"
+#include "lint/rules.hpp"
+#include "lint/scan.hpp"
+#include "lint/toml.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using rcp::lint::build_model;
+using rcp::lint::Config;
+using rcp::lint::content_hash;
+using rcp::lint::load_config;
+using rcp::lint::parse_toml_file;
+using rcp::lint::RepoModel;
+using rcp::lint::ScannedFile;
+
+/// Writes `text` to a temp file and returns its path; removed in dtor.
+class TempRules {
+ public:
+  explicit TempRules(const std::string& text)
+      : path_((fs::temp_directory_path() /
+               ("rcp_lint_core_test_" +
+                std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+                ".toml"))
+                  .string()) {
+    std::ofstream out(path_);
+    out << text;
+  }
+  ~TempRules() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Parses (and optionally loads) `text`, returning the exception message
+/// or "" when no exception was thrown.
+std::string parse_error(const std::string& text, bool load = false) {
+  const TempRules rules(text);
+  try {
+    const auto doc = parse_toml_file(rules.path());
+    if (load) {
+      (void)load_config(doc);
+    }
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+/// A minimal valid rule file; tests append the section under test.
+const char* kMinimalRules =
+    "[run]\n"
+    "roots = [\"src\"]\n"
+    "[[layer]]\n"
+    "name = \"core\"\n"
+    "paths = [\"src/\"]\n"
+    "deps = []\n";
+
+ScannedFile make_scan(const std::string& path,
+                      std::vector<std::string> code) {
+  ScannedFile f;
+  f.path = path;
+  f.code = std::move(code);
+  return f;
+}
+
+// ---- TOML hard errors --------------------------------------------------
+
+TEST(LintToml, DuplicateTableIsHardError) {
+  const std::string msg = parse_error("[run]\nroots = [\"src\"]\n[run]\n");
+  EXPECT_NE(msg.find("duplicate table [run]"), std::string::npos) << msg;
+}
+
+TEST(LintToml, PlainTableRedeclaredAsArrayIsHardError) {
+  const std::string msg = parse_error("[layer]\n[[layer]]\n");
+  EXPECT_NE(msg.find("redeclared as array of tables"), std::string::npos)
+      << msg;
+}
+
+TEST(LintToml, ArrayTableRedeclaredAsPlainIsHardError) {
+  const std::string msg = parse_error("[[layer]]\n[layer]\n");
+  EXPECT_NE(msg.find("redeclared as plain table"), std::string::npos) << msg;
+}
+
+TEST(LintToml, MissingCommaBetweenArrayElementsIsHardError) {
+  const std::string msg = parse_error("[run]\nroots = [\"a\" \"b\"]\n");
+  EXPECT_NE(msg.find("missing `,` between array elements"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(LintToml, LeadingCommaInArrayIsHardError) {
+  const std::string msg = parse_error("[run]\nroots = [, \"a\"]\n");
+  EXPECT_NE(msg.find("unexpected `,` in array"), std::string::npos) << msg;
+}
+
+TEST(LintToml, DuplicateKeyIsHardError) {
+  const std::string msg =
+      parse_error("[run]\nroots = [\"a\"]\nroots = [\"b\"]\n");
+  EXPECT_NE(msg.find("duplicate key: roots"), std::string::npos) << msg;
+}
+
+// ---- Config-level hard errors (a typo must not disable a rule) ---------
+
+TEST(LintConfig, UnknownKeyInSectionIsHardError) {
+  const std::string msg = parse_error(
+      std::string(kMinimalRules) + "[thread_safety]\npathz = [\"src/\"]\n",
+      /*load=*/true);
+  EXPECT_NE(msg.find("unknown key `pathz` in [thread_safety]"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(LintConfig, UnknownSectionIsHardError) {
+  const std::string msg = parse_error(
+      std::string(kMinimalRules) + "[thread_safty]\npaths = [\"src/\"]\n",
+      /*load=*/true);
+  EXPECT_NE(msg.find("unknown section [thread_safty]"), std::string::npos)
+      << msg;
+}
+
+TEST(LintConfig, TopLevelKeyIsHardError) {
+  const std::string msg =
+      parse_error("stray = \"x\"\n" + std::string(kMinimalRules),
+                  /*load=*/true);
+  EXPECT_NE(msg.find("top-level key"), std::string::npos) << msg;
+}
+
+TEST(LintConfig, BadProtocolModelIsHardError) {
+  const std::string msg = parse_error(
+      std::string(kMinimalRules) +
+          "[[protocol]]\nfile = \"src/x.cpp\"\nmodel = \"byzantine\"\n",
+      /*load=*/true);
+  EXPECT_NE(msg.find("[[protocol]] model must be"), std::string::npos)
+      << msg;
+}
+
+// ---- Annotation parser corner cases ------------------------------------
+
+TEST(LintModel, MultiLineDeclarationAnnotationsParsed) {
+  // The declaration spans four physical lines; the capability list inside
+  // RCP_REQUIRES spans two. The token stream sees one statement.
+  const RepoModel model = build_model(
+      {make_scan("src/w.hpp",
+                 {
+                     "class Worker {",
+                     "  void step()",
+                     "      RCP_REQUIRES(mu_,",
+                     "                   role_);",
+                     "  void on_loop() RCP_ASSERT_CAPABILITY(role_);",
+                     "  rcp::runtime::Mutex mu_;",
+                     "  rcp::ThreadAffinity role_;",
+                     "};",
+                 })},
+      nullptr);
+  const auto it = model.classes.find("Worker");
+  ASSERT_NE(it, model.classes.end());
+  const auto& cls = it->second;
+  ASSERT_EQ(cls.methods.count("step"), 1u);
+  EXPECT_EQ(cls.methods.at("step").requires_caps,
+            (std::vector<std::string>{"mu_", "role_"}));
+  ASSERT_EQ(cls.methods.count("on_loop"), 1u);
+  EXPECT_EQ(cls.methods.at("on_loop").asserts_cap, "role_");
+  EXPECT_EQ(cls.capabilities,
+            (std::vector<std::string>{"mu_", "role_"}));
+}
+
+TEST(LintModel, BraceInitMemberIsNotMistakenForMethod) {
+  // `tick_ RCP_GUARDED_BY(m){0}` looks like `name(...)` followed by a
+  // body; the parser must file it as a guarded member, not a method.
+  const RepoModel model = build_model(
+      {make_scan("src/v.hpp",
+                 {
+                     "class Volatile {",
+                     "  rcp::runtime::Mutex m;",
+                     "  int tick_ RCP_GUARDED_BY(m){0};",
+                     "  int plain_{1};",
+                     "};",
+                 })},
+      nullptr);
+  const auto it = model.classes.find("Volatile");
+  ASSERT_NE(it, model.classes.end());
+  const auto& cls = it->second;
+  ASSERT_EQ(cls.guarded.count("tick_"), 1u);
+  EXPECT_EQ(cls.guarded.at("tick_"), "m");
+  EXPECT_EQ(cls.guarded.count("plain_"), 0u);
+  EXPECT_TRUE(cls.methods.empty());
+}
+
+TEST(LintModel, HeaderAndCppMergeIntoOneClass) {
+  const RepoModel model = build_model(
+      {make_scan("src/s.hpp",
+                 {
+                     "class Split {",
+                     "  void bump() RCP_REQUIRES(mu_);",
+                     "  rcp::runtime::Mutex mu_;",
+                     "};",
+                 }),
+       make_scan("src/s.cpp",
+                 {
+                     "void Split::bump() { }",
+                 })},
+      nullptr);
+  const auto it = model.classes.find("Split");
+  ASSERT_NE(it, model.classes.end());
+  EXPECT_EQ(it->second.methods.at("bump").requires_caps,
+            (std::vector<std::string>{"mu_"}));
+}
+
+TEST(LintModel, ContentHashTracksIncludeTargets) {
+  // Include targets are string literals, which the scanner blanks out of
+  // `code` — the hash must still change when only a target changes.
+  ScannedFile a = make_scan("src/a.cpp", {"", ""});
+  ScannedFile b = make_scan("src/a.cpp", {"", ""});
+  a.includes.push_back({1, "core/one.hpp", false});
+  b.includes.push_back({1, "core/two.hpp", false});
+  EXPECT_NE(content_hash(a), content_hash(b));
+  EXPECT_EQ(content_hash(a), content_hash(a));
+}
+
+TEST(LintModel, CacheRoundTripReplaysExtraction) {
+  const std::vector<ScannedFile> scans = {
+      make_scan("src/w.hpp",
+                {
+                    "class Cached {",
+                    "  void go() RCP_REQUIRES(mu_);",
+                    "  rcp::runtime::Mutex mu_;",
+                    "};",
+                })};
+  const RepoModel first = build_model(scans, nullptr);
+  const std::string cache_path =
+      (fs::temp_directory_path() / "rcp_lint_core_cache_test.txt").string();
+  rcp::lint::save_model_cache(cache_path, first);
+
+  RepoModel cache;
+  ASSERT_TRUE(rcp::lint::load_model_cache(cache_path, cache));
+  const RepoModel second = build_model(scans, &cache);
+  std::remove(cache_path.c_str());
+
+  ASSERT_EQ(second.files.size(), 1u);
+  EXPECT_TRUE(second.files[0].from_cache);
+  EXPECT_FALSE(first.files[0].from_cache);
+  const auto it = second.classes.find("Cached");
+  ASSERT_NE(it, second.classes.end());
+  EXPECT_EQ(it->second.methods.at("go").requires_caps,
+            (std::vector<std::string>{"mu_"}));
+}
+
+TEST(LintModel, StaleCacheIsSilentlyIgnored) {
+  const std::string cache_path =
+      (fs::temp_directory_path() / "rcp_lint_core_stale_cache.txt").string();
+  {
+    std::ofstream out(cache_path);
+    out << "some-other-format-v9\n";
+  }
+  RepoModel cache;
+  EXPECT_FALSE(rcp::lint::load_model_cache(cache_path, cache));
+  std::remove(cache_path.c_str());
+  EXPECT_FALSE(rcp::lint::load_model_cache("/nonexistent/model.cache",
+                                           cache));
+}
+
+TEST(LintModel, TokenizerFusesCompoundPunctuation) {
+  const auto toks = rcp::lint::tokenize({"a::b->c [[nodiscard]]"});
+  std::vector<std::string> texts;
+  texts.reserve(toks.size());
+  for (const auto& t : toks) {
+    texts.push_back(t.text);
+  }
+  EXPECT_EQ(texts, (std::vector<std::string>{"a", "::", "b", "->", "c",
+                                             "[[", "nodiscard", "]]"}));
+}
+
+}  // namespace

@@ -12,6 +12,8 @@
 
 #include <array>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -248,10 +250,148 @@ TEST(LintTool, CleanFileExitsZero) {
       << run.output;
 }
 
+TEST(LintTool, ThreadSafetyViolationsReportExactLines) {
+  const LintRun run = run_lint("src/runtime/tsa_violation.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // 11: guarded member without the mutex; 12: REQUIRES call without it;
+  // 15: EXCLUDES call made while a scoped locker holds it.
+  for (int line : {11, 12, 15}) {
+    EXPECT_TRUE(has_diag(run,
+                         "src/runtime/tsa_violation.cpp:" +
+                             std::to_string(line) + ": error:",
+                         "thread-safety"))
+        << run.output;
+  }
+  EXPECT_EQ(count_rule(run, "thread-safety"), 3) << run.output;
+}
+
+TEST(LintTool, ThreadSafetyCleanDisciplineExitsZero) {
+  // Scoped lockers, manual lock/unlock, unlock-then-relock, an asserted
+  // ThreadAffinity, and a NO_THREAD_SAFETY_ANALYSIS observer: no diags.
+  const LintRun run = run_lint("src/runtime/tsa_clean.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(count_rule(run, "thread-safety"), 0) << run.output;
+}
+
+TEST(LintTool, ThreadSafetyMergesAnnotationsAcrossFiles) {
+  // The annotations live in tsa_split.hpp; the violations are in the
+  // out-of-line definitions in tsa_split.cpp. Only the merged class model
+  // can catch them.
+  const LintRun run =
+      run_lint("src/runtime/tsa_split.hpp src/runtime/tsa_split.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_TRUE(has_diag(run, "src/runtime/tsa_split.cpp:8: error:",
+                       "thread-safety"))
+      << run.output;
+  EXPECT_TRUE(has_diag(run, "src/runtime/tsa_split.cpp:9: error:",
+                       "thread-safety"))
+      << run.output;
+  EXPECT_EQ(count_rule(run, "thread-safety"), 2) << run.output;
+}
+
+TEST(LintTool, IncludeCycleReportedOnceWithFullChain) {
+  const LintRun run = run_lint("");
+  EXPECT_TRUE(has_diag(run, "src/core/cycle_a.hpp:4: error:",
+                       "include-cycle"))
+      << run.output;
+  // One diagnostic per cycle, not one per member file.
+  EXPECT_EQ(count_rule(run, "include-cycle"), 1) << run.output;
+  EXPECT_NE(run.output.find("src/core/cycle_a.hpp -> src/core/cycle_b.hpp "
+                            "-> src/core/cycle_a.hpp"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintTool, LayerClosureDistinctFromDirectLayerRule) {
+  const LintRun run = run_lint("");
+  // bridge.hpp's direct hop into src/sim/ is the plain layer rule...
+  EXPECT_TRUE(has_diag(run, "src/core/bridge.hpp:4: error:", "layer"))
+      << run.output;
+  // ...while indirect.cpp only reaches it transitively.
+  EXPECT_TRUE(has_diag(run, "src/core/indirect.cpp:4: error:",
+                       "layer-closure"))
+      << run.output;
+  EXPECT_EQ(count_rule(run, "layer-closure"), 1) << run.output;
+  // The closure rule never double-reports direct edges.
+  EXPECT_FALSE(has_diag(run, "src/core/indirect.cpp:4: error:", "layer"))
+      << run.output;
+}
+
+TEST(LintTool, UnusedPublicHeaderFlagged) {
+  const LintRun run = run_lint("");
+  EXPECT_TRUE(has_diag(run, "src/core/orphan.hpp:1: error:", "unused-header"))
+      << run.output;
+  // Every other header is reachable (cycle pair include each other,
+  // bridge/above/tsa_split are included) so exactly one hit.
+  EXPECT_EQ(count_rule(run, "unused-header"), 1) << run.output;
+}
+
+TEST(LintTool, ResilienceBoundCrossChecksDeclaredFaultModels) {
+  const LintRun run = run_lint("");
+  // proto_drift.cpp: declared fail_stop, registers malicious.
+  EXPECT_TRUE(has_diag(run, "src/core/proto_drift.cpp:9: error:",
+                       "resilience-bound"))
+      << run.output;
+  // proto_undeclared.cpp: a registration site missing its declaration.
+  EXPECT_TRUE(has_diag(run, "src/core/proto_undeclared.cpp:9: error:",
+                       "resilience-bound"))
+      << run.output;
+  // proto_good.cpp matches its declaration and stays silent.
+  EXPECT_EQ(count_rule(run, "resilience-bound"), 2) << run.output;
+}
+
+TEST(LintTool, CrossFileRulesSkippedOnPartialRuns) {
+  // With an explicit path list the model is partial, so repo-level rules
+  // (unused-header, include-cycle, resilience-bound, layer-closure) must
+  // stay quiet rather than flag everything outside the slice.
+  const LintRun run = run_lint("src/core/orphan.hpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(count_rule(run, "unused-header"), 0) << run.output;
+  EXPECT_EQ(count_rule(run, "include-cycle"), 0) << run.output;
+  EXPECT_EQ(count_rule(run, "resilience-bound"), 0) << run.output;
+}
+
+TEST(LintTool, GraphDotMatchesGoldenFixture) {
+  const LintRun run = run_lint("--graph-dot");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  std::ifstream golden(std::string(RCP_LINT_FIXTURES) + "/graph.golden.dot");
+  ASSERT_TRUE(golden.is_open());
+  std::ostringstream want;
+  want << golden.rdbuf();
+  EXPECT_EQ(run.output, want.str());
+}
+
+TEST(LintTool, ExpectMinFilesGuardsAgainstNarrowedTree) {
+  const LintRun run = run_lint("--expect-min-files 1000");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+  EXPECT_NE(run.output.find("expected at least 1000 files"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintTool, ModelCacheRoundTripIsStable) {
+  const std::string cache =
+      (std::filesystem::temp_directory_path() / "rcp_lint_test_model.cache")
+          .string();
+  std::filesystem::remove(cache);
+  const LintRun cold = run_lint("--model-cache " + cache);
+  ASSERT_TRUE(std::filesystem::exists(cache));
+  const LintRun warm = run_lint("--model-cache " + cache);
+  // Identical diagnostics whether the model is rebuilt or replayed.
+  EXPECT_EQ(cold.output, warm.output);
+  EXPECT_EQ(cold.exit_code, warm.exit_code);
+  std::filesystem::remove(cache);
+}
+
 TEST(LintTool, WholeFixtureTreeSummary) {
   const LintRun run = run_lint("");
   EXPECT_EQ(run.exit_code, 1) << run.output;
-  EXPECT_EQ(count_rule(run, "layer"), 3) << run.output;
+  EXPECT_EQ(count_rule(run, "layer"), 4) << run.output;
+  EXPECT_EQ(count_rule(run, "layer-closure"), 1) << run.output;
+  EXPECT_EQ(count_rule(run, "include-cycle"), 1) << run.output;
+  EXPECT_EQ(count_rule(run, "unused-header"), 1) << run.output;
+  EXPECT_EQ(count_rule(run, "thread-safety"), 5) << run.output;
+  EXPECT_EQ(count_rule(run, "resilience-bound"), 2) << run.output;
   EXPECT_EQ(count_rule(run, "os-header"), 3) << run.output;
   EXPECT_EQ(count_rule(run, "os-exclusive"), 1) << run.output;
   EXPECT_EQ(count_rule(run, "determinism"), 5) << run.output;
@@ -260,7 +400,7 @@ TEST(LintTool, WholeFixtureTreeSummary) {
   EXPECT_EQ(count_rule(run, "threshold"), 3) << run.output;
   EXPECT_EQ(count_rule(run, "unused-suppression"), 1) << run.output;
   EXPECT_EQ(count_rule(run, "bad-suppression"), 1) << run.output;
-  EXPECT_NE(run.output.find("rcp-lint: 11 files, 27 error(s), 5 suppression(s) "
+  EXPECT_NE(run.output.find("rcp-lint: 24 files, 38 error(s), 5 suppression(s) "
                             "(5 diagnostic(s) suppressed)"),
             std::string::npos)
       << run.output;
