@@ -9,8 +9,9 @@
 // This bench measures messages-per-phase empirically and reports the
 // scaling exponent between successive n. Because Figure 2's O(n^3) echo
 // traffic all funnels through EchoEngine::handle(), the second half sweeps
-// the engine's per-echo throughput across n ∈ {7, 31, 127, 301} — the
-// series the flat quorum accounting (docs/PERF.md "Quorum accounting") is
+// the engine's per-echo throughput across n ∈ {7, 31, 127, 301, 1001} —
+// the series the flat quorum accounting and the word-parallel kernels
+// (docs/PERF.md "Quorum accounting", "Word-parallel kernels") are
 // accountable to. The labelled `echo_path_n*` series in the --json report
 // feed the CI regression gate (tools/check_bench_regression.py) against
 // BENCH_BASELINE.json.
@@ -139,7 +140,7 @@ int main(int argc, char** argv) {
   std::cout << "Echo-path n-sweep: EchoEngine steady-state per-echo cost "
                "(flat quorum accounting; k at the malicious bound)\n";
   Table echo_table({"n", "echoes", "echoes/sec", "ns/echo", "table bytes"});
-  for (const std::uint32_t n : {7u, 31u, 127u, 301u}) {
+  for (const std::uint32_t n : {7u, 31u, 127u, 301u, 1001u}) {
     echo_path_point(echo_table, n);
   }
   echo_table.print(std::cout);

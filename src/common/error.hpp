@@ -43,6 +43,15 @@ namespace detail {
 
 }  // namespace rcp
 
+/// Marks a function noexcept in release builds only — for hot-path
+/// operations whose debug builds carry a throwing RCP_EXPECT guard that
+/// release builds compile out (e.g. ProcessSet::add).
+#ifdef NDEBUG
+#define RCP_RELEASE_NOEXCEPT noexcept
+#else
+#define RCP_RELEASE_NOEXCEPT
+#endif
+
 /// Checks a documented precondition of a public interface.
 #define RCP_EXPECT(cond, msg)                                             \
   do {                                                                    \

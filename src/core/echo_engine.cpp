@@ -1,3 +1,9 @@
+// Cold paths and phase-advance bookkeeping of EchoEngine; the per-message
+// fast path is inline in echo_engine.hpp. Everything here is off the
+// per-echo critical path: construction, initial-message ledgers, the
+// overflow ledger for beyond-window phases, and advance()'s bulk
+// reclamation (which runs on the word-parallel kernels).
+
 #include "core/echo_engine.hpp"
 
 #include <algorithm>
@@ -9,60 +15,55 @@ namespace rcp::core {
 EchoEngine::EchoEngine(ConsensusParams params)
     : params_(params),
       echo_window_(static_cast<std::size_t>(kPhaseWindow) * params.n,
-                   params.n) {
+                   params.n),
+      tally_stride_(bitops::padded_to_cache_line<std::uint32_t>(params.n)) {
   // rcp-lint: allow(hot-alloc) one-time table setup at construction
   initial_next_.assign(params.n, 0);
   // rcp-lint: allow(hot-alloc) one-time table setup at construction
-  counts_.assign(params.n, ValueCounts{});
+  tally_lanes_.assign(2 * tally_stride_, 0);
 }
 
-EchoEngine::Outcome EchoEngine::handle(ProcessId sender,
-                                       const EchoProtocolMsg& msg,
-                                       Phase current_phase) {
-  Outcome out;
-  // The wire format does not bound `from`; a fabricated origin >= n can
-  // never be accepted (correct processes never echo it, and the k possible
-  // Byzantine echoes are below any quorum), so drop it before it can touch
-  // an origin-indexed table.
-  if (msg.from >= params_.n) {
-    return out;
+void EchoEngine::handle_initial(Outcome& out, ProcessId sender,
+                                const EchoProtocolMsg& msg) {
+  // Initial message: the model's authenticated identities let us reject
+  // forgeries outright. Without this check one malicious process could
+  // equivocate *on behalf of a correct one*, voiding the paper's
+  // consistency claim.
+  if (msg.from != sender) {
+    return;
   }
-  if (!msg.is_echo) {
-    // Initial message: the model's authenticated identities let us reject
-    // forgeries outright. Without this check one malicious process could
-    // equivocate *on behalf of a correct one*, voiding the paper's
-    // consistency claim.
-    if (msg.from != sender) {
-      return out;
-    }
-    if (!initial_is_fresh(msg.from, msg.phase)) {
-      return out;  // duplicate initial; only the first is echoed
-    }
-    out.echo_to_broadcast = EchoProtocolMsg{
-        .is_echo = true, .from = msg.from, .value = msg.value, .phase = msg.phase};
-    return out;
+  if (!initial_is_fresh(msg.from, msg.phase)) {
+    return;  // duplicate initial; only the first is echoed
   }
+  out.echo_to_broadcast = EchoProtocolMsg{
+      .is_echo = true, .from = msg.from, .value = msg.value, .phase = msg.phase};
+}
 
-  // Stale echoes are dropped without touching the dedup table: recording
-  // them would let a Byzantine process grow our memory without bound by
-  // replaying old-phase traffic.
-  if (msg.phase < current_phase) {
-    return out;
+void EchoEngine::defer_echo(const EchoProtocolMsg& msg) {
+  // rcp-lint: allow(hot-alloc) deferred ring growth until steady state
+  deferred_.push_back(
+      DeferredEcho{.origin = msg.from, .value = msg.value, .phase = msg.phase});
+}
+
+void EchoEngine::handle_echo_outside_window(Outcome& out, ProcessId sender,
+                                            const EchoProtocolMsg& msg,
+                                            Phase current_phase) {
+  // Exact set semantics for the dedup triple when its phase cannot be
+  // indexed by the flat window: scan-and-insert in the overflow ledger.
+  for (const OverflowEntry& entry : echo_overflow_) {
+    if (entry.echoer == sender && entry.origin == msg.from &&
+        entry.phase == msg.phase) {
+      return;
+    }
   }
-  // At most one echo per (echoer, origin, phase) is processed, regardless
-  // of value — so a correct receiver never counts two echoes from the same
-  // echoer about the same origin and phase.
-  if (!record_echo(sender, msg.from, msg.phase)) {
-    return out;
-  }
+  // rcp-lint: allow(hot-alloc) overflow ledger holds beyond-window phases
+  echo_overflow_.push_back(
+      OverflowEntry{.echoer = sender, .origin = msg.from, .phase = msg.phase});
   if (msg.phase > current_phase) {
-    // rcp-lint: allow(hot-alloc) deferred ring growth until steady state
-    deferred_.push_back(
-        DeferredEcho{.origin = msg.from, .value = msg.value, .phase = msg.phase});
-    return out;
+    defer_echo(msg);
+    return;
   }
   out.accepted = tally(msg.from, msg.value);
-  return out;
 }
 
 bool EchoEngine::initial_is_fresh(ProcessId origin, Phase phase) {
@@ -101,54 +102,29 @@ bool EchoEngine::initial_is_fresh(ProcessId origin, Phase phase) {
   return true;
 }
 
-bool EchoEngine::record_echo(ProcessId echoer, ProcessId origin, Phase phase) {
-  if (echoer >= params_.n) {
-    // Mirror image of the origin bound in handle(): n is the whole id
-    // space, so an out-of-range echoer cannot occur through any transport;
-    // dropping is outcome-identical and keeps the bit index in range.
-    return false;
-  }
-  if (phase >= window_base_ && phase - window_base_ < kPhaseWindow) {
-    return echo_window_.test_and_set(window_row(phase, origin), echoer);
-  }
-  for (const OverflowEntry& entry : echo_overflow_) {
-    if (entry.echoer == echoer && entry.origin == origin &&
-        entry.phase == phase) {
-      return false;
-    }
-  }
-  // rcp-lint: allow(hot-alloc) overflow ledger holds beyond-window phases
-  echo_overflow_.push_back(
-      OverflowEntry{.echoer = echoer, .origin = origin, .phase = phase});
-  return true;
-}
-
-std::optional<EchoEngine::Accept> EchoEngine::tally(ProcessId origin,
-                                                    Value value) {
-  const std::uint32_t count = ++counts_[origin][value];
-  if (count == params_.echo_acceptance_threshold()) {
-    return Accept{.origin = origin, .value = value};
-  }
-  return std::nullopt;
-}
-
 std::span<const EchoEngine::Accept> EchoEngine::advance(Phase new_phase) {
   RCP_EXPECT(new_phase >= window_base_,
              "EchoEngine phases advance monotonically");
-  std::fill(counts_.begin(), counts_.end(), ValueCounts{});
+  // Reset both SoA tally lanes with one flat fill (uint32 lanes are
+  // contiguous in a single aligned buffer).
+  std::fill(tally_lanes_.begin(), tally_lanes_.end(), 0);
 
   // Reclaim dedup rows for phases that are now in the past: their echoes
   // would be dropped as stale before the dedup check anyway. Each phase's
-  // rows are contiguous (slot-major layout), one word-fill per phase.
+  // rows are contiguous (slot-major layout), one word-parallel fill per
+  // phase; the slot's live-bit counter resets with it.
   const Phase last_reclaimed =
       std::min(new_phase, window_base_ + kPhaseWindow);
   for (Phase t = window_base_; t < last_reclaimed; ++t) {
     echo_window_.clear_rows(window_row(t, 0), params_.n);
+    slot_live_bits_[t & (kPhaseWindow - 1)] = 0;
   }
   window_base_ = new_phase;
 
   // Overflow entries whose phases slid into the window migrate to bitset
-  // rows; stale ones drop; the remainder compacts in place.
+  // rows; stale ones drop; the remainder compacts in place. Migrated
+  // entries land in rows reclaimed above (the overflow ledger is exact, so
+  // every migration sets a fresh bit), and the slot counters follow.
   std::size_t kept_overflow = 0;
   for (std::size_t i = 0; i < echo_overflow_.size(); ++i) {
     const OverflowEntry entry = echo_overflow_[i];
@@ -156,8 +132,10 @@ std::span<const EchoEngine::Accept> EchoEngine::advance(Phase new_phase) {
       continue;  // stale
     }
     if (entry.phase - new_phase < kPhaseWindow) {
-      (void)echo_window_.test_and_set(window_row(entry.phase, entry.origin),
-                                      entry.echoer);
+      if (echo_window_.test_and_set(window_row(entry.phase, entry.origin),
+                                    entry.echoer)) {
+        ++slot_live_bits_[entry.phase & (kPhaseWindow - 1)];
+      }
       continue;
     }
     echo_overflow_[kept_overflow++] = entry;
@@ -189,7 +167,7 @@ std::span<const EchoEngine::Accept> EchoEngine::advance(Phase new_phase) {
 
 std::uint32_t EchoEngine::echo_count(ProcessId origin,
                                      Value value) const noexcept {
-  return origin < params_.n ? counts_[origin][value] : 0;
+  return origin < params_.n ? tally_lanes_[lane_index(origin, value)] : 0;
 }
 
 std::size_t EchoEngine::memory_bytes() const noexcept {
@@ -197,7 +175,7 @@ std::size_t EchoEngine::memory_bytes() const noexcept {
          initial_next_.capacity() * sizeof(Phase) +
          initial_sparse_.capacity() * sizeof(initial_sparse_[0]) +
          echo_overflow_.capacity() * sizeof(OverflowEntry) +
-         counts_.capacity() * sizeof(ValueCounts) +
+         tally_lanes_.capacity() * sizeof(std::uint32_t) +
          deferred_.capacity() * sizeof(DeferredEcho) +
          replayed_.capacity() * sizeof(Accept);
 }

@@ -20,12 +20,18 @@
 // The bookkeeping is flat and allocation-free in steady state (the repo's
 // hot-alloc contract, docs/PERF.md "Quorum accounting"): echo dedup lives
 // in a BitRows matrix indexed by (phase mod window, origin) with the echoer
-// as the bit, tallies are a dense per-origin ValueCounts array, and the
-// deferred buffer is a recycling ring compacted in place. The rare cases a
-// flat window cannot index exactly — echoes deferred beyond the window,
-// out-of-order initial phases — spill to small exact side ledgers, so the
-// observable semantics match the node-based containers they replaced
-// bit for bit (pinned by the trace-digest goldens).
+// as the bit, tallies are struct-of-arrays counter lanes (one contiguous
+// cache-line-aligned lane per value, padded so lanes never share a line),
+// and the deferred buffer is a recycling ring compacted in place. The
+// per-echo fast path — bounds checks, one dedup bit test-and-set, one lane
+// increment against the Figure-2 threshold — is defined here in the header
+// so callers' message loops inline it whole; the rare cases a flat window
+// cannot index exactly (echoes deferred beyond the window, out-of-order
+// initial phases) spill to small exact side ledgers behind cold out-of-line
+// calls, so the observable semantics match the node-based containers they
+// replaced bit for bit (pinned by the trace-digest goldens). Bulk work —
+// phase-window reclamation, tally resets — runs on the word-parallel
+// kernels of core/bitops.hpp.
 #pragma once
 
 #include <cstdint>
@@ -33,7 +39,9 @@
 #include <span>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
+#include "core/bitops.hpp"
 #include "core/messages.hpp"
 #include "core/params.hpp"
 #include "core/quorum.hpp"
@@ -66,8 +74,56 @@ class EchoEngine {
   /// process ids, so a fabricated origin can never assemble an acceptance
   /// quorum — rejecting it early is outcome-identical and keeps the flat
   /// tables indexable by origin.
+  ///
+  /// Defined inline: this is the per-message hot path, and at bench scale
+  /// the cross-TU call (spilled registers, reloaded loop invariants) costs
+  /// as much as the bookkeeping itself.
   [[nodiscard]] Outcome handle(ProcessId sender, const EchoProtocolMsg& msg,
-                               Phase current_phase);
+                               Phase current_phase) {
+    Outcome out;
+    // The wire format does not bound `from`; a fabricated origin >= n can
+    // never be accepted (correct processes never echo it, and the k
+    // possible Byzantine echoes are below any quorum), so drop it before it
+    // can touch an origin-indexed table.
+    if (msg.from >= params_.n) {
+      return out;
+    }
+    if (!msg.is_echo) {
+      handle_initial(out, sender, msg);
+      return out;
+    }
+    // Stale echoes are dropped without touching the dedup table: recording
+    // them would let a Byzantine process grow our memory without bound by
+    // replaying old-phase traffic.
+    if (msg.phase < current_phase) {
+      return out;
+    }
+    // Mirror image of the origin bound above: n is the whole id space, so
+    // an out-of-range echoer cannot occur through any transport; dropping
+    // is outcome-identical and keeps the bit index in range.
+    if (sender >= params_.n) {
+      return out;
+    }
+    if (msg.phase >= window_base_ &&
+        msg.phase - window_base_ < kPhaseWindow) [[likely]] {
+      // At most one echo per (echoer, origin, phase) is processed,
+      // regardless of value — so a correct receiver never counts two echoes
+      // from the same echoer about the same origin and phase.
+      if (!echo_window_.test_and_set(window_row(msg.phase, msg.from),
+                                     sender)) {
+        return out;
+      }
+      ++slot_live_bits_[msg.phase & (kPhaseWindow - 1)];
+      if (msg.phase > current_phase) [[unlikely]] {
+        defer_echo(msg);
+        return out;
+      }
+      out.accepted = tally(msg.from, msg.value);
+      return out;
+    }
+    handle_echo_outside_window(out, sender, msg, current_phase);
+    return out;
+  }
 
   /// Advances to a new phase: clears the per-phase echo tallies, reclaims
   /// dedup slots for phases now in the past, and replays deferred echoes
@@ -87,9 +143,20 @@ class EchoEngine {
   }
 
   /// Number of live echo dedup entries (memory-bound observability:
-  /// advance() reclaims entries for past phases).
-  [[nodiscard]] std::size_t echo_dedup_size() const noexcept {
-    return echo_window_.popcount_all() + echo_overflow_.size();
+  /// advance() reclaims entries for past phases). Maintained incrementally
+  /// — per-slot live-bit counters bumped on every fresh dedup bit, zeroed
+  /// with their slot — so this is O(1); debug builds cross-check against a
+  /// full popcount scan of the window.
+  [[nodiscard]] std::size_t echo_dedup_size() const RCP_RELEASE_NOEXCEPT {
+    std::size_t live = 0;
+    for (const std::size_t slot : slot_live_bits_) {
+      live += slot;
+    }
+#ifndef NDEBUG
+    RCP_INVARIANT(live == echo_window_.popcount_all(),
+                  "incremental live-bit count matches window popcount");
+#endif
+    return live + echo_overflow_.size();
   }
 
   /// Entries currently spilled past the flat dedup window (exact overflow
@@ -124,13 +191,36 @@ class EchoEngine {
   };
 
   /// Counts one current-phase echo; returns an Accept if the threshold was
-  /// crossed by exactly this echo.
-  [[nodiscard]] std::optional<Accept> tally(ProcessId origin, Value value);
+  /// crossed by exactly this echo. One increment in the value's SoA counter
+  /// lane; the acceptance threshold is loop-invariant and inlines to a
+  /// constant comparison.
+  [[nodiscard]] std::optional<Accept> tally(ProcessId origin, Value value) {
+    const std::uint32_t count = ++tally_lanes_[lane_index(origin, value)];
+    if (count == params_.echo_acceptance_threshold()) {
+      return Accept{.origin = origin, .value = value};
+    }
+    return std::nullopt;
+  }
 
-  /// Records (echoer, origin, phase) in the dedup tables; returns true when
-  /// the triple was not yet present.
-  [[nodiscard]] bool record_echo(ProcessId echoer, ProcessId origin,
-                                 Phase phase);
+  /// Index of (origin, value) in the SoA tally lanes: lane `value`, slot
+  /// `origin`; lanes are padded to whole cache lines (tally_stride_).
+  [[nodiscard]] std::size_t lane_index(ProcessId origin,
+                                       Value value) const noexcept {
+    return value_index(value) * tally_stride_ + origin;
+  }
+
+  /// Cold path: initial-message forgery check + freshness ledger.
+  void handle_initial(Outcome& out, ProcessId sender,
+                      const EchoProtocolMsg& msg);
+
+  /// Cold path: dedup + defer/tally for echoes whose phase lies outside
+  /// the flat window (exact overflow-ledger semantics).
+  void handle_echo_outside_window(Outcome& out, ProcessId sender,
+                                  const EchoProtocolMsg& msg,
+                                  Phase current_phase);
+
+  /// Cold path: parks a fresh future-phase echo in the deferred ring.
+  void defer_echo(const EchoProtocolMsg& msg);
 
   /// Exact `seen_initial_` set semantics over flat state: true (and
   /// records) when (origin, phase) was not yet seen.
@@ -158,8 +248,18 @@ class EchoEngine {
   BitRows echo_window_;
   std::vector<OverflowEntry> echo_overflow_;
 
-  /// Current-phase tallies, dense by origin.
-  std::vector<ValueCounts> counts_;
+  /// Live dedup bits per window slot, maintained incrementally (bumped on
+  /// every fresh test_and_set, zeroed when the slot's rows are reclaimed)
+  /// so echo_dedup_size() never rescans the window.
+  std::size_t slot_live_bits_[kPhaseWindow] = {};
+
+  /// Current-phase tallies in struct-of-arrays form: lane v (a contiguous,
+  /// cache-line-aligned run of tally_stride_ uint32 counters) holds every
+  /// origin's tally for value v. Replaces the interleaved ValueCounts
+  /// array: threshold scans touch one value's counters as one contiguous
+  /// stream, and a phase reset is a single flat fill.
+  bitops::AlignedVector<std::uint32_t> tally_lanes_;
+  std::size_t tally_stride_ = 0;
 
   /// Recycling ring of future-phase echoes, compacted in place by
   /// advance(); order is arrival order.

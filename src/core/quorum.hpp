@@ -13,19 +13,25 @@
 //    set (replaces std::set<(echoer, origin, phase)> dedup sets; the row
 //    index encodes (phase-window slot, origin)).
 //
-// Both allocate exactly once, at construction; every subsequent operation
-// is allocation-free, which is what lets the hot-alloc lint rule and the
-// operator-new counting tests cover the whole echo path. Layout details:
-// docs/PERF.md ("Quorum accounting").
+// Per-bit operations stay single-word and inline; every bulk operation —
+// row-span clears, bulk popcounts, cross-matrix copies, set union and
+// enumeration — goes through the word-parallel kernels in core/bitops.hpp,
+// which dispatch to the AVX2 backend when available (bit-identical either
+// way). Both containers allocate exactly once, at construction; every
+// subsequent operation is allocation-free, which is what lets the hot-alloc
+// lint rule and the operator-new counting tests cover the whole echo path.
+// Layout details: docs/PERF.md ("Quorum accounting", "Word-parallel
+// kernels").
 #pragma once
 
-#include <algorithm>
-#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
+#include "core/bitops.hpp"
 
 namespace rcp::core {
 
@@ -39,7 +45,12 @@ class ProcessSet {
       : words_((capacity + 63) / 64, 0) {}
 
   /// Inserts `id`; returns true when it was not already present.
-  bool add(ProcessId id) noexcept {
+  bool add(ProcessId id) RCP_RELEASE_NOEXCEPT {
+#ifndef NDEBUG
+    // Debug builds fail loudly on an out-of-capacity id (a caller-side
+    // layout bug); release builds keep the unchecked single-word fast path.
+    RCP_EXPECT((id >> 6) < words_.size(), "ProcessSet id within capacity");
+#endif
     std::uint64_t& w = words_[id >> 6];
     const std::uint64_t bit = 1ULL << (id & 63);
     if ((w & bit) != 0) {
@@ -58,8 +69,33 @@ class ProcessSet {
   [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
 
   void clear() noexcept {
-    std::fill(words_.begin(), words_.end(), 0);
+    bitops::fill_words(std::span<std::uint64_t>(words_), 0);
     size_ = 0;
+  }
+
+  /// Set union: adds every id of `other` (same capacity required). One
+  /// word-parallel OR sweep plus one bulk popcount for the cardinality.
+  void merge(const ProcessSet& other) {
+    RCP_EXPECT(other.words_.size() == words_.size(),
+               "ProcessSet merge requires matching capacity");
+    bitops::or_words(std::span<std::uint64_t>(words_),
+                     std::span<const std::uint64_t>(other.words_));
+    size_ = static_cast<std::uint32_t>(
+        bitops::popcount_words(std::span<const std::uint64_t>(words_)));
+  }
+
+  /// Calls `fn(id)` for every member, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    bitops::for_each_set_bit(
+        std::span<const std::uint64_t>(words_), [&fn](std::size_t bit) {
+          fn(static_cast<ProcessId>(bit));
+        });
+  }
+
+  /// The raw bit words (test / kernel-equivalence observer).
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
   }
 
  private:
@@ -69,8 +105,8 @@ class ProcessSet {
 
 /// A rows x bits bit matrix in a single flat allocation. Row r is an
 /// independent bit set of `bits` capacity; rows are contiguous, so a span
-/// of consecutive rows clears with one word fill. Used as the echo dedup
-/// table: row = (phase-window slot, origin), bit = echoer id.
+/// of consecutive rows clears with one word-parallel fill. Used as the echo
+/// dedup table: row = (phase-window slot, origin), bit = echoer.
 class BitRows {
  public:
   BitRows() = default;
@@ -94,32 +130,55 @@ class BitRows {
   }
 
   /// Clears `count` consecutive rows starting at `first_row` — one
-  /// contiguous word fill, the phase-window reclamation primitive.
+  /// contiguous word-parallel fill, the phase-window reclamation primitive.
   void clear_rows(std::size_t first_row, std::size_t count) noexcept {
-    const auto begin = words_.begin() +
-                       static_cast<std::ptrdiff_t>(first_row * words_per_row_);
-    std::fill(begin, begin + static_cast<std::ptrdiff_t>(count * words_per_row_),
-              0);
+    bitops::fill_words(
+        std::span<std::uint64_t>(words_).subspan(first_row * words_per_row_,
+                                                 count * words_per_row_),
+        0);
   }
 
   /// Copies the first `rows` rows of `src` into this matrix. Both matrices
-  /// must share `bits` (so words-per-row match) and this matrix must have at
-  /// least `rows` rows: the capacity-growth primitive for tables that carry
-  /// their dedup state across a reallocation.
-  void copy_rows_from(const BitRows& src, std::size_t rows) noexcept {
-    std::copy(src.words_.begin(),
-              src.words_.begin() +
-                  static_cast<std::ptrdiff_t>(rows * words_per_row_),
-              words_.begin());
+  /// must share `bits` (so words-per-row match) and both must have at least
+  /// `rows` rows: the capacity-growth primitive for tables that carry their
+  /// dedup state across a reallocation. A layout mismatch would silently
+  /// scramble every row boundary, so the guard is always on (this is the
+  /// cold growth path, never the per-message path).
+  void copy_rows_from(const BitRows& src, std::size_t rows) {
+    RCP_EXPECT(src.words_per_row_ == words_per_row_,
+               "BitRows copy requires matching words-per-row");
+    RCP_EXPECT(rows * words_per_row_ <= words_.size() &&
+                   rows * words_per_row_ <= src.words_.size(),
+               "BitRows copy row count within both matrices");
+    bitops::copy_words(
+        std::span<std::uint64_t>(words_).first(rows * words_per_row_),
+        std::span<const std::uint64_t>(src.words_).first(rows *
+                                                         words_per_row_));
   }
 
-  /// Total set bits across the whole matrix (test observer, not hot path).
+  /// Total set bits across the whole matrix (bulk observer, not hot path).
   [[nodiscard]] std::size_t popcount_all() const noexcept {
-    std::size_t total = 0;
-    for (const std::uint64_t w : words_) {
-      total += static_cast<std::size_t>(std::popcount(w));
-    }
-    return total;
+    return bitops::popcount_words(std::span<const std::uint64_t>(words_));
+  }
+
+  /// Total set bits across `count` consecutive rows from `first_row` — one
+  /// contiguous word-parallel popcount (rows are row-major and contiguous).
+  [[nodiscard]] std::size_t popcount_rows(std::size_t first_row,
+                                          std::size_t count) const noexcept {
+    return bitops::popcount_words(
+        std::span<const std::uint64_t>(words_).subspan(
+            first_row * words_per_row_, count * words_per_row_));
+  }
+
+  /// One row's bit words (enumeration via bitops::for_each_set_bit).
+  [[nodiscard]] std::span<const std::uint64_t> row_words(
+      std::size_t row) const noexcept {
+    return std::span<const std::uint64_t>(words_).subspan(
+        row * words_per_row_, words_per_row_);
+  }
+
+  [[nodiscard]] std::size_t words_per_row() const noexcept {
+    return words_per_row_;
   }
 
   [[nodiscard]] std::size_t memory_bytes() const noexcept {

@@ -68,8 +68,9 @@ class ReliableBroadcast final : public sim::Process {
   std::optional<Value> ready_sent_;
   std::optional<Value> delivered_;
   // Per-value quorum tallies as flat n-bit sets: membership, insertion and
-  // cardinality are O(1), and message handling never allocates (hot-alloc
-  // contract, docs/PERF.md "Quorum accounting").
+  // cardinality are O(1), bulk clears run on the word-parallel kernels of
+  // core/bitops.hpp, and message handling never allocates (hot-alloc
+  // contract, docs/PERF.md "Quorum accounting" / "Word-parallel kernels").
   ProcessSet echo_from_[2];
   ProcessSet ready_from_[2];
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <span>
 #include <utility>
 
 #include "common/error.hpp"
@@ -131,14 +132,14 @@ RbEngine::RbEngine(core::ConsensusParams params, std::uint32_t capacity_hint,
   bucket_mask_ = 2ULL * cap - 1;
   echo_voted_ = core::BitRows(cap, params_.n);
   ready_voted_ = core::BitRows(cap, params_.n);
-  echo_lane_value_ =
-      std::vector<RbValue>(static_cast<std::size_t>(cap) * lanes_, 0);
-  ready_lane_value_ =
-      std::vector<RbValue>(static_cast<std::size_t>(cap) * lanes_, 0);
-  echo_count_ =
-      std::vector<std::uint16_t>(static_cast<std::size_t>(cap) * lanes_, 0);
-  ready_count_ =
-      std::vector<std::uint16_t>(static_cast<std::size_t>(cap) * lanes_, 0);
+  echo_lane_value_ = core::bitops::AlignedVector<RbValue>(
+      static_cast<std::size_t>(cap) * lanes_, 0);
+  ready_lane_value_ = core::bitops::AlignedVector<RbValue>(
+      static_cast<std::size_t>(cap) * lanes_, 0);
+  echo_count_ = core::bitops::AlignedVector<std::uint16_t>(
+      static_cast<std::size_t>(cap) * lanes_, 0);
+  ready_count_ = core::bitops::AlignedVector<std::uint16_t>(
+      static_cast<std::size_t>(cap) * lanes_, 0);
   retired_below_ = std::vector<std::uint64_t>(params_.n, 0);
   live_per_origin_ = std::vector<std::uint32_t>(params_.n, 0);
   unanchored_per_origin_ = std::vector<std::uint32_t>(params_.n, 0);
@@ -243,9 +244,10 @@ std::uint32_t RbEngine::obtain(ProcessId origin, std::uint64_t tag,
   return slot;
 }
 
-std::uint32_t RbEngine::lane_of(std::uint32_t slot, RbValue value,
-                                std::vector<RbValue>& lane_values,
-                                std::uint16_t& lanes_used) {
+std::uint32_t RbEngine::lane_of(
+    std::uint32_t slot, RbValue value,
+    core::bitops::AlignedVector<RbValue>& lane_values,
+    std::uint16_t& lanes_used) {
   const std::size_t row0 = static_cast<std::size_t>(slot) * lanes_;
   for (std::uint32_t l = 0; l < lanes_used; ++l) {
     if (lane_values[row0 + l] == value) {
@@ -291,19 +293,25 @@ void RbEngine::grow() {
   core::BitRows new_ready_voted(new_cap, params_.n);
   new_ready_voted.copy_rows_from(ready_voted_, old_cap);
   ready_voted_ = std::move(new_ready_voted);
-  const auto grow_values = [new_cap, this](std::vector<RbValue>& v) {
-    std::vector<RbValue> bigger(static_cast<std::size_t>(new_cap) * lanes_, 0);
-    std::copy(v.begin(), v.end(), bigger.begin());
-    v = std::move(bigger);
-  };
+  const auto grow_values =
+      [new_cap, this](core::bitops::AlignedVector<RbValue>& v) {
+        core::bitops::AlignedVector<RbValue> bigger(
+            static_cast<std::size_t>(new_cap) * lanes_, 0);
+        // RbValue is a 64-bit word, so the lane copy is a kernel copy.
+        core::bitops::copy_words(
+            std::span<std::uint64_t>(bigger.data(), v.size()),
+            std::span<const std::uint64_t>(v.data(), v.size()));
+        v = std::move(bigger);
+      };
   grow_values(echo_lane_value_);
   grow_values(ready_lane_value_);
-  const auto grow_counts = [new_cap, this](std::vector<std::uint16_t>& v) {
-    std::vector<std::uint16_t> bigger(
-        static_cast<std::size_t>(new_cap) * lanes_, 0);
-    std::copy(v.begin(), v.end(), bigger.begin());
-    v = std::move(bigger);
-  };
+  const auto grow_counts =
+      [new_cap, this](core::bitops::AlignedVector<std::uint16_t>& v) {
+        core::bitops::AlignedVector<std::uint16_t> bigger(
+            static_cast<std::size_t>(new_cap) * lanes_, 0);
+        std::copy(v.begin(), v.end(), bigger.begin());
+        v = std::move(bigger);
+      };
   grow_counts(echo_count_);
   grow_counts(ready_count_);
   // Rebuild the bucket chains and the free list over the doubled pool.

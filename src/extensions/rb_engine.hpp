@@ -63,6 +63,7 @@
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
+#include "core/bitops.hpp"
 #include "core/params.hpp"
 #include "core/quorum.hpp"
 
@@ -281,9 +282,10 @@ class RbEngine {
   /// Returns the tally lane for `value` among `lane_values` (the echo or
   /// ready lane set of `slot`), claiming a free lane on first sight; kNil
   /// when all lanes hold other values (overflow).
-  [[nodiscard]] std::uint32_t lane_of(std::uint32_t slot, RbValue value,
-                                      std::vector<RbValue>& lane_values,
-                                      std::uint16_t& lanes_used);
+  [[nodiscard]] std::uint32_t lane_of(
+      std::uint32_t slot, RbValue value,
+      core::bitops::AlignedVector<RbValue>& lane_values,
+      std::uint16_t& lanes_used);
   /// Unlinks `slot` from its bucket and pushes it on the free list.
   void release(std::uint32_t slot) noexcept;
   void grow();
@@ -306,11 +308,14 @@ class RbEngine {
   /// bit = sender. The gate that makes lanes exhaustion-proof.
   core::BitRows echo_voted_;
   core::BitRows ready_voted_;
-  /// First-come value lanes and tallies, row = slot * lanes_ + lane.
-  std::vector<RbValue> echo_lane_value_;
-  std::vector<RbValue> ready_lane_value_;
-  std::vector<std::uint16_t> echo_count_;
-  std::vector<std::uint16_t> ready_count_;
+  /// First-come value lanes and tallies, row = slot * lanes_ + lane, in
+  /// struct-of-arrays form: each array is one flat cache-line-aligned lane
+  /// (core/bitops.hpp allocator), so the echo path streams values and
+  /// counts as separate contiguous arrays instead of interleaved records.
+  core::bitops::AlignedVector<RbValue> echo_lane_value_;
+  core::bitops::AlignedVector<RbValue> ready_lane_value_;
+  core::bitops::AlignedVector<std::uint16_t> echo_count_;
+  core::bitops::AlignedVector<std::uint16_t> ready_count_;
   /// retired_below_[origin] = smallest tag of `origin` still accepted.
   std::vector<std::uint64_t> retired_below_;
   /// Live instances per origin, against max_live_per_origin_.

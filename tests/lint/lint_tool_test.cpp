@@ -114,6 +114,18 @@ TEST(LintTool, ExclusiveHeaderFlaggedEvenInsideOsAllowPath) {
   EXPECT_EQ(count_rule(run, "os-header"), 0) << run.output;
 }
 
+TEST(LintTool, SimdHeaderConfinedToKernelTu) {
+  const LintRun run = run_lint("src/core/simd_violation.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // <immintrin.h> is [[os_exclusive]] to src/core/bitops_avx2.cpp: raw
+  // SIMD intrinsics anywhere else — including elsewhere in src/core/ —
+  // must go through the dispatched bitops kernels instead.
+  EXPECT_TRUE(has_diag(run, "src/core/simd_violation.cpp:4: error:",
+                       "os-exclusive"))
+      << run.output;
+  EXPECT_EQ(count_rule(run, "os-exclusive"), 1) << run.output;
+}
+
 TEST(LintTool, DeterminismBansTokensAndCalls) {
   const LintRun run = run_lint("src/core/determinism_violation.cpp");
   EXPECT_EQ(run.exit_code, 1) << run.output;
@@ -393,14 +405,14 @@ TEST(LintTool, WholeFixtureTreeSummary) {
   EXPECT_EQ(count_rule(run, "thread-safety"), 5) << run.output;
   EXPECT_EQ(count_rule(run, "resilience-bound"), 2) << run.output;
   EXPECT_EQ(count_rule(run, "os-header"), 3) << run.output;
-  EXPECT_EQ(count_rule(run, "os-exclusive"), 1) << run.output;
+  EXPECT_EQ(count_rule(run, "os-exclusive"), 2) << run.output;
   EXPECT_EQ(count_rule(run, "determinism"), 5) << run.output;
   EXPECT_EQ(count_rule(run, "determinism-strict"), 2) << run.output;
   EXPECT_EQ(count_rule(run, "hot-alloc"), 8) << run.output;
   EXPECT_EQ(count_rule(run, "threshold"), 3) << run.output;
   EXPECT_EQ(count_rule(run, "unused-suppression"), 1) << run.output;
   EXPECT_EQ(count_rule(run, "bad-suppression"), 1) << run.output;
-  EXPECT_NE(run.output.find("rcp-lint: 24 files, 38 error(s), 5 suppression(s) "
+  EXPECT_NE(run.output.find("rcp-lint: 25 files, 39 error(s), 5 suppression(s) "
                             "(5 diagnostic(s) suppressed)"),
             std::string::npos)
       << run.output;

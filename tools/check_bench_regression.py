@@ -8,8 +8,9 @@ BENCH_BASELINE.json and fails when any tracked series drops below
 Three input formats are understood:
 
 * ``--micro``: google-benchmark ``--benchmark_format=json`` output from
-  bench_micro; entries are matched by benchmark name (``BM_EchoEngine*``)
-  and compared on ``items_per_second`` (echoes/sec), against the
+  bench_micro; entries are matched by benchmark name (``BM_EchoEngine*``
+  and the ``BM_Bitops*`` kernel series) and compared on
+  ``items_per_second`` (echoes/sec; words/sec for kernels), against the
   ``echo_path`` baseline section.
 * ``--x4``: rcp-bench-v1 ``--json`` output from bench_x4_complexity;
   entries are matched by series ``label`` (``echo_path_n*``) and compared
@@ -43,12 +44,14 @@ def load_json(path):
 
 
 def micro_results(path):
-    """Name -> items_per_second for the echo benchmarks in bench_micro."""
+    """Name -> items_per_second for the echo-path and bit-kernel
+    benchmarks in bench_micro."""
     doc = load_json(path)
     return {
         b["name"]: float(b["items_per_second"])
         for b in doc.get("benchmarks", [])
-        if b["name"].startswith("BM_EchoEngine") and "items_per_second" in b
+        if b["name"].startswith(("BM_EchoEngine", "BM_Bitops"))
+        and "items_per_second" in b
     }
 
 
